@@ -1,0 +1,68 @@
+// Command hpas-dataset generates the labelled anomaly-diagnosis dataset
+// of the paper's Section 5.1 on the simulated cluster and writes it as
+// CSV (features from every monitored metric, final "label" column), for
+// use with external ML tooling.
+//
+// Usage:
+//
+//	hpas-dataset -o dataset.csv -reps 5 -window 60
+//	hpas-dataset -apps CoMD,miniGhost -membw-counter -o out.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hpas"
+)
+
+func main() {
+	out := flag.String("o", "dataset.csv", "output CSV path (- for stdout)")
+	appsFlag := flag.String("apps", "", "comma-separated app subset (default: all 8)")
+	reps := flag.Int("reps", 3, "runs per (app, class) pair")
+	window := flag.Float64("window", 60, "observation window, seconds")
+	warmup := flag.Float64("warmup", 10, "warmup excluded from features, seconds")
+	seed := flag.Uint64("seed", 99, "generation seed")
+	membw := flag.Bool("membw-counter", false, "include the uncore memory-bandwidth metric")
+	flag.Parse()
+
+	cfg := hpas.DatasetConfig{
+		Reps:         *reps,
+		Window:       *window,
+		Warmup:       *warmup,
+		Seed:         *seed,
+		MemBWCounter: *membw,
+	}
+	if *appsFlag != "" {
+		for _, a := range strings.Split(*appsFlag, ",") {
+			cfg.Apps = append(cfg.Apps, strings.TrimSpace(a))
+		}
+	}
+
+	ds, err := hpas.GenerateDataset(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := ds.WriteCSV(w); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d samples x %d features (%d classes) to %s\n",
+		ds.NumSamples(), ds.NumFeatures(), ds.NumClasses(), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hpas-dataset:", err)
+	os.Exit(1)
+}

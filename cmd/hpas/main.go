@@ -1,0 +1,169 @@
+// Command hpas runs the real host anomaly generators, mirroring the
+// original suite's command-line interface: one subcommand per Table 1
+// anomaly, each with its runtime knobs and a duration.
+//
+// Usage:
+//
+//	hpas <anomaly> [flags]
+//
+// Anomalies and their flags:
+//
+//	cpuoccupy    -u utilization%  -workers N
+//	cachecopy    -c L1|L2|L3      -m multiplier  -r rate
+//	membw        -s bufferSize    -r rate
+//	memeater     -s chunkSize     -limit size    -interval dur
+//	memleak      -s chunkSize     -r rate        -limit size
+//	netoccupy    -addr host:port  -s msgSize     -r rate  (or -sink -listen addr)
+//	iometadata   -dir path        -r rate        -ntasks N
+//	iobandwidth  -dir path        -s fileSize    -ntasks N
+//
+// Every anomaly accepts -d duration (default 10s) and prints a one-line
+// summary of the work performed. Run "hpas list" for the catalogue.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"hpas"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	args := os.Args[2:]
+	if cmd == "list" {
+		for _, a := range hpas.Catalog() {
+			fmt.Printf("%-12s %-32s knobs: %v\n", a.Name, a.Behavior, a.Knobs)
+		}
+		return
+	}
+	if err := run(cmd, args); err != nil {
+		fmt.Fprintf(os.Stderr, "hpas %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: hpas <anomaly|list> [flags]")
+	fmt.Fprintf(os.Stderr, "anomalies: %v\n", hpas.AnomalyNames())
+}
+
+// run builds the requested stressor from flags and drives it for the
+// chosen duration.
+func run(name string, args []string) error {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	dur := fs.Duration("d", 10*time.Second, "run duration")
+	start := fs.Duration("start", 0, "delay before the anomaly becomes active")
+	util := fs.Float64("u", 100, "cpuoccupy: CPU utilization percent")
+	workers := fs.Int("workers", 1, "cpuoccupy: parallel workers")
+	level := fs.String("c", "L3", "cachecopy: target cache level (L1/L2/L3)")
+	mult := fs.Float64("m", 1, "cachecopy: working-set multiplier")
+	rate := fs.Float64("r", 0, "duty cycle / iteration rate (anomaly-specific)")
+	size := fs.String("s", "", "size knob (e.g. 35MB)")
+	limit := fs.String("limit", "256MiB", "memory growth cap")
+	interval := fs.Duration("interval", time.Second, "memeater: growth interval")
+	addr := fs.String("addr", "", "netoccupy: sink address")
+	listen := fs.String("listen", "127.0.0.1:0", "netoccupy sink: listen address")
+	sink := fs.Bool("sink", false, "netoccupy: run the receiving side")
+	dir := fs.String("dir", os.TempDir(), "I/O anomalies: target directory")
+	ntasks := fs.Int("ntasks", 1, "I/O anomalies: concurrent tasks")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	parseSize := func(def hpas.ByteSize) (hpas.ByteSize, error) {
+		if *size == "" {
+			return def, nil
+		}
+		return hpas.ParseByteSize(*size)
+	}
+	parsedLimit, err := hpas.ParseByteSize(*limit)
+	if err != nil {
+		return err
+	}
+
+	var s hpas.Stressor
+	var report func()
+	switch name {
+	case "cpuoccupy":
+		st := &hpas.StressCPUOccupy{Utilization: *util, Workers: *workers}
+		s, report = st, func() { fmt.Printf("cpuoccupy: %d busy bursts\n", st.Iterations()) }
+	case "cachecopy":
+		levelSize := map[string]hpas.ByteSize{"L1": 32 * hpas.KiB, "L2": 256 * hpas.KiB, "L3": 40 * hpas.MiB}[*level]
+		if levelSize == 0 {
+			return fmt.Errorf("unknown cache level %q", *level)
+		}
+		st := &hpas.StressCacheCopy{LevelSize: levelSize, Multiplier: *mult, Rate: *rate}
+		s, report = st, func() { fmt.Printf("cachecopy: %d copies of %v\n", st.Copies(), levelSize) }
+	case "membw":
+		sz, err := parseSize(256 * hpas.MiB)
+		if err != nil {
+			return err
+		}
+		st := &hpas.StressMemBW{BufferSize: sz, Rate: *rate}
+		s, report = st, func() { fmt.Printf("membw: %.1f GiB streamed\n", float64(st.Bytes())/float64(hpas.GiB)) }
+	case "memeater":
+		sz, err := parseSize(35 * hpas.MiB)
+		if err != nil {
+			return err
+		}
+		st := &hpas.StressMemEater{ChunkSize: sz, Limit: parsedLimit, Interval: *interval}
+		s, report = st, func() { fmt.Printf("memeater: resident %v\n", hpas.ByteSize(st.Resident())) }
+	case "memleak":
+		sz, err := parseSize(20 * hpas.MiB)
+		if err != nil {
+			return err
+		}
+		st := &hpas.StressMemLeak{ChunkSize: sz, Rate: *rate, Limit: parsedLimit}
+		s, report = st, func() { fmt.Printf("memleak: leaked %v\n", hpas.ByteSize(st.Resident())) }
+	case "netoccupy":
+		if *sink {
+			ln, err := net.Listen("tcp", *listen)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("netoccupy sink listening on %s\n", ln.Addr())
+			st := &hpas.StressNetOccupySink{Listener: ln}
+			s, report = st, func() { fmt.Printf("netoccupy sink: drained %v\n", hpas.ByteSize(st.Bytes())) }
+			break
+		}
+		sz, err := parseSize(100 * hpas.MiB)
+		if err != nil {
+			return err
+		}
+		st := &hpas.StressNetOccupy{Addr: *addr, MessageSize: sz, Rate: *rate}
+		s, report = st, func() { fmt.Printf("netoccupy: sent %v\n", hpas.ByteSize(st.Bytes())) }
+	case "iometadata":
+		st := &hpas.StressIOMetadata{Dir: *dir, Rate: *rate, NTasks: *ntasks}
+		s, report = st, func() { fmt.Printf("iometadata: %d ops\n", st.Ops()) }
+	case "iobandwidth":
+		sz, err := parseSize(64 * hpas.MiB)
+		if err != nil {
+			return err
+		}
+		st := &hpas.StressIOBandwidth{Dir: *dir, FileSize: sz, NTasks: *ntasks}
+		s, report = st, func() { fmt.Printf("iobandwidth: moved %v\n", hpas.ByteSize(st.Bytes())) }
+	default:
+		usage()
+		return fmt.Errorf("unknown anomaly %q", name)
+	}
+
+	if *start > 0 {
+		s = &hpas.StressScheduled{Inner: s, Start: *start, Duration: *dur}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *start+*dur)
+	defer cancel()
+	if err := s.Run(ctx); err != nil && err != context.DeadlineExceeded && err != context.Canceled {
+		return err
+	}
+	report()
+	return nil
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"net"
+	"testing"
+)
+
+// The stressors themselves are tested in internal/stress; these tests
+// cover the CLI's flag wiring and validation paths with tiny durations.
+
+func TestRunEveryAnomaly(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"cpuoccupy", []string{"-u", "40", "-d", "30ms"}},
+		{"cachecopy", []string{"-c", "L1", "-d", "30ms"}},
+		{"membw", []string{"-s", "4MiB", "-d", "30ms"}},
+		{"memeater", []string{"-s", "1MiB", "-limit", "4MiB", "-interval", "5ms", "-d", "30ms"}},
+		{"memleak", []string{"-s", "1MiB", "-r", "100", "-limit", "4MiB", "-d", "30ms"}},
+		{"iometadata", []string{"-dir", dir, "-d", "30ms"}},
+		{"iobandwidth", []string{"-dir", dir, "-s", "64KiB", "-d", "30ms"}},
+	}
+	for _, c := range cases {
+		if err := run(c.name, c.args); err != nil {
+			t.Errorf("run(%s): %v", c.name, err)
+		}
+	}
+}
+
+func TestRunNetOccupyPair(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive the sender against a raw drain server.
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 1<<16)
+		for {
+			if _, err := conn.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	if err := run("netoccupy", []string{"-addr", ln.Addr().String(), "-s", "64KiB", "-d", "50ms"}); err != nil {
+		t.Errorf("netoccupy: %v", err)
+	}
+}
+
+func TestRunScheduledStart(t *testing.T) {
+	if err := run("cpuoccupy", []string{"-u", "10", "-start", "20ms", "-d", "20ms"}); err != nil {
+		t.Errorf("scheduled run: %v", err)
+	}
+}
+
+func TestRunValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"bogus", nil},
+		{"cpuoccupy", []string{"-u", "150", "-d", "10ms"}},
+		{"cachecopy", []string{"-c", "L9", "-d", "10ms"}},
+		{"membw", []string{"-s", "junk", "-d", "10ms"}},
+		{"memleak", []string{"-limit", "junk", "-d", "10ms"}},
+		{"netoccupy", []string{"-d", "10ms"}}, // missing address
+	}
+	for _, c := range cases {
+		if err := run(c.name, c.args); err == nil {
+			t.Errorf("run(%s %v): expected error", c.name, c.args)
+		}
+	}
+}

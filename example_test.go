@@ -1,0 +1,78 @@
+package hpas_test
+
+import (
+	"fmt"
+
+	"hpas"
+)
+
+// ExampleCatalog lists the anomaly generators of the paper's Table 1.
+func ExampleCatalog() {
+	for _, a := range hpas.Catalog() {
+		fmt.Println(a.Name)
+	}
+	// Output:
+	// cpuoccupy
+	// cachecopy
+	// membw
+	// memeater
+	// memleak
+	// netoccupy
+	// iometadata
+	// iobandwidth
+}
+
+// ExampleRun measures the slowdown an anomaly inflicts on a proxy
+// application running on the simulated cluster.
+func ExampleRun() {
+	base := hpas.RunConfig{
+		Cluster:    hpas.VoltrinoConfig(4),
+		App:        "CoMD",
+		Iterations: 3,
+		Seed:       1,
+	}
+	clean, err := hpas.Run(base)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	dirty := base
+	dirty.Anomalies = []hpas.Spec{{Name: "cachecopy", Node: 0, CPU: 32}}
+	slowed, err := hpas.Run(dirty)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("cachecopy slows CoMD: %v\n", slowed.Duration > 1.3*clean.Duration)
+	// Output:
+	// cachecopy slows CoMD: true
+}
+
+// ExampleWBAS shows the Well-Balanced Allocation Strategy avoiding an
+// anomalous node.
+func ExampleWBAS() {
+	states := []hpas.NodeState{
+		{ID: 0, Load: 0.9, MemFree: 2 * hpas.GiB}, // anomalous
+		{ID: 1, Load: 0.01, MemFree: 118 * hpas.GiB},
+		{ID: 2, Load: 0.01, MemFree: 118 * hpas.GiB},
+		{ID: 3, Load: 0.01, MemFree: 118 * hpas.GiB},
+	}
+	nodes, _ := hpas.WBAS{}.Select(states, 2)
+	fmt.Println(nodes)
+	// Output:
+	// [1 2]
+}
+
+// ExampleGreedyRefineLB balances objects over heterogeneous PEs.
+func ExampleGreedyRefineLB() {
+	objects := []float64{1, 1, 1, 1, 1, 1}
+	capacities := []float64{1, 0.5} // PE 1 is half-occupied by an anomaly
+	assignment, _ := hpas.GreedyRefineLB{}.Assign(objects, capacities)
+	counts := make([]int, 2)
+	for _, pe := range assignment {
+		counts[pe]++
+	}
+	fmt.Printf("fast PE gets %d objects, slow PE gets %d\n", counts[0], counts[1])
+	// Output:
+	// fast PE gets 4 objects, slow PE gets 2
+}

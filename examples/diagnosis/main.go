@@ -1,0 +1,70 @@
+// Diagnosis: reproduce the paper's first use case (Section 5.1) — train
+// machine-learning classifiers to identify which anomaly is running from
+// monitoring data alone, then report per-class F1 scores and the random
+// forest's confusion matrix.
+//
+// This is a reduced variant of the paper's Figure 9/10 pipeline (two
+// applications instead of eight, to keep the example fast); run
+// cmd/hpas-bench for the full-size experiment.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hpas"
+)
+
+func main() {
+	fmt.Println("generating labelled runs (2 apps x 6 classes x 2 reps)...")
+	ds, err := hpas.GenerateDataset(hpas.DatasetConfig{
+		Apps:   []string{"CoMD", "miniGhost"},
+		Reps:   2,
+		Window: 45,
+		Seed:   7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d samples, %d features, %d classes\n\n",
+		ds.NumSamples(), ds.NumFeatures(), ds.NumClasses())
+
+	classifiers := []struct {
+		name string
+		mk   func() hpas.Classifier
+	}{
+		{"DecisionTree", func() hpas.Classifier { return hpas.NewTree(hpas.TreeOptions{MaxDepth: 10}) }},
+		{"AdaBoost", func() hpas.Classifier { return hpas.NewAdaBoost(hpas.AdaBoostOptions{Rounds: 30, MaxDepth: 3}) }},
+		{"RandomForest", func() hpas.Classifier { return hpas.NewForest(hpas.ForestOptions{Trees: 40, Seed: 3}) }},
+	}
+
+	var forestConf *hpas.Confusion
+	for _, c := range classifiers {
+		conf, err := hpas.CrossValidate(c.mk, ds, 3, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-13s accuracy %.2f, macro F1 %.2f, per-class F1:", c.name, conf.Accuracy(), conf.MacroF1())
+		for k, f1 := range conf.F1Scores() {
+			fmt.Printf(" %s=%.2f", ds.Classes[k], f1)
+		}
+		fmt.Println()
+		if c.name == "RandomForest" {
+			forestConf = conf
+		}
+	}
+
+	fmt.Println("\nRandomForest confusion matrix (rows = true class):")
+	fmt.Printf("%-10s", "")
+	for _, c := range ds.Classes {
+		fmt.Printf("%-10s", c)
+	}
+	fmt.Println()
+	for t := range ds.Classes {
+		fmt.Printf("%-10s", ds.Classes[t])
+		for _, v := range forestConf.Row(t) {
+			fmt.Printf("%-10.2f", v)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,44 @@
+// Loadbalance: reproduce the paper's third use case (Section 5.3) — a
+// Charm++-style 3D stencil with 128 migratable objects on 32 PEs, under
+// increasing cpuoccupy intensity. LBObjOnly ignores PE capacity and is
+// gated by the slowest PE; GreedyRefineLB measures capacity first and
+// stays near-optimal until the anomaly saturates the whole node.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hpas"
+)
+
+func main() {
+	const (
+		pes     = 32
+		objects = 128
+		objLoad = 0.0075 // seconds per object per iteration
+	)
+	objs := make([]float64, objects)
+	for i := range objs {
+		objs[i] = objLoad
+	}
+	blind := hpas.LBObjOnly{}
+	greedy := hpas.GreedyRefineLB{CapacityQuantum: 0.25}
+
+	fmt.Printf("%8s  %12s  %16s\n", "util%", "LBObjOnly", "GreedyRefineLB")
+	for util := 0.0; util <= 3200; util += 400 {
+		caps := hpas.CapacitiesUnderCPUOccupy(pes, util)
+		aBlind, err := blind.Assign(objs, caps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		aGreedy, err := greedy.Assign(objs, caps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8.0f  %12.4f  %16.4f\n",
+			util, hpas.IterTime(objs, aBlind, caps), hpas.IterTime(objs, aGreedy, caps))
+	}
+	fmt.Println("\nThe balancers tie with no anomaly and at node saturation;")
+	fmt.Println("capacity-aware GreedyRefineLB wins everywhere in between (paper Fig. 13).")
+}

@@ -1,0 +1,76 @@
+// Onlinediagnosis: the runtime phase of the paper's diagnosis framework
+// (Section 5.1) — train offline on labelled runs, then slide a detector
+// over a live monitoring stream in which anomalies come and go, and
+// report the predicted root cause per time window.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hpas"
+)
+
+func main() {
+	fmt.Println("offline phase: generating labelled training runs...")
+	ds, err := hpas.GenerateDataset(hpas.DatasetConfig{
+		Apps:    []string{"CoMD"},
+		Classes: []string{"none", "cpuoccupy", "memleak", "cachecopy"},
+		Reps:    4,
+		Window:  20,
+		Warmup:  5,
+		Seed:    31,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	det, err := hpas.TrainDetector(ds, 15, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained on %d runs (%d features)\n\n", ds.NumSamples(), ds.NumFeatures())
+
+	// Runtime phase: a production-like stream where anomalies start and
+	// stop while the application keeps running.
+	camp := hpas.Campaign{
+		Base: hpas.RunConfig{
+			Cluster:      hpas.VoltrinoConfig(4),
+			App:          "CoMD",
+			Iterations:   1 << 20,
+			FixedSeconds: 150,
+			Seed:         77,
+		},
+		Phases: []hpas.CampaignPhase{
+			{Label: "cpuoccupy", Start: 15, Duration: 30,
+				Specs: []hpas.Spec{{Name: "cpuoccupy", Node: 0, CPU: 32, Intensity: 90}}},
+			{Label: "memleak", Start: 60, Duration: 30,
+				Specs: []hpas.Spec{{Name: "memleak", Node: 0, CPU: 34, Intensity: 2}}},
+			{Label: "cachecopy", Start: 105, Duration: 30,
+				Specs: []hpas.Spec{{Name: "cachecopy", Node: 0, CPU: 32}}},
+		},
+	}
+	res, err := camp.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	preds, err := det.Diagnose(res.Metrics[0], 0, 150)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("runtime phase: sliding-window diagnosis of node 0")
+	for _, p := range preds {
+		truth := res.Timeline.LabelAt((p.From + p.To) / 2)
+		if truth == "" {
+			truth = "none"
+		}
+		mark := " "
+		if p.Class == truth {
+			mark = "*"
+		}
+		fmt.Printf("  [%3.0f,%3.0f)s  predicted %-10s  actual %-10s %s\n",
+			p.From, p.To, p.Class, truth, mark)
+	}
+	fmt.Printf("\nwindow accuracy: %.0f%%\n",
+		100*hpas.DiagnosisAccuracy(preds, res.Timeline.LabelAt))
+}

@@ -1,0 +1,47 @@
+// Quickstart: build a simulated Cray-like cluster, run a proxy
+// application clean and with a cache-contention anomaly on one node, and
+// print the slowdown — the minimal end-to-end use of the hpas API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hpas"
+)
+
+func main() {
+	base := hpas.RunConfig{
+		Cluster:    hpas.VoltrinoConfig(4), // 4-node Cray XC40m-like machine
+		App:        "miniGhost",            // memory-intensive proxy app
+		Iterations: 10,
+		Seed:       1,
+	}
+
+	clean, err := hpas.Run(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clean:       miniGhost on 4 nodes finished in %.1f s\n", clean.Duration)
+
+	// Inject cachecopy on the SMT sibling of rank 0's core on node 0:
+	// the whole bulk-synchronous job is gated by that one slowed rank.
+	dirty := base
+	dirty.Anomalies = []hpas.Spec{{
+		Name:  "cachecopy",
+		Node:  0,
+		CPU:   32,
+		Level: hpas.L3,
+	}}
+	slowed, err := hpas.Run(dirty)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cachecopy:   finished in %.1f s (%.2fx slowdown)\n",
+		slowed.Duration, slowed.Duration/clean.Duration)
+
+	// The monitor captured LDMS-style metrics on every node.
+	user := slowed.Metrics[0].Get("user::procstat")
+	fmt.Printf("node 0 mean user CPU: %.0f%% of one CPU over %d samples\n",
+		user.Mean(), user.Len())
+}

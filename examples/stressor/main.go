@@ -1,0 +1,80 @@
+// Stressor: run the *real* host anomaly generators briefly on this
+// machine — the direct analogue of launching the original HPAS binaries
+// next to an application. Each stressor runs for two seconds and reports
+// the load it generated.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"hpas"
+)
+
+func runFor(s hpas.Stressor, d time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	if err := s.Run(ctx); err != nil && err != context.DeadlineExceeded && err != context.Canceled {
+		return err
+	}
+	return nil
+}
+
+func main() {
+	const d = 2 * time.Second
+
+	cpu := &hpas.StressCPUOccupy{Utilization: 50}
+	if err := runFor(cpu, d); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cpuoccupy @50%%: %d busy bursts\n", cpu.Iterations())
+
+	cache := &hpas.StressCacheCopy{LevelSize: 256 * hpas.KiB}
+	if err := runFor(cache, d); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cachecopy L2:   %d copies\n", cache.Copies())
+
+	bw := &hpas.StressMemBW{BufferSize: 64 * hpas.MiB}
+	if err := runFor(bw, d); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("membw:          %.2f GiB/s streamed\n",
+		float64(bw.Bytes())/d.Seconds()/float64(hpas.GiB))
+
+	leak := &hpas.StressMemLeak{ChunkSize: 4 * hpas.MiB, Rate: 20, Limit: 64 * hpas.MiB}
+	if err := runFor(leak, d); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("memleak:        leaked %v (capped)\n", hpas.ByteSize(leak.Resident()))
+
+	// netoccupy over loopback: sink + sender.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sink := &hpas.StressNetOccupySink{Listener: ln}
+	go runFor(sink, d+time.Second)
+	netS := &hpas.StressNetOccupy{Addr: ln.Addr().String(), MessageSize: hpas.MiB}
+	if err := runFor(netS, d); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("netoccupy:      %.2f GiB/s over loopback\n",
+		float64(netS.Bytes())/d.Seconds()/float64(hpas.GiB))
+
+	dir, err := os.MkdirTemp("", "hpas-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	meta := &hpas.StressIOMetadata{Dir: dir, NTasks: 2}
+	if err := runFor(meta, d); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("iometadata:     %.0f create/write/delete cycles/s\n",
+		float64(meta.Ops())/d.Seconds())
+}

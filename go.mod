@@ -1,0 +1,3 @@
+module hpas
+
+go 1.22

@@ -1,0 +1,280 @@
+// Package hpas is a Go reproduction of HPAS, the HPC Performance Anomaly
+// Suite (Ates et al., ICPP 2019): eight configurable anomaly generators
+// for the major subsystems of an HPC machine — CPU, cache hierarchy,
+// memory, high-speed network, and shared storage — together with
+// everything needed to reproduce the paper's evaluation offline.
+//
+// The package exposes three layers:
+//
+//   - Host stressors (Stress* types): real userspace load generators,
+//     direct ports of the original C tools, runnable via cmd/hpas.
+//
+//   - A deterministic cluster simulator (NewCluster, Run, Inject): a
+//     Cray-XC40m-like machine model — nodes with SMT cores, a three-level
+//     cache hierarchy, memory-bandwidth ceilings and an OOM killer; an
+//     Aries-like adaptively-routed network; a shared filesystem; and an
+//     LDMS-like monitor — on which the eight anomalies are modelled as
+//     contention sources and the paper's proxy applications run as
+//     bulk-synchronous jobs.
+//
+//   - The evaluation harness (Experiments, GenerateDataset, ml types):
+//     regenerates every table and figure of the paper, including the
+//     machine-learning diagnosis use case with from-scratch decision
+//     trees, random forests, and AdaBoost.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
+package hpas
+
+import (
+	"hpas/internal/anomaly"
+	"hpas/internal/apps"
+	"hpas/internal/cluster"
+	"hpas/internal/core"
+	"hpas/internal/diagnose"
+	"hpas/internal/experiments"
+	"hpas/internal/lb"
+	"hpas/internal/ml"
+	"hpas/internal/sched"
+	"hpas/internal/stress"
+	"hpas/internal/units"
+	"hpas/internal/variability"
+)
+
+// Byte sizes for knob configuration.
+const (
+	KiB = units.KiB
+	MiB = units.MiB
+	GiB = units.GiB
+)
+
+// ByteSize is a byte quantity (see ParseByteSize).
+type ByteSize = units.ByteSize
+
+// ParseByteSize parses strings such as "35MB" or "1.5GiB".
+func ParseByteSize(s string) (ByteSize, error) { return units.ParseByteSize(s) }
+
+// AnomalyInfo describes one Table 1 anomaly generator.
+type AnomalyInfo = anomaly.Info
+
+// Catalog returns the paper's Table 1: all eight anomaly generators with
+// their behaviours and knobs.
+func Catalog() []AnomalyInfo { return anomaly.Catalog() }
+
+// AnomalyNames returns the generator names in Table 1 order.
+func AnomalyNames() []string { return anomaly.Names() }
+
+// Cache levels for the cachecopy anomaly.
+const (
+	L1 = anomaly.L1
+	L2 = anomaly.L2
+	L3 = anomaly.L3
+)
+
+// Simulation layer.
+type (
+	// Cluster is a simulated HPC machine.
+	Cluster = cluster.Cluster
+	// ClusterConfig describes a machine to simulate.
+	ClusterConfig = cluster.Config
+	// Spec declares one anomaly injection (generator name + knobs).
+	Spec = core.Spec
+	// RunConfig describes one monitored experiment run.
+	RunConfig = core.RunConfig
+	// RunResult is the outcome of Run.
+	RunResult = core.RunResult
+)
+
+// VoltrinoConfig returns a cluster resembling the paper's Cray XC40m
+// Haswell partition with the given number of nodes.
+func VoltrinoConfig(nodes int) ClusterConfig { return cluster.Voltrino(nodes) }
+
+// ChameleonConfig returns a cluster resembling the Chameleon Cloud
+// testbed (star network, NFS share).
+func ChameleonConfig(nodes int) ClusterConfig { return cluster.ChameleonCloud(nodes) }
+
+// NewCluster builds a simulated cluster.
+func NewCluster(cfg ClusterConfig) *Cluster { return cluster.New(cfg) }
+
+// Inject places an anomaly described by spec onto the cluster.
+func Inject(c *Cluster, s Spec) error {
+	_, err := core.Inject(c, s)
+	return err
+}
+
+// Run executes one monitored experiment (cluster + optional application
+// + anomaly injections) and returns its result.
+func Run(cfg RunConfig) (*RunResult, error) { return core.Run(cfg) }
+
+// AppNames returns the Table 2 proxy application names.
+func AppNames() []string {
+	return appNames()
+}
+
+// Diagnosis / machine-learning layer.
+type (
+	// Dataset is a labelled feature matrix.
+	Dataset = ml.Dataset
+	// Classifier is a trainable multi-class model.
+	Classifier = ml.Classifier
+	// Confusion is a confusion matrix with F1 helpers.
+	Confusion = ml.Confusion
+	// DatasetConfig controls labelled-data generation.
+	DatasetConfig = core.DatasetConfig
+	// TreeOptions configures a CART decision tree.
+	TreeOptions = ml.TreeOptions
+	// ForestOptions configures a random forest.
+	ForestOptions = ml.ForestOptions
+	// AdaBoostOptions configures SAMME AdaBoost.
+	AdaBoostOptions = ml.AdaBoostOptions
+)
+
+// DiagnosisClasses returns the six labels of the diagnosis use case.
+func DiagnosisClasses() []string { return core.DiagnosisClasses() }
+
+// GenerateDataset produces the labelled feature matrix of the diagnosis
+// experiment (Figures 9 and 10).
+func GenerateDataset(cfg DatasetConfig) (*Dataset, error) { return core.GenerateDataset(cfg) }
+
+// NewTree returns an untrained CART decision tree.
+func NewTree(opts TreeOptions) Classifier { return ml.NewTree(opts) }
+
+// NewForest returns an untrained random forest.
+func NewForest(opts ForestOptions) Classifier { return ml.NewForest(opts) }
+
+// NewAdaBoost returns an untrained AdaBoost classifier.
+func NewAdaBoost(opts AdaBoostOptions) Classifier { return ml.NewAdaBoost(opts) }
+
+// CrossValidate runs stratified k-fold cross-validation and returns the
+// merged confusion matrix.
+func CrossValidate(mk func() Classifier, ds *Dataset, k int, seed uint64) (*Confusion, error) {
+	res, err := ml.CrossValidate(mk, ds, k, seed)
+	if err != nil {
+		return nil, err
+	}
+	return res.Confusion, nil
+}
+
+// Scheduling and load-balancing layer (use cases 5.2 and 5.3).
+type (
+	// NodeState is a scheduler's monitoring view of one node.
+	NodeState = sched.NodeState
+	// SchedPolicy selects nodes for a job.
+	SchedPolicy = sched.Policy
+	// RoundRobin is label-order allocation.
+	RoundRobin = sched.RoundRobin
+	// WBAS is the Well-Balanced Allocation Strategy.
+	WBAS = sched.WBAS
+	// Balancer assigns object loads to PEs.
+	Balancer = lb.Balancer
+	// LBObjOnly deals objects blindly.
+	LBObjOnly = lb.LBObjOnly
+	// GreedyRefineLB balances by measured PE capacity.
+	GreedyRefineLB = lb.GreedyRefineLB
+)
+
+// IterTime returns the BSP iteration time of an object assignment: the
+// maximum over PEs of assigned load divided by capacity.
+func IterTime(objects []float64, assignment []int, capacities []float64) float64 {
+	return lb.IterTime(objects, assignment, capacities)
+}
+
+// CapacitiesUnderCPUOccupy models per-PE capacities on a node where
+// cpuoccupy consumes util percent of one CPU in total.
+func CapacitiesUnderCPUOccupy(pes int, util float64) []float64 {
+	return lb.CapacitiesUnderCPUOccupy(pes, util)
+}
+
+// Host stressor layer: real anomalies for real machines.
+type (
+	// Stressor is a runnable host anomaly.
+	Stressor = stress.Stressor
+	// StressCPUOccupy burns a configurable share of CPUs.
+	StressCPUOccupy = stress.CPUOccupy
+	// StressCacheCopy thrashes a chosen cache level.
+	StressCacheCopy = stress.CacheCopy
+	// StressMemBW saturates memory bandwidth.
+	StressMemBW = stress.MemBW
+	// StressMemEater holds and touches a large buffer.
+	StressMemEater = stress.MemEater
+	// StressMemLeak leaks memory at a configurable rate.
+	StressMemLeak = stress.MemLeak
+	// StressNetOccupy streams large messages to a peer.
+	StressNetOccupy = stress.NetOccupy
+	// StressNetOccupySink drains netoccupy traffic.
+	StressNetOccupySink = stress.NetOccupySink
+	// StressIOMetadata hammers filesystem metadata.
+	StressIOMetadata = stress.IOMetadata
+	// StressIOBandwidth streams file copies.
+	StressIOBandwidth = stress.IOBandwidth
+	// StressScheduled wraps a stressor with a start delay and duration,
+	// the start/end window of Table 1.
+	StressScheduled = stress.Scheduled
+)
+
+// Campaign composition: timed multi-anomaly variability patterns.
+type (
+	// Campaign composes timed anomaly phases on top of a base run.
+	Campaign = core.Campaign
+	// CampaignPhase is one timed injection step.
+	CampaignPhase = core.Phase
+	// CampaignResult is a campaign outcome with its phase timeline.
+	CampaignResult = core.CampaignResult
+)
+
+// ParseCampaignPhases parses a compact campaign description such as
+// "cpuoccupy@10-40:90,memleak@60-90" into timed phases targeting the
+// given node/CPU.
+func ParseCampaignPhases(s string, node, cpu int) ([]CampaignPhase, error) {
+	return core.ParsePhases(s, node, cpu)
+}
+
+// Online diagnosis (the runtime phase of the paper's Section 5.1).
+type (
+	// Detector classifies sliding windows of monitoring data.
+	Detector = diagnose.Detector
+	// Prediction is one windowed diagnosis.
+	Prediction = diagnose.Prediction
+)
+
+// TrainDetector fits a random forest on a labelled dataset and returns
+// a sliding-window detector.
+func TrainDetector(ds *Dataset, window float64, seed uint64) (*Detector, error) {
+	return diagnose.Train(ds, window, seed)
+}
+
+// DiagnosisAccuracy scores windowed predictions against a ground-truth
+// labeller (e.g. a campaign timeline's LabelAt).
+func DiagnosisAccuracy(preds []Prediction, label func(t float64) string) float64 {
+	return diagnose.Accuracy(preds, label)
+}
+
+// Variability measurement (the paper's Section 2 motivation).
+type (
+	// VariabilityConfig describes a run-to-run variability measurement.
+	VariabilityConfig = variability.Config
+	// VariabilityResult is a measured runtime distribution.
+	VariabilityResult = variability.Result
+)
+
+// MeasureVariability runs an application repeatedly next to randomly
+// drawn anomalies and summarizes the runtime distribution.
+func MeasureVariability(cfg VariabilityConfig) (*VariabilityResult, error) {
+	return variability.Measure(cfg)
+}
+
+// Experiment regenerates one paper table or figure.
+type Experiment = experiments.Experiment
+
+// ExperimentResult is a rendered experiment outcome.
+type ExperimentResult = experiments.Result
+
+// Experiments returns every registered paper artifact in paper order.
+func Experiments() []Experiment { return experiments.All() }
+
+// ExperimentByID returns the experiment with the given ID (e.g. "fig8").
+func ExperimentByID(id string) (Experiment, error) { return experiments.ByID(id) }
+
+// appNames avoids importing internal/apps at the top for the single
+// re-export (kept in a helper for clarity).
+func appNames() []string { return apps.Names() }

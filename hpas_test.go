@@ -1,0 +1,132 @@
+package hpas_test
+
+import (
+	"testing"
+
+	"hpas"
+)
+
+func TestCatalogExported(t *testing.T) {
+	if len(hpas.Catalog()) != 8 || len(hpas.AnomalyNames()) != 8 {
+		t.Error("Table 1 catalogue incomplete")
+	}
+	if len(hpas.AppNames()) != 8 {
+		t.Error("Table 2 app list incomplete")
+	}
+	if len(hpas.DiagnosisClasses()) != 6 {
+		t.Error("diagnosis classes incomplete")
+	}
+}
+
+func TestPublicRunAndInject(t *testing.T) {
+	c := hpas.NewCluster(hpas.VoltrinoConfig(4))
+	if err := hpas.Inject(c, hpas.Spec{Name: "cpuoccupy", Node: 0, CPU: 0, Intensity: 50}); err != nil {
+		t.Fatal(err)
+	}
+	if err := hpas.Inject(c, hpas.Spec{Name: "bogus", Node: 0}); err == nil {
+		t.Error("bad spec should error")
+	}
+
+	res, err := hpas.Run(hpas.RunConfig{
+		Cluster:    hpas.VoltrinoConfig(4),
+		App:        "CoMD",
+		Iterations: 2,
+		Anomalies:  []hpas.Spec{{Name: "membw", Node: 0, CPU: 32}},
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Finished {
+		t.Error("run did not finish")
+	}
+}
+
+func TestPublicMLRoundTrip(t *testing.T) {
+	ds, err := hpas.GenerateDataset(hpas.DatasetConfig{
+		Apps:    []string{"CoMD"},
+		Classes: []string{"none", "cpuoccupy"},
+		Reps:    3,
+		Window:  12,
+		Warmup:  4,
+		Seed:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf, err := hpas.CrossValidate(func() hpas.Classifier {
+		return hpas.NewForest(hpas.ForestOptions{Trees: 10, Seed: 1})
+	}, ds, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf.Total() != ds.NumSamples() {
+		t.Error("confusion total mismatch")
+	}
+	// A 100% cpuoccupy vs none is trivially separable by user CPU.
+	if conf.Accuracy() < 0.8 {
+		t.Errorf("accuracy = %v on a trivially separable dataset", conf.Accuracy())
+	}
+	// The other classifier constructors work through the facade too.
+	for _, mk := range []func() hpas.Classifier{
+		func() hpas.Classifier { return hpas.NewTree(hpas.TreeOptions{MaxDepth: 4}) },
+		func() hpas.Classifier { return hpas.NewAdaBoost(hpas.AdaBoostOptions{Rounds: 5}) },
+	} {
+		clf := mk()
+		if err := clf.Fit(ds, nil); err != nil {
+			t.Fatal(err)
+		}
+		clf.Predict(ds.X[0])
+	}
+}
+
+func TestPublicSchedAndLB(t *testing.T) {
+	states := []hpas.NodeState{
+		{ID: 0, Load: 0.9, MemFree: hpas.GiB},
+		{ID: 1, Load: 0.0, MemFree: 100 * hpas.GiB},
+		{ID: 2, Load: 0.0, MemFree: 100 * hpas.GiB},
+	}
+	nodes, err := hpas.WBAS{}.Select(states, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nodes {
+		if n == 0 {
+			t.Error("WBAS picked the loaded node")
+		}
+	}
+
+	objs := []float64{1, 1, 1, 1}
+	caps := hpas.CapacitiesUnderCPUOccupy(2, 100)
+	a, err := hpas.GreedyRefineLB{}.Assign(objs, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hpas.IterTime(objs, a, caps) <= 0 {
+		t.Error("IterTime should be positive")
+	}
+}
+
+func TestExperimentRegistryExported(t *testing.T) {
+	if len(hpas.Experiments()) != 18 {
+		t.Errorf("%d experiments", len(hpas.Experiments()))
+	}
+	e, err := hpas.ExperimentByID("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Render() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestParseByteSizeExported(t *testing.T) {
+	v, err := hpas.ParseByteSize("35MB")
+	if err != nil || v != 35*hpas.MiB {
+		t.Errorf("ParseByteSize = %v, %v", v, err)
+	}
+}

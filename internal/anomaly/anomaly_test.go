@@ -1,0 +1,307 @@
+package anomaly
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hpas/internal/cluster"
+	"hpas/internal/node"
+	"hpas/internal/sim"
+	"hpas/internal/units"
+	"hpas/internal/xrand"
+)
+
+func newNode() *node.Node { return node.New(0, node.Voltrino(), xrand.New(1)) }
+
+func TestWindow(t *testing.T) {
+	w := Window{Start: 10, End: 20}
+	if w.Active(5) || !w.Active(10) || !w.Active(19.9) || w.Active(20) {
+		t.Error("Window.Active wrong")
+	}
+	if w.Expired(19) || !w.Expired(20) {
+		t.Error("Window.Expired wrong")
+	}
+	forever := Window{Start: 0}
+	if !forever.Active(1e9) || forever.Expired(1e9) {
+		t.Error("open window wrong")
+	}
+}
+
+func TestCPUOccupyUtilization(t *testing.T) {
+	for _, u := range []float64{10, 50, 100} {
+		n := newNode()
+		a := NewCPUOccupy(u)
+		n.Place(a, 0)
+		for i := 0; i < 100; i++ {
+			n.Tick(float64(i)*0.1, 0.1)
+		}
+		got := n.Counters().UserSeconds / 10 * 100 // percent of one CPU
+		if math.Abs(got-u) > 0.5 {
+			t.Errorf("utilization %v: measured %v", u, got)
+		}
+	}
+}
+
+func TestCPUOccupyClampsUtilization(t *testing.T) {
+	a := NewCPUOccupy(250)
+	if a.Utilization != 100 {
+		t.Errorf("Utilization = %v, want clamped 100", a.Utilization)
+	}
+}
+
+func TestCPUOccupyWindow(t *testing.T) {
+	n := newNode()
+	a := NewCPUOccupy(100)
+	a.Window = Window{Start: 1, End: 2}
+	n.Place(a, 0)
+	n.Tick(0, 0.1)
+	if n.Counters().UserSeconds != 0 {
+		t.Error("anomaly ran before its window")
+	}
+	for i := 10; i < 25; i++ {
+		n.Tick(float64(i)*0.1, 0.1)
+	}
+	if !a.Done() {
+		t.Error("anomaly should be done after its window")
+	}
+	user := n.Counters().UserSeconds
+	if math.Abs(user-1.0) > 0.11 {
+		t.Errorf("user seconds = %v, want ~1.0 (1s window)", user)
+	}
+}
+
+func TestCacheCopyWorkingSet(t *testing.T) {
+	spec := node.Voltrino()
+	for _, c := range []struct {
+		level CacheLevel
+		want  units.ByteSize
+	}{{L1, spec.L1}, {L2, spec.L2}, {L3, spec.L3}} {
+		a := NewCacheCopy(spec, c.level)
+		if a.WorkingSet() != c.want {
+			t.Errorf("level %d ws = %v, want %v", c.level, a.WorkingSet(), c.want)
+		}
+	}
+	a := NewCacheCopy(spec, L2)
+	a.Multiplier = 2
+	if a.WorkingSet() != 2*spec.L2 {
+		t.Error("multiplier not applied")
+	}
+}
+
+func TestCacheCopyEvictsSharingProc(t *testing.T) {
+	// A victim with an L2-sized working set shares a physical core with
+	// cachecopy targeting L2: its L2 coverage must drop.
+	runVictim := func(withAnomaly bool) float64 {
+		n := newNode()
+		victim := &probe{demand: node.Demand{CPU: 1, WorkingSet: n.Spec.L2 / 2, APKI: 100}}
+		n.Place(victim, 0)
+		if withAnomaly {
+			n.Place(NewCacheCopy(n.Spec, L2), 32) // SMT sibling
+		}
+		n.Tick(0, 0.1)
+		return victim.last.CovL2
+	}
+	clean := runVictim(false)
+	dirty := runVictim(true)
+	if clean != 1 {
+		t.Errorf("clean CovL2 = %v, want 1", clean)
+	}
+	if dirty >= clean {
+		t.Errorf("cachecopy did not evict: CovL2 %v >= %v", dirty, clean)
+	}
+}
+
+func TestMemBWConsumesBandwidthNotCache(t *testing.T) {
+	n := newNode()
+	victim := &probe{demand: node.Demand{CPU: 1, WorkingSet: 100 * units.KiB, APKI: 100, StreamBW: 13e9}}
+	n.Place(victim, 0)
+	for i := 1; i <= 15; i++ {
+		n.Place(NewMemBW(), i) // other cores, same socket
+	}
+	n.Tick(0, 0.1)
+	if victim.last.BWFrac >= 0.5 {
+		t.Errorf("membw x15 should throttle bandwidth hard, BWFrac = %v", victim.last.BWFrac)
+	}
+	if victim.last.CovL2 < 1 {
+		t.Errorf("membw should not consume cache, CovL2 = %v", victim.last.CovL2)
+	}
+}
+
+func TestMemEaterFlatFootprint(t *testing.T) {
+	a := NewMemEater(3 * units.GiB)
+	a.Rate = 2
+	early := a.resident(1)
+	mid := a.resident(50)
+	late := a.resident(500)
+	if early >= mid {
+		t.Error("memeater should ramp up")
+	}
+	if mid != 3*units.GiB || late != 3*units.GiB {
+		t.Errorf("memeater should plateau at limit: %v, %v", mid, late)
+	}
+}
+
+func TestMemLeakGrowsLinearly(t *testing.T) {
+	a := NewMemLeak(1) // 20 MiB/s
+	r100 := a.resident(100)
+	r200 := a.resident(200)
+	if r100 != 100*20*units.MiB {
+		t.Errorf("resident(100) = %v", r100)
+	}
+	if r200 != 2*r100 {
+		t.Error("leak not linear")
+	}
+	// Growth stops when the window closes.
+	a.End = 150
+	if a.resident(200) != a.resident(150) {
+		t.Error("leak should stop at window end")
+	}
+}
+
+func TestMemLeakOOMKilled(t *testing.T) {
+	n := newNode()
+	a := NewMemLeak(1)
+	a.ChunkSize = 10 * units.GiB // leak 10 GiB/s
+	n.Place(a, 0)
+	e := sim.New(0.1)
+	e.Add(sim.TickerFunc(n.Tick))
+	at, ok := e.RunUntil(a.Done, 60)
+	if !ok {
+		t.Fatal("leak never OOM-killed")
+	}
+	if at < 5 || at > 30 {
+		t.Errorf("OOM at %v s, expected ~12 s for 125 GiB", at)
+	}
+	if n.Counters().OOMKills != 1 {
+		t.Error("OOM kill not counted")
+	}
+}
+
+func TestNetOccupyFlows(t *testing.T) {
+	c := cluster.New(cluster.Voltrino(8))
+	a := NewNetOccupy(0, 4)
+	c.Place(a, 0, 0)
+	c.Tick(0, 0.1)
+	if a.Granted() <= 0 {
+		t.Error("netoccupy got no bandwidth")
+	}
+	// Rate-limited variant.
+	b := NewNetOccupy(1, 5)
+	b.Rate = 2 // 2 msg/s of 100 MiB
+	flows := b.Flows(0)
+	if len(flows) != 1 {
+		t.Fatal("expected one flow")
+	}
+	want := 2 * float64(100*units.MiB)
+	if math.Abs(flows[0].Demand-want) > 1 {
+		t.Errorf("rate-limited demand = %v, want %v", flows[0].Demand, want)
+	}
+	// Inactive window produces no flows.
+	b.Window = Window{Start: 100}
+	if b.Flows(0) != nil {
+		t.Error("inactive netoccupy should not inject")
+	}
+}
+
+func TestIOMetadataLoadsMDS(t *testing.T) {
+	c := cluster.New(cluster.ChameleonCloud(6))
+	a := NewIOMetadata(100, 48)
+	c.Place(a, 0, 0)
+	c.Tick(0, 0.1)
+	if a.ServedOps() <= 0 {
+		t.Error("iometadata served no ops")
+	}
+	d := a.IODemand(0)
+	if d.MetaOps != 4800 {
+		t.Errorf("MetaOps demand = %v", d.MetaOps)
+	}
+}
+
+func TestIOBandwidthLoadsDisk(t *testing.T) {
+	c := cluster.New(cluster.ChameleonCloud(6))
+	a := NewIOBandwidth(1*units.GiB, 48)
+	c.Place(a, 0, 0)
+	c.Tick(0, 0.1)
+	if a.ServedBW() <= 0 {
+		t.Error("iobandwidth served nothing")
+	}
+	d := a.IODemand(0)
+	if d.Read != d.Write || d.Read <= 0 {
+		t.Errorf("dd copy should demand symmetric read/write: %+v", d)
+	}
+}
+
+func TestCatalogMatchesTable1(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 8 {
+		t.Fatalf("catalog has %d anomalies, want 8", len(cat))
+	}
+	want := []string{"cpuoccupy", "cachecopy", "membw", "memeater",
+		"memleak", "netoccupy", "iometadata", "iobandwidth"}
+	names := Names()
+	for i, w := range want {
+		if names[i] != w {
+			t.Errorf("catalog[%d] = %s, want %s", i, names[i], w)
+		}
+	}
+	for _, info := range cat {
+		if info.Type == "" || info.Behavior == "" || len(info.Knobs) == 0 {
+			t.Errorf("incomplete catalog entry: %+v", info)
+		}
+	}
+}
+
+// Property: no anomaly demands resources outside its window.
+func TestInactiveOutsideWindowProperty(t *testing.T) {
+	spec := node.Voltrino()
+	mk := func(w Window) []node.Proc {
+		cc := NewCacheCopy(spec, L3)
+		cc.Window = w
+		mb := NewMemBW()
+		mb.Window = w
+		me := NewMemEater(units.GiB)
+		me.Window = w
+		ml := NewMemLeak(1)
+		ml.Window = w
+		co := NewCPUOccupy(80)
+		co.Window = w
+		im := NewIOMetadata(10, 1)
+		im.Window = w
+		ib := NewIOBandwidth(units.GiB, 1)
+		ib.Window = w
+		no := NewNetOccupy(0, 1)
+		no.Window = w
+		return []node.Proc{cc, mb, me, ml, co, im, ib, no}
+	}
+	f := func(startRaw, lenRaw, probeRaw uint8) bool {
+		w := Window{Start: float64(startRaw), End: float64(startRaw) + float64(lenRaw%100) + 1}
+		now := float64(probeRaw) * 2
+		for _, p := range mk(w) {
+			d := p.Demand(now)
+			if !w.Active(now) {
+				if d.CPU != 0 || d.StreamBW != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// probe is a minimal victim process recording its last grant.
+type probe struct {
+	demand node.Demand
+	last   node.Grant
+}
+
+func (p *probe) Name() string                   { return "probe" }
+func (p *probe) Done() bool                     { return false }
+func (p *probe) Demand(now float64) node.Demand { return p.demand }
+func (p *probe) Advance(now, dt float64, g node.Grant) node.Usage {
+	p.last = g
+	return node.Usage{CPUSeconds: g.CPUShare * dt}
+}

@@ -1,0 +1,75 @@
+package anomaly
+
+// Info describes one anomaly generator, reproducing a row of Table 1.
+type Info struct {
+	Type     string // anomaly type, e.g. "CPU intensive process"
+	Name     string // generator name, e.g. "cpuoccupy"
+	Behavior string // one-line behaviour summary
+	Knobs    []string
+}
+
+// Catalog returns the full Table 1 of the paper: every anomaly, its
+// behaviour, and its runtime configuration options. Every anomaly also
+// has configurable start/end times (Window).
+func Catalog() []Info {
+	return []Info{
+		{
+			Type:     "CPU intensive process",
+			Name:     "cpuoccupy",
+			Behavior: "Arithmetic operations",
+			Knobs:    []string{"utilization%"},
+		},
+		{
+			Type:     "Cache contention",
+			Name:     "cachecopy",
+			Behavior: "Cache read & write",
+			Knobs:    []string{"cache (L1/L2/L3)", "multiplier", "rate"},
+		},
+		{
+			Type:     "Memory bandwidth contention",
+			Name:     "membw",
+			Behavior: "Not-cached memory write",
+			Knobs:    []string{"buffer size", "rate"},
+		},
+		{
+			Type:     "Memory intensive process",
+			Name:     "memeater",
+			Behavior: "Allocate, fill, & release memory",
+			Knobs:    []string{"buffer size", "rate"},
+		},
+		{
+			Type:     "Memory leak",
+			Name:     "memleak",
+			Behavior: "Increasingly allocate & fill memory",
+			Knobs:    []string{"buffer size", "rate"},
+		},
+		{
+			Type:     "Network contention",
+			Name:     "netoccupy",
+			Behavior: "Send messages between two nodes",
+			Knobs:    []string{"message size", "rate", "ntasks"},
+		},
+		{
+			Type:     "I/O metadata server contention",
+			Name:     "iometadata",
+			Behavior: "File creation & deletion",
+			Knobs:    []string{"rate", "ntasks"},
+		},
+		{
+			Type:     "I/O bandwidth contention",
+			Name:     "iobandwidth",
+			Behavior: "File read & write",
+			Knobs:    []string{"file size", "ntasks"},
+		},
+	}
+}
+
+// Names returns the generator names in Table 1 order.
+func Names() []string {
+	cat := Catalog()
+	out := make([]string, len(cat))
+	for i, a := range cat {
+		out[i] = a.Name
+	}
+	return out
+}

@@ -1,0 +1,381 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"hpas/internal/anomaly"
+	"hpas/internal/cluster"
+	"hpas/internal/sim"
+	"hpas/internal/units"
+)
+
+func TestCatalogMatchesTable2(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 8 {
+		t.Fatalf("catalog has %d apps, want 8", len(cat))
+	}
+	classes := map[string][3]bool{ // cpu, mem, net
+		"cloverleaf": {false, true, false},
+		"CoMD":       {true, false, false},
+		"kripke":     {true, true, false},
+		"milc":       {false, true, true},
+		"miniAMR":    {false, true, true},
+		"miniGhost":  {false, true, true},
+		"miniMD":     {true, false, false},
+		"sw4lite":    {true, false, false},
+	}
+	for _, p := range cat {
+		want, ok := classes[p.Name]
+		if !ok {
+			t.Errorf("unexpected app %s", p.Name)
+			continue
+		}
+		if p.CPUIntensive != want[0] || p.MemIntensive != want[1] || p.NetIntensive != want[2] {
+			t.Errorf("%s classes = %v/%v/%v, want %v", p.Name, p.CPUIntensive, p.MemIntensive, p.NetIntensive, want)
+		}
+		if p.InstrPerIter <= 0 || p.APKI <= 0 || p.WorkingSet <= 0 || p.Iterations <= 0 {
+			t.Errorf("%s has incomplete profile", p.Name)
+		}
+	}
+	if _, ok := ByName("miniGhost"); !ok {
+		t.Error("ByName failed")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName found a ghost")
+	}
+	if len(Names()) != 8 {
+		t.Error("Names wrong")
+	}
+}
+
+// runJob launches the profile on 4 Voltrino nodes with 32 ranks each,
+// applies place (if non-nil) to install anomalies, and runs to completion.
+func runJob(t *testing.T, p Profile, place func(c *cluster.Cluster)) *Job {
+	t.Helper()
+	c := cluster.New(cluster.Voltrino(8))
+	if place != nil {
+		place(c)
+	}
+	job := Launch(c, p, []int{0, 1, 2, 3}, 32)
+	e := sim.New(0.1)
+	e.Add(c)
+	if _, ok := e.RunUntil(job.Done, 3000); !ok {
+		t.Fatalf("%s did not finish", p.Name)
+	}
+	return job
+}
+
+func shortProfile(name string) Profile {
+	p, ok := ByName(name)
+	if !ok {
+		panic("unknown app " + name)
+	}
+	p.Iterations = 4
+	return p
+}
+
+func TestLaunchValidation(t *testing.T) {
+	c := cluster.New(cluster.Voltrino(2))
+	for _, f := range []func(){
+		func() { Launch(c, shortProfile("CoMD"), nil, 4) },
+		func() { Launch(c, shortProfile("CoMD"), []int{0}, 0) },
+		func() { Launch(c, shortProfile("CoMD"), []int{0}, 33) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCleanJobFinishes(t *testing.T) {
+	job := runJob(t, shortProfile("CoMD"), nil)
+	if job.Failed() {
+		t.Error("clean job failed")
+	}
+	if job.FinishedAt() <= 0 {
+		t.Error("no finish time")
+	}
+	if job.Progress() < 4 {
+		t.Errorf("progress = %v", job.Progress())
+	}
+	if job.Instructions() <= 0 {
+		t.Error("no instructions counted")
+	}
+	if job.Ranks() != 128 {
+		t.Errorf("Ranks = %d", job.Ranks())
+	}
+}
+
+func TestJobDeterministic(t *testing.T) {
+	a := runJob(t, shortProfile("miniMD"), nil)
+	b := runJob(t, shortProfile("miniMD"), nil)
+	if a.FinishedAt() != b.FinishedAt() {
+		t.Errorf("non-deterministic: %v vs %v", a.FinishedAt(), b.FinishedAt())
+	}
+}
+
+func TestCPUOccupySlowsCPUApp(t *testing.T) {
+	p := shortProfile("CoMD")
+	clean := runJob(t, p, nil).FinishedAt()
+	dirty := runJob(t, p, func(c *cluster.Cluster) {
+		// 100% cpuoccupy on the SMT sibling of rank 0's core on node 0.
+		c.Place(anomaly.NewCPUOccupy(100), 0, 32)
+	}).FinishedAt()
+	slowdown := dirty / clean
+	if slowdown < 1.15 {
+		t.Errorf("cpuoccupy slowdown = %v, want > 1.15", slowdown)
+	}
+}
+
+func TestMemBWSlowsMemApp(t *testing.T) {
+	p := shortProfile("miniGhost")
+	clean := runJob(t, p, nil).FinishedAt()
+	dirty := runJob(t, p, func(c *cluster.Cluster) {
+		for i := 0; i < 4; i++ {
+			mb := anomaly.NewMemBW()
+			mb.StreamBW = 25e9
+			c.Place(mb, 0, 32+i)
+		}
+	}).FinishedAt()
+	if dirty/clean < 1.2 {
+		t.Errorf("membw slowdown on mem app = %v, want > 1.2", dirty/clean)
+	}
+
+	// The same anomaly barely touches a CPU-bound app beyond the SMT
+	// sharing effect.
+	q := shortProfile("CoMD")
+	cleanCPU := runJob(t, q, nil).FinishedAt()
+	dirtyCPU := runJob(t, q, func(c *cluster.Cluster) {
+		for i := 0; i < 4; i++ {
+			mb := anomaly.NewMemBW()
+			mb.StreamBW = 25e9
+			c.Place(mb, 0, 32+i)
+		}
+	}).FinishedAt()
+	memImpact := dirty / clean
+	cpuImpact := dirtyCPU / cleanCPU
+	if memImpact <= cpuImpact {
+		t.Errorf("membw should hurt mem apps (%v) more than cpu apps (%v)", memImpact, cpuImpact)
+	}
+}
+
+func TestMemLeakDoesNotSlowApps(t *testing.T) {
+	p := shortProfile("CoMD")
+	clean := runJob(t, p, nil).FinishedAt()
+	dirty := runJob(t, p, func(c *cluster.Cluster) {
+		c.Place(anomaly.NewMemLeak(1), 0, -1)
+	}).FinishedAt()
+	if dirty/clean > 1.05 {
+		t.Errorf("memleak slowdown = %v, want ~1.0", dirty/clean)
+	}
+}
+
+func TestMemAppHasHigherMPKI(t *testing.T) {
+	mem := runJob(t, shortProfile("miniGhost"), nil)
+	cpu := runJob(t, shortProfile("CoMD"), nil)
+	if mem.L3MPKI() <= cpu.L3MPKI() {
+		t.Errorf("miniGhost MPKI %v should exceed CoMD %v", mem.L3MPKI(), cpu.L3MPKI())
+	}
+	if mem.L2MPKI() <= 0 {
+		t.Error("no L2 misses recorded")
+	}
+}
+
+func TestNetIntensiveAppMovesBytes(t *testing.T) {
+	job := runJob(t, shortProfile("miniGhost"), nil)
+	if job.NetBytes() <= 0 {
+		t.Error("net-intensive app moved no bytes")
+	}
+}
+
+func TestJobFailsOnOOM(t *testing.T) {
+	c := cluster.New(cluster.Voltrino(2))
+	leak := anomaly.NewMemLeak(1)
+	leak.ChunkSize = 20 * units.GiB // 20 GiB/s: OOM in ~6 s
+	c.Place(leak, 0, 33)
+	p := shortProfile("sw4lite")
+	p.Iterations = 1000
+	job := Launch(c, p, []int{0, 1}, 32)
+	e := sim.New(0.1)
+	e.Add(c)
+	e.RunUntil(func() bool { return job.Failed() || job.Done() }, 120)
+	// The leak is the largest process, so it dies first; the job only
+	// fails if its ranks outgrow the leak. Either way the cluster must
+	// have OOM-killed something.
+	if c.Node(0).Counters().OOMKills == 0 {
+		t.Error("no OOM kill recorded")
+	}
+}
+
+func TestStreamAloneReachesDemand(t *testing.T) {
+	c := cluster.New(cluster.Voltrino(1))
+	s := NewStream()
+	c.Place(s, 0, 0)
+	e := sim.New(0.1)
+	e.Add(c)
+	e.RunFor(5)
+	if math.Abs(s.BestRate()-12.5e9) > 0.2e9 {
+		t.Errorf("STREAM alone = %v GB/s", s.BestRate()/1e9)
+	}
+	if s.MeanRate() <= 0 {
+		t.Error("mean rate missing")
+	}
+}
+
+func TestStreamUnderMemBWAndCacheCopy(t *testing.T) {
+	run := func(place func(c *cluster.Cluster)) float64 {
+		c := cluster.New(cluster.Voltrino(1))
+		s := NewStream()
+		c.Place(s, 0, 0)
+		if place != nil {
+			place(c)
+		}
+		e := sim.New(0.1)
+		e.Add(c)
+		e.RunFor(5)
+		return s.BestRate()
+	}
+	clean := run(nil)
+	membw15 := run(func(c *cluster.Cluster) {
+		for i := 1; i <= 15; i++ {
+			c.Place(anomaly.NewMemBW(), 0, i)
+		}
+	})
+	cache15 := run(func(c *cluster.Cluster) {
+		spec := c.Config().Machine
+		for i := 1; i <= 15; i++ {
+			c.Place(anomaly.NewCacheCopy(spec, anomaly.L3), 0, i)
+		}
+	})
+	if membw15 > clean*0.5 {
+		t.Errorf("membw x15 should halve STREAM at least: %v of %v", membw15, clean)
+	}
+	if cache15 < clean*0.9 {
+		t.Errorf("cachecopy x15 should not dent STREAM: %v of %v", cache15, clean)
+	}
+}
+
+func TestOSUBandwidthRisesWithMessageSize(t *testing.T) {
+	measure := func(msg float64) float64 {
+		c := cluster.New(cluster.Voltrino(8))
+		o := NewOSU(0, 4, msg)
+		c.Place(o, 0, 0)
+		e := sim.New(0.1)
+		e.Add(c)
+		e.RunFor(2)
+		return o.Bandwidth()
+	}
+	small := measure(16 * 1024)
+	large := measure(8 * 1024 * 1024)
+	if small >= large {
+		t.Errorf("OSU bandwidth should rise with message size: %v vs %v", small, large)
+	}
+	if large < 8e9 {
+		t.Errorf("large-message OSU = %v, want near peak", large)
+	}
+}
+
+func TestOSUReducedByNetOccupy(t *testing.T) {
+	measure := func(pairs int) float64 {
+		c := cluster.New(cluster.Voltrino(8))
+		o := NewOSU(0, 4, 8*1024*1024)
+		c.Place(o, 0, 0)
+		for i := 0; i < pairs; i++ {
+			c.Place(anomaly.NewNetOccupy(1+i, 5+i), 1+i, 0)
+		}
+		e := sim.New(0.1)
+		e.Add(c)
+		e.RunFor(2)
+		return o.Bandwidth()
+	}
+	clean := measure(0)
+	three := measure(3)
+	if three >= clean {
+		t.Error("netoccupy should reduce OSU bandwidth")
+	}
+	if three < clean*0.3 {
+		t.Errorf("adaptive routing should bound the damage: %v of %v", three, clean)
+	}
+}
+
+func TestIORPhases(t *testing.T) {
+	run := func(phase IORPhase) *IOR {
+		c := cluster.New(cluster.ChameleonCloud(5))
+		b := NewIOR(phase)
+		c.Place(b, 4, 0)
+		e := sim.New(0.1)
+		e.Add(c)
+		e.RunFor(3)
+		return b
+	}
+	w := run(IORWrite)
+	if w.MeanBW() <= 0 {
+		t.Error("write phase served nothing")
+	}
+	r := run(IORRead)
+	if r.MeanBW() <= 0 {
+		t.Error("read phase served nothing")
+	}
+	a := run(IORAccess)
+	if a.MeanOps() <= 0 {
+		t.Error("access phase served nothing")
+	}
+	if a.MeanBW() != 0 {
+		t.Error("access phase should move no data")
+	}
+}
+
+func TestProfileScaled(t *testing.T) {
+	p, _ := ByName("miniGhost")
+	s := p.Scaled(2)
+	if s.InstrPerIter != 2*p.InstrPerIter || s.WorkingSet != 2*p.WorkingSet ||
+		s.MsgBytesPerIter != 2*p.MsgBytesPerIter || s.Resident != 2*p.Resident {
+		t.Error("Scaled did not scale all size fields")
+	}
+	if s.APKI != p.APKI || s.Iterations != p.Iterations {
+		t.Error("Scaled changed non-size fields")
+	}
+	if p.Scaled(0).InstrPerIter != p.InstrPerIter {
+		t.Error("non-positive factor should be a no-op")
+	}
+}
+
+func TestScaledJobRunsLonger(t *testing.T) {
+	small := shortProfile("CoMD").Scaled(0.5)
+	big := shortProfile("CoMD").Scaled(1.5)
+	ts := runJob(t, small, nil).FinishedAt()
+	tb := runJob(t, big, nil).FinishedAt()
+	if tb <= ts {
+		t.Errorf("bigger input should run longer: %v vs %v", tb, ts)
+	}
+}
+
+func TestColocatedJobsInterfere(t *testing.T) {
+	// Two jobs sharing the same nodes (node-sharing clusters, paper
+	// Section 2 "Memory") must both run slower than a job alone —
+	// and the contention must not deadlock or starve either job.
+	alone := runJob(t, shortProfile("miniGhost"), nil).FinishedAt()
+
+	c := cluster.New(cluster.Voltrino(8))
+	a := Launch(c, shortProfile("miniGhost"), []int{0, 1, 2, 3}, 16)
+	b := Launch(c, shortProfile("milc"), []int{0, 1, 2, 3}, 16)
+	e := sim.New(0.1)
+	e.Add(c)
+	if _, ok := e.RunUntil(func() bool { return a.Done() && b.Done() }, 3000); !ok {
+		t.Fatal("colocated jobs did not finish")
+	}
+	// Ranks share physical cores pairwise (both pinned to cpus 0..15),
+	// so both jobs contend for CPU, cache, and memory bandwidth.
+	if a.FinishedAt() <= alone {
+		t.Errorf("colocated miniGhost (%v) should be slower than alone (%v)", a.FinishedAt(), alone)
+	}
+	if a.Failed() || b.Failed() {
+		t.Error("colocation should not kill jobs")
+	}
+}

@@ -1,0 +1,139 @@
+// Package apps models the benchmark applications of the paper's
+// evaluation: the eight proxy applications of Table 2 as bulk-synchronous
+// (BSP) jobs, plus the STREAM, OSU, and IOR micro-benchmarks used to
+// characterize individual anomalies.
+//
+// A proxy application is described by a Profile — per-rank instructions,
+// access intensity, working set, neighbour-exchange volume — calibrated so
+// that each application lands in the CPU/memory/network intensiveness
+// class the paper assigns it. Execution time then *emerges* from the
+// cluster's contention model rather than being scripted.
+package apps
+
+import "hpas/internal/units"
+
+// Profile describes one proxy application's per-rank behaviour.
+type Profile struct {
+	Name string
+
+	// Table 2 intensiveness classes.
+	CPUIntensive bool
+	MemIntensive bool
+	NetIntensive bool
+
+	// InstrPerIter is the number of instructions one rank executes per
+	// BSP iteration.
+	InstrPerIter float64
+	// APKI is cache accesses per kilo-instruction.
+	APKI float64
+	// WorkingSet is the per-rank hot data size.
+	WorkingSet units.ByteSize
+	// MsgBytesPerIter is the neighbour-exchange volume per rank per
+	// iteration.
+	MsgBytesPerIter float64
+	// Resident is per-rank resident memory.
+	Resident units.ByteSize
+	// Iterations is the nominal iteration count of a full run.
+	Iterations int
+	// IPS is the unimpeded issue rate; 0 means clock-bound.
+	IPS float64
+}
+
+// Catalog returns the eight proxy applications of Table 2. The parameter
+// choices encode each application's intensiveness class:
+//
+//   - CPU-intensive apps (CoMD, miniMD, SW4lite, Kripke) have small
+//     working sets and low APKI, so they are gated by cycles and suffer
+//     from anything stealing CPU or polluting L1/L2.
+//   - Memory-intensive apps (CloverLeaf, MILC, miniAMR, miniGhost,
+//     Kripke) have working sets far beyond their L3 share and high APKI,
+//     so they are gated by the memory system.
+//   - Network-intensive apps (MILC, miniAMR, miniGhost) exchange large
+//     halos every iteration.
+func Catalog() []Profile {
+	return []Profile{
+		{
+			Name:         "cloverleaf",
+			MemIntensive: true,
+			InstrPerIter: 6e8, APKI: 160, WorkingSet: 24 * units.MiB,
+			MsgBytesPerIter: 2e6, Resident: 600 * units.MiB, Iterations: 60,
+		},
+		{
+			Name:         "CoMD",
+			CPUIntensive: true,
+			InstrPerIter: 4.5e9, APKI: 30, WorkingSet: 1 * units.MiB,
+			MsgBytesPerIter: 1e6, Resident: 300 * units.MiB, Iterations: 60,
+		},
+		{
+			Name:         "kripke",
+			CPUIntensive: true, MemIntensive: true,
+			InstrPerIter: 8e8, APKI: 90, WorkingSet: 12 * units.MiB,
+			MsgBytesPerIter: 2e6, Resident: 800 * units.MiB, Iterations: 60,
+		},
+		{
+			Name:         "milc",
+			MemIntensive: true, NetIntensive: true,
+			InstrPerIter: 6.2e8, APKI: 140, WorkingSet: 20 * units.MiB,
+			MsgBytesPerIter: 30e6, Resident: 700 * units.MiB, Iterations: 60,
+		},
+		{
+			Name:         "miniAMR",
+			MemIntensive: true, NetIntensive: true,
+			InstrPerIter: 4.8e8, APKI: 150, WorkingSet: 22 * units.MiB,
+			MsgBytesPerIter: 25e6, Resident: 500 * units.MiB, Iterations: 60,
+		},
+		{
+			Name:         "miniGhost",
+			MemIntensive: true, NetIntensive: true,
+			InstrPerIter: 5.4e8, APKI: 150, WorkingSet: 24 * units.MiB,
+			MsgBytesPerIter: 35e6, Resident: 500 * units.MiB, Iterations: 60,
+		},
+		{
+			Name:         "miniMD",
+			CPUIntensive: true,
+			InstrPerIter: 4.3e9, APKI: 35, WorkingSet: 2 * units.MiB,
+			MsgBytesPerIter: 1.5e6, Resident: 300 * units.MiB, Iterations: 60,
+		},
+		{
+			Name:         "sw4lite",
+			CPUIntensive: true,
+			InstrPerIter: 4e9, APKI: 45, WorkingSet: 3 * units.MiB,
+			MsgBytesPerIter: 3e6, Resident: 900 * units.MiB, Iterations: 60,
+		},
+	}
+}
+
+// Scaled returns a copy of the profile with its per-iteration work,
+// working set, halo volume, and resident memory scaled by f — the
+// simulator's analogue of changing the application's input size, used to
+// diversify diagnosis training runs.
+func (p Profile) Scaled(f float64) Profile {
+	if f <= 0 {
+		return p
+	}
+	p.InstrPerIter *= f
+	p.WorkingSet = units.ByteSize(float64(p.WorkingSet) * f)
+	p.MsgBytesPerIter *= f
+	p.Resident = units.ByteSize(float64(p.Resident) * f)
+	return p
+}
+
+// ByName returns the profile with the given name.
+func ByName(name string) (Profile, bool) {
+	for _, p := range Catalog() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Names returns the application names in Table 2 order.
+func Names() []string {
+	cat := Catalog()
+	out := make([]string, len(cat))
+	for i, p := range cat {
+		out[i] = p.Name
+	}
+	return out
+}

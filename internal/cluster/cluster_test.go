@@ -1,0 +1,182 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"hpas/internal/netsim"
+	"hpas/internal/node"
+	"hpas/internal/sim"
+	"hpas/internal/storage"
+)
+
+// netProc is a stub process streaming elastic traffic to a peer node.
+type netProc struct {
+	flow    netsim.Flow
+	granted []float64
+	done    bool
+}
+
+func (p *netProc) Name() string                   { return "netproc" }
+func (p *netProc) Demand(now float64) node.Demand { return node.Demand{CPU: 0.1} }
+func (p *netProc) Done() bool                     { return p.done }
+func (p *netProc) Flows(now float64) []*netsim.Flow {
+	return []*netsim.Flow{&p.flow}
+}
+func (p *netProc) Advance(now, dt float64, g node.Grant) node.Usage {
+	p.granted = append(p.granted, p.flow.Granted)
+	return node.Usage{CPUSeconds: g.CPUShare * dt}
+}
+
+// ioProc is a stub filesystem client.
+type ioProc struct {
+	demand storage.Demand
+	grants []storage.Grant
+	done   bool
+}
+
+func (p *ioProc) Name() string                        { return "ioproc" }
+func (p *ioProc) Demand(now float64) node.Demand      { return node.Demand{CPU: 0.1} }
+func (p *ioProc) Done() bool                          { return p.done }
+func (p *ioProc) IODemand(now float64) storage.Demand { return p.demand }
+func (p *ioProc) IOGrant(g storage.Grant)             { p.grants = append(p.grants, g) }
+func (p *ioProc) Advance(now, dt float64, g node.Grant) node.Usage {
+	return node.Usage{}
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{Machine: node.Voltrino(), Net: netsim.Voltrino(), FS: storage.Lustre(), Nodes: 0},
+		{Machine: node.Voltrino(), Net: netsim.Voltrino(), FS: storage.Lustre(), Nodes: 100},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for %+v", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestVoltrinoConfig(t *testing.T) {
+	c := New(Voltrino(8))
+	if c.NumNodes() != 8 {
+		t.Fatalf("NumNodes = %d", c.NumNodes())
+	}
+	if c.Node(0).Spec.Name != "voltrino" {
+		t.Error("wrong machine spec")
+	}
+	if c.FS().Config().Name != "lustre" {
+		t.Error("wrong filesystem")
+	}
+}
+
+func TestChameleonConfig(t *testing.T) {
+	c := New(ChameleonCloud(6))
+	if c.NumNodes() != 6 {
+		t.Fatalf("NumNodes = %d", c.NumNodes())
+	}
+	if c.FS().Config().Name != "nfs" {
+		t.Error("wrong filesystem")
+	}
+	if c.Net().Config().Switches != 1 {
+		t.Error("chameleon should be a star")
+	}
+}
+
+func TestNetworkFlowsResolvedBeforeAdvance(t *testing.T) {
+	c := New(Voltrino(8))
+	p := &netProc{flow: netsim.Flow{Src: 0, Dst: 4, Demand: math.Inf(1)}}
+	c.Place(p, 0, 0)
+	c.Tick(0, 0.1)
+	if len(p.granted) != 1 || p.granted[0] <= 0 {
+		t.Fatalf("flow not granted during Advance: %v", p.granted)
+	}
+	if c.Net().InjectedRate(0) <= 0 {
+		t.Error("NIC counter not updated")
+	}
+}
+
+func TestIOGrantDelivered(t *testing.T) {
+	c := New(ChameleonCloud(6))
+	p := &ioProc{demand: storage.Demand{Write: 10e6, MetaOps: 5}}
+	c.Place(p, 1, 0)
+	c.Tick(0, 0.1)
+	if len(p.grants) != 1 {
+		t.Fatal("IOGrant not delivered")
+	}
+	if math.Abs(p.grants[0].Write-10e6) > 1 {
+		t.Errorf("Write grant = %v", p.grants[0].Write)
+	}
+}
+
+func TestTwoIOClientsShareDisk(t *testing.T) {
+	c := New(ChameleonCloud(6))
+	a := &ioProc{demand: storage.Demand{Write: 500e6}}
+	b := &ioProc{demand: storage.Demand{Write: 500e6}}
+	c.Place(a, 0, 0)
+	c.Place(b, 1, 0)
+	c.Tick(0, 0.1)
+	total := a.grants[0].Write + b.grants[0].Write
+	if total > c.FS().Config().DiskBW+1 {
+		t.Errorf("disk oversubscribed: %v", total)
+	}
+	if math.Abs(a.grants[0].Write-b.grants[0].Write) > 1 {
+		t.Error("equal demands should get equal grants")
+	}
+}
+
+func TestRunsUnderEngine(t *testing.T) {
+	c := New(Voltrino(4))
+	p := &netProc{flow: netsim.Flow{Src: 0, Dst: 1, Demand: 1e9}}
+	c.Place(p, 0, -1)
+	e := sim.New(0.1)
+	e.Add(c)
+	e.RunFor(1.0)
+	if len(p.granted) != 10 {
+		t.Errorf("proc advanced %d times, want 10", len(p.granted))
+	}
+}
+
+func TestDoneProcStopsFlowing(t *testing.T) {
+	c := New(Voltrino(4))
+	p := &netProc{flow: netsim.Flow{Src: 0, Dst: 1, Demand: 1e9}}
+	c.Place(p, 0, 0)
+	c.Tick(0, 0.1)
+	p.done = true
+	c.Tick(0.1, 0.1) // advance once more; node drops it after Advance
+	c.Tick(0.2, 0.1)
+	if c.Node(0).NumProcs() != 0 {
+		t.Error("done proc not removed")
+	}
+	if c.Net().InjectedRate(0) != 0 {
+		t.Error("done proc still injecting")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c := New(Voltrino(4))
+	p := &netProc{flow: netsim.Flow{Src: 0, Dst: 1, Demand: 1e9}}
+	c.Place(p, 2, 0)
+	c.Remove(p, 2)
+	if c.Node(2).NumProcs() != 0 {
+		t.Error("Remove failed")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() float64 {
+		c := New(Voltrino(4))
+		p := &netProc{flow: netsim.Flow{Src: 0, Dst: 1, Demand: math.Inf(1)}}
+		c.Place(p, 0, 0)
+		e := sim.New(0.1)
+		e.Add(c)
+		e.RunFor(5)
+		return c.Node(0).Counters().SysSeconds
+	}
+	if run() != run() {
+		t.Error("cluster simulation not deterministic")
+	}
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"testing"
+
+	"hpas/internal/cluster"
+	"hpas/internal/monitor"
+	"hpas/internal/units"
+)
+
+func TestCampaignPhasesActivateInOrder(t *testing.T) {
+	c := Campaign{
+		Base: RunConfig{Cluster: cluster.Voltrino(1), Seed: 3},
+		Phases: []Phase{
+			{Label: "cpu", Start: 5, Duration: 10,
+				Specs: []Spec{{Name: "cpuoccupy", Node: 0, CPU: 0, Intensity: 100}}},
+			{Label: "quiet", Start: 20, Duration: 5,
+				Specs: []Spec{{Name: "cpuoccupy", Node: 0, CPU: 0, Intensity: 10}}},
+		},
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duration < 25 {
+		t.Errorf("run too short: %v", res.Duration)
+	}
+	// Timeline labels.
+	if got := res.Timeline.LabelAt(1); got != "" {
+		t.Errorf("label at 1s = %q, want none", got)
+	}
+	if got := res.Timeline.LabelAt(7); got != "cpu" {
+		t.Errorf("label at 7s = %q", got)
+	}
+	if got := res.Timeline.LabelAt(22); got != "quiet" {
+		t.Errorf("label at 22s = %q", got)
+	}
+	if got := res.Timeline.LabelAt(1e6); got != "" {
+		t.Error("out-of-range label should be empty")
+	}
+
+	// The monitored CPU reflects the phases: high during "cpu", low
+	// during "quiet".
+	busy := res.PhaseSeries(0, monitor.MetricUser, "cpu")
+	quiet := res.PhaseSeries(0, monitor.MetricUser, "quiet")
+	if busy == nil || quiet == nil {
+		t.Fatal("phase series missing")
+	}
+	if busy.Mean() < 80 {
+		t.Errorf("cpu phase user = %v, want ~100", busy.Mean())
+	}
+	if quiet.Mean() > 30 {
+		t.Errorf("quiet phase user = %v, want ~10", quiet.Mean())
+	}
+	if res.PhaseSeries(0, monitor.MetricUser, "nope") != nil {
+		t.Error("unknown label should return nil")
+	}
+}
+
+func TestCampaignWindows(t *testing.T) {
+	tl := Timeline{Period: 1, Labels: []string{"", "a", "a", "", "b", "b", "b"}}
+	ws := tl.Windows()
+	if len(ws) != 2 {
+		t.Fatalf("windows = %+v", ws)
+	}
+	if ws[0].Label != "a" || ws[0].From != 1 || ws[0].To != 3 {
+		t.Errorf("window a = %+v", ws[0])
+	}
+	if ws[1].Label != "b" || ws[1].From != 4 || ws[1].To != 7 {
+		t.Errorf("window b = %+v", ws[1])
+	}
+}
+
+func TestCampaignValidation(t *testing.T) {
+	c := Campaign{Base: RunConfig{Cluster: cluster.Voltrino(1)}}
+	if _, err := c.Run(); err == nil {
+		t.Error("empty campaign should error")
+	}
+	c.Phases = []Phase{{Label: "x", Start: 0, Duration: 0}}
+	if _, err := c.Run(); err == nil {
+		t.Error("zero-duration phase should error")
+	}
+	c.Phases = []Phase{{Label: "x", Start: 0, Duration: 5,
+		Specs: []Spec{{Name: "bogus", Node: 0}}}}
+	if _, err := c.Run(); err == nil {
+		t.Error("bad spec should error")
+	}
+}
+
+func TestCampaignOverlapLatestWins(t *testing.T) {
+	c := Campaign{
+		Base: RunConfig{Cluster: cluster.Voltrino(1), Seed: 1},
+		Phases: []Phase{
+			{Label: "long", Start: 2, Duration: 12,
+				Specs: []Spec{{Name: "cpuoccupy", Node: 0, CPU: 0, Intensity: 30}}},
+			{Label: "burst", Start: 6, Duration: 3,
+				Specs: []Spec{{Name: "cpuoccupy", Node: 0, CPU: 1, Intensity: 90}}},
+		},
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Timeline.LabelAt(7); got != "burst" {
+		t.Errorf("overlap label = %q, want burst", got)
+	}
+	if got := res.Timeline.LabelAt(10); got != "long" {
+		t.Errorf("post-burst label = %q, want long", got)
+	}
+}
+
+// TestCampaignAllAnomaliesSoak drives every Table 1 anomaly through one
+// long campaign next to a running application and checks the system
+// stays sane: no OOM kills (all anomalies bounded), monitoring stays
+// complete, and every phase visibly perturbs its target metric.
+func TestCampaignAllAnomaliesSoak(t *testing.T) {
+	phases := []Phase{
+		{Label: "cpuoccupy", Start: 10, Duration: 20,
+			Specs: []Spec{{Name: "cpuoccupy", Node: 0, CPU: 32, Intensity: 100}}},
+		{Label: "cachecopy", Start: 40, Duration: 20,
+			Specs: []Spec{{Name: "cachecopy", Node: 0, CPU: 32}}},
+		{Label: "membw", Start: 70, Duration: 20,
+			Specs: []Spec{{Name: "membw", Node: 0, CPU: 32, Count: 2}}},
+		{Label: "memeater", Start: 100, Duration: 20,
+			Specs: []Spec{{Name: "memeater", Node: 0, CPU: 34, Size: 2 * units.GiB, Intensity: 20}}},
+		{Label: "memleak", Start: 130, Duration: 20,
+			Specs: []Spec{{Name: "memleak", Node: 0, CPU: 34, Intensity: 5}}},
+		{Label: "netoccupy", Start: 160, Duration: 20,
+			Specs: []Spec{{Name: "netoccupy", Node: 1, Peer: 5}}},
+		{Label: "iometadata", Start: 190, Duration: 20,
+			Specs: []Spec{{Name: "iometadata", Node: 2, CPU: 34, Intensity: 200, Count: 8}}},
+		{Label: "iobandwidth", Start: 220, Duration: 20,
+			Specs: []Spec{{Name: "iobandwidth", Node: 2, CPU: 34, Size: units.GiB, Count: 8}}},
+	}
+	camp := Campaign{
+		Base: RunConfig{
+			Cluster:      cluster.Voltrino(8),
+			App:          "kripke",
+			Iterations:   1 << 20,
+			FixedSeconds: 250,
+			Seed:         11,
+		},
+		Phases: phases,
+	}
+	res, err := camp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if res.Cluster.Node(i).Counters().OOMKills != 0 {
+			t.Errorf("node %d suffered OOM kills during the soak", i)
+		}
+	}
+	// Monitoring stayed complete for the whole run on every node.
+	for i, set := range res.Metrics {
+		if n := set.Get(monitor.MetricUser).Len(); n != 250 {
+			t.Errorf("node %d has %d samples, want 250", i, n)
+		}
+	}
+	// Spot-check that each class of phase moved its signature metric.
+	cpuPhase := res.PhaseSeries(0, monitor.MetricUser, "cpuoccupy")
+	baseline := res.Metrics[0].Get(monitor.MetricUser).Slice(0, 10)
+	if cpuPhase.Mean() <= baseline.Mean() {
+		t.Error("cpuoccupy phase did not raise user CPU")
+	}
+	leakPhase := res.PhaseSeries(0, monitor.MetricMemUsed, "memleak")
+	if leakPhase.Max() <= leakPhase.Min() {
+		t.Error("memleak phase did not grow memory")
+	}
+	netPhase := res.PhaseSeries(1, monitor.MetricNICFlits, "netoccupy")
+	if netPhase.Mean() <= 0 {
+		t.Error("netoccupy phase injected nothing")
+	}
+	meta, _, _ := res.Cluster.FS().Counters()
+	if meta <= 0 {
+		t.Error("I/O phases served no metadata ops")
+	}
+}

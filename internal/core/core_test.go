@@ -1,0 +1,212 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"hpas/internal/anomaly"
+	"hpas/internal/cluster"
+	"hpas/internal/units"
+)
+
+func TestInjectEveryCatalogAnomaly(t *testing.T) {
+	c := cluster.New(cluster.Voltrino(8))
+	for _, name := range anomaly.Names() {
+		spec := Spec{Name: name, Node: 0, CPU: -1, Peer: 4, Size: units.GiB}
+		procs, err := Inject(c, spec)
+		if err != nil {
+			t.Errorf("Inject(%s): %v", name, err)
+			continue
+		}
+		if len(procs) == 0 {
+			t.Errorf("Inject(%s) created nothing", name)
+		}
+		for _, p := range procs {
+			if p.Name() != name {
+				t.Errorf("Inject(%s) created %s", name, p.Name())
+			}
+		}
+	}
+}
+
+func TestInjectValidation(t *testing.T) {
+	c := cluster.New(cluster.Voltrino(4))
+	cases := []Spec{
+		{Name: "nosuch", Node: 0},
+		{Name: "cpuoccupy", Node: 99},
+		{Name: "netoccupy", Node: 0, Peer: 0},
+		{Name: "netoccupy", Node: 0, Peer: 99},
+	}
+	for _, s := range cases {
+		if _, err := Inject(c, s); err == nil {
+			t.Errorf("Inject(%+v): expected error", s)
+		}
+	}
+}
+
+func TestInjectCountSpreadsCPUs(t *testing.T) {
+	c := cluster.New(cluster.Voltrino(2))
+	procs, err := Inject(c, Spec{Name: "membw", Node: 0, CPU: 32, Count: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(procs) != 4 {
+		t.Fatalf("created %d procs", len(procs))
+	}
+	seen := map[int]bool{}
+	for _, p := range procs {
+		cpu := c.Node(0).CPUOf(p)
+		if seen[cpu] {
+			t.Errorf("two instances share cpu %d", cpu)
+		}
+		seen[cpu] = true
+	}
+}
+
+func TestRunWithApp(t *testing.T) {
+	res, err := Run(RunConfig{
+		Cluster:    cluster.Voltrino(4),
+		App:        "CoMD",
+		Iterations: 2,
+		Seed:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Finished || res.Duration <= 0 {
+		t.Errorf("run did not finish: %+v", res)
+	}
+	if res.Job == nil || !res.Job.Done() {
+		t.Error("job state wrong")
+	}
+	if len(res.Metrics) != 4 {
+		t.Errorf("metrics for %d nodes", len(res.Metrics))
+	}
+}
+
+func TestRunAnomalySlowsApp(t *testing.T) {
+	base := RunConfig{Cluster: cluster.Voltrino(4), App: "CoMD", Iterations: 2, Seed: 3}
+	clean, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty := base
+	dirty.Anomalies = []Spec{{Name: "cachecopy", Node: 0, CPU: 32}}
+	slowed, err := Run(dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slowed.Duration <= clean.Duration {
+		t.Errorf("cachecopy did not slow CoMD: %v vs %v", slowed.Duration, clean.Duration)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(RunConfig{}); err == nil {
+		t.Error("empty config should error")
+	}
+	if _, err := Run(RunConfig{Cluster: cluster.Voltrino(2), App: "nosuch"}); err == nil {
+		t.Error("unknown app should error")
+	}
+	if _, err := Run(RunConfig{
+		Cluster:   cluster.Voltrino(2),
+		Anomalies: []Spec{{Name: "bogus", Node: 0}},
+	}); err == nil {
+		t.Error("bad anomaly should error")
+	}
+}
+
+func TestRunFixedWindow(t *testing.T) {
+	res, err := Run(RunConfig{
+		Cluster:      cluster.Voltrino(1),
+		FixedSeconds: 3,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duration < 2.9 || res.Duration > 3.1 {
+		t.Errorf("Duration = %v", res.Duration)
+	}
+	if res.Metrics[0].Get("user::procstat").Len() != 3 {
+		t.Error("expected 3 one-second samples")
+	}
+}
+
+func TestDiagnosisClassesOrder(t *testing.T) {
+	want := []string{"none", "memleak", "memeater", "cpuoccupy", "membw", "cachecopy"}
+	got := DiagnosisClasses()
+	if len(got) != len(want) {
+		t.Fatal("wrong class count")
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("class %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGenerateDatasetSmall(t *testing.T) {
+	ds, err := GenerateDataset(DatasetConfig{
+		Apps:    []string{"CoMD"},
+		Classes: []string{"none", "cpuoccupy"},
+		Reps:    2,
+		Window:  12,
+		Warmup:  4,
+		Seed:    7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumSamples() != 4 {
+		t.Errorf("samples = %d, want 4", ds.NumSamples())
+	}
+	if ds.NumClasses() != 2 || ds.NumFeatures() == 0 {
+		t.Error("dataset shape wrong")
+	}
+	// Feature names carry metric provenance.
+	found := false
+	for _, n := range ds.FeatureNames {
+		if strings.Contains(n, "user::procstat") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("feature names missing metric provenance")
+	}
+	// Labels cover both classes.
+	if ds.Y[0] == ds.Y[2] {
+		t.Error("labels not varied")
+	}
+}
+
+func TestGenerateDatasetValidation(t *testing.T) {
+	if _, err := GenerateDataset(DatasetConfig{Window: 5, Warmup: 10}); err == nil {
+		t.Error("warmup >= window should error")
+	}
+	if _, err := GenerateDataset(DatasetConfig{
+		Classes: []string{"bogus"}, Apps: []string{"CoMD"}, Window: 10, Warmup: 2,
+	}); err == nil {
+		t.Error("unknown class should error")
+	}
+}
+
+func TestGenerateDatasetDeterministic(t *testing.T) {
+	gen := func() []float64 {
+		ds, err := GenerateDataset(DatasetConfig{
+			Apps: []string{"CoMD"}, Classes: []string{"cpuoccupy"},
+			Reps: 1, Window: 10, Warmup: 2, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ds.X[0]
+	}
+	a, b := gen(), gen()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("dataset generation not deterministic")
+		}
+	}
+}

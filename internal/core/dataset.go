@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+
+	"hpas/internal/anomaly"
+	"hpas/internal/apps"
+	"hpas/internal/cluster"
+	"hpas/internal/features"
+	"hpas/internal/ml"
+	"hpas/internal/units"
+	"hpas/internal/xrand"
+)
+
+// DiagnosisClasses are the six labels of the paper's diagnosis use case
+// (Figures 9 and 10), in the figures' order.
+func DiagnosisClasses() []string {
+	return []string{"none", "memleak", "memeater", "cpuoccupy", "membw", "cachecopy"}
+}
+
+// DatasetConfig controls labelled-data generation for the diagnosis use
+// case: every application runs with every anomaly class (and without),
+// monitoring data is collected from the anomalous node, and statistical
+// features are extracted per run.
+type DatasetConfig struct {
+	// Apps to run (default: all of Table 2).
+	Apps []string
+	// Classes to label (default: DiagnosisClasses).
+	Classes []string
+	// Reps is the number of runs per (app, class) pair (default 1).
+	// Each rep draws fresh anomaly intensities.
+	Reps int
+	// Window is the observed run length in seconds (default 60).
+	Window float64
+	// Warmup excludes the first seconds from feature extraction
+	// (default 10).
+	Warmup float64
+	// Nodes is the job size (default 4).
+	Nodes int
+	// Noise is the monitoring noise (default 0.01).
+	Noise float64
+	// Seed drives intensity draws and run seeds.
+	Seed uint64
+	// MemBWCounter adds the uncore memory-bandwidth metric to the
+	// monitored set (the paper's missing-counter ablation).
+	MemBWCounter bool
+}
+
+// GenerateDataset produces the labelled feature matrix for the diagnosis
+// experiment.
+func GenerateDataset(cfg DatasetConfig) (*ml.Dataset, error) {
+	if len(cfg.Apps) == 0 {
+		cfg.Apps = apps.Names()
+	}
+	if len(cfg.Classes) == 0 {
+		cfg.Classes = DiagnosisClasses()
+	}
+	if cfg.Reps <= 0 {
+		cfg.Reps = 1
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 60
+	}
+	if cfg.Warmup <= 0 {
+		cfg.Warmup = 10
+	}
+	if cfg.Warmup >= cfg.Window {
+		return nil, fmt.Errorf("core: warmup %v >= window %v", cfg.Warmup, cfg.Window)
+	}
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 4
+	}
+	rng := xrand.New(cfg.Seed + 0xda7a)
+
+	classIdx := make(map[string]int, len(cfg.Classes))
+	for i, c := range cfg.Classes {
+		classIdx[c] = i
+	}
+	ds := &ml.Dataset{Classes: cfg.Classes}
+
+	runSeed := cfg.Seed
+	for _, app := range cfg.Apps {
+		for _, class := range cfg.Classes {
+			for rep := 0; rep < cfg.Reps; rep++ {
+				runSeed++
+				specs, err := DrawSpecs(class, rng)
+				if err != nil {
+					return nil, err
+				}
+				// Randomize the input size per run, as the paper's
+				// dataset does across application configurations.
+				scale := rng.Uniform(0.85, 1.2)
+				res, err := Run(RunConfig{
+					Cluster:      cluster.Voltrino(cfg.Nodes),
+					App:          app,
+					Iterations:   1 << 20, // never finishes inside the window
+					AppScale:     scale,
+					Anomalies:    specs,
+					FixedSeconds: cfg.Window,
+					Noise:        cfg.Noise,
+					Seed:         runSeed,
+					MemBWCounter: cfg.MemBWCounter,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("core: dataset run %s/%s: %w", app, class, err)
+				}
+				vec := features.ExtractWindow(res.Metrics[0], cfg.Warmup, cfg.Window)
+				if ds.FeatureNames == nil {
+					ds.FeatureNames = vec.Names
+				}
+				ds.X = append(ds.X, vec.Values)
+				ds.Y = append(ds.Y, classIdx[class])
+			}
+		}
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// DrawSpecs returns the injection specs for one labelled run of the
+// given diagnosis class, with intensities drawn from the paper-like knob
+// ranges so each class spans a realistic variety of severities. "none"
+// yields no specs.
+func DrawSpecs(class string, rng *xrand.RNG) ([]Spec, error) {
+	const anomalyStart = 5
+	switch class {
+	case "none":
+		return nil, nil
+	case "cpuoccupy":
+		return []Spec{{
+			Name: "cpuoccupy", Node: 0, CPU: 32, Start: anomalyStart,
+			Intensity: rng.Uniform(40, 100),
+		}}, nil
+	case "membw":
+		return []Spec{{
+			Name: "membw", Node: 0, CPU: 32, Start: anomalyStart,
+			Intensity: rng.Uniform(0.4, 1),
+			StreamBW:  rng.Uniform(15e9, 30e9),
+			Count:     2,
+		}}, nil
+	case "cachecopy":
+		levels := []anomaly.CacheLevel{anomaly.L1, anomaly.L2, anomaly.L3}
+		return []Spec{{
+			Name: "cachecopy", Node: 0, CPU: 32, Start: anomalyStart,
+			Intensity: rng.Uniform(0.4, 1),
+			Level:     levels[rng.Intn(3)],
+		}}, nil
+	case "memleak":
+		return []Spec{{
+			Name: "memleak", Node: 0, CPU: 34, Start: anomalyStart,
+			Intensity: rng.Uniform(0.5, 3),
+		}}, nil
+	case "memeater":
+		// A fast ramp (the generator realloc-fills back to back) so the
+		// footprint plateaus inside the observation window, which is
+		// what separates memeater from memleak in the paper's data.
+		return []Spec{{
+			Name: "memeater", Node: 0, CPU: 34, Start: anomalyStart,
+			Size:      units.ByteSize(rng.Uniform(3, 10)) * units.GiB,
+			Intensity: rng.Uniform(8, 20),
+		}}, nil
+	}
+	return nil, fmt.Errorf("core: unknown diagnosis class %q", class)
+}

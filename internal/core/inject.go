@@ -1,0 +1,182 @@
+// Package core is the HPAS orchestration layer: it turns declarative
+// anomaly specifications into processes on a simulated cluster, runs
+// applications against them, and generates the labelled datasets used by
+// the diagnosis use case. It is the programmatic equivalent of invoking
+// the original suite's generators from a job script.
+package core
+
+import (
+	"fmt"
+
+	"hpas/internal/anomaly"
+	"hpas/internal/cluster"
+	"hpas/internal/node"
+	"hpas/internal/units"
+)
+
+// Spec declares one anomaly injection. Name selects the generator
+// (Table 1); the remaining fields map onto that generator's knobs and
+// placement. Unused fields are ignored by generators that lack the knob.
+type Spec struct {
+	// Name is the Table 1 generator name (e.g. "cpuoccupy").
+	Name string
+	// Node is the target node ID.
+	Node int
+	// CPU is the logical CPU to pin to; -1 picks the least loaded.
+	CPU int
+	// Start and End bound the anomaly in simulation seconds (End 0 =
+	// until the run stops).
+	Start, End float64
+	// Intensity is the generator's main knob: utilization% for
+	// cpuoccupy, duty-cycle rate (0..1] for cachecopy/membw, iteration
+	// rate for memleak/memeater, ops rate for iometadata, messages/s
+	// for netoccupy. Zero selects the generator default.
+	Intensity float64
+	// Level targets a cache level for cachecopy (default L3).
+	Level anomaly.CacheLevel
+	// Size is a byte-size knob: buffer size, chunk size, limit, message
+	// or file size depending on the generator.
+	Size units.ByteSize
+	// Limit caps memleak growth (0 = unbounded, i.e. until OOM).
+	Limit units.ByteSize
+	// Count instantiates this many copies (or ntasks for the I/O
+	// generators). Zero means 1.
+	Count int
+	// Peer is the destination node for netoccupy.
+	Peer int
+	// StreamBW overrides membw's demanded bandwidth in bytes/s.
+	StreamBW float64
+}
+
+// Inject builds the specified anomaly processes and places them on the
+// cluster. It returns the created processes so callers can inspect them.
+func Inject(c *cluster.Cluster, s Spec) ([]node.Proc, error) {
+	if s.Node < 0 || s.Node >= c.NumNodes() {
+		return nil, fmt.Errorf("core: node %d out of range", s.Node)
+	}
+	count := s.Count
+	if count <= 0 {
+		count = 1
+	}
+	w := anomaly.Window{Start: s.Start, End: s.End}
+	var procs []node.Proc
+
+	switch s.Name {
+	case "cpuoccupy":
+		util := s.Intensity
+		if util <= 0 {
+			util = 100
+		}
+		for i := 0; i < count; i++ {
+			a := anomaly.NewCPUOccupy(util)
+			a.Window = w
+			procs = append(procs, a)
+		}
+
+	case "cachecopy":
+		level := s.Level
+		if level == 0 {
+			level = anomaly.L3
+		}
+		for i := 0; i < count; i++ {
+			a := anomaly.NewCacheCopy(c.Config().Machine, level)
+			a.Window = w
+			if s.Intensity > 0 {
+				a.Rate = s.Intensity
+			}
+			procs = append(procs, a)
+		}
+
+	case "membw":
+		for i := 0; i < count; i++ {
+			a := anomaly.NewMemBW()
+			a.Window = w
+			if s.Intensity > 0 {
+				a.Rate = s.Intensity
+			}
+			if s.StreamBW > 0 {
+				a.StreamBW = s.StreamBW
+			}
+			if s.Size > 0 {
+				a.BufferSize = s.Size
+			}
+			procs = append(procs, a)
+		}
+
+	case "memeater":
+		limit := s.Size
+		if limit <= 0 {
+			limit = 3 * units.GiB
+		}
+		for i := 0; i < count; i++ {
+			a := anomaly.NewMemEater(limit)
+			a.Window = w
+			if s.Intensity > 0 {
+				a.Rate = s.Intensity
+			}
+			procs = append(procs, a)
+		}
+
+	case "memleak":
+		rate := s.Intensity
+		if rate <= 0 {
+			rate = 1
+		}
+		for i := 0; i < count; i++ {
+			a := anomaly.NewMemLeak(rate)
+			a.Window = w
+			if s.Size > 0 {
+				a.ChunkSize = s.Size
+			}
+			a.Limit = s.Limit
+			procs = append(procs, a)
+		}
+
+	case "netoccupy":
+		if s.Peer == s.Node || s.Peer < 0 || s.Peer >= c.NumNodes() {
+			return nil, fmt.Errorf("core: netoccupy needs a distinct peer node, got %d", s.Peer)
+		}
+		for i := 0; i < count; i++ {
+			a := anomaly.NewNetOccupy(s.Node, s.Peer)
+			a.Window = w
+			if s.Intensity > 0 {
+				a.Rate = s.Intensity
+			}
+			if s.Size > 0 {
+				a.MessageSize = s.Size
+			}
+			procs = append(procs, a)
+		}
+
+	case "iometadata":
+		rate := s.Intensity
+		if rate <= 0 {
+			rate = 100
+		}
+		a := anomaly.NewIOMetadata(rate, count)
+		a.Window = w
+		procs = append(procs, a)
+
+	case "iobandwidth":
+		size := s.Size
+		if size <= 0 {
+			size = units.GiB
+		}
+		a := anomaly.NewIOBandwidth(size, count)
+		a.Window = w
+		procs = append(procs, a)
+
+	default:
+		return nil, fmt.Errorf("core: unknown anomaly %q (see Table 1: %v)", s.Name, anomaly.Names())
+	}
+
+	for i, p := range procs {
+		cpu := s.CPU
+		if cpu >= 0 && len(procs) > 1 {
+			// Spread multi-instance injections over consecutive CPUs.
+			cpu = (s.CPU + i) % c.Config().Machine.Threads()
+		}
+		c.Place(p, s.Node, cpu)
+	}
+	return procs, nil
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParsePhases parses a compact campaign description into timed phases,
+// for command-line use. The syntax is a comma-separated list of
+//
+//	name@start-end[:intensity]
+//
+// e.g. "cpuoccupy@10-40:90,memleak@60-90" — cpuoccupy at 90% intensity
+// active during [10,40) s and memleak with default intensity during
+// [60,90) s. All phases target the given node; the CPU is the SMT
+// sibling convention used throughout the experiments (pass -1 to
+// auto-place).
+func ParsePhases(s string, node, cpu int) ([]Phase, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("core: empty campaign description")
+	}
+	var phases []Phase
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, window, ok := strings.Cut(part, "@")
+		if !ok {
+			return nil, fmt.Errorf("core: phase %q: missing @start-end", part)
+		}
+		name = strings.TrimSpace(name)
+		intensity := 0.0
+		if w, intStr, has := strings.Cut(window, ":"); has {
+			v, err := strconv.ParseFloat(strings.TrimSpace(intStr), 64)
+			if err != nil {
+				return nil, fmt.Errorf("core: phase %q: bad intensity: %v", part, err)
+			}
+			intensity = v
+			window = w
+		}
+		startStr, endStr, ok := strings.Cut(window, "-")
+		if !ok {
+			return nil, fmt.Errorf("core: phase %q: window must be start-end", part)
+		}
+		start, err := strconv.ParseFloat(strings.TrimSpace(startStr), 64)
+		if err != nil {
+			return nil, fmt.Errorf("core: phase %q: bad start: %v", part, err)
+		}
+		end, err := strconv.ParseFloat(strings.TrimSpace(endStr), 64)
+		if err != nil {
+			return nil, fmt.Errorf("core: phase %q: bad end: %v", part, err)
+		}
+		if end <= start {
+			return nil, fmt.Errorf("core: phase %q: end %v <= start %v", part, end, start)
+		}
+		phases = append(phases, Phase{
+			Label:    name,
+			Start:    start,
+			Duration: end - start,
+			Specs: []Spec{{
+				Name:      name,
+				Node:      node,
+				CPU:       cpu,
+				Intensity: intensity,
+			}},
+		})
+	}
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("core: no phases in %q", s)
+	}
+	return phases, nil
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+
+	"hpas/internal/apps"
+	"hpas/internal/cluster"
+	"hpas/internal/monitor"
+	"hpas/internal/sim"
+	"hpas/internal/trace"
+)
+
+// RunConfig describes one monitored experiment run: a cluster, an
+// optional application, and a set of anomaly injections.
+type RunConfig struct {
+	// Cluster is the machine to simulate.
+	Cluster cluster.Config
+	// App names a Table 2 application to run (empty = none).
+	App string
+	// AppNodes is the job's allocation (defaults to nodes 0..3 when an
+	// app is named and the cluster has at least 4 nodes).
+	AppNodes []int
+	// RanksPerNode defaults to all physical cores.
+	RanksPerNode int
+	// Iterations overrides the app profile's iteration count (0 keeps
+	// the default).
+	Iterations int
+	// AppScale scales the app's per-rank problem size (input size);
+	// 0 or 1 keeps the profile defaults.
+	AppScale float64
+	// Anomalies are the injections to apply.
+	Anomalies []Spec
+	// MaxSeconds bounds the simulated run (default 3000).
+	MaxSeconds float64
+	// FixedSeconds, when positive, runs for exactly this long instead
+	// of waiting for the app (used for dataset windows).
+	FixedSeconds float64
+	// SamplePeriod is the monitoring period (default 1s).
+	SamplePeriod float64
+	// Noise is the monitor's relative sampling noise (default 0.01).
+	Noise float64
+	// MemBWCounter adds the uncore memory-bandwidth metric to the
+	// monitor (off by default, as on the paper's system).
+	MemBWCounter bool
+	// Seed makes the run reproducible.
+	Seed uint64
+	// DT is the simulation step (default sim.DefaultDT).
+	DT float64
+}
+
+// RunResult is the outcome of a Run.
+type RunResult struct {
+	// Duration is the app's completion time, or the simulated time when
+	// no app was run (or it did not finish).
+	Duration float64
+	// Finished reports whether the app completed within MaxSeconds.
+	Finished bool
+	// Job is the application job, when one was run.
+	Job *apps.Job
+	// Metrics holds each node's monitored time series.
+	Metrics []*trace.Set
+	// Cluster is the simulated machine, for counter inspection.
+	Cluster *cluster.Cluster
+}
+
+// Run executes one experiment and returns its result.
+func Run(cfg RunConfig) (*RunResult, error) {
+	if cfg.Cluster.Nodes == 0 {
+		return nil, fmt.Errorf("core: cluster config has no nodes")
+	}
+	ccfg := cfg.Cluster
+	if cfg.Seed != 0 {
+		ccfg.Seed = cfg.Seed
+	}
+	c := cluster.New(ccfg)
+
+	dt := cfg.DT
+	if dt <= 0 {
+		dt = sim.DefaultDT
+	}
+	period := cfg.SamplePeriod
+	if period <= 0 {
+		period = 1
+	}
+	noise := cfg.Noise
+	if noise == 0 {
+		noise = 0.01
+	}
+	mon := monitor.NewWithOptions(c, period, noise, ccfg.Seed+0xa0b1,
+		monitor.Options{IncludeMemBW: cfg.MemBWCounter})
+	eng := sim.New(dt)
+	eng.Add(c)
+	eng.Add(mon)
+
+	for _, s := range cfg.Anomalies {
+		if _, err := Inject(c, s); err != nil {
+			return nil, err
+		}
+	}
+
+	var job *apps.Job
+	if cfg.App != "" {
+		profile, ok := apps.ByName(cfg.App)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown app %q (see Table 2: %v)", cfg.App, apps.Names())
+		}
+		if cfg.Iterations > 0 {
+			profile.Iterations = cfg.Iterations
+		}
+		if cfg.AppScale > 0 {
+			profile = profile.Scaled(cfg.AppScale)
+		}
+		nodes := cfg.AppNodes
+		if nodes == nil {
+			n := 4
+			if c.NumNodes() < n {
+				n = c.NumNodes()
+			}
+			for i := 0; i < n; i++ {
+				nodes = append(nodes, i)
+			}
+		}
+		rpn := cfg.RanksPerNode
+		if rpn <= 0 {
+			rpn = ccfg.Machine.PhysCores()
+		}
+		job = apps.Launch(c, profile, nodes, rpn)
+	}
+
+	maxSec := cfg.MaxSeconds
+	if maxSec <= 0 {
+		maxSec = 3000
+	}
+
+	res := &RunResult{Job: job, Cluster: c}
+	switch {
+	case cfg.FixedSeconds > 0:
+		eng.RunFor(cfg.FixedSeconds)
+		res.Duration = eng.Now()
+		res.Finished = job == nil || job.Done()
+	case job != nil:
+		at, ok := eng.RunUntil(job.Done, maxSec)
+		res.Duration, res.Finished = at, ok
+		if ok {
+			res.Duration = job.FinishedAt()
+		}
+	default:
+		eng.RunFor(maxSec)
+		res.Duration = eng.Now()
+		res.Finished = true
+	}
+
+	for i := 0; i < c.NumNodes(); i++ {
+		res.Metrics = append(res.Metrics, mon.NodeSet(i))
+	}
+	return res, nil
+}

@@ -1,0 +1,107 @@
+// Package diagnose implements the runtime half of the paper's diagnosis
+// framework (Section 5.1): after offline training on labelled runs, a
+// detector slides a window over live monitoring data, extracts the same
+// statistical features, and predicts the root cause of performance
+// variation "occurring at certain times".
+package diagnose
+
+import (
+	"fmt"
+
+	"hpas/internal/features"
+	"hpas/internal/ml"
+	"hpas/internal/trace"
+)
+
+// Prediction is one windowed diagnosis.
+type Prediction struct {
+	From, To float64 // window bounds, seconds
+	Class    string  // predicted root cause
+}
+
+// Detector classifies sliding windows of monitoring data.
+type Detector struct {
+	// Model is the trained classifier.
+	Model ml.Classifier
+	// Classes maps model outputs to labels.
+	Classes []string
+	// Window is the classification window length in seconds. It should
+	// match the effective window the model was trained on.
+	Window float64
+	// Step is the hop between windows (default: Window, i.e. disjoint).
+	Step float64
+	// NFeatures, when positive, is validated against every extracted
+	// window vector (set by Train to the training dimensionality).
+	NFeatures int
+}
+
+// Train fits a random forest on the labelled dataset and returns a
+// detector using the given window length.
+func Train(ds *ml.Dataset, window float64, seed uint64) (*Detector, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("diagnose: non-positive window")
+	}
+	model := ml.NewForest(ml.ForestOptions{Trees: 50, MaxDepth: 14, Seed: seed})
+	if err := model.Fit(ds, nil); err != nil {
+		return nil, err
+	}
+	return &Detector{
+		Model:     model,
+		Classes:   ds.Classes,
+		Window:    window,
+		NFeatures: ds.NumFeatures(),
+	}, nil
+}
+
+// Diagnose slides the detector over [from, to) of the node's metric set
+// and returns one prediction per window.
+func (d *Detector) Diagnose(set *trace.Set, from, to float64) ([]Prediction, error) {
+	if d.Model == nil || len(d.Classes) == 0 {
+		return nil, fmt.Errorf("diagnose: detector not trained")
+	}
+	if d.Window <= 0 {
+		return nil, fmt.Errorf("diagnose: non-positive window")
+	}
+	step := d.Step
+	if step <= 0 {
+		step = d.Window
+	}
+	var preds []Prediction
+	for start := from; start+d.Window <= to+1e-9; start += step {
+		vec := features.ExtractWindow(set, start, start+d.Window)
+		if len(vec.Values) == 0 {
+			return nil, fmt.Errorf("diagnose: empty feature vector at %.0fs", start)
+		}
+		if d.NFeatures > 0 && len(vec.Values) != d.NFeatures {
+			return nil, fmt.Errorf("diagnose: window has %d features, model expects %d (metric sets differ)",
+				len(vec.Values), d.NFeatures)
+		}
+		k := d.Model.Predict(vec.Values)
+		if k < 0 || k >= len(d.Classes) {
+			return nil, fmt.Errorf("diagnose: prediction %d out of range", k)
+		}
+		preds = append(preds, Prediction{From: start, To: start + d.Window, Class: d.Classes[k]})
+	}
+	return preds, nil
+}
+
+// Accuracy scores predictions against a ground-truth labeller: label(t)
+// returns the true class covering time t (the dominant label of the
+// window's midpoint is used). Windows whose true label is the empty
+// string are scored against "none".
+func Accuracy(preds []Prediction, label func(t float64) string) float64 {
+	if len(preds) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, p := range preds {
+		truth := label((p.From + p.To) / 2)
+		if truth == "" {
+			truth = "none"
+		}
+		if p.Class == truth {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(preds))
+}

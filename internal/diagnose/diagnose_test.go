@@ -1,0 +1,168 @@
+package diagnose
+
+import (
+	"testing"
+
+	"hpas/internal/cluster"
+	"hpas/internal/core"
+	"hpas/internal/ml"
+	"hpas/internal/trace"
+)
+
+// trainSmall builds a detector from a reduced dataset: one app, three
+// well-separated classes, short windows to keep the test fast.
+func trainSmall(t *testing.T) *Detector {
+	t.Helper()
+	ds, err := core.GenerateDataset(core.DatasetConfig{
+		Apps:    []string{"CoMD"},
+		Classes: []string{"none", "cpuoccupy", "memleak"},
+		Reps:    4,
+		Window:  20,
+		Warmup:  5,
+		Seed:    31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := Train(ds, 15, 3) // 15 s = window - warmup of the training runs
+	if err != nil {
+		t.Fatal(err)
+	}
+	return det
+}
+
+func TestOnlineDiagnosisOverCampaign(t *testing.T) {
+	det := trainSmall(t)
+
+	// A campaign alternating healthy and anomalous phases, with the
+	// same app running throughout.
+	camp := core.Campaign{
+		Base: core.RunConfig{
+			Cluster:    cluster.Voltrino(4),
+			App:        "CoMD",
+			Iterations: 1 << 20,
+			Seed:       77,
+		},
+		Phases: []core.Phase{
+			{Label: "cpuoccupy", Start: 15, Duration: 30,
+				Specs: []core.Spec{{Name: "cpuoccupy", Node: 0, CPU: 32, Intensity: 90}}},
+			{Label: "memleak", Start: 60, Duration: 30,
+				Specs: []core.Spec{{Name: "memleak", Node: 0, CPU: 34, Intensity: 2}}},
+		},
+	}
+	camp.Base.FixedSeconds = 105
+	res, err := camp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	preds, err := det.Diagnose(res.Metrics[0], 0, 105)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != 7 {
+		t.Fatalf("expected 7 windows, got %d", len(preds))
+	}
+	acc := Accuracy(preds, res.Timeline.LabelAt)
+	if acc < 0.5 {
+		t.Errorf("online accuracy = %v; predictions: %+v", acc, preds)
+	}
+	// The window fully inside each anomalous phase must be diagnosed
+	// correctly — this is the paper's runtime use case.
+	classAt := func(mid float64) string {
+		for _, p := range preds {
+			if mid >= p.From && mid < p.To {
+				return p.Class
+			}
+		}
+		return "?"
+	}
+	if got := classAt(68); got != "memleak" {
+		t.Errorf("t=68s diagnosed %q, want memleak", got)
+	}
+}
+
+// constModel always predicts class 0.
+type constModel struct{}
+
+func (constModel) Fit(ds *ml.Dataset, idx []int) error { return nil }
+func (constModel) Predict(x []float64) int             { return 0 }
+
+func smallSet(n int) *trace.Set {
+	set := trace.NewSet()
+	s := trace.NewSeries("user::procstat", 1)
+	for i := 0; i < n; i++ {
+		s.Append(float64(i))
+	}
+	set.Add(s)
+	return set
+}
+
+func TestDiagnoseStepOverlap(t *testing.T) {
+	det := &Detector{Model: constModel{}, Classes: []string{"none"}, Window: 15, Step: 5}
+	preds, err := det.Diagnose(smallSet(30), 0, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Windows at 0,5,10,15 (15s window over 30s with hop 5).
+	if len(preds) != 4 {
+		t.Fatalf("overlapping windows = %d, want 4", len(preds))
+	}
+	if preds[1].From != 5 || preds[1].To != 20 {
+		t.Errorf("window 1 = %+v", preds[1])
+	}
+}
+
+func TestDiagnoseFeatureMismatch(t *testing.T) {
+	det := trainSmall(t)
+	// A metric set with only one series yields far fewer features than
+	// the model was trained on: must error, not panic.
+	if _, err := det.Diagnose(smallSet(30), 0, 30); err == nil {
+		t.Error("feature mismatch should error")
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	ds := &ml.Dataset{
+		X:       [][]float64{{1}, {2}},
+		Y:       []int{0, 1},
+		Classes: []string{"a", "b"},
+	}
+	if _, err := Train(ds, 0, 1); err == nil {
+		t.Error("zero window should error")
+	}
+	if _, err := Train(&ml.Dataset{Classes: []string{"a"}}, 10, 1); err == nil {
+		t.Error("empty dataset should error")
+	}
+}
+
+func TestDiagnoseValidation(t *testing.T) {
+	var d Detector
+	if _, err := d.Diagnose(trace.NewSet(), 0, 10); err == nil {
+		t.Error("untrained detector should error")
+	}
+	det := &Detector{Model: ml.NewTree(ml.TreeOptions{}), Classes: []string{"a"}, Window: 10}
+	if _, err := det.Diagnose(trace.NewSet(), 0, 20); err == nil {
+		t.Error("empty metric set should error")
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	preds := []Prediction{
+		{From: 0, To: 10, Class: "none"},
+		{From: 10, To: 20, Class: "cpuoccupy"},
+		{From: 20, To: 30, Class: "memleak"},
+	}
+	label := func(t float64) string {
+		if t >= 10 && t < 20 {
+			return "cpuoccupy"
+		}
+		return "" // scored as none
+	}
+	if acc := Accuracy(preds, label); acc != 2.0/3 {
+		t.Errorf("accuracy = %v", acc)
+	}
+	if Accuracy(nil, label) != 0 {
+		t.Error("no predictions should score 0")
+	}
+}

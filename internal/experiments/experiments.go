@@ -1,0 +1,16 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation on the simulated cluster. Each experiment is a function
+// returning a structured result with a Render method; the registry in
+// registry.go maps experiment IDs (fig2..fig13, table1, table2) to
+// runners for the hpas-bench and hpas-sim commands.
+//
+// Every experiment accepts a "quick" flag that shrinks run lengths and
+// sweep densities so the whole suite stays fast inside go test benches;
+// the full-size variants match the paper's setups.
+package experiments
+
+// Result is a rendered experiment outcome.
+type Result interface {
+	// Render returns the terminal representation of the figure/table.
+	Render() string
+}

@@ -1,0 +1,444 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// All experiment tests run in quick mode; the full-size runs are
+// exercised by the repository benchmarks and hpas-bench.
+
+func TestTable1(t *testing.T) {
+	r, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Infos) != 8 {
+		t.Fatalf("%d anomalies", len(r.Infos))
+	}
+	out := r.Render()
+	for _, name := range []string{"cpuoccupy", "iobandwidth", "utilization%"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("render missing %q", name)
+		}
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	r, err := Fig2(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Intensities) != 10 {
+		t.Fatalf("%d points", len(r.Intensities))
+	}
+	// The anomaly must track the requested intensity closely (Fig 2's
+	// whole point), allowing for OS noise.
+	if e := r.MaxAbsError(); e > 4 {
+		t.Errorf("max |measured-requested| = %v%%", e)
+	}
+	// Monotone in intensity.
+	for i := 1; i < len(r.Utilizations); i++ {
+		if r.Utilizations[i] <= r.Utilizations[i-1] {
+			t.Errorf("utilization not increasing at %v", r.Intensities[i])
+		}
+	}
+	if !strings.Contains(r.Render(), "Figure 2") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	r, err := Fig3(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cases) != 8 {
+		t.Fatalf("%d cases", len(r.Cases))
+	}
+	for _, m := range []string{"voltrino", "chameleon"} {
+		order := []string{"none", "L1", "L2", "L3"}
+		for i := 1; i < len(order); i++ {
+			lo, hi := r.MPKI(m, order[i-1]), r.MPKI(m, order[i])
+			if hi+1e-9 < lo {
+				t.Errorf("%s: MPKI decreased from %s (%v) to %s (%v)", m, order[i-1], lo, order[i], hi)
+			}
+		}
+		if r.MPKI(m, "L3") <= r.MPKI(m, "none") {
+			t.Errorf("%s: L3-sized cachecopy must raise MPKI", m)
+		}
+	}
+	// Chameleon's smaller L3 suffers more, as in the paper.
+	if r.MPKI("chameleon", "L3") <= r.MPKI("voltrino", "L3") {
+		t.Error("chameleon should see more misses than voltrino")
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	r, err := Fig4(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	none := r.Rate("none")
+	if none < 12e9 {
+		t.Errorf("clean STREAM = %v", none)
+	}
+	// membw reduces bandwidth monotonically with instance count.
+	prev := none
+	for _, lbl := range []string{"membw 1x", "membw 3x", "membw 7x", "membw 15x"} {
+		v := r.Rate(lbl)
+		if v > prev+1e6 {
+			t.Errorf("%s rate %v above previous %v", lbl, v, prev)
+		}
+		prev = v
+	}
+	if r.Rate("membw 15x") > 0.5*none {
+		t.Error("membw x15 should at least halve STREAM")
+	}
+	// cachecopy leaves bandwidth intact (the paper's key contrast).
+	if r.Rate("cachecopy 15x") < 0.9*none {
+		t.Error("cachecopy x15 should not dent STREAM")
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	r, err := Fig5(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Times) != len(r.MemLeak) || len(r.Times) != len(r.MemEater) {
+		t.Fatal("length mismatch")
+	}
+	n := len(r.Times)
+	quarter, half, threeQ := n/4, n/2, 3*n/4
+	// memleak grows through the window.
+	if !(r.MemLeak[quarter] < r.MemLeak[half] && r.MemLeak[half] < r.MemLeak[threeQ]) {
+		t.Errorf("memleak not growing: %v %v %v", r.MemLeak[quarter], r.MemLeak[half], r.MemLeak[threeQ])
+	}
+	// memeater plateaus: mid and late footprints are similar and above
+	// the start.
+	if r.MemEater[half] <= r.MemEater[2] {
+		t.Error("memeater did not ramp")
+	}
+	ratio := r.MemEater[threeQ] / r.MemEater[half]
+	if ratio > 1.15 || ratio < 0.85 {
+		t.Errorf("memeater not flat after ramp: %v", ratio)
+	}
+	// Both release memory after their window ends.
+	if r.MemLeak[n-1] >= r.MemLeak[threeQ] {
+		t.Error("memleak footprint should drop after its window")
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	r, err := Fig6(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bandwidth rises with message size for every condition.
+	for n, bws := range r.Bandwidths {
+		for i := 1; i < len(bws); i++ {
+			if bws[i] < bws[i-1]-1e-6 {
+				t.Errorf("%d nodes: bandwidth fell with larger message", n)
+			}
+		}
+	}
+	// More anomaly nodes -> (weakly) less OSU bandwidth; the damage is
+	// bounded by adaptive routing.
+	if !(r.PeakBandwidth(6) < r.PeakBandwidth(0)) {
+		t.Error("6 anomaly nodes should reduce peak bandwidth")
+	}
+	if r.PeakBandwidth(6) < 0.3*r.PeakBandwidth(0) {
+		t.Error("reduction too severe for adaptive routing")
+	}
+	if r.PeakBandwidth(2) > r.PeakBandwidth(0)+1e-6 {
+		t.Error("bandwidth should not rise with anomalies")
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	r, err := Fig7(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	none, bw, meta := r.Case("none"), r.Case("iobandwidth"), r.Case("iometadata")
+	if none == nil || bw == nil || meta == nil {
+		t.Fatal("missing cases")
+	}
+	// Both anomalies reduce IOR bandwidth; iobandwidth hurts data more.
+	if !(bw.WriteBW < none.WriteBW && meta.WriteBW < none.WriteBW) {
+		t.Error("write bandwidth should drop under both anomalies")
+	}
+	if bw.WriteBW >= meta.WriteBW {
+		t.Error("iobandwidth should hurt data bandwidth more than iometadata")
+	}
+	if !(bw.ReadBW < none.ReadBW && meta.ReadBW < none.ReadBW) {
+		t.Error("read bandwidth should drop under both anomalies")
+	}
+	// iometadata hurts the metadata (access) phase most.
+	if meta.Access >= none.Access {
+		t.Error("iometadata should reduce access rate")
+	}
+	if meta.Access >= bw.Access {
+		t.Error("iometadata should hurt access more than iobandwidth")
+	}
+}
+
+func TestTable2MatchesPaper(t *testing.T) {
+	r, err := Table2(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 8 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	if m := r.Matches(); m != 8 {
+		t.Errorf("only %d/8 apps match the paper's Table 2 classes\n%s", m, r.Render())
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	r, err := Fig8(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range r.Apps {
+		for _, an := range r.Anomalies {
+			if r.Times[app][an] <= 0 {
+				t.Fatalf("%s/%s did not finish", app, an)
+			}
+		}
+	}
+	// CPU-intensive app: cachecopy and cpuoccupy dominate.
+	if r.Slowdown("CoMD", "cachecopy") < 1.3 {
+		t.Errorf("cachecopy slowdown on CoMD = %v", r.Slowdown("CoMD", "cachecopy"))
+	}
+	if r.Slowdown("CoMD", "cpuoccupy") < 1.2 {
+		t.Errorf("cpuoccupy slowdown on CoMD = %v", r.Slowdown("CoMD", "cpuoccupy"))
+	}
+	// Memory-intensive app: membw dominates.
+	if r.Slowdown("miniGhost", "membw") < r.Slowdown("miniGhost", "cpuoccupy") {
+		t.Error("membw should hurt miniGhost more than cpuoccupy")
+	}
+	if r.Slowdown("miniGhost", "membw") < r.Slowdown("CoMD", "membw") {
+		t.Error("membw should hurt the memory-bound app more")
+	}
+	// memleak/memeater/netoccupy have no visible effect (paper Fig 8).
+	for _, app := range r.Apps {
+		for _, an := range []string{"memeater", "memleak", "netoccupy"} {
+			if s := r.Slowdown(app, an); s > 1.08 {
+				t.Errorf("%s should not slow %s, slowdown %v", an, app, s)
+			}
+		}
+	}
+}
+
+func TestFig9And10Shape(t *testing.T) {
+	r, err := Fig9(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Classes) != 6 {
+		t.Fatalf("%d classes", len(r.Classes))
+	}
+	for _, name := range ClassifierNames() {
+		if len(r.F1[name]) != 6 {
+			t.Errorf("%s has %d F1 scores", name, len(r.F1[name]))
+		}
+		if r.Confusions[name].Total() != r.Samples {
+			t.Errorf("%s confusion total mismatch", name)
+		}
+	}
+	f10, err := Fig10(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f10.Render(), "cachecopy") {
+		t.Error("fig10 render incomplete")
+	}
+	// Rows of the rendered confusion matrix are normalized.
+	for ti := range f10.Confusion.Classes {
+		row := f10.Confusion.Row(ti)
+		var sum float64
+		for _, v := range row {
+			sum += v
+		}
+		if sum < 0.99 || sum > 1.01 {
+			t.Errorf("row %d sums to %v", ti, sum)
+		}
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	r, err := Fig12(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := r.Allocation("RoundRobin")
+	if len(rr) != 4 || rr[0] != 0 || rr[1] != 1 || rr[2] != 2 || rr[3] != 3 {
+		t.Errorf("RR allocation = %v, want [0 1 2 3]", rr)
+	}
+	wb := r.Allocation("WBAS")
+	for _, n := range wb {
+		if n == 0 || n == 2 {
+			t.Errorf("WBAS picked anomalous node %d: %v", n, wb)
+		}
+	}
+	if r.Improvement() < 0.1 {
+		t.Errorf("WBAS improvement = %v, want > 10%%", r.Improvement())
+	}
+	if !strings.Contains(r.Render(), "WBAS") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	r, err := Fig13(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tie at zero anomaly.
+	b0, g0 := r.At(0)
+	if b0 != g0 {
+		t.Errorf("balancers should tie at 0: %v vs %v", b0, g0)
+	}
+	// Greedy wins in the mid-range.
+	bMid, gMid := r.At(800)
+	if gMid >= bMid {
+		t.Errorf("greedy (%v) should beat blind (%v) at 800%%", gMid, bMid)
+	}
+	// Near-tie at saturation.
+	bSat, gSat := r.At(3200)
+	if gSat > bSat*1.05 {
+		t.Errorf("greedy should not lose at saturation: %v vs %v", gSat, bSat)
+	}
+	if bSat < b0*1.5 {
+		t.Error("saturation should roughly double iteration time")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 18 {
+		t.Fatalf("%d experiments registered", len(all))
+	}
+	if _, err := ByID("fig8"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown id should error")
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("incomplete experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}
+
+func TestAblationMemBWShape(t *testing.T) {
+	r, err := AblationMemBW(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.F1With) != len(r.Classes) || len(r.F1Without) != len(r.Classes) {
+		t.Fatal("F1 vectors malformed")
+	}
+	// The added counter must not hurt overall quality, which would
+	// contradict the paper's hypothesis for the Fig. 10 confusion.
+	if r.MacroWith < r.MacroWithout-0.08 {
+		t.Errorf("membw counter degraded macro F1: %v -> %v", r.MacroWithout, r.MacroWith)
+	}
+	if !strings.Contains(r.Render(), "membw ctr") {
+		t.Error("render incomplete")
+	}
+	// The counter measures membw's signature directly and must not
+	// materially hurt that class.
+	if r.MembwGain() < -0.1 {
+		t.Errorf("membw counter hurt the membw class: %v", r.MembwGain())
+	}
+}
+
+func TestAblationRoutingShape(t *testing.T) {
+	r, err := AblationRouting(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Adaptive) != len(r.Pairs) || len(r.Direct) != len(r.Pairs) {
+		t.Fatal("series malformed")
+	}
+	// Adaptive routing must dominate at every contention level, and the
+	// minimal-only configuration must collapse much harder.
+	for i := range r.Pairs {
+		if r.Adaptive[i] < r.Direct[i] {
+			t.Errorf("%d pairs: adaptive (%v) below minimal-only (%v)", r.Pairs[i], r.Adaptive[i], r.Direct[i])
+		}
+	}
+	last := len(r.Pairs) - 1
+	if r.Direct[last] > 0.5*r.Adaptive[last] {
+		t.Error("minimal-only should collapse far harder under contention")
+	}
+}
+
+func TestAblationRebalanceShape(t *testing.T) {
+	r, err := AblationRebalance(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Monotone() {
+		t.Errorf("shorter periods should adapt (weakly) faster: %v", r.MeanIter)
+	}
+	// Every greedy configuration beats the blind balancer.
+	for i, m := range r.MeanIter {
+		if m >= r.Blind {
+			t.Errorf("period %d: greedy (%v) not better than blind (%v)", r.Periods[i], m, r.Blind)
+		}
+	}
+}
+
+func TestMotivationShape(t *testing.T) {
+	r, err := Motivation(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Times) != 6 {
+		t.Fatalf("reps = %d", len(r.Times))
+	}
+	// Anomalies must create measurable variability.
+	if r.MaxSlowdown() < 1.05 {
+		t.Errorf("MaxSlowdown = %v", r.MaxSlowdown())
+	}
+	if !strings.Contains(r.Render(), "CoV") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestDragonflyExtensionShape(t *testing.T) {
+	r, err := DragonflyExperiment(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.IntraGroup) != 4 || len(r.InterGroup) != 4 {
+		t.Fatal("series malformed")
+	}
+	// Clean runs: both localities near peak.
+	if r.IntraGroup[0] < 8 || r.InterGroup[0] < 8 {
+		t.Errorf("clean bandwidth too low: %v / %v", r.IntraGroup[0], r.InterGroup[0])
+	}
+	// Under contention the inter-group flow, funnelled through one
+	// global link, must degrade more than the intra-group flow.
+	if r.InterGroup[3] >= r.IntraGroup[3] {
+		t.Errorf("inter-group (%v) should degrade below intra-group (%v)",
+			r.InterGroup[3], r.IntraGroup[3])
+	}
+	// Monotone degradation with contention.
+	for i := 1; i < 4; i++ {
+		if r.InterGroup[i] > r.InterGroup[i-1]+1e-6 {
+			t.Error("inter-group bandwidth rose with contention")
+		}
+	}
+}

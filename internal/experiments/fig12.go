@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hpas/internal/apps"
+	"hpas/internal/cluster"
+	"hpas/internal/core"
+	"hpas/internal/report"
+	"hpas/internal/sched"
+	"hpas/internal/sim"
+	"hpas/internal/stats"
+	"hpas/internal/units"
+)
+
+// Fig12Policy holds one allocation policy's outcome.
+type Fig12Policy struct {
+	Policy   string
+	Nodes    []int     // allocation chosen (the paper's Figure 11)
+	Times    []float64 // SW4lite completion times, one per repetition
+	MeanTime float64
+}
+
+// Fig12Result reproduces the paper's Figures 11 and 12: on an 8-node
+// system with cpuoccupy on node 0 and memleak on node 2, Round-Robin
+// allocates SW4lite onto the anomalous nodes while WBAS avoids them and
+// finishes substantially faster (26% in the paper).
+type Fig12Result struct {
+	Policies []Fig12Policy
+	// NodeStates snapshotted at allocation time, for the report.
+	States []sched.NodeState
+}
+
+// Fig12 runs the experiment. quick shrinks iteration counts and reps.
+func Fig12(quick bool) (*Fig12Result, error) {
+	reps := 3
+	iterations := 0
+	warmup := 80.0
+	if quick {
+		reps = 1
+		iterations = 3
+		warmup = 30
+	}
+	res := &Fig12Result{}
+	for _, policy := range []sched.Policy{sched.RoundRobin{}, sched.WBAS{}} {
+		p := Fig12Policy{Policy: policy.Name()}
+		for rep := 0; rep < reps; rep++ {
+			t, nodes, states, err := fig12Run(policy, iterations, warmup, uint64(rep+1))
+			if err != nil {
+				return nil, err
+			}
+			p.Times = append(p.Times, t)
+			p.Nodes = nodes
+			if policy.Name() == "WBAS" && rep == 0 {
+				res.States = states
+			}
+		}
+		p.MeanTime = stats.Mean(p.Times)
+		res.Policies = append(res.Policies, p)
+	}
+	return res, nil
+}
+
+// fig12Run warms up an 8-node cluster with the two anomalies, snapshots
+// the scheduler's node view, allocates 4 nodes with the policy, runs
+// SW4lite there, and returns its completion time.
+func fig12Run(policy sched.Policy, iterations int, warmup float64, seed uint64) (float64, []int, []sched.NodeState, error) {
+	cfg := cluster.Voltrino(8)
+	cfg.Seed = seed
+	c := cluster.New(cfg)
+	// cpuoccupy: 100% of one core on node 0.
+	if _, err := core.Inject(c, core.Spec{Name: "cpuoccupy", Node: 0, CPU: 32, Intensity: 100}); err != nil {
+		return 0, nil, nil, err
+	}
+	// memleak on node 2: grows fast, capped so ~1 GB stays free.
+	leakLimit := cfg.Machine.Memory - cfg.Machine.BaselineResident - 1*units.GiB
+	leakRate := float64(leakLimit) / float64(20*units.MiB) / (warmup * 0.75)
+	if _, err := core.Inject(c, core.Spec{
+		Name: "memleak", Node: 2, CPU: 34,
+		Intensity: leakRate, Limit: leakLimit,
+	}); err != nil {
+		return 0, nil, nil, err
+	}
+
+	eng := sim.New(sim.DefaultDT)
+	eng.Add(c)
+	eng.RunFor(warmup)
+
+	// Scheduler's monitoring view.
+	var states []sched.NodeState
+	for i := 0; i < c.NumNodes(); i++ {
+		states = append(states, sched.NodeState{
+			ID:       i,
+			Load:     c.Node(i).CPULoad(),
+			Load5Min: c.Node(i).CPULoad(),
+			MemFree:  c.Node(i).MemFree(),
+		})
+	}
+	nodes, err := policy.Select(states, 4)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+
+	profile, _ := apps.ByName("sw4lite")
+	if iterations > 0 {
+		profile.Iterations = iterations
+	}
+	job := apps.Launch(c, profile, nodes, cfg.Machine.PhysCores())
+	start := eng.Now()
+	if _, ok := eng.RunUntil(job.Done, 4000); !ok {
+		return 0, nodes, states, fmt.Errorf("experiments: sw4lite did not finish under %s", policy.Name())
+	}
+	return job.FinishedAt() - start, nodes, states, nil
+}
+
+// Mean returns the mean completion time under the named policy (-1 if
+// absent).
+func (r *Fig12Result) Mean(policy string) float64 {
+	for _, p := range r.Policies {
+		if p.Policy == policy {
+			return p.MeanTime
+		}
+	}
+	return -1
+}
+
+// Allocation returns the nodes chosen by the named policy.
+func (r *Fig12Result) Allocation(policy string) []int {
+	for _, p := range r.Policies {
+		if p.Policy == policy {
+			return p.Nodes
+		}
+	}
+	return nil
+}
+
+// Improvement returns WBAS's relative runtime reduction vs Round-Robin.
+func (r *Fig12Result) Improvement() float64 {
+	rr, wb := r.Mean("RoundRobin"), r.Mean("WBAS")
+	if rr <= 0 {
+		return 0
+	}
+	return (rr - wb) / rr
+}
+
+// Render implements Result.
+func (r *Fig12Result) Render() string {
+	var b strings.Builder
+	t := report.Table{
+		Title:   "Figure 11/12: SW4lite allocation and runtime under RR vs WBAS (cpuoccupy@node0, memleak@node2)",
+		Headers: []string{"policy", "allocation", "runs (s)", "mean (s)"},
+	}
+	for _, p := range r.Policies {
+		runs := make([]string, len(p.Times))
+		for i, v := range p.Times {
+			runs[i] = fmt.Sprintf("%.0f", v)
+		}
+		t.AddRow(p.Policy, fmt.Sprint(p.Nodes), strings.Join(runs, " "), fmt.Sprintf("%.0f", p.MeanTime))
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "\nWBAS reduces mean execution time by %.0f%% (paper: 26%%)\n", r.Improvement()*100)
+	return b.String()
+}

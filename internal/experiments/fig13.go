@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hpas/internal/lb"
+	"hpas/internal/report"
+)
+
+// Fig13Result holds the load-balancer comparison of the paper's
+// Figure 13: a Charm++-style 3D stencil with 128 chares on 32 PEs,
+// swept over cpuoccupy intensity from 0 to 3200% (all 32 CPUs).
+// LBObjOnly ignores PE capacity and is gated by the slowest PE;
+// GreedyRefineLB measures capacity and stays near-optimal until the
+// anomaly saturates the node, where the two meet again.
+type Fig13Result struct {
+	Utilizations []float64 // cpuoccupy intensity, % of one CPU
+	ObjOnly      []float64 // time per iteration, s
+	Greedy       []float64
+}
+
+const (
+	fig13PEs     = 32
+	fig13Objects = 128
+	fig13ObjLoad = 0.0075 // seconds per object per iteration
+)
+
+// Fig13 runs the sweep.
+func Fig13(quick bool) (*Fig13Result, error) {
+	step := 100.0
+	if quick {
+		step = 400
+	}
+	objs := make([]float64, fig13Objects)
+	for i := range objs {
+		objs[i] = fig13ObjLoad
+	}
+	blind := lb.LBObjOnly{}
+	greedy := lb.GreedyRefineLB{CapacityQuantum: 0.25}
+	res := &Fig13Result{}
+	for util := 0.0; util <= 3200; util += step {
+		caps := lb.CapacitiesUnderCPUOccupy(fig13PEs, util)
+		aBlind, err := blind.Assign(objs, caps)
+		if err != nil {
+			return nil, err
+		}
+		aGreedy, err := greedy.Assign(objs, caps)
+		if err != nil {
+			return nil, err
+		}
+		res.Utilizations = append(res.Utilizations, util)
+		res.ObjOnly = append(res.ObjOnly, lb.IterTime(objs, aBlind, caps))
+		res.Greedy = append(res.Greedy, lb.IterTime(objs, aGreedy, caps))
+	}
+	return res, nil
+}
+
+// At returns (objOnly, greedy) iteration times at the given utilization
+// (-1,-1 when absent).
+func (r *Fig13Result) At(util float64) (float64, float64) {
+	for i, u := range r.Utilizations {
+		if u == util {
+			return r.ObjOnly[i], r.Greedy[i]
+		}
+	}
+	return -1, -1
+}
+
+// Render implements Result.
+func (r *Fig13Result) Render() string {
+	return report.Lines(
+		fmt.Sprintf("Figure 13: 3D stencil time/iteration (s) vs. cpuoccupy intensity, %d chares on %d PEs",
+			fig13Objects, fig13PEs),
+		"util%",
+		r.Utilizations,
+		map[string][]float64{"LBObjOnly": r.ObjOnly, "GreedyRefineLB": r.Greedy},
+		[]string{"LBObjOnly", "GreedyRefineLB"})
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hpas/internal/cluster"
+	"hpas/internal/core"
+	"hpas/internal/monitor"
+	"hpas/internal/report"
+	"hpas/internal/stats"
+)
+
+// Fig2Result holds the cpuoccupy intensity-vs-utilization sweep of the
+// paper's Figure 2: the anomaly must consume exactly the requested
+// percentage of one CPU (plus OS noise).
+type Fig2Result struct {
+	Intensities  []float64 // requested, percent of one CPU
+	Utilizations []float64 // measured user+sys, percent of one CPU
+}
+
+// Fig2 runs the sweep. quick shrinks the per-point observation window.
+func Fig2(quick bool) (*Fig2Result, error) {
+	window := 30.0
+	if quick {
+		window = 8
+	}
+	res := &Fig2Result{}
+	for u := 10.0; u <= 100; u += 10 {
+		run, err := core.Run(core.RunConfig{
+			Cluster:      cluster.Voltrino(1),
+			Anomalies:    []core.Spec{{Name: "cpuoccupy", Node: 0, CPU: 0, Intensity: u}},
+			FixedSeconds: window,
+			Seed:         uint64(u),
+		})
+		if err != nil {
+			return nil, err
+		}
+		set := run.Metrics[0]
+		user := set.Get(monitor.MetricUser).Values
+		sys := set.Get(monitor.MetricSys).Values
+		total := make([]float64, len(user))
+		for i := range user {
+			total[i] = user[i] + sys[i]
+		}
+		res.Intensities = append(res.Intensities, u)
+		res.Utilizations = append(res.Utilizations, stats.Mean(total))
+	}
+	return res, nil
+}
+
+// MaxAbsError returns the largest |measured - requested| over the sweep.
+func (r *Fig2Result) MaxAbsError() float64 {
+	var worst float64
+	for i := range r.Intensities {
+		d := r.Utilizations[i] - r.Intensities[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// Render implements Result.
+func (r *Fig2Result) Render() string {
+	c := report.BarChart{
+		Title: "Figure 2: cpuoccupy intensity vs. node CPU utilization (Voltrino)",
+		Unit:  "% of one CPU",
+	}
+	for i := range r.Intensities {
+		c.Add(fmt.Sprintf("intensity %3.0f%%", r.Intensities[i]), r.Utilizations[i])
+	}
+	return c.String()
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hpas/internal/anomaly"
+	"hpas/internal/apps"
+	"hpas/internal/cluster"
+	"hpas/internal/report"
+	"hpas/internal/sim"
+)
+
+// Fig3Case labels one bar of Figure 3.
+type Fig3Case struct {
+	Machine string  // "voltrino" or "chameleon"
+	Target  string  // "none", "L1", "L2", "L3"
+	MPKI    float64 // miniGhost L3 misses per kilo-instruction
+}
+
+// Fig3Result holds the cachecopy working-set sweep of the paper's
+// Figure 3: a single-rank miniGhost shares a physical core (via SMT)
+// with cachecopy, and its L3 MPKI rises with the anomaly's working-set
+// level; Chameleon Cloud suffers more because its L3 is smaller.
+type Fig3Result struct {
+	Cases []Fig3Case
+}
+
+// Fig3 runs the sweep on both machine models.
+func Fig3(quick bool) (*Fig3Result, error) {
+	window := 30.0
+	if quick {
+		window = 8
+	}
+	res := &Fig3Result{}
+	machines := []struct {
+		name string
+		cfg  cluster.Config
+	}{
+		{"voltrino", cluster.Voltrino(1)},
+		{"chameleon", cluster.ChameleonCloud(1)},
+	}
+	targets := []struct {
+		name  string
+		level anomaly.CacheLevel
+	}{
+		{"none", 0}, {"L1", anomaly.L1}, {"L2", anomaly.L2}, {"L3", anomaly.L3},
+	}
+	for _, m := range machines {
+		for _, target := range targets {
+			c := cluster.New(m.cfg)
+			if target.level != 0 {
+				cc := anomaly.NewCacheCopy(c.Config().Machine, target.level)
+				// SMT sibling of CPU 0, sharing L1/L2/L3 with the rank.
+				c.Place(cc, 0, c.Config().Machine.PhysCores())
+			}
+			profile, _ := apps.ByName("miniGhost")
+			profile.Iterations = 1 << 20
+			job := apps.Launch(c, profile, []int{0}, 1)
+			eng := sim.New(sim.DefaultDT)
+			eng.Add(c)
+			eng.RunFor(window)
+			res.Cases = append(res.Cases, Fig3Case{
+				Machine: m.name,
+				Target:  target.name,
+				MPKI:    job.L3MPKI(),
+			})
+		}
+	}
+	return res, nil
+}
+
+// MPKI returns the measured MPKI for a machine/target pair (-1 if absent).
+func (r *Fig3Result) MPKI(machine, target string) float64 {
+	for _, c := range r.Cases {
+		if c.Machine == machine && c.Target == target {
+			return c.MPKI
+		}
+	}
+	return -1
+}
+
+// Render implements Result.
+func (r *Fig3Result) Render() string {
+	c := report.BarChart{
+		Title: "Figure 3: cachecopy working-set level vs. miniGhost L3 MPKI",
+		Unit:  "MPKI",
+	}
+	for _, cs := range r.Cases {
+		c.Add(fmt.Sprintf("%-9s ws=%s", cs.Machine, cs.Target), cs.MPKI)
+	}
+	return c.String()
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"hpas/internal/anomaly"
+	"hpas/internal/apps"
+	"hpas/internal/cluster"
+	"hpas/internal/report"
+	"hpas/internal/sim"
+)
+
+// Fig4Case is one bar of Figure 4.
+type Fig4Case struct {
+	Label    string
+	BestRate float64 // STREAM best rate, bytes/s
+}
+
+// Fig4Result holds the STREAM-vs-anomaly experiment of the paper's
+// Figure 4: membw instances on the other cores of the socket crush the
+// bandwidth available to STREAM on core 0, while an equal number of
+// cachecopy instances leave it almost untouched.
+type Fig4Result struct {
+	Cases []Fig4Case
+}
+
+// Fig4 runs the sweep.
+func Fig4(quick bool) (*Fig4Result, error) {
+	window := 15.0
+	if quick {
+		window = 5
+	}
+	run := func(label string, place func(c *cluster.Cluster)) Fig4Case {
+		c := cluster.New(cluster.Voltrino(1))
+		s := apps.NewStream()
+		c.Place(s, 0, 0)
+		if place != nil {
+			place(c)
+		}
+		eng := sim.New(sim.DefaultDT)
+		eng.Add(c)
+		eng.RunFor(window)
+		return Fig4Case{Label: label, BestRate: s.BestRate()}
+	}
+	placeMemBW := func(n int) func(c *cluster.Cluster) {
+		return func(c *cluster.Cluster) {
+			for i := 1; i <= n; i++ {
+				c.Place(anomaly.NewMemBW(), 0, i) // cores 1..n, same socket
+			}
+		}
+	}
+	res := &Fig4Result{}
+	res.Cases = append(res.Cases, run("none", nil))
+	for _, n := range []int{1, 3, 7, 15} {
+		res.Cases = append(res.Cases, run(label("membw", n), placeMemBW(n)))
+	}
+	res.Cases = append(res.Cases, run("cachecopy 15x", func(c *cluster.Cluster) {
+		for i := 1; i <= 15; i++ {
+			c.Place(anomaly.NewCacheCopy(c.Config().Machine, anomaly.L3), 0, i)
+		}
+	}))
+	return res, nil
+}
+
+func label(name string, n int) string {
+	switch n {
+	case 1:
+		return name + " 1x"
+	case 3:
+		return name + " 3x"
+	case 7:
+		return name + " 7x"
+	default:
+		return name + " 15x"
+	}
+}
+
+// Rate returns the measured rate for a label (-1 if absent).
+func (r *Fig4Result) Rate(lbl string) float64 {
+	for _, c := range r.Cases {
+		if c.Label == lbl {
+			return c.BestRate
+		}
+	}
+	return -1
+}
+
+// Render implements Result.
+func (r *Fig4Result) Render() string {
+	c := report.BarChart{
+		Title: "Figure 4: membw / cachecopy effect on STREAM best rate (Voltrino)",
+		Unit:  "GB/s",
+	}
+	for _, cs := range r.Cases {
+		c.Add(cs.Label, cs.BestRate/1e9)
+	}
+	return c.String()
+}

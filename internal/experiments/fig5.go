@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hpas/internal/cluster"
+	"hpas/internal/core"
+	"hpas/internal/monitor"
+	"hpas/internal/units"
+)
+
+// Fig5Result holds the memory-footprint timelines of the paper's
+// Figure 5: memeater ramps quickly to its buffer size and stays flat,
+// while memleak grows linearly for its whole window.
+type Fig5Result struct {
+	Times    []float64 // seconds
+	MemLeak  []float64 // node memory used, bytes
+	MemEater []float64
+}
+
+// Fig5 runs both anomalies for the paper's 500-second window (50 s in
+// quick mode, with the leak rate scaled up to keep the same shape).
+func Fig5(quick bool) (*Fig5Result, error) {
+	window := 500.0
+	leakRate := 0.45 // 20 MiB chunks -> ~9 MB/s -> ~4 GiB over 450 s
+	eaterRate := 1.0
+	if quick {
+		window = 50
+		leakRate = 4.5
+		eaterRate = 10
+	}
+	run := func(spec core.Spec) ([]float64, []float64, error) {
+		r, err := core.Run(core.RunConfig{
+			Cluster:      cluster.Voltrino(1),
+			Anomalies:    []core.Spec{spec},
+			FixedSeconds: window,
+			Seed:         5,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		used := r.Metrics[0].Get(monitor.MetricMemUsed)
+		times := make([]float64, used.Len())
+		for i := range times {
+			times[i] = float64(i+1) * used.Period
+		}
+		return times, used.Values, nil
+	}
+	leakSpec := core.Spec{Name: "memleak", Node: 0, CPU: 0, Start: 5, End: window * 0.9, Intensity: leakRate}
+	eaterSpec := core.Spec{Name: "memeater", Node: 0, CPU: 0, Start: 5, End: window * 0.9,
+		Size: units.ByteSize(3.5 * float64(units.GiB)), Intensity: eaterRate}
+
+	times, leak, err := run(leakSpec)
+	if err != nil {
+		return nil, err
+	}
+	_, eater, err := run(eaterSpec)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig5Result{Times: times, MemLeak: leak, MemEater: eater}, nil
+}
+
+// Render implements Result.
+func (r *Fig5Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 5: memory usage over time, memleak vs. memeater (Voltrino)\n")
+	step := len(r.Times) / 20
+	if step < 1 {
+		step = 1
+	}
+	b.WriteString(fmt.Sprintf("%8s  %12s  %12s\n", "t(s)", "memleak", "memeater"))
+	for i := 0; i < len(r.Times); i += step {
+		b.WriteString(fmt.Sprintf("%8.0f  %12s  %12s\n",
+			r.Times[i],
+			units.ByteSize(r.MemLeak[i]).String(),
+			units.ByteSize(r.MemEater[i]).String()))
+	}
+	return b.String()
+}

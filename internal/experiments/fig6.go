@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hpas/internal/anomaly"
+	"hpas/internal/apps"
+	"hpas/internal/cluster"
+	"hpas/internal/report"
+	"hpas/internal/sim"
+)
+
+// Fig6Result holds the OSU-vs-netoccupy sweep of the paper's Figure 6:
+// OSU bandwidth between two nodes on different switches, with 0/2/4/6
+// nodes running netoccupy pairs across the same switch pair. Adaptive
+// routing over Voltrino's redundant links limits the reduction.
+type Fig6Result struct {
+	MsgKB      []float64         // message sizes, KiB
+	Bandwidths map[int][]float64 // anomaly node count -> GB/s per size
+	NodeCounts []int             // sweep order: 0, 2, 4, 6
+}
+
+// Fig6 runs the sweep.
+func Fig6(quick bool) (*Fig6Result, error) {
+	window := 4.0
+	sizesKB := []float64{16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192}
+	if quick {
+		window = 1.5
+		sizesKB = []float64{16, 256, 8192}
+	}
+	res := &Fig6Result{
+		MsgKB:      sizesKB,
+		Bandwidths: make(map[int][]float64),
+		NodeCounts: []int{0, 2, 4, 6},
+	}
+	for _, nodes := range res.NodeCounts {
+		pairs := nodes / 2
+		for _, kb := range sizesKB {
+			c := cluster.New(cluster.Voltrino(8))
+			// OSU between node 0 (switch 0) and node 4 (switch 1).
+			osu := apps.NewOSU(0, 4, kb*1024)
+			c.Place(osu, 0, 0)
+			// Anomaly pairs on the remaining nodes of the same switches.
+			for p := 0; p < pairs; p++ {
+				c.Place(anomaly.NewNetOccupy(1+p, 5+p), 1+p, 0)
+			}
+			eng := sim.New(sim.DefaultDT)
+			eng.Add(c)
+			eng.RunFor(window)
+			res.Bandwidths[nodes] = append(res.Bandwidths[nodes], osu.Bandwidth()/1e9)
+		}
+	}
+	return res, nil
+}
+
+// PeakBandwidth returns the largest-message bandwidth for the given
+// anomaly node count (GB/s).
+func (r *Fig6Result) PeakBandwidth(nodes int) float64 {
+	bws := r.Bandwidths[nodes]
+	if len(bws) == 0 {
+		return 0
+	}
+	return bws[len(bws)-1]
+}
+
+// Render implements Result.
+func (r *Fig6Result) Render() string {
+	series := make(map[string][]float64)
+	var order []string
+	for _, n := range r.NodeCounts {
+		name := fmt.Sprintf("%d nodes", n)
+		order = append(order, name)
+		series[name] = r.Bandwidths[n]
+	}
+	return report.Lines(
+		"Figure 6: OSU bandwidth (GB/s) vs. message size under netoccupy (Voltrino)",
+		"KB", r.MsgKB, series, order)
+}

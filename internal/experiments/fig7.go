@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hpas/internal/anomaly"
+	"hpas/internal/apps"
+	"hpas/internal/cluster"
+	"hpas/internal/report"
+	"hpas/internal/sim"
+	"hpas/internal/units"
+)
+
+// Fig7Case is one bar group of Figure 7.
+type Fig7Case struct {
+	Anomaly string  // "none", "iobandwidth", "iometadata"
+	WriteBW float64 // bytes/s
+	Access  float64 // metadata ops/s
+	ReadBW  float64 // bytes/s
+}
+
+// Fig7Result holds the IOR-vs-I/O-anomaly experiment of the paper's
+// Figure 7, on the Chameleon Cloud NFS appliance: one NFS server, four
+// anomaly nodes with 48 instances each, and IOR on the fifth node.
+type Fig7Result struct {
+	Cases []Fig7Case
+}
+
+// Fig7 runs the experiment.
+func Fig7(quick bool) (*Fig7Result, error) {
+	window := 10.0
+	if quick {
+		window = 3
+	}
+	measure := func(anomalyName string, phase apps.IORPhase) (float64, float64, error) {
+		c := cluster.New(cluster.ChameleonCloud(5))
+		ior := apps.NewIOR(phase)
+		c.Place(ior, 4, 0)
+		for n := 0; n < 4; n++ {
+			switch anomalyName {
+			case "iobandwidth":
+				c.Place(anomaly.NewIOBandwidth(units.GiB, 48), n, 0)
+			case "iometadata":
+				c.Place(anomaly.NewIOMetadata(100, 48), n, 0)
+			}
+		}
+		eng := sim.New(sim.DefaultDT)
+		eng.Add(c)
+		eng.RunFor(window)
+		return ior.MeanBW(), ior.MeanOps(), nil
+	}
+	res := &Fig7Result{}
+	for _, a := range []string{"none", "iobandwidth", "iometadata"} {
+		var cs Fig7Case
+		cs.Anomaly = a
+		var err error
+		if cs.WriteBW, _, err = measure(a, apps.IORWrite); err != nil {
+			return nil, err
+		}
+		if _, cs.Access, err = measure(a, apps.IORAccess); err != nil {
+			return nil, err
+		}
+		if cs.ReadBW, _, err = measure(a, apps.IORRead); err != nil {
+			return nil, err
+		}
+		res.Cases = append(res.Cases, cs)
+	}
+	return res, nil
+}
+
+// Case returns the named case (nil if absent).
+func (r *Fig7Result) Case(name string) *Fig7Case {
+	for i := range r.Cases {
+		if r.Cases[i].Anomaly == name {
+			return &r.Cases[i]
+		}
+	}
+	return nil
+}
+
+// Render implements Result.
+func (r *Fig7Result) Render() string {
+	t := report.Table{
+		Title:   "Figure 7: IOR under I/O anomalies (Chameleon Cloud NFS)",
+		Headers: []string{"anomaly", "write MB/s", "access ops/s", "read MB/s"},
+	}
+	for _, c := range r.Cases {
+		t.AddRow(c.Anomaly,
+			fmt.Sprintf("%.1f", c.WriteBW/1e6),
+			fmt.Sprintf("%.0f", c.Access),
+			fmt.Sprintf("%.1f", c.ReadBW/1e6))
+	}
+	return t.String()
+}

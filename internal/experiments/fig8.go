@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hpas/internal/apps"
+	"hpas/internal/cluster"
+	"hpas/internal/core"
+	"hpas/internal/report"
+	"hpas/internal/units"
+)
+
+// Fig8Anomalies are the injection conditions of Figure 8, in the
+// figure's order ("none" last, as in the paper's x axis).
+func Fig8Anomalies() []string {
+	return []string{"cachecopy", "cpuoccupy", "membw", "memeater", "memleak", "netoccupy", "none"}
+}
+
+// Fig8Result holds the application-runtime matrix of the paper's
+// Figure 8: every Table 2 application run with every anomaly.
+type Fig8Result struct {
+	Apps      []string
+	Anomalies []string
+	// Times[app][anomaly] is the completion time in seconds (-1 when
+	// the run did not finish inside the bound).
+	Times map[string]map[string]float64
+}
+
+// fig8Spec returns the injection for one condition. The anomaly runs on
+// node 0 of the job (or, for netoccupy, between bystander nodes whose
+// traffic crosses the same switches).
+func fig8Spec(name string) []core.Spec {
+	switch name {
+	case "none":
+		return nil
+	case "cachecopy":
+		return []core.Spec{{Name: "cachecopy", Node: 0, CPU: 32}}
+	case "cpuoccupy":
+		return []core.Spec{{Name: "cpuoccupy", Node: 0, CPU: 32, Intensity: 100}}
+	case "membw":
+		return []core.Spec{{Name: "membw", Node: 0, CPU: 32, Count: 4, StreamBW: 25e9}}
+	case "memeater":
+		return []core.Spec{{Name: "memeater", Node: 0, CPU: 34, Size: 3 * units.GiB}}
+	case "memleak":
+		return []core.Spec{{Name: "memleak", Node: 0, CPU: 34, Intensity: 1}}
+	case "netoccupy":
+		// Pairs crossing the same switch pair as the job's halo traffic.
+		return []core.Spec{
+			{Name: "netoccupy", Node: 1, Peer: 5},
+			{Name: "netoccupy", Node: 2, Peer: 6},
+		}
+	}
+	return nil
+}
+
+// Fig8 runs the matrix. quick shrinks iteration counts and the app set.
+func Fig8(quick bool) (*Fig8Result, error) {
+	appNames := apps.Names()
+	iterations := 0 // profile default (full length)
+	if quick {
+		appNames = []string{"CoMD", "miniGhost"}
+		iterations = 3
+	}
+	res := &Fig8Result{
+		Apps:      appNames,
+		Anomalies: Fig8Anomalies(),
+		Times:     make(map[string]map[string]float64),
+	}
+	for _, app := range appNames {
+		res.Times[app] = make(map[string]float64)
+		for _, an := range res.Anomalies {
+			run, err := core.Run(core.RunConfig{
+				Cluster:    cluster.Voltrino(16),
+				App:        app,
+				AppNodes:   []int{0, 4, 8, 12}, // one node per switch
+				Iterations: iterations,
+				Anomalies:  fig8Spec(an),
+				MaxSeconds: 4000,
+				Seed:       8,
+			})
+			if err != nil {
+				return nil, err
+			}
+			t := run.Duration
+			if !run.Finished {
+				t = -1
+			}
+			res.Times[app][an] = t
+		}
+	}
+	return res, nil
+}
+
+// Slowdown returns Times[app][anomaly] / Times[app]["none"].
+func (r *Fig8Result) Slowdown(app, an string) float64 {
+	clean := r.Times[app]["none"]
+	if clean <= 0 {
+		return 0
+	}
+	return r.Times[app][an] / clean
+}
+
+// Render implements Result.
+func (r *Fig8Result) Render() string {
+	t := report.Table{
+		Title:   "Figure 8: application execution time (s) under each anomaly (Voltrino)",
+		Headers: append([]string{"app"}, r.Anomalies...),
+	}
+	for _, app := range r.Apps {
+		cells := []string{app}
+		for _, an := range r.Anomalies {
+			cells = append(cells, fmt.Sprintf("%.0f", r.Times[app][an]))
+		}
+		t.AddRow(cells...)
+	}
+	return t.String()
+}

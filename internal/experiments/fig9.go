@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hpas/internal/core"
+	"hpas/internal/ml"
+	"hpas/internal/report"
+)
+
+// ClassifierNames are the three algorithms compared in Figure 9.
+func ClassifierNames() []string { return []string{"DecisionTree", "AdaBoost", "RandomForest"} }
+
+func makeClassifier(name string) func() ml.Classifier {
+	switch name {
+	case "DecisionTree":
+		return func() ml.Classifier { return ml.NewTree(ml.TreeOptions{MaxDepth: 12}) }
+	case "AdaBoost":
+		return func() ml.Classifier { return ml.NewAdaBoost(ml.AdaBoostOptions{Rounds: 40, MaxDepth: 3, Seed: 7}) }
+	default:
+		return func() ml.Classifier { return ml.NewForest(ml.ForestOptions{Trees: 50, MaxDepth: 14, Seed: 7}) }
+	}
+}
+
+// Fig9Result holds the diagnosis F1 scores of the paper's Figure 9 and
+// the confusion matrices behind Figure 10: anomaly classification from
+// monitoring features via 3-fold stratified cross-validation.
+type Fig9Result struct {
+	Classes []string
+	// F1[classifier][class] in Classes order.
+	F1 map[string][]float64
+	// Confusions per classifier ("RandomForest" is the paper's Fig 10).
+	Confusions map[string]*ml.Confusion
+	// Dataset statistics.
+	Samples, Features int
+	// TopFeatures are the most important feature names of a random
+	// forest trained on the full dataset — the "which metrics matter"
+	// view of the paper's framework.
+	TopFeatures []string
+}
+
+// Fig9 generates the labelled dataset and cross-validates all three
+// classifiers. quick shrinks the dataset (fewer apps and reps, shorter
+// windows).
+func Fig9(quick bool) (*Fig9Result, error) {
+	cfg := core.DatasetConfig{Reps: 5, Window: 60, Seed: 99, Noise: 0.02}
+	if quick {
+		cfg.Apps = []string{"CoMD", "miniGhost"}
+		cfg.Reps = 2
+		cfg.Window = 30
+		cfg.Warmup = 6
+	}
+	ds, err := core.GenerateDataset(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig9Result{
+		Classes:    ds.Classes,
+		F1:         make(map[string][]float64),
+		Confusions: make(map[string]*ml.Confusion),
+		Samples:    ds.NumSamples(),
+		Features:   ds.NumFeatures(),
+	}
+	for _, name := range ClassifierNames() {
+		cv, err := ml.CrossValidate(makeClassifier(name), ds, 3, 42)
+		if err != nil {
+			return nil, err
+		}
+		res.F1[name] = cv.Confusion.F1Scores()
+		res.Confusions[name] = cv.Confusion
+	}
+	// Which metrics carry the diagnosis: importance of a forest trained
+	// on the whole dataset.
+	full := ml.NewForest(ml.ForestOptions{Trees: 50, MaxDepth: 14, Seed: 7})
+	if err := full.Fit(ds, nil); err != nil {
+		return nil, err
+	}
+	for _, idx := range full.TopFeatures(8) {
+		res.TopFeatures = append(res.TopFeatures, ds.FeatureNames[idx])
+	}
+	return res, nil
+}
+
+// OverallF1 returns the macro F1 of the named classifier.
+func (r *Fig9Result) OverallF1(name string) float64 {
+	c := r.Confusions[name]
+	if c == nil {
+		return 0
+	}
+	return c.MacroF1()
+}
+
+// Render implements Result.
+func (r *Fig9Result) Render() string {
+	t := report.Table{
+		Title: fmt.Sprintf(
+			"Figure 9: per-class F1 of anomaly diagnosis (3-fold CV, %d samples x %d features)",
+			r.Samples, r.Features),
+		Headers: append([]string{"classifier"}, r.Classes...),
+	}
+	for _, name := range ClassifierNames() {
+		cells := []string{name}
+		for _, f1 := range r.F1[name] {
+			cells = append(cells, fmt.Sprintf("%.2f", f1))
+		}
+		t.AddRow(cells...)
+	}
+	out := t.String()
+	out += fmt.Sprintf("\nOverall macro F1 (RandomForest): %.2f\n", r.OverallF1("RandomForest"))
+	out += "Most informative features: "
+	for i, f := range r.TopFeatures {
+		if i > 0 {
+			out += ", "
+		}
+		out += f
+	}
+	out += "\n"
+	return out
+}
+
+// Fig10Result renders the random-forest confusion matrix (Figure 10).
+type Fig10Result struct {
+	Confusion *ml.Confusion
+}
+
+// Fig10 reuses the Fig9 pipeline and extracts the random-forest matrix.
+func Fig10(quick bool) (*Fig10Result, error) {
+	f9, err := Fig9(quick)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig10Result{Confusion: f9.Confusions["RandomForest"]}, nil
+}
+
+// Render implements Result.
+func (r *Fig10Result) Render() string {
+	rows := make([][]float64, len(r.Confusion.Classes))
+	for t := range rows {
+		rows[t] = r.Confusion.Row(t)
+	}
+	return report.Matrix(
+		"Figure 10: RandomForest confusion matrix (rows = true label, row-normalized)",
+		r.Confusion.Classes, r.Confusion.Classes, rows)
+}

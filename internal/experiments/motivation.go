@@ -1,0 +1,34 @@
+package experiments
+
+import "hpas/internal/variability"
+
+// MotivationResult demonstrates the phenomenon motivating the paper
+// (Section 2): the same application with the same input shows large
+// run-to-run performance variation when anomalies come and go on the
+// system.
+type MotivationResult struct {
+	*variability.Result
+}
+
+// Motivation measures run-to-run variability of miniGhost under
+// randomly occurring anomalies.
+func Motivation(quick bool) (*MotivationResult, error) {
+	cfg := variability.Config{
+		App:         "miniGhost",
+		Reps:        12,
+		AnomalyProb: 0.5,
+		Seed:        18,
+	}
+	if quick {
+		cfg.Reps = 6
+		cfg.Iterations = 3
+	}
+	res, err := variability.Measure(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &MotivationResult{Result: res}, nil
+}
+
+// Render implements Result.
+func (r *MotivationResult) Render() string { return r.Result.Render() }

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"hpas/internal/anomaly"
+	"hpas/internal/report"
+)
+
+// Experiment is one registered paper artifact.
+type Experiment struct {
+	ID    string // "fig2".."fig13", "table1", "table2"
+	Title string
+	Run   func(quick bool) (Result, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Anomaly catalogue and knobs", func(q bool) (Result, error) { return Table1() }},
+		{"fig2", "cpuoccupy intensity vs CPU utilization", wrap(Fig2)},
+		{"fig3", "cachecopy working set vs miniGhost L3 MPKI", wrap(Fig3)},
+		{"fig4", "membw/cachecopy effect on STREAM bandwidth", wrap(Fig4)},
+		{"fig5", "memleak/memeater memory timelines", wrap(Fig5)},
+		{"fig6", "netoccupy effect on OSU bandwidth", wrap(Fig6)},
+		{"fig7", "I/O anomalies' effect on IOR", wrap(Fig7)},
+		{"table2", "Application characteristics", wrap(Table2)},
+		{"fig8", "Application runtime under each anomaly", wrap(Fig8)},
+		{"fig9", "Diagnosis F1 scores (3 classifiers)", wrap(Fig9)},
+		{"fig10", "RandomForest confusion matrix", wrap(Fig10)},
+		{"fig12", "RR vs WBAS allocation under anomalies (and Fig 11)", wrap(Fig12)},
+		{"fig13", "Load balancers vs cpuoccupy intensity", wrap(Fig13)},
+		{"variability", "Run-to-run variability under random anomalies (Section 2)", wrap(Motivation)},
+		{"ablation-membw-counter", "Diagnosis with a memory-bandwidth metric added", wrap(AblationMemBW)},
+		{"ablation-routing", "Figure 6 with adaptive routing disabled", wrap(AblationRouting)},
+		{"ablation-rebalance", "Load-balancing period sweep under a mid-run anomaly", wrap(AblationRebalance)},
+		{"extension-dragonfly", "netoccupy on a multi-group dragonfly (topology dependence)", wrap(DragonflyExperiment)},
+	}
+}
+
+// wrap adapts a concrete runner to the registry signature.
+func wrap[T Result](f func(bool) (T, error)) func(bool) (Result, error) {
+	return func(q bool) (Result, error) { return f(q) }
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, ids)
+}
+
+// Table1Result renders the anomaly catalogue.
+type Table1Result struct {
+	Infos []anomaly.Info
+}
+
+// Table1 returns the catalogue (no simulation needed).
+func Table1() (*Table1Result, error) {
+	return &Table1Result{Infos: anomaly.Catalog()}, nil
+}
+
+// Render implements Result.
+func (r *Table1Result) Render() string {
+	t := report.Table{
+		Title:   "Table 1: HPAS anomalies (every anomaly also has configurable start/end times)",
+		Headers: []string{"Anomaly type", "Name", "Behavior", "Runtime configuration options"},
+	}
+	for _, a := range r.Infos {
+		knobs := ""
+		for i, k := range a.Knobs {
+			if i > 0 {
+				knobs += ", "
+			}
+			knobs += k
+		}
+		t.AddRow(a.Type, a.Name, a.Behavior, knobs)
+	}
+	return t.String()
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hpas/internal/apps"
+	"hpas/internal/cluster"
+	"hpas/internal/core"
+	"hpas/internal/report"
+)
+
+// Table2Row characterizes one application from clean-run counters.
+type Table2Row struct {
+	App          string
+	IPS          float64 // instructions/s (whole job)
+	L2MPKI       float64 // L2 misses per kilo-instruction (whole job)
+	NetRate      float64 // halo bytes/s (whole job)
+	CPUIntensive bool    // derived from measurements
+	MemIntensive bool
+	NetIntensive bool
+}
+
+// Table2Result reproduces the paper's Table 2: each application's
+// intensiveness classes derived from measured IPS, L2 miss rate, and NIC
+// traffic, exactly as the paper derives them from
+// INST_RETIRED/L2_RQSTS:MISS/AR_NIC counters.
+type Table2Result struct {
+	Rows []Table2Row
+	// Thresholds used for classification.
+	IPSThreshold, L2Threshold, NetThreshold float64
+}
+
+// Table2 characterizes all eight applications from clean runs.
+func Table2(quick bool) (*Table2Result, error) {
+	window := 30.0
+	if quick {
+		window = 10
+	}
+	res := &Table2Result{
+		IPSThreshold: 20e9, // whole-job instructions/s
+		L2Threshold:  60,   // job L2 misses per kilo-instruction
+		NetThreshold: 2e9,  // whole-job halo bytes/s
+	}
+	for _, name := range apps.Names() {
+		run, err := core.Run(core.RunConfig{
+			Cluster:      cluster.Voltrino(16),
+			App:          name,
+			AppNodes:     []int{0, 4, 8, 12}, // spread over switches
+			Iterations:   1 << 20,
+			FixedSeconds: window,
+			Seed:         2,
+		})
+		if err != nil {
+			return nil, err
+		}
+		job := run.Job
+		row := Table2Row{
+			App:     name,
+			IPS:     job.Instructions() / window,
+			L2MPKI:  job.L2MPKI(),
+			NetRate: job.NetBytes() / window,
+		}
+		row.CPUIntensive = row.IPS >= res.IPSThreshold
+		row.MemIntensive = row.L2MPKI >= res.L2Threshold
+		row.NetIntensive = row.NetRate >= res.NetThreshold
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Matches reports how many of the 8 apps land in exactly the classes the
+// paper's Table 2 assigns.
+func (r *Table2Result) Matches() int {
+	n := 0
+	for _, row := range r.Rows {
+		p, ok := apps.ByName(row.App)
+		if !ok {
+			continue
+		}
+		if p.CPUIntensive == row.CPUIntensive &&
+			p.MemIntensive == row.MemIntensive &&
+			p.NetIntensive == row.NetIntensive {
+			n++
+		}
+	}
+	return n
+}
+
+// Render implements Result.
+func (r *Table2Result) Render() string {
+	t := report.Table{
+		Title:   "Table 2: application characteristics (measured on the simulated Voltrino)",
+		Headers: []string{"app", "IPS", "L2 MPKI", "net B/s", "CPU", "Mem", "Net"},
+	}
+	mark := func(b bool) string {
+		if b {
+			return "x"
+		}
+		return ""
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.App,
+			fmt.Sprintf("%.3g", row.IPS),
+			fmt.Sprintf("%.3g", row.L2MPKI),
+			fmt.Sprintf("%.3g", row.NetRate),
+			mark(row.CPUIntensive), mark(row.MemIntensive), mark(row.NetIntensive))
+	}
+	return t.String()
+}

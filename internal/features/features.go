@@ -1,0 +1,70 @@
+// Package features turns monitored metric time series into the fixed-
+// length statistical feature vectors consumed by the diagnosis
+// classifiers, following the paper's framework (Tuncer et al.): for each
+// metric, a set of order statistics and moments computed over the
+// observation window.
+package features
+
+import (
+	"fmt"
+
+	"hpas/internal/stats"
+	"hpas/internal/trace"
+)
+
+// perSeries is the list of statistics extracted from each metric series,
+// in order. Keep in sync with extractSeries.
+var perSeries = []string{
+	"mean", "std", "min", "max",
+	"p5", "p25", "p50", "p75", "p95",
+	"skew", "kurt", "slope",
+}
+
+// Count returns the number of features extracted per metric series.
+func Count() int { return len(perSeries) }
+
+// Vector is one sample's features.
+type Vector struct {
+	Names  []string
+	Values []float64
+}
+
+// Extract computes the feature vector of a metric set. Series are
+// processed in sorted-name order so vectors from different runs align.
+func Extract(set *trace.Set) Vector {
+	var v Vector
+	set.Each(func(s *trace.Series) {
+		names, vals := extractSeries(s)
+		v.Names = append(v.Names, names...)
+		v.Values = append(v.Values, vals...)
+	})
+	return v
+}
+
+// ExtractWindow computes features over the [from,to) second sub-window
+// of every series.
+func ExtractWindow(set *trace.Set, from, to float64) Vector {
+	var v Vector
+	set.Each(func(s *trace.Series) {
+		names, vals := extractSeries(s.Slice(from, to))
+		v.Names = append(v.Names, names...)
+		v.Values = append(v.Values, vals...)
+	})
+	return v
+}
+
+func extractSeries(s *trace.Series) ([]string, []float64) {
+	names := make([]string, len(perSeries))
+	for i, stat := range perSeries {
+		names[i] = fmt.Sprintf("%s.%s", s.Name, stat)
+	}
+	xs := s.Values
+	ps := stats.Percentiles(xs, 5, 25, 50, 75, 95)
+	slope, _ := stats.LinRegress(xs)
+	vals := []float64{
+		stats.Mean(xs), stats.StdDev(xs), stats.Min(xs), stats.Max(xs),
+		ps[0], ps[1], ps[2], ps[3], ps[4],
+		stats.Skewness(xs), stats.Kurtosis(xs), slope,
+	}
+	return names, vals
+}

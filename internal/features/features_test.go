@@ -1,0 +1,105 @@
+package features
+
+import (
+	"math"
+	"testing"
+
+	"hpas/internal/trace"
+)
+
+func mkSet() *trace.Set {
+	set := trace.NewSet()
+	a := trace.NewSeries("user::procstat", 1)
+	a.Values = []float64{10, 20, 30, 40, 50}
+	b := trace.NewSeries("MemFree::meminfo", 1)
+	b.Values = []float64{100, 100, 100, 100, 100}
+	set.Add(a)
+	set.Add(b)
+	return set
+}
+
+func TestExtractShape(t *testing.T) {
+	v := Extract(mkSet())
+	want := 2 * Count()
+	if len(v.Values) != want || len(v.Names) != want {
+		t.Fatalf("got %d values / %d names, want %d", len(v.Values), len(v.Names), want)
+	}
+	// Sorted-name order: MemFree first.
+	if v.Names[0] != "MemFree::meminfo.mean" {
+		t.Errorf("first feature = %s", v.Names[0])
+	}
+}
+
+func TestExtractValues(t *testing.T) {
+	v := Extract(mkSet())
+	get := func(name string) float64 {
+		for i, n := range v.Names {
+			if n == name {
+				return v.Values[i]
+			}
+		}
+		t.Fatalf("feature %s missing", name)
+		return 0
+	}
+	if got := get("user::procstat.mean"); got != 30 {
+		t.Errorf("mean = %v", got)
+	}
+	if got := get("user::procstat.min"); got != 10 {
+		t.Errorf("min = %v", got)
+	}
+	if got := get("user::procstat.max"); got != 50 {
+		t.Errorf("max = %v", got)
+	}
+	if got := get("user::procstat.p50"); got != 30 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := get("user::procstat.slope"); math.Abs(got-10) > 1e-9 {
+		t.Errorf("slope = %v, want 10", got)
+	}
+	// Constant series: std and slope are 0.
+	if got := get("MemFree::meminfo.std"); got != 0 {
+		t.Errorf("constant std = %v", got)
+	}
+	if got := get("MemFree::meminfo.slope"); got != 0 {
+		t.Errorf("constant slope = %v", got)
+	}
+}
+
+func TestExtractWindow(t *testing.T) {
+	v := ExtractWindow(mkSet(), 1, 4) // samples {20,30,40}
+	for i, n := range v.Names {
+		if n == "user::procstat.mean" {
+			if v.Values[i] != 30 {
+				t.Errorf("window mean = %v", v.Values[i])
+			}
+			return
+		}
+	}
+	t.Fatal("feature missing")
+}
+
+func TestVectorsAlignAcrossRuns(t *testing.T) {
+	a, b := Extract(mkSet()), Extract(mkSet())
+	if len(a.Names) != len(b.Names) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a.Names {
+		if a.Names[i] != b.Names[i] || a.Values[i] != b.Values[i] {
+			t.Fatal("vectors differ across identical runs")
+		}
+	}
+}
+
+func TestEmptySeries(t *testing.T) {
+	set := trace.NewSet()
+	set.Add(trace.NewSeries("empty::x", 1))
+	v := Extract(set)
+	if len(v.Values) != Count() {
+		t.Fatalf("got %d values", len(v.Values))
+	}
+	for i, val := range v.Values {
+		if math.IsNaN(val) || math.IsInf(val, 0) {
+			t.Errorf("feature %s = %v on empty series", v.Names[i], val)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+// Package lb implements the Charm++-style object load balancing of the
+// paper's application-resilience use case (Section 5.3): a set of
+// migratable objects (chares) is distributed over processing elements
+// (PEs), and the iteration time is gated by the most loaded PE relative
+// to its available capacity.
+//
+// Two balancers are compared, mirroring Figure 13:
+//
+//   - LBObjOnly uses only object properties: objects are dealt evenly
+//     over PEs regardless of how much CPU each PE actually has.
+//   - GreedyRefineLB measures PE capacity first and greedily assigns the
+//     heaviest remaining object to the PE with the lowest projected
+//     completion time.
+package lb
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Balancer assigns object loads to PEs.
+type Balancer interface {
+	// Name identifies the balancer in reports.
+	Name() string
+	// Assign maps each object (by index) to a PE given the per-object
+	// loads and the per-PE capacities (fractions of a full CPU, in
+	// (0,1]). It returns the assignment slice.
+	Assign(objects []float64, capacities []float64) ([]int, error)
+}
+
+// LBObjOnly deals objects round-robin over PEs, blind to capacity.
+type LBObjOnly struct{}
+
+// Name implements Balancer.
+func (LBObjOnly) Name() string { return "LBObjOnly" }
+
+// Assign implements Balancer.
+func (LBObjOnly) Assign(objects []float64, capacities []float64) ([]int, error) {
+	if err := validate(objects, capacities); err != nil {
+		return nil, err
+	}
+	out := make([]int, len(objects))
+	for i := range objects {
+		out[i] = i % len(capacities)
+	}
+	return out, nil
+}
+
+// GreedyRefineLB assigns the heaviest object first, each to the PE whose
+// projected finish time (assigned load / measured capacity) is lowest —
+// the greedy core of Charm++'s GreedyRefineLB.
+type GreedyRefineLB struct {
+	// CapacityQuantum optionally quantizes measured capacities to
+	// multiples of this value (Charm++ measures capacity from coarse
+	// wall-clock samples). 0 disables quantization.
+	CapacityQuantum float64
+}
+
+// Name implements Balancer.
+func (GreedyRefineLB) Name() string { return "GreedyRefineLB" }
+
+// Assign implements Balancer.
+func (g GreedyRefineLB) Assign(objects []float64, capacities []float64) ([]int, error) {
+	if err := validate(objects, capacities); err != nil {
+		return nil, err
+	}
+	caps := append([]float64(nil), capacities...)
+	if g.CapacityQuantum > 0 {
+		for i, c := range caps {
+			q := float64(int(c/g.CapacityQuantum+0.5)) * g.CapacityQuantum
+			if q < g.CapacityQuantum {
+				q = g.CapacityQuantum
+			}
+			caps[i] = q
+		}
+	}
+	order := make([]int, len(objects))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if objects[order[a]] != objects[order[b]] {
+			return objects[order[a]] > objects[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	load := make([]float64, len(caps))
+	out := make([]int, len(objects))
+	for _, obj := range order {
+		best, bestT := 0, (load[0]+objects[obj])/caps[0]
+		for pe := 1; pe < len(caps); pe++ {
+			if t := (load[pe] + objects[obj]) / caps[pe]; t < bestT {
+				best, bestT = pe, t
+			}
+		}
+		out[obj] = best
+		load[best] += objects[obj]
+	}
+	return out, nil
+}
+
+func validate(objects, capacities []float64) error {
+	if len(capacities) == 0 {
+		return fmt.Errorf("lb: no PEs")
+	}
+	for i, c := range capacities {
+		if c <= 0 || c > 1 {
+			return fmt.Errorf("lb: capacity[%d] = %v out of (0,1]", i, c)
+		}
+	}
+	for i, o := range objects {
+		if o < 0 {
+			return fmt.Errorf("lb: object[%d] has negative load %v", i, o)
+		}
+	}
+	return nil
+}
+
+// IterTime returns the BSP iteration time of an assignment: the maximum
+// over PEs of assigned load divided by true capacity.
+func IterTime(objects []float64, assignment []int, capacities []float64) float64 {
+	load := make([]float64, len(capacities))
+	for obj, pe := range assignment {
+		load[pe] += objects[obj]
+	}
+	var worst float64
+	for pe, l := range load {
+		if t := l / capacities[pe]; t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// CapacitiesUnderCPUOccupy models PE capacities on a node where
+// cpuoccupy consumes util percent of one CPU in total (0..100*pes): the
+// anomaly fully occupies floor(util/100) PEs and partially occupies one
+// more. A fully occupied PE still runs its worker at 50% (fair-share
+// between the worker and the 100%-duty anomaly thread); a partially
+// occupied PE loses half of the anomaly's duty fraction.
+func CapacitiesUnderCPUOccupy(pes int, util float64) []float64 {
+	caps := make([]float64, pes)
+	remaining := util / 100
+	for pe := range caps {
+		occ := 0.0
+		if remaining >= 1 {
+			occ = 1
+			remaining--
+		} else if remaining > 0 {
+			occ = remaining
+			remaining = 0
+		}
+		caps[pe] = 1 - occ/2
+	}
+	return caps
+}

@@ -1,0 +1,192 @@
+package lb
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func uniformObjects(n int, load float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = load
+	}
+	return out
+}
+
+func TestValidation(t *testing.T) {
+	for _, b := range []Balancer{LBObjOnly{}, GreedyRefineLB{}} {
+		if _, err := b.Assign(ones(4), nil); err == nil {
+			t.Errorf("%s: no PEs not caught", b.Name())
+		}
+		if _, err := b.Assign(ones(4), []float64{1, 2}); err == nil {
+			t.Errorf("%s: capacity > 1 not caught", b.Name())
+		}
+		if _, err := b.Assign([]float64{-1}, []float64{1}); err == nil {
+			t.Errorf("%s: negative load not caught", b.Name())
+		}
+	}
+}
+
+func TestLBObjOnlyDealsEvenly(t *testing.T) {
+	a, err := LBObjOnly{}.Assign(ones(8), []float64{1, 1, 0.5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 4)
+	for _, pe := range a {
+		counts[pe]++
+	}
+	for pe, c := range counts {
+		if c != 2 {
+			t.Errorf("PE %d got %d objects", pe, c)
+		}
+	}
+}
+
+func TestGreedyAvoidsSlowPE(t *testing.T) {
+	// One PE at half capacity: greedy should give it about half the
+	// objects of a full PE.
+	caps := []float64{1, 1, 1, 0.5}
+	objs := ones(14)
+	a, err := GreedyRefineLB{}.Assign(objs, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 4)
+	for _, pe := range a {
+		counts[pe]++
+	}
+	if counts[3] >= counts[0] {
+		t.Errorf("slow PE got %d vs fast %d", counts[3], counts[0])
+	}
+	greedy := IterTime(objs, a, caps)
+	blind, _ := LBObjOnly{}.Assign(objs, caps)
+	if IterTime(objs, blind, caps) <= greedy {
+		t.Error("greedy should beat blind dealing on heterogeneous PEs")
+	}
+}
+
+func TestEqualCapacitiesEquivalent(t *testing.T) {
+	// With uniform objects and PEs, both balancers achieve the same
+	// iteration time.
+	objs := ones(32)
+	caps := []float64{1, 1, 1, 1}
+	a1, _ := LBObjOnly{}.Assign(objs, caps)
+	a2, _ := GreedyRefineLB{}.Assign(objs, caps)
+	if IterTime(objs, a1, caps) != IterTime(objs, a2, caps) {
+		t.Error("balancers should tie on homogeneous PEs")
+	}
+}
+
+func TestIterTime(t *testing.T) {
+	objs := []float64{1, 1, 2}
+	caps := []float64{1, 0.5}
+	// obj0,obj1 -> PE0 (load 2/1=2); obj2 -> PE1 (2/0.5=4).
+	if got := IterTime(objs, []int{0, 0, 1}, caps); got != 4 {
+		t.Errorf("IterTime = %v, want 4", got)
+	}
+}
+
+func TestCapacityQuantum(t *testing.T) {
+	g := GreedyRefineLB{CapacityQuantum: 0.25}
+	a, err := g.Assign(ones(8), []float64{1, 0.9, 0.6, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 8 {
+		t.Fatal("bad assignment length")
+	}
+	// Quantization must never produce a zero capacity.
+	b, err := g.Assign(ones(4), []float64{0.01, 1})
+	if err != nil {
+		t.Fatalf("quantized tiny capacity: %v", err)
+	}
+	_ = b
+}
+
+func TestCapacitiesUnderCPUOccupy(t *testing.T) {
+	caps := CapacitiesUnderCPUOccupy(4, 0)
+	for _, c := range caps {
+		if c != 1 {
+			t.Error("no anomaly should leave full capacity")
+		}
+	}
+	caps = CapacitiesUnderCPUOccupy(4, 150) // 1.5 CPUs consumed
+	if caps[0] != 0.5 {
+		t.Errorf("fully occupied PE cap = %v, want 0.5", caps[0])
+	}
+	if caps[1] != 0.75 {
+		t.Errorf("half occupied PE cap = %v, want 0.75", caps[1])
+	}
+	if caps[2] != 1 || caps[3] != 1 {
+		t.Error("untouched PEs should stay at 1")
+	}
+	caps = CapacitiesUnderCPUOccupy(2, 200)
+	if caps[0] != 0.5 || caps[1] != 0.5 {
+		t.Error("saturated node caps wrong")
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	// Sweep cpuoccupy intensity on 32 PEs with 128 uniform objects:
+	// the balancers tie at 0% and at full saturation, and greedy wins
+	// in between (the paper's Figure 13).
+	objs := uniformObjects(128, 0.0075)
+	iter := func(b Balancer, util float64) float64 {
+		caps := CapacitiesUnderCPUOccupy(32, util)
+		a, err := b.Assign(objs, caps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return IterTime(objs, a, caps)
+	}
+	if math.Abs(iter(LBObjOnly{}, 0)-iter(GreedyRefineLB{}, 0)) > 1e-12 {
+		t.Error("balancers should tie with no anomaly")
+	}
+	midBlind := iter(LBObjOnly{}, 800)
+	midGreedy := iter(GreedyRefineLB{}, 800)
+	if midGreedy >= midBlind {
+		t.Errorf("greedy (%v) should beat blind (%v) at 8 occupied CPUs", midGreedy, midBlind)
+	}
+	satBlind := iter(LBObjOnly{}, 3200)
+	satGreedy := iter(GreedyRefineLB{}, 3200)
+	if satGreedy > satBlind+1e-9 {
+		t.Error("greedy should not lose at saturation")
+	}
+	if satBlind/iter(LBObjOnly{}, 0) < 1.5 {
+		t.Error("saturation should roughly double iteration time")
+	}
+}
+
+// Property: assignments are always valid and greedy is never worse than
+// blind dealing for uniform objects.
+func TestGreedyDominatesProperty(t *testing.T) {
+	f := func(capsRaw []uint8, nObjRaw uint8) bool {
+		if len(capsRaw) == 0 {
+			return true
+		}
+		if len(capsRaw) > 16 {
+			capsRaw = capsRaw[:16]
+		}
+		caps := make([]float64, len(capsRaw))
+		for i, c := range capsRaw {
+			caps[i] = 0.1 + 0.9*float64(c)/255
+		}
+		objs := ones(1 + int(nObjRaw)%64)
+		blind, err1 := LBObjOnly{}.Assign(objs, caps)
+		greedy, err2 := GreedyRefineLB{}.Assign(objs, caps)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for _, pe := range greedy {
+			if pe < 0 || pe >= len(caps) {
+				return false
+			}
+		}
+		return IterTime(objs, greedy, caps) <= IterTime(objs, blind, caps)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

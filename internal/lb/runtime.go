@@ -1,0 +1,129 @@
+package lb
+
+import (
+	"fmt"
+
+	"hpas/internal/xrand"
+)
+
+// Runtime simulates a Charm++-style object runtime: a set of migratable
+// objects executes BSP iterations on PEs whose capacities may change over
+// time (e.g. because an anomaly starts); every RebalancePeriod iterations
+// the balancer reassigns objects using *measured* capacities — the
+// wall-clock observations of the previous period, optionally noisy and
+// stale, exactly the information a real runtime load balancer has.
+type Runtime struct {
+	// Objects are the per-iteration object loads (seconds at capacity 1).
+	Objects []float64
+	// Balancer reassigns objects at each rebalance point.
+	Balancer Balancer
+	// RebalancePeriod is the number of iterations between load
+	// balancing calls (default 10).
+	RebalancePeriod int
+	// MeasurementNoise perturbs measured capacities multiplicatively
+	// (e.g. 0.05 for ±5%); 0 disables noise.
+	MeasurementNoise float64
+	// Seed drives the measurement noise.
+	Seed uint64
+
+	assignment []int
+	measured   []float64 // capacities observed during the last period
+	iter       int
+	totalTime  float64
+	rng        *xrand.RNG
+}
+
+// NewRuntime returns a runtime with the objects dealt round-robin (the
+// initial placement a Charm++ program starts from).
+func NewRuntime(objects []float64, balancer Balancer) *Runtime {
+	return &Runtime{
+		Objects:         objects,
+		Balancer:        balancer,
+		RebalancePeriod: 10,
+	}
+}
+
+// Step executes one iteration against the given true PE capacities and
+// returns the iteration time. Rebalancing happens automatically using
+// capacities as measured during the previous period.
+func (r *Runtime) Step(capacities []float64) (float64, error) {
+	if len(capacities) == 0 {
+		return 0, fmt.Errorf("lb: no PEs")
+	}
+	if r.rng == nil {
+		r.rng = xrand.New(r.Seed + 0x10ad)
+	}
+	if r.assignment == nil || len(r.measured) != len(capacities) {
+		// Initial blind placement.
+		a, err := LBObjOnly{}.Assign(r.Objects, ones(len(capacities)))
+		if err != nil {
+			return 0, err
+		}
+		r.assignment = a
+		r.measured = append([]float64(nil), capacities...)
+	}
+
+	period := r.RebalancePeriod
+	if period <= 0 {
+		period = 10
+	}
+	if r.iter > 0 && r.iter%period == 0 {
+		obs := make([]float64, len(r.measured))
+		for i, c := range r.measured {
+			v := c
+			if r.MeasurementNoise > 0 {
+				v *= r.rng.Jitter(r.MeasurementNoise)
+			}
+			if v <= 0 {
+				v = 0.01
+			}
+			if v > 1 {
+				v = 1
+			}
+			obs[i] = v
+		}
+		a, err := r.Balancer.Assign(r.Objects, obs)
+		if err != nil {
+			return 0, err
+		}
+		r.assignment = a
+	}
+
+	t := IterTime(r.Objects, r.assignment, capacities)
+	// What this period's measurements will report next time.
+	copy(r.measured, capacities)
+	r.iter++
+	r.totalTime += t
+	return t, nil
+}
+
+// RunFor executes n iterations against fixed capacities and returns the
+// mean iteration time.
+func (r *Runtime) RunFor(n int, capacities []float64) (float64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("lb: non-positive iteration count")
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		t, err := r.Step(capacities)
+		if err != nil {
+			return 0, err
+		}
+		sum += t
+	}
+	return sum / float64(n), nil
+}
+
+// Iterations returns the number of executed iterations.
+func (r *Runtime) Iterations() int { return r.iter }
+
+// TotalTime returns the summed iteration time so far.
+func (r *Runtime) TotalTime() float64 { return r.totalTime }
+
+func ones(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package lb
+
+import (
+	"testing"
+)
+
+func TestRuntimeInitialPlacementBlind(t *testing.T) {
+	r := NewRuntime(ones(8), GreedyRefineLB{})
+	caps := []float64{1, 1, 0.5, 1}
+	tm, err := r.Step(caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blind initial placement: 2 objects per PE; slow PE gates at 2/0.5.
+	if tm != 4 {
+		t.Errorf("initial iteration time = %v, want 4", tm)
+	}
+}
+
+func TestRuntimeRebalancesAfterPeriod(t *testing.T) {
+	r := NewRuntime(ones(8), GreedyRefineLB{})
+	r.RebalancePeriod = 3
+	caps := []float64{1, 1, 0.5, 1}
+	var times []float64
+	for i := 0; i < 8; i++ {
+		tm, err := r.Step(caps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times = append(times, tm)
+	}
+	// Before rebalance: blind 4.0; after the first rebalance (iteration
+	// 3) the greedy assignment takes over and improves.
+	if times[0] != 4 || times[2] != 4 {
+		t.Errorf("pre-rebalance times = %v", times[:3])
+	}
+	if times[3] >= times[0] {
+		t.Errorf("rebalance did not help: %v", times)
+	}
+	if r.Iterations() != 8 || r.TotalTime() <= 0 {
+		t.Error("bookkeeping wrong")
+	}
+}
+
+func TestRuntimeReactsToCapacityChange(t *testing.T) {
+	r := NewRuntime(ones(16), GreedyRefineLB{})
+	r.RebalancePeriod = 2
+	healthy := ones(4)
+	// Warm up balanced.
+	if _, err := r.RunFor(4, healthy); err != nil {
+		t.Fatal(err)
+	}
+	// Anomaly starts: PE0 halves. First iterations suffer, then the
+	// balancer adapts using the measured (degraded) capacity.
+	degraded := []float64{0.5, 1, 1, 1}
+	first, err := r.Step(degraded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last float64
+	for i := 0; i < 6; i++ {
+		if last, err = r.Step(degraded); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if last >= first {
+		t.Errorf("runtime did not adapt: first %v, settled %v", first, last)
+	}
+}
+
+func TestRuntimeMeasurementNoiseDeterministic(t *testing.T) {
+	run := func() float64 {
+		r := NewRuntime(ones(12), GreedyRefineLB{})
+		r.MeasurementNoise = 0.2
+		r.Seed = 9
+		mean, err := r.RunFor(20, []float64{1, 0.6, 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mean
+	}
+	if run() != run() {
+		t.Error("noisy runtime not deterministic under a fixed seed")
+	}
+}
+
+func TestRuntimeValidation(t *testing.T) {
+	r := NewRuntime(ones(4), LBObjOnly{})
+	if _, err := r.Step(nil); err == nil {
+		t.Error("no PEs should error")
+	}
+	if _, err := r.RunFor(0, ones(2)); err == nil {
+		t.Error("zero iterations should error")
+	}
+}
+
+func TestRuntimeBlindNeverRebalancesUsefully(t *testing.T) {
+	// LBObjOnly under the runtime keeps the same iteration time no
+	// matter how often it rebalances — it ignores the measurements.
+	r := NewRuntime(ones(8), LBObjOnly{})
+	r.RebalancePeriod = 1
+	caps := []float64{1, 0.5}
+	first, err := r.Step(caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		tm, err := r.Step(caps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tm != first {
+			t.Errorf("blind balancer changed iteration time: %v vs %v", tm, first)
+		}
+	}
+}

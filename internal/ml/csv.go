@@ -1,0 +1,89 @@
+package ml
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV exports the dataset with one row per sample: the feature
+// columns (named from FeatureNames, or f0..fN) followed by a final
+// "label" column holding the class name.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	nf := d.NumFeatures()
+	header := make([]string, 0, nf+1)
+	for j := 0; j < nf; j++ {
+		if j < len(d.FeatureNames) {
+			header = append(header, d.FeatureNames[j])
+		} else {
+			header = append(header, fmt.Sprintf("f%d", j))
+		}
+	}
+	header = append(header, "label")
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("ml: write header: %w", err)
+	}
+	rec := make([]string, nf+1)
+	for i, row := range d.X {
+		for j, v := range row {
+			rec[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		rec[nf] = d.Classes[d.Y[i]]
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("ml: write row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset written by WriteCSV. Class indices are
+// assigned in order of first appearance.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("ml: read csv: %w", err)
+	}
+	if len(records) < 1 {
+		return nil, fmt.Errorf("ml: empty csv")
+	}
+	header := records[0]
+	if len(header) < 2 || header[len(header)-1] != "label" {
+		return nil, fmt.Errorf("ml: csv must end with a label column")
+	}
+	nf := len(header) - 1
+	ds := &Dataset{FeatureNames: append([]string(nil), header[:nf]...)}
+	classIdx := make(map[string]int)
+	for i, rec := range records[1:] {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("ml: row %d has %d fields, want %d", i+1, len(rec), len(header))
+		}
+		row := make([]float64, nf)
+		for j := 0; j < nf; j++ {
+			v, err := strconv.ParseFloat(rec[j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("ml: row %d col %d: %w", i+1, j, err)
+			}
+			row[j] = v
+		}
+		label := rec[nf]
+		idx, ok := classIdx[label]
+		if !ok {
+			idx = len(ds.Classes)
+			classIdx[label] = idx
+			ds.Classes = append(ds.Classes, label)
+		}
+		ds.X = append(ds.X, row)
+		ds.Y = append(ds.Y, idx)
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}

@@ -1,0 +1,73 @@
+package ml
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDatasetCSVRoundTrip(t *testing.T) {
+	ds := &Dataset{
+		X:            [][]float64{{1.5, 2}, {3, 4.25}, {5, 6}},
+		Y:            []int{0, 1, 0},
+		Classes:      []string{"none", "cpuoccupy"},
+		FeatureNames: []string{"user.mean", "user.std"},
+	}
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "user.mean,user.std,label") {
+		t.Errorf("header = %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumSamples() != 3 || back.NumFeatures() != 2 {
+		t.Fatalf("round-trip shape wrong: %dx%d", back.NumSamples(), back.NumFeatures())
+	}
+	for i := range ds.X {
+		if back.X[i][0] != ds.X[i][0] || back.X[i][1] != ds.X[i][1] {
+			t.Errorf("row %d differs", i)
+		}
+		if back.Classes[back.Y[i]] != ds.Classes[ds.Y[i]] {
+			t.Errorf("label %d differs", i)
+		}
+	}
+}
+
+func TestDatasetCSVUnnamedFeatures(t *testing.T) {
+	ds := &Dataset{
+		X:       [][]float64{{1, 2}},
+		Y:       []int{0},
+		Classes: []string{"a"},
+	}
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "f0,f1,label") {
+		t.Errorf("header = %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+}
+
+func TestDatasetCSVWriteValidates(t *testing.T) {
+	bad := &Dataset{X: [][]float64{{1}}, Y: []int{5}, Classes: []string{"a"}}
+	if err := bad.WriteCSV(&bytes.Buffer{}); err == nil {
+		t.Error("invalid dataset should not export")
+	}
+}
+
+func TestDatasetReadCSVErrors(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"a,b\n1,2\n",         // no label column
+		"f0,label\n1,a\n2\n", // ragged
+		"f0,label\nxyz,a\n",  // bad float
+	} {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadCSV(%q): expected error", in)
+		}
+	}
+}

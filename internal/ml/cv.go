@@ -1,0 +1,78 @@
+package ml
+
+import (
+	"fmt"
+
+	"hpas/internal/xrand"
+)
+
+// StratifiedKFold splits sample indices into k folds preserving class
+// proportions, shuffled deterministically by seed. It returns k index
+// slices (the test sets).
+func StratifiedKFold(y []int, k int, seed uint64) ([][]int, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("ml: k must be >= 2")
+	}
+	if len(y) < k {
+		return nil, fmt.Errorf("ml: %d samples cannot fill %d folds", len(y), k)
+	}
+	rng := xrand.New(seed)
+	byClass := make(map[int][]int)
+	maxClass := 0
+	for i, c := range y {
+		byClass[c] = append(byClass[c], i)
+		if c > maxClass {
+			maxClass = c
+		}
+	}
+	folds := make([][]int, k)
+	// Deal each class's shuffled samples round-robin across folds.
+	for c := 0; c <= maxClass; c++ {
+		idx := byClass[c]
+		perm := rng.Perm(len(idx))
+		for j, p := range perm {
+			f := j % k
+			folds[f] = append(folds[f], idx[p])
+		}
+	}
+	return folds, nil
+}
+
+// CVResult aggregates a cross-validation run.
+type CVResult struct {
+	Confusion *Confusion
+}
+
+// CrossValidate trains a fresh classifier from mk on each fold's
+// complement and evaluates on the fold, merging all predictions into one
+// confusion matrix (the paper's 3-fold protocol).
+func CrossValidate(mk func() Classifier, ds *Dataset, k int, seed uint64) (*CVResult, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	folds, err := StratifiedKFold(ds.Y, k, seed)
+	if err != nil {
+		return nil, err
+	}
+	conf := NewConfusion(ds.Classes)
+	for f, test := range folds {
+		inTest := make(map[int]bool, len(test))
+		for _, i := range test {
+			inTest[i] = true
+		}
+		var train []int
+		for i := range ds.X {
+			if !inTest[i] {
+				train = append(train, i)
+			}
+		}
+		clf := mk()
+		if err := clf.Fit(ds, train); err != nil {
+			return nil, fmt.Errorf("ml: fold %d: %w", f, err)
+		}
+		for _, i := range test {
+			conf.Add(ds.Y[i], clf.Predict(ds.X[i]))
+		}
+	}
+	return &CVResult{Confusion: conf}, nil
+}

@@ -1,0 +1,58 @@
+// Package ml implements the machine-learning side of the paper's
+// anomaly-diagnosis use case from scratch: CART decision trees (with
+// sample weights), bagged random forests, SAMME AdaBoost, stratified
+// k-fold cross-validation, and the F1/confusion-matrix metrics of
+// Figures 9 and 10. Only the standard library is used.
+package ml
+
+import "fmt"
+
+// Dataset is a labelled design matrix.
+type Dataset struct {
+	X            [][]float64 // samples × features
+	Y            []int       // class index per sample
+	Classes      []string    // class names (len = number of classes)
+	FeatureNames []string    // optional, len = number of features
+}
+
+// NumSamples returns the number of samples.
+func (d *Dataset) NumSamples() int { return len(d.X) }
+
+// NumFeatures returns the feature dimensionality (0 when empty).
+func (d *Dataset) NumFeatures() int {
+	if len(d.X) == 0 {
+		return 0
+	}
+	return len(d.X[0])
+}
+
+// NumClasses returns the number of classes.
+func (d *Dataset) NumClasses() int { return len(d.Classes) }
+
+// Validate checks internal consistency.
+func (d *Dataset) Validate() error {
+	if len(d.X) != len(d.Y) {
+		return fmt.Errorf("ml: %d samples but %d labels", len(d.X), len(d.Y))
+	}
+	nf := d.NumFeatures()
+	for i, row := range d.X {
+		if len(row) != nf {
+			return fmt.Errorf("ml: sample %d has %d features, want %d", i, len(row), nf)
+		}
+	}
+	for i, y := range d.Y {
+		if y < 0 || y >= len(d.Classes) {
+			return fmt.Errorf("ml: label %d of sample %d out of range", y, i)
+		}
+	}
+	return nil
+}
+
+// Classifier is a multi-class model.
+type Classifier interface {
+	// Fit trains on the subset of ds given by idx (all samples when idx
+	// is nil).
+	Fit(ds *Dataset, idx []int) error
+	// Predict returns the class index for one feature vector.
+	Predict(x []float64) int
+}

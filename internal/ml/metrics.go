@@ -1,0 +1,133 @@
+package ml
+
+// Confusion is a square confusion matrix: Confusion[t][p] counts samples
+// of true class t predicted as class p.
+type Confusion struct {
+	Classes []string
+	Counts  [][]int
+}
+
+// NewConfusion returns a zeroed confusion matrix.
+func NewConfusion(classes []string) *Confusion {
+	counts := make([][]int, len(classes))
+	for i := range counts {
+		counts[i] = make([]int, len(classes))
+	}
+	return &Confusion{Classes: classes, Counts: counts}
+}
+
+// Add records one prediction.
+func (c *Confusion) Add(trueClass, predClass int) { c.Counts[trueClass][predClass]++ }
+
+// Merge adds another confusion matrix (e.g. from another CV fold).
+func (c *Confusion) Merge(o *Confusion) {
+	for t := range c.Counts {
+		for p := range c.Counts[t] {
+			c.Counts[t][p] += o.Counts[t][p]
+		}
+	}
+}
+
+// Total returns the number of recorded predictions.
+func (c *Confusion) Total() int {
+	n := 0
+	for _, row := range c.Counts {
+		for _, v := range row {
+			n += v
+		}
+	}
+	return n
+}
+
+// Accuracy returns overall accuracy.
+func (c *Confusion) Accuracy() float64 {
+	total := c.Total()
+	if total == 0 {
+		return 0
+	}
+	correct := 0
+	for i := range c.Counts {
+		correct += c.Counts[i][i]
+	}
+	return float64(correct) / float64(total)
+}
+
+// Row returns the row-normalized distribution for true class t (the
+// per-class accuracy row of the paper's Figure 10).
+func (c *Confusion) Row(t int) []float64 {
+	row := make([]float64, len(c.Counts[t]))
+	sum := 0
+	for _, v := range c.Counts[t] {
+		sum += v
+	}
+	if sum == 0 {
+		return row
+	}
+	for p, v := range c.Counts[t] {
+		row[p] = float64(v) / float64(sum)
+	}
+	return row
+}
+
+// Precision returns the precision of class k.
+func (c *Confusion) Precision(k int) float64 {
+	var tp, fp int
+	for t := range c.Counts {
+		if t == k {
+			tp = c.Counts[t][k]
+		} else {
+			fp += c.Counts[t][k]
+		}
+	}
+	if tp+fp == 0 {
+		return 0
+	}
+	return float64(tp) / float64(tp+fp)
+}
+
+// Recall returns the recall of class k.
+func (c *Confusion) Recall(k int) float64 {
+	var tp, fn int
+	for p, v := range c.Counts[k] {
+		if p == k {
+			tp = v
+		} else {
+			fn += v
+		}
+	}
+	if tp+fn == 0 {
+		return 0
+	}
+	return float64(tp) / float64(tp+fn)
+}
+
+// F1 returns the F1 score of class k.
+func (c *Confusion) F1(k int) float64 {
+	p, r := c.Precision(k), c.Recall(k)
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// F1Scores returns per-class F1 in class order.
+func (c *Confusion) F1Scores() []float64 {
+	out := make([]float64, len(c.Classes))
+	for k := range out {
+		out[k] = c.F1(k)
+	}
+	return out
+}
+
+// MacroF1 returns the unweighted mean of per-class F1 scores.
+func (c *Confusion) MacroF1() float64 {
+	f1s := c.F1Scores()
+	var s float64
+	for _, v := range f1s {
+		s += v
+	}
+	if len(f1s) == 0 {
+		return 0
+	}
+	return s / float64(len(f1s))
+}

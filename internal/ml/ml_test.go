@@ -1,0 +1,508 @@
+package ml
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hpas/internal/xrand"
+)
+
+// blobs builds a synthetic dataset of nPerClass points per class, with
+// class c centred at (3c, -3c) plus Gaussian noise.
+func blobs(classes, nPerClass int, noise float64, seed uint64) *Dataset {
+	rng := xrand.New(seed)
+	ds := &Dataset{Classes: make([]string, classes)}
+	for c := 0; c < classes; c++ {
+		ds.Classes[c] = string(rune('A' + c))
+		for i := 0; i < nPerClass; i++ {
+			x := []float64{
+				rng.Norm(3*float64(c), noise),
+				rng.Norm(-3*float64(c), noise),
+				rng.Norm(0, 1), // pure noise feature
+			}
+			ds.X = append(ds.X, x)
+			ds.Y = append(ds.Y, c)
+		}
+	}
+	return ds
+}
+
+func TestDatasetValidate(t *testing.T) {
+	ds := &Dataset{
+		X:       [][]float64{{1, 2}, {3, 4}},
+		Y:       []int{0, 1},
+		Classes: []string{"a", "b"},
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Dataset{X: [][]float64{{1}}, Y: []int{0, 1}, Classes: []string{"a", "b"}}
+	if bad.Validate() == nil {
+		t.Error("length mismatch not caught")
+	}
+	ragged := &Dataset{X: [][]float64{{1, 2}, {3}}, Y: []int{0, 0}, Classes: []string{"a"}}
+	if ragged.Validate() == nil {
+		t.Error("ragged matrix not caught")
+	}
+	outOfRange := &Dataset{X: [][]float64{{1}}, Y: []int{5}, Classes: []string{"a"}}
+	if outOfRange.Validate() == nil {
+		t.Error("label out of range not caught")
+	}
+}
+
+func TestTreeSeparable(t *testing.T) {
+	ds := blobs(3, 40, 0.3, 1)
+	tree := NewTree(TreeOptions{})
+	if err := tree.Fit(ds, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range ds.X {
+		if tree.Predict(x) != ds.Y[i] {
+			t.Fatalf("sample %d misclassified on separable data", i)
+		}
+	}
+}
+
+func TestTreeDepthLimit(t *testing.T) {
+	ds := blobs(4, 30, 2.0, 2)
+	tree := NewTree(TreeOptions{MaxDepth: 3})
+	if err := tree.Fit(ds, nil); err != nil {
+		t.Fatal(err)
+	}
+	if d := tree.Depth(); d > 3 {
+		t.Errorf("depth %d exceeds limit 3", d)
+	}
+}
+
+func TestTreeEmptyErrors(t *testing.T) {
+	tree := NewTree(TreeOptions{})
+	if err := tree.Fit(&Dataset{Classes: []string{"a"}}, nil); err == nil {
+		t.Error("empty dataset should error")
+	}
+	ds := blobs(2, 5, 0.1, 3)
+	if err := tree.Fit(ds, []int{}); err == nil {
+		t.Error("empty subset should error")
+	}
+}
+
+func TestTreePredictUntrained(t *testing.T) {
+	if NewTree(TreeOptions{}).Predict([]float64{1}) != 0 {
+		t.Error("untrained tree should predict class 0")
+	}
+}
+
+func TestTreeWeightsMatter(t *testing.T) {
+	// Two overlapping points; weights decide the majority at the leaf.
+	ds := &Dataset{
+		X:       [][]float64{{1}, {1}},
+		Y:       []int{0, 1},
+		Classes: []string{"a", "b"},
+	}
+	tree := NewTree(TreeOptions{})
+	if err := tree.FitWeighted(ds, nil, []float64{0.9, 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Predict([]float64{1}) != 0 {
+		t.Error("weights ignored (want class 0)")
+	}
+	if err := tree.FitWeighted(ds, nil, []float64{0.1, 0.9}); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Predict([]float64{1}) != 1 {
+		t.Error("weights ignored (want class 1)")
+	}
+}
+
+func TestTreeDeterministic(t *testing.T) {
+	ds := blobs(3, 30, 1.5, 4)
+	preds := func() []int {
+		tree := NewTree(TreeOptions{MTry: 2, Seed: 9})
+		if err := tree.Fit(ds, nil); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]int, len(ds.X))
+		for i, x := range ds.X {
+			out[i] = tree.Predict(x)
+		}
+		return out
+	}
+	a, b := preds(), preds()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("tree training not deterministic")
+		}
+	}
+}
+
+func TestForestBeatsNoise(t *testing.T) {
+	ds := blobs(4, 40, 1.2, 5)
+	f := NewForest(ForestOptions{Trees: 30, Seed: 1})
+	if err := f.Fit(ds, nil); err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, x := range ds.X {
+		if f.Predict(x) == ds.Y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(ds.X)); acc < 0.9 {
+		t.Errorf("forest train accuracy = %v", acc)
+	}
+}
+
+func TestForestDefaultsAndErrors(t *testing.T) {
+	f := NewForest(ForestOptions{})
+	if f.opts.Trees != 50 {
+		t.Error("default ensemble size wrong")
+	}
+	if err := f.Fit(blobs(2, 5, 0.1, 6), []int{}); err == nil {
+		t.Error("empty subset should error")
+	}
+}
+
+func TestAdaBoostImprovesOverStump(t *testing.T) {
+	// A 2-cluster-per-class layout a depth-1 stump cannot separate.
+	rng := xrand.New(7)
+	ds := &Dataset{Classes: []string{"a", "b"}}
+	for i := 0; i < 160; i++ {
+		x := rng.Uniform(0, 4)
+		y := 0
+		if x > 1 && x <= 2 || x > 3 {
+			y = 1
+		}
+		ds.X = append(ds.X, []float64{x, rng.Norm(0, 1)})
+		ds.Y = append(ds.Y, y)
+	}
+	accuracy := func(c Classifier) float64 {
+		correct := 0
+		for i, x := range ds.X {
+			if c.Predict(x) == ds.Y[i] {
+				correct++
+			}
+		}
+		return float64(correct) / float64(len(ds.X))
+	}
+	stump := NewTree(TreeOptions{MaxDepth: 1})
+	if err := stump.Fit(ds, nil); err != nil {
+		t.Fatal(err)
+	}
+	boost := NewAdaBoost(AdaBoostOptions{Rounds: 40, MaxDepth: 1})
+	if err := boost.Fit(ds, nil); err != nil {
+		t.Fatal(err)
+	}
+	if accuracy(boost) <= accuracy(stump) {
+		t.Errorf("AdaBoost (%v) should beat a single stump (%v)", accuracy(boost), accuracy(stump))
+	}
+	if boost.Rounds() == 0 {
+		t.Error("no boosting rounds recorded")
+	}
+}
+
+func TestAdaBoostPerfectLearnerStopsEarly(t *testing.T) {
+	ds := blobs(2, 30, 0.1, 8)
+	boost := NewAdaBoost(AdaBoostOptions{Rounds: 50, MaxDepth: 4})
+	if err := boost.Fit(ds, nil); err != nil {
+		t.Fatal(err)
+	}
+	if boost.Rounds() > 3 {
+		t.Errorf("perfect learner should stop early, used %d rounds", boost.Rounds())
+	}
+}
+
+func TestConfusionMetrics(t *testing.T) {
+	c := NewConfusion([]string{"a", "b"})
+	// true a: 8 correct, 2 as b; true b: 1 as a, 9 correct.
+	for i := 0; i < 8; i++ {
+		c.Add(0, 0)
+	}
+	for i := 0; i < 2; i++ {
+		c.Add(0, 1)
+	}
+	c.Add(1, 0)
+	for i := 0; i < 9; i++ {
+		c.Add(1, 1)
+	}
+	if c.Total() != 20 {
+		t.Errorf("Total = %d", c.Total())
+	}
+	if acc := c.Accuracy(); acc != 17.0/20 {
+		t.Errorf("Accuracy = %v", acc)
+	}
+	if p := c.Precision(0); p != 8.0/9 {
+		t.Errorf("Precision(0) = %v", p)
+	}
+	if r := c.Recall(0); r != 0.8 {
+		t.Errorf("Recall(0) = %v", r)
+	}
+	wantF1 := 2 * (8.0 / 9) * 0.8 / (8.0/9 + 0.8)
+	if f := c.F1(0); math.Abs(f-wantF1) > 1e-12 {
+		t.Errorf("F1(0) = %v, want %v", f, wantF1)
+	}
+	row := c.Row(0)
+	if row[0] != 0.8 || row[1] != 0.2 {
+		t.Errorf("Row(0) = %v", row)
+	}
+	if len(c.F1Scores()) != 2 {
+		t.Error("F1Scores length wrong")
+	}
+	if c.MacroF1() <= 0 {
+		t.Error("MacroF1 should be positive")
+	}
+}
+
+func TestConfusionMergeAndEmpty(t *testing.T) {
+	a := NewConfusion([]string{"x", "y"})
+	a.Add(0, 0)
+	b := NewConfusion([]string{"x", "y"})
+	b.Add(1, 0)
+	a.Merge(b)
+	if a.Total() != 2 || a.Counts[1][0] != 1 {
+		t.Error("Merge wrong")
+	}
+	empty := NewConfusion([]string{"x"})
+	if empty.Accuracy() != 0 || empty.Precision(0) != 0 || empty.Recall(0) != 0 || empty.F1(0) != 0 {
+		t.Error("empty confusion should report zeros")
+	}
+	if r := empty.Row(0); r[0] != 0 {
+		t.Error("empty Row should be zeros")
+	}
+}
+
+func TestStratifiedKFold(t *testing.T) {
+	y := make([]int, 90)
+	for i := range y {
+		y[i] = i % 3
+	}
+	folds, err := StratifiedKFold(y, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]int)
+	for _, fold := range folds {
+		counts := [3]int{}
+		for _, i := range fold {
+			seen[i]++
+			counts[y[i]]++
+		}
+		// Perfect stratification possible here.
+		if counts[0] != 10 || counts[1] != 10 || counts[2] != 10 {
+			t.Errorf("fold class counts = %v", counts)
+		}
+	}
+	if len(seen) != 90 {
+		t.Errorf("folds cover %d samples, want 90", len(seen))
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Errorf("sample %d appears %d times", i, n)
+		}
+	}
+}
+
+func TestStratifiedKFoldErrors(t *testing.T) {
+	if _, err := StratifiedKFold([]int{0, 1}, 1, 1); err == nil {
+		t.Error("k=1 should error")
+	}
+	if _, err := StratifiedKFold([]int{0}, 3, 1); err == nil {
+		t.Error("too few samples should error")
+	}
+}
+
+func TestCrossValidate(t *testing.T) {
+	ds := blobs(3, 30, 0.5, 10)
+	res, err := CrossValidate(func() Classifier {
+		return NewForest(ForestOptions{Trees: 15, Seed: 3})
+	}, ds, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Confusion.Total() != ds.NumSamples() {
+		t.Errorf("confusion total = %d, want %d", res.Confusion.Total(), ds.NumSamples())
+	}
+	if acc := res.Confusion.Accuracy(); acc < 0.9 {
+		t.Errorf("CV accuracy = %v on well-separated blobs", acc)
+	}
+}
+
+// Property: stratified folds always partition the index set.
+func TestKFoldPartitionProperty(t *testing.T) {
+	f := func(labels []uint8, kRaw uint8, seed uint64) bool {
+		k := 2 + int(kRaw%4)
+		if len(labels) < k+2 {
+			return true
+		}
+		y := make([]int, len(labels))
+		for i, l := range labels {
+			y[i] = int(l % 5)
+		}
+		folds, err := StratifiedKFold(y, k, seed)
+		if err != nil {
+			return false
+		}
+		seen := make([]bool, len(y))
+		for _, fold := range folds {
+			for _, i := range fold {
+				if i < 0 || i >= len(y) || seen[i] {
+					return false
+				}
+				seen[i] = true
+			}
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: tree prediction is invariant to refitting with equal weights.
+func TestTreeWeightEquivalenceProperty(t *testing.T) {
+	ds := blobs(3, 20, 1.0, 11)
+	w2 := make([]float64, ds.NumSamples())
+	w5 := make([]float64, ds.NumSamples())
+	for i := range w2 {
+		w2[i], w5[i] = 2, 5
+	}
+	t1 := NewTree(TreeOptions{MaxDepth: 4})
+	t2 := NewTree(TreeOptions{MaxDepth: 4})
+	if err := t1.FitWeighted(ds, nil, w2); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.FitWeighted(ds, nil, w5); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range ds.X {
+		if t1.Predict(x) != t2.Predict(x) {
+			t.Fatal("uniform weight scaling changed predictions")
+		}
+	}
+}
+
+func BenchmarkForestFit(b *testing.B) {
+	ds := blobs(6, 40, 1.0, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := NewForest(ForestOptions{Trees: 20, Seed: uint64(i)})
+		if err := f.Fit(ds, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTreePredict(b *testing.B) {
+	ds := blobs(6, 40, 1.0, 13)
+	tree := NewTree(TreeOptions{})
+	if err := tree.Fit(ds, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Predict(ds.X[i%len(ds.X)])
+	}
+}
+
+func TestFeatureImportance(t *testing.T) {
+	// Feature 0 and 1 carry all the signal; feature 2 is noise.
+	ds := blobs(3, 40, 0.4, 21)
+	tree := NewTree(TreeOptions{})
+	if err := tree.Fit(ds, nil); err != nil {
+		t.Fatal(err)
+	}
+	imp := tree.FeatureImportance()
+	if len(imp) != 3 {
+		t.Fatalf("importance length %d", len(imp))
+	}
+	var sum float64
+	for _, v := range imp {
+		if v < 0 {
+			t.Errorf("negative importance %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("importance sums to %v", sum)
+	}
+	if imp[2] >= imp[0]+imp[1] {
+		t.Errorf("noise feature dominates: %v", imp)
+	}
+}
+
+func TestForestFeatureImportanceAndTop(t *testing.T) {
+	ds := blobs(3, 40, 0.8, 22)
+	f := NewForest(ForestOptions{Trees: 20, Seed: 2})
+	if err := f.Fit(ds, nil); err != nil {
+		t.Fatal(err)
+	}
+	imp := f.FeatureImportance()
+	var sum float64
+	for _, v := range imp {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("forest importance sums to %v", sum)
+	}
+	top := f.TopFeatures(2)
+	if len(top) != 2 {
+		t.Fatalf("top = %v", top)
+	}
+	if top[0] == 2 {
+		t.Error("noise feature ranked first")
+	}
+	// k beyond dimensionality clamps.
+	if len(f.TopFeatures(100)) != 3 {
+		t.Error("TopFeatures did not clamp")
+	}
+	// Untrained forest.
+	if NewForest(ForestOptions{}).FeatureImportance() != nil {
+		t.Error("untrained forest should return nil importance")
+	}
+}
+
+func TestSingleLeafImportanceZero(t *testing.T) {
+	ds := &Dataset{X: [][]float64{{1}, {1}}, Y: []int{0, 0}, Classes: []string{"a"}}
+	tree := NewTree(TreeOptions{})
+	if err := tree.Fit(ds, nil); err != nil {
+		t.Fatal(err)
+	}
+	if imp := tree.FeatureImportance(); imp[0] != 0 {
+		t.Errorf("pure leaf importance = %v", imp)
+	}
+}
+
+func TestForestOOBError(t *testing.T) {
+	ds := blobs(3, 40, 0.4, 30)
+	f := NewForest(ForestOptions{Trees: 30, Seed: 4})
+	if err := f.Fit(ds, nil); err != nil {
+		t.Fatal(err)
+	}
+	oob, ok := f.OOBError()
+	if !ok {
+		t.Fatal("OOB estimate unavailable")
+	}
+	// Well-separated blobs: OOB error should be small but is a real
+	// generalization estimate, so allow some slack.
+	if oob < 0 || oob > 0.15 {
+		t.Errorf("OOB error = %v", oob)
+	}
+	// Noisy data has higher OOB error.
+	noisy := blobs(3, 40, 3.0, 31)
+	g := NewForest(ForestOptions{Trees: 30, Seed: 4})
+	if err := g.Fit(noisy, nil); err != nil {
+		t.Fatal(err)
+	}
+	noisyOOB, ok := g.OOBError()
+	if !ok || noisyOOB <= oob {
+		t.Errorf("noisy OOB (%v) should exceed clean OOB (%v)", noisyOOB, oob)
+	}
+	// Untrained forest has no estimate.
+	if _, ok := NewForest(ForestOptions{}).OOBError(); ok {
+		t.Error("untrained forest should have no OOB estimate")
+	}
+}

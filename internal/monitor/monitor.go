@@ -1,0 +1,161 @@
+// Package monitor emulates the Lightweight Distributed Metric Service
+// (LDMS) used on the paper's test system: once per sampling period it
+// reads each node's counters and appends one value per metric to a
+// per-node trace.Set.
+//
+// Metric names follow the paper's "metric::sampler" convention (e.g.
+// "user::procstat"). The metric set deliberately contains no direct
+// memory-bandwidth counter — the paper identifies that gap as the reason
+// cpuoccupy/membw/cachecopy are partially confused by the diagnosis
+// framework, and the reproduction preserves it.
+package monitor
+
+import (
+	"hpas/internal/cluster"
+	"hpas/internal/node"
+	"hpas/internal/sim"
+	"hpas/internal/trace"
+	"hpas/internal/xrand"
+)
+
+// Metric names emitted for every node.
+const (
+	MetricUser     = "user::procstat"                                        // user CPU, percent of one CPU
+	MetricSys      = "sys::procstat"                                         // system CPU, percent of one CPU
+	MetricIdle     = "idle::procstat"                                        // idle, percent of one CPU
+	MetricMemFree  = "MemFree::meminfo"                                      // bytes
+	MetricMemUsed  = "MemUsed::meminfo"                                      // bytes
+	MetricPgFault  = "pgfault::vmstat"                                       // faults/s
+	MetricInst     = "INST_RETIRED:ANY::spapiHASW"                           // instructions/s
+	MetricL2Miss   = "L2_RQSTS:MISS::spapiHASW"                              // misses/s
+	MetricL3Miss   = "L3_MISS::spapiHASW"                                    // misses/s
+	MetricNICFlits = "AR_NIC_NETMON_ORB_EVENT_CNTR_REQ_FLITS::aries_nic_mmr" // flits/s
+
+	// MetricMemBW is the uncore memory-channel counter (CAS events/s,
+	// one per 64-byte line). It is NOT collected by default: the paper
+	// attributes the cpuoccupy/membw/cachecopy confusion to the lack of
+	// a memory-bandwidth metric, and the ablation experiment re-enables
+	// this counter to test that hypothesis.
+	MetricMemBW = "UNC_M_CAS_COUNT:ALL::spapiIMC"
+)
+
+// Names returns all per-node metric names in deterministic order.
+func Names() []string {
+	return []string{
+		MetricUser, MetricSys, MetricIdle,
+		MetricMemFree, MetricMemUsed, MetricPgFault,
+		MetricInst, MetricL2Miss, MetricL3Miss,
+		MetricNICFlits,
+	}
+}
+
+// flitBytes is the payload carried per Aries request flit.
+const flitBytes = 16
+
+// Options configure optional monitor behaviour.
+type Options struct {
+	// IncludeMemBW adds the uncore memory-bandwidth counter to the
+	// collected metric set (off by default, matching the paper).
+	IncludeMemBW bool
+}
+
+// Monitor samples a cluster. Register it on the engine after the cluster
+// so samples observe post-step state.
+type Monitor struct {
+	cl     *cluster.Cluster
+	period float64
+	noise  float64
+	opts   Options
+	rng    *xrand.RNG
+
+	nextSample float64
+	sets       []*trace.Set
+	prev       []node.Counters
+}
+
+// New returns a monitor sampling every period seconds with multiplicative
+// Gaussian noise of the given relative magnitude (e.g. 0.01 for 1%).
+func New(cl *cluster.Cluster, period, noise float64, seed uint64) *Monitor {
+	return NewWithOptions(cl, period, noise, seed, Options{})
+}
+
+// NewWithOptions is New with optional metric-set extensions.
+func NewWithOptions(cl *cluster.Cluster, period, noise float64, seed uint64, opts Options) *Monitor {
+	if period <= 0 {
+		panic("monitor: non-positive period")
+	}
+	m := &Monitor{
+		cl:     cl,
+		period: period,
+		noise:  noise,
+		opts:   opts,
+		rng:    xrand.New(seed),
+		prev:   make([]node.Counters, cl.NumNodes()),
+	}
+	names := Names()
+	if opts.IncludeMemBW {
+		names = append(names, MetricMemBW)
+	}
+	for i := 0; i < cl.NumNodes(); i++ {
+		set := trace.NewSet()
+		for _, name := range names {
+			set.Add(trace.NewSeries(name, period))
+		}
+		m.sets = append(m.sets, set)
+		m.prev[i] = cl.Node(i).Counters()
+	}
+	m.nextSample = period
+	return m
+}
+
+// NodeSet returns the metric set collected from node i.
+func (m *Monitor) NodeSet(i int) *trace.Set { return m.sets[i] }
+
+// Tick implements sim.Ticker.
+func (m *Monitor) Tick(now, dt float64) {
+	if now+dt+1e-9 < m.nextSample {
+		return
+	}
+	m.nextSample += m.period
+	for i := 0; i < m.cl.NumNodes(); i++ {
+		m.sample(i)
+	}
+}
+
+func (m *Monitor) sample(i int) {
+	n := m.cl.Node(i)
+	cur := n.Counters()
+	prev := m.prev[i]
+	m.prev[i] = cur
+	set := m.sets[i]
+	p := m.period
+
+	user := (cur.UserSeconds - prev.UserSeconds) / p * 100
+	sys := (cur.SysSeconds - prev.SysSeconds) / p * 100
+	idle := float64(n.Spec.Threads())*100 - user - sys
+
+	m.append(set, MetricUser, user)
+	m.append(set, MetricSys, sys)
+	m.append(set, MetricIdle, idle)
+	m.append(set, MetricMemFree, float64(n.MemFree()))
+	m.append(set, MetricMemUsed, float64(cur.MemUsed))
+	m.append(set, MetricPgFault, (cur.PageFaults-prev.PageFaults)/p)
+	m.append(set, MetricInst, (cur.Instructions-prev.Instructions)/p)
+	m.append(set, MetricL2Miss, (cur.L2Misses-prev.L2Misses)/p)
+	m.append(set, MetricL3Miss, (cur.L3Misses-prev.L3Misses)/p)
+	m.append(set, MetricNICFlits, m.cl.Net().InjectedRate(i)/flitBytes)
+	if m.opts.IncludeMemBW {
+		m.append(set, MetricMemBW, (cur.MemBytes-prev.MemBytes)/p/node.CacheLine)
+	}
+}
+
+// append adds a sample with multiplicative noise (values of exactly zero
+// stay zero, as real counters would).
+func (m *Monitor) append(set *trace.Set, name string, v float64) {
+	if v != 0 && m.noise > 0 {
+		v *= m.rng.Jitter(m.noise)
+	}
+	set.Get(name).Append(v)
+}
+
+var _ sim.Ticker = (*Monitor)(nil)

@@ -1,0 +1,110 @@
+package netsim
+
+import "fmt"
+
+// Dragonfly returns a two-level dragonfly topology like a full-scale
+// Cray Aries system: switches are partitioned into groups, every switch
+// pair within a group is directly connected (the electrical level), and
+// every group pair is connected by one global (optical) link. Adaptive
+// routing applies Valiant spreading at both levels.
+//
+// The paper's Voltrino is a single-group XC40m; Dragonfly lets the
+// substrate reproduce the inter-group congestion studied by the dragonfly
+// papers the paper builds on (Bhatele et al.).
+func Dragonfly(groups, switchesPerGroup, nodesPerSwitch int) Config {
+	return Config{
+		Switches:       groups * switchesPerGroup,
+		NodesPerSwitch: nodesPerSwitch,
+		NICBW:          10e9,
+		LinkBW:         5e9,
+		GlobalBW:       4.7e9,
+		Groups:         groups,
+		Adaptive:       true,
+		MinimalBias:    0.2,
+	}
+}
+
+// groupOf returns the group of a switch (0 when the topology is flat).
+func (c Config) groupOf(sw int) int {
+	if c.Groups <= 1 {
+		return 0
+	}
+	return sw / (c.Switches / c.Groups)
+}
+
+// groupSize returns switches per group.
+func (c Config) groupSize() int {
+	if c.Groups <= 1 {
+		return c.Switches
+	}
+	return c.Switches / c.Groups
+}
+
+// validateGroups panics on an inconsistent group layout.
+func (c Config) validateGroups() {
+	if c.Groups <= 1 {
+		return
+	}
+	if c.Switches%c.Groups != 0 {
+		panic(fmt.Sprintf("netsim: %d switches not divisible into %d groups", c.Switches, c.Groups))
+	}
+	if c.groupSize() < 2 {
+		panic("netsim: dragonfly groups need at least 2 switches")
+	}
+}
+
+// globalLink returns the link id of the (directed) global link between
+// two groups.
+func (nw *Network) globalLink(ga, gb int) int {
+	return nw.glBase + ga*nw.cfg.Groups + gb
+}
+
+// routeDragonfly computes the fractional route of an inter-group flow:
+// MinimalBias of the traffic takes the minimal path (local hop to the
+// gateway, one global link, local hop to the destination switch); the
+// remainder is spread Valiant-style over all intermediate groups, each
+// indirect path consuming two global links.
+func (nw *Network) routeDragonfly(f *Flow, uses []use) []use {
+	cfg := nw.cfg
+	sa, sb := cfg.SwitchOf(f.Src), cfg.SwitchOf(f.Dst)
+	ga, gb := cfg.groupOf(sa), cfg.groupOf(sb)
+
+	bias := cfg.MinimalBias
+	if !cfg.Adaptive || cfg.Groups <= 2 {
+		bias = 1
+	}
+
+	// Minimal path: local links to/from the gateways plus the direct
+	// global link. Gateways are modelled implicitly: local traffic to a
+	// gateway uses one intra-group link on each side (approximated as a
+	// generic intra-group hop from the source/destination switch).
+	addLocalHop := func(from int, w float64) {
+		// One intra-group hop toward the group's gateway, spread over
+		// the group's other switches to model per-packet dispersion.
+		size := cfg.groupSize()
+		base := cfg.groupOf(from) * size
+		spread := w / float64(size-1)
+		for s := base; s < base+size; s++ {
+			if s != from {
+				uses = append(uses, use{nw.swLink(from, s), spread})
+			}
+		}
+	}
+	addLocalHop(sa, 1)
+	addLocalHop(sb, 1) // symmetric return-side hop (capacity per direction)
+
+	uses = append(uses, use{nw.globalLink(ga, gb), bias})
+	if bias < 1 {
+		nMid := cfg.Groups - 2
+		w := (1 - bias) / float64(nMid)
+		for g := 0; g < cfg.Groups; g++ {
+			if g == ga || g == gb {
+				continue
+			}
+			uses = append(uses,
+				use{nw.globalLink(ga, g), w},
+				use{nw.globalLink(g, gb), w})
+		}
+	}
+	return uses
+}

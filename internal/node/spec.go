@@ -1,0 +1,120 @@
+// Package node models a single compute node of the simulated cluster:
+// hardware threads with fair-share scheduling and an SMT penalty, a
+// three-level cache hierarchy with proportional occupancy, a per-socket
+// memory-bandwidth ceiling, finite memory capacity with an OOM killer, and
+// a small OS-noise source.
+//
+// The model resolves contention once per simulation tick. Processes
+// declare a Demand (CPU share, working set, access intensity, streaming
+// memory bandwidth, resident bytes) and receive a Grant (effective CPU
+// share, per-level hit fractions, bandwidth fraction). Execution-speed
+// modelling (CPI) is left to the process via the CPI helper so that
+// application models own their sensitivity to each resource.
+package node
+
+import "hpas/internal/units"
+
+// MachineSpec describes the hardware of one node. Two stock specs are
+// provided matching the paper's systems: Voltrino (Cray XC40m Haswell
+// partition) and Chameleon Cloud.
+type MachineSpec struct {
+	Name           string
+	Sockets        int
+	CoresPerSocket int
+	ThreadsPerCore int // SMT width (2 on both testbeds)
+
+	L1 units.ByteSize // per physical core (data)
+	L2 units.ByteSize // per physical core
+	L3 units.ByteSize // per socket, shared
+
+	Memory         units.ByteSize // per node
+	MemBWPerSocket units.Rate     // streaming memory bandwidth per socket
+
+	ClockHz   float64 // core frequency
+	SMTFactor float64 // per-thread throughput factor when the sibling thread is busy
+
+	// Cache/memory access penalties in cycles beyond an L1 hit, used by
+	// the CPI model.
+	L2Penalty, L3Penalty, MemPenalty float64
+
+	// OSNoise is the mean background system CPU usage, as a fraction of
+	// one hardware thread (emulates OS jitter; sampled with jitter).
+	OSNoise float64
+
+	// BaselineResident is memory used by the OS and services at boot.
+	BaselineResident units.ByteSize
+}
+
+// Threads returns the number of hardware threads (logical CPUs).
+func (s MachineSpec) Threads() int { return s.Sockets * s.CoresPerSocket * s.ThreadsPerCore }
+
+// PhysCores returns the number of physical cores.
+func (s MachineSpec) PhysCores() int { return s.Sockets * s.CoresPerSocket }
+
+// CoreOf maps a logical CPU to its physical core. Numbering follows the
+// Linux convention on the testbeds: CPUs [0,P) are thread 0 of each core,
+// CPUs [P,2P) are the SMT siblings, and so on.
+func (s MachineSpec) CoreOf(cpu int) int { return cpu % s.PhysCores() }
+
+// SocketOf maps a logical CPU to its socket.
+func (s MachineSpec) SocketOf(cpu int) int { return s.CoreOf(cpu) / s.CoresPerSocket }
+
+// Sibling returns the other logical CPU sharing the same physical core
+// (assuming ThreadsPerCore == 2), or cpu itself when SMT is off.
+func (s MachineSpec) Sibling(cpu int) int {
+	if s.ThreadsPerCore < 2 {
+		return cpu
+	}
+	p := s.PhysCores()
+	if cpu < p {
+		return cpu + p
+	}
+	return cpu - p
+}
+
+// Voltrino returns the spec of a Voltrino Haswell node: two Intel Xeon
+// E5-2698 v3 processors (16 cores/socket, SMT2) and 125 GB of memory.
+func Voltrino() MachineSpec {
+	return MachineSpec{
+		Name:             "voltrino",
+		Sockets:          2,
+		CoresPerSocket:   16,
+		ThreadsPerCore:   2,
+		L1:               32 * units.KiB,
+		L2:               256 * units.KiB,
+		L3:               40 * units.MiB,
+		Memory:           125 * units.GiB,
+		MemBWPerSocket:   units.Rate(60 * float64(units.GBPS)),
+		ClockHz:          2.3e9,
+		SMTFactor:        0.65,
+		L2Penalty:        8,
+		L3Penalty:        30,
+		MemPenalty:       140,
+		OSNoise:          0.012,
+		BaselineResident: 7 * units.GiB,
+	}
+}
+
+// ChameleonCloud returns the spec of a Chameleon Cloud bare-metal node:
+// two Intel Xeon E5-2670 v3 processors (12 cores/socket, SMT2), 125 GB of
+// memory, and a smaller L3 than Voltrino.
+func ChameleonCloud() MachineSpec {
+	return MachineSpec{
+		Name:             "chameleon",
+		Sockets:          2,
+		CoresPerSocket:   12,
+		ThreadsPerCore:   2,
+		L1:               32 * units.KiB,
+		L2:               256 * units.KiB,
+		L3:               20 * units.MiB,
+		Memory:           125 * units.GiB,
+		MemBWPerSocket:   units.Rate(52 * float64(units.GBPS)),
+		ClockHz:          2.3e9,
+		SMTFactor:        0.65,
+		L2Penalty:        8,
+		L3Penalty:        34,
+		MemPenalty:       160,
+		OSNoise:          0.015,
+		BaselineResident: 7 * units.GiB,
+	}
+}

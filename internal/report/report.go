@@ -1,0 +1,150 @@
+// Package report renders experiment results as plain-text tables and bar
+// charts, so every paper figure can be regenerated on a terminal.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table.
+func (t *Table) String() string {
+	cols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(cells []string) {
+		for i, c := range cells {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, cell)
+		}
+		b.WriteString("\n")
+	}
+	if len(t.Headers) > 0 {
+		line(t.Headers)
+		rule := make([]string, cols)
+		for i := range rule {
+			rule[i] = strings.Repeat("-", widths[i])
+		}
+		line(rule)
+	}
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Bar is one bar of a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders labelled horizontal bars scaled to the maximum value.
+type BarChart struct {
+	Title string
+	Unit  string
+	Bars  []Bar
+	Width int // bar width in characters (default 40)
+}
+
+// Add appends a bar.
+func (c *BarChart) Add(label string, value float64) {
+	c.Bars = append(c.Bars, Bar{Label: label, Value: value})
+}
+
+// String renders the chart.
+func (c *BarChart) String() string {
+	width := c.Width
+	if width <= 0 {
+		width = 40
+	}
+	var maxV float64
+	labelW := 0
+	for _, b := range c.Bars {
+		if b.Value > maxV {
+			maxV = b.Value
+		}
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	var sb strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", c.Title)
+	}
+	for _, b := range c.Bars {
+		n := 0
+		if maxV > 0 {
+			n = int(b.Value / maxV * float64(width))
+		}
+		fmt.Fprintf(&sb, "%-*s |%-*s %.4g %s\n",
+			labelW, b.Label, width, strings.Repeat("#", n), b.Value, c.Unit)
+	}
+	return sb.String()
+}
+
+// Matrix renders a row-normalized matrix (e.g. a confusion matrix) with
+// two-decimal cells.
+func Matrix(title string, rowLabels, colLabels []string, rows [][]float64) string {
+	t := Table{Title: title, Headers: append([]string{""}, colLabels...)}
+	for i, r := range rows {
+		cells := []string{rowLabels[i]}
+		for _, v := range r {
+			cells = append(cells, fmt.Sprintf("%.2f", v))
+		}
+		t.AddRow(cells...)
+	}
+	return t.String()
+}
+
+// Lines renders one or more named series as aligned columns over a
+// shared x axis, a terminal substitute for the paper's line plots.
+func Lines(title, xLabel string, xs []float64, series map[string][]float64, order []string) string {
+	t := Table{Title: title, Headers: append([]string{xLabel}, order...)}
+	for i, x := range xs {
+		cells := []string{fmt.Sprintf("%g", x)}
+		for _, name := range order {
+			ys := series[name]
+			if i < len(ys) {
+				cells = append(cells, fmt.Sprintf("%.4g", ys[i]))
+			} else {
+				cells = append(cells, "-")
+			}
+		}
+		t.AddRow(cells...)
+	}
+	return t.String()
+}

@@ -1,0 +1,87 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable(t *testing.T) {
+	tbl := Table{Title: "T", Headers: []string{"a", "bb"}}
+	tbl.AddRow("x", "y")
+	tbl.AddRow("longer", "z")
+	out := tbl.String()
+	if !strings.HasPrefix(out, "T\n") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title, header, rule, 2 rows -> 5? title+header+rule+2
+		if len(lines) != 5 {
+			t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+		}
+	}
+	if !strings.Contains(out, "longer") || !strings.Contains(out, "--") {
+		t.Error("content missing")
+	}
+	// Columns align: header and row start of column 2 match.
+	hIdx := strings.Index(lines[1], "bb")
+	rIdx := strings.Index(lines[4], "z")
+	if hIdx != rIdx {
+		t.Errorf("column misaligned: %d vs %d\n%s", hIdx, rIdx, out)
+	}
+}
+
+func TestTableMoreCellsThanHeaders(t *testing.T) {
+	tbl := Table{Headers: []string{"a"}}
+	tbl.AddRow("x", "extra")
+	if !strings.Contains(tbl.String(), "extra") {
+		t.Error("extra cell dropped")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	c := BarChart{Title: "bars", Unit: "u", Width: 10}
+	c.Add("one", 5)
+	c.Add("two", 10)
+	out := c.String()
+	if !strings.Contains(out, "bars") || !strings.Contains(out, "u") {
+		t.Error("title/unit missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	count := func(s string) int { return strings.Count(s, "#") }
+	if count(lines[1]) != 5 || count(lines[2]) != 10 {
+		t.Errorf("bar lengths wrong: %d, %d", count(lines[1]), count(lines[2]))
+	}
+}
+
+func TestBarChartZeroMax(t *testing.T) {
+	c := BarChart{}
+	c.Add("zero", 0)
+	if strings.Count(c.String(), "#") != 0 {
+		t.Error("zero-valued chart should have empty bars")
+	}
+}
+
+func TestMatrix(t *testing.T) {
+	out := Matrix("M", []string{"r1", "r2"}, []string{"c1", "c2"},
+		[][]float64{{1, 0}, {0.25, 0.75}})
+	for _, want := range []string{"M", "r1", "c2", "1.00", "0.25", "0.75"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("matrix missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLines(t *testing.T) {
+	out := Lines("L", "x", []float64{1, 2},
+		map[string][]float64{"s": {10, 20}, "t": {30}},
+		[]string{"s", "t"})
+	for _, want := range []string{"L", "x", "10", "30"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("lines missing %q:\n%s", want, out)
+		}
+	}
+	// Short series render a placeholder.
+	if !strings.Contains(out, "-") {
+		t.Error("missing placeholder for short series")
+	}
+}

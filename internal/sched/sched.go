@@ -1,0 +1,94 @@
+// Package sched implements the job-allocation policies compared in the
+// paper's system-management use case (Section 5.2): plain Round-Robin and
+// the Well-Balanced Allocation Strategy (WBAS) of Yang et al., which
+// scores each node by CP = (1 - Load) x MemFree and prefers the
+// highest-capacity nodes, steering jobs away from anomalous ones.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"hpas/internal/units"
+)
+
+// NodeState is the scheduler's monitoring view of one node, as derived
+// from user::procstat and MemFree::meminfo.
+type NodeState struct {
+	ID       int
+	Load     float64        // instantaneous CPU load, fraction of all threads (0..1)
+	Load5Min float64        // 5-minute average load
+	MemFree  units.ByteSize // free memory
+}
+
+// Policy selects nodes for a job.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Select returns the IDs of count nodes chosen from nodes. It
+	// returns an error when count exceeds the candidate set.
+	Select(nodes []NodeState, count int) ([]int, error)
+}
+
+// RoundRobin allocates the first count available nodes in label order,
+// ignoring load and memory.
+type RoundRobin struct{}
+
+// Name implements Policy.
+func (RoundRobin) Name() string { return "RoundRobin" }
+
+// Select implements Policy.
+func (RoundRobin) Select(nodes []NodeState, count int) ([]int, error) {
+	if count > len(nodes) {
+		return nil, fmt.Errorf("sched: want %d nodes, have %d", count, len(nodes))
+	}
+	sorted := append([]NodeState(nil), nodes...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].ID < sorted[b].ID })
+	out := make([]int, count)
+	for i := 0; i < count; i++ {
+		out[i] = sorted[i].ID
+	}
+	return out, nil
+}
+
+// WBAS is the Well-Balanced Allocation Strategy: each node's computing
+// capacity is CP = (1 - Load) x MemFree with
+// Load = 5/6 Load_current + 1/6 Load_5minAvg, and the count nodes with
+// the highest CP are selected.
+type WBAS struct{}
+
+// Name implements Policy.
+func (WBAS) Name() string { return "WBAS" }
+
+// CP returns the node's computing-capacity score.
+func (WBAS) CP(n NodeState) float64 {
+	load := 5.0/6.0*n.Load + 1.0/6.0*n.Load5Min
+	if load > 1 {
+		load = 1
+	}
+	if load < 0 {
+		load = 0
+	}
+	return (1 - load) * float64(n.MemFree)
+}
+
+// Select implements Policy.
+func (w WBAS) Select(nodes []NodeState, count int) ([]int, error) {
+	if count > len(nodes) {
+		return nil, fmt.Errorf("sched: want %d nodes, have %d", count, len(nodes))
+	}
+	sorted := append([]NodeState(nil), nodes...)
+	sort.Slice(sorted, func(a, b int) bool {
+		ca, cb := w.CP(sorted[a]), w.CP(sorted[b])
+		if ca != cb {
+			return ca > cb
+		}
+		return sorted[a].ID < sorted[b].ID
+	})
+	out := make([]int, count)
+	for i := 0; i < count; i++ {
+		out[i] = sorted[i].ID
+	}
+	sort.Ints(out)
+	return out, nil
+}

@@ -1,0 +1,148 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"hpas/internal/units"
+)
+
+func mkNodes() []NodeState {
+	nodes := make([]NodeState, 8)
+	for i := range nodes {
+		nodes[i] = NodeState{ID: i, Load: 0.01, Load5Min: 0.01, MemFree: 118 * units.GiB}
+	}
+	return nodes
+}
+
+func TestRoundRobinLabelOrder(t *testing.T) {
+	nodes := mkNodes()
+	// Shuffle input order; RR must still pick by label.
+	nodes[0], nodes[5] = nodes[5], nodes[0]
+	got, err := RoundRobin{}.Select(nodes, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{0, 1, 2, 3}) {
+		t.Errorf("RR = %v", got)
+	}
+}
+
+func TestRoundRobinIgnoresAnomalies(t *testing.T) {
+	nodes := mkNodes()
+	nodes[0].Load = 1.0 // cpuoccupy node — RR doesn't care
+	got, _ := RoundRobin{}.Select(nodes, 4)
+	if got[0] != 0 {
+		t.Error("RR should still pick node 0")
+	}
+}
+
+func TestSelectCountValidation(t *testing.T) {
+	if _, err := (RoundRobin{}).Select(mkNodes(), 9); err == nil {
+		t.Error("RR overcommit not caught")
+	}
+	if _, err := (WBAS{}).Select(mkNodes(), 9); err == nil {
+		t.Error("WBAS overcommit not caught")
+	}
+}
+
+func TestWBASAvoidsAnomalousNodes(t *testing.T) {
+	// Reproduces the paper's Figure 11 scenario: cpuoccupy on node 0
+	// (one of 32 cores fully busy) and memleak on node 2 (free memory
+	// down to 1 GB). WBAS must pick nodes {1,3,4,5}.
+	nodes := mkNodes()
+	nodes[0].Load = 1.0 / 32 * 1.5 // noticeable CPU load
+	nodes[0].Load5Min = 1.0 / 32
+	nodes[2].MemFree = 1 * units.GiB
+	got, err := WBAS{}.Select(nodes, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{1, 3, 4, 5}) {
+		t.Errorf("WBAS = %v, want [1 3 4 5]", got)
+	}
+}
+
+func TestWBASCPFormula(t *testing.T) {
+	w := WBAS{}
+	n := NodeState{Load: 0.6, Load5Min: 0.0, MemFree: 100 * units.GiB}
+	// Load = 5/6*0.6 = 0.5 → CP = 0.5 * 100GiB.
+	want := 0.5 * float64(100*units.GiB)
+	if got := w.CP(n); got != want {
+		t.Errorf("CP = %v, want %v", got, want)
+	}
+	// Clamping.
+	if w.CP(NodeState{Load: 2, Load5Min: 2, MemFree: units.GiB}) != 0 {
+		t.Error("overloaded node should score 0")
+	}
+}
+
+func TestWBASTieBreaksByID(t *testing.T) {
+	got, err := WBAS{}.Select(mkNodes(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Errorf("tie-break = %v", got)
+	}
+}
+
+// Property: both policies return exactly count distinct valid IDs.
+func TestPolicyValidityProperty(t *testing.T) {
+	f := func(loads []uint8, countRaw uint8) bool {
+		if len(loads) == 0 {
+			return true
+		}
+		nodes := make([]NodeState, len(loads))
+		for i, l := range loads {
+			nodes[i] = NodeState{
+				ID:      i,
+				Load:    float64(l) / 255,
+				MemFree: units.ByteSize(l) * units.GiB,
+			}
+		}
+		count := 1 + int(countRaw)%len(nodes)
+		for _, p := range []Policy{RoundRobin{}, WBAS{}} {
+			got, err := p.Select(nodes, count)
+			if err != nil || len(got) != count {
+				return false
+			}
+			seen := map[int]bool{}
+			for _, id := range got {
+				if id < 0 || id >= len(nodes) || seen[id] {
+					return false
+				}
+				seen[id] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: WBAS never selects a strictly dominated node over a strictly
+// dominating one (higher CP must win).
+func TestWBASMonotoneProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		nodes := mkNodes()
+		bad := int(seed) % len(nodes)
+		nodes[bad].Load = 0.99
+		nodes[bad].MemFree = units.GiB
+		got, err := WBAS{}.Select(nodes, len(nodes)-1)
+		if err != nil {
+			return false
+		}
+		for _, id := range got {
+			if id == bad {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

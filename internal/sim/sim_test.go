@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnBadDT(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for dt <= 0")
+		}
+	}()
+	New(-1)
+}
+
+func TestStepAdvancesClock(t *testing.T) {
+	e := New(0.5)
+	e.Step()
+	e.Step()
+	if e.Now() != 1.0 {
+		t.Errorf("Now = %v, want 1.0", e.Now())
+	}
+	if e.Ticks() != 2 {
+		t.Errorf("Ticks = %d, want 2", e.Ticks())
+	}
+}
+
+func TestTickerOrderAndArgs(t *testing.T) {
+	e := New(0.1)
+	var order []string
+	var lastNow, lastDT float64
+	e.Add(TickerFunc(func(now, dt float64) { order = append(order, "a") }))
+	e.Add(TickerFunc(func(now, dt float64) {
+		order = append(order, "b")
+		lastNow, lastDT = now, dt
+	}))
+	e.Step()
+	e.Step()
+	if len(order) != 4 || order[0] != "a" || order[1] != "b" || order[2] != "a" {
+		t.Errorf("order = %v", order)
+	}
+	if math.Abs(lastNow-0.1) > 1e-12 || lastDT != 0.1 {
+		t.Errorf("last tick args = %v, %v", lastNow, lastDT)
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	e := New(0.1)
+	n := 0
+	e.Add(TickerFunc(func(now, dt float64) { n++ }))
+	e.RunFor(1.0)
+	if n != 10 {
+		t.Errorf("ticks in 1s = %d, want 10", n)
+	}
+	if math.Abs(e.Now()-1.0) > 1e-9 {
+		t.Errorf("Now = %v", e.Now())
+	}
+	e.RunFor(0)
+	e.RunFor(-5)
+	if n != 10 {
+		t.Error("zero/negative RunFor should not step")
+	}
+}
+
+func TestRunForAccumulatedFloatError(t *testing.T) {
+	// 600 s at dt=0.1 must be exactly 6000 ticks despite float addition.
+	e := New(0.1)
+	n := 0
+	e.Add(TickerFunc(func(now, dt float64) { n++ }))
+	e.RunFor(600)
+	if n < 5999 || n > 6001 {
+		t.Errorf("ticks = %d, want ~6000", n)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New(0.1)
+	count := 0
+	e.Add(TickerFunc(func(now, dt float64) { count++ }))
+	at, ok := e.RunUntil(func() bool { return count >= 5 }, 100)
+	if !ok {
+		t.Fatal("pred never satisfied")
+	}
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+	if math.Abs(at-0.5) > 1e-9 {
+		t.Errorf("at = %v, want 0.5", at)
+	}
+}
+
+func TestRunUntilTimeout(t *testing.T) {
+	e := New(0.1)
+	at, ok := e.RunUntil(func() bool { return false }, 1.0)
+	if ok {
+		t.Error("pred should not be satisfied")
+	}
+	if math.Abs(at-1.0) > 1e-9 {
+		t.Errorf("timeout at = %v", at)
+	}
+}
+
+func TestRunUntilImmediate(t *testing.T) {
+	e := New(0.1)
+	n := 0
+	e.Add(TickerFunc(func(now, dt float64) { n++ }))
+	_, ok := e.RunUntil(func() bool { return true }, 10)
+	if !ok || n != 0 {
+		t.Errorf("immediate pred ran %d ticks", n)
+	}
+}
+
+// Property: after RunFor(s), Now ~= s and tick count ~= s/dt.
+func TestRunForProperty(t *testing.T) {
+	f := func(sRaw, dtRaw uint16) bool {
+		dt := 0.01 + float64(dtRaw%100)/100 // [0.01, 1.0)
+		s := float64(sRaw % 500)
+		e := New(dt)
+		e.RunFor(s)
+		wantTicks := math.Ceil(s/dt - 1e-9)
+		return math.Abs(float64(e.Ticks())-wantTicks) <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkTickLoop(b *testing.B) {
+	e := New(0.1)
+	var sink float64
+	for i := 0; i < 8; i++ {
+		e.Add(TickerFunc(func(now, dt float64) { sink += dt }))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+	_ = sink
+}

@@ -1,0 +1,219 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if Mean([]float64{2, 4, 6}) != 4 {
+		t.Error("Mean([2 4 6]) != 4")
+	}
+}
+
+func TestVarianceStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !approx(Variance(xs), 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", Variance(xs))
+	}
+	if !approx(StdDev(xs), 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", StdDev(xs))
+	}
+	if Variance([]float64{5}) != 0 {
+		t.Error("Variance of singleton != 0")
+	}
+}
+
+func TestMinMaxSum(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 || Sum(xs) != 11 {
+		t.Error("Min/Max/Sum wrong")
+	}
+	if Min(nil) != 0 || Max(nil) != 0 || Sum(nil) != 0 {
+		t.Error("empty-slice behaviour wrong")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {10, 1.4}, {-5, 1}, {120, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !approx(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("Percentile(nil) != 0")
+	}
+}
+
+func TestPercentilesBatchMatchesSingle(t *testing.T) {
+	xs := []float64{9, 1, 4, 4, 7, 2, 8}
+	ps := []float64{5, 25, 50, 75, 95}
+	batch := Percentiles(xs, ps...)
+	for i, p := range ps {
+		if single := Percentile(xs, p); !approx(batch[i], single, 1e-12) {
+			t.Errorf("Percentiles[%v] = %v, single = %v", p, batch[i], single)
+		}
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Percentile mutated input")
+	}
+}
+
+func TestMedianOddEven(t *testing.T) {
+	if Median([]float64{5, 1, 3}) != 3 {
+		t.Error("odd median wrong")
+	}
+	if Median([]float64{1, 2, 3, 4}) != 2.5 {
+		t.Error("even median wrong")
+	}
+}
+
+func TestSkewnessSymmetric(t *testing.T) {
+	if s := Skewness([]float64{1, 2, 3, 4, 5}); !approx(s, 0, 1e-12) {
+		t.Errorf("symmetric skewness = %v", s)
+	}
+	// Right-skewed data has positive skewness.
+	if s := Skewness([]float64{1, 1, 1, 1, 10}); s <= 0 {
+		t.Errorf("right-skewed skewness = %v, want > 0", s)
+	}
+	if Skewness([]float64{5, 5}) != 0 {
+		t.Error("short input should give 0")
+	}
+	if Skewness([]float64{4, 4, 4, 4}) != 0 {
+		t.Error("constant input should give 0")
+	}
+}
+
+func TestKurtosis(t *testing.T) {
+	// Uniform-ish data has negative excess kurtosis.
+	if k := Kurtosis([]float64{1, 2, 3, 4, 5, 6, 7, 8}); k >= 0 {
+		t.Errorf("uniform kurtosis = %v, want < 0", k)
+	}
+	if Kurtosis([]float64{3, 3, 3, 3}) != 0 {
+		t.Error("constant kurtosis should be 0")
+	}
+}
+
+func TestLinRegress(t *testing.T) {
+	slope, intercept := LinRegress([]float64{1, 3, 5, 7})
+	if !approx(slope, 2, 1e-12) || !approx(intercept, 1, 1e-12) {
+		t.Errorf("LinRegress = %v,%v; want 2,1", slope, intercept)
+	}
+	slope, intercept = LinRegress([]float64{4, 4, 4})
+	if !approx(slope, 0, 1e-12) || !approx(intercept, 4, 1e-12) {
+		t.Errorf("flat LinRegress = %v,%v", slope, intercept)
+	}
+	slope, intercept = LinRegress([]float64{9})
+	if slope != 0 || intercept != 9 {
+		t.Error("singleton LinRegress wrong")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	d := Diff([]float64{1, 4, 9})
+	if len(d) != 2 || d[0] != 3 || d[1] != 5 {
+		t.Errorf("Diff = %v", d)
+	}
+	if Diff([]float64{1}) != nil {
+		t.Error("Diff of singleton should be nil")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 100}); !approx(g, 10, 1e-9) {
+		t.Errorf("GeoMean = %v, want 10", g)
+	}
+	if GeoMean([]float64{-1, 0}) != 0 {
+		t.Error("GeoMean of non-positive should be 0")
+	}
+	// Values <= 0 are skipped.
+	if g := GeoMean([]float64{0, 4}); !approx(g, 4, 1e-9) {
+		t.Errorf("GeoMean skip = %v, want 4", g)
+	}
+}
+
+// Property: percentile is monotonic in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		p1 := float64(a % 101)
+		p2 := float64(b % 101)
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		v1 := Percentile(raw, p1)
+		v2 := Percentile(raw, p2)
+		return v1 <= v2 && v1 >= Min(raw) && v2 <= Max(raw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: variance is non-negative and shift-invariant.
+func TestVarianceProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.Abs(v) > 1e6 {
+				continue
+			}
+			xs = append(xs, v)
+		}
+		v := Variance(xs)
+		if v < 0 {
+			return false
+		}
+		shifted := make([]float64, len(xs))
+		for i, x := range xs {
+			shifted[i] = x + 1000
+		}
+		return approx(Variance(shifted), v, 1e-3+1e-6*v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mean is bounded by min and max.
+func TestMeanBoundsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.Abs(v) > 1e100 {
+				continue
+			}
+			xs = append(xs, v)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m := Mean(xs)
+		return m >= Min(xs)-1e-9 && m <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,157 @@
+package storage
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(Config{})
+}
+
+func TestSingleStreamFullBandwidth(t *testing.T) {
+	s := New(NFS())
+	g := s.Resolve([]Demand{{Write: 50e6}}, 1)
+	if math.Abs(g[0].Write-50e6) > 1 {
+		t.Errorf("Write = %v, want full demand", g[0].Write)
+	}
+}
+
+func TestDiskSaturation(t *testing.T) {
+	s := New(NFS())
+	g := s.Resolve([]Demand{{Write: 500e6}}, 1)
+	if g[0].Write > s.Config().DiskBW+1 {
+		t.Errorf("Write %v exceeds disk bw", g[0].Write)
+	}
+	if g[0].Write < 100e6 {
+		t.Errorf("single stream should get near-full disk bw, got %v", g[0].Write)
+	}
+}
+
+func TestConcurrencyPenalty(t *testing.T) {
+	s := New(NFS())
+	// 20 concurrent streams each demanding far more than their share.
+	demands := make([]Demand, 20)
+	for i := range demands {
+		demands[i] = Demand{Read: 100e6}
+	}
+	g := s.Resolve(demands, 1)
+	var total float64
+	for _, gr := range g {
+		total += gr.Read
+	}
+	if total >= s.Config().DiskBW {
+		t.Errorf("concurrent total %v should be below sequential bw", total)
+	}
+	// Equal demands get equal shares.
+	if math.Abs(g[0].Read-g[19].Read) > 1 {
+		t.Error("unequal shares for equal demands")
+	}
+}
+
+func TestMetadataAdmission(t *testing.T) {
+	s := New(NFS())
+	g := s.Resolve([]Demand{{MetaOps: 100}, {MetaOps: 100000}}, 1)
+	served := g[0].MetaOps + g[1].MetaOps
+	if served > s.Config().MetaOpsPerSec+1 {
+		t.Errorf("meta served %v exceeds capacity", served)
+	}
+	// Proportional split.
+	ratio := g[1].MetaOps / g[0].MetaOps
+	if math.Abs(ratio-1000) > 1 {
+		t.Errorf("meta split ratio = %v, want 1000", ratio)
+	}
+}
+
+func TestSharedMetadataStealsDiskTime(t *testing.T) {
+	s := New(NFS())
+	clean := s.Resolve([]Demand{{Write: 500e6}}, 1)[0].Write
+	// Now with a metadata flood from another client.
+	g := s.Resolve([]Demand{{Write: 500e6}, {MetaOps: 50000}}, 1)
+	if g[0].Write >= clean {
+		t.Errorf("metadata flood should reduce data bw: %v vs clean %v", g[0].Write, clean)
+	}
+}
+
+func TestDataStreamsDepressMetadataOnNFS(t *testing.T) {
+	s := New(NFS())
+	clean := s.Resolve([]Demand{{MetaOps: 100000}}, 1)[0].MetaOps
+	g := s.Resolve([]Demand{{MetaOps: 100000}, {Write: 500e6}}, 1)
+	if g[0].MetaOps >= clean {
+		t.Errorf("busy disk should depress metadata rate: %v vs %v", g[0].MetaOps, clean)
+	}
+}
+
+func TestLustreSeparateMetadata(t *testing.T) {
+	s := New(Lustre())
+	clean := s.Resolve([]Demand{{Write: 10e9}}, 1)[0].Write
+	g := s.Resolve([]Demand{{Write: 10e9}, {MetaOps: 100000}}, 1)
+	if math.Abs(g[0].Write-clean) > clean*0.01 {
+		t.Errorf("dedicated MDS should isolate data bw: %v vs %v", g[0].Write, clean)
+	}
+}
+
+func TestCountersAccumulate(t *testing.T) {
+	s := New(NFS())
+	s.Resolve([]Demand{{MetaOps: 10, Read: 1e6, Write: 2e6}}, 2)
+	meta, read, written := s.Counters()
+	if math.Abs(meta-20) > 1e-6 || math.Abs(read-2e6) > 1 || math.Abs(written-4e6) > 1 {
+		t.Errorf("counters = %v %v %v", meta, read, written)
+	}
+}
+
+func TestEmptyResolve(t *testing.T) {
+	s := New(NFS())
+	if g := s.Resolve(nil, 1); len(g) != 0 {
+		t.Error("empty resolve should return empty grants")
+	}
+}
+
+// Property: grants never exceed demands or capacities.
+func TestGrantBoundsProperty(t *testing.T) {
+	f := func(metaRaw, readRaw, writeRaw [6]uint32) bool {
+		s := New(NFS())
+		demands := make([]Demand, 6)
+		for i := range demands {
+			demands[i] = Demand{
+				MetaOps: float64(metaRaw[i] % 100000),
+				Read:    float64(readRaw[i]),
+				Write:   float64(writeRaw[i]),
+			}
+		}
+		grants := s.Resolve(demands, 1)
+		var meta, data float64
+		for i, g := range grants {
+			if g.MetaOps > demands[i].MetaOps+1e-9 || g.Read > demands[i].Read+1e-9 || g.Write > demands[i].Write+1e-9 {
+				return false
+			}
+			if g.MetaOps < 0 || g.Read < 0 || g.Write < 0 {
+				return false
+			}
+			meta += g.MetaOps
+			data += g.Read + g.Write
+		}
+		return meta <= s.Config().MetaOpsPerSec+1e-6 && data <= s.Config().DiskBW+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkResolve48Clients(b *testing.B) {
+	s := New(NFS())
+	demands := make([]Demand, 48)
+	for i := range demands {
+		demands[i] = Demand{MetaOps: 50, Read: 2e6, Write: 2e6}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Resolve(demands, 0.1)
+	}
+}

@@ -1,0 +1,59 @@
+package stress
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// CPUOccupy is the cpuoccupy stressor: arithmetic on registers with a
+// duty-cycled sleep so that each worker consumes Utilization percent of
+// one CPU, with negligible cache and memory footprint.
+type CPUOccupy struct {
+	// Utilization is the target CPU percentage per worker, 0..100.
+	Utilization float64
+	// Workers is the number of parallel busy loops (default 1).
+	Workers int
+
+	iterations uint64
+	sink       uint64
+}
+
+// Name implements Stressor.
+func (s *CPUOccupy) Name() string { return "cpuoccupy" }
+
+// Run implements Stressor.
+func (s *CPUOccupy) Run(ctx context.Context) error {
+	if s.Utilization < 0 || s.Utilization > 100 {
+		return fmt.Errorf("cpuoccupy: utilization %v out of [0,100]", s.Utilization)
+	}
+	workers := s.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > 8*runtime.NumCPU() {
+		return fmt.Errorf("cpuoccupy: %d workers is unreasonable for %d CPUs", workers, runtime.NumCPU())
+	}
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			errc <- dutyCycle(ctx, s.Utilization/100, func(busy time.Duration) {
+				spin(busy, &s.sink)
+				s.addIterations(1)
+			})
+		}()
+	}
+	var err error
+	for w := 0; w < workers; w++ {
+		if e := <-errc; e != nil && err == nil {
+			err = e
+		}
+	}
+	return err
+}
+
+func (s *CPUOccupy) addIterations(n uint64) { atomicAdd(&s.iterations, n) }
+
+// Iterations returns the number of completed busy bursts.
+func (s *CPUOccupy) Iterations() uint64 { return atomicLoad(&s.iterations) }

@@ -1,0 +1,178 @@
+package stress
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"hpas/internal/units"
+)
+
+// IOMetadata is the iometadata stressor: create files, write one
+// character to each, close them, and delete them after every 10
+// iterations, hammering the filesystem's metadata path. Point Dir at a
+// directory on the shared filesystem under test.
+type IOMetadata struct {
+	// Dir is the target directory (must exist and be writable).
+	Dir string
+	// Rate limits create/write/close cycles per second; 0 = unthrottled.
+	Rate float64
+	// NTasks is the number of concurrent workers (default 1).
+	NTasks int
+
+	ops uint64
+}
+
+// Name implements Stressor.
+func (s *IOMetadata) Name() string { return "iometadata" }
+
+// Run implements Stressor.
+func (s *IOMetadata) Run(ctx context.Context) error {
+	if s.Dir == "" {
+		return fmt.Errorf("iometadata: target directory required")
+	}
+	tasks := s.NTasks
+	if tasks <= 0 {
+		tasks = 1
+	}
+	errc := make(chan error, tasks)
+	for w := 0; w < tasks; w++ {
+		go func(w int) { errc <- s.worker(ctx, w) }(w)
+	}
+	var err error
+	for w := 0; w < tasks; w++ {
+		if e := <-errc; e != nil && e != context.Canceled && e != context.DeadlineExceeded && err == nil {
+			err = e
+		}
+	}
+	if err == nil {
+		err = ctx.Err()
+	}
+	return err
+}
+
+func (s *IOMetadata) worker(ctx context.Context, id int) error {
+	var tick *time.Ticker
+	if s.Rate > 0 {
+		tick = time.NewTicker(time.Duration(float64(time.Second) / s.Rate))
+		defer tick.Stop()
+	}
+	var open []string
+	defer func() {
+		for _, p := range open {
+			os.Remove(p)
+		}
+	}()
+	for iter := 0; ; iter++ {
+		if tick != nil {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-tick.C:
+			}
+		} else if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		path := filepath.Join(s.Dir, fmt.Sprintf("hpas-meta-%d-%d", id, iter%10))
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("iometadata: %w", err)
+		}
+		if _, err := f.Write([]byte{'x'}); err != nil {
+			f.Close()
+			return fmt.Errorf("iometadata: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("iometadata: %w", err)
+		}
+		open = append(open, path)
+		atomicAdd(&s.ops, 1)
+		// Delete the batch after 10 iterations, as the original does.
+		if iter%10 == 9 {
+			for _, p := range open {
+				os.Remove(p)
+			}
+			open = open[:0]
+		}
+	}
+}
+
+// Ops returns the number of create/write/close cycles completed.
+func (s *IOMetadata) Ops() uint64 { return atomicLoad(&s.ops) }
+
+// IOBandwidth is the iobandwidth stressor: dd-style copies — write a
+// file of pseudo-random data, then repeatedly copy it to a second file
+// and back, streaming reads and writes through the filesystem.
+type IOBandwidth struct {
+	// Dir is the target directory (must exist and be writable).
+	Dir string
+	// FileSize is the copied file's size (default 64 MiB).
+	FileSize units.ByteSize
+	// NTasks is the number of concurrent copy loops (default 1).
+	NTasks int
+
+	bytes uint64
+}
+
+// Name implements Stressor.
+func (s *IOBandwidth) Name() string { return "iobandwidth" }
+
+// Run implements Stressor.
+func (s *IOBandwidth) Run(ctx context.Context) error {
+	if s.Dir == "" {
+		return fmt.Errorf("iobandwidth: target directory required")
+	}
+	size := s.FileSize
+	if size <= 0 {
+		size = 64 * units.MiB
+	}
+	tasks := s.NTasks
+	if tasks <= 0 {
+		tasks = 1
+	}
+	errc := make(chan error, tasks)
+	for w := 0; w < tasks; w++ {
+		go func(w int) { errc <- s.worker(ctx, w, int(size)) }(w)
+	}
+	var err error
+	for w := 0; w < tasks; w++ {
+		if e := <-errc; e != nil && e != context.Canceled && e != context.DeadlineExceeded && err == nil {
+			err = e
+		}
+	}
+	if err == nil {
+		err = ctx.Err()
+	}
+	return err
+}
+
+func (s *IOBandwidth) worker(ctx context.Context, id, size int) error {
+	src := filepath.Join(s.Dir, fmt.Sprintf("hpas-bw-%d-a", id))
+	dst := filepath.Join(s.Dir, fmt.Sprintf("hpas-bw-%d-b", id))
+	defer os.Remove(src)
+	defer os.Remove(dst)
+	data := fillRandom(nil, size)
+	if err := os.WriteFile(src, data, 0o644); err != nil {
+		return fmt.Errorf("iobandwidth: %w", err)
+	}
+	atomicAdd(&s.bytes, uint64(size))
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		in, err := os.ReadFile(src)
+		if err != nil {
+			return fmt.Errorf("iobandwidth: %w", err)
+		}
+		if err := os.WriteFile(dst, in, 0o644); err != nil {
+			return fmt.Errorf("iobandwidth: %w", err)
+		}
+		atomicAdd(&s.bytes, uint64(2*len(in)))
+		src, dst = dst, src
+	}
+}
+
+// Bytes returns bytes moved (read+written) so far.
+func (s *IOBandwidth) Bytes() uint64 { return atomicLoad(&s.bytes) }

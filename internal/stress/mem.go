@@ -1,0 +1,246 @@
+package stress
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"hpas/internal/units"
+)
+
+func atomicAdd(p *uint64, n uint64) { atomic.AddUint64(p, n) }
+func atomicLoad(p *uint64) uint64   { return atomic.LoadUint64(p) }
+
+// CacheCopy is the cachecopy stressor: two contiguous arrays, each half
+// the size of the target cache level (times Multiplier), copied back and
+// forth so the level stays fully utilized. Target sizes are configured
+// rather than probed, matching the original's L1/L2/L3 command-line knob.
+type CacheCopy struct {
+	// LevelSize is the size of the targeted cache level; the two copy
+	// arrays total LevelSize*Multiplier bytes.
+	LevelSize units.ByteSize
+	// Multiplier scales the working set (default 1).
+	Multiplier float64
+	// Rate is the duty cycle in (0,1], default 1.
+	Rate float64
+
+	copies uint64
+}
+
+// Name implements Stressor.
+func (s *CacheCopy) Name() string { return "cachecopy" }
+
+// Run implements Stressor.
+func (s *CacheCopy) Run(ctx context.Context) error {
+	if s.LevelSize <= 0 {
+		return fmt.Errorf("cachecopy: level size must be positive")
+	}
+	m := s.Multiplier
+	if m <= 0 {
+		m = 1
+	}
+	rate := s.Rate
+	if rate <= 0 || rate > 1 {
+		rate = 1
+	}
+	half := int(float64(s.LevelSize) * m / 2)
+	if half < 64 {
+		half = 64
+	}
+	// One contiguous block, split in two, as posix_memalign'd arrays.
+	block := make([]byte, 2*half)
+	a, b := block[:half], block[half:]
+	for i := range a {
+		a[i] = byte(i)
+	}
+	return dutyCycle(ctx, rate, func(busy time.Duration) {
+		deadline := time.Now().Add(busy)
+		for time.Now().Before(deadline) {
+			copy(b, a)
+			copy(a, b)
+			atomicAdd(&s.copies, 2)
+		}
+	})
+}
+
+// Copies returns the number of array copies performed.
+func (s *CacheCopy) Copies() uint64 { return atomicLoad(&s.copies) }
+
+// MemBW is the membw stressor: streaming writes over a buffer far larger
+// than the last-level cache. The original uses x86 MOVNT* non-temporal
+// stores; Go has no portable intrinsic for those, so this version relies
+// on the buffer size to guarantee every write misses the cache. The
+// bandwidth pressure matches; unlike the original it also evicts cache
+// lines (see the package comment).
+type MemBW struct {
+	// BufferSize is the streamed buffer (default 256 MiB, well past any
+	// L3).
+	BufferSize units.ByteSize
+	// Rate is the duty cycle in (0,1], default 1.
+	Rate float64
+
+	bytes uint64
+}
+
+// Name implements Stressor.
+func (s *MemBW) Name() string { return "membw" }
+
+// Run implements Stressor.
+func (s *MemBW) Run(ctx context.Context) error {
+	size := s.BufferSize
+	if size <= 0 {
+		size = 256 * units.MiB
+	}
+	rate := s.Rate
+	if rate <= 0 || rate > 1 {
+		rate = 1
+	}
+	buf := make([]uint64, int(size)/8)
+	var pos int
+	return dutyCycle(ctx, rate, func(busy time.Duration) {
+		deadline := time.Now().Add(busy)
+		for time.Now().Before(deadline) {
+			// 64-byte strides: one write per cache line, like a
+			// non-temporal transpose walking column-major.
+			for i := 0; i < 1<<16; i++ {
+				buf[pos] = uint64(pos)
+				pos += 8
+				if pos >= len(buf) {
+					pos = 0
+				}
+			}
+			atomicAdd(&s.bytes, 1<<16*8)
+		}
+	})
+}
+
+// Bytes returns the bytes written so far.
+func (s *MemBW) Bytes() uint64 { return atomicLoad(&s.bytes) }
+
+// MemEater is the memeater stressor: allocate an array, fill it with
+// pseudo-random values, grow it by the same amount (realloc-style), and
+// repeat until the size limit, then keep re-touching it.
+type MemEater struct {
+	// ChunkSize is the initial size and per-iteration growth
+	// (paper default 35 MB).
+	ChunkSize units.ByteSize
+	// Limit caps the footprint; required to keep the stressor safe.
+	Limit units.ByteSize
+	// Interval is the time between growth steps (default 1s).
+	Interval time.Duration
+
+	resident uint64
+}
+
+// Name implements Stressor.
+func (s *MemEater) Name() string { return "memeater" }
+
+// Run implements Stressor.
+func (s *MemEater) Run(ctx context.Context) error {
+	chunk := s.ChunkSize
+	if chunk <= 0 {
+		chunk = 35 * units.MiB
+	}
+	if s.Limit <= 0 {
+		return fmt.Errorf("memeater: a footprint limit is required")
+	}
+	interval := s.Interval
+	if interval <= 0 {
+		interval = time.Second
+	}
+	buf := fillRandom(make([]byte, 0, chunk), int(chunk))
+	atomic.StoreUint64(&s.resident, uint64(len(buf)))
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+		if units.ByteSize(len(buf))+chunk <= s.Limit {
+			buf = fillRandom(buf, len(buf)+int(chunk))
+		} else {
+			// At the limit: keep the memory hot like the original.
+			buf = fillRandom(buf[:0], cap(buf))
+		}
+		atomic.StoreUint64(&s.resident, uint64(len(buf)))
+	}
+}
+
+// Resident returns the current footprint in bytes.
+func (s *MemEater) Resident() uint64 { return atomic.LoadUint64(&s.resident) }
+
+// MemLeak is the memleak stressor: each iteration allocates a chunk,
+// fills it, and retains the pointer forever, so the footprint grows
+// until Limit (a safety bound the C original does not have — it relies
+// on the OOM killer instead).
+type MemLeak struct {
+	// ChunkSize is the per-iteration allocation (paper default 20 MB).
+	ChunkSize units.ByteSize
+	// Rate is iterations per second (default 1).
+	Rate float64
+	// Limit caps the leak; required to keep the stressor safe.
+	Limit units.ByteSize
+
+	leaked   [][]byte
+	resident uint64
+}
+
+// Name implements Stressor.
+func (s *MemLeak) Name() string { return "memleak" }
+
+// Run implements Stressor.
+func (s *MemLeak) Run(ctx context.Context) error {
+	chunk := s.ChunkSize
+	if chunk <= 0 {
+		chunk = 20 * units.MiB
+	}
+	if s.Limit <= 0 {
+		return fmt.Errorf("memleak: a leak limit is required")
+	}
+	rate := s.Rate
+	if rate <= 0 {
+		rate = 1
+	}
+	tick := time.NewTicker(time.Duration(float64(time.Second) / rate))
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+		if units.ByteSize(atomic.LoadUint64(&s.resident))+chunk > s.Limit {
+			continue // saturated; a real leak would OOM here
+		}
+		s.leaked = append(s.leaked, fillRandom(nil, int(chunk)))
+		atomic.AddUint64(&s.resident, uint64(chunk))
+	}
+}
+
+// Resident returns the leaked bytes so far.
+func (s *MemLeak) Resident() uint64 { return atomic.LoadUint64(&s.resident) }
+
+// fillRandom grows buf to n bytes and fills the new region with a cheap
+// pseudo-random pattern (the original uses rand(); quality is
+// irrelevant, touching the pages is what matters).
+func fillRandom(buf []byte, n int) []byte {
+	start := len(buf)
+	if cap(buf) < n {
+		grown := make([]byte, n)
+		copy(grown, buf)
+		buf = grown
+	} else {
+		buf = buf[:n]
+	}
+	x := uint32(2463534242)
+	for i := start; i < n; i++ {
+		x ^= x << 13
+		x ^= x >> 17
+		x ^= x << 5
+		buf[i] = byte(x)
+	}
+	return buf
+}

@@ -1,0 +1,132 @@
+package stress
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"hpas/internal/units"
+)
+
+// NetOccupy is the netoccupy stressor: it streams large messages
+// (default 100 MB, the size the paper found saturates the link) to a
+// peer over TCP. The original uses SHMEM puts on the Cray Aries; TCP is
+// the portable equivalent that still exercises the NIC and the path
+// between two nodes.
+//
+// Run one NetOccupySink on the destination node and one NetOccupy per
+// sending rank, pointing at the sink's address.
+type NetOccupy struct {
+	// Addr is the sink's host:port.
+	Addr string
+	// MessageSize is the size of each message (default 100 MiB).
+	MessageSize units.ByteSize
+	// Rate limits messages per second; 0 streams back-to-back.
+	Rate float64
+
+	bytes uint64
+}
+
+// Name implements Stressor.
+func (s *NetOccupy) Name() string { return "netoccupy" }
+
+// Run implements Stressor.
+func (s *NetOccupy) Run(ctx context.Context) error {
+	if s.Addr == "" {
+		return fmt.Errorf("netoccupy: sink address required")
+	}
+	size := s.MessageSize
+	if size <= 0 {
+		size = 100 * units.MiB
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", s.Addr)
+	if err != nil {
+		return fmt.Errorf("netoccupy: dial %s: %w", s.Addr, err)
+	}
+	defer conn.Close()
+	go func() {
+		<-ctx.Done()
+		conn.Close() // unblock writes on cancellation
+	}()
+	msg := make([]byte, size)
+	var tick *time.Ticker
+	if s.Rate > 0 {
+		tick = time.NewTicker(time.Duration(float64(time.Second) / s.Rate))
+		defer tick.Stop()
+	}
+	for {
+		if tick != nil {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-tick.C:
+			}
+		} else if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		n, err := conn.Write(msg)
+		atomicAdd(&s.bytes, uint64(n))
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return fmt.Errorf("netoccupy: write: %w", err)
+		}
+	}
+}
+
+// Bytes returns the bytes sent so far.
+func (s *NetOccupy) Bytes() uint64 { return atomicLoad(&s.bytes) }
+
+// NetOccupySink drains netoccupy traffic on the destination node.
+type NetOccupySink struct {
+	// Listener accepts sender connections. Use net.Listen("tcp", ...)
+	// and share Listener.Addr() with the senders.
+	Listener net.Listener
+
+	bytes uint64
+}
+
+// Name implements Stressor.
+func (s *NetOccupySink) Name() string { return "netoccupy-sink" }
+
+// Run implements Stressor.
+func (s *NetOccupySink) Run(ctx context.Context) error {
+	if s.Listener == nil {
+		return fmt.Errorf("netoccupy-sink: listener required")
+	}
+	go func() {
+		<-ctx.Done()
+		s.Listener.Close()
+	}()
+	for {
+		conn, err := s.Listener.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return fmt.Errorf("netoccupy-sink: accept: %w", err)
+		}
+		go func() {
+			defer conn.Close()
+			buf := make([]byte, 1<<20)
+			for {
+				n, err := conn.Read(buf)
+				atomicAdd(&s.bytes, uint64(n))
+				if err != nil {
+					if err != io.EOF && ctx.Err() == nil {
+						// Connection torn down mid-stream; nothing to do.
+						_ = err
+					}
+					return
+				}
+			}
+		}()
+	}
+}
+
+// Bytes returns the bytes drained so far.
+func (s *NetOccupySink) Bytes() uint64 { return atomicLoad(&s.bytes) }

@@ -1,0 +1,58 @@
+package stress
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Scheduled wraps a stressor with the start/end window every Table 1
+// anomaly supports: Run sleeps for Start, then drives the inner stressor
+// for Duration (or until the outer context is cancelled).
+type Scheduled struct {
+	// Inner is the wrapped stressor.
+	Inner Stressor
+	// Start delays the anomaly's onset.
+	Start time.Duration
+	// Duration bounds the active phase; 0 means until cancellation.
+	Duration time.Duration
+}
+
+// Name implements Stressor.
+func (s *Scheduled) Name() string {
+	if s.Inner == nil {
+		return "scheduled"
+	}
+	return s.Inner.Name()
+}
+
+// Run implements Stressor.
+func (s *Scheduled) Run(ctx context.Context) error {
+	if s.Inner == nil {
+		return fmt.Errorf("stress: scheduled stressor has no inner stressor")
+	}
+	if s.Start > 0 {
+		timer := time.NewTimer(s.Start)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return ctx.Err()
+		case <-timer.C:
+		}
+	}
+	inner := ctx
+	if s.Duration > 0 {
+		var cancel context.CancelFunc
+		inner, cancel = context.WithTimeout(ctx, s.Duration)
+		defer cancel()
+	}
+	err := s.Inner.Run(inner)
+	// The window closing on schedule is success, not failure.
+	if err == context.DeadlineExceeded || err == context.Canceled {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return nil
+	}
+	return err
+}

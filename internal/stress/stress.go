@@ -1,0 +1,78 @@
+// Package stress implements the eight HPAS anomalies as real userspace
+// stressors that load the host machine, mirroring the original C suite:
+// no kernel modules, no application changes, knobs for intensity, and a
+// bounded run window.
+//
+// Caveats relative to the C originals are documented per stressor; the
+// most important one is membw: Go has no portable non-temporal store
+// intrinsic, so membw approximates MOVNT* with strided streaming writes
+// over a buffer far larger than the last-level cache, which produces the
+// same bandwidth pressure but also perturbs the cache (the paper's
+// version does not). The simulation layer (internal/anomaly) models the
+// true non-temporal behaviour.
+package stress
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Stressor is a runnable host anomaly.
+type Stressor interface {
+	// Name returns the anomaly name from Table 1.
+	Name() string
+	// Run loads the host until ctx is cancelled. It returns ctx.Err()
+	// on cancellation or another error on failure.
+	Run(ctx context.Context) error
+}
+
+// dutyCycle runs work() in busy bursts covering fraction duty of wall
+// time, sleeping the remainder, until ctx is done. It mimics the
+// original cpuoccupy's setitimer-based throttling with a 10 ms period.
+func dutyCycle(ctx context.Context, duty float64, work func(busy time.Duration)) error {
+	const period = 10 * time.Millisecond
+	if duty < 0 {
+		duty = 0
+	}
+	if duty > 1 {
+		duty = 1
+	}
+	busy := time.Duration(float64(period) * duty)
+	idle := period - busy
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		if busy > 0 {
+			work(busy)
+		}
+		if idle > 0 {
+			timer := time.NewTimer(idle)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return ctx.Err()
+			case <-timer.C:
+			}
+		}
+	}
+}
+
+// spin burns CPU for roughly d with integer arithmetic on registers.
+func spin(d time.Duration, sink *uint64) {
+	deadline := time.Now().Add(d)
+	var x uint64 = 88172645463325252
+	for i := 0; ; i++ {
+		// xorshift keeps the loop from being optimized away.
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		if i%4096 == 0 && !time.Now().Before(deadline) {
+			break
+		}
+	}
+	atomic.AddUint64(sink, x)
+}

@@ -1,0 +1,218 @@
+package stress
+
+import (
+	"context"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hpas/internal/units"
+)
+
+// runFor runs a stressor under a timeout and asserts it returns the
+// context error (i.e. it stopped because we told it to).
+func runFor(t *testing.T, s Stressor, d time.Duration) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	if err := s.Run(ctx); err != nil && err != context.DeadlineExceeded && err != context.Canceled {
+		t.Fatalf("%s: %v", s.Name(), err)
+	}
+}
+
+func TestCPUOccupyDoesWork(t *testing.T) {
+	s := &CPUOccupy{Utilization: 100}
+	runFor(t, s, 80*time.Millisecond)
+	if s.Iterations() == 0 {
+		t.Error("no busy bursts completed")
+	}
+}
+
+func TestCPUOccupyValidation(t *testing.T) {
+	if err := (&CPUOccupy{Utilization: 150}).Run(context.Background()); err == nil {
+		t.Error("expected utilization validation error")
+	}
+	if err := (&CPUOccupy{Utilization: 50, Workers: 1 << 20}).Run(context.Background()); err == nil {
+		t.Error("expected worker validation error")
+	}
+}
+
+func TestCPUOccupyZeroUtilizationIdles(t *testing.T) {
+	s := &CPUOccupy{Utilization: 0}
+	runFor(t, s, 50*time.Millisecond)
+	// No busy bursts should run at 0%.
+	if s.Iterations() != 0 {
+		t.Errorf("0%% utilization ran %d bursts", s.Iterations())
+	}
+}
+
+func TestCacheCopy(t *testing.T) {
+	s := &CacheCopy{LevelSize: 32 * units.KiB}
+	runFor(t, s, 60*time.Millisecond)
+	if s.Copies() == 0 {
+		t.Error("no copies performed")
+	}
+	if err := (&CacheCopy{}).Run(context.Background()); err == nil {
+		t.Error("expected level-size validation error")
+	}
+}
+
+func TestMemBW(t *testing.T) {
+	s := &MemBW{BufferSize: 8 * units.MiB}
+	runFor(t, s, 60*time.Millisecond)
+	if s.Bytes() == 0 {
+		t.Error("no bytes streamed")
+	}
+}
+
+func TestMemEater(t *testing.T) {
+	s := &MemEater{ChunkSize: units.MiB, Limit: 4 * units.MiB, Interval: 5 * time.Millisecond}
+	runFor(t, s, 100*time.Millisecond)
+	if s.Resident() < uint64(units.MiB) {
+		t.Errorf("resident = %d", s.Resident())
+	}
+	if s.Resident() > uint64(4*units.MiB) {
+		t.Errorf("resident %d exceeds limit", s.Resident())
+	}
+	if err := (&MemEater{ChunkSize: units.MiB}).Run(context.Background()); err == nil {
+		t.Error("expected limit validation error")
+	}
+}
+
+func TestMemLeakGrowsAndCaps(t *testing.T) {
+	s := &MemLeak{ChunkSize: units.MiB, Rate: 200, Limit: 3 * units.MiB}
+	runFor(t, s, 120*time.Millisecond)
+	if s.Resident() == 0 {
+		t.Error("nothing leaked")
+	}
+	if s.Resident() > uint64(3*units.MiB) {
+		t.Errorf("leak %d exceeded limit", s.Resident())
+	}
+	if err := (&MemLeak{}).Run(context.Background()); err == nil {
+		t.Error("expected limit validation error")
+	}
+}
+
+func TestNetOccupyLoopback(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &NetOccupySink{Listener: ln}
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- sink.Run(ctx) }()
+
+	src := &NetOccupy{Addr: ln.Addr().String(), MessageSize: 64 * units.KiB}
+	if err := src.Run(ctx); err != nil && err != context.DeadlineExceeded {
+		t.Fatalf("sender: %v", err)
+	}
+	<-done
+	if src.Bytes() == 0 {
+		t.Error("nothing sent")
+	}
+	if sink.Bytes() == 0 {
+		t.Error("nothing received")
+	}
+	if err := (&NetOccupy{}).Run(context.Background()); err == nil {
+		t.Error("expected address validation error")
+	}
+	if err := (&NetOccupySink{}).Run(context.Background()); err == nil {
+		t.Error("expected listener validation error")
+	}
+}
+
+func TestIOMetadata(t *testing.T) {
+	dir := t.TempDir()
+	s := &IOMetadata{Dir: dir, NTasks: 2}
+	runFor(t, s, 80*time.Millisecond)
+	if s.Ops() == 0 {
+		t.Error("no metadata ops")
+	}
+	// Workers clean up on exit.
+	left, _ := filepath.Glob(filepath.Join(dir, "hpas-meta-*"))
+	if len(left) != 0 {
+		t.Errorf("%d files left behind", len(left))
+	}
+	if err := (&IOMetadata{}).Run(context.Background()); err == nil {
+		t.Error("expected dir validation error")
+	}
+}
+
+func TestIOMetadataRateLimited(t *testing.T) {
+	s := &IOMetadata{Dir: t.TempDir(), Rate: 50}
+	runFor(t, s, 100*time.Millisecond)
+	if s.Ops() > 20 {
+		t.Errorf("rate limit ignored: %d ops in 100ms at 50/s", s.Ops())
+	}
+}
+
+func TestIOBandwidth(t *testing.T) {
+	dir := t.TempDir()
+	s := &IOBandwidth{Dir: dir, FileSize: 256 * units.KiB}
+	runFor(t, s, 100*time.Millisecond)
+	if s.Bytes() == 0 {
+		t.Error("no bytes copied")
+	}
+	left, _ := filepath.Glob(filepath.Join(dir, "hpas-bw-*"))
+	if len(left) != 0 {
+		t.Errorf("%d files left behind", len(left))
+	}
+	if err := (&IOBandwidth{}).Run(context.Background()); err == nil {
+		t.Error("expected dir validation error")
+	}
+}
+
+func TestIOBandwidthBadDir(t *testing.T) {
+	s := &IOBandwidth{Dir: filepath.Join(os.TempDir(), "hpas-definitely-missing-dir-xyz"), FileSize: units.KiB}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Run(ctx); err == nil || err == context.DeadlineExceeded {
+		t.Error("expected write error for missing directory")
+	}
+}
+
+func TestScheduledWindow(t *testing.T) {
+	inner := &CPUOccupy{Utilization: 100}
+	s := &Scheduled{Inner: inner, Start: 40 * time.Millisecond, Duration: 50 * time.Millisecond}
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := s.Run(ctx); err != nil {
+		t.Fatalf("scheduled run: %v", err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 85*time.Millisecond {
+		t.Errorf("window finished too early: %v", elapsed)
+	}
+	if elapsed > 500*time.Millisecond {
+		t.Errorf("window overran: %v", elapsed)
+	}
+	if inner.Iterations() == 0 {
+		t.Error("inner stressor never ran")
+	}
+	if s.Name() != "cpuoccupy" {
+		t.Errorf("Name = %q", s.Name())
+	}
+}
+
+func TestScheduledCancelDuringDelay(t *testing.T) {
+	s := &Scheduled{Inner: &CPUOccupy{Utilization: 100}, Start: time.Hour}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := s.Run(ctx); err != context.DeadlineExceeded {
+		t.Errorf("err = %v, want outer deadline", err)
+	}
+}
+
+func TestScheduledValidation(t *testing.T) {
+	if err := (&Scheduled{}).Run(context.Background()); err == nil {
+		t.Error("missing inner stressor should error")
+	}
+	if (&Scheduled{}).Name() != "scheduled" {
+		t.Error("fallback name wrong")
+	}
+}

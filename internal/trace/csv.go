@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the set as CSV with a leading "time" column followed
+// by one column per series (sorted by name), one row per sample of the
+// shortest common period. Series with differing periods are sampled at
+// their value covering each row's timestamp. An empty set writes only a
+// header.
+func (m *Set) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	names := m.Names()
+	header := append([]string{"time"}, names...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	// Row cadence: the finest period; row count: the longest duration.
+	period := 0.0
+	duration := 0.0
+	for _, n := range names {
+		s := m.series[n]
+		if period == 0 || s.Period < period {
+			period = s.Period
+		}
+		if d := s.Duration(); d > duration {
+			duration = d
+		}
+	}
+	if period <= 0 {
+		cw.Flush()
+		return cw.Error()
+	}
+	rows := int(duration/period + 0.5)
+	rec := make([]string, len(header))
+	for i := 0; i < rows; i++ {
+		t := float64(i) * period
+		rec[0] = strconv.FormatFloat(t, 'g', -1, 64)
+		for j, n := range names {
+			rec[j+1] = strconv.FormatFloat(m.series[n].At(t), 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: write row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a CSV produced by WriteCSV back into a Set. The sample
+// period is inferred from the first two time values (1.0 when fewer than
+// two rows exist).
+func ReadCSV(r io.Reader) (*Set, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("trace: empty csv")
+	}
+	header := records[0]
+	if len(header) < 1 || header[0] != "time" {
+		return nil, fmt.Errorf("trace: csv must start with a time column")
+	}
+	period := 1.0
+	if len(records) >= 3 {
+		t0, err0 := strconv.ParseFloat(records[1][0], 64)
+		t1, err1 := strconv.ParseFloat(records[2][0], 64)
+		if err0 == nil && err1 == nil && t1 > t0 {
+			period = t1 - t0
+		}
+	}
+	set := NewSet()
+	series := make([]*Series, len(header)-1)
+	for j := range series {
+		series[j] = NewSeries(header[j+1], period)
+		set.Add(series[j])
+	}
+	for i, rec := range records[1:] {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("trace: row %d has %d fields, want %d", i+1, len(rec), len(header))
+		}
+		for j := range series {
+			v, err := strconv.ParseFloat(rec[j+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: row %d col %s: %w", i+1, header[j+1], err)
+			}
+			series[j].Append(v)
+		}
+	}
+	return set, nil
+}

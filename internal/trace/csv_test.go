@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	set := NewSet()
+	a := NewSeries("user::procstat", 1)
+	a.Values = []float64{1, 2, 3}
+	b := NewSeries("MemFree::meminfo", 1)
+	b.Values = []float64{10, 20, 30}
+	set.Add(a)
+	set.Add(b)
+
+	var buf bytes.Buffer
+	if err := set.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "time,MemFree::meminfo,user::procstat") {
+		t.Errorf("header wrong: %q", strings.SplitN(out, "\n", 2)[0])
+	}
+
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("round-trip lost series")
+	}
+	got := back.Get("user::procstat")
+	if got.Len() != 3 || got.Values[2] != 3 || got.Period != 1 {
+		t.Errorf("round-trip series = %+v", got)
+	}
+}
+
+func TestCSVEmptySet(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewSet().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "time" {
+		t.Errorf("empty set csv = %q", buf.String())
+	}
+}
+
+func TestCSVMixedPeriods(t *testing.T) {
+	set := NewSet()
+	fast := NewSeries("fast", 1)
+	fast.Values = []float64{1, 2, 3, 4}
+	slow := NewSeries("slow", 2)
+	slow.Values = []float64{10, 20}
+	set.Add(fast)
+	set.Add(slow)
+	var buf bytes.Buffer
+	if err := set.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 { // header + 4 rows at the fine period
+		t.Fatalf("rows = %d:\n%s", len(lines)-1, buf.String())
+	}
+	// Row at t=1 holds slow's first sample (covering value).
+	if !strings.HasPrefix(lines[2], "1,2,10") {
+		t.Errorf("row 1 = %q", lines[2])
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"notime,a\n1,2\n",
+		"time,a\n1\n",
+		"time,a\n1,xyz\n",
+	} {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadCSV(%q): expected error", in)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+// Package trace defines the metric time-series types produced by the
+// simulated LDMS monitor and consumed by the feature extractor, experiment
+// reports, and plots.
+//
+// A Series is a uniformly sampled sequence of float64 values with a fixed
+// sampling period, mirroring how LDMS samplers emit one value per metric
+// per second. A Set groups the series collected from one node during one
+// run, keyed by "metric::sampler" names (e.g. "user::procstat").
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"hpas/internal/stats"
+)
+
+// Series is a uniformly sampled time series.
+type Series struct {
+	Name   string    // metric name, e.g. "user::procstat"
+	Period float64   // seconds between samples
+	Values []float64 // sampled values
+}
+
+// NewSeries returns an empty series with the given name and sample period.
+// Period must be positive.
+func NewSeries(name string, period float64) *Series {
+	if period <= 0 {
+		panic("trace: non-positive sample period")
+	}
+	return &Series{Name: name, Period: period}
+}
+
+// Append adds a sample to the series.
+func (s *Series) Append(v float64) { s.Values = append(s.Values, v) }
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Values) }
+
+// Duration returns the covered time span in seconds.
+func (s *Series) Duration() float64 { return float64(len(s.Values)) * s.Period }
+
+// At returns the sample covering time t (seconds), clamping to the ends.
+// It returns 0 for an empty series.
+func (s *Series) At(t float64) float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	i := int(t / s.Period)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s.Values) {
+		i = len(s.Values) - 1
+	}
+	return s.Values[i]
+}
+
+// Slice returns a copy of the sub-series covering [from,to) seconds.
+// Out-of-range bounds are clamped.
+func (s *Series) Slice(from, to float64) *Series {
+	lo := int(from / s.Period)
+	hi := int(to / s.Period)
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(s.Values) {
+		hi = len(s.Values)
+	}
+	if lo > hi {
+		lo = hi
+	}
+	out := NewSeries(s.Name, s.Period)
+	out.Values = append([]float64(nil), s.Values[lo:hi]...)
+	return out
+}
+
+// Mean returns the mean of the series values.
+func (s *Series) Mean() float64 { return stats.Mean(s.Values) }
+
+// Max returns the maximum of the series values.
+func (s *Series) Max() float64 { return stats.Max(s.Values) }
+
+// Min returns the minimum of the series values.
+func (s *Series) Min() float64 { return stats.Min(s.Values) }
+
+// Rate returns a new series of per-second first differences, useful for
+// converting cumulative counters (e.g. instructions retired) to rates.
+func (s *Series) Rate() *Series {
+	out := NewSeries(s.Name+".rate", s.Period)
+	d := stats.Diff(s.Values)
+	out.Values = make([]float64, len(d))
+	for i, v := range d {
+		out.Values[i] = v / s.Period
+	}
+	return out
+}
+
+// Downsample returns a new series averaging every factor samples.
+// A trailing partial window is averaged over its actual length.
+func (s *Series) Downsample(factor int) *Series {
+	if factor <= 1 {
+		c := NewSeries(s.Name, s.Period)
+		c.Values = append([]float64(nil), s.Values...)
+		return c
+	}
+	out := NewSeries(s.Name, s.Period*float64(factor))
+	for i := 0; i < len(s.Values); i += factor {
+		j := i + factor
+		if j > len(s.Values) {
+			j = len(s.Values)
+		}
+		out.Append(stats.Mean(s.Values[i:j]))
+	}
+	return out
+}
+
+// String summarizes the series.
+func (s *Series) String() string {
+	return fmt.Sprintf("%s[n=%d dt=%gs mean=%.3g]", s.Name, len(s.Values), s.Period, s.Mean())
+}
+
+// Set is a collection of series from one monitored node, keyed by name.
+type Set struct {
+	series map[string]*Series
+}
+
+// NewSet returns an empty metric set.
+func NewSet() *Set { return &Set{series: make(map[string]*Series)} }
+
+// Add inserts or replaces a series under its name.
+func (m *Set) Add(s *Series) { m.series[s.Name] = s }
+
+// Get returns the series with the given name, or nil.
+func (m *Set) Get(name string) *Series { return m.series[name] }
+
+// Names returns the sorted series names.
+func (m *Set) Names() []string {
+	names := make([]string, 0, len(m.series))
+	for n := range m.series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of series in the set.
+func (m *Set) Len() int { return len(m.series) }
+
+// Each calls fn for every series in deterministic (sorted-name) order.
+func (m *Set) Each(fn func(*Series)) {
+	for _, n := range m.Names() {
+		fn(m.series[n])
+	}
+}

@@ -1,0 +1,204 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mkSeries(vals ...float64) *Series {
+	s := NewSeries("test::x", 1)
+	s.Values = vals
+	return s
+}
+
+func TestNewSeriesPanicsOnBadPeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for period <= 0")
+		}
+	}()
+	NewSeries("x", 0)
+}
+
+func TestAppendLenDuration(t *testing.T) {
+	s := NewSeries("m", 0.5)
+	for i := 0; i < 4; i++ {
+		s.Append(float64(i))
+	}
+	if s.Len() != 4 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if s.Duration() != 2 {
+		t.Errorf("Duration = %v", s.Duration())
+	}
+}
+
+func TestAt(t *testing.T) {
+	s := mkSeries(10, 20, 30)
+	cases := []struct{ t, want float64 }{
+		{-1, 10}, {0, 10}, {0.9, 10}, {1, 20}, {2.5, 30}, {99, 30},
+	}
+	for _, c := range cases {
+		if got := s.At(c.t); got != c.want {
+			t.Errorf("At(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	if mkSeries().At(1) != 0 {
+		t.Error("empty At != 0")
+	}
+}
+
+func TestSlice(t *testing.T) {
+	s := mkSeries(0, 1, 2, 3, 4, 5)
+	sub := s.Slice(2, 4)
+	if sub.Len() != 2 || sub.Values[0] != 2 || sub.Values[1] != 3 {
+		t.Errorf("Slice = %v", sub.Values)
+	}
+	// Clamped bounds.
+	if s.Slice(-10, 100).Len() != 6 {
+		t.Error("clamped slice wrong")
+	}
+	if s.Slice(4, 2).Len() != 0 {
+		t.Error("inverted slice should be empty")
+	}
+	// Must be a copy.
+	sub.Values[0] = 99
+	if s.Values[2] == 99 {
+		t.Error("Slice aliases parent")
+	}
+}
+
+func TestRate(t *testing.T) {
+	s := NewSeries("ctr", 2)
+	s.Values = []float64{0, 10, 30}
+	r := s.Rate()
+	if r.Len() != 2 || r.Values[0] != 5 || r.Values[1] != 10 {
+		t.Errorf("Rate = %v", r.Values)
+	}
+	if r.Name != "ctr.rate" {
+		t.Errorf("Rate name = %q", r.Name)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	s := mkSeries(1, 3, 5, 7, 9)
+	d := s.Downsample(2)
+	want := []float64{2, 6, 9}
+	if len(d.Values) != len(want) {
+		t.Fatalf("Downsample = %v", d.Values)
+	}
+	for i := range want {
+		if d.Values[i] != want[i] {
+			t.Errorf("Downsample[%d] = %v, want %v", i, d.Values[i], want[i])
+		}
+	}
+	if d.Period != 2 {
+		t.Errorf("Downsample period = %v", d.Period)
+	}
+	// factor <= 1 copies.
+	c := s.Downsample(1)
+	c.Values[0] = 42
+	if s.Values[0] == 42 {
+		t.Error("Downsample(1) aliases parent")
+	}
+}
+
+func TestMeanMinMax(t *testing.T) {
+	s := mkSeries(2, 8, 5)
+	if s.Mean() != 5 || s.Min() != 2 || s.Max() != 8 {
+		t.Error("Mean/Min/Max wrong")
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	set := NewSet()
+	set.Add(mkSeries(1))
+	b := NewSeries("a::b", 1)
+	set.Add(b)
+	if set.Len() != 2 {
+		t.Errorf("Len = %d", set.Len())
+	}
+	if set.Get("a::b") != b {
+		t.Error("Get returned wrong series")
+	}
+	if set.Get("missing") != nil {
+		t.Error("Get(missing) != nil")
+	}
+	names := set.Names()
+	if len(names) != 2 || names[0] != "a::b" || names[1] != "test::x" {
+		t.Errorf("Names = %v", names)
+	}
+	var visited []string
+	set.Each(func(s *Series) { visited = append(visited, s.Name) })
+	if len(visited) != 2 || visited[0] != "a::b" {
+		t.Errorf("Each order = %v", visited)
+	}
+}
+
+func TestSetAddReplaces(t *testing.T) {
+	set := NewSet()
+	set.Add(mkSeries(1))
+	set.Add(mkSeries(2, 3))
+	if set.Len() != 1 || set.Get("test::x").Len() != 2 {
+		t.Error("Add should replace same-name series")
+	}
+}
+
+// Property: Downsample preserves the overall mean (each window weighted by
+// its length, so compare total sums instead of plain means).
+func TestDownsampleSumProperty(t *testing.T) {
+	f := func(raw []float64, fRaw uint8) bool {
+		factor := 1 + int(fRaw%5)
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.Abs(v) > 1e9 {
+				continue
+			}
+			vals = append(vals, v)
+		}
+		s := mkSeries(vals...)
+		d := s.Downsample(factor)
+		// Reconstruct the sum: every full window contributes mean*factor.
+		var sum float64
+		for i, m := range d.Values {
+			w := factor
+			if (i+1)*factor > len(vals) {
+				w = len(vals) - i*factor
+			}
+			sum += m * float64(w)
+		}
+		var want float64
+		for _, v := range vals {
+			want += v
+		}
+		return math.Abs(sum-want) <= 1e-6*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Slice never returns values outside the parent's range.
+func TestSlicePreservesValuesProperty(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		s := mkSeries(raw...)
+		sub := s.Slice(float64(a), float64(b))
+		if sub.Len() > s.Len() {
+			return false
+		}
+		for i, v := range sub.Values {
+			idx := int(a) + i
+			if idx >= len(raw) {
+				return false
+			}
+			if raw[idx] != v && !(math.IsNaN(raw[idx]) && math.IsNaN(v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

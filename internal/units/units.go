@@ -1,0 +1,173 @@
+// Package units provides byte-size, rate, and duration quantities used
+// throughout the HPAS simulator, with parsing and human-readable formatting.
+//
+// All quantities are plain float64/int64 wrappers so arithmetic stays cheap
+// inside the simulation tick loop.
+package units
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ByteSize is a memory or storage capacity in bytes.
+type ByteSize int64
+
+// Common byte-size units (binary prefixes, matching how HPC cache and
+// memory sizes are specified).
+const (
+	Byte ByteSize = 1
+	KiB           = 1024 * Byte
+	MiB           = 1024 * KiB
+	GiB           = 1024 * MiB
+	TiB           = 1024 * GiB
+)
+
+// String formats the size with the largest binary prefix that keeps the
+// mantissa >= 1, using at most two decimals.
+func (b ByteSize) String() string {
+	switch {
+	case b < 0:
+		return "-" + (-b).String()
+	case b >= TiB:
+		return trimFloat(float64(b)/float64(TiB)) + "TiB"
+	case b >= GiB:
+		return trimFloat(float64(b)/float64(GiB)) + "GiB"
+	case b >= MiB:
+		return trimFloat(float64(b)/float64(MiB)) + "MiB"
+	case b >= KiB:
+		return trimFloat(float64(b)/float64(KiB)) + "KiB"
+	}
+	return strconv.FormatInt(int64(b), 10) + "B"
+}
+
+// Bytes returns the size as a float64 byte count.
+func (b ByteSize) Bytes() float64 { return float64(b) }
+
+func trimFloat(v float64) string {
+	s := strconv.FormatFloat(v, 'f', 2, 64)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	return s
+}
+
+// ParseByteSize parses strings such as "35MB", "20MiB", "1.5GiB", "64K",
+// or a bare byte count. Decimal (MB) and binary (MiB) suffixes are both
+// treated as binary multiples, matching the original HPAS CLI behaviour.
+func ParseByteSize(s string) (ByteSize, error) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return 0, fmt.Errorf("units: empty byte size")
+	}
+	upper := strings.ToUpper(t)
+	mult := Byte
+	switch {
+	case strings.HasSuffix(upper, "TIB"), strings.HasSuffix(upper, "TB"):
+		mult = TiB
+		upper = strings.TrimSuffix(strings.TrimSuffix(upper, "TIB"), "TB")
+	case strings.HasSuffix(upper, "GIB"), strings.HasSuffix(upper, "GB"):
+		mult = GiB
+		upper = strings.TrimSuffix(strings.TrimSuffix(upper, "GIB"), "GB")
+	case strings.HasSuffix(upper, "MIB"), strings.HasSuffix(upper, "MB"):
+		mult = MiB
+		upper = strings.TrimSuffix(strings.TrimSuffix(upper, "MIB"), "MB")
+	case strings.HasSuffix(upper, "KIB"), strings.HasSuffix(upper, "KB"):
+		mult = KiB
+		upper = strings.TrimSuffix(strings.TrimSuffix(upper, "KIB"), "KB")
+	case strings.HasSuffix(upper, "T"):
+		mult = TiB
+		upper = strings.TrimSuffix(upper, "T")
+	case strings.HasSuffix(upper, "G"):
+		mult = GiB
+		upper = strings.TrimSuffix(upper, "G")
+	case strings.HasSuffix(upper, "M"):
+		mult = MiB
+		upper = strings.TrimSuffix(upper, "M")
+	case strings.HasSuffix(upper, "K"):
+		mult = KiB
+		upper = strings.TrimSuffix(upper, "K")
+	case strings.HasSuffix(upper, "B"):
+		upper = strings.TrimSuffix(upper, "B")
+	}
+	upper = strings.TrimSpace(upper)
+	v, err := strconv.ParseFloat(upper, 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: bad byte size %q: %v", s, err)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("units: negative byte size %q", s)
+	}
+	return ByteSize(v * float64(mult)), nil
+}
+
+// Rate is a throughput in bytes per second.
+type Rate float64
+
+// Common rate units.
+const (
+	BPS  Rate = 1
+	KBPS      = 1024 * BPS
+	MBPS      = 1024 * KBPS
+	GBPS      = 1024 * MBPS
+)
+
+// String formats the rate with a binary prefix per second.
+func (r Rate) String() string {
+	switch {
+	case r < 0:
+		return "-" + (-r).String()
+	case r >= GBPS:
+		return trimFloat(float64(r/GBPS)) + "GiB/s"
+	case r >= MBPS:
+		return trimFloat(float64(r/MBPS)) + "MiB/s"
+	case r >= KBPS:
+		return trimFloat(float64(r/KBPS)) + "KiB/s"
+	}
+	return trimFloat(float64(r)) + "B/s"
+}
+
+// PerSecond returns the rate as float64 bytes/second.
+func (r Rate) PerSecond() float64 { return float64(r) }
+
+// OpRate is an operation throughput in operations per second (used for
+// metadata operations, instructions, and cache accesses).
+type OpRate float64
+
+// String formats the op rate with SI prefixes.
+func (r OpRate) String() string {
+	v := float64(r)
+	switch {
+	case v < 0:
+		return "-" + OpRate(-v).String()
+	case v >= 1e9:
+		return trimFloat(v/1e9) + "Gop/s"
+	case v >= 1e6:
+		return trimFloat(v/1e6) + "Mop/s"
+	case v >= 1e3:
+		return trimFloat(v/1e3) + "Kop/s"
+	}
+	return trimFloat(v) + "op/s"
+}
+
+// Percent clamps v into [0,100].
+func Percent(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 100 {
+		return 100
+	}
+	return v
+}
+
+// Clamp bounds v into [lo,hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,144 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestByteSizeString(t *testing.T) {
+	cases := []struct {
+		in   ByteSize
+		want string
+	}{
+		{0, "0B"},
+		{512, "512B"},
+		{KiB, "1KiB"},
+		{1536, "1.5KiB"},
+		{MiB, "1MiB"},
+		{35 * MiB, "35MiB"},
+		{GiB, "1GiB"},
+		{125 * GiB, "125GiB"},
+		{TiB, "1TiB"},
+		{-2 * KiB, "-2KiB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("ByteSize(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestParseByteSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want ByteSize
+	}{
+		{"0", 0},
+		{"1024", KiB},
+		{"1K", KiB},
+		{"1KB", KiB},
+		{"1KiB", KiB},
+		{"35MB", 35 * MiB},
+		{"35MiB", 35 * MiB},
+		{"20 MB", 20 * MiB},
+		{"1.5GiB", ByteSize(1.5 * float64(GiB))},
+		{"2T", 2 * TiB},
+		{"100b", 100},
+	}
+	for _, c := range cases {
+		got, err := ParseByteSize(c.in)
+		if err != nil {
+			t.Errorf("ParseByteSize(%q) error: %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseByteSize(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseByteSizeErrors(t *testing.T) {
+	for _, in := range []string{"", "abc", "-5MB", "12QB x", "MB"} {
+		if _, err := ParseByteSize(in); err == nil {
+			t.Errorf("ParseByteSize(%q): expected error", in)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	// String() output must parse back to the same value for exact sizes.
+	f := func(n uint32) bool {
+		b := ByteSize(n) * KiB
+		got, err := ParseByteSize(b.String())
+		if err != nil {
+			return false
+		}
+		// Allow a small rounding error from 2-decimal formatting.
+		diff := got - b
+		if diff < 0 {
+			diff = -diff
+		}
+		return float64(diff) <= 0.01*float64(b)+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRateString(t *testing.T) {
+	cases := []struct {
+		in   Rate
+		want string
+	}{
+		{0, "0B/s"},
+		{KBPS, "1KiB/s"},
+		{100 * MBPS, "100MiB/s"},
+		{9*GBPS + 512*MBPS, "9.5GiB/s"},
+		{-MBPS, "-1MiB/s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Rate(%v).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestOpRateString(t *testing.T) {
+	cases := []struct {
+		in   OpRate
+		want string
+	}{
+		{500, "500op/s"},
+		{2e3, "2Kop/s"},
+		{3.5e6, "3.5Mop/s"},
+		{1.2e9, "1.2Gop/s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("OpRate(%v).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestPercentClamp(t *testing.T) {
+	if Percent(-3) != 0 || Percent(150) != 100 || Percent(42) != 42 {
+		t.Error("Percent clamp broken")
+	}
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp broken")
+	}
+}
+
+func TestClampProperty(t *testing.T) {
+	f := func(v, a, b float64) bool {
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		c := Clamp(v, lo, hi)
+		return c >= lo && c <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

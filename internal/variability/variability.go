@@ -1,0 +1,143 @@
+// Package variability measures run-to-run performance variability of an
+// application under randomly occurring anomalies — the phenomenon
+// motivating the paper (Section 2: production systems show more than
+// 100% variation for the same application and input) and the measurement
+// style of tools like Varbench that the paper cites.
+//
+// Each repetition runs the same application on the simulated cluster;
+// with probability AnomalyProb an anomaly class is drawn uniformly and
+// injected with randomized intensity. The result summarizes the runtime
+// distribution.
+package variability
+
+import (
+	"fmt"
+	"strings"
+
+	"hpas/internal/cluster"
+	"hpas/internal/core"
+	"hpas/internal/report"
+	"hpas/internal/stats"
+	"hpas/internal/xrand"
+)
+
+// Config describes a variability measurement.
+type Config struct {
+	// App is the Table 2 application to measure.
+	App string
+	// Nodes is the job size (default 4).
+	Nodes int
+	// Iterations overrides the app's iteration count (0 = default).
+	Iterations int
+	// Reps is the number of repetitions (default 10).
+	Reps int
+	// AnomalyProb is the probability a repetition runs next to an
+	// anomaly (default 0.5).
+	AnomalyProb float64
+	// Classes are the anomaly classes drawn from (default: the
+	// diagnosis classes minus "none").
+	Classes []string
+	// Seed drives the draws.
+	Seed uint64
+}
+
+// Result is a measured runtime distribution.
+type Result struct {
+	App      string
+	Times    []float64 // seconds, one per repetition
+	Labels   []string  // anomaly class per repetition ("none" when clean)
+	CleanMin float64   // fastest clean run, the "expected" runtime
+}
+
+// Measure runs the repetitions and collects the distribution.
+func Measure(cfg Config) (*Result, error) {
+	if cfg.App == "" {
+		return nil, fmt.Errorf("variability: an application is required")
+	}
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 4
+	}
+	if cfg.Reps <= 0 {
+		cfg.Reps = 10
+	}
+	if cfg.AnomalyProb == 0 {
+		cfg.AnomalyProb = 0.5
+	}
+	if len(cfg.Classes) == 0 {
+		for _, c := range core.DiagnosisClasses() {
+			if c != "none" {
+				cfg.Classes = append(cfg.Classes, c)
+			}
+		}
+	}
+	rng := xrand.New(cfg.Seed + 0x7a71)
+	res := &Result{App: cfg.App}
+	for rep := 0; rep < cfg.Reps; rep++ {
+		label := "none"
+		var specs []core.Spec
+		if rng.Bool(cfg.AnomalyProb) {
+			label = cfg.Classes[rng.Intn(len(cfg.Classes))]
+			drawn, err := core.DrawSpecs(label, rng)
+			if err != nil {
+				return nil, err
+			}
+			specs = drawn
+		}
+		run, err := core.Run(core.RunConfig{
+			Cluster:    cluster.Voltrino(cfg.Nodes),
+			App:        cfg.App,
+			Iterations: cfg.Iterations,
+			Anomalies:  specs,
+			Seed:       cfg.Seed + uint64(rep) + 1,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("variability: rep %d: %w", rep, err)
+		}
+		if !run.Finished {
+			return nil, fmt.Errorf("variability: rep %d (%s) did not finish", rep, label)
+		}
+		res.Times = append(res.Times, run.Duration)
+		res.Labels = append(res.Labels, label)
+		if label == "none" && (res.CleanMin == 0 || run.Duration < res.CleanMin) {
+			res.CleanMin = run.Duration
+		}
+	}
+	if res.CleanMin == 0 {
+		res.CleanMin = stats.Min(res.Times)
+	}
+	return res, nil
+}
+
+// CoV returns the coefficient of variation (stddev/mean) of the runtimes.
+func (r *Result) CoV() float64 {
+	m := stats.Mean(r.Times)
+	if m == 0 {
+		return 0
+	}
+	return stats.StdDev(r.Times) / m
+}
+
+// MaxSlowdown returns the worst runtime relative to the fastest clean
+// run — the paper's ">100% performance variation" figure of merit.
+func (r *Result) MaxSlowdown() float64 {
+	if r.CleanMin == 0 {
+		return 0
+	}
+	return stats.Max(r.Times) / r.CleanMin
+}
+
+// Render returns a terminal summary.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Run-to-run variability of %s over %d runs (random anomalies)\n",
+		r.App, len(r.Times))
+	chart := report.BarChart{Unit: "s"}
+	for i, t := range r.Times {
+		chart.Add(fmt.Sprintf("run %2d %-10s", i, r.Labels[i]), t)
+	}
+	b.WriteString(chart.String())
+	ps := stats.Percentiles(r.Times, 50, 95)
+	fmt.Fprintf(&b, "median %.0f s, p95 %.0f s, CoV %.2f, worst/best %.2fx\n",
+		ps[0], ps[1], r.CoV(), r.MaxSlowdown())
+	return b.String()
+}

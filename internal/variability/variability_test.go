@@ -1,0 +1,83 @@
+package variability
+
+import (
+	"strings"
+	"testing"
+)
+
+func measure(t *testing.T, prob float64, seed uint64) *Result {
+	t.Helper()
+	r, err := Measure(Config{
+		App:         "CoMD",
+		Reps:        6,
+		Iterations:  2,
+		AnomalyProb: prob,
+		Seed:        seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestMeasureShape(t *testing.T) {
+	r := measure(t, 0.5, 3)
+	if len(r.Times) != 6 || len(r.Labels) != 6 {
+		t.Fatalf("reps = %d/%d", len(r.Times), len(r.Labels))
+	}
+	for i, tm := range r.Times {
+		if tm <= 0 {
+			t.Errorf("run %d time %v", i, tm)
+		}
+	}
+	if r.CleanMin <= 0 {
+		t.Error("no clean baseline recorded")
+	}
+	if r.MaxSlowdown() < 1 {
+		t.Errorf("MaxSlowdown = %v", r.MaxSlowdown())
+	}
+	out := r.Render()
+	if !strings.Contains(out, "CoV") || !strings.Contains(out, "CoMD") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestAnomaliesCreateVariability(t *testing.T) {
+	clean := measure(t, -1, 5) // probability < 0: never inject
+	noisy := measure(t, 1, 5)  // always inject
+	if noisy.CoV() <= clean.CoV() {
+		t.Errorf("anomalies should raise CoV: clean %v, noisy %v", clean.CoV(), noisy.CoV())
+	}
+	// Clean runs of a deterministic simulator are nearly identical.
+	if clean.CoV() > 0.02 {
+		t.Errorf("clean CoV = %v, want ~0", clean.CoV())
+	}
+	// Injected runs include slow ones.
+	if noisy.MaxSlowdown() < 1.1 {
+		t.Errorf("anomalous MaxSlowdown = %v", noisy.MaxSlowdown())
+	}
+	for _, l := range noisy.Labels {
+		if l == "none" {
+			t.Error("prob=1 should always inject")
+		}
+	}
+}
+
+func TestMeasureValidation(t *testing.T) {
+	if _, err := Measure(Config{}); err == nil {
+		t.Error("missing app should error")
+	}
+	if _, err := Measure(Config{App: "nosuch", Reps: 1, Iterations: 1}); err == nil {
+		t.Error("unknown app should error")
+	}
+}
+
+func TestMeasureDeterministic(t *testing.T) {
+	a := measure(t, 0.5, 9)
+	b := measure(t, 0.5, 9)
+	for i := range a.Times {
+		if a.Times[i] != b.Times[i] || a.Labels[i] != b.Labels[i] {
+			t.Fatal("measurement not deterministic")
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Package xrand provides a small, fast, deterministic random number
+// generator for the HPAS simulator.
+//
+// Every stochastic component of the simulator (workload jitter, sampling
+// noise, classifier bootstrap draws) derives its stream from a seeded
+// SplitMix64 generator so that experiments are exactly reproducible across
+// runs and platforms. math/rand would also work, but a local implementation
+// pins the sequence independent of Go release changes and allows cheap
+// stream splitting.
+package xrand
+
+import "math"
+
+// RNG is a SplitMix64 pseudo random number generator. The zero value is a
+// valid generator seeded with 0; use New to seed explicitly.
+type RNG struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed.
+func New(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Split derives an independent child generator from the current state
+// without disturbing determinism of the parent stream: the child is seeded
+// from the next parent output mixed with a distinct constant.
+func (r *RNG) Split() *RNG {
+	return &RNG{state: r.Uint64() ^ 0x9e3779b97f4a7c15}
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform float64 in [0,1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0,n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uniform returns a uniform float64 in [lo,hi).
+func (r *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Norm returns a normally distributed float64 with the given mean and
+// standard deviation, using the Box-Muller transform.
+func (r *RNG) Norm(mean, stddev float64) float64 {
+	// Guard against log(0).
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// Jitter returns a multiplicative noise factor 1 ± frac, truncated to stay
+// positive. frac = 0.05 yields factors in roughly [0.95, 1.05].
+func (r *RNG) Jitter(frac float64) float64 {
+	f := 1 + r.Norm(0, frac)
+	if f < 0.01 {
+		f = 0.01
+	}
+	return f
+}
+
+// Perm returns a pseudo-random permutation of [0,n) using Fisher-Yates.
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }

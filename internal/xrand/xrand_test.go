@@ -1,0 +1,195 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds produced %d identical draws", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		for i := 0; i < 64; i++ {
+			v := r.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(7)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("Intn(10) only produced %d distinct values", len(seen))
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUniformMoments(t *testing.T) {
+	r := New(3)
+	var sum float64
+	n := 100000
+	for i := 0; i < n; i++ {
+		sum += r.Uniform(2, 4)
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-3) > 0.02 {
+		t.Errorf("Uniform(2,4) mean = %v, want ~3", mean)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(11)
+	n := 200000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		v := r.Norm(10, 2)
+		sum += v
+		sq += v * v
+	}
+	mean := sum / float64(n)
+	std := math.Sqrt(sq/float64(n) - mean*mean)
+	if math.Abs(mean-10) > 0.05 {
+		t.Errorf("Norm mean = %v, want ~10", mean)
+	}
+	if math.Abs(std-2) > 0.05 {
+		t.Errorf("Norm stddev = %v, want ~2", std)
+	}
+}
+
+func TestJitterPositive(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		for i := 0; i < 32; i++ {
+			if r.Jitter(0.5) <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		n := 1 + int(seed%50)
+		p := r.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(5)
+	_ = parent.Split()
+	// Parent sequence after split must match a parent that drew once.
+	ref := New(5)
+	ref.Uint64()
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() != ref.Uint64() {
+			t.Fatal("Split disturbed parent stream")
+		}
+	}
+	// Child stream should not mirror parent.
+	p2, c2 := New(5), New(5).Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if p2.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("child mirrors parent (%d/100 equal)", same)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(9)
+	hits := 0
+	n := 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / float64(n)
+	if math.Abs(p-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) rate = %v", p)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var x uint64
+	for i := 0; i < b.N; i++ {
+		x = r.Uint64()
+	}
+	_ = x
+}
+
+func BenchmarkNorm(b *testing.B) {
+	r := New(1)
+	var x float64
+	for i := 0; i < b.N; i++ {
+		x = r.Norm(0, 1)
+	}
+	_ = x
+}
