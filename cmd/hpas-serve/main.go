@@ -1,0 +1,142 @@
+// Command hpas-serve runs the HPAS simulator as a streaming
+// anomaly-detection service: the paper's Section 5.1 diagnosis pipeline
+// (LDMS-style samplers → sliding-window features → trained classifier)
+// exposed as an online HTTP API instead of a batch CLI.
+//
+// On startup the server trains a random-forest detector on labelled
+// simulated runs, then accepts campaign jobs and streams live
+// windows, predictions, and coalesced anomaly events:
+//
+//	POST   /v1/jobs             submit a campaign (JSON body)
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        job status + events so far
+//	GET    /v1/jobs/{id}/stream live NDJSON (or SSE) message stream
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/metrics          service self-telemetry
+//
+// See the README's "Serving the simulator" section for a curl
+// walkthrough.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"hpas"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 2, "concurrent simulation jobs")
+	queue := flag.Int("queue", 16, "pending-job queue capacity")
+	trainApps := flag.String("train-apps", "CoMD", "comma-separated Table 2 apps for detector training")
+	trainClasses := flag.String("train-classes", "", "comma-separated diagnosis classes (default: all six)")
+	trainReps := flag.Int("train-reps", 3, "training runs per (app, class) pair")
+	trainWindow := flag.Float64("train-window", 20, "training observation window, seconds")
+	trainWarmup := flag.Float64("train-warmup", 5, "training warmup excluded from features, seconds")
+	trainSeed := flag.Uint64("train-seed", 31, "training seed")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	det, err := train(ctx, trainConfig{
+		apps:    splitCSV(*trainApps),
+		classes: splitCSV(*trainClasses),
+		reps:    *trainReps,
+		window:  *trainWindow,
+		warmup:  *trainWarmup,
+		seed:    *trainSeed,
+	})
+	if err != nil {
+		log.Fatalf("hpas-serve: training detector: %v", err)
+	}
+
+	mgr := hpas.NewStreamManager(hpas.StreamConfig{Workers: *workers, Queue: *queue})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(mgr, det).routes(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("hpas-serve: listening on %s (%d workers, queue %d)", *addr, *workers, *queue)
+
+	select {
+	case <-ctx.Done():
+		log.Printf("hpas-serve: shutting down...")
+		shctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shctx); err != nil {
+			log.Printf("hpas-serve: shutdown: %v", err)
+		}
+		mgr.Close() // cancels running jobs and drains the pool
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("hpas-serve: %v", err)
+		}
+	}
+}
+
+type trainConfig struct {
+	apps    []string
+	classes []string
+	reps    int
+	window  float64
+	warmup  float64
+	seed    uint64
+}
+
+// train fits the shared detector on labelled simulated runs; the
+// detection window is the training window minus the warmup, matching
+// the effective span features were extracted over.
+func train(ctx context.Context, cfg trainConfig) (*hpas.Detector, error) {
+	if cfg.warmup >= cfg.window {
+		return nil, fmt.Errorf("warmup %g >= window %g", cfg.warmup, cfg.window)
+	}
+	start := time.Now()
+	log.Printf("hpas-serve: training detector (apps %v, %d reps)...", cfg.apps, cfg.reps)
+	ds, err := hpas.GenerateDatasetContext(ctx, hpas.DatasetConfig{
+		Apps:    cfg.apps,
+		Classes: cfg.classes,
+		Reps:    cfg.reps,
+		Window:  cfg.window,
+		Warmup:  cfg.warmup,
+		Seed:    cfg.seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	det, err := hpas.TrainDetector(ds, cfg.window-cfg.warmup, cfg.seed)
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("hpas-serve: detector ready in %.1fs (%d runs, %d features, window %gs)",
+		time.Since(start).Seconds(), ds.NumSamples(), ds.NumFeatures(), det.Window)
+	return det, nil
+}
+
+func splitCSV(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,317 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hpas"
+)
+
+// testDetector is trained once and shared: training simulates several
+// labelled runs, the slowest part of these tests.
+var (
+	detOnce sync.Once
+	testDet *hpas.Detector
+	detErr  error
+)
+
+func detector(t *testing.T) *hpas.Detector {
+	t.Helper()
+	detOnce.Do(func() {
+		ds, err := hpas.GenerateDataset(hpas.DatasetConfig{
+			Apps:    []string{"CoMD"},
+			Classes: []string{"none", "cpuoccupy"},
+			Reps:    3,
+			Window:  12,
+			Warmup:  2,
+			Seed:    31,
+		})
+		if err != nil {
+			detErr = err
+			return
+		}
+		testDet, detErr = hpas.TrainDetector(ds, 10, 31)
+	})
+	if detErr != nil {
+		t.Fatalf("training test detector: %v", detErr)
+	}
+	return testDet
+}
+
+func newTestServer(t *testing.T) (*httptest.Server, *hpas.StreamManager) {
+	t.Helper()
+	mgr := hpas.NewStreamManager(hpas.StreamConfig{Workers: 2})
+	ts := httptest.NewServer(newServer(mgr, detector(t)).routes())
+	t.Cleanup(func() {
+		ts.Close()
+		mgr.Close()
+	})
+	return ts, mgr
+}
+
+// submit posts the job request and returns the created job's ID.
+func submit(t *testing.T, ts *httptest.Server, body string) string {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st jobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %+v", resp.StatusCode, st)
+	}
+	if st.ID == "" || st.State == "" {
+		t.Fatalf("submit response missing id/state: %+v", st)
+	}
+	return st.ID
+}
+
+// streamLines reads the job's NDJSON stream to completion.
+func streamLines(t *testing.T, ts *httptest.Server, id string) []string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	var lines []string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		if len(sc.Bytes()) > 0 {
+			lines = append(lines, sc.Text())
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return lines
+}
+
+// The acceptance-criteria integration test: submit a campaign, stream
+// NDJSON until completion, check the injected anomaly surfaces as an
+// event with plausible bounds, and check two same-seed submissions
+// produce byte-identical streams despite running through the pool.
+func TestServeStreamsInjectedAnomalyDeterministically(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	// CoMD with cpuoccupy active over [10,40) of a 50 s run; 10 s
+	// disjoint windows align with the phase boundaries.
+	body := `{"app":"CoMD","nodes":4,"seed":7,"duration":50,"campaign":"cpuoccupy@10-40:95","window":10}`
+
+	id1 := submit(t, ts, body)
+	lines1 := streamLines(t, ts, id1)
+	id2 := submit(t, ts, body)
+	lines2 := streamLines(t, ts, id2)
+	if id1 == id2 {
+		t.Fatalf("both submissions got job ID %s", id1)
+	}
+
+	var windows, events int
+	var anomalyEvent *hpas.StreamEvent
+	var last hpas.StreamMessage
+	for _, ln := range lines1 {
+		var msg hpas.StreamMessage
+		if err := json.Unmarshal([]byte(ln), &msg); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", ln, err)
+		}
+		last = msg
+		switch msg.Type {
+		case "window":
+			windows++
+		case "event":
+			events++
+			if msg.Event.Class == "cpuoccupy" && anomalyEvent == nil {
+				ev := *msg.Event
+				anomalyEvent = &ev
+			}
+		}
+	}
+	if last.Type != "done" || last.State != hpas.StreamJobDone {
+		t.Fatalf("stream did not end with done message: %+v", last)
+	}
+	if windows != 5 { // 50 s / 10 s disjoint windows
+		t.Errorf("streamed %d windows, want 5", windows)
+	}
+	if anomalyEvent == nil {
+		t.Fatalf("no cpuoccupy event in stream (%d events total):\n%s",
+			events, strings.Join(lines1, "\n"))
+	}
+	// Plausible bounds: the event must overlap the injected [10,40)
+	// window and stay inside the run.
+	if anomalyEvent.Start >= 40 || anomalyEvent.End <= 10 ||
+		anomalyEvent.Start < 0 || anomalyEvent.End > 50 {
+		t.Errorf("cpuoccupy event [%g,%g) does not plausibly cover injection [10,40)",
+			anomalyEvent.Start, anomalyEvent.End)
+	}
+	if anomalyEvent.Confidence <= 0 || anomalyEvent.Confidence > 1 {
+		t.Errorf("event confidence %g out of (0,1]", anomalyEvent.Confidence)
+	}
+
+	// Determinism across the worker pool: byte-identical streams.
+	if strings.Join(lines1, "\n") != strings.Join(lines2, "\n") {
+		t.Errorf("same-seed jobs diverged:\n--- job 1\n%s\n--- job 2\n%s",
+			strings.Join(lines1, "\n"), strings.Join(lines2, "\n"))
+	}
+
+	// Status endpoint agrees once the stream is done.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st jobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != string(hpas.StreamJobDone) {
+		t.Errorf("job state = %s, want done", st.State)
+	}
+	if len(st.Events) == 0 {
+		t.Error("status endpoint reports no events")
+	}
+
+	// Self-telemetry covers the two completed jobs.
+	mresp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var metrics struct {
+		Service hpas.StreamStats `json:"service"`
+	}
+	if err := json.NewDecoder(mresp.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	if metrics.Service.JobsDone < 2 || metrics.Service.WindowsProcessed < 10 {
+		t.Errorf("metrics = %+v, want >=2 jobs done and >=10 windows", metrics.Service)
+	}
+}
+
+func TestServeSSEAndCancel(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	// A run long enough to cancel mid-flight.
+	id := submit(t, ts, `{"seed":3,"duration":200000,"window":10}`)
+
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/jobs/"+id+"/stream", nil)
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("SSE content type %q", ct)
+	}
+	// Wait for the first event frame, then cancel the job.
+	sc := bufio.NewScanner(resp.Body)
+	var sawData bool
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "data: ") {
+			sawData = true
+			break
+		}
+	}
+	if !sawData {
+		t.Fatal("no SSE data frame before stream end")
+	}
+	creq, _ := http.NewRequest("DELETE", ts.URL+"/v1/jobs/"+id, nil)
+	cresp, err := http.DefaultClient.Do(creq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cresp.Body.Close()
+
+	// The stream must terminate with a done/cancelled frame.
+	var lastData string
+	deadline := time.After(60 * time.Second)
+	done := make(chan struct{})
+	go func() {
+		for sc.Scan() {
+			if strings.HasPrefix(sc.Text(), "data: ") {
+				lastData = strings.TrimPrefix(sc.Text(), "data: ")
+			}
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-deadline:
+		t.Fatal("SSE stream did not terminate after cancel")
+	}
+	var msg hpas.StreamMessage
+	if err := json.Unmarshal([]byte(lastData), &msg); err != nil {
+		t.Fatalf("bad final SSE frame %q: %v", lastData, err)
+	}
+	if msg.Type != "done" || msg.State != hpas.StreamJobCancelled {
+		t.Fatalf("final frame = %+v, want done/cancelled", msg)
+	}
+}
+
+func TestServeRejectsBadSubmissions(t *testing.T) {
+	ts, _ := newTestServer(t)
+	cases := []string{
+		`{"app":"no-such-app","duration":20}`,                     // unknown app fails at run... must fail at submit? (runs are validated lazily)
+		`{"campaign":"cpuoccupy@10-40","phases":[{"label":"x"}]}`, // both forms
+		`{"campaign":"garbage"}`,                                  // unparsable campaign
+		`{"unknown_field":1}`,                                     // strict decoding
+		`not json`,
+	}
+	for _, body := range cases[1:] {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestServeStructuredPhases(t *testing.T) {
+	ts, _ := newTestServer(t)
+	body := fmt.Sprintf(`{
+		"app": "CoMD", "seed": 11, "duration": 40, "window": 10,
+		"phases": [{
+			"label": "cpuoccupy", "start": 10, "duration": 20,
+			"specs": [{"name": "cpuoccupy", "node": 0, "cpu": 32, "intensity": 90}]
+		}]
+	}`)
+	id := submit(t, ts, body)
+	lines := streamLines(t, ts, id)
+	var last hpas.StreamMessage
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Type != "done" || last.State != hpas.StreamJobDone {
+		t.Fatalf("structured-phase job ended %+v, want done", last)
+	}
+}

@@ -1,0 +1,341 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"hpas"
+)
+
+// server wires the streaming job manager and the shared pre-trained
+// detector into HTTP handlers. The detector is trained once at startup
+// and shared read-only across jobs (tree prediction is lock-free).
+type server struct {
+	mgr *hpas.StreamManager
+	det *hpas.Detector
+}
+
+func newServer(mgr *hpas.StreamManager, det *hpas.Detector) *server {
+	return &server{mgr: mgr, det: det}
+}
+
+// routes builds the service mux. Non-streaming endpoints run under a
+// request deadline; the stream endpoint lives as long as its job (or
+// the client).
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", withDeadline(10*time.Second, s.handleSubmit))
+	mux.HandleFunc("GET /v1/jobs", withDeadline(10*time.Second, s.handleList))
+	mux.HandleFunc("GET /v1/jobs/{id}", withDeadline(10*time.Second, s.handleGet))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", withDeadline(10*time.Second, s.handleCancel))
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/metrics", withDeadline(10*time.Second, s.handleMetrics))
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// withDeadline bounds a handler's request context.
+func withDeadline(d time.Duration, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		h(w, r.WithContext(ctx))
+	}
+}
+
+// jobRequest is the POST /v1/jobs body. A campaign is given either as
+// the compact phase string hpas-sim uses ("cpuoccupy@10-40:95,...") or
+// as structured phases; omitting both runs a clean (anomaly-free) job.
+type jobRequest struct {
+	// Simulated machine and application.
+	App          string  `json:"app,omitempty"`
+	Nodes        int     `json:"nodes,omitempty"`          // cluster size (default 4)
+	RanksPerNode int     `json:"ranks_per_node,omitempty"` // default: all physical cores
+	Duration     float64 `json:"duration,omitempty"`       // observed seconds (default 120)
+	SamplePeriod float64 `json:"sample_period,omitempty"`  // default 1 s
+	Noise        float64 `json:"noise,omitempty"`          // default 0.01
+	Seed         uint64  `json:"seed,omitempty"`
+
+	// Anomaly campaign, compact or structured (not both).
+	Campaign    string     `json:"campaign,omitempty"`
+	AnomalyNode int        `json:"anomaly_node,omitempty"` // compact form target (default 0)
+	AnomalyCPU  int        `json:"anomaly_cpu,omitempty"`  // compact form pin (default 32)
+	Phases      []jobPhase `json:"phases,omitempty"`
+
+	// Detection pipeline.
+	WatchNodes []int   `json:"watch_nodes,omitempty"` // default: node 0
+	Window     float64 `json:"window,omitempty"`      // default: detector window
+	Stride     float64 `json:"stride,omitempty"`      // default: window (disjoint)
+}
+
+type jobPhase struct {
+	Label    string         `json:"label"`
+	Start    float64        `json:"start"`
+	Duration float64        `json:"duration"`
+	Specs    []jobSpecEntry `json:"specs"`
+}
+
+type jobSpecEntry struct {
+	Name      string  `json:"name"`
+	Node      int     `json:"node"`
+	CPU       int     `json:"cpu"`
+	Intensity float64 `json:"intensity,omitempty"`
+	Level     int     `json:"level,omitempty"` // cachecopy: 1..3
+	Size      string  `json:"size,omitempty"`  // e.g. "8GiB"
+	Limit     string  `json:"limit,omitempty"`
+	Count     int     `json:"count,omitempty"`
+	Peer      int     `json:"peer,omitempty"`
+}
+
+// jobStatus is the job representation returned by the status endpoints.
+type jobStatus struct {
+	ID       string             `json:"id"`
+	State    string             `json:"state"`
+	Error    string             `json:"error,omitempty"`
+	Created  time.Time          `json:"created"`
+	Started  *time.Time         `json:"started,omitempty"`
+	Finished *time.Time         `json:"finished,omitempty"`
+	Events   []hpas.StreamEvent `json:"events,omitempty"`
+	Stream   string             `json:"stream"`
+}
+
+func (s *server) status(j *hpas.StreamJob) jobStatus {
+	state, jerr := j.State()
+	created, started, finished := j.Times()
+	st := jobStatus{
+		ID:      j.ID(),
+		State:   string(state),
+		Created: created,
+		Events:  j.Events(),
+		Stream:  "/v1/jobs/" + j.ID() + "/stream",
+	}
+	if jerr != nil {
+		st.Error = jerr.Error()
+	}
+	if !started.IsZero() {
+		st.Started = &started
+	}
+	if !finished.IsZero() {
+		st.Finished = &finished
+	}
+	return st
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	spec, err := s.buildSpec(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := s.mgr.Submit(spec)
+	switch {
+	case errors.Is(err, hpas.ErrStreamQueueFull):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, s.status(job))
+}
+
+// buildSpec translates the wire request into a stream submission.
+func (s *server) buildSpec(req jobRequest) (hpas.StreamJobSpec, error) {
+	var spec hpas.StreamJobSpec
+	nodes := req.Nodes
+	if nodes <= 0 {
+		nodes = 4
+	}
+	duration := req.Duration
+	if duration <= 0 {
+		duration = 120
+	}
+	base := hpas.RunConfig{
+		Cluster:      hpas.VoltrinoConfig(nodes),
+		App:          req.App,
+		RanksPerNode: req.RanksPerNode,
+		FixedSeconds: duration,
+		SamplePeriod: req.SamplePeriod,
+		Noise:        req.Noise,
+		Seed:         req.Seed,
+	}
+	if base.App != "" {
+		// The job observes a fixed window; keep the app running through it.
+		base.Iterations = 1 << 20
+	}
+
+	var phases []hpas.CampaignPhase
+	switch {
+	case req.Campaign != "" && len(req.Phases) > 0:
+		return spec, fmt.Errorf("give either a compact campaign or structured phases, not both")
+	case req.Campaign != "":
+		cpu := req.AnomalyCPU
+		if cpu == 0 {
+			cpu = 32 // SMT sibling of rank 0, as cmd/hpas-sim pins
+		}
+		var err error
+		phases, err = hpas.ParseCampaignPhases(req.Campaign, req.AnomalyNode, cpu)
+		if err != nil {
+			return spec, err
+		}
+	case len(req.Phases) > 0:
+		for _, p := range req.Phases {
+			ph := hpas.CampaignPhase{Label: p.Label, Start: p.Start, Duration: p.Duration}
+			for _, e := range p.Specs {
+				sp, err := wireSpec(e)
+				if err != nil {
+					return spec, err
+				}
+				ph.Specs = append(ph.Specs, sp)
+			}
+			phases = append(phases, ph)
+		}
+	}
+
+	spec.Campaign = hpas.Campaign{Base: base, Phases: phases}
+	spec.Pipeline = hpas.StreamPipelineConfig{
+		Detector: s.det,
+		Nodes:    req.WatchNodes,
+		Window:   req.Window,
+		Stride:   req.Stride,
+	}
+	return spec, nil
+}
+
+func wireSpec(e jobSpecEntry) (hpas.Spec, error) {
+	sp := hpas.Spec{
+		Name:      e.Name,
+		Node:      e.Node,
+		CPU:       e.CPU,
+		Intensity: e.Intensity,
+		Count:     e.Count,
+		Peer:      e.Peer,
+	}
+	switch e.Level {
+	case 0:
+	case 1:
+		sp.Level = hpas.L1
+	case 2:
+		sp.Level = hpas.L2
+	case 3:
+		sp.Level = hpas.L3
+	default:
+		return sp, fmt.Errorf("spec %q: cache level %d out of range 1..3", e.Name, e.Level)
+	}
+	if e.Size != "" {
+		v, err := hpas.ParseByteSize(e.Size)
+		if err != nil {
+			return sp, fmt.Errorf("spec %q: %w", e.Name, err)
+		}
+		sp.Size = v
+	}
+	if e.Limit != "" {
+		v, err := hpas.ParseByteSize(e.Limit)
+		if err != nil {
+			return sp, fmt.Errorf("spec %q: %w", e.Name, err)
+		}
+		sp.Limit = v
+	}
+	return sp, nil
+}
+
+func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.mgr.Jobs()
+	out := make([]jobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, s.status(j))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.status(j))
+}
+
+func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	if err := s.mgr.Cancel(r.PathValue("id")); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	j, _ := s.mgr.Get(r.PathValue("id"))
+	writeJSON(w, http.StatusOK, s.status(j))
+}
+
+// handleStream serves the job's live message stream: NDJSON by default,
+// server-sent events when the client asks for text/event-stream. The
+// stream replays from the job's start, follows live output, and ends
+// after the final "done" message.
+func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+		return
+	}
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	for msg := range j.Follow(r.Context()) {
+		b, err := json.Marshal(msg)
+		if err != nil {
+			return
+		}
+		if sse {
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", msg.Type, b)
+		} else {
+			w.Write(b)
+			w.Write([]byte("\n"))
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"service": s.mgr.Stats(),
+		"detector": map[string]any{
+			"classes":   s.det.Classes,
+			"window":    s.det.Window,
+			"nfeatures": s.det.NFeatures,
+		},
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

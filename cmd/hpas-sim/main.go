@@ -10,9 +10,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"hpas"
 )
@@ -36,6 +39,11 @@ func main() {
 		return
 	}
 
+	// Ctrl-C aborts the simulation at the next tick instead of leaving
+	// a long run unkillable.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	base := hpas.RunConfig{
 		Cluster:      hpas.VoltrinoConfig(*nodes + 4),
 		App:          *app,
@@ -48,11 +56,11 @@ func main() {
 	}
 
 	if *campaign != "" {
-		runCampaign(base, *campaign)
+		runCampaign(ctx, base, *campaign)
 		return
 	}
 
-	clean, err := hpas.Run(base)
+	clean, err := hpas.RunContext(ctx, base)
 	if err != nil {
 		fatal(err)
 	}
@@ -70,7 +78,7 @@ func main() {
 		Count:     *count,
 		Peer:      *nodes, // for netoccupy: a bystander node
 	}}
-	res, err := hpas.Run(dirty)
+	res, err := hpas.RunContext(ctx, dirty)
 	if err != nil {
 		fatal(err)
 	}
@@ -87,14 +95,14 @@ func main() {
 
 // runCampaign executes a timed anomaly pattern alongside the app and
 // prints per-phase monitoring summaries from the anomalous node.
-func runCampaign(base hpas.RunConfig, desc string) {
+func runCampaign(ctx context.Context, base hpas.RunConfig, desc string) {
 	phases, err := hpas.ParseCampaignPhases(desc, 0, 32)
 	if err != nil {
 		fatal(err)
 	}
 	base.Iterations = 1 << 20 // observe a fixed window instead
 	camp := hpas.Campaign{Base: base, Phases: phases}
-	res, err := camp.Run()
+	res, err := camp.RunContext(ctx)
 	if err != nil {
 		fatal(err)
 	}

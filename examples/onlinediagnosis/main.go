@@ -1,10 +1,11 @@
 // Onlinediagnosis: the runtime phase of the paper's diagnosis framework
-// (Section 5.1) — train offline on labelled runs, then slide a detector
-// over a live monitoring stream in which anomalies come and go, and
-// report the predicted root cause per time window.
+// (Section 5.1) — train offline on labelled runs, then submit a live
+// campaign to the streaming job manager and watch window predictions
+// and coalesced anomaly events arrive as the simulation progresses.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,7 +32,8 @@ func main() {
 	fmt.Printf("trained on %d runs (%d features)\n\n", ds.NumSamples(), ds.NumFeatures())
 
 	// Runtime phase: a production-like stream where anomalies start and
-	// stop while the application keeps running.
+	// stop while the application keeps running. The campaign goes through
+	// the same manager + pipeline that backs cmd/hpas-serve.
 	camp := hpas.Campaign{
 		Base: hpas.RunConfig{
 			Cluster:      hpas.VoltrinoConfig(4),
@@ -49,28 +51,55 @@ func main() {
 				Specs: []hpas.Spec{{Name: "cachecopy", Node: 0, CPU: 32}}},
 		},
 	}
-	res, err := camp.Run()
+
+	mgr := hpas.NewStreamManager(hpas.StreamConfig{Workers: 1})
+	defer mgr.Close()
+	job, err := mgr.Submit(hpas.StreamJobSpec{
+		Campaign: camp,
+		Pipeline: hpas.StreamPipelineConfig{Detector: det, Window: 15},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	preds, err := det.Diagnose(res.Metrics[0], 0, 150)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("runtime phase: sliding-window diagnosis of node 0")
-	for _, p := range preds {
-		truth := res.Timeline.LabelAt((p.From + p.To) / 2)
-		if truth == "" {
-			truth = "none"
+	fmt.Printf("runtime phase: job %s streaming node 0 diagnoses\n", job.ID())
+	correct, total := 0, 0
+	for msg := range job.Follow(context.Background()) {
+		switch msg.Type {
+		case "window":
+			w := msg.Window
+			truth := labelAt(camp.Phases, (w.From+w.To)/2)
+			mark := " "
+			if w.Class == truth {
+				mark = "*"
+				correct++
+			}
+			total++
+			fmt.Printf("  window [%3.0f,%3.0f)s  predicted %-10s  actual %-10s %s\n",
+				w.From, w.To, w.Class, truth, mark)
+		case "event":
+			e := msg.Event
+			fmt.Printf("  EVENT  %-10s on node %d over [%3.0f,%3.0f)s (%d windows, confidence %.2f)\n",
+				e.Class, e.Node, e.Start, e.End, e.Windows, e.Confidence)
+		case "done":
+			if msg.Error != "" {
+				log.Fatalf("job failed: %s", msg.Error)
+			}
 		}
-		mark := " "
-		if p.Class == truth {
-			mark = "*"
-		}
-		fmt.Printf("  [%3.0f,%3.0f)s  predicted %-10s  actual %-10s %s\n",
-			p.From, p.To, p.Class, truth, mark)
 	}
-	fmt.Printf("\nwindow accuracy: %.0f%%\n",
-		100*hpas.DiagnosisAccuracy(preds, res.Timeline.LabelAt))
+	if total > 0 {
+		fmt.Printf("\nwindow accuracy: %.0f%%\n", 100*float64(correct)/float64(total))
+	}
+}
+
+// labelAt returns the ground-truth class at time t; the latest-starting
+// active phase wins, matching the campaign timeline's overlap rule.
+func labelAt(phases []hpas.CampaignPhase, t float64) string {
+	label := "none"
+	for _, ph := range phases {
+		if t >= ph.Start && t < ph.Start+ph.Duration {
+			label = ph.Label
+		}
+	}
+	return label
 }

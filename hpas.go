@@ -27,6 +27,8 @@
 package hpas
 
 import (
+	"context"
+
 	"hpas/internal/anomaly"
 	"hpas/internal/apps"
 	"hpas/internal/cluster"
@@ -36,6 +38,7 @@ import (
 	"hpas/internal/lb"
 	"hpas/internal/ml"
 	"hpas/internal/sched"
+	"hpas/internal/stream"
 	"hpas/internal/stress"
 	"hpas/internal/units"
 	"hpas/internal/variability"
@@ -106,6 +109,12 @@ func Inject(c *Cluster, s Spec) error {
 // + anomaly injections) and returns its result.
 func Run(cfg RunConfig) (*RunResult, error) { return core.Run(cfg) }
 
+// RunContext is Run with cancellation: the context is checked every
+// simulation tick, so long runs abort promptly.
+func RunContext(ctx context.Context, cfg RunConfig) (*RunResult, error) {
+	return core.RunContext(ctx, cfg)
+}
+
 // AppNames returns the Table 2 proxy application names.
 func AppNames() []string {
 	return appNames()
@@ -135,6 +144,12 @@ func DiagnosisClasses() []string { return core.DiagnosisClasses() }
 // GenerateDataset produces the labelled feature matrix of the diagnosis
 // experiment (Figures 9 and 10).
 func GenerateDataset(cfg DatasetConfig) (*Dataset, error) { return core.GenerateDataset(cfg) }
+
+// GenerateDatasetContext is GenerateDataset with cancellation across
+// the (app, class, rep) grid.
+func GenerateDatasetContext(ctx context.Context, cfg DatasetConfig) (*Dataset, error) {
+	return core.GenerateDatasetContext(ctx, cfg)
+}
 
 // NewTree returns an untrained CART decision tree.
 func NewTree(opts TreeOptions) Classifier { return ml.NewTree(opts) }
@@ -248,6 +263,49 @@ func TrainDetector(ds *Dataset, window float64, seed uint64) (*Detector, error) 
 func DiagnosisAccuracy(preds []Prediction, label func(t float64) string) float64 {
 	return diagnose.Accuracy(preds, label)
 }
+
+// Streaming service layer (internal/stream, served by cmd/hpas-serve):
+// campaigns run as long-lived jobs on a bounded worker pool, their
+// monitor output classified online and summarized into anomaly events.
+type (
+	// StreamManager runs submitted jobs on a bounded worker pool.
+	StreamManager = stream.Manager
+	// StreamConfig sizes the worker pool and submission queue.
+	StreamConfig = stream.Config
+	// StreamJobSpec is one submission: a campaign plus its pipeline.
+	StreamJobSpec = stream.JobSpec
+	// StreamJob is a tracked submission with a followable live stream.
+	StreamJob = stream.Job
+	// StreamJobState is a job's lifecycle position.
+	StreamJobState = stream.JobState
+	// StreamPipelineConfig configures a job's detection pipeline.
+	StreamPipelineConfig = stream.PipelineConfig
+	// StreamMessage is one element of a job's output stream.
+	StreamMessage = stream.Message
+	// StreamWindow is one classified observation window.
+	StreamWindow = stream.Window
+	// StreamEvent is a coalesced anomaly (consecutive same-class windows).
+	StreamEvent = stream.Event
+	// StreamStats is the service's self-telemetry snapshot.
+	StreamStats = stream.Stats
+)
+
+// Job lifecycle states: queued → running → done | failed | cancelled.
+const (
+	StreamJobQueued    = stream.JobQueued
+	StreamJobRunning   = stream.JobRunning
+	StreamJobDone      = stream.JobDone
+	StreamJobFailed    = stream.JobFailed
+	StreamJobCancelled = stream.JobCancelled
+)
+
+// ErrStreamQueueFull is returned by StreamManager.Submit when the
+// pending-job queue is at capacity.
+var ErrStreamQueueFull = stream.ErrQueueFull
+
+// NewStreamManager starts a streaming job manager; Close it to release
+// the worker pool.
+func NewStreamManager(cfg StreamConfig) *StreamManager { return stream.NewManager(cfg) }
 
 // Variability measurement (the paper's Section 2 motivation).
 type (

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -85,10 +86,17 @@ type CampaignResult struct {
 	Timeline Timeline
 }
 
-// RunCampaign executes the composed pattern and returns the run result
-// plus a per-sample phase timeline. Phases may overlap; the timeline
-// records the latest-starting active phase.
+// Run executes the composed pattern and returns the run result plus a
+// per-sample phase timeline. Phases may overlap; the timeline records
+// the latest-starting active phase.
 func (c *Campaign) Run() (*CampaignResult, error) {
+	return c.RunContext(context.Background())
+}
+
+// RunContext is Run with cancellation (see RunContext on the run level):
+// the context is checked every simulation tick and a cancelled campaign
+// returns ctx.Err().
+func (c *Campaign) RunContext(ctx context.Context) (*CampaignResult, error) {
 	if len(c.Phases) == 0 {
 		return nil, fmt.Errorf("core: campaign has no phases")
 	}
@@ -114,7 +122,7 @@ func (c *Campaign) Run() (*CampaignResult, error) {
 		cfg.FixedSeconds = end
 	}
 
-	res, err := Run(cfg)
+	res, err := RunContext(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"hpas/internal/anomaly"
@@ -49,6 +50,13 @@ type DatasetConfig struct {
 // GenerateDataset produces the labelled feature matrix for the diagnosis
 // experiment.
 func GenerateDataset(cfg DatasetConfig) (*ml.Dataset, error) {
+	return GenerateDatasetContext(context.Background(), cfg)
+}
+
+// GenerateDatasetContext is GenerateDataset with cancellation: the
+// context aborts both the current simulated run and the remaining
+// (app, class, rep) grid.
+func GenerateDatasetContext(ctx context.Context, cfg DatasetConfig) (*ml.Dataset, error) {
 	if len(cfg.Apps) == 0 {
 		cfg.Apps = apps.Names()
 	}
@@ -90,7 +98,7 @@ func GenerateDataset(cfg DatasetConfig) (*ml.Dataset, error) {
 				// Randomize the input size per run, as the paper's
 				// dataset does across application configurations.
 				scale := rng.Uniform(0.85, 1.2)
-				res, err := Run(RunConfig{
+				res, err := RunContext(ctx, RunConfig{
 					Cluster:      cluster.Voltrino(cfg.Nodes),
 					App:          app,
 					Iterations:   1 << 20, // never finishes inside the window

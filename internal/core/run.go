@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"hpas/internal/apps"
@@ -46,6 +47,10 @@ type RunConfig struct {
 	Seed uint64
 	// DT is the simulation step (default sim.DefaultDT).
 	DT float64
+	// Tap, when non-nil, receives every monitor sample as it is taken,
+	// enabling online consumers (see internal/stream) to observe the run
+	// while it is still in progress.
+	Tap monitor.TapFunc
 }
 
 // RunResult is the outcome of a Run.
@@ -65,6 +70,13 @@ type RunResult struct {
 
 // Run executes one experiment and returns its result.
 func Run(cfg RunConfig) (*RunResult, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation: the context is checked every
+// simulation tick, and a cancelled run returns ctx.Err() (no partial
+// result). Long simulations driven by servers or CLIs should prefer it.
+func RunContext(ctx context.Context, cfg RunConfig) (*RunResult, error) {
 	if cfg.Cluster.Nodes == 0 {
 		return nil, fmt.Errorf("core: cluster config has no nodes")
 	}
@@ -87,7 +99,7 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		noise = 0.01
 	}
 	mon := monitor.NewWithOptions(c, period, noise, ccfg.Seed+0xa0b1,
-		monitor.Options{IncludeMemBW: cfg.MemBWCounter})
+		monitor.Options{IncludeMemBW: cfg.MemBWCounter, Tap: cfg.Tap})
 	eng := sim.New(dt)
 	eng.Add(c)
 	eng.Add(mon)
@@ -132,22 +144,29 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		maxSec = 3000
 	}
 
+	// cancelled is polled once per simulation tick, so aborting a run
+	// costs one atomic load per 100 ms of simulated time.
+	cancelled := func() bool { return ctx.Err() != nil }
+
 	res := &RunResult{Job: job, Cluster: c}
 	switch {
 	case cfg.FixedSeconds > 0:
-		eng.RunFor(cfg.FixedSeconds)
+		eng.RunUntil(cancelled, cfg.FixedSeconds)
 		res.Duration = eng.Now()
 		res.Finished = job == nil || job.Done()
 	case job != nil:
-		at, ok := eng.RunUntil(job.Done, maxSec)
-		res.Duration, res.Finished = at, ok
-		if ok {
+		at, ok := eng.RunUntil(func() bool { return job.Done() || cancelled() }, maxSec)
+		res.Duration, res.Finished = at, ok && job.Done()
+		if res.Finished {
 			res.Duration = job.FinishedAt()
 		}
 	default:
-		eng.RunFor(maxSec)
+		eng.RunUntil(cancelled, maxSec)
 		res.Duration = eng.Now()
 		res.Finished = true
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	for i := 0; i < c.NumNodes(); i++ {

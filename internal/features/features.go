@@ -34,7 +34,7 @@ type Vector struct {
 func Extract(set *trace.Set) Vector {
 	var v Vector
 	set.Each(func(s *trace.Series) {
-		names, vals := extractSeries(s)
+		names, vals := extractSeries(s.Name, s.Values)
 		v.Names = append(v.Names, names...)
 		v.Values = append(v.Values, vals...)
 	})
@@ -46,19 +46,35 @@ func Extract(set *trace.Set) Vector {
 func ExtractWindow(set *trace.Set, from, to float64) Vector {
 	var v Vector
 	set.Each(func(s *trace.Series) {
-		names, vals := extractSeries(s.Slice(from, to))
+		sub := s.Slice(from, to)
+		names, vals := extractSeries(sub.Name, sub.Values)
 		v.Names = append(v.Names, names...)
 		v.Values = append(v.Values, vals...)
 	})
 	return v
 }
 
-func extractSeries(s *trace.Series) ([]string, []float64) {
+// ExtractRows computes the feature vector from parallel per-metric
+// sample slices: rows[i] holds the window's samples of metric names[i].
+// Names must already be in sorted order for the vector to align with
+// Extract/ExtractWindow output — streaming consumers (internal/stream)
+// maintain ring buffers per metric and call this on each full window,
+// avoiding trace.Set construction on the hot path.
+func ExtractRows(names []string, rows [][]float64) Vector {
+	var v Vector
+	for i, name := range names {
+		ns, vals := extractSeries(name, rows[i])
+		v.Names = append(v.Names, ns...)
+		v.Values = append(v.Values, vals...)
+	}
+	return v
+}
+
+func extractSeries(name string, xs []float64) ([]string, []float64) {
 	names := make([]string, len(perSeries))
 	for i, stat := range perSeries {
-		names[i] = fmt.Sprintf("%s.%s", s.Name, stat)
+		names[i] = fmt.Sprintf("%s.%s", name, stat)
 	}
-	xs := s.Values
 	ps := stats.Percentiles(xs, 5, 25, 50, 75, 95)
 	slope, _ := stats.LinRegress(xs)
 	vals := []float64{

@@ -152,11 +152,24 @@ func (f *Forest) TopFeatures(k int) []int {
 // Predict implements Classifier (majority vote; ties break to the lower
 // class index).
 func (f *Forest) Predict(x []float64) int {
+	return argmax(f.Votes(x))
+}
+
+// Votes returns the normalized per-class vote shares for x (summing to
+// 1 for a trained forest). Online consumers use the winning share as a
+// prediction-confidence signal.
+func (f *Forest) Votes(x []float64) []float64 {
 	votes := make([]float64, f.classes)
+	if len(f.trees) == 0 {
+		return votes
+	}
 	for _, t := range f.trees {
 		votes[t.Predict(x)]++
 	}
-	return argmax(votes)
+	for i := range votes {
+		votes[i] /= float64(len(f.trees))
+	}
+	return votes
 }
 
 // AdaBoostOptions configure SAMME AdaBoost.

@@ -52,11 +52,31 @@ func Names() []string {
 // flitBytes is the payload carried per Aries request flit.
 const flitBytes = 16
 
+// Sample is one monitoring observation of one node, delivered to stream
+// taps as it is taken. Names is shared across deliveries and sorted (the
+// same order internal/features processes a trace.Set in); callers must
+// not mutate it. Values is freshly allocated per delivery and aligned
+// with Names.
+type Sample struct {
+	Node   int
+	Time   float64 // simulation time of the sample, seconds
+	Period float64 // sampling period, seconds
+	Names  []string
+	Values []float64
+}
+
+// TapFunc observes samples as the monitor takes them. It runs on the
+// simulation goroutine: keep it fast and hand off heavy work.
+type TapFunc func(Sample)
+
 // Options configure optional monitor behaviour.
 type Options struct {
 	// IncludeMemBW adds the uncore memory-bandwidth counter to the
 	// collected metric set (off by default, matching the paper).
 	IncludeMemBW bool
+	// Tap, when non-nil, receives every sample immediately after it is
+	// appended to the per-node trace, enabling online consumers.
+	Tap TapFunc
 }
 
 // Monitor samples a cluster. Register it on the engine after the cluster
@@ -71,6 +91,7 @@ type Monitor struct {
 	nextSample float64
 	sets       []*trace.Set
 	prev       []node.Counters
+	tapNames   []string // sorted metric names, shared across tap samples
 }
 
 // New returns a monitor sampling every period seconds with multiplicative
@@ -104,6 +125,9 @@ func NewWithOptions(cl *cluster.Cluster, period, noise float64, seed uint64, opt
 		m.sets = append(m.sets, set)
 		m.prev[i] = cl.Node(i).Counters()
 	}
+	if opts.Tap != nil && len(m.sets) > 0 {
+		m.tapNames = m.sets[0].Names()
+	}
 	m.nextSample = period
 	return m
 }
@@ -116,10 +140,26 @@ func (m *Monitor) Tick(now, dt float64) {
 	if now+dt+1e-9 < m.nextSample {
 		return
 	}
+	t := m.nextSample
 	m.nextSample += m.period
 	for i := 0; i < m.cl.NumNodes(); i++ {
 		m.sample(i)
+		if m.opts.Tap != nil {
+			m.opts.Tap(m.tapSample(i, t))
+		}
 	}
+}
+
+// tapSample assembles the node's just-appended sample in sorted-name
+// order for delivery to the stream tap.
+func (m *Monitor) tapSample(i int, t float64) Sample {
+	set := m.sets[i]
+	vals := make([]float64, len(m.tapNames))
+	for j, name := range m.tapNames {
+		s := set.Get(name)
+		vals[j] = s.Values[len(s.Values)-1]
+	}
+	return Sample{Node: i, Time: t, Period: m.period, Names: m.tapNames, Values: vals}
 }
 
 func (m *Monitor) sample(i int) {

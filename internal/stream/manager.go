@@ -1,0 +1,446 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hpas/internal/core"
+)
+
+// JobState is a job's lifecycle position.
+type JobState string
+
+// Job lifecycle: queued → running → done | failed | cancelled.
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// Final reports whether the state is terminal.
+func (s JobState) Final() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// ErrQueueFull is returned by Submit when the pending-job queue is at
+// capacity; callers should retry later (HTTP 503 territory).
+var ErrQueueFull = errors.New("stream: job queue full")
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("stream: manager closed")
+
+// JobSpec describes one submission: a campaign to simulate and the
+// detection pipeline to stream it through. A spec with no phases runs
+// Campaign.Base as a plain (phase-less) run.
+type JobSpec struct {
+	Campaign core.Campaign
+	Pipeline PipelineConfig // Emit is owned by the manager and ignored
+}
+
+// Job is one tracked submission. All accessors are safe for concurrent
+// use with the worker executing the job.
+type Job struct {
+	id   string
+	spec JobSpec
+
+	mu       sync.Mutex
+	state    JobState
+	err      error
+	log      []Message
+	updated  chan struct{} // closed and replaced on every append/state change
+	cancel   context.CancelFunc
+	result   *core.CampaignResult
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// ID returns the job's manager-assigned identifier (e.g. "j0001").
+func (j *Job) ID() string { return j.id }
+
+// State returns the job's current state and, for failed jobs, its error.
+func (j *Job) State() (JobState, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.err
+}
+
+// Times returns the submission, start, and finish wall-clock times;
+// zero values mean the phase has not been reached.
+func (j *Job) Times() (created, started, finished time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.created, j.started, j.finished
+}
+
+// Result returns the completed campaign result (nil until JobDone).
+func (j *Job) Result() *core.CampaignResult {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+// Messages returns a snapshot of the stream log so far.
+func (j *Job) Messages() []Message {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]Message(nil), j.log...)
+}
+
+// Events returns the anomaly events emitted so far.
+func (j *Job) Events() []Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var evs []Event
+	for _, m := range j.log {
+		if m.Type == "event" {
+			evs = append(evs, *m.Event)
+		}
+	}
+	return evs
+}
+
+// Follow returns a channel that replays the job's full stream from the
+// beginning and then follows it live. The channel closes once the final
+// "done" message has been delivered, or when ctx is cancelled. Multiple
+// followers may be attached at any point of the job's life, including
+// after completion.
+func (j *Job) Follow(ctx context.Context) <-chan Message {
+	ch := make(chan Message, 16)
+	go func() {
+		defer close(ch)
+		i := 0
+		for {
+			msgs, done, wait := j.snapshot(i)
+			for _, m := range msgs {
+				select {
+				case ch <- m:
+				case <-ctx.Done():
+					return
+				}
+			}
+			i += len(msgs)
+			if done {
+				return
+			}
+			select {
+			case <-wait:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return ch
+}
+
+// snapshot returns the log suffix from index from, whether the stream
+// is complete at that point, and a channel closed on the next change.
+func (j *Job) snapshot(from int) (msgs []Message, done bool, wait chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if from < len(j.log) {
+		msgs = append(msgs, j.log[from:]...)
+	}
+	done = j.state.Final() && from+len(msgs) == len(j.log)
+	return msgs, done, j.updated
+}
+
+// append adds a stream message and wakes followers.
+func (j *Job) append(m Message) {
+	j.mu.Lock()
+	j.log = append(j.log, m)
+	close(j.updated)
+	j.updated = make(chan struct{})
+	j.mu.Unlock()
+}
+
+// Config sizes the manager.
+type Config struct {
+	// Workers is the concurrent-job limit (default 2).
+	Workers int
+	// Queue is the pending-submission capacity beyond the jobs already
+	// running (default 16). Submit fails with ErrQueueFull beyond it.
+	Queue int
+}
+
+// Manager runs submitted jobs on a bounded worker pool and tracks their
+// lifecycle. Create with NewManager; Close releases the pool.
+type Manager struct {
+	cfg       Config
+	ctx       context.Context
+	cancelAll context.CancelFunc
+	queue     chan *Job
+	wg        sync.WaitGroup
+	started   time.Time
+
+	mu     sync.Mutex
+	closed bool
+	nextID int
+	jobs   map[string]*Job
+	order  []string
+
+	tel       Telemetry
+	running   atomic.Int64
+	done      atomic.Int64
+	failed    atomic.Int64
+	cancelled atomic.Int64
+}
+
+// NewManager starts a worker pool with the given configuration.
+func NewManager(cfg Config) *Manager {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = 16
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:       cfg,
+		ctx:       ctx,
+		cancelAll: cancel,
+		queue:     make(chan *Job, cfg.Queue),
+		started:   time.Now(),
+		jobs:      make(map[string]*Job),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Submit validates and enqueues a job, returning it in JobQueued state.
+func (m *Manager) Submit(spec JobSpec) (*Job, error) {
+	if spec.Campaign.Base.Cluster.Nodes == 0 {
+		return nil, fmt.Errorf("stream: submission has no cluster")
+	}
+	// Fail configuration errors at submit time, not inside a worker.
+	probe := spec.Pipeline
+	probe.Emit = func(Message) {}
+	if _, err := NewPipeline(probe); err != nil {
+		return nil, err
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	m.nextID++
+	j := &Job{
+		id:      fmt.Sprintf("j%04d", m.nextID),
+		spec:    spec,
+		state:   JobQueued,
+		updated: make(chan struct{}),
+		created: time.Now(),
+	}
+	select {
+	case m.queue <- j:
+	default:
+		m.nextID--
+		return nil, ErrQueueFull
+	}
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	return j, nil
+}
+
+// Get returns the job with the given ID.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every tracked job in submission order.
+func (m *Manager) Jobs() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id])
+	}
+	return out
+}
+
+// Cancel aborts the job: a queued job is finalized immediately, a
+// running job has its context cancelled (the simulation notices within
+// one tick). Cancelling a finished job is a no-op.
+func (m *Manager) Cancel(id string) error {
+	j, ok := m.Get(id)
+	if !ok {
+		return fmt.Errorf("stream: no job %q", id)
+	}
+	j.mu.Lock()
+	switch {
+	case j.state == JobQueued:
+		j.state = JobCancelled
+		j.finished = time.Now()
+		j.log = append(j.log, Message{Type: "done", State: JobCancelled})
+		close(j.updated)
+		j.updated = make(chan struct{})
+		m.cancelled.Add(1)
+	case j.state == JobRunning && j.cancel != nil:
+		j.cancel()
+	}
+	j.mu.Unlock()
+	return nil
+}
+
+// Close stops accepting submissions, cancels running jobs, and waits
+// for the workers to exit.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.closed = true
+	close(m.queue)
+	m.mu.Unlock()
+	m.cancelAll()
+	m.wg.Wait()
+}
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.run(j)
+	}
+}
+
+// run executes one job end to end on the calling worker goroutine.
+func (m *Manager) run(j *Job) {
+	ctx, cancel := context.WithCancel(m.ctx)
+	defer cancel()
+
+	j.mu.Lock()
+	if j.state != JobQueued { // cancelled while queued
+		j.mu.Unlock()
+		return
+	}
+	j.state = JobRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	close(j.updated)
+	j.updated = make(chan struct{})
+	j.mu.Unlock()
+	m.running.Add(1)
+	defer m.running.Add(-1)
+
+	pcfg := j.spec.Pipeline
+	pcfg.Emit = j.append
+	pcfg.Telemetry = &m.tel
+	pipe, err := NewPipeline(pcfg)
+	if err != nil {
+		m.finish(j, nil, err)
+		return
+	}
+
+	camp := j.spec.Campaign
+	camp.Base.Tap = pipe.Observe
+
+	var res *core.CampaignResult
+	if len(camp.Phases) > 0 {
+		res, err = camp.RunContext(ctx)
+	} else {
+		var rr *core.RunResult
+		rr, err = core.RunContext(ctx, camp.Base)
+		if err == nil {
+			res = &core.CampaignResult{RunResult: rr}
+		}
+	}
+	if err == nil {
+		pipe.Flush()
+		err = pipe.Err()
+	}
+	m.finish(j, res, err)
+}
+
+// finish records the job's terminal state and appends the final stream
+// message.
+func (m *Manager) finish(j *Job, res *core.CampaignResult, err error) {
+	j.mu.Lock()
+	defer func() {
+		close(j.updated)
+		j.updated = make(chan struct{})
+		j.mu.Unlock()
+	}()
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = JobDone
+		j.result = res
+		j.log = append(j.log, Message{Type: "done", State: JobDone})
+		m.done.Add(1)
+	case errors.Is(err, context.Canceled):
+		j.state = JobCancelled
+		j.log = append(j.log, Message{Type: "done", State: JobCancelled})
+		m.cancelled.Add(1)
+	default:
+		j.state = JobFailed
+		j.err = err
+		j.log = append(j.log, Message{Type: "done", State: JobFailed, Error: err.Error()})
+		m.failed.Add(1)
+	}
+}
+
+// Stats is a point-in-time self-telemetry snapshot, served by
+// cmd/hpas-serve's /v1/metrics.
+type Stats struct {
+	Workers          int     `json:"workers"`
+	QueueDepth       int     `json:"queue_depth"`
+	QueueCapacity    int     `json:"queue_capacity"`
+	JobsSubmitted    int     `json:"jobs_submitted"`
+	JobsRunning      int64   `json:"jobs_running"`
+	JobsDone         int64   `json:"jobs_done"`
+	JobsFailed       int64   `json:"jobs_failed"`
+	JobsCancelled    int64   `json:"jobs_cancelled"`
+	SamplesObserved  int64   `json:"samples_observed"`
+	WindowsProcessed int64   `json:"windows_processed"`
+	EventsEmitted    int64   `json:"events_emitted"`
+	WindowsPerSec    float64 `json:"windows_per_sec"`
+	AvgExtractMicros float64 `json:"avg_extract_micros"`
+	AvgPredictMicros float64 `json:"avg_predict_micros"`
+	UptimeSeconds    float64 `json:"uptime_seconds"`
+}
+
+// Stats snapshots the manager's self-telemetry.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	submitted := len(m.order)
+	m.mu.Unlock()
+	windows := m.tel.Windows.Load()
+	up := time.Since(m.started).Seconds()
+	s := Stats{
+		Workers:          m.cfg.Workers,
+		QueueDepth:       len(m.queue),
+		QueueCapacity:    m.cfg.Queue,
+		JobsSubmitted:    submitted,
+		JobsRunning:      m.running.Load(),
+		JobsDone:         m.done.Load(),
+		JobsFailed:       m.failed.Load(),
+		JobsCancelled:    m.cancelled.Load(),
+		SamplesObserved:  m.tel.Samples.Load(),
+		WindowsProcessed: windows,
+		EventsEmitted:    m.tel.Events.Load(),
+		UptimeSeconds:    up,
+	}
+	if up > 0 {
+		s.WindowsPerSec = float64(windows) / up
+	}
+	if windows > 0 {
+		s.AvgExtractMicros = float64(m.tel.ExtractNanos.Load()) / float64(windows) / 1e3
+		s.AvgPredictMicros = float64(m.tel.PredictNanos.Load()) / float64(windows) / 1e3
+	}
+	return s
+}

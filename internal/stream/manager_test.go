@@ -1,0 +1,258 @@
+package stream
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"hpas/internal/cluster"
+	"hpas/internal/core"
+	"hpas/internal/diagnose"
+	"hpas/internal/features"
+	"hpas/internal/ml"
+)
+
+// userMean is a stub classifier keyed on the real monitor metric set:
+// it predicts "hog" when the user::procstat mean over the window
+// exceeds 50% of one CPU. user::procstat is the last of the 10 default
+// metrics in sorted order, so its mean sits at index 9*features.Count().
+type userMean struct{}
+
+func (userMean) Fit(*ml.Dataset, []int) error { return nil }
+func (userMean) Predict(x []float64) int {
+	if x[9*features.Count()] > 50 {
+		return 1
+	}
+	return 0
+}
+
+func stubUserDetector() *diagnose.Detector {
+	return &diagnose.Detector{
+		Model:   userMean{},
+		Classes: []string{"none", "hog"},
+		Window:  5,
+	}
+}
+
+// hogSpec is a 1-node campaign with cpuoccupy active over [10,20) of a
+// 30-second run, watched through the stub detector with 5 s windows.
+func hogSpec(seed uint64, fixedSeconds float64) JobSpec {
+	return JobSpec{
+		Campaign: core.Campaign{
+			Base: core.RunConfig{
+				Cluster:      cluster.Voltrino(1),
+				FixedSeconds: fixedSeconds,
+				Seed:         seed,
+			},
+			Phases: []core.Phase{{
+				Label: "hog", Start: 10, Duration: 10,
+				Specs: []core.Spec{{Name: "cpuoccupy", Node: 0, CPU: 0, Intensity: 95}},
+			}},
+		},
+		Pipeline: PipelineConfig{Detector: stubUserDetector()},
+	}
+}
+
+// drain follows the job to completion and returns its full log.
+func drain(t *testing.T, j *Job) []Message {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var msgs []Message
+	for m := range j.Follow(ctx) {
+		msgs = append(msgs, m)
+	}
+	if ctx.Err() != nil {
+		t.Fatalf("job %s stream did not complete: %v", j.ID(), ctx.Err())
+	}
+	return msgs
+}
+
+func TestManagerRunsConcurrentJobsDeterministically(t *testing.T) {
+	m := NewManager(Config{Workers: 2})
+	defer m.Close()
+
+	// Three jobs in flight on two workers: two share a seed (must have
+	// byte-identical streams), the third differs.
+	jobs := make([]*Job, 3)
+	seeds := []uint64{42, 42, 7}
+	for i, seed := range seeds {
+		j, err := m.Submit(hogSpec(seed, 30))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = j
+	}
+
+	logs := make([][]Message, len(jobs))
+	for i, j := range jobs {
+		logs[i] = drain(t, j)
+		if st, err := j.State(); st != JobDone {
+			t.Fatalf("job %s state = %s (err %v), want done", j.ID(), st, err)
+		}
+		evs := j.Events()
+		if len(evs) != 1 {
+			t.Fatalf("job %s emitted %d events, want 1: %+v", j.ID(), len(evs), evs)
+		}
+		ev := evs[0]
+		if ev.Class != "hog" || ev.Start != 10 || ev.End != 20 || ev.Windows != 2 {
+			t.Fatalf("job %s event = %+v, want hog [10,20) over 2 windows", j.ID(), ev)
+		}
+	}
+
+	enc := func(msgs []Message) string {
+		b, err := json.Marshal(msgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if enc(logs[0]) != enc(logs[1]) {
+		t.Errorf("same-seed jobs diverged:\n%s\n%s", enc(logs[0]), enc(logs[1]))
+	}
+
+	st := m.Stats()
+	if st.JobsSubmitted != 3 || st.JobsDone != 3 {
+		t.Errorf("stats = %+v, want 3 submitted and 3 done", st)
+	}
+	if st.WindowsProcessed != 18 { // 3 jobs x 6 windows
+		t.Errorf("windows processed = %d, want 18", st.WindowsProcessed)
+	}
+	if st.EventsEmitted != 3 {
+		t.Errorf("events emitted = %d, want 3", st.EventsEmitted)
+	}
+}
+
+func TestManagerPlainRunWithoutPhases(t *testing.T) {
+	m := NewManager(Config{Workers: 1})
+	defer m.Close()
+
+	spec := JobSpec{
+		Campaign: core.Campaign{Base: core.RunConfig{
+			Cluster:      cluster.Voltrino(1),
+			FixedSeconds: 10,
+			Seed:         3,
+		}},
+		Pipeline: PipelineConfig{Detector: stubUserDetector()},
+	}
+	j, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := drain(t, j)
+	if st, _ := j.State(); st != JobDone {
+		t.Fatalf("state = %s, want done", st)
+	}
+	var windows, events int
+	for _, msg := range msgs {
+		switch msg.Type {
+		case "window":
+			windows++
+			if msg.Window.Class != "none" {
+				t.Errorf("clean run window classified %q", msg.Window.Class)
+			}
+		case "event":
+			events++
+		}
+	}
+	if windows != 2 || events != 0 {
+		t.Fatalf("clean run: %d windows / %d events, want 2 / 0", windows, events)
+	}
+	if res := j.Result(); res == nil || len(res.Metrics) != 1 {
+		t.Fatalf("missing campaign result on done job")
+	}
+}
+
+func TestManagerCancelRunningJob(t *testing.T) {
+	m := NewManager(Config{Workers: 1})
+	defer m.Close()
+
+	// A run long enough that cancellation lands mid-flight.
+	j, err := m.Submit(hogSpec(5, 200000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	ch := j.Follow(ctx)
+	<-ch // first stream message: the job is demonstrably running
+	if err := m.Cancel(j.ID()); err != nil {
+		t.Fatal(err)
+	}
+	var last Message
+	for m := range ch {
+		last = m
+	}
+	if last.Type != "done" || last.State != JobCancelled {
+		t.Fatalf("final message = %+v, want done/cancelled", last)
+	}
+	if st, _ := j.State(); st != JobCancelled {
+		t.Fatalf("state = %s, want cancelled", st)
+	}
+}
+
+func TestManagerCancelQueuedJobAndQueueFull(t *testing.T) {
+	m := NewManager(Config{Workers: 1, Queue: 1})
+	defer m.Close()
+
+	long, err := m.Submit(hogSpec(1, 200000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the long job occupies the single worker.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if st, _ := long.State(); st == JobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("long job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	queued, err := m.Submit(hogSpec(2, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(hogSpec(3, 30)); err != ErrQueueFull {
+		t.Fatalf("third submit error = %v, want ErrQueueFull", err)
+	}
+
+	if err := m.Cancel(queued.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := queued.State(); st != JobCancelled {
+		t.Fatalf("queued job state = %s, want cancelled", st)
+	}
+	msgs := drain(t, queued)
+	if len(msgs) != 1 || msgs[0].Type != "done" || msgs[0].State != JobCancelled {
+		t.Fatalf("queued-cancelled stream = %+v, want single done/cancelled", msgs)
+	}
+
+	if err := m.Cancel(long.ID()); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, long)
+
+	if err := m.Cancel("nope"); err == nil {
+		t.Error("cancelling unknown job did not error")
+	}
+}
+
+func TestManagerSubmitValidation(t *testing.T) {
+	m := NewManager(Config{Workers: 1})
+	if _, err := m.Submit(JobSpec{Pipeline: PipelineConfig{Detector: stubUserDetector()}}); err == nil {
+		t.Error("submission without a cluster accepted")
+	}
+	if _, err := m.Submit(JobSpec{
+		Campaign: core.Campaign{Base: core.RunConfig{Cluster: cluster.Voltrino(1), FixedSeconds: 5}},
+	}); err == nil {
+		t.Error("submission without a detector accepted")
+	}
+	m.Close()
+	if _, err := m.Submit(hogSpec(1, 10)); err != ErrClosed {
+		t.Errorf("submit after close error = %v, want ErrClosed", err)
+	}
+}

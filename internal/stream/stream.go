@@ -1,0 +1,51 @@
+// Package stream is the online serving layer over the HPAS simulator:
+// it runs campaigns as long-lived jobs on a bounded worker pool and
+// turns their monitoring output into a live, consumable detection
+// stream — ring-buffered metric windows tapped from internal/monitor,
+// incremental feature extraction via internal/features, online
+// classification through a pre-trained detector, and an anomaly-event
+// summarizer that coalesces consecutive same-class windows into
+// semantic events (start/end/confidence) instead of per-window spam.
+//
+// The package is the paper's Section 5.1 diagnosis use case recast as a
+// service: LDMS-style samplers feed sliding-window feature extraction
+// into a trained classifier while the run is still in progress, rather
+// than after it completes. cmd/hpas-serve exposes it over HTTP.
+//
+// Every job runs on its own seeded RNG chain (derived from its
+// RunConfig seed), so results are deterministic per job regardless of
+// how many jobs share the worker pool.
+package stream
+
+// Window is one classified observation window of one node's stream.
+type Window struct {
+	Node       int     `json:"node"`
+	From       float64 `json:"from"` // window start, simulation seconds
+	To         float64 `json:"to"`   // window end, simulation seconds
+	Class      string  `json:"class"`
+	Confidence float64 `json:"confidence"` // winning-class vote share (0..1]
+}
+
+// Event is a coalesced anomaly: a maximal run of consecutive windows
+// classified as the same (non-background) class on one node.
+type Event struct {
+	Node       int     `json:"node"`
+	Class      string  `json:"class"`
+	Start      float64 `json:"start"` // first window's From
+	End        float64 `json:"end"`   // last window's To
+	Windows    int     `json:"windows"`
+	Confidence float64 `json:"confidence"` // mean winning-class share
+}
+
+// Message is one element of a job's output stream. Exactly one of
+// Window/Event is set for "window"/"event" messages; "done" carries the
+// job's final state (and error, when it failed). Messages contain only
+// simulation-derived values, so two jobs with the same configuration
+// and seed produce byte-identical streams.
+type Message struct {
+	Type   string   `json:"type"` // "window" | "event" | "done"
+	Window *Window  `json:"window,omitempty"`
+	Event  *Event   `json:"event,omitempty"`
+	State  JobState `json:"state,omitempty"`
+	Error  string   `json:"error,omitempty"`
+}

@@ -1,0 +1,95 @@
+package stream
+
+import (
+	"reflect"
+	"testing"
+)
+
+// win builds a classified window covering [from, from+5) seconds.
+func win(class string, from float64, conf float64) Window {
+	return Window{Node: 0, From: from, To: from + 5, Class: class, Confidence: conf}
+}
+
+func collectEvents(t *testing.T, windows []Window, flush bool) []Event {
+	t.Helper()
+	var evs []Event
+	s := NewSummarizer("", func(e Event) { evs = append(evs, e) })
+	for _, w := range windows {
+		s.Observe(w)
+	}
+	if flush {
+		s.Flush()
+	}
+	return evs
+}
+
+func TestSummarizerAllNormalProducesNoEvents(t *testing.T) {
+	evs := collectEvents(t, []Window{
+		win("none", 0, 1), win("none", 5, 1), win("none", 10, 1),
+	}, true)
+	if len(evs) != 0 {
+		t.Fatalf("all-none stream produced %d events, want 0: %+v", len(evs), evs)
+	}
+}
+
+func TestSummarizerSingleWindowAnomaly(t *testing.T) {
+	evs := collectEvents(t, []Window{
+		win("none", 0, 1), win("memleak", 5, 0.8), win("none", 10, 1),
+	}, true)
+	want := []Event{{Node: 0, Class: "memleak", Start: 5, End: 10, Windows: 1, Confidence: 0.8}}
+	if !reflect.DeepEqual(evs, want) {
+		t.Fatalf("events = %+v, want %+v", evs, want)
+	}
+}
+
+func TestSummarizerCoalescesConsecutiveWindows(t *testing.T) {
+	evs := collectEvents(t, []Window{
+		win("cpuoccupy", 0, 0.5), win("cpuoccupy", 5, 0.75), win("cpuoccupy", 10, 1.0),
+		win("none", 15, 1),
+	}, true)
+	want := []Event{{Node: 0, Class: "cpuoccupy", Start: 0, End: 15, Windows: 3, Confidence: 0.75}}
+	if !reflect.DeepEqual(evs, want) {
+		t.Fatalf("events = %+v, want %+v", evs, want)
+	}
+}
+
+func TestSummarizerBackToBackDifferentClasses(t *testing.T) {
+	evs := collectEvents(t, []Window{
+		win("cpuoccupy", 0, 1), win("cpuoccupy", 5, 1),
+		win("membw", 10, 1), // class flips with no normal window between
+		win("none", 15, 1),
+	}, true)
+	want := []Event{
+		{Node: 0, Class: "cpuoccupy", Start: 0, End: 10, Windows: 2, Confidence: 1},
+		{Node: 0, Class: "membw", Start: 10, End: 15, Windows: 1, Confidence: 1},
+	}
+	if !reflect.DeepEqual(evs, want) {
+		t.Fatalf("events = %+v, want %+v", evs, want)
+	}
+}
+
+func TestSummarizerOpenAnomalyFlushedAtStreamEnd(t *testing.T) {
+	windows := []Window{win("none", 0, 1), win("memeater", 5, 0.5), win("memeater", 10, 1.0)}
+
+	// Without the flush the still-open event must not have been emitted...
+	if evs := collectEvents(t, windows, false); len(evs) != 0 {
+		t.Fatalf("open event emitted before flush: %+v", evs)
+	}
+	// ...and the flush closes it at the last window's edge.
+	evs := collectEvents(t, windows, true)
+	want := []Event{{Node: 0, Class: "memeater", Start: 5, End: 15, Windows: 2, Confidence: 0.75}}
+	if !reflect.DeepEqual(evs, want) {
+		t.Fatalf("events = %+v, want %+v", evs, want)
+	}
+}
+
+func TestSummarizerFlushIsIdempotent(t *testing.T) {
+	var evs []Event
+	s := NewSummarizer("", func(e Event) { evs = append(evs, e) })
+	s.Observe(win("membw", 0, 1))
+	s.Flush()
+	s.Flush()
+	if len(evs) != 1 {
+		t.Fatalf("double flush emitted %d events, want 1", len(evs))
+	}
+}

@@ -1,0 +1,14 @@
+package stream
+
+import "sync/atomic"
+
+// Telemetry accumulates service self-metrics across every pipeline a
+// manager runs. All fields are atomics: pipelines on different worker
+// goroutines update one shared instance.
+type Telemetry struct {
+	Samples      atomic.Int64 // monitor samples observed
+	Windows      atomic.Int64 // windows classified
+	Events       atomic.Int64 // anomaly events emitted
+	ExtractNanos atomic.Int64 // cumulative feature-extraction time
+	PredictNanos atomic.Int64 // cumulative classification time
+}
