@@ -14,6 +14,10 @@
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/metrics          service self-telemetry
 //
+// With -data-dir, jobs are journaled to disk (internal/stream/journal)
+// and recovered on restart: finished jobs keep their terminal state,
+// events, and a byte-identical replayable stream.
+//
 // See the README's "Serving the simulator" section for a curl
 // walkthrough.
 package main
@@ -38,6 +42,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 2, "concurrent simulation jobs")
 	queue := flag.Int("queue", 16, "pending-job queue capacity")
+	dataDir := flag.String("data-dir", "", "journal directory for durable job history (empty = in-memory only)")
 	trainApps := flag.String("train-apps", "CoMD", "comma-separated Table 2 apps for detector training")
 	trainClasses := flag.String("train-classes", "", "comma-separated diagnosis classes (default: all six)")
 	trainReps := flag.Int("train-reps", 3, "training runs per (app, class) pair")
@@ -61,7 +66,30 @@ func main() {
 		log.Fatalf("hpas-serve: training detector: %v", err)
 	}
 
-	mgr := hpas.NewStreamManager(hpas.StreamConfig{Workers: *workers, Queue: *queue})
+	// With -data-dir, every job is journaled to disk and prior history is
+	// recovered before the listener starts: finished jobs come back in
+	// their terminal state with replayable streams, and jobs the previous
+	// process was killed in the middle of are marked failed-by-restart.
+	scfg := hpas.StreamConfig{Workers: *workers, Queue: *queue}
+	var jn *hpas.StreamJournal
+	if *dataDir != "" {
+		jn, err = hpas.OpenStreamJournal(*dataDir)
+		if err != nil {
+			log.Fatalf("hpas-serve: opening journal: %v", err)
+		}
+		scfg.Store = jn
+	}
+	mgr := hpas.NewStreamManager(scfg)
+	if jn != nil {
+		recovered, err := jn.Recover()
+		if err != nil {
+			log.Fatalf("hpas-serve: recovering journal: %v", err)
+		}
+		if err := mgr.Reopen(recovered); err != nil {
+			log.Fatalf("hpas-serve: reopening jobs: %v", err)
+		}
+		log.Printf("hpas-serve: recovered %d jobs from %s", len(recovered), *dataDir)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           newServer(mgr, det).routes(),
@@ -83,6 +111,11 @@ func main() {
 			log.Printf("hpas-serve: shutdown: %v", err)
 		}
 		mgr.Close() // cancels running jobs and drains the pool
+		if jn != nil {
+			if err := jn.Close(); err != nil {
+				log.Printf("hpas-serve: closing journal: %v", err)
+			}
+		}
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {
 			log.Fatalf("hpas-serve: %v", err)

@@ -4,8 +4,10 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -314,4 +316,206 @@ func TestServeStructuredPhases(t *testing.T) {
 	if last.Type != "done" || last.State != hpas.StreamJobDone {
 		t.Fatalf("structured-phase job ended %+v, want done", last)
 	}
+}
+
+// Regression: a compact-campaign request pinning the anomaly to CPU 0
+// used to be silently rewritten to the default CPU 32, so CPU 0 could
+// never be targeted over the API. The field is now a pointer, so only
+// an omitted value picks the default.
+func TestBuildSpecHonorsExplicitAnomalyCPUZero(t *testing.T) {
+	s := newBareServer(t)
+	for _, tc := range []struct {
+		body string
+		want int
+	}{
+		{`{"campaign":"cpuoccupy@10-40:95","anomaly_cpu":0}`, 0},
+		{`{"campaign":"cpuoccupy@10-40:95","anomaly_cpu":3}`, 3},
+		{`{"campaign":"cpuoccupy@10-40:95"}`, 32},
+	} {
+		var req jobRequest
+		if err := json.Unmarshal([]byte(tc.body), &req); err != nil {
+			t.Fatal(err)
+		}
+		spec, err := s.buildSpec(req)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.body, err)
+		}
+		if len(spec.Campaign.Phases) == 0 || len(spec.Campaign.Phases[0].Specs) == 0 {
+			t.Fatalf("%s: no phases built", tc.body)
+		}
+		if got := spec.Campaign.Phases[0].Specs[0].CPU; got != tc.want {
+			t.Errorf("%s: anomaly pinned to CPU %d, want %d", tc.body, got, tc.want)
+		}
+	}
+}
+
+func newBareServer(t *testing.T) *server {
+	t.Helper()
+	mgr := hpas.NewStreamManager(hpas.StreamConfig{Workers: 1})
+	t.Cleanup(mgr.Close)
+	return newServer(mgr, detector(t))
+}
+
+// sseFrame is one parsed SSE event frame.
+type sseFrame struct {
+	id    string
+	event string
+	data  string
+}
+
+func sseFrames(t *testing.T, body io.Reader) []sseFrame {
+	t.Helper()
+	var frames []sseFrame
+	var cur sseFrame
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur != (sseFrame{}) {
+				frames = append(frames, cur)
+			}
+			cur = sseFrame{}
+		case strings.HasPrefix(line, "id: "):
+			cur.id = strings.TrimPrefix(line, "id: ")
+		case strings.HasPrefix(line, "event: "):
+			cur.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return frames
+}
+
+// Regression: SSE frames carried no id: lines, so a reconnecting
+// EventSource replayed the whole stream from scratch. Frames now carry
+// the message's log index and Last-Event-ID resumes just past it.
+func TestServeSSEIDsAndLastEventIDResume(t *testing.T) {
+	ts, _ := newTestServer(t)
+	id := submit(t, ts, `{"seed":5,"duration":30,"campaign":"cpuoccupy@10-20:95","window":10}`)
+
+	get := func(lastEventID string) []sseFrame {
+		req, _ := http.NewRequest("GET", ts.URL+"/v1/jobs/"+id+"/stream", nil)
+		req.Header.Set("Accept", "text/event-stream")
+		if lastEventID != "" {
+			req.Header.Set("Last-Event-ID", lastEventID)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return sseFrames(t, resp.Body)
+	}
+
+	full := get("")
+	if len(full) < 3 {
+		t.Fatalf("full stream has %d frames, want at least 3", len(full))
+	}
+	for i, fr := range full {
+		if fr.id != strconv.Itoa(i) {
+			t.Fatalf("frame %d has id %q, want %d", i, fr.id, i)
+		}
+	}
+	if last := full[len(full)-1]; last.event != "done" {
+		t.Fatalf("final frame event = %q, want done", last.event)
+	}
+
+	// Reconnect as EventSource would, having seen all but the last two
+	// frames: only those two replay, ids preserved.
+	resumeAt := len(full) - 3
+	tail := get(strconv.Itoa(resumeAt))
+	if len(tail) != 2 {
+		t.Fatalf("resumed stream has %d frames, want 2", len(tail))
+	}
+	for i, fr := range tail {
+		want := full[resumeAt+1+i]
+		if fr != want {
+			t.Errorf("resumed frame %d = %+v, want %+v", i, fr, want)
+		}
+	}
+}
+
+// The acceptance scenario over HTTP: run jobs against a journal-backed
+// server, tear it down, bring up a fresh server over the same data
+// directory, and check the finished job is listed with its terminal
+// state and events and that the NDJSON stream replays byte-identically.
+func TestServeRestartRecoversJobs(t *testing.T) {
+	dir := t.TempDir()
+	jn, err := hpas.OpenStreamJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := hpas.NewStreamManager(hpas.StreamConfig{Workers: 2, Store: jn})
+	ts := httptest.NewServer(newServer(mgr, detector(t)).routes())
+
+	body := `{"app":"CoMD","nodes":4,"seed":7,"duration":50,"campaign":"cpuoccupy@10-40:95","window":10}`
+	id := submit(t, ts, body)
+	live := streamLines(t, ts, id)
+
+	// Kill the first incarnation.
+	ts.Close()
+	mgr.Close()
+	if err := jn.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second incarnation over the same -data-dir.
+	jn2, err := hpas.OpenStreamJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := jn2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr2 := hpas.NewStreamManager(hpas.StreamConfig{Workers: 2, Store: jn2})
+	if err := mgr2.Reopen(recovered); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(newServer(mgr2, detector(t)).routes())
+	t.Cleanup(func() {
+		ts2.Close()
+		mgr2.Close()
+		jn2.Close()
+	})
+
+	resp, err := http.Get(ts2.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("recovered job status code %d, want 200", resp.StatusCode)
+	}
+	var st jobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != string(hpas.StreamJobDone) {
+		t.Errorf("recovered job state = %s, want done", st.State)
+	}
+	if len(st.Events) == 0 {
+		t.Error("recovered job lost its events")
+	}
+	if st.Started == nil || st.Finished == nil {
+		t.Error("recovered job lost its timestamps")
+	}
+
+	replay := streamLines(t, ts2, id)
+	if strings.Join(replay, "\n") != strings.Join(live, "\n") {
+		t.Errorf("recovered stream differs from live run:\n--- live\n%s\n--- replay\n%s",
+			strings.Join(live, "\n"), strings.Join(replay, "\n"))
+	}
+
+	// The recovered service accepts new work under a fresh ID.
+	id2 := submit(t, ts2, `{"seed":3,"duration":20,"window":10}`)
+	if id2 == id {
+		t.Fatalf("new submission reused recovered ID %s", id)
+	}
+	streamLines(t, ts2, id2)
 }

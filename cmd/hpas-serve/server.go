@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -66,7 +67,7 @@ type jobRequest struct {
 	// Anomaly campaign, compact or structured (not both).
 	Campaign    string     `json:"campaign,omitempty"`
 	AnomalyNode int        `json:"anomaly_node,omitempty"` // compact form target (default 0)
-	AnomalyCPU  int        `json:"anomaly_cpu,omitempty"`  // compact form pin (default 32)
+	AnomalyCPU  *int       `json:"anomaly_cpu,omitempty"`  // compact form pin (nil = default 32; explicit 0 is honored)
 	Phases      []jobPhase `json:"phases,omitempty"`
 
 	// Detection pipeline.
@@ -183,9 +184,9 @@ func (s *server) buildSpec(req jobRequest) (hpas.StreamJobSpec, error) {
 	case req.Campaign != "" && len(req.Phases) > 0:
 		return spec, fmt.Errorf("give either a compact campaign or structured phases, not both")
 	case req.Campaign != "":
-		cpu := req.AnomalyCPU
-		if cpu == 0 {
-			cpu = 32 // SMT sibling of rank 0, as cmd/hpas-sim pins
+		cpu := 32 // SMT sibling of rank 0, as cmd/hpas-sim pins
+		if req.AnomalyCPU != nil {
+			cpu = *req.AnomalyCPU // a pointer so an explicit CPU 0 survives
 		}
 		var err error
 		phases, err = hpas.ParseCampaignPhases(req.Campaign, req.AnomalyNode, cpu)
@@ -284,6 +285,11 @@ func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
 // server-sent events when the client asks for text/event-stream. The
 // stream replays from the job's start, follows live output, and ends
 // after the final "done" message.
+//
+// SSE frames carry the message's log index as the event ID, and a
+// reconnecting client's Last-Event-ID header resumes the replay just
+// past that index instead of from scratch — the same indices the
+// journal persists, so resumption works across a service restart too.
 func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.mgr.Get(r.PathValue("id"))
 	if !ok {
@@ -291,22 +297,33 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	from := 0
 	if sse {
 		w.Header().Set("Content-Type", "text/event-stream")
 		w.Header().Set("Cache-Control", "no-cache")
+		if lei := r.Header.Get("Last-Event-ID"); lei != "" {
+			if n, err := strconv.Atoi(lei); err == nil && n >= 0 {
+				from = n + 1
+			}
+		}
 	} else {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 	}
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 
+	seq := -1
 	for msg := range j.Follow(r.Context()) {
+		seq++
+		if seq < from {
+			continue
+		}
 		b, err := json.Marshal(msg)
 		if err != nil {
 			return
 		}
 		if sse {
-			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", msg.Type, b)
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", seq, msg.Type, b)
 		} else {
 			w.Write(b)
 			w.Write([]byte("\n"))

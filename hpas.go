@@ -39,6 +39,7 @@ import (
 	"hpas/internal/ml"
 	"hpas/internal/sched"
 	"hpas/internal/stream"
+	"hpas/internal/stream/journal"
 	"hpas/internal/stress"
 	"hpas/internal/units"
 	"hpas/internal/variability"
@@ -288,6 +289,14 @@ type (
 	StreamEvent = stream.Event
 	// StreamStats is the service's self-telemetry snapshot.
 	StreamStats = stream.Stats
+	// StreamStore persists job records for replay across restarts.
+	StreamStore = stream.Store
+	// StreamRecoveredJob is a job reconstructed from a StreamStore.
+	StreamRecoveredJob = stream.RecoveredJob
+	// StreamJournal is the append-only on-disk StreamStore.
+	StreamJournal = journal.Journal
+	// StreamJournalOptions tunes a StreamJournal (fsync batching).
+	StreamJournalOptions = journal.Options
 )
 
 // Job lifecycle states: queued → running → done | failed | cancelled.
@@ -303,9 +312,22 @@ const (
 // pending-job queue is at capacity.
 var ErrStreamQueueFull = stream.ErrQueueFull
 
+// ErrStreamInterrupted marks a recovered job whose previous process
+// died mid-run; Reopen finalizes such jobs as failed with this error.
+var ErrStreamInterrupted = stream.ErrInterrupted
+
 // NewStreamManager starts a streaming job manager; Close it to release
-// the worker pool.
+// the worker pool. Configure StreamConfig.Store (e.g. a StreamJournal)
+// and call Reopen with the store's recovered jobs to make job history
+// durable across restarts.
 func NewStreamManager(cfg StreamConfig) *StreamManager { return stream.NewManager(cfg) }
+
+// OpenStreamJournal opens (creating if needed) an append-only on-disk
+// job journal under dir, with default fsync batching. Use it as
+// StreamConfig.Store and feed Recover's result to StreamManager.Reopen.
+func OpenStreamJournal(dir string) (*StreamJournal, error) {
+	return journal.Open(dir, journal.Options{})
+}
 
 // Variability measurement (the paper's Section 2 motivation).
 type (

@@ -49,8 +49,9 @@ type RunConfig struct {
 	DT float64
 	// Tap, when non-nil, receives every monitor sample as it is taken,
 	// enabling online consumers (see internal/stream) to observe the run
-	// while it is still in progress.
-	Tap monitor.TapFunc
+	// while it is still in progress. Excluded from JSON so a RunConfig
+	// can be journaled (see internal/stream/journal).
+	Tap monitor.TapFunc `json:"-"`
 }
 
 // RunResult is the outcome of a Run.

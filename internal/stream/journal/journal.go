@@ -1,0 +1,390 @@
+// Package journal is the on-disk stream.Store: an append-only journal
+// of job records under a data directory, one newline-delimited JSON
+// file per job ID. Each line is one record — the job's spec at
+// submission, a state transition, or one stream message — so a job's
+// full history replays in write order.
+//
+// Writes are buffered and fsynced in batches by a background flusher
+// (Options.FlushInterval); a terminal state record is flushed and
+// fsynced synchronously before State returns, so a finished job is
+// durable the moment its followers see the final "done" message.
+//
+// Recovery is crash-tolerant: a process killed mid-write leaves at most
+// a torn final record in one or more files, and Recover truncates such
+// tails back to the last complete record instead of failing. Jobs whose
+// journal ends without a terminal state are surfaced with their last
+// recorded state; Manager.Reopen finalizes them as failed-by-restart.
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"hpas/internal/stream"
+)
+
+const suffix = ".journal"
+
+// Options tunes a Journal.
+type Options struct {
+	// FlushInterval bounds how long an appended record may sit in the
+	// write buffer before it is flushed and fsynced (default 200ms).
+	// Terminal state records are always flushed synchronously.
+	FlushInterval time.Duration
+}
+
+// record is one journal line. Kind selects which of the remaining
+// fields are meaningful.
+type record struct {
+	Kind  string          `json:"k"` // "spec" | "state" | "msg"
+	At    time.Time       `json:"at,omitempty"`
+	Seq   int             `json:"seq,omitempty"`
+	State stream.JobState `json:"state,omitempty"`
+	Error string          `json:"error,omitempty"`
+	Spec  json.RawMessage `json:"spec,omitempty"`
+	Msg   *stream.Message `json:"msg,omitempty"`
+}
+
+// Journal is an append-only on-disk stream.Store. Open one per data
+// directory; it is safe for concurrent use by the manager's workers.
+type Journal struct {
+	dir   string
+	every time.Duration
+
+	mu     sync.Mutex
+	files  map[string]*jobFile
+	closed bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// jobFile is one job's open journal file with its write buffer.
+type jobFile struct {
+	mu    sync.Mutex
+	f     *os.File
+	buf   bytes.Buffer
+	dirty bool
+}
+
+// Open creates dir if needed and returns a journal writing under it.
+func Open(dir string, opts Options) (*Journal, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("journal: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	if opts.FlushInterval <= 0 {
+		opts.FlushInterval = 200 * time.Millisecond
+	}
+	j := &Journal{
+		dir:   dir,
+		every: opts.FlushInterval,
+		files: make(map[string]*jobFile),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go j.flusher()
+	return j, nil
+}
+
+// Dir returns the journal's data directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// Create implements stream.Store: it starts the job's file with a spec
+// record. The spec is stored as JSON (fields the stream layer marks
+// non-serializable, like the detector and emit hook, are omitted and
+// restored as zero values on recovery — recovered jobs are terminal and
+// never re-run).
+func (j *Journal) Create(id string, created time.Time, spec stream.JobSpec) error {
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		return fmt.Errorf("journal: marshal spec for %s: %w", id, err)
+	}
+	return j.append(id, record{Kind: "spec", At: created, Spec: raw}, false)
+}
+
+// Append implements stream.Store: one record per stream message, in log
+// order.
+func (j *Journal) Append(id string, seq int, msg stream.Message) error {
+	m := msg
+	return j.append(id, record{Kind: "msg", Seq: seq, Msg: &m}, false)
+}
+
+// State implements stream.Store. Terminal states are flushed and
+// fsynced before returning, and close the job's file — a finished job
+// costs no open descriptor.
+func (j *Journal) State(id string, state stream.JobState, errText string, at time.Time) error {
+	return j.append(id, record{Kind: "state", At: at, State: state, Error: errText}, state.Final())
+}
+
+// append serializes and writes one record; sync forces an immediate
+// flush+fsync and closes the job's file (terminal records).
+func (j *Journal) append(id string, rec record, sync bool) error {
+	if err := checkID(id); err != nil {
+		return err
+	}
+	jf, err := j.file(id)
+	if err != nil {
+		return err
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("journal: marshal record for %s: %w", id, err)
+	}
+	jf.mu.Lock()
+	defer jf.mu.Unlock()
+	if jf.f == nil {
+		return fmt.Errorf("journal: job %s already finalized", id)
+	}
+	jf.buf.Write(line)
+	jf.buf.WriteByte('\n')
+	jf.dirty = true
+	if !sync {
+		return nil
+	}
+	if err := jf.flushLocked(); err != nil {
+		return err
+	}
+	err = jf.f.Close()
+	jf.f = nil
+	j.mu.Lock()
+	delete(j.files, id)
+	j.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("journal: close %s: %w", id, err)
+	}
+	return nil
+}
+
+// file returns the job's open file, creating it on first use.
+func (j *Journal) file(id string) (*jobFile, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil, fmt.Errorf("journal: closed")
+	}
+	if jf, ok := j.files[id]; ok {
+		return jf, nil
+	}
+	f, err := os.OpenFile(j.path(id), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	jf := &jobFile{f: f}
+	j.files[id] = jf
+	return jf, nil
+}
+
+func (j *Journal) path(id string) string {
+	return filepath.Join(j.dir, id+suffix)
+}
+
+// flushLocked drains the write buffer to the file and fsyncs it.
+// Callers hold jf.mu.
+func (jf *jobFile) flushLocked() error {
+	if !jf.dirty || jf.f == nil {
+		return nil
+	}
+	if _, err := jf.f.Write(jf.buf.Bytes()); err != nil {
+		return fmt.Errorf("journal: write: %w", err)
+	}
+	jf.buf.Reset()
+	if err := jf.f.Sync(); err != nil {
+		return fmt.Errorf("journal: fsync: %w", err)
+	}
+	jf.dirty = false
+	return nil
+}
+
+// flusher batches fsyncs: every FlushInterval it flushes each dirty
+// file once, so N appends within an interval cost one write+fsync.
+func (j *Journal) flusher() {
+	defer close(j.done)
+	t := time.NewTicker(j.every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			j.Sync()
+		case <-j.stop:
+			return
+		}
+	}
+}
+
+// Sync flushes and fsyncs every dirty job file now.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	files := make([]*jobFile, 0, len(j.files))
+	for _, jf := range j.files {
+		files = append(files, jf)
+	}
+	j.mu.Unlock()
+	var first error
+	for _, jf := range files {
+		jf.mu.Lock()
+		if err := jf.flushLocked(); err != nil && first == nil {
+			first = err
+		}
+		jf.mu.Unlock()
+	}
+	return first
+}
+
+// Close implements stream.Store: it stops the flusher, flushes every
+// buffer, and closes the files. The journal cannot be used afterwards.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return nil
+	}
+	j.closed = true
+	j.mu.Unlock()
+	close(j.stop)
+	<-j.done
+	err := j.Sync()
+	j.mu.Lock()
+	files := make([]*jobFile, 0, len(j.files))
+	for id, jf := range j.files {
+		files = append(files, jf)
+		delete(j.files, id)
+	}
+	j.mu.Unlock()
+	for _, jf := range files {
+		jf.mu.Lock()
+		if jf.f != nil {
+			if cerr := jf.f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+			jf.f = nil
+		}
+		jf.mu.Unlock()
+	}
+	return err
+}
+
+// Recover scans the data directory and reconstructs every journaled
+// job, sorted by job ID (numeric for manager-assigned "jNNNN" IDs). A
+// torn or corrupt tail — the signature of a crash mid-write — is
+// truncated back to the last complete record, and the records before it
+// are kept. Call Recover on a freshly opened journal, before any
+// writes, and hand the result to Manager.Reopen.
+func (j *Journal) Recover() ([]stream.RecoveredJob, error) {
+	entries, err := os.ReadDir(j.dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	var out []stream.RecoveredJob
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, suffix) {
+			continue
+		}
+		id := strings.TrimSuffix(name, suffix)
+		if checkID(id) != nil {
+			continue
+		}
+		rj, ok, err := recoverFile(filepath.Join(j.dir, name), id)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, rj)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		na, nb := -1, -1
+		fmt.Sscanf(out[a].ID, "j%d", &na)
+		fmt.Sscanf(out[b].ID, "j%d", &nb)
+		if na >= 0 && nb >= 0 && na != nb {
+			return na < nb
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out, nil
+}
+
+// recoverFile replays one job file. ok is false for files holding no
+// complete record (they are truncated to empty and skipped).
+func recoverFile(path, id string) (rj stream.RecoveredJob, ok bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rj, false, fmt.Errorf("journal: %w", err)
+	}
+	rj.ID = id
+	rj.State = stream.JobQueued
+	good := 0 // byte offset past the last complete, parseable record
+	for good < len(data) {
+		nl := bytes.IndexByte(data[good:], '\n')
+		if nl < 0 {
+			break // torn tail: record written without its newline
+		}
+		var rec record
+		if json.Unmarshal(data[good:good+nl], &rec) != nil {
+			break // corrupt tail record
+		}
+		apply(&rj, rec, &ok)
+		good += nl + 1
+	}
+	if good < len(data) {
+		if err := os.Truncate(path, int64(good)); err != nil {
+			return rj, false, fmt.Errorf("journal: truncating torn tail of %s: %w", path, err)
+		}
+	}
+	return rj, ok, nil
+}
+
+// apply folds one record into the job being reconstructed.
+func apply(rj *stream.RecoveredJob, rec record, ok *bool) {
+	switch rec.Kind {
+	case "spec":
+		*ok = true
+		rj.Created = rec.At
+		if len(rec.Spec) > 0 {
+			// Best-effort: an undecodable spec still leaves the log usable.
+			json.Unmarshal(rec.Spec, &rj.Spec)
+		}
+	case "state":
+		*ok = true
+		switch {
+		case rec.State == stream.JobRunning:
+			rj.State = stream.JobRunning
+			rj.Started = rec.At
+		case rec.State.Final():
+			rj.State = rec.State
+			rj.Err = rec.Error
+			rj.Finished = rec.At
+		}
+	case "msg":
+		if rec.Msg != nil {
+			*ok = true
+			rj.Log = append(rj.Log, *rec.Msg)
+		}
+	}
+}
+
+// checkID rejects IDs that would escape the data directory or collide
+// with path syntax. Manager-assigned IDs ("jNNNN") always pass.
+func checkID(id string) error {
+	if id == "" {
+		return fmt.Errorf("journal: empty job ID")
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+		default:
+			return fmt.Errorf("journal: job ID %q contains %q", id, r)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,310 @@
+package journal
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hpas/internal/cluster"
+	"hpas/internal/core"
+	"hpas/internal/diagnose"
+	"hpas/internal/features"
+	"hpas/internal/ml"
+	"hpas/internal/stream"
+)
+
+// userMean mirrors the stream package's test stub: it predicts "hog"
+// when the user::procstat mean over the window exceeds 50% of one CPU
+// (user::procstat is the last of the 10 default metrics in sorted
+// order, so its mean sits at index 9*features.Count()).
+type userMean struct{}
+
+func (userMean) Fit(*ml.Dataset, []int) error { return nil }
+func (userMean) Predict(x []float64) int {
+	if x[9*features.Count()] > 50 {
+		return 1
+	}
+	return 0
+}
+
+func stubDetector() *diagnose.Detector {
+	return &diagnose.Detector{
+		Model:   userMean{},
+		Classes: []string{"none", "hog"},
+		Window:  5,
+	}
+}
+
+func hogSpec(seed uint64, fixedSeconds float64) stream.JobSpec {
+	return stream.JobSpec{
+		Campaign: core.Campaign{
+			Base: core.RunConfig{
+				Cluster:      cluster.Voltrino(1),
+				FixedSeconds: fixedSeconds,
+				Seed:         seed,
+			},
+			Phases: []core.Phase{{
+				Label: "hog", Start: 10, Duration: 10,
+				Specs: []core.Spec{{Name: "cpuoccupy", Node: 0, CPU: 0, Intensity: 95}},
+			}},
+		},
+		Pipeline: stream.PipelineConfig{Detector: stubDetector()},
+	}
+}
+
+func drain(t *testing.T, j *stream.Job) []stream.Message {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var msgs []stream.Message
+	for m := range j.Follow(ctx) {
+		msgs = append(msgs, m)
+	}
+	if ctx.Err() != nil {
+		t.Fatalf("job %s stream did not complete: %v", j.ID(), ctx.Err())
+	}
+	return msgs
+}
+
+func marshal(t *testing.T, msgs []stream.Message) string {
+	t.Helper()
+	b, err := json.Marshal(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// The acceptance round-trip: run a job against the journal, tear the
+// whole stack down, reopen, and check the recovered job serves the same
+// terminal state, events, and byte-identical stream — and that new
+// submissions continue after the recovered ID space.
+func TestRestartRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	jn, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := stream.NewManager(stream.Config{Workers: 1, Store: jn})
+	j, err := m.Submit(hogSpec(42, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := drain(t, j)
+	if st, err := j.State(); st != stream.JobDone {
+		t.Fatalf("live job state = %s (err %v), want done", st, err)
+	}
+	liveEvents := j.Events()
+	id := j.ID()
+	m.Close()
+	if err := jn.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh journal and manager over the same directory.
+	jn2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jn2.Close()
+	recovered, err := jn2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 1 || recovered[0].ID != id {
+		t.Fatalf("recovered %+v, want exactly job %s", recovered, id)
+	}
+	m2 := stream.NewManager(stream.Config{Workers: 1, Store: jn2})
+	defer m2.Close()
+	if err := m2.Reopen(recovered); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, ok := m2.Get(id)
+	if !ok {
+		t.Fatalf("job %s not found after reopen", id)
+	}
+	if st, err := j2.State(); st != stream.JobDone || err != nil {
+		t.Fatalf("recovered state = %s (err %v), want done", st, err)
+	}
+	if _, started, finished := j2.Times(); started.IsZero() || finished.IsZero() {
+		t.Error("recovered job lost its start/finish times")
+	}
+	// Byte-identical replay, both as a snapshot and through Follow.
+	if got := marshal(t, j2.Messages()); got != marshal(t, live) {
+		t.Errorf("recovered log differs from live run:\nlive %s\ngot  %s", marshal(t, live), got)
+	}
+	if got := marshal(t, drain(t, j2)); got != marshal(t, live) {
+		t.Error("Follow replay of recovered job differs from live run")
+	}
+	if got := marshal2(t, j2.Events()); got != marshal2(t, liveEvents) {
+		t.Errorf("recovered events %s != live %s", got, marshal2(t, liveEvents))
+	}
+	if st := m2.Stats(); st.JobsSubmitted != 1 || st.JobsDone != 1 || st.JournalErrors != 0 {
+		t.Errorf("stats after reopen = %+v, want 1 submitted/done and no journal errors", st)
+	}
+
+	// New work continues past the recovered ID.
+	j3, err := m2.Submit(hogSpec(7, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j3.ID() == id {
+		t.Fatalf("new submission reused recovered ID %s", id)
+	}
+	drain(t, j3)
+}
+
+func marshal2(t *testing.T, evs []stream.Event) string {
+	t.Helper()
+	b, err := json.Marshal(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// A crash mid-write leaves a torn final record; Recover must keep the
+// records before it, truncate the tail, and leave the file appendable.
+func TestTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	jn, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now().UTC().Round(time.Millisecond)
+	spec := hogSpec(1, 30)
+	if err := jn.Create("j0001", now, spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := jn.State("j0001", stream.JobRunning, "", now); err != nil {
+		t.Fatal(err)
+	}
+	w := stream.Window{Node: 0, From: 0, To: 5, Class: "none", Confidence: 1}
+	for i := 0; i < 3; i++ {
+		if err := jn.Append("j0001", i, stream.Message{Type: "window", Window: &w}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := jn.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the tail: half a record, no terminating newline.
+	path := filepath.Join(dir, "j0001"+suffix)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"k":"msg","seq":3,"msg":{"type":"win`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	torn, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	jn2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jn2.Close()
+	recovered, err := jn2.Recover()
+	if err != nil {
+		t.Fatalf("recover over torn tail failed: %v", err)
+	}
+	if len(recovered) != 1 {
+		t.Fatalf("recovered %d jobs, want 1", len(recovered))
+	}
+	rj := recovered[0]
+	if rj.State != stream.JobRunning || len(rj.Log) != 3 {
+		t.Fatalf("recovered job = state %s with %d messages, want running with 3", rj.State, len(rj.Log))
+	}
+	if !rj.Created.Equal(now) || !rj.Started.Equal(now) {
+		t.Errorf("recovered times %v/%v, want %v", rj.Created, rj.Started, now)
+	}
+	fixed, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.Size() >= torn.Size() {
+		t.Errorf("torn tail not truncated: %d >= %d bytes", fixed.Size(), torn.Size())
+	}
+
+	// Reopen finalizes the interrupted job and journals that, so a third
+	// incarnation recovers it as failed directly.
+	m := stream.NewManager(stream.Config{Workers: 1, Store: jn2})
+	if err := m.Reopen(recovered); err != nil {
+		t.Fatal(err)
+	}
+	j, _ := m.Get("j0001")
+	st, jerr := j.State()
+	if st != stream.JobFailed || !errors.Is(jerr, stream.ErrInterrupted) {
+		t.Fatalf("interrupted job state = %s (err %v), want failed/ErrInterrupted", st, jerr)
+	}
+	msgs := drain(t, j)
+	if last := msgs[len(msgs)-1]; last.Type != "done" || last.State != stream.JobFailed {
+		t.Fatalf("interrupted job's final message = %+v, want done/failed", last)
+	}
+	m.Close()
+	if err := jn2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	jn3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jn3.Close()
+	again, err := jn3.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 1 || again[0].State != stream.JobFailed || len(again[0].Log) != 4 {
+		t.Fatalf("second recovery = %+v, want failed with 4 messages", again[0])
+	}
+}
+
+// An empty or wholly-torn file must not surface a phantom job.
+func TestRecoverSkipsEmptyAndForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "j0009"+suffix), []byte("garbage without newline"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("not a journal\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jn, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jn.Close()
+	recovered, err := jn.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 0 {
+		t.Fatalf("recovered %+v from garbage, want nothing", recovered)
+	}
+	if fi, err := os.Stat(filepath.Join(dir, "j0009"+suffix)); err != nil || fi.Size() != 0 {
+		t.Errorf("garbage file not truncated to empty: %v size %d", err, fi.Size())
+	}
+}
+
+func TestJournalRejectsUnsafeIDs(t *testing.T) {
+	jn, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jn.Close()
+	for _, id := range []string{"", "../escape", "a/b", "a.b"} {
+		if err := jn.Append(id, 0, stream.Message{Type: "done"}); err == nil {
+			t.Errorf("id %q accepted", id)
+		}
+	}
+}

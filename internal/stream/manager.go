@@ -53,6 +53,7 @@ type Job struct {
 	state    JobState
 	err      error
 	log      []Message
+	events   []Event       // anomaly events, maintained incrementally on append
 	updated  chan struct{} // closed and replaced on every append/state change
 	cancel   context.CancelFunc
 	result   *core.CampaignResult
@@ -79,7 +80,8 @@ func (j *Job) Times() (created, started, finished time.Time) {
 	return j.created, j.started, j.finished
 }
 
-// Result returns the completed campaign result (nil until JobDone).
+// Result returns the completed campaign result (nil until JobDone, and
+// nil for jobs restored from a Store — results are not persisted).
 func (j *Job) Result() *core.CampaignResult {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -93,24 +95,21 @@ func (j *Job) Messages() []Message {
 	return append([]Message(nil), j.log...)
 }
 
-// Events returns the anomaly events emitted so far.
+// Events returns the anomaly events emitted so far. The slice is
+// maintained incrementally on append, so this is O(events) rather than
+// a rescan of the whole message log.
 func (j *Job) Events() []Event {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	var evs []Event
-	for _, m := range j.log {
-		if m.Type == "event" {
-			evs = append(evs, *m.Event)
-		}
-	}
-	return evs
+	return append([]Event(nil), j.events...)
 }
 
 // Follow returns a channel that replays the job's full stream from the
 // beginning and then follows it live. The channel closes once the final
 // "done" message has been delivered, or when ctx is cancelled. Multiple
 // followers may be attached at any point of the job's life, including
-// after completion.
+// after completion. Jobs restored from a Store replay byte-identically
+// to the live run they record.
 func (j *Job) Follow(ctx context.Context) <-chan Message {
 	ch := make(chan Message, 16)
 	go func() {
@@ -151,13 +150,18 @@ func (j *Job) snapshot(from int) (msgs []Message, done bool, wait chan struct{})
 	return msgs, done, j.updated
 }
 
-// append adds a stream message and wakes followers.
-func (j *Job) append(m Message) {
-	j.mu.Lock()
+// appendLocked adds a stream message, maintains the event index, and
+// wakes followers. Callers hold j.mu; the returned seq is the message's
+// log index, for journaling after the lock is released.
+func (j *Job) appendLocked(m Message) (seq int) {
+	seq = len(j.log)
 	j.log = append(j.log, m)
+	if m.Type == "event" && m.Event != nil {
+		j.events = append(j.events, *m.Event)
+	}
 	close(j.updated)
 	j.updated = make(chan struct{})
-	j.mu.Unlock()
+	return seq
 }
 
 // Config sizes the manager.
@@ -166,30 +170,46 @@ type Config struct {
 	Workers int
 	// Queue is the pending-submission capacity beyond the jobs already
 	// running (default 16). Submit fails with ErrQueueFull beyond it.
+	// Cancelled-while-queued jobs release their slot immediately.
 	Queue int
+	// Store, when non-nil, receives every job record for durable
+	// replay across restarts (see internal/stream/journal). Nil keeps
+	// the manager in-memory only.
+	Store Store
 }
 
 // Manager runs submitted jobs on a bounded worker pool and tracks their
-// lifecycle. Create with NewManager; Close releases the pool.
+// lifecycle. Create with NewManager; Close releases the pool. When a
+// Store is configured, pass the store's recovered jobs to Reopen before
+// accepting traffic so prior history is served again.
 type Manager struct {
 	cfg       Config
 	ctx       context.Context
 	cancelAll context.CancelFunc
-	queue     chan *Job
 	wg        sync.WaitGroup
 	started   time.Time
+	store     Store
 
 	mu     sync.Mutex
+	cond   *sync.Cond // signalled on queue growth and on Close
+	pendq  []*Job     // FIFO; may hold finalized (cancelled-while-queued) jobs
 	closed bool
 	nextID int
 	jobs   map[string]*Job
 	order  []string
+
+	// npending counts queued, not-yet-finalized jobs: the admission
+	// quantity behind ErrQueueFull. A job leaves it when a worker claims
+	// it or when it is cancelled while still queued — not when its
+	// (possibly stale) pendq entry is drained.
+	npending atomic.Int64
 
 	tel       Telemetry
 	running   atomic.Int64
 	done      atomic.Int64
 	failed    atomic.Int64
 	cancelled atomic.Int64
+	storeErrs atomic.Int64
 }
 
 // NewManager starts a worker pool with the given configuration.
@@ -205,10 +225,11 @@ func NewManager(cfg Config) *Manager {
 		cfg:       cfg,
 		ctx:       ctx,
 		cancelAll: cancel,
-		queue:     make(chan *Job, cfg.Queue),
 		started:   time.Now(),
+		store:     cfg.Store,
 		jobs:      make(map[string]*Job),
 	}
+	m.cond = sync.NewCond(&m.mu)
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
@@ -229,9 +250,13 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	}
 
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.closed {
+		m.mu.Unlock()
 		return nil, ErrClosed
+	}
+	if int(m.npending.Load()) >= m.cfg.Queue {
+		m.mu.Unlock()
+		return nil, ErrQueueFull
 	}
 	m.nextID++
 	j := &Job{
@@ -241,15 +266,99 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 		updated: make(chan struct{}),
 		created: time.Now(),
 	}
-	select {
-	case m.queue <- j:
-	default:
-		m.nextID--
-		return nil, ErrQueueFull
-	}
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
+	m.pendq = append(m.pendq, j)
+	m.npending.Add(1)
+	m.cond.Signal()
+	created := j.created
+	m.mu.Unlock()
+
+	if m.store != nil {
+		if err := m.store.Create(j.id, created, spec); err != nil {
+			m.storeErrs.Add(1)
+		}
+	}
 	return j, nil
+}
+
+// Reopen restores jobs recovered from a Store (journal.Recover) into the
+// manager. Recovered jobs in a terminal state keep it, with their full
+// message log and event index; jobs whose journal ended mid-run — the
+// previous process was killed — are finalized as JobFailed with
+// ErrInterrupted, and that transition is journaled so the next restart
+// sees it directly. Future submissions continue after the highest
+// recovered job ID. Call before accepting new submissions.
+func (m *Manager) Reopen(recovered []RecoveredJob) error {
+	type fixup struct {
+		id  string
+		seq int
+		msg Message
+		at  time.Time
+	}
+	var fixups []fixup
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	for _, r := range recovered {
+		if r.ID == "" {
+			continue
+		}
+		if _, dup := m.jobs[r.ID]; dup {
+			m.mu.Unlock()
+			return fmt.Errorf("stream: duplicate recovered job %q", r.ID)
+		}
+		j := &Job{
+			id:       r.ID,
+			spec:     r.Spec,
+			state:    r.State,
+			log:      r.Log,
+			created:  r.Created,
+			started:  r.Started,
+			finished: r.Finished,
+			updated:  make(chan struct{}),
+		}
+		if r.Err != "" {
+			j.err = errors.New(r.Err)
+		}
+		if !j.state.Final() {
+			j.state = JobFailed
+			j.err = ErrInterrupted
+			j.finished = time.Now()
+			done := Message{Type: "done", State: JobFailed, Error: ErrInterrupted.Error()}
+			fixups = append(fixups, fixup{r.ID, len(j.log), done, j.finished})
+			j.log = append(j.log, done)
+		}
+		for _, msg := range j.log {
+			if msg.Type == "event" && msg.Event != nil {
+				j.events = append(j.events, *msg.Event)
+			}
+		}
+		switch j.state {
+		case JobDone:
+			m.done.Add(1)
+		case JobFailed:
+			m.failed.Add(1)
+		case JobCancelled:
+			m.cancelled.Add(1)
+		}
+		m.jobs[j.id] = j
+		m.order = append(m.order, j.id)
+		var n int
+		if _, err := fmt.Sscanf(j.id, "j%d", &n); err == nil && n > m.nextID {
+			m.nextID = n
+		}
+	}
+	m.mu.Unlock()
+
+	for _, f := range fixups {
+		m.journalAppend(f.id, f.seq, f.msg)
+		m.journalState(f.id, JobFailed, ErrInterrupted.Error(), f.at)
+	}
+	return nil
 }
 
 // Get returns the job with the given ID.
@@ -260,7 +369,8 @@ func (m *Manager) Get(id string) (*Job, bool) {
 	return j, ok
 }
 
-// Jobs returns every tracked job in submission order.
+// Jobs returns every tracked job in submission order (recovered jobs
+// first, in their original order).
 func (m *Manager) Jobs() []*Job {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -271,9 +381,10 @@ func (m *Manager) Jobs() []*Job {
 	return out
 }
 
-// Cancel aborts the job: a queued job is finalized immediately, a
-// running job has its context cancelled (the simulation notices within
-// one tick). Cancelling a finished job is a no-op.
+// Cancel aborts the job: a queued job is finalized immediately and its
+// queue slot released, a running job has its context cancelled (the
+// simulation notices within one tick). Cancelling a finished job is a
+// no-op.
 func (m *Manager) Cancel(id string) error {
 	j, ok := m.Get(id)
 	if !ok {
@@ -284,10 +395,14 @@ func (m *Manager) Cancel(id string) error {
 	case j.state == JobQueued:
 		j.state = JobCancelled
 		j.finished = time.Now()
-		j.log = append(j.log, Message{Type: "done", State: JobCancelled})
-		close(j.updated)
-		j.updated = make(chan struct{})
+		seq := j.appendLocked(Message{Type: "done", State: JobCancelled})
+		fin := j.finished
 		m.cancelled.Add(1)
+		m.npending.Add(-1) // the stale pendq entry no longer holds a slot
+		j.mu.Unlock()
+		m.journalAppend(id, seq, Message{Type: "done", State: JobCancelled})
+		m.journalState(id, JobCancelled, "", fin)
+		return nil
 	case j.state == JobRunning && j.cancel != nil:
 		j.cancel()
 	}
@@ -296,7 +411,9 @@ func (m *Manager) Cancel(id string) error {
 }
 
 // Close stops accepting submissions, cancels running jobs, and waits
-// for the workers to exit.
+// for the workers to exit. Workers drain jobs still queued (each
+// finishes cancelled under the closed context). The Store, if any, is
+// not closed — the caller owns its lifecycle.
 func (m *Manager) Close() {
 	m.mu.Lock()
 	if m.closed {
@@ -305,7 +422,7 @@ func (m *Manager) Close() {
 		return
 	}
 	m.closed = true
-	close(m.queue)
+	m.cond.Broadcast()
 	m.mu.Unlock()
 	m.cancelAll()
 	m.wg.Wait()
@@ -313,7 +430,19 @@ func (m *Manager) Close() {
 
 func (m *Manager) worker() {
 	defer m.wg.Done()
-	for j := range m.queue {
+	for {
+		m.mu.Lock()
+		for len(m.pendq) == 0 && !m.closed {
+			m.cond.Wait()
+		}
+		if len(m.pendq) == 0 {
+			m.mu.Unlock()
+			return
+		}
+		j := m.pendq[0]
+		m.pendq[0] = nil
+		m.pendq = m.pendq[1:]
+		m.mu.Unlock()
 		m.run(j)
 	}
 }
@@ -324,7 +453,7 @@ func (m *Manager) run(j *Job) {
 	defer cancel()
 
 	j.mu.Lock()
-	if j.state != JobQueued { // cancelled while queued
+	if j.state != JobQueued { // cancelled while queued: slot already released
 		j.mu.Unlock()
 		return
 	}
@@ -333,12 +462,15 @@ func (m *Manager) run(j *Job) {
 	j.cancel = cancel
 	close(j.updated)
 	j.updated = make(chan struct{})
+	started := j.started
 	j.mu.Unlock()
+	m.npending.Add(-1)
+	m.journalState(j.id, JobRunning, "", started)
 	m.running.Add(1)
 	defer m.running.Add(-1)
 
 	pcfg := j.spec.Pipeline
-	pcfg.Emit = j.append
+	pcfg.Emit = func(msg Message) { m.append(j, msg) }
 	pcfg.Telemetry = &m.tel
 	pipe, err := NewPipeline(pcfg)
 	if err != nil {
@@ -366,31 +498,65 @@ func (m *Manager) run(j *Job) {
 	m.finish(j, res, err)
 }
 
-// finish records the job's terminal state and appends the final stream
-// message.
-func (m *Manager) finish(j *Job, res *core.CampaignResult, err error) {
+// append adds a stream message to the job and journals it.
+func (m *Manager) append(j *Job, msg Message) {
 	j.mu.Lock()
-	defer func() {
-		close(j.updated)
-		j.updated = make(chan struct{})
-		j.mu.Unlock()
-	}()
-	j.finished = time.Now()
+	seq := j.appendLocked(msg)
+	j.mu.Unlock()
+	m.journalAppend(j.id, seq, msg)
+}
+
+// finish records the job's terminal state, appends the final stream
+// message, and journals both.
+func (m *Manager) finish(j *Job, res *core.CampaignResult, err error) {
+	now := time.Now()
+	var msg Message
+	j.mu.Lock()
+	j.finished = now
 	switch {
 	case err == nil:
 		j.state = JobDone
 		j.result = res
-		j.log = append(j.log, Message{Type: "done", State: JobDone})
+		msg = Message{Type: "done", State: JobDone}
 		m.done.Add(1)
 	case errors.Is(err, context.Canceled):
 		j.state = JobCancelled
-		j.log = append(j.log, Message{Type: "done", State: JobCancelled})
+		msg = Message{Type: "done", State: JobCancelled}
 		m.cancelled.Add(1)
 	default:
 		j.state = JobFailed
 		j.err = err
-		j.log = append(j.log, Message{Type: "done", State: JobFailed, Error: err.Error()})
+		msg = Message{Type: "done", State: JobFailed, Error: err.Error()}
 		m.failed.Add(1)
+	}
+	seq := j.appendLocked(msg)
+	state, errText := j.state, ""
+	if j.err != nil {
+		errText = j.err.Error()
+	}
+	j.mu.Unlock()
+	m.journalAppend(j.id, seq, msg)
+	m.journalState(j.id, state, errText, now)
+}
+
+// journalAppend and journalState forward records to the Store, counting
+// rather than propagating failures: a broken journal degrades
+// durability, never the job itself.
+func (m *Manager) journalAppend(id string, seq int, msg Message) {
+	if m.store == nil {
+		return
+	}
+	if err := m.store.Append(id, seq, msg); err != nil {
+		m.storeErrs.Add(1)
+	}
+}
+
+func (m *Manager) journalState(id string, state JobState, errText string, at time.Time) {
+	if m.store == nil {
+		return
+	}
+	if err := m.store.State(id, state, errText, at); err != nil {
+		m.storeErrs.Add(1)
 	}
 }
 
@@ -398,7 +564,7 @@ func (m *Manager) finish(j *Job, res *core.CampaignResult, err error) {
 // cmd/hpas-serve's /v1/metrics.
 type Stats struct {
 	Workers          int     `json:"workers"`
-	QueueDepth       int     `json:"queue_depth"`
+	QueueDepth       int     `json:"queue_depth"` // queued jobs holding a slot (cancelled excluded)
 	QueueCapacity    int     `json:"queue_capacity"`
 	JobsSubmitted    int     `json:"jobs_submitted"`
 	JobsRunning      int64   `json:"jobs_running"`
@@ -411,6 +577,7 @@ type Stats struct {
 	WindowsPerSec    float64 `json:"windows_per_sec"`
 	AvgExtractMicros float64 `json:"avg_extract_micros"`
 	AvgPredictMicros float64 `json:"avg_predict_micros"`
+	JournalErrors    int64   `json:"journal_errors"`
 	UptimeSeconds    float64 `json:"uptime_seconds"`
 }
 
@@ -423,7 +590,7 @@ func (m *Manager) Stats() Stats {
 	up := time.Since(m.started).Seconds()
 	s := Stats{
 		Workers:          m.cfg.Workers,
-		QueueDepth:       len(m.queue),
+		QueueDepth:       int(m.npending.Load()),
 		QueueCapacity:    m.cfg.Queue,
 		JobsSubmitted:    submitted,
 		JobsRunning:      m.running.Load(),
@@ -433,6 +600,7 @@ func (m *Manager) Stats() Stats {
 		SamplesObserved:  m.tel.Samples.Load(),
 		WindowsProcessed: windows,
 		EventsEmitted:    m.tel.Events.Load(),
+		JournalErrors:    m.storeErrs.Load(),
 		UptimeSeconds:    up,
 	}
 	if up > 0 {

@@ -256,3 +256,127 @@ func TestManagerSubmitValidation(t *testing.T) {
 		t.Errorf("submit after close error = %v, want ErrClosed", err)
 	}
 }
+
+// Regression: a job cancelled while queued must release its queue slot
+// immediately — before this fix it sat in the queue channel until a
+// worker drained it, so QueueDepth overcounted and a fresh submission
+// hit ErrQueueFull even though no live job held the slot.
+func TestManagerCancelQueuedReleasesSlot(t *testing.T) {
+	m := NewManager(Config{Workers: 1, Queue: 1})
+	defer m.Close()
+
+	long, err := m.Submit(hogSpec(1, 200000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if st, _ := long.State(); st == JobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("long job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	queued, err := m.Submit(hogSpec(2, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats().QueueDepth; got != 1 {
+		t.Fatalf("queue depth with one queued job = %d, want 1", got)
+	}
+	if _, err := m.Submit(hogSpec(3, 30)); err != ErrQueueFull {
+		t.Fatalf("submit on full queue error = %v, want ErrQueueFull", err)
+	}
+
+	if err := m.Cancel(queued.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats().QueueDepth; got != 0 {
+		t.Errorf("queue depth after cancelling queued job = %d, want 0", got)
+	}
+	// The slot is free again even though the worker never touched the
+	// cancelled job (it is still busy with the long one).
+	replacement, err := m.Submit(hogSpec(4, 30))
+	if err != nil {
+		t.Fatalf("submit after queued-cancel = %v, want accepted", err)
+	}
+
+	// Unblock the worker; it must skip the cancelled job without
+	// disturbing the accounting, then run the replacement.
+	if err := m.Cancel(long.ID()); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, long)
+	drain(t, replacement)
+	if st, _ := replacement.State(); st != JobDone {
+		t.Fatalf("replacement state = %s, want done", st)
+	}
+	if got := m.Stats().QueueDepth; got != 0 {
+		t.Errorf("final queue depth = %d, want 0", got)
+	}
+	if st := m.Stats(); st.JobsCancelled != 2 || st.JobsDone != 1 {
+		t.Errorf("stats = %+v, want 2 cancelled / 1 done", st)
+	}
+}
+
+// Regression: Events used to rescan the whole log and dereference
+// m.Event without a nil check, so a log holding a malformed "event"
+// message (e.g. from a hand-edited or damaged journal) panicked the
+// handler. The index is now built incrementally with a nil guard.
+func TestEventsSkipsNilEventMessages(t *testing.T) {
+	m := NewManager(Config{Workers: 1})
+	defer m.Close()
+
+	ev := Event{Node: 0, Class: "hog", Start: 10, End: 20, Windows: 2, Confidence: 1}
+	err := m.Reopen([]RecoveredJob{{
+		ID:    "j0007",
+		State: JobDone,
+		Log: []Message{
+			{Type: "window", Window: &Window{Node: 0, From: 0, To: 5, Class: "none"}},
+			{Type: "event"}, // malformed: no payload
+			{Type: "event", Event: &ev},
+			{Type: "done", State: JobDone},
+		},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, ok := m.Get("j0007")
+	if !ok {
+		t.Fatal("recovered job missing")
+	}
+	evs := j.Events() // must not panic
+	if len(evs) != 1 || evs[0] != ev {
+		t.Fatalf("events = %+v, want exactly the well-formed one", evs)
+	}
+}
+
+// Live jobs maintain the event index incrementally: Events observed
+// mid-run match the event messages in the log so far.
+func TestEventsIncrementalMatchesLog(t *testing.T) {
+	m := NewManager(Config{Workers: 1})
+	defer m.Close()
+	j, err := m.Submit(hogSpec(9, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(t, j)
+	var fromLog []Event
+	for _, msg := range j.Messages() {
+		if msg.Type == "event" && msg.Event != nil {
+			fromLog = append(fromLog, *msg.Event)
+		}
+	}
+	evs := j.Events()
+	if len(evs) != len(fromLog) {
+		t.Fatalf("events = %d, log has %d", len(evs), len(fromLog))
+	}
+	for i := range evs {
+		if evs[i] != fromLog[i] {
+			t.Errorf("event %d = %+v, log has %+v", i, evs[i], fromLog[i])
+		}
+	}
+}

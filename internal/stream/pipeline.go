@@ -13,8 +13,10 @@ import (
 type PipelineConfig struct {
 	// Detector is the pre-trained classifier (see diagnose.Train). Its
 	// Window is the default observation window; its NFeatures guards
-	// against metric-set drift between training and serving.
-	Detector *diagnose.Detector
+	// against metric-set drift between training and serving. Excluded
+	// from JSON (the model is not serializable); a journaled spec keeps
+	// only the scalar pipeline knobs.
+	Detector *diagnose.Detector `json:"-"`
 	// Nodes are the node IDs to watch (default: node 0 only).
 	Nodes []int
 	// Window is the classification window in seconds (default:
@@ -28,9 +30,9 @@ type PipelineConfig struct {
 	Normal string
 	// Emit receives every stream message in order. It runs on the
 	// simulation goroutine of the job's run.
-	Emit func(Message)
+	Emit func(Message) `json:"-"`
 	// Telemetry, when non-nil, accumulates self-metrics.
-	Telemetry *Telemetry
+	Telemetry *Telemetry `json:"-"`
 }
 
 // voter is implemented by classifiers that expose per-class vote shares

@@ -15,6 +15,10 @@
 // Every job runs on its own seeded RNG chain (derived from its
 // RunConfig seed), so results are deterministic per job regardless of
 // how many jobs share the worker pool.
+//
+// Job history is durable when the manager is given a Store (see
+// internal/stream/journal for the on-disk journal): finished jobs
+// survive restarts with byte-identical stream replay.
 package stream
 
 // Window is one classified observation window of one node's stream.
