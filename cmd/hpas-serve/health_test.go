@@ -1,0 +1,178 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"hpas"
+	"hpas/internal/faults"
+)
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestServeHealthAndReadyEndpoints(t *testing.T) {
+	mgr := hpas.NewStreamManager(hpas.StreamConfig{Workers: 2})
+	ts := httptest.NewServer(newServer(mgr, detector(t)).routes())
+	t.Cleanup(func() { ts.Close(); mgr.Close() })
+
+	var health struct {
+		Status  string `json:"status"`
+		Workers int    `json:"workers"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/healthz", &health); code != http.StatusOK {
+		t.Fatalf("healthz status %d, want 200", code)
+	}
+	if health.Status != "ok" || health.Workers != 2 {
+		t.Errorf("healthz = %+v, want ok with 2 workers", health)
+	}
+	// The legacy alias answers too.
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != http.StatusOK {
+		t.Errorf("legacy /healthz status %d, want 200", code)
+	}
+
+	var ready struct {
+		Status  string `json:"status"`
+		Journal string `json:"journal"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/readyz", &ready); code != http.StatusOK {
+		t.Fatalf("readyz status %d, want 200", code)
+	}
+	if ready.Status != "ok" || ready.Journal != "none" {
+		t.Errorf("readyz = %+v, want ok with no journal", ready)
+	}
+
+	// A closed manager flips readiness to 503/closing; liveness stays
+	// green — the process is fine, it just must not receive traffic.
+	mgr.Close()
+	if code := getJSON(t, ts.URL+"/v1/readyz", &ready); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz after close status %d, want 503", code)
+	}
+	if ready.Status != "closing" {
+		t.Errorf("readyz status after close = %q, want closing", ready.Status)
+	}
+	if code := getJSON(t, ts.URL+"/v1/healthz", nil); code != http.StatusOK {
+		t.Errorf("healthz after close status %d, want 200", code)
+	}
+}
+
+// A journal that dies under the running service must not take the
+// service with it: jobs keep completing, readyz stays 200 but reports
+// the degraded journal, and /v1/metrics carries the breaker counters.
+func TestServeSurvivesDegradedJournal(t *testing.T) {
+	inj := faults.New(1)
+	for _, op := range []faults.Op{faults.OpCreate, faults.OpAppend, faults.OpState, faults.OpSync} {
+		inj.Set(op, faults.Plan{FailFrom: 1})
+	}
+	store := hpas.NewResilientStreamStore(faults.NewStore(nil, inj), hpas.StreamResilienceOptions{
+		MaxRetries: -1, // no retries: the disk is dead, fail fast
+		TripAfter:  1,
+		Logf:       t.Logf,
+	})
+	mgr := hpas.NewStreamManager(hpas.StreamConfig{Workers: 2, Store: store})
+	ts := httptest.NewServer(newServer(mgr, detector(t)).routes())
+	t.Cleanup(func() { ts.Close(); mgr.Close(); store.Close() })
+
+	id := submit(t, ts, `{"seed":3,"duration":20,"window":10}`)
+	lines := streamLines(t, ts, id)
+	var last hpas.StreamMessage
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Type != "done" || last.State != hpas.StreamJobDone {
+		t.Fatalf("job on dead journal ended %+v, want done", last)
+	}
+
+	var ready struct {
+		Status  string `json:"status"`
+		Journal string `json:"journal"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/readyz", &ready); code != http.StatusOK {
+		t.Fatalf("readyz with degraded journal status %d, want 200 (still serving)", code)
+	}
+	if ready.Status != "ok" || ready.Journal != "degraded" {
+		t.Errorf("readyz = %+v, want ok/degraded", ready)
+	}
+
+	var metrics struct {
+		Service hpas.StreamStats `json:"service"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/metrics", &metrics); code != http.StatusOK {
+		t.Fatalf("metrics status %d", code)
+	}
+	svc := metrics.Service
+	if !svc.JournalAttached || !svc.JournalDegraded {
+		t.Errorf("metrics journal flags = attached %v degraded %v, want true/true", svc.JournalAttached, svc.JournalDegraded)
+	}
+	if svc.JournalErrors == 0 || svc.JournalConsecutiveFailures == 0 {
+		t.Errorf("metrics lost the failure counters: %+v", svc)
+	}
+	if svc.JobsDone != 1 {
+		t.Errorf("jobs done = %d, want 1 — the journal dragged the job down", svc.JobsDone)
+	}
+}
+
+// Startup-time journal trouble degrades instead of aborting: an
+// unopenable journal leaves the service in-memory, an unrecoverable one
+// keeps journaling new jobs — both with a loud warning, neither fatal.
+func TestOpenJournalDegradesOnCorruptState(t *testing.T) {
+	var warnings []string
+	logf := func(format string, args ...any) { warnings = append(warnings, format) }
+
+	// Case 1: the journal path exists and is a file, so the directory
+	// cannot be created at all.
+	blocked := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(blocked, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	store, recovered := openJournal(blocked, logf)
+	if store != nil || recovered != nil {
+		t.Errorf("unopenable journal returned store %v / recovered %v, want nil/nil", store, recovered)
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "cannot open journal") {
+		t.Fatalf("warnings after unopenable journal = %q", warnings)
+	}
+
+	// Case 2: the directory opens but recovery fails (a job file that
+	// cannot be read — here a self-referential symlink). The journal is
+	// kept for new jobs; only the history is dropped.
+	warnings = nil
+	dir := t.TempDir()
+	loop := filepath.Join(dir, "jloop.journal")
+	if err := os.Symlink(loop, loop); err != nil {
+		t.Skipf("cannot create symlink: %v", err)
+	}
+	store, recovered = openJournal(dir, logf)
+	if store == nil {
+		t.Fatal("recoverable-open journal returned nil store; new jobs lost durability")
+	}
+	defer store.Close()
+	if recovered != nil {
+		t.Errorf("recovered %v from unreadable history, want none", recovered)
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "recovering journal") {
+		t.Fatalf("warnings after failed recovery = %q", warnings)
+	}
+	// The surviving journal accepts new work.
+	if err := store.Create("j0001", time.Now(), hpas.StreamJobSpec{}); err != nil {
+		t.Errorf("create on surviving journal: %v", err)
+	}
+}

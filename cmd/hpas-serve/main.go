@@ -13,10 +13,16 @@
 //	GET    /v1/jobs/{id}/stream live NDJSON (or SSE) message stream
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/metrics          service self-telemetry
+//	GET    /v1/healthz          liveness probe
+//	GET    /v1/readyz           readiness probe (journal ok/degraded)
 //
 // With -data-dir, jobs are journaled to disk (internal/stream/journal)
 // and recovered on restart: finished jobs keep their terminal state,
-// events, and a byte-identical replayable stream.
+// events, and a byte-identical replayable stream. The journal sits
+// behind a resilience layer: transient write errors are retried, a
+// persistently failing journal trips into degraded (in-memory-only)
+// mode instead of failing jobs, and a corrupt journal at startup is a
+// loud warning, not an outage.
 //
 // See the README's "Serving the simulator" section for a curl
 // walkthrough.
@@ -43,6 +49,8 @@ func main() {
 	workers := flag.Int("workers", 2, "concurrent simulation jobs")
 	queue := flag.Int("queue", 16, "pending-job queue capacity")
 	dataDir := flag.String("data-dir", "", "journal directory for durable job history (empty = in-memory only)")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown budget: drain in-flight jobs, then cancel what remains")
+	followLimit := flag.Int("follow-buffer", 0, "per-follower backpressure bound in messages before drop-oldest (0 = default 256, negative = unbounded)")
 	trainApps := flag.String("train-apps", "CoMD", "comma-separated Table 2 apps for detector training")
 	trainClasses := flag.String("train-classes", "", "comma-separated diagnosis classes (default: all six)")
 	trainReps := flag.Int("train-reps", 3, "training runs per (app, class) pair")
@@ -70,25 +78,18 @@ func main() {
 	// recovered before the listener starts: finished jobs come back in
 	// their terminal state with replayable streams, and jobs the previous
 	// process was killed in the middle of are marked failed-by-restart.
-	scfg := hpas.StreamConfig{Workers: *workers, Queue: *queue}
-	var jn *hpas.StreamJournal
-	if *dataDir != "" {
-		jn, err = hpas.OpenStreamJournal(*dataDir)
-		if err != nil {
-			log.Fatalf("hpas-serve: opening journal: %v", err)
-		}
-		scfg.Store = jn
-	}
+	// Journal trouble at startup degrades instead of aborting — one
+	// corrupt file must not turn into a full outage.
+	scfg := hpas.StreamConfig{Workers: *workers, Queue: *queue, FollowLimit: *followLimit}
+	store, recovered := openJournal(*dataDir, log.Printf)
+	scfg.Store = store
 	mgr := hpas.NewStreamManager(scfg)
-	if jn != nil {
-		recovered, err := jn.Recover()
-		if err != nil {
-			log.Fatalf("hpas-serve: recovering journal: %v", err)
-		}
+	if store != nil {
 		if err := mgr.Reopen(recovered); err != nil {
-			log.Fatalf("hpas-serve: reopening jobs: %v", err)
+			log.Printf("hpas-serve: WARNING: reopening recovered jobs: %v; starting with empty history", err)
+		} else if len(recovered) > 0 {
+			log.Printf("hpas-serve: recovered %d jobs from %s", len(recovered), *dataDir)
 		}
-		log.Printf("hpas-serve: recovered %d jobs from %s", len(recovered), *dataDir)
 	}
 	srv := &http.Server{
 		Addr:              *addr,
@@ -104,15 +105,21 @@ func main() {
 
 	select {
 	case <-ctx.Done():
-		log.Printf("hpas-serve: shutting down...")
-		shctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		// Drain-then-cancel: stop the listener, give in-flight jobs the
+		// remainder of the shutdown budget to finish cleanly, and only
+		// then cancel whatever is still running.
+		log.Printf("hpas-serve: shutting down (budget %s)...", *shutdownTimeout)
+		shctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 		defer cancel()
 		if err := srv.Shutdown(shctx); err != nil {
 			log.Printf("hpas-serve: shutdown: %v", err)
 		}
-		mgr.Close() // cancels running jobs and drains the pool
-		if jn != nil {
-			if err := jn.Close(); err != nil {
+		if err := mgr.Drain(shctx); err != nil {
+			log.Printf("hpas-serve: shutdown budget exhausted; cancelling remaining jobs")
+		}
+		mgr.Close() // cancels whatever the drain left and releases the pool
+		if store != nil {
+			if err := store.Close(); err != nil {
 				log.Printf("hpas-serve: closing journal: %v", err)
 			}
 		}
@@ -121,6 +128,30 @@ func main() {
 			log.Fatalf("hpas-serve: %v", err)
 		}
 	}
+}
+
+// openJournal opens dir's journal and recovers prior job history,
+// degrading instead of aborting on failure: an unopenable journal
+// leaves the service fully in-memory, an unrecoverable one keeps the
+// journal for new jobs but serves no history. Either path logs a loud
+// warning. The returned store is wrapped in the resilience layer
+// (retry, circuit breaker, re-attachment probe); an empty dir returns
+// a nil store.
+func openJournal(dir string, logf func(string, ...any)) (hpas.StreamStore, []hpas.StreamRecoveredJob) {
+	if dir == "" {
+		return nil, nil
+	}
+	jn, err := hpas.OpenStreamJournal(dir)
+	if err != nil {
+		logf("hpas-serve: WARNING: cannot open journal in %s: %v; running in-memory (job history will not survive restarts)", dir, err)
+		return nil, nil
+	}
+	recovered, err := jn.Recover()
+	if err != nil {
+		logf("hpas-serve: WARNING: recovering journal in %s: %v; continuing without recovered history", dir, err)
+		recovered = nil
+	}
+	return hpas.NewResilientStreamStore(jn, hpas.StreamResilienceOptions{Logf: logf}), recovered
 }
 
 type trainConfig struct {

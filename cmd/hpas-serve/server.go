@@ -36,10 +36,50 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", withDeadline(10*time.Second, s.handleCancel))
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /v1/metrics", withDeadline(10*time.Second, s.handleMetrics))
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	mux.HandleFunc("GET /v1/healthz", withDeadline(5*time.Second, s.handleHealthz))
+	mux.HandleFunc("GET /v1/readyz", withDeadline(5*time.Second, s.handleReadyz))
+	mux.HandleFunc("GET /healthz", withDeadline(5*time.Second, s.handleHealthz)) // legacy alias
 	return mux
+}
+
+// handleHealthz is the liveness probe: the process is up and the
+// worker pool exists. It deliberately checks nothing that can degrade
+// — degraded is readyz's business; liveness failures mean "restart me".
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.mgr.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"workers":        st.Workers,
+		"uptime_seconds": st.UptimeSeconds,
+	})
+}
+
+// handleReadyz is the readiness probe. It reports 503 only when the
+// manager no longer accepts jobs (shutdown); a degraded journal keeps
+// the endpoint green — the service still serves, in-memory — but is
+// surfaced in the body so operators and tests can see it.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	st := s.mgr.Stats()
+	journal := "none"
+	switch {
+	case !st.JournalAttached:
+	case st.JournalDegraded:
+		journal = "degraded"
+	default:
+		journal = "ok"
+	}
+	code, status := http.StatusOK, "ok"
+	if !s.mgr.Ready() {
+		code, status = http.StatusServiceUnavailable, "closing"
+	}
+	writeJSON(w, code, map[string]any{
+		"status":           status,
+		"journal":          journal,
+		"workers":          st.Workers,
+		"jobs_running":     st.JobsRunning,
+		"queue_depth":      st.QueueDepth,
+		"panics_recovered": st.PanicsRecovered,
+	})
 }
 
 // withDeadline bounds a handler's request context.
@@ -290,6 +330,11 @@ func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
 // reconnecting client's Last-Event-ID header resumes the replay just
 // past that index instead of from scratch — the same indices the
 // journal persists, so resumption works across a service restart too.
+//
+// A consumer that falls more than the server's follow limit behind a
+// live job receives a "gap" message ({"type":"gap","dropped":N})
+// instead of unbounded buffering; the full stream remains replayable
+// once the job finishes.
 func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.mgr.Get(r.PathValue("id"))
 	if !ok {
@@ -312,18 +357,13 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 
-	seq := -1
-	for msg := range j.Follow(r.Context()) {
-		seq++
-		if seq < from {
-			continue
-		}
+	for msg := range j.FollowFrom(r.Context(), from) {
 		b, err := json.Marshal(msg)
 		if err != nil {
 			return
 		}
 		if sse {
-			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", seq, msg.Type, b)
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", msg.Seq, msg.Type, b)
 		} else {
 			w.Write(b)
 			w.Write([]byte("\n"))

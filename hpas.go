@@ -297,6 +297,15 @@ type (
 	StreamJournal = journal.Journal
 	// StreamJournalOptions tunes a StreamJournal (fsync batching).
 	StreamJournalOptions = journal.Options
+	// StreamResilientStore wraps a StreamStore with retry, a circuit
+	// breaker that degrades to in-memory-only mode, and a background
+	// re-attachment probe.
+	StreamResilientStore = stream.ResilientStore
+	// StreamResilienceOptions tunes NewResilientStreamStore.
+	StreamResilienceOptions = stream.ResilienceOptions
+	// StreamStoreHealth is a resilient store's self-report (degraded
+	// flag, consecutive failures, retries, dropped writes).
+	StreamStoreHealth = stream.StoreHealth
 )
 
 // Job lifecycle states: queued → running → done | failed | cancelled.
@@ -327,6 +336,15 @@ func NewStreamManager(cfg StreamConfig) *StreamManager { return stream.NewManage
 // StreamConfig.Store and feed Recover's result to StreamManager.Reopen.
 func OpenStreamJournal(dir string) (*StreamJournal, error) {
 	return journal.Open(dir, journal.Options{})
+}
+
+// NewResilientStreamStore wraps a StreamStore so a flaky or dead
+// journal degrades durability instead of service: transient errors are
+// retried with backoff, persistent failure trips a circuit breaker
+// into in-memory-only mode, and a background probe re-attaches the
+// store once it recovers. Closing the wrapper closes the inner store.
+func NewResilientStreamStore(inner StreamStore, opts StreamResilienceOptions) *StreamResilientStore {
+	return stream.NewResilientStore(inner, opts)
 }
 
 // Variability measurement (the paper's Section 2 motivation).

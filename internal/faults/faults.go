@@ -1,0 +1,171 @@
+// Package faults is a deterministic, seedable fault injector for
+// exercising the serving stack's resilience paths — the FINJ idea
+// (faults injected reproducibly, on demand) applied to HPAS's own
+// service layer instead of the simulated cluster.
+//
+// An Injector holds per-operation fault plans: fail the first N calls
+// (a transient burst), fail permanently from the K-th call on (an
+// ENOSPC-style dead disk), fail each call with a seeded probability,
+// or add fixed latency (a slow disk). Code under test fires the
+// injector at its fault points — faults.Store does this for every
+// stream.Store method — and tests script the plans. The same seed
+// always yields the same fault sequence, so every resilience test is
+// a regression test rather than a coin flip.
+//
+// The package also ships the two file-level corruptions the journal's
+// recovery path must survive: Tear (a record cut mid-byte by a crash)
+// and ShortWrite (a record written without its trailing newline).
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the default error returned on an injected failure.
+var ErrInjected = errors.New("faults: injected failure")
+
+// Op names one fault point (e.g. OpAppend for Store.Append). Any
+// string works; the constants in store.go cover the stream.Store
+// surface.
+type Op string
+
+// Plan scripts one operation's faults. Checks are applied in order:
+// FailFirst, then FailFrom, then Rate; Delay applies to every call,
+// injected or not.
+type Plan struct {
+	// FailFirst fails calls 1..FailFirst — a transient burst that a
+	// retry loop should ride out.
+	FailFirst int
+	// FailFrom, when positive, fails every call numbered >= FailFrom
+	// (1-based) — a permanent, ENOSPC-style failure that should trip a
+	// circuit breaker rather than be retried forever.
+	FailFrom int
+	// Rate fails each remaining call with this probability, drawn from
+	// the injector's seeded RNG (deterministic per seed).
+	Rate float64
+	// Err is the error returned on injection (default ErrInjected).
+	Err error
+	// Delay is added latency on every call, modelling a slow device.
+	Delay time.Duration
+}
+
+// Injector is a set of per-operation fault plans with call accounting.
+// It is safe for concurrent use; determinism across goroutines holds
+// whenever each op is fired from one goroutine (the common case — the
+// journal is written from the job's worker goroutine).
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	plans map[Op]Plan
+	calls map[Op]int
+	hits  map[Op]int
+}
+
+// New returns an injector whose Rate draws are seeded with seed.
+func New(seed uint64) *Injector {
+	return &Injector{
+		rng:   rand.New(rand.NewSource(int64(seed))),
+		plans: make(map[Op]Plan),
+		calls: make(map[Op]int),
+		hits:  make(map[Op]int),
+	}
+}
+
+// Set installs (or replaces) the plan for op. The op's call counter
+// keeps running — a replacement plan's FailFirst/FailFrom are relative
+// to the op's lifetime call count, so tests that want a fresh count
+// should use distinct ops.
+func (in *Injector) Set(op Op, p Plan) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.plans[op] = p
+}
+
+// Clear removes op's plan; subsequent calls pass through unharmed.
+func (in *Injector) Clear(op Op) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	delete(in.plans, op)
+}
+
+// Fire records one call of op and returns the injected error, if the
+// op's plan says this call fails. This is the generic hook: place it
+// at any fault point.
+func (in *Injector) Fire(op Op) error {
+	in.mu.Lock()
+	in.calls[op]++
+	n := in.calls[op]
+	p, ok := in.plans[op]
+	fail := false
+	if ok {
+		switch {
+		case n <= p.FailFirst:
+			fail = true
+		case p.FailFrom > 0 && n >= p.FailFrom:
+			fail = true
+		case p.Rate > 0:
+			fail = in.rng.Float64() < p.Rate
+		}
+		if fail {
+			in.hits[op]++
+		}
+	}
+	in.mu.Unlock()
+	if p.Delay > 0 {
+		time.Sleep(p.Delay)
+	}
+	if !fail {
+		return nil
+	}
+	if p.Err != nil {
+		return p.Err
+	}
+	return fmt.Errorf("%w (%s call %d)", ErrInjected, op, n)
+}
+
+// Calls returns how many times op has fired.
+func (in *Injector) Calls(op Op) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.calls[op]
+}
+
+// Injected returns how many of op's calls failed.
+func (in *Injector) Injected(op Op) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.hits[op]
+}
+
+// Tear truncates the last n bytes of the file at path — the on-disk
+// signature of a record cut mid-byte by a crash during write.
+func Tear(path string, n int64) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	size := fi.Size() - n
+	if size < 0 {
+		size = 0
+	}
+	return os.Truncate(path, size)
+}
+
+// ShortWrite appends junk to the file at path without a trailing
+// newline — a record whose write was cut short before completion.
+func ShortWrite(path string, junk []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, werr := f.Write(junk); werr != nil {
+		f.Close()
+		return werr
+	}
+	return f.Close()
+}

@@ -1,0 +1,167 @@
+package faults
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hpas/internal/stream"
+)
+
+func TestFailFirstIsTransient(t *testing.T) {
+	in := New(1)
+	in.Set("op", Plan{FailFirst: 2})
+	for i := 1; i <= 2; i++ {
+		if err := in.Fire("op"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("call %d: err = %v, want ErrInjected", i, err)
+		}
+	}
+	for i := 3; i <= 5; i++ {
+		if err := in.Fire("op"); err != nil {
+			t.Fatalf("call %d after burst: err = %v, want nil", i, err)
+		}
+	}
+	if in.Calls("op") != 5 || in.Injected("op") != 2 {
+		t.Errorf("calls/injected = %d/%d, want 5/2", in.Calls("op"), in.Injected("op"))
+	}
+}
+
+func TestFailFromIsPermanent(t *testing.T) {
+	in := New(1)
+	sentinel := errors.New("enospc")
+	in.Set("op", Plan{FailFrom: 3, Err: sentinel})
+	for i := 1; i <= 2; i++ {
+		if err := in.Fire("op"); err != nil {
+			t.Fatalf("call %d: err = %v, want nil", i, err)
+		}
+	}
+	for i := 3; i <= 10; i++ {
+		if err := in.Fire("op"); !errors.Is(err, sentinel) {
+			t.Fatalf("call %d: err = %v, want the permanent sentinel", i, err)
+		}
+	}
+}
+
+// Equal seeds must give equal rate-based fault sequences — that is the
+// whole point of a deterministic injector.
+func TestRateIsDeterministicPerSeed(t *testing.T) {
+	seq := func(seed uint64) []bool {
+		in := New(seed)
+		in.Set("op", Plan{Rate: 0.3})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = in.Fire("op") != nil
+		}
+		return out
+	}
+	a, b, c := seq(7), seq(7), seq(8)
+	nfail := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+		if a[i] {
+			nfail++
+		}
+	}
+	if nfail == 0 || nfail == len(a) {
+		t.Errorf("rate 0.3 injected %d/%d failures, want a proper mix", nfail, len(a))
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical fault sequences")
+	}
+}
+
+func TestDelayAddsLatency(t *testing.T) {
+	in := New(1)
+	in.Set("op", Plan{Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if err := in.Fire("op"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Errorf("call took %s, want >= 20ms of injected latency", d)
+	}
+}
+
+func TestClearRestoresPassThrough(t *testing.T) {
+	in := New(1)
+	in.Set("op", Plan{FailFrom: 1})
+	if err := in.Fire("op"); err == nil {
+		t.Fatal("permanent plan did not inject")
+	}
+	in.Clear("op")
+	if err := in.Fire("op"); err != nil {
+		t.Fatalf("cleared op still injects: %v", err)
+	}
+}
+
+func TestTearAndShortWrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	if err := os.WriteFile(path, []byte("complete record\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ShortWrite(path, []byte(`{"k":"msg","partial`)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "complete record\n"+`{"k":"msg","partial` {
+		t.Fatalf("after ShortWrite: %q", data)
+	}
+	if err := Tear(path, int64(len(`{"k":"msg","partial`))); err != nil {
+		t.Fatal(err)
+	}
+	data, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "complete record\n" {
+		t.Fatalf("after Tear: %q", data)
+	}
+	// Tearing more bytes than the file holds empties it, not errors.
+	if err := Tear(path, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if fi, _ := os.Stat(path); fi.Size() != 0 {
+		t.Errorf("over-tear left %d bytes", fi.Size())
+	}
+}
+
+// The wrapper must fire one op per Store method and stay usable with a
+// nil inner store.
+func TestStoreWrapperFiresOps(t *testing.T) {
+	in := New(1)
+	s := NewStore(nil, in)
+	if err := s.Create("j0001", time.Now(), stream.JobSpec{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("j0001", 0, stream.Message{Type: "done"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.State("j0001", stream.JobDone, "", time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range []Op{OpCreate, OpAppend, OpState, OpSync, OpClose} {
+		if in.Calls(op) != 1 {
+			t.Errorf("op %s fired %d times, want 1", op, in.Calls(op))
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package faults
+
+import (
+	"time"
+
+	"hpas/internal/stream"
+)
+
+// Ops fired by Store, one per stream.Store method plus the Sync health
+// probe used by stream.ResilientStore.
+const (
+	OpCreate Op = "create"
+	OpAppend Op = "append"
+	OpState  Op = "state"
+	OpSync   Op = "sync"
+	OpClose  Op = "close"
+)
+
+// Store injects faults in front of a stream.Store: each method fires
+// the corresponding Op on Inj and, if no fault is injected, delegates
+// to Inner. A nil Inner makes every surviving call a successful no-op,
+// so pure fault-path tests need no backing store.
+type Store struct {
+	Inner stream.Store
+	Inj   *Injector
+}
+
+// NewStore wraps inner (which may be nil) with the injector.
+func NewStore(inner stream.Store, inj *Injector) *Store {
+	return &Store{Inner: inner, Inj: inj}
+}
+
+// Create implements stream.Store.
+func (s *Store) Create(id string, created time.Time, spec stream.JobSpec) error {
+	if err := s.Inj.Fire(OpCreate); err != nil {
+		return err
+	}
+	if s.Inner == nil {
+		return nil
+	}
+	return s.Inner.Create(id, created, spec)
+}
+
+// Append implements stream.Store.
+func (s *Store) Append(id string, seq int, msg stream.Message) error {
+	if err := s.Inj.Fire(OpAppend); err != nil {
+		return err
+	}
+	if s.Inner == nil {
+		return nil
+	}
+	return s.Inner.Append(id, seq, msg)
+}
+
+// State implements stream.Store.
+func (s *Store) State(id string, state stream.JobState, errText string, at time.Time) error {
+	if err := s.Inj.Fire(OpState); err != nil {
+		return err
+	}
+	if s.Inner == nil {
+		return nil
+	}
+	return s.Inner.State(id, state, errText, at)
+}
+
+// Sync fires OpSync and forwards to the inner store's Sync when it has
+// one, so a resilient wrapper's health probe sees injected faults too.
+func (s *Store) Sync() error {
+	if err := s.Inj.Fire(OpSync); err != nil {
+		return err
+	}
+	if sy, ok := s.Inner.(interface{ Sync() error }); ok {
+		return sy.Sync()
+	}
+	return nil
+}
+
+// Close implements stream.Store.
+func (s *Store) Close() error {
+	if err := s.Inj.Fire(OpClose); err != nil {
+		return err
+	}
+	if s.Inner == nil {
+		return nil
+	}
+	return s.Inner.Close()
+}

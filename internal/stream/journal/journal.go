@@ -341,6 +341,18 @@ func recoverFile(path, id string) (rj stream.RecoveredJob, ok bool, err error) {
 			return rj, false, fmt.Errorf("journal: truncating torn tail of %s: %w", path, err)
 		}
 	}
+	if ok && rj.Created.IsZero() {
+		// No (or unreadable) spec record — e.g. the spec write was lost
+		// to a faulty disk, or an older build let a fast Cancel journal
+		// ahead of Create. The job's history is still valid; fall back
+		// to the earliest timestamp the log does carry.
+		switch {
+		case !rj.Started.IsZero():
+			rj.Created = rj.Started
+		case !rj.Finished.IsZero():
+			rj.Created = rj.Finished
+		}
+	}
 	return rj, ok, nil
 }
 

@@ -6,12 +6,14 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
 	"hpas/internal/cluster"
 	"hpas/internal/core"
 	"hpas/internal/diagnose"
+	"hpas/internal/faults"
 	"hpas/internal/features"
 	"hpas/internal/ml"
 	"hpas/internal/stream"
@@ -306,5 +308,113 @@ func TestJournalRejectsUnsafeIDs(t *testing.T) {
 		if err := jn.Append(id, 0, stream.Message{Type: "done"}); err == nil {
 			t.Errorf("id %q accepted", id)
 		}
+	}
+}
+
+// A journal file whose spec record never made it to disk (lost Create
+// on a faulty disk, or an old build's Cancel/Create race) must still
+// recover: the history is valid, and Created falls back to the earliest
+// timestamp the log does carry.
+func TestRecoverToleratesMissingSpecRecord(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Now().UTC().Round(time.Millisecond)
+	lines := []string{
+		`{"k":"state","at":"` + now.Format(time.RFC3339Nano) + `","state":"running"}`,
+		`{"k":"msg","seq":0,"msg":{"type":"window","window":{"node":0,"from":0,"to":5,"class":"none","confidence":1}}}`,
+		`{"k":"state","at":"` + now.Add(time.Second).Format(time.RFC3339Nano) + `","state":"cancelled"}`,
+	}
+	path := filepath.Join(dir, "j0002"+suffix)
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A fault-injected torn tail on top: recovery must shed it too.
+	if err := faults.ShortWrite(path, []byte(`{"k":"msg","seq":1,"msg":{"type":"win`)); err != nil {
+		t.Fatal(err)
+	}
+
+	jn, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jn.Close()
+	recovered, err := jn.Recover()
+	if err != nil {
+		t.Fatalf("recover without a spec record failed: %v", err)
+	}
+	if len(recovered) != 1 {
+		t.Fatalf("recovered %d jobs, want 1", len(recovered))
+	}
+	rj := recovered[0]
+	if rj.ID != "j0002" || rj.State != stream.JobCancelled || len(rj.Log) != 1 {
+		t.Fatalf("recovered job = %+v, want cancelled j0002 with 1 message", rj)
+	}
+	if !rj.Created.Equal(now) {
+		t.Errorf("Created = %v, want fallback to Started %v", rj.Created, now)
+	}
+
+	// Terminal records only (no running state): fall through to Finished.
+	fin := filepath.Join(dir, "j0003"+suffix)
+	line := `{"k":"state","at":"` + now.Format(time.RFC3339Nano) + `","state":"cancelled"}` + "\n"
+	if err := os.WriteFile(fin, []byte(line), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recovered, err = jn.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 2 {
+		t.Fatalf("recovered %d jobs, want 2", len(recovered))
+	}
+	if rj := recovered[1]; rj.ID != "j0003" || !rj.Created.Equal(now) {
+		t.Errorf("spec-less terminal job = %+v, want Created = Finished %v", rj, now)
+	}
+}
+
+// faults.Tear reproduces the crash-mid-write signature on a real
+// journal file; recovery must truncate back to the last whole record.
+func TestRecoverAfterInjectedTear(t *testing.T) {
+	dir := t.TempDir()
+	jn, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now().UTC()
+	if err := jn.Create("j0001", now, hogSpec(1, 30)); err != nil {
+		t.Fatal(err)
+	}
+	w := stream.Window{Node: 0, From: 0, To: 5, Class: "none", Confidence: 1}
+	for i := 0; i < 3; i++ {
+		if err := jn.Append("j0001", i, stream.Message{Type: "window", Window: &w}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := jn.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear half of the final record off, as a crash mid-write would.
+	path := filepath.Join(dir, "j0001"+suffix)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := faults.Tear(path, 40); err != nil {
+		t.Fatal(err)
+	}
+
+	jn2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jn2.Close()
+	recovered, err := jn2.Recover()
+	if err != nil {
+		t.Fatalf("recover over injected tear failed: %v", err)
+	}
+	if len(recovered) != 1 || len(recovered[0].Log) != 2 {
+		t.Fatalf("recovered %+v, want j0001 with the 2 whole messages", recovered)
+	}
+	if after, err := os.Stat(path); err != nil || after.Size() >= fi.Size() {
+		t.Errorf("torn record not truncated: %v, %d >= %d", err, after.Size(), fi.Size())
 	}
 }

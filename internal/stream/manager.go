@@ -46,8 +46,10 @@ type JobSpec struct {
 // Job is one tracked submission. All accessors are safe for concurrent
 // use with the worker executing the job.
 type Job struct {
-	id   string
-	spec JobSpec
+	id          string
+	spec        JobSpec
+	followLimit int           // per-follower lag bound (Config.FollowLimit)
+	gaps        *atomic.Int64 // manager's dropped-messages counter
 
 	mu       sync.Mutex
 	state    JobState
@@ -104,50 +106,113 @@ func (j *Job) Events() []Event {
 	return append([]Event(nil), j.events...)
 }
 
-// Follow returns a channel that replays the job's full stream from the
+// DefaultFollowLimit is the per-follower lag bound used when
+// Config.FollowLimit is zero; it also bounds each replay copy, so a
+// follower's memory is O(limit) regardless of log length.
+const DefaultFollowLimit = 256
+
+// Follow returns a channel that replays the job's stream from the
 // beginning and then follows it live. The channel closes once the final
 // "done" message has been delivered, or when ctx is cancelled. Multiple
 // followers may be attached at any point of the job's life, including
 // after completion. Jobs restored from a Store replay byte-identically
 // to the live run they record.
+//
+// Each delivered message carries its log index in Seq. A follower of a
+// live (not yet finished) job that falls more than the manager's
+// FollowLimit behind the log head is skipped forward (drop-oldest) and
+// receives a synthetic "gap" message naming how many messages were
+// dropped, so a slow consumer bounds its lag instead of growing it
+// without limit. Finished jobs always replay in full — there is no
+// producer to fall behind — in bounded chunks.
 func (j *Job) Follow(ctx context.Context) <-chan Message {
+	return j.FollowFrom(ctx, 0)
+}
+
+// FollowFrom is Follow starting at log index from (clamped at 0); it
+// backs resumption — e.g. an SSE client's Last-Event-ID — without
+// replaying and discarding the prefix.
+func (j *Job) FollowFrom(ctx context.Context, from int) <-chan Message {
 	ch := make(chan Message, 16)
+	if from < 0 {
+		from = 0
+	}
 	go func() {
 		defer close(ch)
-		i := 0
+		j.mu.Lock()
+		if from > len(j.log) { // resume index beyond the log: start at head
+			from = len(j.log)
+		}
+		j.mu.Unlock()
+		i := from
 		for {
-			msgs, done, wait := j.snapshot(i)
+			msgs, skipped, done, wait := j.window(i)
+			if skipped > 0 {
+				i += skipped
+				if j.gaps != nil {
+					j.gaps.Add(int64(skipped))
+				}
+				gap := Message{Type: "gap", Dropped: skipped, Seq: i - 1}
+				select {
+				case ch <- gap:
+				case <-ctx.Done():
+					return
+				}
+			}
 			for _, m := range msgs {
+				m.Seq = i
 				select {
 				case ch <- m:
 				case <-ctx.Done():
 					return
 				}
+				i++
 			}
-			i += len(msgs)
 			if done {
 				return
 			}
-			select {
-			case <-wait:
-			case <-ctx.Done():
-				return
+			if len(msgs) == 0 && skipped == 0 {
+				select {
+				case <-wait:
+				case <-ctx.Done():
+					return
+				}
 			}
 		}
 	}()
 	return ch
 }
 
-// snapshot returns the log suffix from index from, whether the stream
-// is complete at that point, and a channel closed on the next change.
-func (j *Job) snapshot(from int) (msgs []Message, done bool, wait chan struct{}) {
+// window returns a bounded slice of the log starting at from: at most
+// the follow limit of messages per call, skipping ahead (drop-oldest)
+// when a live job's head has outrun the follower by more than the
+// limit. done reports stream completion at the new cursor; wait is
+// closed on the next log change.
+func (j *Job) window(from int) (msgs []Message, skipped int, done bool, wait chan struct{}) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if from < len(j.log) {
-		msgs = append(msgs, j.log[from:]...)
+	limit := j.followLimit
+	if limit == 0 {
+		limit = DefaultFollowLimit
 	}
-	done = j.state.Final() && from+len(msgs) == len(j.log)
-	return msgs, done, j.updated
+	chunk := limit
+	if chunk < 0 { // dropping disabled; copies stay bounded anyway
+		chunk = DefaultFollowLimit
+	}
+	head := len(j.log)
+	if limit > 0 && !j.state.Final() && head-from > limit {
+		skipped = head - limit - from
+		from += skipped
+	}
+	if from < head {
+		n := head - from
+		if n > chunk {
+			n = chunk
+		}
+		msgs = append(msgs, j.log[from:from+n]...)
+	}
+	done = j.state.Final() && from+len(msgs) == head
+	return msgs, skipped, done, j.updated
 }
 
 // appendLocked adds a stream message, maintains the event index, and
@@ -174,8 +239,14 @@ type Config struct {
 	Queue int
 	// Store, when non-nil, receives every job record for durable
 	// replay across restarts (see internal/stream/journal). Nil keeps
-	// the manager in-memory only.
+	// the manager in-memory only. Wrap it in a ResilientStore to
+	// survive flaky or dead journal media.
 	Store Store
+	// FollowLimit bounds how far a follower of a live job may lag
+	// behind the log head before drop-oldest kicks in and a "gap"
+	// message is delivered (default DefaultFollowLimit). Negative
+	// disables dropping (replay copies stay bounded regardless).
+	FollowLimit int
 }
 
 // Manager runs submitted jobs on a bounded worker pool and tracks their
@@ -204,12 +275,14 @@ type Manager struct {
 	// (possibly stale) pendq entry is drained.
 	npending atomic.Int64
 
-	tel       Telemetry
-	running   atomic.Int64
-	done      atomic.Int64
-	failed    atomic.Int64
-	cancelled atomic.Int64
-	storeErrs atomic.Int64
+	tel         Telemetry
+	running     atomic.Int64
+	done        atomic.Int64
+	failed      atomic.Int64
+	cancelled   atomic.Int64
+	storeErrs   atomic.Int64
+	gapsDropped atomic.Int64 // messages skipped past slow followers
+	panics      atomic.Int64 // pipeline panics recovered in run
 }
 
 // NewManager starts a worker pool with the given configuration.
@@ -260,25 +333,42 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	}
 	m.nextID++
 	j := &Job{
-		id:      fmt.Sprintf("j%04d", m.nextID),
-		spec:    spec,
-		state:   JobQueued,
-		updated: make(chan struct{}),
-		created: time.Now(),
+		id:          fmt.Sprintf("j%04d", m.nextID),
+		spec:        spec,
+		followLimit: m.cfg.FollowLimit,
+		gaps:        &m.gapsDropped,
+		state:       JobQueued,
+		updated:     make(chan struct{}),
+		created:     time.Now(),
+	}
+	m.npending.Add(1) // reserve the queue slot while Create lands
+	m.mu.Unlock()
+
+	// Journal Create before the job becomes visible to workers and
+	// Cancel, so the spec record is always the job's first — a fast
+	// Cancel can no longer journal its done/state records ahead of it.
+	if m.store != nil {
+		if err := m.store.Create(j.id, j.created, spec); err != nil {
+			m.storeErrs.Add(1)
+		}
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		// Closed while journaling Create: finalize the orphan record so
+		// a restart does not resurrect it as an interrupted job.
+		m.npending.Add(-1)
+		m.mu.Unlock()
+		now := time.Now()
+		m.journalAppend(j.id, 0, Message{Type: "done", State: JobCancelled})
+		m.journalState(j.id, JobCancelled, "", now)
+		return nil, ErrClosed
 	}
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
 	m.pendq = append(m.pendq, j)
-	m.npending.Add(1)
 	m.cond.Signal()
-	created := j.created
 	m.mu.Unlock()
-
-	if m.store != nil {
-		if err := m.store.Create(j.id, created, spec); err != nil {
-			m.storeErrs.Add(1)
-		}
-	}
 	return j, nil
 }
 
@@ -312,14 +402,16 @@ func (m *Manager) Reopen(recovered []RecoveredJob) error {
 			return fmt.Errorf("stream: duplicate recovered job %q", r.ID)
 		}
 		j := &Job{
-			id:       r.ID,
-			spec:     r.Spec,
-			state:    r.State,
-			log:      r.Log,
-			created:  r.Created,
-			started:  r.Started,
-			finished: r.Finished,
-			updated:  make(chan struct{}),
+			id:          r.ID,
+			spec:        r.Spec,
+			followLimit: m.cfg.FollowLimit,
+			gaps:        &m.gapsDropped,
+			state:       r.State,
+			log:         r.Log,
+			created:     r.Created,
+			started:     r.Started,
+			finished:    r.Finished,
+			updated:     make(chan struct{}),
 		}
 		if r.Err != "" {
 			j.err = errors.New(r.Err)
@@ -410,6 +502,33 @@ func (m *Manager) Cancel(id string) error {
 	return nil
 }
 
+// Ready reports whether the manager accepts submissions (false after
+// Close); hpas-serve's /v1/readyz probes it.
+func (m *Manager) Ready() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return !m.closed
+}
+
+// Drain blocks until the manager has no running or queued jobs, or ctx
+// ends (returning its error). It does not stop new submissions —
+// callers implementing drain-then-cancel shutdown should stop their
+// listener first, then Drain under the shutdown budget, then Close.
+func (m *Manager) Drain(ctx context.Context) error {
+	t := time.NewTicker(10 * time.Millisecond)
+	defer t.Stop()
+	for {
+		if m.running.Load() == 0 && m.npending.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
 // Close stops accepting submissions, cancels running jobs, and waits
 // for the workers to exit. Workers drain jobs still queued (each
 // finishes cancelled under the closed context). The Store, if any, is
@@ -448,9 +567,20 @@ func (m *Manager) worker() {
 }
 
 // run executes one job end to end on the calling worker goroutine.
+// The entire job — simulation, monitor tap, and detection pipeline —
+// executes synchronously on this goroutine, so the deferred recover
+// catches any panic under it: the job finalizes as JobFailed with the
+// panic text and the worker returns to the pool instead of dying with
+// it (a panicking pipeline must not shrink the pool).
 func (m *Manager) run(j *Job) {
 	ctx, cancel := context.WithCancel(m.ctx)
 	defer cancel()
+	defer func() {
+		if r := recover(); r != nil {
+			m.panics.Add(1)
+			m.finish(j, nil, fmt.Errorf("stream: pipeline panic: %v", r))
+		}
+	}()
 
 	j.mu.Lock()
 	if j.state != JobQueued { // cancelled while queued: slot already released
@@ -512,6 +642,10 @@ func (m *Manager) finish(j *Job, res *core.CampaignResult, err error) {
 	now := time.Now()
 	var msg Message
 	j.mu.Lock()
+	if j.state.Final() { // already finalized (e.g. panic after finish)
+		j.mu.Unlock()
+		return
+	}
 	j.finished = now
 	switch {
 	case err == nil:
@@ -579,6 +713,16 @@ type Stats struct {
 	AvgPredictMicros float64 `json:"avg_predict_micros"`
 	JournalErrors    int64   `json:"journal_errors"`
 	UptimeSeconds    float64 `json:"uptime_seconds"`
+
+	// Resilience telemetry (this PR's fault-injection work).
+	GapsDropped                int64 `json:"gaps_dropped"`     // messages skipped past slow followers
+	PanicsRecovered            int64 `json:"panics_recovered"` // pipeline panics isolated in run
+	JournalAttached            bool  `json:"journal_attached"` // a Store is configured
+	JournalDegraded            bool  `json:"journal_degraded"` // circuit open: in-memory-only mode
+	JournalConsecutiveFailures int64 `json:"journal_consecutive_failures"`
+	JournalRetries             int64 `json:"journal_retries"`
+	JournalDroppedWrites       int64 `json:"journal_dropped_writes"`
+	JournalReattachments       int64 `json:"journal_reattachments"`
 }
 
 // Stats snapshots the manager's self-telemetry.
@@ -602,6 +746,17 @@ func (m *Manager) Stats() Stats {
 		EventsEmitted:    m.tel.Events.Load(),
 		JournalErrors:    m.storeErrs.Load(),
 		UptimeSeconds:    up,
+		GapsDropped:      m.gapsDropped.Load(),
+		PanicsRecovered:  m.panics.Load(),
+		JournalAttached:  m.store != nil,
+	}
+	if hr, ok := m.store.(HealthReporter); ok {
+		h := hr.Health()
+		s.JournalDegraded = h.Degraded
+		s.JournalConsecutiveFailures = h.ConsecutiveFailures
+		s.JournalRetries = h.Retries
+		s.JournalDroppedWrites = h.DroppedWrites
+		s.JournalReattachments = h.Reattachments
 	}
 	if up > 0 {
 		s.WindowsPerSec = float64(windows) / up

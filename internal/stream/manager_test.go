@@ -3,6 +3,9 @@ package stream
 import (
 	"context"
 	"encoding/json"
+	"runtime"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -378,5 +381,281 @@ func TestEventsIncrementalMatchesLog(t *testing.T) {
 		if evs[i] != fromLog[i] {
 			t.Errorf("event %d = %+v, log has %+v", i, evs[i], fromLog[i])
 		}
+	}
+}
+
+// panicModel blows up on the first classification, exercising the
+// worker's panic isolation.
+type panicModel struct{}
+
+func (panicModel) Fit(*ml.Dataset, []int) error { return nil }
+func (panicModel) Predict([]float64) int        { panic("kaboom: model index out of range") }
+
+// A panicking pipeline must finalize its job as failed with the panic
+// text and hand the worker back to the pool — not kill the process or
+// silently shrink the pool.
+func TestManagerRecoversPanickingPipeline(t *testing.T) {
+	m := NewManager(Config{Workers: 1})
+	defer m.Close()
+
+	spec := hogSpec(11, 30)
+	spec.Pipeline.Detector = &diagnose.Detector{
+		Model:   panicModel{},
+		Classes: []string{"none", "hog"},
+		Window:  5,
+	}
+	j, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := drain(t, j)
+	st, jerr := j.State()
+	if st != JobFailed || jerr == nil {
+		t.Fatalf("panicked job state = %s (err %v), want failed", st, jerr)
+	}
+	if !strings.Contains(jerr.Error(), "panic") || !strings.Contains(jerr.Error(), "kaboom") {
+		t.Errorf("job error %q does not carry the panic text", jerr)
+	}
+	last := msgs[len(msgs)-1]
+	if last.Type != "done" || last.State != JobFailed || !strings.Contains(last.Error, "kaboom") {
+		t.Errorf("final stream message = %+v, want done/failed with panic text", last)
+	}
+	if got := m.Stats().PanicsRecovered; got != 1 {
+		t.Errorf("panics recovered = %d, want 1", got)
+	}
+
+	// The single worker survived: a healthy job still runs to completion.
+	j2, err := m.Submit(hogSpec(12, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(t, j2)
+	if st, _ := j2.State(); st != JobDone {
+		t.Fatalf("post-panic job state = %s, want done — the worker died with the panic", st)
+	}
+}
+
+// A follower that stalls behind a live job must be skipped forward with
+// a "gap" message instead of buffering the backlog without bound.
+func TestManagerSlowFollowerGetsGap(t *testing.T) {
+	m := NewManager(Config{Workers: 1, FollowLimit: 4})
+	defer m.Close()
+
+	j, err := m.Submit(hogSpec(5, 200000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	ch := j.Follow(ctx)
+	first := <-ch // the job is demonstrably producing
+
+	// Stall until the job is far past the follow limit, then resume: the
+	// follower goroutine is parked well behind head and must skip.
+	deadline := time.Now().Add(30 * time.Second)
+	for len(j.Messages()) < 48 {
+		if time.Now().After(deadline) {
+			t.Fatal("long job produced no backlog")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var gap Message
+	found := false
+	prev := first.Seq
+	for msg := range ch {
+		if msg.Type == "gap" {
+			gap = msg
+			found = true
+			break
+		}
+		if msg.Seq != prev+1 {
+			t.Fatalf("sequence jumped %d -> %d without a gap message", prev, msg.Seq)
+		}
+		prev = msg.Seq
+	}
+	if !found {
+		t.Fatal("follower resumed from a deep stall without a gap message")
+	}
+	if gap.Dropped <= 0 {
+		t.Errorf("gap.Dropped = %d, want > 0", gap.Dropped)
+	}
+	if gap.Seq < gap.Dropped {
+		t.Errorf("gap seq %d inconsistent with %d dropped", gap.Seq, gap.Dropped)
+	}
+	// The next delivered message continues right after the gap marker.
+	if msg, ok := <-ch; ok && msg.Seq != gap.Seq+1 {
+		t.Errorf("post-gap message seq = %d, want %d", msg.Seq, gap.Seq+1)
+	}
+	if got := m.Stats().GapsDropped; got < int64(gap.Dropped) {
+		t.Errorf("stats gaps dropped = %d, want >= %d", got, gap.Dropped)
+	}
+
+	if err := m.Cancel(j.ID()); err != nil {
+		t.Fatal(err)
+	}
+	for range ch {
+	}
+}
+
+// Manager.Close must terminate live followers: their channels close
+// once the cancelled jobs finalize, and the follower goroutines exit
+// even when the consumer's context never fires.
+func TestManagerCloseClosesFollowers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	m := NewManager(Config{Workers: 2})
+
+	var chans []<-chan Message
+	for i := 0; i < 3; i++ {
+		j, err := m.Submit(hogSpec(uint64(20+i), 200000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Background context: the only way out for these followers is
+		// the job finalizing.
+		chans = append(chans, j.Follow(context.Background()))
+	}
+	for _, ch := range chans {
+		<-ch // all followers demonstrably attached to live jobs
+	}
+
+	m.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, ch := range chans {
+			for range ch {
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("follower channels still open 30s after Manager.Close")
+	}
+
+	// Leak check: the worker pool and all follower goroutines are gone.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked across Close: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// gatedStore records journal traffic per job and lets a test hold
+// Create open to probe what is visible mid-submission.
+type gatedStore struct {
+	mu      sync.Mutex
+	records map[string][]string
+	gate    chan struct{} // nil = pass through; else Create blocks on it
+}
+
+func (s *gatedStore) add(id, kind string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.records == nil {
+		s.records = make(map[string][]string)
+	}
+	s.records[id] = append(s.records[id], kind)
+}
+
+func (s *gatedStore) Create(id string, _ time.Time, _ JobSpec) error {
+	if s.gate != nil {
+		<-s.gate
+	}
+	s.add(id, "create")
+	return nil
+}
+func (s *gatedStore) Append(id string, _ int, _ Message) error { s.add(id, "append"); return nil }
+func (s *gatedStore) State(id string, st JobState, _ string, _ time.Time) error {
+	s.add(id, "state:"+string(st))
+	return nil
+}
+func (s *gatedStore) Close() error { return nil }
+
+func (s *gatedStore) kinds(id string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.records[id]...)
+}
+
+// Regression: Submit used to enqueue the job and journal Create after
+// dropping the manager lock, so a fast Cancel could journal the job's
+// terminal records before its create record existed — an ordering
+// journal.Recover never expects. Create must be the job's first record,
+// and the job must stay invisible until it lands.
+func TestSubmitJournalsCreateFirst(t *testing.T) {
+	store := &gatedStore{gate: make(chan struct{})}
+	m := NewManager(Config{Workers: 1, Store: store})
+	defer m.Close()
+
+	submitted := make(chan *Job, 1)
+	go func() {
+		j, err := m.Submit(hogSpec(1, 30))
+		if err != nil {
+			t.Errorf("submit: %v", err)
+			submitted <- nil
+			return
+		}
+		submitted <- j
+	}()
+
+	// While Create is journaling, the job does not exist to cancellers:
+	// nothing can race a terminal record ahead of the create record.
+	time.Sleep(20 * time.Millisecond)
+	if err := m.Cancel("j0001"); err == nil {
+		t.Error("job cancellable while its create record is still being journaled")
+	}
+	if _, ok := m.Get("j0001"); ok {
+		t.Error("job visible while its create record is still being journaled")
+	}
+
+	close(store.gate)
+	j := <-submitted
+	if j == nil {
+		t.FailNow()
+	}
+	// Cancel immediately — with the old ordering this was the race that
+	// put state records first.
+	if err := m.Cancel(j.ID()); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, j)
+
+	recs := store.kinds(j.ID())
+	if len(recs) == 0 || recs[0] != "create" {
+		t.Fatalf("journal records = %v, want create first", recs)
+	}
+}
+
+// Drain returns once the pool is idle, and hands back the context error
+// when the budget runs out first.
+func TestManagerDrain(t *testing.T) {
+	m := NewManager(Config{Workers: 1})
+	defer m.Close()
+
+	j, err := m.Submit(hogSpec(1, 200000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, cancelShort := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancelShort()
+	if err := m.Drain(short); err != context.DeadlineExceeded {
+		t.Fatalf("drain with a running job = %v, want deadline exceeded", err)
+	}
+
+	if err := m.Cancel(j.ID()); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, j)
+	long, cancelLong := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancelLong()
+	if err := m.Drain(long); err != nil {
+		t.Fatalf("drain on an idle pool = %v, want nil", err)
 	}
 }

@@ -1,0 +1,270 @@
+package stream
+
+import (
+	"log"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ResilienceOptions tunes NewResilientStore. The defaults suit a local
+// disk journal: a handful of quick retries for transient errors, a
+// circuit breaker that gives up on a persistently failing store, and a
+// background probe that re-attaches it once it recovers.
+type ResilienceOptions struct {
+	// MaxRetries is the number of extra attempts per operation after
+	// the first failure (default 3).
+	MaxRetries int
+	// BaseDelay is the first backoff delay; it doubles per retry
+	// (default 5ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 250ms).
+	MaxDelay time.Duration
+	// TripAfter is the number of consecutive failed operations
+	// (retries exhausted) that open the circuit into degraded mode
+	// (default 5).
+	TripAfter int
+	// ProbeInterval is how often degraded mode probes the inner store
+	// for recovery (default 2s).
+	ProbeInterval time.Duration
+	// Seed seeds the backoff jitter; equal seeds give equal retry
+	// schedules (default 1).
+	Seed uint64
+	// Logf receives degraded-mode transitions (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// Syncer is implemented by stores whose health can be probed cheaply
+// without writing a job record (journal.Journal's Sync). ResilientStore's
+// background probe uses it to decide when to re-close the circuit; a
+// store without it is re-attached optimistically and re-trips on the
+// next failing write.
+type Syncer interface{ Sync() error }
+
+// StoreHealth is a resilient store's self-report, surfaced through
+// Manager.Stats and hpas-serve's /v1/metrics and /v1/readyz.
+type StoreHealth struct {
+	// Degraded is true while the circuit is open: the journal is
+	// detached and records are dropped (in-memory-only mode).
+	Degraded bool `json:"degraded"`
+	// ConsecutiveFailures counts failed operations since the last
+	// success; TripAfter of them open the circuit.
+	ConsecutiveFailures int64 `json:"consecutive_failures"`
+	// Retries counts individual retry attempts across all operations.
+	Retries int64 `json:"retries"`
+	// DroppedWrites counts records dropped while degraded. Jobs journaled
+	// across a degraded window recover with those records missing.
+	DroppedWrites int64 `json:"dropped_writes"`
+	// Trips and Reattachments count circuit open/close transitions.
+	Trips         int64 `json:"trips"`
+	Reattachments int64 `json:"reattachments"`
+}
+
+// HealthReporter is implemented by stores that can report a
+// StoreHealth; Manager.Stats folds it into the service telemetry.
+type HealthReporter interface{ Health() StoreHealth }
+
+// ResilientStore wraps a Store with retry and a circuit breaker so a
+// flaky or dead journal degrades durability instead of latency or
+// correctness:
+//
+//   - Transient errors are retried with exponential backoff plus
+//     seeded jitter, inline on the calling goroutine.
+//   - After TripAfter consecutive failed operations the circuit opens:
+//     the store enters degraded (in-memory-only) mode, where every
+//     write returns nil immediately and is counted as dropped.
+//   - While degraded, a background probe (Syncer.Sync when available)
+//     runs every ProbeInterval; on success the circuit re-closes and
+//     the journal is re-attached, which is logged.
+//
+// Close stops the probe and closes the inner store. All methods are
+// safe for concurrent use.
+type ResilientStore struct {
+	inner Store
+	opt   ResilienceOptions
+
+	rmu sync.Mutex
+	rng *rand.Rand
+
+	degraded atomic.Bool
+	consec   atomic.Int64
+	retries  atomic.Int64
+	dropped  atomic.Int64
+	trips    atomic.Int64
+	reattach atomic.Int64
+
+	stop      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// NewResilientStore wraps inner; see ResilienceOptions for the knobs.
+func NewResilientStore(inner Store, opt ResilienceOptions) *ResilientStore {
+	if opt.MaxRetries < 0 {
+		opt.MaxRetries = 0
+	} else if opt.MaxRetries == 0 {
+		opt.MaxRetries = 3
+	}
+	if opt.BaseDelay <= 0 {
+		opt.BaseDelay = 5 * time.Millisecond
+	}
+	if opt.MaxDelay <= 0 {
+		opt.MaxDelay = 250 * time.Millisecond
+	}
+	if opt.TripAfter <= 0 {
+		opt.TripAfter = 5
+	}
+	if opt.ProbeInterval <= 0 {
+		opt.ProbeInterval = 2 * time.Second
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	if opt.Logf == nil {
+		opt.Logf = log.Printf
+	}
+	r := &ResilientStore{
+		inner: inner,
+		opt:   opt,
+		rng:   rand.New(rand.NewSource(int64(opt.Seed))),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go r.probeLoop()
+	return r
+}
+
+// Create implements Store.
+func (r *ResilientStore) Create(id string, created time.Time, spec JobSpec) error {
+	return r.do("create", func() error { return r.inner.Create(id, created, spec) })
+}
+
+// Append implements Store.
+func (r *ResilientStore) Append(id string, seq int, msg Message) error {
+	return r.do("append", func() error { return r.inner.Append(id, seq, msg) })
+}
+
+// State implements Store.
+func (r *ResilientStore) State(id string, state JobState, errText string, at time.Time) error {
+	return r.do("state", func() error { return r.inner.State(id, state, errText, at) })
+}
+
+// Close stops the background probe and closes the inner store. It
+// bypasses the circuit: even a degraded store gets the chance to flush
+// whatever it still can.
+func (r *ResilientStore) Close() error {
+	r.closeOnce.Do(func() {
+		close(r.stop)
+		<-r.done
+	})
+	return r.inner.Close()
+}
+
+// Health implements HealthReporter.
+func (r *ResilientStore) Health() StoreHealth {
+	return StoreHealth{
+		Degraded:            r.degraded.Load(),
+		ConsecutiveFailures: r.consec.Load(),
+		Retries:             r.retries.Load(),
+		DroppedWrites:       r.dropped.Load(),
+		Trips:               r.trips.Load(),
+		Reattachments:       r.reattach.Load(),
+	}
+}
+
+// Degraded reports whether the circuit is open (in-memory-only mode).
+func (r *ResilientStore) Degraded() bool { return r.degraded.Load() }
+
+// do runs one store operation under the retry + circuit-breaker
+// policy. The returned error is the final attempt's (the manager
+// counts it); a dropped degraded-mode write returns nil.
+func (r *ResilientStore) do(op string, fn func() error) error {
+	if r.degraded.Load() {
+		r.dropped.Add(1)
+		return nil
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = fn(); err == nil {
+			r.consec.Store(0)
+			return nil
+		}
+		if attempt >= r.opt.MaxRetries {
+			break
+		}
+		r.retries.Add(1)
+		if !r.sleep(r.backoff(attempt)) {
+			break // store closing; don't spin out the shutdown
+		}
+	}
+	if n := r.consec.Add(1); n >= int64(r.opt.TripAfter) && r.degraded.CompareAndSwap(false, true) {
+		r.trips.Add(1)
+		r.opt.Logf("stream: journal degraded after %d consecutive failures (%s: %v); continuing in-memory only", n, op, err)
+	}
+	return err
+}
+
+// backoff is the delay before retry number attempt+1: exponential from
+// BaseDelay, capped at MaxDelay, with equal jitter (half fixed, half
+// uniform) so concurrent writers do not retry in lockstep.
+func (r *ResilientStore) backoff(attempt int) time.Duration {
+	d := r.opt.BaseDelay
+	for i := 0; i < attempt && d < r.opt.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > r.opt.MaxDelay {
+		d = r.opt.MaxDelay
+	}
+	r.rmu.Lock()
+	j := time.Duration(r.rng.Int63n(int64(d)/2 + 1))
+	r.rmu.Unlock()
+	return d/2 + j
+}
+
+// sleep waits for d unless the store is closing first.
+func (r *ResilientStore) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-r.stop:
+		return false
+	}
+}
+
+// probeLoop re-attaches a degraded store: every ProbeInterval it
+// probes the inner store and, on success, closes the circuit again.
+func (r *ResilientStore) probeLoop() {
+	defer close(r.done)
+	t := time.NewTicker(r.opt.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			if !r.degraded.Load() {
+				continue
+			}
+			if err := r.probe(); err != nil {
+				continue
+			}
+			r.consec.Store(0)
+			if r.degraded.CompareAndSwap(true, false) {
+				r.reattach.Add(1)
+				r.opt.Logf("stream: journal re-attached after successful probe (%d records dropped while degraded)", r.dropped.Load())
+			}
+		}
+	}
+}
+
+func (r *ResilientStore) probe() error {
+	if s, ok := r.inner.(Syncer); ok {
+		return s.Sync()
+	}
+	// No probe surface: re-attach optimistically; a still-broken store
+	// fails its next write and re-trips the circuit.
+	return nil
+}

@@ -1,0 +1,247 @@
+package stream_test
+
+// Fault-injected regression tests for the resilience layer: every
+// failure path here is scripted through internal/faults, so each run
+// reproduces the same faults deterministically.
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hpas/internal/cluster"
+	"hpas/internal/core"
+	"hpas/internal/diagnose"
+	"hpas/internal/faults"
+	"hpas/internal/features"
+	"hpas/internal/ml"
+	"hpas/internal/stream"
+)
+
+// memStore is an in-memory recording Store (with a Sync probe surface)
+// used as the inner store behind the fault injector.
+type memStore struct {
+	mu      sync.Mutex
+	records map[string][]string // id -> record kinds, in arrival order
+}
+
+func newMemStore() *memStore { return &memStore{records: make(map[string][]string)} }
+
+func (s *memStore) add(id, kind string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.records[id] = append(s.records[id], kind)
+}
+
+func (s *memStore) Create(id string, _ time.Time, _ stream.JobSpec) error {
+	s.add(id, "create")
+	return nil
+}
+func (s *memStore) Append(id string, _ int, _ stream.Message) error {
+	s.add(id, "append")
+	return nil
+}
+func (s *memStore) State(id string, _ stream.JobState, _ string, _ time.Time) error {
+	s.add(id, "state")
+	return nil
+}
+func (s *memStore) Sync() error  { return nil }
+func (s *memStore) Close() error { return nil }
+
+func (s *memStore) kinds(id string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.records[id]...)
+}
+
+// contextWithTimeout bounds a blocking Follow so a regression hangs the
+// test, not the suite.
+func contextWithTimeout(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// quiet discards resilience log lines in tests.
+func quiet(string, ...any) {}
+
+// fastOpts keeps retry/probe clocks test-sized.
+func fastOpts() stream.ResilienceOptions {
+	return stream.ResilienceOptions{
+		MaxRetries:    3,
+		BaseDelay:     time.Millisecond,
+		MaxDelay:      4 * time.Millisecond,
+		TripAfter:     3,
+		ProbeInterval: 10 * time.Millisecond,
+		Logf:          quiet,
+	}
+}
+
+// A transient error burst must be ridden out by the retry loop: the
+// record lands, nothing trips.
+func TestResilientStoreRetriesTransientErrors(t *testing.T) {
+	inner := newMemStore()
+	inj := faults.New(1)
+	inj.Set(faults.OpAppend, faults.Plan{FailFirst: 2})
+	rs := stream.NewResilientStore(faults.NewStore(inner, inj), fastOpts())
+	defer rs.Close()
+
+	if err := rs.Append("j0001", 0, stream.Message{Type: "done"}); err != nil {
+		t.Fatalf("append with 2 transient faults and 3 retries failed: %v", err)
+	}
+	if got := inner.kinds("j0001"); len(got) != 1 || got[0] != "append" {
+		t.Fatalf("inner store records = %v, want exactly one append", got)
+	}
+	h := rs.Health()
+	if h.Degraded || h.Trips != 0 {
+		t.Errorf("transient burst tripped the circuit: %+v", h)
+	}
+	if h.Retries < 2 {
+		t.Errorf("retries = %d, want >= 2", h.Retries)
+	}
+	if h.ConsecutiveFailures != 0 {
+		t.Errorf("consecutive failures = %d after success, want 0", h.ConsecutiveFailures)
+	}
+}
+
+// A permanently failing store must trip the circuit into degraded
+// (in-memory-only) mode, where writes drop fast instead of retrying,
+// and must re-attach once the background probe succeeds.
+func TestResilientStoreTripsDegradesAndReattaches(t *testing.T) {
+	inner := newMemStore()
+	inj := faults.New(1)
+	inj.Set(faults.OpAppend, faults.Plan{FailFrom: 1}) // ENOSPC-style: dead from the first write
+	inj.Set(faults.OpSync, faults.Plan{FailFrom: 1})   // probe sees the same dead disk
+	opt := fastOpts()
+	opt.MaxRetries = 0
+	var logged []string
+	var logMu sync.Mutex
+	opt.Logf = func(format string, args ...any) {
+		logMu.Lock()
+		logged = append(logged, format)
+		logMu.Unlock()
+	}
+	rs := stream.NewResilientStore(faults.NewStore(inner, inj), opt)
+	defer rs.Close()
+
+	// TripAfter failed ops open the circuit.
+	for i := 0; i < opt.TripAfter; i++ {
+		if err := rs.Append("j0001", i, stream.Message{Type: "window"}); err == nil {
+			t.Fatalf("append %d on a dead store returned nil before the trip", i)
+		}
+	}
+	if !rs.Degraded() {
+		t.Fatal("circuit did not open after TripAfter consecutive failures")
+	}
+	// Degraded writes are dropped, fast and error-free.
+	for i := 0; i < 5; i++ {
+		if err := rs.Append("j0001", 10+i, stream.Message{Type: "window"}); err != nil {
+			t.Fatalf("degraded append returned %v, want nil (dropped)", err)
+		}
+	}
+	h := rs.Health()
+	if h.Trips != 1 || h.DroppedWrites < 5 || h.ConsecutiveFailures < int64(opt.TripAfter) {
+		t.Fatalf("degraded health = %+v", h)
+	}
+	if len(inner.kinds("j0001")) != 0 {
+		t.Fatal("records reached the inner store through an open circuit")
+	}
+
+	// The disk comes back: the probe must re-close the circuit.
+	inj.Clear(faults.OpAppend)
+	inj.Clear(faults.OpSync)
+	deadline := time.Now().Add(5 * time.Second)
+	for rs.Degraded() {
+		if time.Now().After(deadline) {
+			t.Fatal("circuit did not re-close after the store recovered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	h = rs.Health()
+	if h.Reattachments != 1 || h.ConsecutiveFailures != 0 {
+		t.Errorf("post-reattach health = %+v, want 1 reattachment and a reset failure count", h)
+	}
+	if err := rs.Append("j0001", 20, stream.Message{Type: "done"}); err != nil {
+		t.Fatalf("append after re-attachment failed: %v", err)
+	}
+	if got := inner.kinds("j0001"); len(got) != 1 {
+		t.Fatalf("inner records after re-attachment = %v, want the one post-recovery append", got)
+	}
+
+	// Both transitions were logged.
+	logMu.Lock()
+	defer logMu.Unlock()
+	all := strings.Join(logged, "\n")
+	if !strings.Contains(all, "degraded") || !strings.Contains(all, "re-attached") {
+		t.Errorf("transition log lines missing, got: %q", all)
+	}
+}
+
+// pipeline stubs shared with the manager-level tests below.
+type userMeanExt struct{}
+
+func (userMeanExt) Fit(*ml.Dataset, []int) error { return nil }
+func (userMeanExt) Predict(x []float64) int {
+	if x[9*features.Count()] > 50 {
+		return 1
+	}
+	return 0
+}
+
+func extDetector() *diagnose.Detector {
+	return &diagnose.Detector{Model: userMeanExt{}, Classes: []string{"none", "hog"}, Window: 5}
+}
+
+func extSpec(seed uint64, fixedSeconds float64) stream.JobSpec {
+	return stream.JobSpec{
+		Campaign: core.Campaign{
+			Base: core.RunConfig{
+				Cluster:      cluster.Voltrino(1),
+				FixedSeconds: fixedSeconds,
+				Seed:         seed,
+			},
+		},
+		Pipeline: stream.PipelineConfig{Detector: extDetector()},
+	}
+}
+
+// End to end through the manager: a dead journal degrades durability,
+// never the jobs, and the degraded state is visible in Stats (the
+// numbers /v1/metrics serves).
+func TestManagerKeepsServingOnDeadJournal(t *testing.T) {
+	inj := faults.New(1)
+	for _, op := range []faults.Op{faults.OpCreate, faults.OpAppend, faults.OpState, faults.OpSync} {
+		inj.Set(op, faults.Plan{FailFrom: 1})
+	}
+	opt := fastOpts()
+	opt.MaxRetries = 0
+	opt.TripAfter = 1
+	rs := stream.NewResilientStore(faults.NewStore(nil, inj), opt)
+	defer rs.Close()
+
+	m := stream.NewManager(stream.Config{Workers: 1, Store: rs})
+	defer m.Close()
+
+	j, err := m.Submit(extSpec(3, 10))
+	if err != nil {
+		t.Fatalf("submit with a dead journal failed: %v", err)
+	}
+	for range j.Follow(contextWithTimeout(t)) {
+	}
+	if st, err := j.State(); st != stream.JobDone {
+		t.Fatalf("job on dead journal = %s (err %v), want done", st, err)
+	}
+	st := m.Stats()
+	if !st.JournalAttached || !st.JournalDegraded {
+		t.Errorf("stats do not surface degraded journal: %+v", st)
+	}
+	if st.JournalErrors == 0 {
+		t.Error("no journal errors counted before the trip")
+	}
+	if st.JobsDone != 1 {
+		t.Errorf("jobs done = %d, want 1", st.JobsDone)
+	}
+}

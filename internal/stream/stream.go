@@ -46,10 +46,27 @@ type Event struct {
 // job's final state (and error, when it failed). Messages contain only
 // simulation-derived values, so two jobs with the same configuration
 // and seed produce byte-identical streams.
+//
+// A "gap" message is synthetic and per-follower: it is emitted by
+// Job.Follow when a slow consumer fell more than the follow limit
+// behind a live job and Dropped messages were skipped (drop-oldest
+// backpressure). Gaps never appear in the job's log or journal — a
+// re-read of the finished job replays the full stream.
 type Message struct {
-	Type   string   `json:"type"` // "window" | "event" | "done"
+	Type   string   `json:"type"` // "window" | "event" | "done" | "gap"
 	Window *Window  `json:"window,omitempty"`
 	Event  *Event   `json:"event,omitempty"`
 	State  JobState `json:"state,omitempty"`
 	Error  string   `json:"error,omitempty"`
+
+	// Seq is the message's index in the job log, stamped on delivery
+	// by Job.Follow. It is delivery metadata, not stream content —
+	// excluded from JSON so logs and replays stay byte-identical and
+	// journal records stay simulation-derived only. SSE delivery
+	// surfaces it as the frame's id: line. A "gap" message carries the
+	// index of the last skipped message, so resuming from Seq+1
+	// continues exactly where delivery really is.
+	Seq int `json:"-"`
+	// Dropped is the number of messages skipped, on "gap" messages.
+	Dropped int `json:"dropped,omitempty"`
 }
