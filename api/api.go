@@ -1,0 +1,103 @@
+// Package api holds the wire types of the hpas-serve HTTP API — the
+// request and response bodies of the /v1 endpoints — in one place that
+// both the server (hpas/serve) and the Go client (hpas/client) import,
+// so the two cannot drift apart.
+//
+// The types are plain JSON-tagged structs with no behaviour: field
+// semantics (defaults, validation) are the server's business and are
+// documented here only as far as a client needs to build a request.
+package api
+
+import (
+	"time"
+
+	"hpas"
+)
+
+// JobRequest is the POST /v1/jobs body. A campaign is given either as
+// the compact phase string hpas-sim uses ("cpuoccupy@10-40:95,...") or
+// as structured Phases; omitting both runs a clean (anomaly-free) job.
+type JobRequest struct {
+	// Simulated machine and application.
+	App          string  `json:"app,omitempty"`
+	Nodes        int     `json:"nodes,omitempty"`          // cluster size (default 4)
+	RanksPerNode int     `json:"ranks_per_node,omitempty"` // default: all physical cores
+	Duration     float64 `json:"duration,omitempty"`       // observed seconds (default 120)
+	SamplePeriod float64 `json:"sample_period,omitempty"`  // default 1 s
+	Noise        float64 `json:"noise,omitempty"`          // default 0.01
+	Seed         uint64  `json:"seed,omitempty"`
+
+	// Anomaly campaign, compact or structured (not both).
+	Campaign    string  `json:"campaign,omitempty"`
+	AnomalyNode int     `json:"anomaly_node,omitempty"` // compact form target (default 0)
+	AnomalyCPU  *int    `json:"anomaly_cpu,omitempty"`  // compact form pin (nil = default 32; explicit 0 is honored)
+	Phases      []Phase `json:"phases,omitempty"`
+
+	// Detection pipeline.
+	WatchNodes []int   `json:"watch_nodes,omitempty"` // default: node 0
+	Window     float64 `json:"window,omitempty"`      // default: detector window
+	Stride     float64 `json:"stride,omitempty"`      // default: window (disjoint)
+}
+
+// Phase is one timed injection step of a structured campaign.
+type Phase struct {
+	Label    string      `json:"label"`
+	Start    float64     `json:"start"`
+	Duration float64     `json:"duration"`
+	Specs    []SpecEntry `json:"specs"`
+}
+
+// SpecEntry is one anomaly injection within a phase.
+type SpecEntry struct {
+	Name      string  `json:"name"`
+	Node      int     `json:"node"`
+	CPU       int     `json:"cpu"`
+	Intensity float64 `json:"intensity,omitempty"`
+	Level     int     `json:"level,omitempty"` // cachecopy: 1..3
+	Size      string  `json:"size,omitempty"`  // e.g. "8GiB"
+	Limit     string  `json:"limit,omitempty"`
+	Count     int     `json:"count,omitempty"`
+	Peer      int     `json:"peer,omitempty"`
+}
+
+// JobStatus is the job representation returned by the status
+// endpoints (and by POST /v1/jobs on acceptance).
+type JobStatus struct {
+	ID       string             `json:"id"`
+	State    string             `json:"state"`
+	Error    string             `json:"error,omitempty"`
+	Created  time.Time          `json:"created"`
+	Started  *time.Time         `json:"started,omitempty"`
+	Finished *time.Time         `json:"finished,omitempty"`
+	Events   []hpas.StreamEvent `json:"events,omitempty"`
+	Stream   string             `json:"stream"` // path of the job's message stream
+}
+
+// Final reports whether the status describes a terminal job.
+func (s JobStatus) Final() bool {
+	return hpas.StreamJobState(s.State).Final()
+}
+
+// JobList is the GET /v1/jobs response.
+type JobList struct {
+	Jobs []JobStatus `json:"jobs"`
+}
+
+// Error is the JSON error envelope every non-2xx response carries.
+type Error struct {
+	Error string `json:"error"`
+}
+
+// IdempotencyKeyHeader names the POST /v1/jobs request header that
+// makes submission retry-safe: submissions repeating a key return the
+// first submission's job instead of creating a duplicate.
+const IdempotencyKeyHeader = "Idempotency-Key"
+
+// IdempotencyReplayedHeader is set to "true" on a POST /v1/jobs
+// response that was answered by an existing job (the request's key had
+// been seen before); such responses use 200 rather than 202.
+const IdempotencyReplayedHeader = "Idempotency-Replayed"
+
+// MaxIdempotencyKeyLen bounds the accepted key length; longer keys
+// are rejected with 400.
+const MaxIdempotencyKeyLen = 256

@@ -1,0 +1,288 @@
+// Package hpasclient is the Go client for the hpas-serve HTTP API.
+//
+// It wraps the /v1 endpoints in typed calls and bakes in the client
+// half of the service's robustness contract:
+//
+//   - Submit generates an Idempotency-Key per logical submission and
+//     repeats it across retries, so a retried timeout or 429 lands on
+//     the job the first attempt created instead of a duplicate.
+//   - Every call retries transient failures (connection errors, 429,
+//     502, 503, 504) with exponential backoff and seeded jitter,
+//     honoring the server's Retry-After hint when one is given.
+//   - Stream follows a job's message stream over SSE and reconnects
+//     after a cut connection with Last-Event-ID, resuming exactly
+//     after the last message it delivered — each message is seen once.
+//
+// The zero Options are production-reasonable; tests pin Seed and
+// shrink the delays.
+package hpasclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"hpas/api"
+)
+
+// Options tunes a Client. The zero value is usable.
+type Options struct {
+	// HTTPClient is the underlying transport (default http.DefaultClient).
+	HTTPClient *http.Client
+	// MaxRetries bounds retry attempts after the first try of a call,
+	// and consecutive no-progress reconnects of a Stream follow.
+	// 0 means the default (4); negative disables retries.
+	MaxRetries int
+	// BaseDelay seeds the exponential backoff (default 100ms); the
+	// delay doubles per attempt up to MaxDelay (default 5s). A server
+	// Retry-After overrides the computed delay when larger.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Seed fixes the jitter and idempotency-key stream for
+	// reproducible tests. 0 seeds from the clock.
+	Seed int64
+}
+
+// Client talks to one hpas-serve instance.
+type Client struct {
+	base string
+	http *http.Client
+
+	maxRetries int
+	baseDelay  time.Duration
+	maxDelay   time.Duration
+
+	mu  sync.Mutex // guards rng
+	rng *rand.Rand
+}
+
+// New returns a client for the server at baseURL (e.g.
+// "http://localhost:8080"); a trailing slash is trimmed.
+func New(baseURL string, opts Options) *Client {
+	c := &Client{
+		base:       strings.TrimRight(baseURL, "/"),
+		http:       opts.HTTPClient,
+		maxRetries: opts.MaxRetries,
+		baseDelay:  opts.BaseDelay,
+		maxDelay:   opts.MaxDelay,
+	}
+	if c.http == nil {
+		c.http = http.DefaultClient
+	}
+	if c.maxRetries == 0 {
+		c.maxRetries = 4
+	}
+	if c.maxRetries < 0 {
+		c.maxRetries = 0
+	}
+	if c.baseDelay <= 0 {
+		c.baseDelay = 100 * time.Millisecond
+	}
+	if c.maxDelay <= 0 {
+		c.maxDelay = 5 * time.Second
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	c.rng = rand.New(rand.NewSource(seed))
+	return c
+}
+
+// APIError is a non-2xx response from the server, carrying the decoded
+// error envelope when one was sent.
+type APIError struct {
+	StatusCode int
+	Message    string
+
+	// retryAfter is the server's Retry-After hint, consulted by the
+	// retry loops; zero when absent.
+	retryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	if e.Message == "" {
+		return fmt.Sprintf("server returned %d", e.StatusCode)
+	}
+	return fmt.Sprintf("server returned %d: %s", e.StatusCode, e.Message)
+}
+
+// IsNotFound reports whether err is a 404 from the server.
+func IsNotFound(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.StatusCode == http.StatusNotFound
+}
+
+// Submit submits the job request under a freshly generated idempotency
+// key. Retries reuse the key, so a submission that times out after the
+// server accepted it resolves to the accepted job, not a duplicate.
+func (c *Client) Submit(ctx context.Context, req api.JobRequest) (api.JobStatus, error) {
+	st, _, err := c.SubmitKeyed(ctx, req, c.NewIdempotencyKey())
+	return st, err
+}
+
+// SubmitKeyed submits under the caller's idempotency key (empty
+// disables idempotency). replayed reports that the server answered with
+// a job a previous submission under the same key had created.
+func (c *Client) SubmitKeyed(ctx context.Context, req api.JobRequest, key string) (st api.JobStatus, replayed bool, err error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return st, false, err
+	}
+	hdr := http.Header{"Content-Type": {"application/json"}}
+	if key != "" {
+		hdr.Set(api.IdempotencyKeyHeader, key)
+	}
+	resp, err := c.doRetry(ctx, http.MethodPost, "/v1/jobs", body, hdr, &st)
+	if err != nil {
+		return st, false, err
+	}
+	return st, resp.Header.Get(api.IdempotencyReplayedHeader) == "true", nil
+}
+
+// NewIdempotencyKey returns a fresh key from the client's seeded
+// stream. Exposed so callers can hold a key across process boundaries.
+func (c *Client) NewIdempotencyKey() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return fmt.Sprintf("hpasc-%08x%08x", c.rng.Uint32(), c.rng.Uint32())
+}
+
+// Get fetches one job's status.
+func (c *Client) Get(ctx context.Context, id string) (api.JobStatus, error) {
+	var st api.JobStatus
+	_, err := c.doRetry(ctx, http.MethodGet, "/v1/jobs/"+id, nil, nil, &st)
+	return st, err
+}
+
+// List fetches all jobs the server knows, oldest first.
+func (c *Client) List(ctx context.Context) ([]api.JobStatus, error) {
+	var l api.JobList
+	_, err := c.doRetry(ctx, http.MethodGet, "/v1/jobs", nil, nil, &l)
+	return l.Jobs, err
+}
+
+// Cancel cancels a queued or running job and returns its status.
+// Cancelling an already-finished job is not an error.
+func (c *Client) Cancel(ctx context.Context, id string) (api.JobStatus, error) {
+	var st api.JobStatus
+	_, err := c.doRetry(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, nil, &st)
+	return st, err
+}
+
+// retryable reports whether the status code signals a transient
+// condition worth retrying: admission shed (429), or a gateway/server
+// hiccup (502/503/504).
+func retryable(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// backoff computes the attempt's delay: exponential from BaseDelay
+// capped at MaxDelay, jittered to half..full, then raised to the
+// server's Retry-After if that asks for more.
+func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	d := c.baseDelay << uint(attempt)
+	if d > c.maxDelay || d <= 0 {
+		d = c.maxDelay
+	}
+	c.mu.Lock()
+	d = d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	c.mu.Unlock()
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
+}
+
+func sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func parseRetryAfter(h http.Header) time.Duration {
+	if s := h.Get("Retry-After"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n >= 0 {
+			return time.Duration(n) * time.Second
+		}
+	}
+	return 0
+}
+
+// doRetry performs one API call with the retry policy, decoding a 2xx
+// body into out (when non-nil) and non-2xx bodies into an *APIError.
+// The returned response's body is already consumed and closed.
+func (c *Client) doRetry(ctx context.Context, method, path string, body []byte, hdr http.Header, out any) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, err := c.doOnce(ctx, method, path, body, hdr, out)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		var ae *APIError
+		transient := !errors.As(err, &ae) || retryable(ae.StatusCode)
+		if !transient || attempt >= c.maxRetries || ctx.Err() != nil {
+			return nil, lastErr
+		}
+		var ra time.Duration
+		if resp != nil {
+			ra = parseRetryAfter(resp.Header)
+		}
+		if err := sleep(ctx, c.backoff(attempt, ra)); err != nil {
+			return nil, lastErr
+		}
+	}
+}
+
+func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, hdr http.Header, out any) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	for k, vs := range hdr {
+		req.Header[k] = vs
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var envelope api.Error
+		json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&envelope)
+		return resp, &APIError{StatusCode: resp.StatusCode, Message: envelope.Error}
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp, fmt.Errorf("decoding %s %s response: %w", method, path, err)
+		}
+	}
+	return resp, nil
+}

@@ -1,0 +1,290 @@
+package hpasclient
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hpas"
+	"hpas/api"
+)
+
+// fastOpts keeps test backoffs in the microsecond range.
+func fastOpts() Options {
+	return Options{BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond, Seed: 1}
+}
+
+func TestSubmitRepeatsIdempotencyKeyAcrossRetries(t *testing.T) {
+	var attempts atomic.Int32
+	keys := make(chan string, 8)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		keys <- r.Header.Get(api.IdempotencyKeyHeader)
+		if attempts.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(api.Error{Error: "shed"})
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(api.JobStatus{ID: "j0001", State: "queued"})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, fastOpts())
+	st, err := c.Submit(context.Background(), api.JobRequest{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != "j0001" {
+		t.Fatalf("submitted job = %+v", st)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3", got)
+	}
+	close(keys)
+	first := <-keys
+	if first == "" {
+		t.Fatal("no idempotency key was generated")
+	}
+	for k := range keys {
+		if k != first {
+			t.Fatalf("key changed across retries: %q then %q", first, k)
+		}
+	}
+}
+
+func TestSubmitKeyedReportsReplay(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(api.IdempotencyKeyHeader) != "my-key" {
+			t.Errorf("key header = %q, want my-key", r.Header.Get(api.IdempotencyKeyHeader))
+		}
+		w.Header().Set(api.IdempotencyReplayedHeader, "true")
+		w.WriteHeader(http.StatusOK)
+		json.NewEncoder(w).Encode(api.JobStatus{ID: "j0042", State: "done"})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, fastOpts())
+	st, replayed, err := c.SubmitKeyed(context.Background(), api.JobRequest{}, "my-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !replayed || st.ID != "j0042" {
+		t.Fatalf("replayed=%v st=%+v, want replay of j0042", replayed, st)
+	}
+}
+
+func TestClientDoesNotRetryClientErrors(t *testing.T) {
+	var attempts atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(api.Error{Error: `unknown field "bogus"`})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, fastOpts())
+	_, err := c.Submit(context.Background(), api.JobRequest{})
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusBadRequest {
+		t.Fatalf("err = %v, want APIError 400", err)
+	}
+	if ae.Message == "" {
+		t.Fatal("error envelope message was dropped")
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("400 was retried: %d attempts", got)
+	}
+	if IsNotFound(err) {
+		t.Fatal("400 misclassified as not found")
+	}
+}
+
+func TestGetListCancelRoundTrip(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/jobs/j1", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(api.JobStatus{ID: "j1", State: "running"})
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(api.JobList{Jobs: []api.JobStatus{{ID: "j1"}, {ID: "j2"}}})
+	})
+	mux.HandleFunc("DELETE /v1/jobs/j1", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(api.JobStatus{ID: "j1", State: "cancelled"})
+	})
+	mux.HandleFunc("GET /v1/jobs/gone", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(api.Error{Error: "no job"})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c := New(ts.URL, fastOpts())
+	ctx := context.Background()
+	if st, err := c.Get(ctx, "j1"); err != nil || st.State != "running" {
+		t.Fatalf("Get = %+v, %v", st, err)
+	}
+	if jobs, err := c.List(ctx); err != nil || len(jobs) != 2 {
+		t.Fatalf("List = %v, %v", jobs, err)
+	}
+	if st, err := c.Cancel(ctx, "j1"); err != nil || st.State != "cancelled" {
+		t.Fatalf("Cancel = %+v, %v", st, err)
+	}
+	if _, err := c.Get(ctx, "gone"); !IsNotFound(err) {
+		t.Fatalf("Get gone = %v, want not-found", err)
+	}
+}
+
+// sseWrite emits one SSE frame for msg with the given log index.
+func sseWrite(w http.ResponseWriter, seq int, msg hpas.StreamMessage) {
+	b, _ := json.Marshal(msg)
+	fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", seq, msg.Type, b)
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// A server that cuts the stream mid-job must not cost the follower any
+// messages: the client reconnects with Last-Event-ID and sees each
+// index exactly once through the done frame.
+func TestStreamReconnectsWithLastEventID(t *testing.T) {
+	var conns atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch conns.Add(1) {
+		case 1:
+			if lei := r.Header.Get("Last-Event-ID"); lei != "" {
+				t.Errorf("first connection sent Last-Event-ID %q", lei)
+			}
+			for i := 0; i < 3; i++ {
+				sseWrite(w, i, hpas.StreamMessage{Type: "window"})
+			}
+			// Return without a done frame: the connection dies.
+		default:
+			if lei := r.Header.Get("Last-Event-ID"); lei != "2" {
+				t.Errorf("reconnect sent Last-Event-ID %q, want 2", lei)
+			}
+			sseWrite(w, 3, hpas.StreamMessage{Type: "event"})
+			sseWrite(w, 4, hpas.StreamMessage{Type: "done", State: hpas.StreamJobDone})
+		}
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, fastOpts())
+	var seqs []int
+	err := c.Stream(context.Background(), "j1", 0, func(m hpas.StreamMessage) error {
+		seqs = append(seqs, m.Seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{0, 1, 2, 3, 4}; fmt.Sprint(seqs) != fmt.Sprint(want) {
+		t.Fatalf("delivered seqs %v, want %v (no loss, no duplicates)", seqs, want)
+	}
+	if conns.Load() != 2 {
+		t.Fatalf("%d connections, want 2", conns.Load())
+	}
+}
+
+// A gap frame's Seq is the last skipped index; a resume after the cut
+// must continue past the gap, not inside it.
+func TestStreamResumesPastGap(t *testing.T) {
+	var conns atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch conns.Add(1) {
+		case 1:
+			sseWrite(w, 0, hpas.StreamMessage{Type: "window"})
+			sseWrite(w, 5, hpas.StreamMessage{Type: "gap", Dropped: 5})
+		default:
+			if lei := r.Header.Get("Last-Event-ID"); lei != "5" {
+				t.Errorf("reconnect sent Last-Event-ID %q, want 5 (past the gap)", lei)
+			}
+			sseWrite(w, 6, hpas.StreamMessage{Type: "done", State: hpas.StreamJobDone})
+		}
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, fastOpts())
+	var types []string
+	if err := c.Stream(context.Background(), "j1", 0, func(m hpas.StreamMessage) error {
+		types = append(types, m.Type)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(types) != "[window gap done]" {
+		t.Fatalf("delivered types %v", types)
+	}
+}
+
+// Shed stream connections (429) are retried; terminal errors from the
+// caller's fn and from the server (404) are not.
+func TestStreamRetryAndStopSemantics(t *testing.T) {
+	var conns atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if conns.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(api.Error{Error: "shed"})
+			return
+		}
+		sseWrite(w, 0, hpas.StreamMessage{Type: "done", State: hpas.StreamJobDone})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, fastOpts())
+	if err := c.Stream(context.Background(), "j1", 0, func(hpas.StreamMessage) error { return nil }); err != nil {
+		t.Fatalf("shed stream did not recover: %v", err)
+	}
+	if conns.Load() != 2 {
+		t.Fatalf("%d connections, want 2 (one shed, one served)", conns.Load())
+	}
+
+	// fn errors stop the follow and surface as-is.
+	boom := errors.New("boom")
+	err := c.Stream(context.Background(), "j1", 0, func(hpas.StreamMessage) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("fn error surfaced as %v, want boom", err)
+	}
+
+	// 404 is terminal: no retry loop.
+	nf := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(api.Error{Error: "no job"})
+	}))
+	defer nf.Close()
+	if err := New(nf.URL, fastOpts()).Stream(context.Background(), "nope", 0, nil); !IsNotFound(err) {
+		t.Fatalf("missing job stream err = %v, want not-found", err)
+	}
+
+	// A stream that never progresses exhausts MaxRetries.
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer dead.Close()
+	opts := fastOpts()
+	opts.MaxRetries = 2
+	if err := New(dead.URL, opts).Stream(context.Background(), "j1", 0, nil); err == nil {
+		t.Fatal("dead stream returned nil, want exhausted-retries error")
+	}
+}
+
+func TestNewIdempotencyKeysAreDistinctAndSeeded(t *testing.T) {
+	a, b := New("http://x", Options{Seed: 7}), New("http://x", Options{Seed: 7})
+	k1, k2 := a.NewIdempotencyKey(), a.NewIdempotencyKey()
+	if k1 == k2 {
+		t.Fatalf("consecutive keys collide: %q", k1)
+	}
+	if len(k1) > api.MaxIdempotencyKeyLen {
+		t.Fatalf("key %q longer than server accepts", k1)
+	}
+	if got := b.NewIdempotencyKey(); got != k1 {
+		t.Fatalf("same seed diverged: %q vs %q", got, k1)
+	}
+}

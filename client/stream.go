@@ -1,0 +1,141 @@
+package hpasclient
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"hpas"
+)
+
+// Stream follows job id's message stream from log index from (0 =
+// start), calling fn for every message in order until the job's final
+// "done" message, which is delivered too. Each message's Seq carries
+// its log index.
+//
+// The follow rides SSE so the connection is resumable: when it is cut
+// mid-stream — a crashed proxy, a bounced server, an admission shed —
+// Stream backs off and reconnects with Last-Event-ID set to the last
+// index fn saw, so no message is delivered twice and none is lost. A
+// "gap" frame advances the resume point past the dropped region (its
+// Seq is the last skipped index), exactly as the server's follow
+// semantics define. Reconnects that made progress reset the retry
+// budget; MaxRetries bounds only consecutive fruitless attempts.
+//
+// A non-nil error from fn stops the follow and is returned as-is.
+func (c *Client) Stream(ctx context.Context, id string, from int, fn func(hpas.StreamMessage) error) error {
+	next := from
+	failures := 0
+	for {
+		last, err := c.streamOnce(ctx, id, next, fn)
+		if err == nil {
+			return nil // clean done frame
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		var fe *fnError
+		if errors.As(err, &fe) {
+			return fe.err
+		}
+		var ae *APIError
+		if errors.As(err, &ae) && !retryable(ae.StatusCode) {
+			return err // 404 and friends: retrying cannot help
+		}
+		if last >= next {
+			next = last + 1
+			failures = 0
+		} else {
+			failures++
+			if failures > c.maxRetries {
+				return fmt.Errorf("stream %s: %d consecutive failed attempts: %w", id, failures, err)
+			}
+		}
+		var ra time.Duration
+		if ae != nil {
+			ra = ae.retryAfter
+		}
+		if serr := sleep(ctx, c.backoff(failures, ra)); serr != nil {
+			return err
+		}
+	}
+}
+
+// fnError marks an error raised by the caller's fn, to be returned
+// as-is rather than retried.
+type fnError struct{ err error }
+
+func (e *fnError) Error() string { return e.err.Error() }
+
+// streamOnce runs one SSE connection delivering messages from index
+// `from` on. It returns the highest log index it delivered (from-1 if
+// none) and nil after a done frame, or the connection's terminal error.
+func (c *Client) streamOnce(ctx context.Context, id string, from int, fn func(hpas.StreamMessage) error) (last int, err error) {
+	last = from - 1
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/stream", nil)
+	if err != nil {
+		return last, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if from > 0 {
+		req.Header.Set("Last-Event-ID", strconv.Itoa(from-1))
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return last, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		ae := &APIError{StatusCode: resp.StatusCode, retryAfter: parseRetryAfter(resp.Header)}
+		var envelope struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&envelope)
+		ae.Message = envelope.Error
+		return last, ae
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	seq, data, sawData := -1, "", false
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if !sawData {
+				continue // heartbeat / separator noise
+			}
+			var msg hpas.StreamMessage
+			if err := json.Unmarshal([]byte(data), &msg); err != nil {
+				return last, fmt.Errorf("bad SSE frame %q: %w", data, err)
+			}
+			if seq >= 0 {
+				msg.Seq = seq
+			}
+			if err := fn(msg); err != nil {
+				return last, &fnError{err}
+			}
+			if seq > last {
+				last = seq
+			}
+			if msg.Type == "done" {
+				return last, nil
+			}
+			seq, data, sawData = -1, "", false
+		case strings.HasPrefix(line, "id: "):
+			seq, _ = strconv.Atoi(strings.TrimPrefix(line, "id: "))
+		case strings.HasPrefix(line, "data: "):
+			data, sawData = strings.TrimPrefix(line, "data: "), true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return last, err
+	}
+	return last, fmt.Errorf("stream %s ended before the job's done message", id)
+}

@@ -16,6 +16,16 @@
 //	GET    /v1/healthz          liveness probe
 //	GET    /v1/readyz           readiness probe (journal ok/degraded)
 //
+// The handlers live in hpas/serve; this command is the process shell:
+// flags, detector training, journal recovery, and graceful shutdown.
+//
+// The front door is admission-controlled: -rate/-burst cap the request
+// rate (globally and per client), -max-inflight bounds concurrent
+// request handling, and overload is shed as 429/503 with a Retry-After
+// hint instead of queueing without bound. POST /v1/jobs accepts an
+// Idempotency-Key header making retries duplicate-safe; the companion
+// Go client (hpas/client) sends one automatically.
+//
 // With -data-dir, jobs are journaled to disk (internal/stream/journal)
 // and recovered on restart: finished jobs keep their terminal state,
 // events, and a byte-identical replayable stream. The journal sits
@@ -25,7 +35,7 @@
 // loud warning, not an outage.
 //
 // See the README's "Serving the simulator" section for a curl
-// walkthrough.
+// walkthrough and "A Go client" for the programmatic one.
 package main
 
 import (
@@ -42,12 +52,17 @@ import (
 	"time"
 
 	"hpas"
+	"hpas/internal/admission"
+	"hpas/serve"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 2, "concurrent simulation jobs")
 	queue := flag.Int("queue", 16, "pending-job queue capacity")
+	rate := flag.Float64("rate", 0, "admitted requests/second, global and per client (0 = unlimited)")
+	burst := flag.Int("burst", 0, "rate-limit burst allowance (default: -rate rounded up)")
+	maxInflight := flag.Int("max-inflight", 0, "concurrent API requests before load shedding (0 = unlimited)")
 	dataDir := flag.String("data-dir", "", "journal directory for durable job history (empty = in-memory only)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown budget: drain in-flight jobs, then cancel what remains")
 	followLimit := flag.Int("follow-buffer", 0, "per-follower backpressure bound in messages before drop-oldest (0 = default 256, negative = unbounded)")
@@ -81,7 +96,7 @@ func main() {
 	// Journal trouble at startup degrades instead of aborting — one
 	// corrupt file must not turn into a full outage.
 	scfg := hpas.StreamConfig{Workers: *workers, Queue: *queue, FollowLimit: *followLimit}
-	store, recovered := openJournal(*dataDir, log.Printf)
+	store, recovered := serve.OpenJournal(*dataDir, log.Printf)
 	scfg.Store = store
 	mgr := hpas.NewStreamManager(scfg)
 	if store != nil {
@@ -91,9 +106,14 @@ func main() {
 			log.Printf("hpas-serve: recovered %d jobs from %s", len(recovered), *dataDir)
 		}
 	}
+	handler := serve.New(mgr, det, serve.Config{Admission: admission.Options{
+		Rate:        *rate,
+		Burst:       *burst,
+		MaxInflight: *maxInflight,
+	}}).Handler()
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(mgr, det).routes(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		IdleTimeout:       120 * time.Second,
@@ -101,7 +121,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("hpas-serve: listening on %s (%d workers, queue %d)", *addr, *workers, *queue)
+	log.Printf("hpas-serve: listening on %s (%d workers, queue %d, rate %s, max-inflight %d)",
+		*addr, *workers, *queue, rateLabel(*rate), *maxInflight)
 
 	select {
 	case <-ctx.Done():
@@ -130,28 +151,11 @@ func main() {
 	}
 }
 
-// openJournal opens dir's journal and recovers prior job history,
-// degrading instead of aborting on failure: an unopenable journal
-// leaves the service fully in-memory, an unrecoverable one keeps the
-// journal for new jobs but serves no history. Either path logs a loud
-// warning. The returned store is wrapped in the resilience layer
-// (retry, circuit breaker, re-attachment probe); an empty dir returns
-// a nil store.
-func openJournal(dir string, logf func(string, ...any)) (hpas.StreamStore, []hpas.StreamRecoveredJob) {
-	if dir == "" {
-		return nil, nil
+func rateLabel(rate float64) string {
+	if rate <= 0 {
+		return "unlimited"
 	}
-	jn, err := hpas.OpenStreamJournal(dir)
-	if err != nil {
-		logf("hpas-serve: WARNING: cannot open journal in %s: %v; running in-memory (job history will not survive restarts)", dir, err)
-		return nil, nil
-	}
-	recovered, err := jn.Recover()
-	if err != nil {
-		logf("hpas-serve: WARNING: recovering journal in %s: %v; continuing without recovered history", dir, err)
-		recovered = nil
-	}
-	return hpas.NewResilientStreamStore(jn, hpas.StreamResilienceOptions{Logf: logf}), recovered
+	return fmt.Sprintf("%g/s", rate)
 }
 
 type trainConfig struct {

@@ -1,15 +1,24 @@
 // Onlinediagnosis: the runtime phase of the paper's diagnosis framework
-// (Section 5.1) — train offline on labelled runs, then submit a live
-// campaign to the streaming job manager and watch window predictions
-// and coalesced anomaly events arrive as the simulation progresses.
+// (Section 5.1) — train offline on labelled runs, then run a live
+// campaign through the full client/server stack: an in-process
+// hpas-serve (hpas/serve) fronted by admission control, driven over
+// HTTP by the resilient Go client (hpas/client). The client submits
+// the campaign idempotently and follows window predictions and
+// coalesced anomaly events over a resumable SSE stream — the same path
+// a remote consumer of a deployed hpas-serve would use.
 package main
 
 import (
 	"context"
 	"fmt"
 	"log"
+	"net/http/httptest"
 
 	"hpas"
+	"hpas/api"
+	hpasclient "hpas/client"
+	"hpas/internal/admission"
+	"hpas/serve"
 )
 
 func main() {
@@ -31,44 +40,49 @@ func main() {
 	}
 	fmt.Printf("trained on %d runs (%d features)\n\n", ds.NumSamples(), ds.NumFeatures())
 
-	// Runtime phase: a production-like stream where anomalies start and
-	// stop while the application keeps running. The campaign goes through
-	// the same manager + pipeline that backs cmd/hpas-serve.
-	camp := hpas.Campaign{
-		Base: hpas.RunConfig{
-			Cluster:      hpas.VoltrinoConfig(4),
-			App:          "CoMD",
-			Iterations:   1 << 20,
-			FixedSeconds: 150,
-			Seed:         77,
-		},
-		Phases: []hpas.CampaignPhase{
-			{Label: "cpuoccupy", Start: 15, Duration: 30,
-				Specs: []hpas.Spec{{Name: "cpuoccupy", Node: 0, CPU: 32, Intensity: 90}}},
-			{Label: "memleak", Start: 60, Duration: 30,
-				Specs: []hpas.Spec{{Name: "memleak", Node: 0, CPU: 34, Intensity: 2}}},
-			{Label: "cachecopy", Start: 105, Duration: 30,
-				Specs: []hpas.Spec{{Name: "cachecopy", Node: 0, CPU: 32}}},
-		},
-	}
-
+	// Serving phase: the real hpas-serve handler stack in-process, with
+	// the admission front door configured as a deployment would be.
 	mgr := hpas.NewStreamManager(hpas.StreamConfig{Workers: 1})
 	defer mgr.Close()
-	job, err := mgr.Submit(hpas.StreamJobSpec{
-		Campaign: camp,
-		Pipeline: hpas.StreamPipelineConfig{Detector: det, Window: 15},
+	srv := httptest.NewServer(serve.New(mgr, det, serve.Config{
+		Admission: admission.Options{Rate: 50, MaxInflight: 8},
+	}).Handler())
+	defer srv.Close()
+	fmt.Printf("serving phase: hpas-serve listening at %s\n", srv.URL)
+
+	// Runtime phase: a production-like stream where anomalies start and
+	// stop while the application keeps running, submitted over HTTP.
+	// Submit generates an idempotency key and retries transient
+	// failures, so a flaky link cannot create duplicate campaigns.
+	client := hpasclient.New(srv.URL, hpasclient.Options{})
+	ctx := context.Background()
+	phases := []api.Phase{
+		{Label: "cpuoccupy", Start: 15, Duration: 30,
+			Specs: []api.SpecEntry{{Name: "cpuoccupy", Node: 0, CPU: 32, Intensity: 90}}},
+		{Label: "memleak", Start: 60, Duration: 30,
+			Specs: []api.SpecEntry{{Name: "memleak", Node: 0, CPU: 34, Intensity: 2}}},
+		{Label: "cachecopy", Start: 105, Duration: 30,
+			Specs: []api.SpecEntry{{Name: "cachecopy", Node: 0, CPU: 32}}},
+	}
+	job, err := client.Submit(ctx, api.JobRequest{
+		App:      "CoMD",
+		Nodes:    4,
+		Seed:     77,
+		Duration: 150,
+		Window:   15,
+		Phases:   phases,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("runtime phase: job %s streaming node 0 diagnoses\n", job.ID())
+	fmt.Printf("runtime phase: job %s streaming node 0 diagnoses\n", job.ID)
 	correct, total := 0, 0
-	for msg := range job.Follow(context.Background()) {
+	err = client.Stream(ctx, job.ID, 0, func(msg hpas.StreamMessage) error {
 		switch msg.Type {
 		case "window":
 			w := msg.Window
-			truth := labelAt(camp.Phases, (w.From+w.To)/2)
+			truth := labelAt(phases, (w.From+w.To)/2)
 			mark := " "
 			if w.Class == truth {
 				mark = "*"
@@ -83,9 +97,13 @@ func main() {
 				e.Class, e.Node, e.Start, e.End, e.Windows, e.Confidence)
 		case "done":
 			if msg.Error != "" {
-				log.Fatalf("job failed: %s", msg.Error)
+				return fmt.Errorf("job failed: %s", msg.Error)
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
 	if total > 0 {
 		fmt.Printf("\nwindow accuracy: %.0f%%\n", 100*float64(correct)/float64(total))
@@ -94,7 +112,7 @@ func main() {
 
 // labelAt returns the ground-truth class at time t; the latest-starting
 // active phase wins, matching the campaign timeline's overlap rule.
-func labelAt(phases []hpas.CampaignPhase, t float64) string {
+func labelAt(phases []api.Phase, t float64) string {
 	label := "none"
 	for _, ph := range phases {
 		if t >= ph.Start && t < ph.Start+ph.Duration {

@@ -321,6 +321,10 @@ const (
 // pending-job queue is at capacity.
 var ErrStreamQueueFull = stream.ErrQueueFull
 
+// ErrStreamClosed is returned by StreamManager.Submit after Close
+// (service shutdown).
+var ErrStreamClosed = stream.ErrClosed
+
 // ErrStreamInterrupted marks a recovered job whose previous process
 // died mid-run; Reopen finalizes such jobs as failed with this error.
 var ErrStreamInterrupted = stream.ErrInterrupted

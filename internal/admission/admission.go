@@ -1,0 +1,142 @@
+// Package admission is the front-door overload protection for the
+// streaming service: it decides, before any work is done, whether a
+// request may enter. Three mechanisms compose:
+//
+//   - Bucket, a token-bucket rate limiter (requests/second with a
+//     burst allowance) for the global request rate.
+//   - Keyed, a map of per-client buckets with LRU eviction, so one
+//     noisy client exhausts its own budget, not the service's.
+//   - Gate, a concurrency limiter with a bounded wait: at most
+//     MaxInflight requests execute at once, at most MaxWaiting more
+//     may queue, and nobody queues longer than MaxWait.
+//
+// Limiter wires the three into HTTP middleware that converts
+// saturation into load shedding instead of latency collapse: rate
+// rejections are 429 Too Many Requests, concurrency rejections are
+// 503 Service Unavailable, and both carry a Retry-After hint derived
+// from the limiter state (time until a token accrues, scaled by queue
+// depth) with seeded jitter so a herd of rejected clients does not
+// retry in lockstep.
+//
+// Everything takes an explicit clock and seed, so admission decisions
+// are as deterministic under test as the rest of the repo.
+package admission
+
+import (
+	"container/list"
+	"math"
+	"sync"
+	"time"
+)
+
+// Bucket is a token-bucket rate limiter: tokens accrue at Rate per
+// second up to Burst, and each admitted request spends one. It is safe
+// for concurrent use.
+type Bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// NewBucket returns a full bucket accruing rate tokens/second with the
+// given burst capacity (clamped to at least 1).
+func NewBucket(rate, burst float64) *Bucket {
+	if burst < 1 {
+		burst = 1
+	}
+	return &Bucket{rate: rate, burst: burst, tokens: burst}
+}
+
+// Take spends one token if available. When it cannot, it returns the
+// time until the next token accrues — the Retry-After hint.
+func (b *Bucket) Take(now time.Time) (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.last.IsZero() {
+		if dt := now.Sub(b.last).Seconds(); dt > 0 {
+			b.tokens = math.Min(b.burst, b.tokens+dt*b.rate)
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	if b.rate <= 0 {
+		return false, time.Second
+	}
+	need := 1 - b.tokens
+	return false, time.Duration(need / b.rate * float64(time.Second))
+}
+
+// Keyed is a map of per-key Buckets with LRU eviction, bounding both
+// any single client's request rate and the limiter's own memory. A key
+// seen again after eviction starts with a fresh (full) bucket — the
+// cost of forgetting is a burst, not an outage.
+type Keyed struct {
+	mu      sync.Mutex
+	rate    float64
+	burst   float64
+	cap     int
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+	evicted int64
+}
+
+type keyedEntry struct {
+	key    string
+	bucket *Bucket
+}
+
+// NewKeyed returns a keyed limiter tracking at most cap clients
+// (default 1024 when cap <= 0), each with its own rate/burst bucket.
+func NewKeyed(rate, burst float64, cap int) *Keyed {
+	if cap <= 0 {
+		cap = 1024
+	}
+	return &Keyed{
+		rate:    rate,
+		burst:   burst,
+		cap:     cap,
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// Take spends one token from key's bucket, creating it (and evicting
+// the least-recently-used key past capacity) as needed.
+func (k *Keyed) Take(key string, now time.Time) (ok bool, retryAfter time.Duration) {
+	k.mu.Lock()
+	el, hit := k.entries[key]
+	if hit {
+		k.lru.MoveToFront(el)
+	} else {
+		el = k.lru.PushFront(&keyedEntry{key: key, bucket: NewBucket(k.rate, k.burst)})
+		k.entries[key] = el
+		for k.lru.Len() > k.cap {
+			old := k.lru.Back()
+			k.lru.Remove(old)
+			delete(k.entries, old.Value.(*keyedEntry).key)
+			k.evicted++
+		}
+	}
+	b := el.Value.(*keyedEntry).bucket
+	k.mu.Unlock()
+	return b.Take(now)
+}
+
+// Len returns the number of clients currently tracked.
+func (k *Keyed) Len() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.lru.Len()
+}
+
+// Evicted returns how many clients have been dropped by LRU pressure.
+func (k *Keyed) Evicted() int64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.evicted
+}

@@ -1,0 +1,178 @@
+package admission
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// A pinned clock makes every bucket decision exact.
+func TestBucketAccrualAndRetryAfter(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := NewBucket(2, 3) // 2 tokens/s, burst 3
+
+	for i := 0; i < 3; i++ {
+		if ok, _ := b.Take(now); !ok {
+			t.Fatalf("take %d within burst rejected", i)
+		}
+	}
+	ok, after := b.Take(now)
+	if ok {
+		t.Fatal("take beyond burst admitted")
+	}
+	if after <= 0 || after > 500*time.Millisecond {
+		t.Fatalf("retry-after %v, want (0, 500ms] at 2 tokens/s", after)
+	}
+
+	// Half a second accrues one token; a second take still fails.
+	now = now.Add(500 * time.Millisecond)
+	if ok, _ := b.Take(now); !ok {
+		t.Fatal("take after accrual rejected")
+	}
+	if ok, _ := b.Take(now); ok {
+		t.Fatal("second take after single accrual admitted")
+	}
+
+	// Tokens cap at burst no matter how long the idle gap.
+	now = now.Add(time.Hour)
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if ok, _ := b.Take(now); ok {
+			admitted++
+		}
+	}
+	if admitted != 3 {
+		t.Fatalf("admitted %d after long idle, want burst 3", admitted)
+	}
+}
+
+func TestKeyedIsolatesClientsAndEvictsLRU(t *testing.T) {
+	now := time.Unix(1000, 0)
+	k := NewKeyed(1, 1, 2) // 1 rps, burst 1, at most 2 tracked clients
+
+	if ok, _ := k.Take("a", now); !ok {
+		t.Fatal("a's first take rejected")
+	}
+	if ok, _ := k.Take("a", now); ok {
+		t.Fatal("a's second take admitted: burst is 1")
+	}
+	// b is unaffected by a's exhaustion.
+	if ok, _ := k.Take("b", now); !ok {
+		t.Fatal("b rejected because of a's traffic")
+	}
+
+	// A third client evicts the least-recently-used (a, since b was
+	// seen later).
+	if ok, _ := k.Take("c", now); !ok {
+		t.Fatal("c's first take rejected")
+	}
+	if k.Len() != 2 {
+		t.Fatalf("tracking %d clients, want 2", k.Len())
+	}
+	if k.Evicted() != 1 {
+		t.Fatalf("evicted %d, want 1", k.Evicted())
+	}
+	// a returns with a fresh bucket — eviction forgets, it does not ban.
+	if ok, _ := k.Take("a", now); !ok {
+		t.Fatal("a rejected after re-admission; eviction should reset its bucket")
+	}
+}
+
+func TestGateBoundsConcurrencyAndWait(t *testing.T) {
+	g := NewGate(1, 1, 20*time.Millisecond)
+	ctx := context.Background()
+
+	release, err := g.Acquire(ctx)
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	if g.Inflight() != 1 {
+		t.Fatalf("inflight %d, want 1", g.Inflight())
+	}
+
+	// One waiter is allowed; it times out since the slot never frees.
+	start := time.Now()
+	if _, err := g.Acquire(ctx); err != ErrSaturated {
+		t.Fatalf("second acquire err = %v, want ErrSaturated", err)
+	}
+	if wait := time.Since(start); wait < 15*time.Millisecond {
+		t.Fatalf("bounded wait returned after %v, want ~20ms", wait)
+	}
+
+	// With the slot released, acquisition is immediate again.
+	release()
+	release2, err := g.Acquire(ctx)
+	if err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	release2()
+
+	if g.RetryAfter() <= 0 {
+		t.Fatal("RetryAfter must always be positive")
+	}
+}
+
+func TestGateBouncesWhenWaitingRoomFull(t *testing.T) {
+	g := NewGate(1, 1, time.Second)
+	release, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	// Fill the waiting room with a parked waiter...
+	parked := make(chan error, 1)
+	go func() {
+		_, err := g.Acquire(context.Background())
+		parked <- err
+	}()
+	for g.Waiting() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	// ...so the next request is rejected instantly, not queued.
+	start := time.Now()
+	if _, err := g.Acquire(context.Background()); err != ErrSaturated {
+		t.Fatalf("overflow acquire err = %v, want ErrSaturated", err)
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("overflow rejection took %v, want instant", d)
+	}
+	if err := <-parked; err != ErrSaturated {
+		t.Fatalf("parked waiter err = %v, want ErrSaturated after MaxWait", err)
+	}
+}
+
+func TestGateAcquireHonorsContext(t *testing.T) {
+	g := NewGate(1, 4, time.Minute)
+	release, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := g.Acquire(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("acquire err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// Determinism: the same seed yields the same Retry-After hints.
+func TestSeededJitterIsDeterministic(t *testing.T) {
+	hints := func(seed uint64) []string {
+		now := time.Unix(1000, 0)
+		l := New(Options{Rate: 1, Burst: 1, Seed: seed, Now: func() time.Time { return now }})
+		var out []string
+		for i := 0; i < 8; i++ {
+			rec := newRecorder()
+			l.Wrap(okHandler()).ServeHTTP(rec, newRequest("10.0.0.9:1234"))
+			out = append(out, rec.Header().Get("Retry-After"))
+		}
+		return out
+	}
+	a, b := hints(7), hints(7)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same seed, different hint sequences:\n%v\n%v", a, b)
+	}
+}

@@ -1,0 +1,98 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// ErrSaturated is returned by Gate.Acquire when the service is at its
+// concurrency limit and the bounded wait is exhausted (either the
+// waiting room is full or MaxWait elapsed without a slot freeing).
+var ErrSaturated = errors.New("admission: service saturated")
+
+// Gate is a concurrency limiter with a bounded wait: at most max
+// requests hold a slot at once, at most maxWaiting more may wait for
+// one, and no waiter blocks longer than maxWait. Beyond those bounds
+// Acquire fails immediately — saturation becomes a fast, explicit
+// rejection instead of an unbounded queue.
+type Gate struct {
+	slots      chan struct{}
+	maxWait    time.Duration
+	maxWaiting int64
+
+	inflight atomic.Int64
+	waiting  atomic.Int64
+	timedOut atomic.Int64 // waited the full MaxWait and still got no slot
+	bounced  atomic.Int64 // rejected instantly: waiting room already full
+}
+
+// NewGate returns a gate admitting max concurrent holders, with at
+// most maxWaiting queued waiters (default max) waiting up to maxWait
+// (default 100ms) each.
+func NewGate(max, maxWaiting int, maxWait time.Duration) *Gate {
+	if max < 1 {
+		max = 1
+	}
+	if maxWaiting <= 0 {
+		maxWaiting = max
+	}
+	if maxWait <= 0 {
+		maxWait = 100 * time.Millisecond
+	}
+	return &Gate{
+		slots:      make(chan struct{}, max),
+		maxWait:    maxWait,
+		maxWaiting: int64(maxWaiting),
+	}
+}
+
+// Acquire claims a slot, waiting up to the gate's bounded wait for one
+// to free. It returns the release function on success; the caller must
+// invoke it exactly once. It fails with ErrSaturated when the bounds
+// are exhausted, or ctx.Err() when the request dies first.
+func (g *Gate) Acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case g.slots <- struct{}{}:
+		g.inflight.Add(1)
+		return g.release, nil
+	default:
+	}
+	if g.waiting.Add(1) > g.maxWaiting {
+		g.waiting.Add(-1)
+		g.bounced.Add(1)
+		return nil, ErrSaturated
+	}
+	defer g.waiting.Add(-1)
+	t := time.NewTimer(g.maxWait)
+	defer t.Stop()
+	select {
+	case g.slots <- struct{}{}:
+		g.inflight.Add(1)
+		return g.release, nil
+	case <-t.C:
+		g.timedOut.Add(1)
+		return nil, ErrSaturated
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (g *Gate) release() {
+	g.inflight.Add(-1)
+	<-g.slots
+}
+
+// Inflight returns the number of currently held slots.
+func (g *Gate) Inflight() int64 { return g.inflight.Load() }
+
+// Waiting returns the number of requests queued for a slot right now.
+func (g *Gate) Waiting() int64 { return g.waiting.Load() }
+
+// RetryAfter derives a back-off hint from queue depth: one bounded
+// wait per request already queued ahead, floored at one maxWait. The
+// deeper the queue, the further away a freed slot is.
+func (g *Gate) RetryAfter() time.Duration {
+	return time.Duration(g.waiting.Load()+1) * g.maxWait
+}

@@ -1,0 +1,227 @@
+package admission
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options configures a Limiter. The zero value disables every
+// mechanism — Wrap becomes a pass-through — so callers can expose the
+// knobs unconditionally and let zero mean "off".
+type Options struct {
+	// Rate is the global admitted request rate in requests/second;
+	// <= 0 disables rate limiting.
+	Rate float64
+	// Burst is the global burst allowance (default: Rate rounded up,
+	// at least 1).
+	Burst int
+	// PerClientRate and PerClientBurst bound each client key
+	// separately (defaults: the global Rate/Burst). Only consulted
+	// when Rate > 0.
+	PerClientRate  float64
+	PerClientBurst int
+	// MaxClients caps the per-client bucket map; least-recently-seen
+	// clients are evicted beyond it (default 1024).
+	MaxClients int
+
+	// MaxInflight is the concurrent-request limit; <= 0 disables the
+	// concurrency gate.
+	MaxInflight int
+	// MaxWaiting bounds how many requests may wait for a slot
+	// (default MaxInflight); MaxWait bounds how long each may wait
+	// (default 100ms).
+	MaxWaiting int
+	MaxWait    time.Duration
+
+	// Seed seeds the Retry-After jitter; equal seeds give equal hint
+	// sequences (default 1).
+	Seed uint64
+	// Now is the clock (default time.Now). Tests pin it.
+	Now func() time.Time
+}
+
+// Stats is a point-in-time snapshot of the limiter's counters, served
+// by hpas-serve's /v1/metrics.
+type Stats struct {
+	RateLimit   float64 `json:"rate_limit"`   // configured requests/second (0 = off)
+	Burst       int     `json:"burst"`        // configured burst allowance
+	MaxInflight int     `json:"max_inflight"` // configured concurrency limit (0 = off)
+
+	Admitted        int64 `json:"admitted"`
+	ShedRate        int64 `json:"shed_rate"`        // 429s from the global bucket
+	ShedClient      int64 `json:"shed_client"`      // 429s from a per-client bucket
+	ShedConcurrency int64 `json:"shed_concurrency"` // 503s from the gate
+	Inflight        int64 `json:"inflight"`
+	Waiting         int64 `json:"waiting"`
+	ClientsTracked  int   `json:"clients_tracked"`
+	ClientsEvicted  int64 `json:"clients_evicted"`
+}
+
+// Limiter combines the global bucket, the per-client keyed buckets,
+// and the concurrency gate into HTTP middleware. Construct with New;
+// a nil *Limiter is valid and admits everything.
+type Limiter struct {
+	opt    Options
+	global *Bucket
+	client *Keyed
+	gate   *Gate
+
+	jmu sync.Mutex
+	rng *rand.Rand
+
+	admitted        atomic.Int64
+	shedRate        atomic.Int64
+	shedClient      atomic.Int64
+	shedConcurrency atomic.Int64
+}
+
+// New builds a limiter from opts. Disabled mechanisms (zero Rate, zero
+// MaxInflight) stay nil inside and cost nothing per request.
+func New(opts Options) *Limiter {
+	if opts.Burst <= 0 {
+		opts.Burst = int(opts.Rate + 0.999)
+		if opts.Burst < 1 {
+			opts.Burst = 1
+		}
+	}
+	if opts.PerClientRate <= 0 {
+		opts.PerClientRate = opts.Rate
+	}
+	if opts.PerClientBurst <= 0 {
+		opts.PerClientBurst = opts.Burst
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	l := &Limiter{opt: opts, rng: rand.New(rand.NewSource(int64(opts.Seed)))}
+	if opts.Rate > 0 {
+		l.global = NewBucket(opts.Rate, float64(opts.Burst))
+		l.client = NewKeyed(opts.PerClientRate, float64(opts.PerClientBurst), opts.MaxClients)
+	}
+	if opts.MaxInflight > 0 {
+		l.gate = NewGate(opts.MaxInflight, opts.MaxWaiting, opts.MaxWait)
+	}
+	return l
+}
+
+// Wrap applies the full admission policy — rate limits, then the
+// concurrency gate — around next. Rejections are written as JSON
+// errors with a Retry-After header and never reach next.
+func (l *Limiter) Wrap(next http.Handler) http.Handler {
+	if l == nil || (l.global == nil && l.gate == nil) {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !l.admitRate(w, r) {
+			return
+		}
+		if l.gate != nil {
+			release, err := l.gate.Acquire(r.Context())
+			if err != nil {
+				l.shedConcurrency.Add(1)
+				l.reject(w, http.StatusServiceUnavailable, l.gate.RetryAfter(),
+					"service saturated: %d in flight, %d waiting", l.gate.Inflight(), l.gate.Waiting())
+				return
+			}
+			defer release()
+		}
+		l.admitted.Add(1)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// WrapRate applies only the rate-limit tier. Long-lived handlers
+// (stream following) use it: they must be paced, but holding a
+// concurrency slot for the lifetime of a stream would let a few
+// followers starve the whole API.
+func (l *Limiter) WrapRate(next http.Handler) http.Handler {
+	if l == nil || l.global == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !l.admitRate(w, r) {
+			return
+		}
+		l.admitted.Add(1)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// admitRate runs the per-client and global buckets; it writes the 429
+// and reports false when either sheds the request.
+func (l *Limiter) admitRate(w http.ResponseWriter, r *http.Request) bool {
+	if l.global == nil {
+		return true
+	}
+	now := l.opt.Now()
+	if ok, after := l.client.Take(clientKey(r), now); !ok {
+		l.shedClient.Add(1)
+		l.reject(w, http.StatusTooManyRequests, after, "client rate limit exceeded")
+		return false
+	}
+	if ok, after := l.global.Take(now); !ok {
+		l.shedRate.Add(1)
+		l.reject(w, http.StatusTooManyRequests, after, "rate limit exceeded")
+		return false
+	}
+	return true
+}
+
+// reject writes a shed response: JSON error body plus a Retry-After
+// header of at least one second, jittered so rejected clients spread
+// their retries instead of stampeding back together.
+func (l *Limiter) reject(w http.ResponseWriter, code int, after time.Duration, format string, args ...any) {
+	secs := int(after/time.Second) + 1 // ceil-ish: always positive
+	l.jmu.Lock()
+	secs += l.rng.Intn(2) // seeded jitter: 0 or 1 extra second
+	l.jmu.Unlock()
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	fmt.Fprintf(w, "{\n  \"error\": %q\n}\n", fmt.Sprintf(format, args...))
+}
+
+// Stats snapshots the limiter's counters. Safe on a nil limiter.
+func (l *Limiter) Stats() Stats {
+	if l == nil {
+		return Stats{}
+	}
+	s := Stats{
+		RateLimit:   l.opt.Rate,
+		Burst:       l.opt.Burst,
+		MaxInflight: l.opt.MaxInflight,
+		Admitted:    l.admitted.Load(),
+		ShedRate:    l.shedRate.Load(),
+		ShedClient:  l.shedClient.Load(),
+	}
+	if l.client != nil {
+		s.ClientsTracked = l.client.Len()
+		s.ClientsEvicted = l.client.Evicted()
+	}
+	if l.gate != nil {
+		s.ShedConcurrency = l.shedConcurrency.Load()
+		s.Inflight = l.gate.Inflight()
+		s.Waiting = l.gate.Waiting()
+	}
+	return s
+}
+
+// clientKey identifies the requester for per-client limiting: the
+// remote IP without the ephemeral port. Deployments behind a proxy
+// would substitute a forwarded-for header here; trusting it by default
+// would let any client mint fresh identities per request.
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}

@@ -1,0 +1,184 @@
+package admission
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+}
+
+func newRecorder() *httptest.ResponseRecorder { return httptest.NewRecorder() }
+
+func newRequest(remote string) *http.Request {
+	r := httptest.NewRequest("POST", "/v1/jobs", nil)
+	r.RemoteAddr = remote
+	return r
+}
+
+// Saturating the rate tier yields 429s with a positive Retry-After —
+// the acceptance criterion, at the middleware level.
+func TestWrapShedsRateWith429AndRetryAfter(t *testing.T) {
+	now := time.Unix(1000, 0)
+	l := New(Options{Rate: 1, Burst: 2, Seed: 3, Now: func() time.Time { return now }})
+	h := l.Wrap(okHandler())
+
+	codes := make(map[int]int)
+	for i := 0; i < 6; i++ {
+		rec := newRecorder()
+		h.ServeHTTP(rec, newRequest("10.0.0.1:999"))
+		codes[rec.Code]++
+		if rec.Code == http.StatusTooManyRequests {
+			ra, err := strconv.Atoi(rec.Header().Get("Retry-After"))
+			if err != nil || ra <= 0 {
+				t.Fatalf("429 Retry-After = %q, want a positive integer", rec.Header().Get("Retry-After"))
+			}
+		}
+	}
+	if codes[http.StatusOK] != 2 || codes[http.StatusTooManyRequests] != 4 {
+		t.Fatalf("codes = %v, want 2 OK (burst) and 4 429s", codes)
+	}
+
+	st := l.Stats()
+	if st.Admitted != 2 || st.ShedClient+st.ShedRate != 4 {
+		t.Fatalf("stats = %+v, want 2 admitted, 4 shed", st)
+	}
+}
+
+// Distinct clients draw from distinct buckets; the global bucket still
+// bounds their sum.
+func TestWrapPerClientThenGlobal(t *testing.T) {
+	now := time.Unix(1000, 0)
+	l := New(Options{Rate: 3, Burst: 3, PerClientRate: 1, PerClientBurst: 2, Seed: 1,
+		Now: func() time.Time { return now }})
+	h := l.Wrap(okHandler())
+
+	do := func(remote string) int {
+		rec := newRecorder()
+		h.ServeHTTP(rec, newRequest(remote))
+		return rec.Code
+	}
+
+	// Client A burns its burst of 2, then is shed by its own bucket
+	// while client B is still admitted (global has 3 tokens: 2 went to
+	// A, 1 left for B).
+	if c := do("10.0.0.1:1"); c != http.StatusOK {
+		t.Fatalf("A #1 = %d", c)
+	}
+	if c := do("10.0.0.1:2"); c != http.StatusOK {
+		t.Fatalf("A #2 = %d", c)
+	}
+	if c := do("10.0.0.1:3"); c != http.StatusTooManyRequests {
+		t.Fatalf("A #3 = %d, want 429 from per-client bucket", c)
+	}
+	if c := do("10.0.0.2:1"); c != http.StatusOK {
+		t.Fatalf("B #1 = %d", c)
+	}
+	// B has per-client budget left but the global bucket is empty now.
+	if c := do("10.0.0.2:2"); c != http.StatusTooManyRequests {
+		t.Fatalf("B #2 = %d, want 429 from global bucket", c)
+	}
+	st := l.Stats()
+	if st.ShedClient != 1 || st.ShedRate != 1 {
+		t.Fatalf("stats = %+v, want 1 client shed + 1 global shed", st)
+	}
+}
+
+// Saturating the concurrency tier yields 503s with a Retry-After that
+// grows with queue depth, and recovers once handlers finish.
+func TestWrapShedsConcurrencyWith503(t *testing.T) {
+	l := New(Options{MaxInflight: 1, MaxWaiting: 1, MaxWait: 10 * time.Millisecond, Seed: 1})
+	block := make(chan struct{})
+	entered := make(chan struct{}, 8) // buffered: the post-recovery request passes through too
+	h := l.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-block
+		w.WriteHeader(http.StatusOK)
+	}))
+
+	var wg sync.WaitGroup
+	first := newRecorder()
+	wg.Add(1)
+	go func() { defer wg.Done(); h.ServeHTTP(first, newRequest("10.0.0.1:1")) }()
+	<-entered // the slot is now held
+
+	// Fill the waiting room, then overflow it.
+	waiterDone := make(chan int, 1)
+	go func() {
+		rec := newRecorder()
+		h.ServeHTTP(rec, newRequest("10.0.0.1:2"))
+		waiterDone <- rec.Code
+	}()
+	for l.gate.Waiting() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	rec := newRecorder()
+	h.ServeHTTP(rec, newRequest("10.0.0.1:3"))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("overflow code = %d, want 503", rec.Code)
+	}
+	if ra, err := strconv.Atoi(rec.Header().Get("Retry-After")); err != nil || ra <= 0 {
+		t.Fatalf("503 Retry-After = %q, want positive", rec.Header().Get("Retry-After"))
+	}
+	if code := <-waiterDone; code != http.StatusServiceUnavailable {
+		t.Fatalf("bounded waiter code = %d, want 503 after MaxWait", code)
+	}
+
+	close(block)
+	wg.Wait()
+	if first.Code != http.StatusOK {
+		t.Fatalf("slot holder code = %d, want 200", first.Code)
+	}
+	// Saturation was transient: the next request sails through.
+	rec = newRecorder()
+	h.ServeHTTP(rec, newRequest("10.0.0.1:4"))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-recovery code = %d, want 200", rec.Code)
+	}
+	if st := l.Stats(); st.ShedConcurrency != 2 {
+		t.Fatalf("shed_concurrency = %d, want 2", st.ShedConcurrency)
+	}
+}
+
+// WrapRate paces but never holds a concurrency slot, and disabled
+// limiters pass everything through untouched.
+func TestWrapRateOnlyAndDisabled(t *testing.T) {
+	l := New(Options{Rate: 1, Burst: 1, MaxInflight: 1, Seed: 1,
+		Now: func() time.Time { return time.Unix(1000, 0) }})
+	// Hold the gate's only slot; WrapRate must still admit.
+	release, err := l.gate.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	rec := newRecorder()
+	l.WrapRate(okHandler()).ServeHTTP(rec, newRequest("10.0.0.1:1"))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("WrapRate with gate full = %d, want 200 (rate tier only)", rec.Code)
+	}
+
+	var nilL *Limiter
+	rec = newRecorder()
+	nilL.Wrap(okHandler()).ServeHTTP(rec, newRequest("10.0.0.1:1"))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("nil limiter = %d, want pass-through", rec.Code)
+	}
+	if s := nilL.Stats(); s != (Stats{}) {
+		t.Fatalf("nil limiter stats = %+v, want zero", s)
+	}
+
+	off := New(Options{})
+	rec = newRecorder()
+	off.Wrap(okHandler()).ServeHTTP(rec, newRequest("10.0.0.1:1"))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("disabled limiter = %d, want pass-through", rec.Code)
+	}
+}

@@ -1,0 +1,142 @@
+package stream
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// keyed returns hogSpec with an idempotency key attached.
+func keyed(seed uint64, key string) JobSpec {
+	spec := hogSpec(seed, 30)
+	spec.IdempotencyKey = key
+	return spec
+}
+
+func TestSubmitIdempotentDedupes(t *testing.T) {
+	m := NewManager(Config{Workers: 1})
+	defer m.Close()
+
+	j1, dup, err := m.SubmitIdempotent(keyed(42, "k-1"))
+	if err != nil || dup {
+		t.Fatalf("first submit: job %v, dup %v, err %v", j1, dup, err)
+	}
+	j2, dup, err := m.SubmitIdempotent(keyed(42, "k-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dup || j2 != j1 {
+		t.Fatalf("retry got job %s (dup %v), want original %s", j2.ID(), dup, j1.ID())
+	}
+
+	// A different key is a different job; an empty key never dedupes.
+	j3, dup, err := m.SubmitIdempotent(keyed(42, "k-2"))
+	if err != nil || dup || j3 == j1 {
+		t.Fatalf("distinct key: job %v, dup %v, err %v", j3, dup, err)
+	}
+	j4, dup, err := m.SubmitIdempotent(keyed(42, ""))
+	if err != nil || dup {
+		t.Fatalf("empty key: dup %v, err %v", dup, err)
+	}
+	j5, dup, err := m.SubmitIdempotent(keyed(42, ""))
+	if err != nil || dup || j5 == j4 {
+		t.Fatalf("two empty-key submissions must be two jobs (dup %v, err %v)", dup, err)
+	}
+
+	// Dedupe works on terminal jobs too: a very late retry still gets
+	// the original instead of re-running the campaign.
+	drain(t, j1)
+	if st, _ := j1.State(); st != JobDone {
+		t.Fatalf("job state %s, want done", st)
+	}
+	j6, dup, err := m.SubmitIdempotent(keyed(42, "k-1"))
+	if err != nil || !dup || j6 != j1 {
+		t.Fatalf("late retry: job %v, dup %v, err %v — want the finished original", j6, dup, err)
+	}
+
+	st := m.Stats()
+	if st.IdempotentHits != 2 {
+		t.Errorf("idempotent hits = %d, want 2", st.IdempotentHits)
+	}
+	if st.IdempotencyKeys != 2 {
+		t.Errorf("tracked keys = %d, want 2", st.IdempotencyKeys)
+	}
+	if st.JobsSubmitted != 4 { // j1, j3, j4, j5 — retries created nothing
+		t.Errorf("jobs submitted = %d, want 4", st.JobsSubmitted)
+	}
+}
+
+// The acceptance race: concurrent submissions sharing one key must
+// collapse to a single job no matter how they interleave.
+func TestSubmitIdempotentConcurrentSameKey(t *testing.T) {
+	m := NewManager(Config{Workers: 2, Queue: 64})
+	defer m.Close()
+
+	const n = 16
+	var wg sync.WaitGroup
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			j, _, err := m.SubmitIdempotent(keyed(7, "shared"))
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+			ids[i] = j.ID()
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 1; i < n; i++ {
+		if ids[i] != ids[0] {
+			t.Fatalf("submission %d got job %s, submission 0 got %s — duplicate jobs", i, ids[i], ids[0])
+		}
+	}
+	if st := m.Stats(); st.JobsSubmitted != 1 || st.IdempotentHits != n-1 {
+		t.Errorf("stats = %d submitted / %d hits, want 1 / %d", st.JobsSubmitted, st.IdempotentHits, n-1)
+	}
+}
+
+// Reopen re-registers journaled keys, so dedupe survives a restart:
+// a retry that lands on the new process finds the recovered job.
+func TestReopenRestoresIdempotencyKeys(t *testing.T) {
+	m := NewManager(Config{Workers: 1})
+	defer m.Close()
+
+	spec := keyed(42, "restart-key")
+	done := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	recovered := []RecoveredJob{{
+		ID:       "j0007",
+		Spec:     spec,
+		State:    JobDone,
+		Created:  done.Add(-time.Minute),
+		Started:  done.Add(-50 * time.Second),
+		Finished: done,
+		Log:      []Message{{Type: "done", State: JobDone}},
+	}}
+	if err := m.Reopen(recovered); err != nil {
+		t.Fatal(err)
+	}
+
+	j, dup, err := m.SubmitIdempotent(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dup || j.ID() != "j0007" {
+		t.Fatalf("post-restart retry: job %s, dup %v — want recovered j0007", j.ID(), dup)
+	}
+	if st, _ := j.State(); st != JobDone {
+		t.Fatalf("recovered job state %s, want done", st)
+	}
+	// A fresh key still creates a fresh job, numbered past the
+	// recovered one.
+	j2, dup, err := m.SubmitIdempotent(keyed(42, "new-key"))
+	if err != nil || dup {
+		t.Fatalf("fresh key after reopen: dup %v, err %v", dup, err)
+	}
+	if j2.ID() <= "j0007" {
+		t.Fatalf("fresh job ID %s not past recovered j0007", j2.ID())
+	}
+}

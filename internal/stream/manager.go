@@ -41,6 +41,16 @@ var ErrClosed = errors.New("stream: manager closed")
 type JobSpec struct {
 	Campaign core.Campaign
 	Pipeline PipelineConfig // Emit is owned by the manager and ignored
+
+	// IdempotencyKey, when non-empty, makes submission retry-safe: a
+	// second Submit carrying the same key returns the job the first
+	// one created — whatever state it has reached, including terminal
+	// — instead of starting a duplicate. The key is part of the spec,
+	// so the journal's Create record carries it and dedupe survives a
+	// restart via Reopen. Keys live as long as their job (the manager
+	// holds every job for its lifetime anyway), so a retry arriving
+	// arbitrarily late still finds the original.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 }
 
 // Job is one tracked submission. All accessors are safe for concurrent
@@ -268,6 +278,7 @@ type Manager struct {
 	nextID int
 	jobs   map[string]*Job
 	order  []string
+	byKey  map[string]*Job // idempotency key → job, populated by Submit and Reopen
 
 	// npending counts queued, not-yet-finalized jobs: the admission
 	// quantity behind ErrQueueFull. A job leaves it when a worker claims
@@ -276,6 +287,7 @@ type Manager struct {
 	npending atomic.Int64
 
 	tel         Telemetry
+	dedup       atomic.Int64 // submissions answered by an existing keyed job
 	running     atomic.Int64
 	done        atomic.Int64
 	failed      atomic.Int64
@@ -301,6 +313,7 @@ func NewManager(cfg Config) *Manager {
 		started:   time.Now(),
 		store:     cfg.Store,
 		jobs:      make(map[string]*Job),
+		byKey:     make(map[string]*Job),
 	}
 	m.cond = sync.NewCond(&m.mu)
 	for i := 0; i < cfg.Workers; i++ {
@@ -312,27 +325,46 @@ func NewManager(cfg Config) *Manager {
 
 // Submit validates and enqueues a job, returning it in JobQueued state.
 func (m *Manager) Submit(spec JobSpec) (*Job, error) {
+	j, _, err := m.SubmitIdempotent(spec)
+	return j, err
+}
+
+// SubmitIdempotent is Submit with duplicate detection surfaced: when
+// spec.IdempotencyKey names a job this manager already knows — created
+// by an earlier Submit or recovered from the journal by Reopen —
+// the existing job is returned with deduped true and nothing new is
+// enqueued. Two concurrent submissions with the same key yield one
+// job: the key is reserved under the manager lock before the spec is
+// journaled, so the race has a single winner.
+func (m *Manager) SubmitIdempotent(spec JobSpec) (j *Job, deduped bool, err error) {
 	if spec.Campaign.Base.Cluster.Nodes == 0 {
-		return nil, fmt.Errorf("stream: submission has no cluster")
+		return nil, false, fmt.Errorf("stream: submission has no cluster")
 	}
 	// Fail configuration errors at submit time, not inside a worker.
 	probe := spec.Pipeline
 	probe.Emit = func(Message) {}
 	if _, err := NewPipeline(probe); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
-		return nil, ErrClosed
+		return nil, false, ErrClosed
+	}
+	if spec.IdempotencyKey != "" {
+		if prior, ok := m.byKey[spec.IdempotencyKey]; ok {
+			m.dedup.Add(1)
+			m.mu.Unlock()
+			return prior, true, nil
+		}
 	}
 	if int(m.npending.Load()) >= m.cfg.Queue {
 		m.mu.Unlock()
-		return nil, ErrQueueFull
+		return nil, false, ErrQueueFull
 	}
 	m.nextID++
-	j := &Job{
+	j = &Job{
 		id:          fmt.Sprintf("j%04d", m.nextID),
 		spec:        spec,
 		followLimit: m.cfg.FollowLimit,
@@ -340,6 +372,12 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 		state:       JobQueued,
 		updated:     make(chan struct{}),
 		created:     time.Now(),
+	}
+	if spec.IdempotencyKey != "" {
+		// Reserve the key now, while still under the lock: a concurrent
+		// same-key submission racing the Create write below must find
+		// this job, not create its own.
+		m.byKey[spec.IdempotencyKey] = j
 	}
 	m.npending.Add(1) // reserve the queue slot while Create lands
 	m.mu.Unlock()
@@ -356,20 +394,28 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	m.mu.Lock()
 	if m.closed {
 		// Closed while journaling Create: finalize the orphan record so
-		// a restart does not resurrect it as an interrupted job.
+		// a restart does not resurrect it as an interrupted job, and
+		// finalize the job itself — a concurrent same-key submitter may
+		// already hold it and must observe a terminal state.
 		m.npending.Add(-1)
+		delete(m.byKey, spec.IdempotencyKey)
 		m.mu.Unlock()
 		now := time.Now()
+		j.mu.Lock()
+		j.state = JobCancelled
+		j.finished = now
+		j.appendLocked(Message{Type: "done", State: JobCancelled})
+		j.mu.Unlock()
 		m.journalAppend(j.id, 0, Message{Type: "done", State: JobCancelled})
 		m.journalState(j.id, JobCancelled, "", now)
-		return nil, ErrClosed
+		return nil, false, ErrClosed
 	}
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
 	m.pendq = append(m.pendq, j)
 	m.cond.Signal()
 	m.mu.Unlock()
-	return j, nil
+	return j, false, nil
 }
 
 // Reopen restores jobs recovered from a Store (journal.Recover) into the
@@ -439,6 +485,15 @@ func (m *Manager) Reopen(recovered []RecoveredJob) error {
 		}
 		m.jobs[j.id] = j
 		m.order = append(m.order, j.id)
+		if k := r.Spec.IdempotencyKey; k != "" {
+			// First registration wins (recovered jobs arrive in ID
+			// order), so a duplicate key in a hand-edited journal maps
+			// to the oldest job — matching what live dedupe would have
+			// produced.
+			if _, taken := m.byKey[k]; !taken {
+				m.byKey[k] = j
+			}
+		}
 		var n int
 		if _, err := fmt.Sscanf(j.id, "j%d", &n); err == nil && n > m.nextID {
 			m.nextID = n
@@ -714,6 +769,10 @@ type Stats struct {
 	JournalErrors    int64   `json:"journal_errors"`
 	UptimeSeconds    float64 `json:"uptime_seconds"`
 
+	// Idempotent submission (this PR's retry-safety work).
+	IdempotentHits  int64 `json:"idempotent_hits"`  // submissions answered by an existing keyed job
+	IdempotencyKeys int   `json:"idempotency_keys"` // keys currently tracked
+
 	// Resilience telemetry (this PR's fault-injection work).
 	GapsDropped                int64 `json:"gaps_dropped"`     // messages skipped past slow followers
 	PanicsRecovered            int64 `json:"panics_recovered"` // pipeline panics isolated in run
@@ -729,6 +788,7 @@ type Stats struct {
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	submitted := len(m.order)
+	keys := len(m.byKey)
 	m.mu.Unlock()
 	windows := m.tel.Windows.Load()
 	up := time.Since(m.started).Seconds()
@@ -746,6 +806,8 @@ func (m *Manager) Stats() Stats {
 		EventsEmitted:    m.tel.Events.Load(),
 		JournalErrors:    m.storeErrs.Load(),
 		UptimeSeconds:    up,
+		IdempotentHits:   m.dedup.Load(),
+		IdempotencyKeys:  keys,
 		GapsDropped:      m.gapsDropped.Load(),
 		PanicsRecovered:  m.panics.Load(),
 		JournalAttached:  m.store != nil,

@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"encoding/json"
@@ -31,7 +31,7 @@ func getJSON(t *testing.T, url string, out any) int {
 
 func TestServeHealthAndReadyEndpoints(t *testing.T) {
 	mgr := hpas.NewStreamManager(hpas.StreamConfig{Workers: 2})
-	ts := httptest.NewServer(newServer(mgr, detector(t)).routes())
+	ts := httptest.NewServer(New(mgr, detector(t), Config{}).Handler())
 	t.Cleanup(func() { ts.Close(); mgr.Close() })
 
 	var health struct {
@@ -88,7 +88,7 @@ func TestServeSurvivesDegradedJournal(t *testing.T) {
 		Logf:       t.Logf,
 	})
 	mgr := hpas.NewStreamManager(hpas.StreamConfig{Workers: 2, Store: store})
-	ts := httptest.NewServer(newServer(mgr, detector(t)).routes())
+	ts := httptest.NewServer(New(mgr, detector(t), Config{}).Handler())
 	t.Cleanup(func() { ts.Close(); mgr.Close(); store.Close() })
 
 	id := submit(t, ts, `{"seed":3,"duration":20,"window":10}`)
@@ -143,7 +143,7 @@ func TestOpenJournalDegradesOnCorruptState(t *testing.T) {
 	if err := os.WriteFile(blocked, []byte("x"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	store, recovered := openJournal(blocked, logf)
+	store, recovered := OpenJournal(blocked, logf)
 	if store != nil || recovered != nil {
 		t.Errorf("unopenable journal returned store %v / recovered %v, want nil/nil", store, recovered)
 	}
@@ -160,7 +160,7 @@ func TestOpenJournalDegradesOnCorruptState(t *testing.T) {
 	if err := os.Symlink(loop, loop); err != nil {
 		t.Skipf("cannot create symlink: %v", err)
 	}
-	store, recovered = openJournal(dir, logf)
+	store, recovered = OpenJournal(dir, logf)
 	if store == nil {
 		t.Fatal("recoverable-open journal returned nil store; new jobs lost durability")
 	}

@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"hpas"
+	hpasclient "hpas/client"
+)
+
+// The idempotency acceptance criterion end to end: concurrent and
+// retried POSTs under one key yield one job — including after the
+// server restarts over the same -data-dir, because the key rides the
+// journaled spec.
+func TestServeIdempotentSubmitSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	jn, err := hpas.OpenStreamJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := hpas.NewStreamManager(hpas.StreamConfig{Workers: 2, Store: jn})
+	ts := httptest.NewServer(New(mgr, detector(t), Config{}).Handler())
+
+	c := hpasclient.New(ts.URL, hpasclient.Options{Seed: 1, BaseDelay: 5 * time.Millisecond})
+	key := c.NewIdempotencyKey()
+	req := jobRequest(0)
+
+	st1, replayed, err := c.SubmitKeyed(ctx, req, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed {
+		t.Fatal("first submission reported as a replay")
+	}
+	st2, replayed, err := c.SubmitKeyed(ctx, req, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !replayed || st2.ID != st1.ID {
+		t.Fatalf("retry under same key: replayed=%v id=%s, want replay of %s", replayed, st2.ID, st1.ID)
+	}
+
+	// Let the job finish, so the restart recovers a terminal job —
+	// dedupe must hold for terminal jobs too.
+	j, _ := mgr.Get(st1.ID)
+	waitDone(t, j)
+
+	// Restart: new journal handle, new manager, new server, same dir.
+	ts.Close()
+	mgr.Close()
+	if err := jn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	jn2, err := hpas.OpenStreamJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := jn2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr2 := hpas.NewStreamManager(hpas.StreamConfig{Workers: 2, Store: jn2})
+	if err := mgr2.Reopen(recovered); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(New(mgr2, detector(t), Config{}).Handler())
+	t.Cleanup(func() {
+		ts2.Close()
+		mgr2.Close()
+		jn2.Close()
+	})
+
+	c2 := hpasclient.New(ts2.URL, hpasclient.Options{Seed: 2, BaseDelay: 5 * time.Millisecond})
+	st3, replayed, err := c2.SubmitKeyed(ctx, req, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !replayed || st3.ID != st1.ID {
+		t.Fatalf("post-restart retry: replayed=%v id=%s, want replay of %s", replayed, st3.ID, st1.ID)
+	}
+	if st3.State != string(hpas.StreamJobDone) {
+		t.Errorf("replayed job state = %s, want done (terminal state preserved)", st3.State)
+	}
+
+	// A fresh key on the recovered server creates a genuinely new job.
+	st4, replayed, err := c2.SubmitKeyed(ctx, jobRequest(1), c2.NewIdempotencyKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed || st4.ID == st1.ID {
+		t.Fatalf("fresh key: replayed=%v id=%s, want a new job", replayed, st4.ID)
+	}
+}

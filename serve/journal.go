@@ -1,0 +1,27 @@
+package serve
+
+import "hpas"
+
+// OpenJournal opens dir's journal and recovers prior job history,
+// degrading instead of aborting on failure: an unopenable journal
+// leaves the service fully in-memory, an unrecoverable one keeps the
+// journal for new jobs but serves no history. Either path logs a loud
+// warning through logf. The returned store is wrapped in the
+// resilience layer (retry, circuit breaker, re-attachment probe); an
+// empty dir returns a nil store.
+func OpenJournal(dir string, logf func(string, ...any)) (hpas.StreamStore, []hpas.StreamRecoveredJob) {
+	if dir == "" {
+		return nil, nil
+	}
+	jn, err := hpas.OpenStreamJournal(dir)
+	if err != nil {
+		logf("hpas-serve: WARNING: cannot open journal in %s: %v; running in-memory (job history will not survive restarts)", dir, err)
+		return nil, nil
+	}
+	recovered, err := jn.Recover()
+	if err != nil {
+		logf("hpas-serve: WARNING: recovering journal in %s: %v; continuing without recovered history", dir, err)
+		recovered = nil
+	}
+	return hpas.NewResilientStreamStore(jn, hpas.StreamResilienceOptions{Logf: logf}), recovered
+}

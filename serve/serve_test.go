@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"bufio"
@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"hpas"
+	"hpas/api"
 )
 
 // testDetector is trained once and shared: training simulates several
@@ -50,7 +51,7 @@ func detector(t *testing.T) *hpas.Detector {
 func newTestServer(t *testing.T) (*httptest.Server, *hpas.StreamManager) {
 	t.Helper()
 	mgr := hpas.NewStreamManager(hpas.StreamConfig{Workers: 2})
-	ts := httptest.NewServer(newServer(mgr, detector(t)).routes())
+	ts := httptest.NewServer(New(mgr, detector(t), Config{}).Handler())
 	t.Cleanup(func() {
 		ts.Close()
 		mgr.Close()
@@ -66,7 +67,7 @@ func submit(t *testing.T, ts *httptest.Server, body string) string {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var st jobStatus
+	var st api.JobStatus
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +180,7 @@ func TestServeStreamsInjectedAnomalyDeterministically(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var st jobStatus
+	var st api.JobStatus
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		t.Fatal(err)
 	}
@@ -271,20 +272,26 @@ func TestServeSSEAndCancel(t *testing.T) {
 func TestServeRejectsBadSubmissions(t *testing.T) {
 	ts, _ := newTestServer(t)
 	cases := []string{
-		`{"app":"no-such-app","duration":20}`,                     // unknown app fails at run... must fail at submit? (runs are validated lazily)
 		`{"campaign":"cpuoccupy@10-40","phases":[{"label":"x"}]}`, // both forms
 		`{"campaign":"garbage"}`,                                  // unparsable campaign
 		`{"unknown_field":1}`,                                     // strict decoding
 		`not json`,
 	}
-	for _, body := range cases[1:] {
+	for _, body := range cases {
 		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
 		if err != nil {
 			t.Fatal(err)
 		}
+		var apiErr api.Error
+		if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil {
+			t.Errorf("body %q: error response is not JSON: %v", body, err)
+		}
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+		if apiErr.Error == "" {
+			t.Errorf("body %q: 400 without an error message", body)
 		}
 	}
 
@@ -295,6 +302,43 @@ func TestServeRejectsBadSubmissions(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("unknown job status %d, want 404", resp.StatusCode)
+	}
+}
+
+// The strict decoder names what it objected to: the unknown field, the
+// offending type, or the size cap — not a bare "bad request".
+func TestServeBadRequestDetail(t *testing.T) {
+	ts, _ := newTestServer(t)
+	post := func(body string) (int, api.Error) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var apiErr api.Error
+		if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil {
+			t.Fatalf("error response is not JSON: %v", err)
+		}
+		return resp.StatusCode, apiErr
+	}
+
+	if code, e := post(`{"bogus_field":1}`); code != http.StatusBadRequest || !strings.Contains(e.Error, "bogus_field") {
+		t.Errorf("unknown field: %d %q, want 400 naming bogus_field", code, e.Error)
+	}
+	if code, e := post(`{"nodes":"four"}`); code != http.StatusBadRequest || !strings.Contains(e.Error, "nodes") {
+		t.Errorf("type mismatch: %d %q, want 400 naming nodes", code, e.Error)
+	}
+	if code, e := post(`{"nodes":4} {"nodes":5}`); code != http.StatusBadRequest || e.Error == "" {
+		t.Errorf("trailing garbage: %d %q, want 400 with detail", code, e.Error)
+	}
+	if code, e := post(``); code != http.StatusBadRequest || !strings.Contains(e.Error, "empty") {
+		t.Errorf("empty body: %d %q, want 400 mentioning empty body", code, e.Error)
+	}
+	// A body over the 1 MiB cap is cut off at the reader, not buffered.
+	big := `{"campaign":"` + strings.Repeat("x", 1<<20) + `"}`
+	if code, e := post(big); code != http.StatusRequestEntityTooLarge || !strings.Contains(e.Error, "large") {
+		t.Errorf("oversized body: %d %q, want 413", code, e.Error)
 	}
 }
 
@@ -332,7 +376,7 @@ func TestBuildSpecHonorsExplicitAnomalyCPUZero(t *testing.T) {
 		{`{"campaign":"cpuoccupy@10-40:95","anomaly_cpu":3}`, 3},
 		{`{"campaign":"cpuoccupy@10-40:95"}`, 32},
 	} {
-		var req jobRequest
+		var req api.JobRequest
 		if err := json.Unmarshal([]byte(tc.body), &req); err != nil {
 			t.Fatal(err)
 		}
@@ -349,11 +393,11 @@ func TestBuildSpecHonorsExplicitAnomalyCPUZero(t *testing.T) {
 	}
 }
 
-func newBareServer(t *testing.T) *server {
+func newBareServer(t *testing.T) *Server {
 	t.Helper()
 	mgr := hpas.NewStreamManager(hpas.StreamConfig{Workers: 1})
 	t.Cleanup(mgr.Close)
-	return newServer(mgr, detector(t))
+	return New(mgr, detector(t), Config{})
 }
 
 // sseFrame is one parsed SSE event frame.
@@ -391,6 +435,23 @@ func sseFrames(t *testing.T, body io.Reader) []sseFrame {
 	return frames
 }
 
+// getSSE opens the job's stream as an EventSource would and parses the
+// frames, optionally resuming from a Last-Event-ID.
+func getSSE(t *testing.T, ts *httptest.Server, id, lastEventID string) []sseFrame {
+	t.Helper()
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/jobs/"+id+"/stream", nil)
+	req.Header.Set("Accept", "text/event-stream")
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	return sseFrames(t, resp.Body)
+}
+
 // Regression: SSE frames carried no id: lines, so a reconnecting
 // EventSource replayed the whole stream from scratch. Frames now carry
 // the message's log index and Last-Event-ID resumes just past it.
@@ -398,21 +459,7 @@ func TestServeSSEIDsAndLastEventIDResume(t *testing.T) {
 	ts, _ := newTestServer(t)
 	id := submit(t, ts, `{"seed":5,"duration":30,"campaign":"cpuoccupy@10-20:95","window":10}`)
 
-	get := func(lastEventID string) []sseFrame {
-		req, _ := http.NewRequest("GET", ts.URL+"/v1/jobs/"+id+"/stream", nil)
-		req.Header.Set("Accept", "text/event-stream")
-		if lastEventID != "" {
-			req.Header.Set("Last-Event-ID", lastEventID)
-		}
-		resp, err := http.DefaultClient.Do(req)
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer resp.Body.Close()
-		return sseFrames(t, resp.Body)
-	}
-
-	full := get("")
+	full := getSSE(t, ts, id, "")
 	if len(full) < 3 {
 		t.Fatalf("full stream has %d frames, want at least 3", len(full))
 	}
@@ -428,7 +475,7 @@ func TestServeSSEIDsAndLastEventIDResume(t *testing.T) {
 	// Reconnect as EventSource would, having seen all but the last two
 	// frames: only those two replay, ids preserved.
 	resumeAt := len(full) - 3
-	tail := get(strconv.Itoa(resumeAt))
+	tail := getSSE(t, ts, id, strconv.Itoa(resumeAt))
 	if len(tail) != 2 {
 		t.Fatalf("resumed stream has %d frames, want 2", len(tail))
 	}
@@ -451,7 +498,7 @@ func TestServeRestartRecoversJobs(t *testing.T) {
 		t.Fatal(err)
 	}
 	mgr := hpas.NewStreamManager(hpas.StreamConfig{Workers: 2, Store: jn})
-	ts := httptest.NewServer(newServer(mgr, detector(t)).routes())
+	ts := httptest.NewServer(New(mgr, detector(t), Config{}).Handler())
 
 	body := `{"app":"CoMD","nodes":4,"seed":7,"duration":50,"campaign":"cpuoccupy@10-40:95","window":10}`
 	id := submit(t, ts, body)
@@ -477,7 +524,7 @@ func TestServeRestartRecoversJobs(t *testing.T) {
 	if err := mgr2.Reopen(recovered); err != nil {
 		t.Fatal(err)
 	}
-	ts2 := httptest.NewServer(newServer(mgr2, detector(t)).routes())
+	ts2 := httptest.NewServer(New(mgr2, detector(t), Config{}).Handler())
 	t.Cleanup(func() {
 		ts2.Close()
 		mgr2.Close()
@@ -492,7 +539,7 @@ func TestServeRestartRecoversJobs(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("recovered job status code %d, want 200", resp.StatusCode)
 	}
-	var st jobStatus
+	var st api.JobStatus
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		t.Fatal(err)
 	}

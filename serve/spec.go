@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"fmt"
+
+	"hpas"
+	"hpas/api"
+)
+
+// buildSpec translates the wire request into a stream submission.
+func (s *Server) buildSpec(req api.JobRequest) (hpas.StreamJobSpec, error) {
+	var spec hpas.StreamJobSpec
+	nodes := req.Nodes
+	if nodes <= 0 {
+		nodes = 4
+	}
+	duration := req.Duration
+	if duration <= 0 {
+		duration = 120
+	}
+	base := hpas.RunConfig{
+		Cluster:      hpas.VoltrinoConfig(nodes),
+		App:          req.App,
+		RanksPerNode: req.RanksPerNode,
+		FixedSeconds: duration,
+		SamplePeriod: req.SamplePeriod,
+		Noise:        req.Noise,
+		Seed:         req.Seed,
+	}
+	if base.App != "" {
+		// The job observes a fixed window; keep the app running through it.
+		base.Iterations = 1 << 20
+	}
+
+	var phases []hpas.CampaignPhase
+	switch {
+	case req.Campaign != "" && len(req.Phases) > 0:
+		return spec, fmt.Errorf("give either a compact campaign or structured phases, not both")
+	case req.Campaign != "":
+		cpu := 32 // SMT sibling of rank 0, as cmd/hpas-sim pins
+		if req.AnomalyCPU != nil {
+			cpu = *req.AnomalyCPU // a pointer so an explicit CPU 0 survives
+		}
+		var err error
+		phases, err = hpas.ParseCampaignPhases(req.Campaign, req.AnomalyNode, cpu)
+		if err != nil {
+			return spec, err
+		}
+	case len(req.Phases) > 0:
+		for _, p := range req.Phases {
+			ph := hpas.CampaignPhase{Label: p.Label, Start: p.Start, Duration: p.Duration}
+			for _, e := range p.Specs {
+				sp, err := wireSpec(e)
+				if err != nil {
+					return spec, err
+				}
+				ph.Specs = append(ph.Specs, sp)
+			}
+			phases = append(phases, ph)
+		}
+	}
+
+	spec.Campaign = hpas.Campaign{Base: base, Phases: phases}
+	spec.Pipeline = hpas.StreamPipelineConfig{
+		Detector: s.det,
+		Nodes:    req.WatchNodes,
+		Window:   req.Window,
+		Stride:   req.Stride,
+	}
+	return spec, nil
+}
+
+func wireSpec(e api.SpecEntry) (hpas.Spec, error) {
+	sp := hpas.Spec{
+		Name:      e.Name,
+		Node:      e.Node,
+		CPU:       e.CPU,
+		Intensity: e.Intensity,
+		Count:     e.Count,
+		Peer:      e.Peer,
+	}
+	switch e.Level {
+	case 0:
+	case 1:
+		sp.Level = hpas.L1
+	case 2:
+		sp.Level = hpas.L2
+	case 3:
+		sp.Level = hpas.L3
+	default:
+		return sp, fmt.Errorf("spec %q: cache level %d out of range 1..3", e.Name, e.Level)
+	}
+	if e.Size != "" {
+		v, err := hpas.ParseByteSize(e.Size)
+		if err != nil {
+			return sp, fmt.Errorf("spec %q: %w", e.Name, err)
+		}
+		sp.Size = v
+	}
+	if e.Limit != "" {
+		v, err := hpas.ParseByteSize(e.Limit)
+		if err != nil {
+			return sp, fmt.Errorf("spec %q: %w", e.Name, err)
+		}
+		sp.Limit = v
+	}
+	return sp, nil
+}
