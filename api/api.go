@@ -63,11 +63,17 @@ type SpecEntry struct {
 // JobStatus is the job representation returned by the status
 // endpoints (and by POST /v1/jobs on acceptance).
 type JobStatus struct {
-	ID       string             `json:"id"`
-	State    string             `json:"state"`
-	Error    string             `json:"error,omitempty"`
-	Created  time.Time          `json:"created"`
-	Started  *time.Time         `json:"started,omitempty"`
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+	// The timestamps are the documented RFC 3339 exception: clients in
+	// every language parse that encoding, and the format is pinned by
+	// the API doc, not by Go's marshaller choice.
+	//lint:allow apitags documented RFC 3339 wire encoding
+	Created time.Time `json:"created"`
+	//lint:allow apitags documented RFC 3339 wire encoding
+	Started *time.Time `json:"started,omitempty"`
+	//lint:allow apitags documented RFC 3339 wire encoding
 	Finished *time.Time         `json:"finished,omitempty"`
 	Events   []hpas.StreamEvent `json:"events,omitempty"`
 	Stream   string             `json:"stream"` // path of the job's message stream

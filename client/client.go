@@ -24,7 +24,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
@@ -32,6 +31,7 @@ import (
 	"time"
 
 	"hpas/api"
+	"hpas/internal/xrand"
 )
 
 // Options tunes a Client. The zero value is usable.
@@ -62,7 +62,7 @@ type Client struct {
 	maxDelay   time.Duration
 
 	mu  sync.Mutex // guards rng
-	rng *rand.Rand
+	rng *xrand.RNG
 }
 
 // New returns a client for the server at baseURL (e.g.
@@ -94,7 +94,7 @@ func New(baseURL string, opts Options) *Client {
 	if seed == 0 {
 		seed = time.Now().UnixNano()
 	}
-	c.rng = rand.New(rand.NewSource(seed))
+	c.rng = xrand.New(uint64(seed))
 	return c
 }
 
@@ -154,7 +154,7 @@ func (c *Client) SubmitKeyed(ctx context.Context, req api.JobRequest, key string
 func (c *Client) NewIdempotencyKey() string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return fmt.Sprintf("hpasc-%08x%08x", c.rng.Uint32(), c.rng.Uint32())
+	return fmt.Sprintf("hpasc-%016x", c.rng.Uint64())
 }
 
 // Get fetches one job's status.
@@ -200,7 +200,7 @@ func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
 		d = c.maxDelay
 	}
 	c.mu.Lock()
-	d = d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	d = d/2 + time.Duration(c.rng.Intn(int(d/2)+1))
 	c.mu.Unlock()
 	if retryAfter > d {
 		d = retryAfter

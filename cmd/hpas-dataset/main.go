@@ -52,11 +52,17 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
 		w = f
 	}
 	if err := ds.WriteCSV(w); err != nil {
 		fatal(err)
+	}
+	if w != os.Stdout {
+		// An error surfacing at close is a write error: report it
+		// instead of leaving a silently truncated dataset behind.
+		if err := w.Close(); err != nil {
+			fatal(fmt.Errorf("close %s: %w", *out, err))
+		}
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d samples x %d features (%d classes) to %s\n",
 		ds.NumSamples(), ds.NumFeatures(), ds.NumClasses(), *out)

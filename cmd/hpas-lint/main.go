@@ -1,0 +1,133 @@
+// Command hpas-lint runs the project's static-analysis suite: the
+// custom analyzers in internal/analysis that enforce this repository's
+// correctness invariants — substrate determinism, loop cancellation,
+// lock hygiene, durable-write error handling, and wire-struct
+// discipline. See DESIGN.md, "Enforced invariants".
+//
+// Usage:
+//
+//	go run ./cmd/hpas-lint ./...        # whole module (the CI entry point)
+//	go run ./cmd/hpas-lint -list        # print the analyzers
+//	go run ./cmd/hpas-lint -run locksafe ./...
+//
+// Findings print as file:line:col diagnostics and the exit status is 1;
+// a clean tree exits 0. Intentional exceptions are annotated in the
+// source as `//lint:allow <analyzer> <reason>` — the reason is
+// mandatory, and a directive without one is itself a finding.
+//
+// The tool is stdlib-only: it parses and type-checks the module from
+// source (go/parser + go/types + go/importer's source mode), so it
+// needs no compiled export data and adds no module dependencies.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hpas/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: hpas-lint [-list] [-run analyzers] [./... | packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := analysis.Analyzers()
+	if *run != "" {
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*run, ",") {
+			a := analysis.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "hpas-lint: unknown analyzer %q (see -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hpas-lint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hpas-lint:", err)
+		os.Exit(2)
+	}
+	pkgs = filterPackages(pkgs, loader.Module, flag.Args())
+
+	broken := false
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "hpas-lint: %s: %v\n", pkg.Path, terr)
+			broken = true
+		}
+	}
+	if broken {
+		os.Exit(2) // a tree that does not type-check cannot be linted
+	}
+
+	diags := analysis.Run(pkgs, analyzers)
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				d.Pos.Filename = rel
+			}
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "hpas-lint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// filterPackages restricts the loaded module to the requested patterns.
+// Supported: no args or "./..." (everything), "./dir/..." (subtree),
+// and "./dir" or an import path (single package).
+func filterPackages(pkgs []*analysis.Package, module string, patterns []string) []*analysis.Package {
+	if len(patterns) == 0 {
+		return pkgs
+	}
+	keep := func(p *analysis.Package) bool {
+		for _, pat := range patterns {
+			if pat == "./..." || pat == "..." || pat == "all" {
+				return true
+			}
+			pat = strings.TrimPrefix(pat, "./")
+			rec := strings.HasSuffix(pat, "/...")
+			pat = strings.TrimSuffix(pat, "/...")
+			path := pat
+			if !strings.HasPrefix(pat, module) {
+				path = module + "/" + pat
+			}
+			if p.Path == path || (rec && strings.HasPrefix(p.Path, path+"/")) {
+				return true
+			}
+		}
+		return false
+	}
+	var out []*analysis.Package
+	for _, p := range pkgs {
+		if keep(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}

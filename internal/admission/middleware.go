@@ -2,12 +2,13 @@ package admission
 
 import (
 	"fmt"
-	"math/rand"
 	"net"
 	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"hpas/internal/xrand"
 )
 
 // Options configures a Limiter. The zero value disables every
@@ -72,7 +73,7 @@ type Limiter struct {
 	gate   *Gate
 
 	jmu sync.Mutex
-	rng *rand.Rand
+	rng *xrand.RNG
 
 	admitted        atomic.Int64
 	shedRate        atomic.Int64
@@ -101,7 +102,7 @@ func New(opts Options) *Limiter {
 	if opts.Now == nil {
 		opts.Now = time.Now
 	}
-	l := &Limiter{opt: opts, rng: rand.New(rand.NewSource(int64(opts.Seed)))}
+	l := &Limiter{opt: opts, rng: xrand.New(opts.Seed)}
 	if opts.Rate > 0 {
 		l.global = NewBucket(opts.Rate, float64(opts.Burst))
 		l.client = NewKeyed(opts.PerClientRate, float64(opts.PerClientBurst), opts.MaxClients)
@@ -186,6 +187,7 @@ func (l *Limiter) reject(w http.ResponseWriter, code int, after time.Duration, f
 	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
+	//lint:allow erraudit rejection bodies are best-effort; the 429 status and Retry-After header are already committed
 	fmt.Fprintf(w, "{\n  \"error\": %q\n}\n", fmt.Sprintf(format, args...))
 }
 

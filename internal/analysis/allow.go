@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// allowDirective is the escape hatch: //lint:allow <analyzer> <reason>
+// suppresses that analyzer's findings on its own line and, when the
+// directive stands alone on a line, on the line directly below it. The
+// reason is mandatory so exceptions stay documented at the site.
+const allowPrefix = "//lint:allow"
+
+// allowSet is one package's parsed directives.
+type allowSet struct {
+	// byLine maps file → line → analyzer names allowed on that line.
+	byLine    map[string]map[int][]string
+	malformed []Diagnostic
+}
+
+func collectAllows(pkg *Package) allowSet {
+	s := allowSet{byLine: make(map[string]map[int][]string)}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:allowance — not ours
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				name, reason := splitDirective(rest)
+				if name == "" || reason == "" {
+					s.malformed = append(s.malformed, Diagnostic{
+						Analyzer: "directive",
+						Pos:      pos,
+						Message:  "malformed //lint:allow: want \"//lint:allow <analyzer> <reason>\" — the reason is mandatory",
+					})
+					continue
+				}
+				lines := s.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					s.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], name)
+			}
+		}
+	}
+	return s
+}
+
+// splitDirective parses " locksafe: reason text" into name and reason.
+// A colon after the analyzer name is tolerated.
+func splitDirective(rest string) (name, reason string) {
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", ""
+	}
+	name = strings.TrimSuffix(fields[0], ":")
+	reason = strings.TrimSpace(strings.Join(fields[1:], " "))
+	return name, reason
+}
+
+// suppresses reports whether a directive for analyzer covers pos: same
+// line, or the line directly above (a directive on its own line).
+func (s allowSet) suppresses(analyzer string, pos token.Position) bool {
+	lines := s.byLine[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}

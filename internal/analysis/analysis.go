@@ -1,0 +1,123 @@
+// Package analysis is hpas-lint's engine: a small, stdlib-only
+// static-analysis framework (go/parser + go/ast + go/types, with a
+// source-mode importer so no compiled export data is needed) plus the
+// project-specific analyzers that turn this repository's correctness
+// conventions into machine-checked invariants.
+//
+// The conventions exist because the whole point of HPAS is reproducible
+// performance variation: seeded randomness through internal/xrand,
+// injected clocks in the simulation substrate, context cancellation in
+// long-lived loops, no blocking work under state locks, and no silently
+// dropped durable-write errors. Until now nothing but review enforced
+// them; Analyzers (see analyzers.go) is the enforcement.
+//
+// Findings that are intentional carry an inline escape hatch:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the offending line or the line directly above it. The reason is
+// mandatory — an allow directive without one is itself reported — so
+// every exception is documented where it lives.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one finding: an invariant violation at a position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the conventional file:line:col form tools and editors
+// understand.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow directives.
+	Name string
+	// Doc is the one-line invariant description shown by hpas-lint -list.
+	Doc string
+	// Run inspects the package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass is one analyzer's view of one package.
+type Pass struct {
+	Pkg      *Package
+	analyzer *Analyzer
+	diags    []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil when type information is
+// unavailable (a package that failed to type-check).
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.Pkg.Info == nil {
+		return nil
+	}
+	return p.Pkg.Info.TypeOf(e)
+}
+
+// ObjectOf resolves an identifier to its object, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if p.Pkg.Info == nil {
+		return nil
+	}
+	if o := p.Pkg.Info.ObjectOf(id); o != nil {
+		return o
+	}
+	return nil
+}
+
+// Run executes the analyzers over the packages, drops findings
+// suppressed by a well-formed //lint:allow directive, and appends one
+// "directive" diagnostic per malformed directive (missing reason).
+// Diagnostics come back sorted by file, line, then column.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		allows := collectAllows(pkg)
+		out = append(out, allows.malformed...)
+		for _, a := range analyzers {
+			pass := &Pass{Pkg: pkg, analyzer: a}
+			a.Run(pass)
+			for _, d := range pass.diags {
+				if !allows.suppresses(a.Name, d.Pos) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}

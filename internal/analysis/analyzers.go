@@ -1,0 +1,22 @@
+package analysis
+
+// Analyzers is the project suite, in the order hpas-lint runs it.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerDeterminism,
+		AnalyzerCtxloop,
+		AnalyzerLocksafe,
+		AnalyzerErraudit,
+		AnalyzerApitags,
+	}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"go/types"
+	"reflect"
+	"strings"
+)
+
+// AnalyzerApitags audits the wire format: every exported field of every
+// exported struct in an api package — and of every module struct
+// reachable from one — must carry an explicit json tag, and no raw
+// time.Duration or time.Time may leak into the wire. An untagged field
+// silently renames the wire format when someone renames the Go field;
+// time.Duration marshals as nanoseconds (a unit no client expects) and
+// time.Time pins the wire to Go's RFC 3339 encoding, which is allowed
+// only where documented (see the //lint:allow annotations in api).
+var AnalyzerApitags = &Analyzer{
+	Name: "apitags",
+	Doc:  "api wire structs need json tags on every exported field; no raw time.Duration/time.Time",
+	Run:  runApitags,
+}
+
+// isAPIPackage selects the wire-type packages: the module's api package
+// (and fixture packages mirroring it).
+func isAPIPackage(path string) bool {
+	return path == "api" || strings.HasSuffix(path, "/api")
+}
+
+func runApitags(p *Pass) {
+	if !isAPIPackage(p.Pkg.Path) || p.Pkg.Types == nil {
+		return
+	}
+	w := &wireWalker{pass: p, seen: make(map[*types.Named]bool)}
+	scope := p.Pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		obj, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || !obj.Exported() || obj.IsAlias() {
+			continue
+		}
+		if named, ok := obj.Type().(*types.Named); ok {
+			w.auditWireType(named)
+		}
+	}
+}
+
+// wireWalker traverses the type graph reachable from the api package's
+// exported structs, following named module types across packages.
+type wireWalker struct {
+	pass *Pass
+	seen map[*types.Named]bool
+}
+
+// local reports whether a package path belongs to the analyzed module
+// (or the fixture tree under analysis) rather than the stdlib.
+func (w *wireWalker) local(path string) bool {
+	mod := w.pass.Pkg.Module
+	return path == mod || strings.HasPrefix(path, mod+"/") || path == w.pass.Pkg.Path
+}
+
+// auditWireType checks one named struct type and recurses through the
+// module types its fields reach. Unexported fields never marshal and
+// are skipped.
+func (w *wireWalker) auditWireType(named *types.Named) {
+	if w.seen[named] {
+		return
+	}
+	w.seen[named] = true
+	obj := named.Obj()
+	if obj.Pkg() == nil || !w.local(obj.Pkg().Path()) {
+		return
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	typeName := obj.Name()
+	for i := 0; i < st.NumFields(); i++ {
+		field := st.Field(i)
+		if !field.Exported() {
+			continue
+		}
+		tag := reflect.StructTag(st.Tag(i))
+		jsonTag, tagged := tag.Lookup("json")
+		if !tagged {
+			w.pass.Reportf(field.Pos(), "exported wire field %s.%s has no json tag; the wire name must not depend on the Go identifier", typeName, field.Name())
+		}
+		if jsonTag == "-" {
+			continue // explicitly excluded from the wire
+		}
+		w.auditFieldType(typeName, field, field.Type())
+	}
+}
+
+// auditFieldType flags raw time leaks and recurses into reachable
+// module struct types, through pointers, slices, arrays, and maps.
+func (w *wireWalker) auditFieldType(typeName string, field *types.Var, t types.Type) {
+	switch t := t.(type) {
+	case *types.Pointer:
+		w.auditFieldType(typeName, field, t.Elem())
+	case *types.Slice:
+		w.auditFieldType(typeName, field, t.Elem())
+	case *types.Array:
+		w.auditFieldType(typeName, field, t.Elem())
+	case *types.Map:
+		w.auditFieldType(typeName, field, t.Elem())
+	case *types.Named:
+		switch {
+		case isNamed(t, "time", "Duration"):
+			w.pass.Reportf(field.Pos(), "wire field %s.%s is a raw time.Duration, which marshals as nanoseconds; use an explicit unit (seconds float64) or a string", typeName, field.Name())
+		case isNamed(t, "time", "Time"):
+			w.pass.Reportf(field.Pos(), "wire field %s.%s leaks time.Time into the wire format; use an explicit encoding (or annotate the documented RFC 3339 exception)", typeName, field.Name())
+		default:
+			w.auditWireType(t)
+		}
+	}
+}

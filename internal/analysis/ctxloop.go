@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"regexp"
+)
+
+// AnalyzerCtxloop requires that infinite for/select loops — the shape
+// of every long-lived goroutine in this codebase (journal flusher,
+// resilience probe, stream followers) — observe cancellation: at least
+// one select case must receive from a context's Done() channel or from
+// a stop/done/quit-style channel. A loop with no such case keeps its
+// goroutine alive past Close/shutdown, which is exactly the leak class
+// PR 1's context-threading work was done to remove.
+var AnalyzerCtxloop = &Analyzer{
+	Name: "ctxloop",
+	Doc:  "infinite for/select loops must observe ctx.Done() or a stop channel",
+	Run:  runCtxloop,
+}
+
+// stopChanName matches channel identifiers conventionally used for
+// lifecycle teardown.
+var stopChanName = regexp.MustCompile(`(?i)^(stop|stopc|stopped|done|donec|quit|quitc|exit|exitc|closing|closed|shutdown|cancel|cancelc|term)$`)
+
+func runCtxloop(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok || loop.Cond != nil {
+				return true
+			}
+			selects := directSelects(loop.Body)
+			if len(selects) == 0 {
+				return true
+			}
+			for _, sel := range selects {
+				if selectObservesCancel(p, sel) {
+					return true
+				}
+			}
+			p.Reportf(loop.Pos(), "infinite for/select loop never observes ctx.Done() or a stop channel; a long-lived goroutine must exit on cancellation")
+			return true
+		})
+	}
+}
+
+// directSelects collects the select statements belonging to this loop:
+// those in its body but not nested inside an inner loop or function
+// literal (which own their selects).
+func directSelects(body *ast.BlockStmt) []*ast.SelectStmt {
+	var out []*ast.SelectStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+			return false
+		case *ast.SelectStmt:
+			out = append(out, n)
+		}
+		return true
+	})
+	return out
+}
+
+// selectObservesCancel reports whether any case of the select receives
+// from a cancellation source.
+func selectObservesCancel(p *Pass, sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		comm, ok := clause.(*ast.CommClause)
+		if !ok || comm.Comm == nil {
+			continue
+		}
+		var recv ast.Expr
+		switch s := comm.Comm.(type) {
+		case *ast.ExprStmt:
+			if u, ok := s.X.(*ast.UnaryExpr); ok {
+				recv = u.X
+			}
+		case *ast.AssignStmt:
+			if len(s.Rhs) == 1 {
+				if u, ok := s.Rhs[0].(*ast.UnaryExpr); ok {
+					recv = u.X
+				}
+			}
+		}
+		if recv == nil {
+			continue
+		}
+		if isCancelSource(p, recv) {
+			return true
+		}
+	}
+	return false
+}
+
+// isCancelSource recognizes ctx.Done() calls (any context.Context
+// value) and channels named after teardown (stop, done, quit, ...).
+func isCancelSource(p *Pass, recv ast.Expr) bool {
+	if call, ok := ast.Unparen(recv).(*ast.CallExpr); ok {
+		fn := p.calleeFunc(call)
+		if fn != nil && fn.Name() == "Done" && fn.Pkg() != nil && fn.Pkg().Path() == "context" {
+			return true
+		}
+		// Accessor methods like m.stopChan() — judged by name.
+		return fn != nil && stopChanName.MatchString(fn.Name())
+	}
+	return stopChanName.MatchString(lastIdent(recv))
+}

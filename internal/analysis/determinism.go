@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// substratePackages are the deterministic simulation substrate: every
+// stochastic or temporal decision in them must come from a seeded
+// source (internal/xrand) or an injected clock, because the paper's
+// anomaly characterization — and every regression test over it — relies
+// on byte-identical reruns. Serving-layer packages (stream, serve,
+// admission, client) are exempt: wall-clock timestamps and jittered
+// backoff are part of their job.
+var substratePackages = []string{
+	"internal/sim",
+	"internal/cluster",
+	"internal/node",
+	"internal/netsim",
+	"internal/sched",
+	"internal/lb",
+	"internal/ml",
+	"internal/core",
+	"internal/apps",
+	"internal/variability",
+	"internal/experiments",
+}
+
+// inSubstrate matches by path suffix so fixture packages (loaded under
+// synthetic import paths ending in a substrate segment) are covered.
+func inSubstrate(path string) bool {
+	for _, s := range substratePackages {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// AnalyzerDeterminism forbids nondeterminism sources in the simulation
+// substrate: wall-clock reads (time.Now/Since/Until), the global
+// math/rand functions (process-global, seeded once, shared across
+// goroutines), and rand.New with anything but an explicit NewSource
+// seed. Seeded *rand.Rand instances are tolerated; internal/xrand is
+// the house source.
+var AnalyzerDeterminism = &Analyzer{
+	Name: "determinism",
+	Doc:  "simulation substrate must not read wall clocks or unseeded/global randomness",
+	Run:  runDeterminism,
+}
+
+// randConstructors are math/rand package functions that build explicit
+// generators rather than drawing from the global one.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true, // math/rand/v2
+}
+
+func runDeterminism(p *Pass) {
+	if !inSubstrate(p.Pkg.Path) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := p.calleeFunc(call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // methods on *rand.Rand etc. are seeded instances
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				switch fn.Name() {
+				case "Now", "Since", "Until":
+					p.Reportf(call.Pos(), "time.%s in the deterministic simulation substrate; inject a clock or derive times from simulation state", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				name := fn.Name()
+				if !randConstructors[name] {
+					p.Reportf(call.Pos(), "global %s.%s draws from process-global state; use hpas/internal/xrand seeded from the run config", fn.Pkg().Name(), name)
+					return true
+				}
+				if name == "New" && !seededSourceArg(call) {
+					p.Reportf(call.Pos(), "rand.New without an explicit rand.NewSource seed; use hpas/internal/xrand or seed explicitly")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// seededSourceArg reports whether a rand.New call's argument is a
+// direct rand.NewSource/NewPCG/NewChaCha8 construction — the only
+// spelling the linter can prove is explicitly seeded.
+func seededSourceArg(call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	inner, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(inner.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return randConstructors[sel.Sel.Name] && sel.Sel.Name != "New"
+}

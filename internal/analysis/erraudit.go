@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerErraudit forbids discarding errors from the durable-write
+// surface: store/journal methods (Create/Append/State/Sync/Close on
+// store-like values), *os.File I/O, writes to an http.ResponseWriter
+// (direct, via fmt.Fprint*, or via json.Encoder.Encode). A journal
+// write whose error vanishes is a durability hole that surfaces only
+// after the crash that needed the record; a dropped ResponseWriter
+// error leaves a client consuming a silently truncated stream. Errors
+// must be handled or assigned to a named variable; discarding a call's
+// only error with `_` (or dropping it as a bare statement or defer) is
+// flagged.
+var AnalyzerErraudit = &Analyzer{
+	Name: "erraudit",
+	Doc:  "errors from journal/store writes, fsync, and response writes must not be discarded",
+	Run:  runErraudit,
+}
+
+func runErraudit(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					p.auditDiscarded(call, "discarded as a bare statement")
+				}
+				return false
+			case *ast.DeferStmt:
+				p.auditDiscarded(s.Call, "discarded by defer; close/flush explicitly and check the error")
+				return true
+			case *ast.GoStmt:
+				return true
+			case *ast.AssignStmt:
+				p.auditAssign(s)
+				return true
+			}
+			return true
+		})
+	}
+}
+
+// auditAssign flags assignments whose error positions are all blank,
+// e.g. `n, _ := w.Write(b)` or `_ = enc.Encode(v)`.
+func (p *Pass) auditAssign(s *ast.AssignStmt) {
+	if len(s.Rhs) != 1 {
+		return
+	}
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	errIdx := p.errorResults(call)
+	if len(errIdx) == 0 {
+		return
+	}
+	for _, i := range errIdx {
+		if i < len(s.Lhs) && !isBlank(s.Lhs[i]) {
+			return // at least one error result is captured
+		}
+	}
+	p.auditDiscarded(call, "assigned to _")
+}
+
+// auditDiscarded reports the call if it is on the durable-write surface
+// and returns an error that the surrounding statement throws away.
+func (p *Pass) auditDiscarded(call *ast.CallExpr, how string) {
+	if len(p.errorResults(call)) == 0 {
+		return
+	}
+	desc, ok := p.durableWriteCall(call)
+	if !ok {
+		return
+	}
+	p.Reportf(call.Pos(), "%s error %s; durable-write errors must be handled (count, log, or propagate)", desc, how)
+}
+
+// durableWriteCall classifies calls on the audited surface.
+func (p *Pass) durableWriteCall(call *ast.CallExpr) (string, bool) {
+	fn := p.calleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		recv := p.recvType(call)
+		switch {
+		case isOSFile(recv) && fileIOMethods[name]:
+			return fmt.Sprintf("file %s.%s", render(mustSelX(call)), name), true
+		case isStoreLike(recv) && storeIOMethods[name]:
+			return fmt.Sprintf("store/journal %s.%s", render(mustSelX(call)), name), true
+		case isResponseWriterish(recv) && (name == "Write" || name == "Flush"):
+			return fmt.Sprintf("response %s.%s", render(mustSelX(call)), name), true
+		case isNamed(recv, "encoding/json", "Encoder") && name == "Encode":
+			return "json.Encoder.Encode", true
+		}
+		return "", false
+	}
+	// fmt.Fprint* targeting a response writer or a file. The process
+	// streams (os.Stdout/os.Stderr) are exempt: diagnostics to a closed
+	// terminal are not durable state.
+	if fn.Pkg().Path() == "fmt" && (name == "Fprintf" || name == "Fprintln" || name == "Fprint") && len(call.Args) > 0 {
+		dst := render(call.Args[0])
+		if dst == "os.Stderr" || dst == "os.Stdout" {
+			return "", false
+		}
+		t := p.TypeOf(call.Args[0])
+		if isResponseWriterish(t) || isOSFile(t) {
+			return fmt.Sprintf("fmt.%s to %s", name, dst), true
+		}
+	}
+	return "", false
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,320 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerLocksafe forbids blocking or re-entrant work inside a mutex
+// critical section: channel sends, invocations of function-valued
+// fields or variables (subscriber callbacks), and store/journal/file
+// I/O between a Lock() and its Unlock(). This is the bug class PR 3
+// removed from stream.Manager by hand — a journal write under the job
+// lock stalls every follower of that job on a slow disk — promoted to
+// a machine-checked invariant. The check propagates one level deep
+// through same-package helpers (a lock-held call to a function that
+// writes the journal is as bad as the write itself).
+//
+// context.CancelFunc calls are exempt: cancellation is non-blocking by
+// contract and is routinely signalled under a state lock.
+var AnalyzerLocksafe = &Analyzer{
+	Name: "locksafe",
+	Doc:  "no channel sends, callback invocations, or store/file I/O under a mutex",
+	Run:  runLocksafe,
+}
+
+// fileIOMethods are the *os.File methods that touch the disk.
+var fileIOMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteAt": true, "ReadFrom": true,
+	"Sync": true, "Close": true, "Truncate": true,
+}
+
+// storeIOMethods are the persistence-surface methods on store-like
+// receivers (see isStoreLike).
+var storeIOMethods = map[string]bool{
+	"Create": true, "Append": true, "State": true, "Sync": true, "Close": true,
+}
+
+func runLocksafe(p *Pass) {
+	unsafe := p.unsafeFuncs()
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			p.scanLockStmts(fd.Body.List, nil, unsafe)
+		}
+	}
+}
+
+// scanLockStmts walks a statement list tracking which mutexes are held.
+// held is the incoming set; nested control-flow bodies are scanned with
+// a copy, so an early-exit Unlock inside a branch does not leak out.
+func (p *Pass) scanLockStmts(stmts []ast.Stmt, held []string, unsafe map[*types.Func]string) {
+	held = append([]string(nil), held...)
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if name, kind, ok := p.lockCall(s.X); ok {
+				switch kind {
+				case "lock":
+					held = append(held, name)
+				case "unlock":
+					held = remove(held, name)
+				}
+				continue
+			}
+			p.checkLocked(stmt, held, unsafe)
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the region open to function end —
+			// exactly what tracking `held` until the scan ends models.
+			// Other deferred work runs after the statements under scan.
+		case *ast.GoStmt:
+			// The goroutine body runs without the caller's locks.
+			if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+				p.scanLockStmts(lit.Body.List, nil, unsafe)
+			}
+		case *ast.BlockStmt:
+			p.scanLockStmts(s.List, held, unsafe)
+		case *ast.IfStmt:
+			p.checkLocked(s.Init, held, unsafe)
+			p.checkLocked(s.Cond, held, unsafe)
+			p.scanLockStmts(s.Body.List, held, unsafe)
+			if s.Else != nil {
+				p.scanLockStmts([]ast.Stmt{s.Else}, held, unsafe)
+			}
+		case *ast.ForStmt:
+			p.checkLocked(s.Init, held, unsafe)
+			p.scanLockStmts(s.Body.List, held, unsafe)
+		case *ast.RangeStmt:
+			p.checkLocked(s.X, held, unsafe)
+			p.scanLockStmts(s.Body.List, held, unsafe)
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			switch sw := s.(type) {
+			case *ast.SwitchStmt:
+				p.checkLocked(sw.Init, held, unsafe)
+				p.checkLocked(sw.Tag, held, unsafe)
+			case *ast.TypeSwitchStmt:
+				p.checkLocked(sw.Init, held, unsafe)
+				p.checkLocked(sw.Assign, held, unsafe)
+			}
+			for _, clause := range clauseBodies(s) {
+				p.scanLockStmts(clause, held, unsafe)
+			}
+			if sel, ok := s.(*ast.SelectStmt); ok {
+				p.checkCommClauses(sel, held)
+			}
+		default:
+			p.checkLocked(stmt, held, unsafe)
+		}
+	}
+}
+
+func clauseBodies(s ast.Stmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			out = append(out, c.(*ast.CaseClause).Body)
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			out = append(out, c.(*ast.CaseClause).Body)
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			out = append(out, c.(*ast.CommClause).Body)
+		}
+	}
+	return out
+}
+
+// checkCommClauses flags select-case sends performed while locked.
+func (p *Pass) checkCommClauses(sel *ast.SelectStmt, held []string) {
+	if len(held) == 0 {
+		return
+	}
+	for _, clause := range sel.Body.List {
+		if comm, ok := clause.(*ast.CommClause); ok {
+			if send, ok := comm.Comm.(*ast.SendStmt); ok {
+				p.Reportf(send.Pos(), "channel send while holding %s; sends can block — release the lock first", held[len(held)-1])
+			}
+		}
+	}
+}
+
+// checkLocked inspects one statement or expression for unsafe work
+// while any lock is held. Function literals are skipped: their bodies
+// run later, without the caller's locks (go statements) or after them.
+func (p *Pass) checkLocked(n ast.Node, held []string, unsafe map[*types.Func]string) {
+	if len(held) == 0 || n == nil {
+		return
+	}
+	lock := held[len(held)-1]
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			p.Reportf(n.Pos(), "channel send while holding %s; sends can block — release the lock first", lock)
+		case *ast.CallExpr:
+			if desc, ok := p.unsafeCall(n, unsafe); ok {
+				p.Reportf(n.Pos(), "%s while holding %s; release the lock first", desc, lock)
+			}
+		}
+		return true
+	})
+}
+
+// lockCall classifies an expression as a mutex Lock/Unlock call,
+// returning the rendered mutex expression ("m.mu").
+func (p *Pass) lockCall(e ast.Expr) (name, kind string, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	t := p.TypeOf(sel.X)
+	if t == nil || !(isNamed(t, "sync", "Mutex") || isNamed(t, "sync", "RWMutex")) {
+		return "", "", false
+	}
+	name = render(sel.X)
+	if name == "" {
+		name = "mutex"
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		return name, "lock", true
+	case "Unlock", "RUnlock":
+		return name, "unlock", true
+	}
+	return "", "", false
+}
+
+// unsafeCall classifies a call as unsafe under a lock: direct file or
+// store I/O, a callback through a function value, or a same-package
+// helper known (via unsafeFuncs) to do one of those.
+func (p *Pass) unsafeCall(call *ast.CallExpr, unsafe map[*types.Func]string) (string, bool) {
+	if fn := p.calleeFunc(call); fn != nil {
+		if desc, ok := p.directUnsafeMethod(call, fn); ok {
+			return desc, true
+		}
+		if desc, ok := unsafe[fn]; ok {
+			return fmt.Sprintf("call to %s, which performs %s,", fn.Name(), desc), true
+		}
+		return "", false
+	}
+	if v := p.calleeVar(call); v != nil {
+		if isNamed(v.Type(), "context", "CancelFunc") {
+			return "", false // non-blocking by contract
+		}
+		return fmt.Sprintf("callback invocation %s(...)", render(call.Fun)), true
+	}
+	return "", false
+}
+
+// directUnsafeMethod reports file and store I/O method calls.
+func (p *Pass) directUnsafeMethod(call *ast.CallExpr, fn *types.Func) (string, bool) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	recv := p.recvType(call)
+	name := fn.Name()
+	switch {
+	case isOSFile(recv) && fileIOMethods[name]:
+		return fmt.Sprintf("file I/O %s.%s(...)", render(mustSelX(call)), name), true
+	case isStoreLike(recv) && storeIOMethods[name]:
+		return fmt.Sprintf("store/journal write %s.%s(...)", render(mustSelX(call)), name), true
+	}
+	return "", false
+}
+
+func mustSelX(call *ast.CallExpr) ast.Expr {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.X
+	}
+	return call.Fun
+}
+
+// unsafeFuncs computes, to a fixed point, which functions declared in
+// this package transitively perform lock-unsafe work anywhere in their
+// body (function literals excluded — they run on other goroutines or
+// after return). Calling such a helper under a lock is flagged even
+// though the I/O itself lives elsewhere.
+func (p *Pass) unsafeFuncs() map[*types.Func]string {
+	type declInfo struct {
+		fn   *types.Func
+		body *ast.BlockStmt
+	}
+	var decls []declInfo
+	for _, f := range p.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := p.ObjectOf(fd.Name).(*types.Func); ok && fn != nil {
+				decls = append(decls, declInfo{fn, fd.Body})
+			}
+		}
+	}
+	unsafe := make(map[*types.Func]string)
+	for changed := true; changed; {
+		changed = false
+		for _, d := range decls {
+			if _, done := unsafe[d.fn]; done {
+				continue
+			}
+			if desc, ok := p.bodyUnsafe(d.body, unsafe); ok {
+				unsafe[d.fn] = desc
+				changed = true
+			}
+		}
+	}
+	return unsafe
+}
+
+// bodyUnsafe scans a function body for direct unsafe work or calls to
+// already-known unsafe same-package functions.
+func (p *Pass) bodyUnsafe(body *ast.BlockStmt, unsafe map[*types.Func]string) (string, bool) {
+	var desc string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if desc != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			desc = "a channel send"
+		case *ast.CallExpr:
+			if fn := p.calleeFunc(n); fn != nil {
+				if d, ok := p.directUnsafeMethod(n, fn); ok {
+					desc = d
+				} else if d, ok := unsafe[fn]; ok {
+					desc = fmt.Sprintf("%s (via %s)", d, fn.Name())
+				}
+			} else if v := p.calleeVar(n); v != nil && !isNamed(v.Type(), "context", "CancelFunc") {
+				desc = fmt.Sprintf("callback invocation %s(...)", render(n.Fun))
+			}
+		}
+		return true
+	})
+	return desc, desc != ""
+}
+
+func remove(held []string, name string) []string {
+	out := held[:0]
+	for _, h := range held {
+		if h != name {
+			out = append(out, h)
+		}
+	}
+	return out
+}

@@ -1,0 +1,42 @@
+// Package api is the apitags fixture: wire structs with untagged
+// fields, raw time leaks, reachable nested types, and the documented
+// exceptions. Its synthetic import path ends in /api.
+package api
+
+import "time"
+
+// Status is a wire struct exercising every flagged shape.
+type Status struct {
+	ID      string        // flagged: no json tag
+	State   string        `json:"state"`
+	Elapsed time.Duration `json:"elapsed"` // flagged: marshals as nanoseconds
+	Started time.Time     `json:"started"` // flagged: raw time.Time
+	Inner   Nested        `json:"inner"`
+	hidden  int           // unexported: never marshals, ignored
+}
+
+// Nested is reached through Status.Inner and audited too.
+type Nested struct {
+	Count int // flagged: no json tag
+}
+
+// Skipped shows that a json:"-" field is cut out of the wire: its type
+// is not traversed, so omitted's exported time field is never flagged.
+type Skipped struct {
+	Raw  *omitted `json:"-"`
+	Kept *linked  `json:"kept"`
+}
+
+type omitted struct {
+	T time.Time
+}
+
+type linked struct {
+	N int // flagged: reached through Skipped.Kept
+}
+
+// Timed documents the RFC 3339 exception — suppressed.
+type Timed struct {
+	//lint:allow apitags fixture documents the RFC 3339 exception
+	At time.Time `json:"at"`
+}

@@ -1,0 +1,70 @@
+// Package ctxloop is the cancellation fixture: infinite for/select
+// loops in every flagged and every tolerated shape.
+package ctxloop
+
+import "context"
+
+// Pump never observes cancellation — flagged: this goroutine outlives
+// every shutdown path.
+func Pump(in <-chan int, out chan<- int) {
+	for {
+		select {
+		case v := <-in:
+			out <- v
+		}
+	}
+}
+
+// Good exits on ctx.Done — fine.
+func Good(ctx context.Context, in <-chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-in:
+		}
+	}
+}
+
+type worker struct{ stop chan struct{} }
+
+// run exits on a conventionally named stop channel — fine.
+func (w *worker) run(tick <-chan int) {
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-tick:
+		}
+	}
+}
+
+// Bounded is not an infinite loop — fine regardless of its cases.
+func Bounded(in <-chan int) {
+	for i := 0; i < 3; i++ {
+		select {
+		case <-in:
+		default:
+		}
+	}
+}
+
+// Drain has no select at all: it ends when the channel closes, which
+// range handles without a cancellation case — fine.
+func Drain(in <-chan int) int {
+	total := 0
+	for v := range in {
+		total += v
+	}
+	return total
+}
+
+// Allowed documents an intentionally uncancellable pump.
+func Allowed(in <-chan int) {
+	//lint:allow ctxloop fixture demonstrates a documented exception
+	for {
+		select {
+		case <-in:
+		}
+	}
+}

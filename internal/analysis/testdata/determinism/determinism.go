@@ -1,0 +1,60 @@
+// Package sim is the determinism fixture: a stand-in substrate package
+// (its synthetic import path ends in internal/sim) exercising every
+// flagged and every tolerated clock/randomness spelling.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Sample draws from the process-global generator — flagged: the global
+// stream is seeded once per process and shared across goroutines.
+func Sample() int {
+	return rand.Intn(6)
+}
+
+// Stamp reads the wall clock — flagged.
+func Stamp() time.Time {
+	return time.Now()
+}
+
+// Elapsed measures against the wall clock — flagged.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0)
+}
+
+// Roll draws floats from the global generator — flagged.
+func Roll() float64 {
+	return rand.Float64()
+}
+
+// Seeded builds an explicitly seeded generator — fine.
+func Seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Derived draws from a seeded instance — fine: methods on generator
+// values are never flagged, only package-level functions.
+func Derived(r *rand.Rand) int {
+	return r.Intn(6)
+}
+
+// Wrapped hides the source behind a parameter — flagged: only a direct
+// rand.NewSource construction proves the seed is explicit.
+func Wrapped(src rand.Source) *rand.Rand {
+	return rand.New(src)
+}
+
+// Allowed documents its one wall-clock read, so it is suppressed.
+func Allowed() time.Time {
+	//lint:allow determinism fixture demonstrates a documented exception
+	return time.Now()
+}
+
+// Undocumented carries an allow directive without a reason: the
+// directive itself is reported and the finding still stands.
+func Undocumented() time.Time {
+	//lint:allow determinism
+	return time.Now()
+}

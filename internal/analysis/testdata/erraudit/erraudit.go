@@ -1,0 +1,65 @@
+// Package erraudit is the durable-write fixture: every flagged way of
+// discarding an error from the persistence surface, plus the handled
+// and exempted shapes.
+package erraudit
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+)
+
+// store matches the structural stream.Store surface.
+type store struct{}
+
+func (store) Create(id string, t time.Time) error { return nil }
+func (store) Append(id string, b []byte) error    { return nil }
+func (store) State(id string) error               { return nil }
+func (store) Close() error                        { return nil }
+
+// DropBare discards a journal append as a bare statement — flagged.
+func DropBare(st store, b []byte) {
+	st.Append("id", b)
+}
+
+// DropBlank discards a file write with _ — flagged.
+func DropBlank(f *os.File, b []byte) {
+	_, _ = f.Write(b)
+}
+
+// DropDefer defers a close whose error vanishes — flagged.
+func DropDefer(f *os.File) {
+	defer f.Close()
+}
+
+// DropEncode streams JSON to a client and ignores the result — flagged.
+func DropEncode(w http.ResponseWriter, v any) {
+	json.NewEncoder(w).Encode(v)
+}
+
+// DropFprintf drops a formatted response write — flagged.
+func DropFprintf(w http.ResponseWriter, msg string) {
+	fmt.Fprintf(w, "%s\n", msg)
+}
+
+// Stderr diagnostics are exempt: the process streams are not durable
+// state.
+func Stderr(msg string) {
+	fmt.Fprintln(os.Stderr, msg)
+}
+
+// Handled checks everything — fine.
+func Handled(f *os.File, b []byte) error {
+	if _, err := f.Write(b); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Allowed documents a best-effort cleanup close on an error path.
+func Allowed(f *os.File) {
+	//lint:allow erraudit fixture demonstrates best-effort cleanup
+	f.Close()
+}

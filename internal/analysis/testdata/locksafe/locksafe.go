@@ -1,0 +1,108 @@
+// Package locksafe is the lock-hygiene fixture: blocking work under a
+// mutex in every flagged shape, plus the tolerated patterns.
+package locksafe
+
+import (
+	"context"
+	"os"
+	"sync"
+	"time"
+)
+
+// store matches the structural stream.Store surface, so its methods
+// count as journal I/O.
+type store struct{}
+
+func (store) Create(id string, t time.Time) error { return nil }
+func (store) Append(id string, b []byte) error    { return nil }
+func (store) State(id string) error               { return nil }
+func (store) Close() error                        { return nil }
+
+type manager struct {
+	mu    sync.Mutex
+	st    store
+	f     *os.File
+	ch    chan int
+	onMsg func(int)
+}
+
+// SendUnderLock sends on a channel while holding mu — flagged.
+func (m *manager) SendUnderLock(v int) {
+	m.mu.Lock()
+	m.ch <- v
+	m.mu.Unlock()
+}
+
+// StoreUnderLock writes the journal while holding mu — flagged.
+func (m *manager) StoreUnderLock(b []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.st.Append("id", b)
+}
+
+// FileUnderLock fsyncs while holding mu — flagged.
+func (m *manager) FileUnderLock() error {
+	m.mu.Lock()
+	err := m.f.Sync()
+	m.mu.Unlock()
+	return err
+}
+
+// CallbackUnderLock invokes a subscriber callback while locked —
+// flagged: the callback's cost and blocking behavior are the caller's.
+func (m *manager) CallbackUnderLock(v int) {
+	m.mu.Lock()
+	m.onMsg(v)
+	m.mu.Unlock()
+}
+
+// HelperUnderLock reaches the journal through a same-package helper —
+// flagged by the transitive pass.
+func (m *manager) HelperUnderLock(b []byte) {
+	m.mu.Lock()
+	m.persist(b)
+	m.mu.Unlock()
+}
+
+func (m *manager) persist(b []byte) {
+	if err := m.st.Append("id", b); err != nil {
+		return
+	}
+}
+
+// AfterUnlock does its I/O after releasing — fine.
+func (m *manager) AfterUnlock(b []byte) error {
+	m.mu.Lock()
+	m.mu.Unlock()
+	return m.st.Append("id", b)
+}
+
+// SpawnUnderLock starts a goroutine while locked — fine: the goroutine
+// body runs without the caller's lock.
+func (m *manager) SpawnUnderLock(v int) {
+	m.mu.Lock()
+	go func() { m.ch <- v }()
+	m.mu.Unlock()
+}
+
+type job struct {
+	mu     sync.Mutex
+	cancel context.CancelFunc
+}
+
+// Cancel signals cancellation under the lock — fine: CancelFunc is
+// non-blocking by contract.
+func (j *job) Cancel() {
+	j.mu.Lock()
+	j.cancel()
+	j.mu.Unlock()
+}
+
+// Allowed documents a deliberate under-lock fsync (the dedicated
+// I/O-lock pattern the journal uses).
+func (m *manager) Allowed() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	//lint:allow locksafe fixture demonstrates a dedicated I/O lock
+	return m.f.Sync()
+}

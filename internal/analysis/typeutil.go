@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// calleeFunc resolves the function or method a call invokes, or nil
+// for calls through function values, type conversions, and builtins.
+func (p *Pass) calleeFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// calleeVar resolves a call through a function-typed variable or struct
+// field (a callback), or nil when the call targets a declared function,
+// a method, a conversion, or a builtin.
+func (p *Pass) calleeVar(call *ast.CallExpr) *types.Var {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	v, _ := p.ObjectOf(id).(*types.Var)
+	if v == nil {
+		return nil
+	}
+	if _, ok := v.Type().Underlying().(*types.Signature); !ok {
+		return nil
+	}
+	return v
+}
+
+// isNamed reports whether t (after stripping pointers) is the named
+// type pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// hasMethods reports whether t's method set (value or pointer) includes
+// every name in names.
+func hasMethods(t types.Type, names ...string) bool {
+	if t == nil {
+		return false
+	}
+	if _, ok := t.(*types.Pointer); !ok {
+		t = types.NewPointer(t)
+	}
+	ms := types.NewMethodSet(t)
+	for _, name := range names {
+		if ms.Lookup(nil, name) == nil && !lookupExported(ms, name) {
+			return false
+		}
+	}
+	return true
+}
+
+func lookupExported(ms *types.MethodSet, name string) bool {
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// isStoreLike reports whether t structurally resembles the stream.Store
+// persistence surface: Create, Append, State, and Close methods. The
+// check is structural so analyzer fixtures can define their own fakes.
+func isStoreLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if iface, ok := t.Underlying().(*types.Interface); ok {
+		have := 0
+		for i := 0; i < iface.NumMethods(); i++ {
+			switch iface.Method(i).Name() {
+			case "Create", "Append", "State", "Close":
+				have++
+			}
+		}
+		return have == 4
+	}
+	return hasMethods(t, "Create", "Append", "State", "Close")
+}
+
+// isOSFile reports whether t is os.File or *os.File.
+func isOSFile(t types.Type) bool { return isNamed(t, "os", "File") }
+
+// isResponseWriterish reports whether t carries the http.ResponseWriter
+// surface (Header/Write/WriteHeader) — structurally, so fixtures and
+// wrappers qualify too.
+func isResponseWriterish(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if iface, ok := t.Underlying().(*types.Interface); ok {
+		have := 0
+		for i := 0; i < iface.NumMethods(); i++ {
+			switch iface.Method(i).Name() {
+			case "Header", "Write", "WriteHeader":
+				have++
+			}
+		}
+		return have == 3
+	}
+	return hasMethods(t, "Header", "Write", "WriteHeader")
+}
+
+// recvType returns the receiver expression's type for a method call, or
+// nil for non-method calls.
+func (p *Pass) recvType(call *ast.CallExpr) types.Type {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return p.TypeOf(sel.X)
+}
+
+// render flattens a selector chain ("m.mu", "jf.f") for matching lock
+// and unlock sites; expressions beyond identifier chains render as "".
+func render(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := render(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	}
+	return ""
+}
+
+// lastIdent returns the final identifier of an identifier or selector
+// chain ("r.stop" → "stop"), or "" otherwise.
+func lastIdent(e ast.Expr) string {
+	s := render(e)
+	if s == "" {
+		return ""
+	}
+	if i := strings.LastIndexByte(s, '.'); i >= 0 {
+		return s[i+1:]
+	}
+	return s
+}
+
+// errorResults returns the indices of error-typed results in a call's
+// result tuple (nil Info → none).
+func (p *Pass) errorResults(call *ast.CallExpr) []int {
+	t := p.TypeOf(call)
+	if t == nil {
+		return nil
+	}
+	var out []int
+	switch t := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				out = append(out, i)
+			}
+		}
+	default:
+		if isErrorType(t) {
+			out = append(out, 0)
+		}
+	}
+	return out
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && t.String() == "error"
+}

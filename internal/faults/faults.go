@@ -20,10 +20,11 @@ package faults
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"os"
 	"sync"
 	"time"
+
+	"hpas/internal/xrand"
 )
 
 // ErrInjected is the default error returned on an injected failure.
@@ -60,7 +61,7 @@ type Plan struct {
 // journal is written from the job's worker goroutine).
 type Injector struct {
 	mu    sync.Mutex
-	rng   *rand.Rand
+	rng   *xrand.RNG
 	plans map[Op]Plan
 	calls map[Op]int
 	hits  map[Op]int
@@ -69,7 +70,7 @@ type Injector struct {
 // New returns an injector whose Rate draws are seeded with seed.
 func New(seed uint64) *Injector {
 	return &Injector{
-		rng:   rand.New(rand.NewSource(int64(seed))),
+		rng:   xrand.New(seed),
 		plans: make(map[Op]Plan),
 		calls: make(map[Op]int),
 		hits:  make(map[Op]int),
@@ -164,6 +165,7 @@ func ShortWrite(path string, junk []byte) error {
 		return err
 	}
 	if _, werr := f.Write(junk); werr != nil {
+		//lint:allow erraudit the write error is already propagating; close is best-effort cleanup
 		f.Close()
 		return werr
 	}

@@ -25,6 +25,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hpas/internal/stream"
@@ -38,6 +39,11 @@ type Options struct {
 	// write buffer before it is flushed and fsynced (default 200ms).
 	// Terminal state records are always flushed synchronously.
 	FlushInterval time.Duration
+	// Logf receives background flusher errors — failures from the
+	// periodic batch sync, which has no caller to return them to. The
+	// default writes to os.Stderr. Failures are also counted; see
+	// SyncErrs.
+	Logf func(format string, args ...any)
 }
 
 // record is one journal line. Kind selects which of the remaining
@@ -57,14 +63,23 @@ type record struct {
 type Journal struct {
 	dir   string
 	every time.Duration
+	logf  func(format string, args ...any)
 
 	mu     sync.Mutex
 	files  map[string]*jobFile
 	closed bool
 
+	syncErrs atomic.Int64
+
 	stop chan struct{}
 	done chan struct{}
 }
+
+// SyncErrs reports how many background batch syncs have failed since
+// the journal was opened. A nonzero count means records may sit
+// unflushed longer than FlushInterval promised; operators should treat
+// it like any other durability alarm.
+func (j *Journal) SyncErrs() int64 { return j.syncErrs.Load() }
 
 // jobFile is one job's open journal file with its write buffer.
 type jobFile struct {
@@ -85,9 +100,15 @@ func Open(dir string, opts Options) (*Journal, error) {
 	if opts.FlushInterval <= 0 {
 		opts.FlushInterval = 200 * time.Millisecond
 	}
+	if opts.Logf == nil {
+		opts.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
 	j := &Journal{
 		dir:   dir,
 		every: opts.FlushInterval,
+		logf:  opts.Logf,
 		files: make(map[string]*jobFile),
 		stop:  make(chan struct{}),
 		done:  make(chan struct{}),
@@ -151,9 +172,11 @@ func (j *Journal) append(id string, rec record, sync bool) error {
 	if !sync {
 		return nil
 	}
+	//lint:allow locksafe jf.mu is the per-file I/O lock; serializing this file's writes is its purpose
 	if err := jf.flushLocked(); err != nil {
 		return err
 	}
+	//lint:allow locksafe jf.mu is the per-file I/O lock; the close must not race a concurrent flush
 	err = jf.f.Close()
 	jf.f = nil
 	j.mu.Lock()
@@ -214,7 +237,10 @@ func (j *Journal) flusher() {
 	for {
 		select {
 		case <-t.C:
-			j.Sync()
+			if err := j.Sync(); err != nil {
+				j.syncErrs.Add(1)
+				j.logf("journal: background sync: %v", err)
+			}
 		case <-j.stop:
 			return
 		}
@@ -232,6 +258,7 @@ func (j *Journal) Sync() error {
 	var first error
 	for _, jf := range files {
 		jf.mu.Lock()
+		//lint:allow locksafe jf.mu is the per-file I/O lock; serializing this file's writes is its purpose
 		if err := jf.flushLocked(); err != nil && first == nil {
 			first = err
 		}
@@ -263,6 +290,7 @@ func (j *Journal) Close() error {
 	for _, jf := range files {
 		jf.mu.Lock()
 		if jf.f != nil {
+			//lint:allow locksafe jf.mu is the per-file I/O lock; the close must not race a concurrent flush
 			if cerr := jf.f.Close(); cerr != nil && err == nil {
 				err = cerr
 			}

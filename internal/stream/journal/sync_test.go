@@ -1,0 +1,61 @@
+package journal
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hpas/internal/stream"
+)
+
+// TestFlusherReportsSyncErrors pins the erraudit fix in flusher(): a
+// failed background batch sync must be counted (SyncErrs) and logged
+// (Options.Logf), not silently dropped — a journal that cannot flush
+// is a durability outage, and the only caller of the periodic sync is
+// the flusher goroutine itself.
+func TestFlusherReportsSyncErrors(t *testing.T) {
+	var mu sync.Mutex
+	var logged []string
+	j, err := Open(t.TempDir(), Options{
+		FlushInterval: 2 * time.Millisecond,
+		Logf: func(format string, args ...any) {
+			mu.Lock()
+			logged = append(logged, fmt.Sprintf(format, args...))
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Create("job", time.Now(), hogSpec(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append("job", 1, stream.Message{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Close the fd underneath the journal and mark the file dirty, so
+	// the next background flush hits a write/fsync failure.
+	j.mu.Lock()
+	jf := j.files["job"]
+	j.mu.Unlock()
+	jf.mu.Lock()
+	jf.f.Close()
+	jf.dirty = true
+	jf.mu.Unlock()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for j.SyncErrs() == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if j.SyncErrs() == 0 {
+		t.Fatal("background sync failed but SyncErrs stayed 0")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(logged) == 0 || !strings.Contains(logged[0], "background sync") {
+		t.Fatalf("sync failure was not logged: %q", logged)
+	}
+}

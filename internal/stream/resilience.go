@@ -2,10 +2,11 @@ package stream
 
 import (
 	"log"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"hpas/internal/xrand"
 )
 
 // ResilienceOptions tunes NewResilientStore. The defaults suit a local
@@ -85,7 +86,7 @@ type ResilientStore struct {
 	opt   ResilienceOptions
 
 	rmu sync.Mutex
-	rng *rand.Rand
+	rng *xrand.RNG
 
 	degraded atomic.Bool
 	consec   atomic.Int64
@@ -127,7 +128,7 @@ func NewResilientStore(inner Store, opt ResilienceOptions) *ResilientStore {
 	r := &ResilientStore{
 		inner: inner,
 		opt:   opt,
-		rng:   rand.New(rand.NewSource(int64(opt.Seed))),
+		rng:   xrand.New(opt.Seed),
 		stop:  make(chan struct{}),
 		done:  make(chan struct{}),
 	}
@@ -217,7 +218,7 @@ func (r *ResilientStore) backoff(attempt int) time.Duration {
 		d = r.opt.MaxDelay
 	}
 	r.rmu.Lock()
-	j := time.Duration(r.rng.Int63n(int64(d)/2 + 1))
+	j := time.Duration(r.rng.Intn(int(d)/2 + 1))
 	r.rmu.Unlock()
 	return d/2 + j
 }

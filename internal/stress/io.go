@@ -81,6 +81,7 @@ func (s *IOMetadata) worker(ctx context.Context, id int) error {
 			return fmt.Errorf("iometadata: %w", err)
 		}
 		if _, err := f.Write([]byte{'x'}); err != nil {
+			//lint:allow erraudit the write error is already propagating; close is best-effort cleanup
 			f.Close()
 			return fmt.Errorf("iometadata: %w", err)
 		}

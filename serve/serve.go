@@ -316,7 +316,9 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			if _, err := w.Write(b); err != nil {
 				return
 			}
-			w.Write([]byte("\n"))
+			if _, err := w.Write([]byte("\n")); err != nil {
+				return
+			}
 		}
 		if flusher != nil {
 			flusher.Flush()
@@ -336,12 +338,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// writeJSON marshals before committing the status line, so an
+// unencodable value becomes a 500 instead of a 200 with a truncated
+// body the client cannot distinguish from success.
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		//lint:allow erraudit the encode failure is already being reported; this fallback body is best-effort
+		w.Write([]byte("{\n  \"error\": \"internal: encoding response failed\"\n}\n"))
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if _, err := w.Write(append(b, '\n')); err != nil {
+		return // client gone; status and body were already committed
+	}
 }
 
 func writeError(w http.ResponseWriter, code int, err error) {

@@ -1,0 +1,46 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestWriteJSONEncodeFailureIs500 pins the erraudit fix in writeJSON:
+// the body is marshalled before the status line is committed, so a
+// value json cannot encode becomes an explicit 500 instead of a 200
+// whose body is silently empty or truncated.
+func TestWriteJSONEncodeFailureIs500(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeJSON(rec, http.StatusOK, math.Inf(1)) // +Inf is not encodable
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want %d", rec.Code, http.StatusInternalServerError)
+	}
+	if !strings.Contains(rec.Body.String(), "error") {
+		t.Fatalf("body = %q, want an error envelope", rec.Body.String())
+	}
+}
+
+func TestWriteJSONSuccess(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeJSON(rec, http.StatusTeapot, map[string]int{"a": 1})
+	if rec.Code != http.StatusTeapot {
+		t.Fatalf("status = %d, want %d", rec.Code, http.StatusTeapot)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var got map[string]int
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("body %q does not decode: %v", rec.Body.String(), err)
+	}
+	if got["a"] != 1 {
+		t.Fatalf("body round-trip = %v", got)
+	}
+	if !strings.HasSuffix(rec.Body.String(), "\n") {
+		t.Fatal("body must stay newline-terminated (ndjson-friendly, matches the old encoder)")
+	}
+}
