@@ -94,6 +94,65 @@ type Error struct {
 	Error string `json:"error"`
 }
 
+// ShardHealth is the GET /v1/readyz (and /readyz) response body of one
+// serving instance. The router (cmd/hpas-router) decodes it from every
+// shard it health-checks; hpas-serve emits it directly.
+type ShardHealth struct {
+	Status          string `json:"status"`  // "ok" | "closing"
+	Journal         string `json:"journal"` // "none" | "ok" | "degraded"
+	Workers         int    `json:"workers"`
+	JobsRunning     int64  `json:"jobs_running"`
+	QueueDepth      int    `json:"queue_depth"`
+	PanicsRecovered int64  `json:"panics_recovered"`
+}
+
+// ShardInfo is one member of a routed topology as the router sees it:
+// static identity, liveness, and the last health probe.
+type ShardInfo struct {
+	Name string `json:"name"`
+	// Addr is the shard's base URL for remote shards; empty for
+	// in-process shards sharing the router's address space.
+	Addr  string `json:"addr,omitempty"`
+	Alive bool   `json:"alive"`
+	// Jobs counts the router-tracked jobs currently owned by this shard
+	// (lost jobs keep pointing at the shard that lost them).
+	Jobs                int         `json:"jobs"`
+	ConsecutiveFailures int         `json:"consecutive_failures,omitempty"`
+	LastError           string      `json:"last_error,omitempty"`
+	Health              ShardHealth `json:"health"`
+}
+
+// RouterStats is the router's own counter block inside GET /v1/metrics
+// and GET /v1/topology.
+type RouterStats struct {
+	JobsRouted      int64 `json:"jobs_routed"`      // submissions placed on a shard
+	Replays         int64 `json:"replays"`          // submissions answered by an existing keyed route
+	Resubmitted     int64 `json:"resubmitted"`      // queued jobs re-placed after a shard loss
+	JobsLost        int64 `json:"jobs_lost"`        // running jobs finalized failed-by-shard-loss
+	ShardsDown      int64 `json:"shards_down"`      // alive→down transitions observed
+	ShardsRecovered int64 `json:"shards_recovered"` // down→alive transitions observed
+	ShardsAlive     int   `json:"shards_alive"`
+	RoutesTracked   int   `json:"routes_tracked"`
+}
+
+// Topology is the GET /v1/topology response: the routing scheme and the
+// member list with per-shard health, plus the router counters.
+type Topology struct {
+	// Hashing names the placement scheme; currently always
+	// "rendezvous/fnv1a-64" (highest-random-weight hashing of the
+	// router-assigned job ID over the alive member set).
+	Hashing string      `json:"hashing"`
+	Shards  []ShardInfo `json:"shards"`
+	Router  RouterStats `json:"router"`
+}
+
+// RouterReady is the router's GET /v1/readyz response: ready while at
+// least one shard is alive.
+type RouterReady struct {
+	Status string      `json:"status"` // "ok" | "no-shards"
+	Shards []ShardInfo `json:"shards"`
+}
+
 // IdempotencyKeyHeader names the POST /v1/jobs request header that
 // makes submission retry-safe: submissions repeating a key return the
 // first submission's job instead of creating a duplicate.

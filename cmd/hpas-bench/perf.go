@@ -1,0 +1,374 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hpas"
+	"hpas/api"
+	hpasclient "hpas/client"
+	"hpas/internal/shard"
+	"hpas/serve"
+)
+
+// perfReport is the schema of BENCH_*.json: one tracked baseline per
+// PR so regressions in the service-path hot loops show up as a diff,
+// not as an anecdote. Rates are the comparable numbers; the raw counts
+// and wall times they derive from ride along for sanity checks.
+type perfReport struct {
+	Quick bool   `json:"quick"`
+	GoOS  string `json:"goos"`
+
+	// Simulation tick loop: sim-seconds advanced per wall-second with
+	// monitoring attached but no pipeline behind it.
+	Sim struct {
+		SimSeconds        float64 `json:"sim_seconds"`
+		WallSeconds       float64 `json:"wall_seconds"`
+		SimSecondsPerWall float64 `json:"sim_seconds_per_wall_second"`
+	} `json:"sim_tick_loop"`
+
+	// Streaming pipeline: per-window feature extract + classify cost,
+	// measured end-to-end through the job manager.
+	Pipeline struct {
+		Windows          int64   `json:"windows"`
+		WallSeconds      float64 `json:"wall_seconds"`
+		WindowsPerSec    float64 `json:"windows_per_sec"`
+		AvgExtractMicros float64 `json:"avg_extract_micros"`
+		AvgPredictMicros float64 `json:"avg_predict_micros"`
+	} `json:"window_pipeline"`
+
+	// Journal: sequential append throughput of the durable job log.
+	Journal struct {
+		Records       int     `json:"records"`
+		WallSeconds   float64 `json:"wall_seconds"`
+		RecordsPerSec float64 `json:"records_per_sec"`
+	} `json:"journal_append"`
+
+	// SSE fan-out: aggregate delivery rate with many live followers on
+	// one job, through the real HTTP surface.
+	Fanout struct {
+		Followers   int     `json:"followers"`
+		Messages    int64   `json:"messages_delivered"`
+		WallSeconds float64 `json:"wall_seconds"`
+		MsgsPerSec  float64 `json:"messages_per_sec"`
+	} `json:"sse_fanout"`
+
+	// Router overhead: the same submit and stream-to-done against one
+	// hpas-serve directly vs through a router in front of it.
+	Router struct {
+		DirectSubmitMicros     float64 `json:"direct_submit_micros"`
+		RoutedSubmitMicros     float64 `json:"routed_submit_micros"`
+		SubmitOverheadMicros   float64 `json:"submit_overhead_micros"`
+		DirectStreamMsgsPerSec float64 `json:"direct_stream_msgs_per_sec"`
+		RoutedStreamMsgsPerSec float64 `json:"routed_stream_msgs_per_sec"`
+	} `json:"router_overhead"`
+}
+
+// runPerf measures the baselines and writes them to path, returning a
+// process exit code.
+func runPerf(path string, quick bool) int {
+	rep, err := measurePerf(quick)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hpas-bench -perf: %v\n", err)
+		return 1
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hpas-bench -perf: %v\n", err)
+		return 1
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "hpas-bench -perf: %v\n", err)
+		return 1
+	}
+	fmt.Printf("wrote %s\n%s\n", path, buf)
+	return 0
+}
+
+func measurePerf(quick bool) (*perfReport, error) {
+	scale := 1.0
+	if quick {
+		scale = 0.1
+	}
+	rep := &perfReport{Quick: quick, GoOS: "linux"}
+
+	// --- simulation tick loop ---
+	simSecs := 4000 * scale
+	start := time.Now()
+	if _, err := hpas.Run(hpas.RunConfig{
+		Cluster:      hpas.VoltrinoConfig(4),
+		FixedSeconds: simSecs,
+		Seed:         17,
+	}); err != nil {
+		return nil, fmt.Errorf("sim tick loop: %w", err)
+	}
+	wall := time.Since(start).Seconds()
+	rep.Sim.SimSeconds = simSecs
+	rep.Sim.WallSeconds = wall
+	rep.Sim.SimSecondsPerWall = simSecs / wall
+
+	// Everything below needs a trained detector; training cost is not
+	// part of any tracked number.
+	ds, err := hpas.GenerateDataset(hpas.DatasetConfig{
+		Apps:    []string{"CoMD"},
+		Classes: []string{"none", "cpuoccupy"},
+		Reps:    3,
+		Window:  12,
+		Warmup:  2,
+		Seed:    31,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("training dataset: %w", err)
+	}
+	det, err := hpas.TrainDetector(ds, 10, 31)
+	if err != nil {
+		return nil, fmt.Errorf("training detector: %w", err)
+	}
+
+	if err := measurePipeline(rep, det, scale); err != nil {
+		return nil, err
+	}
+	if err := measureJournal(rep, scale); err != nil {
+		return nil, err
+	}
+	if err := measureFanout(rep, det, scale); err != nil {
+		return nil, err
+	}
+	if err := measureRouter(rep, det, scale); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// benchRequest is the workload every service-path measurement uses.
+func benchRequest(seed uint64, duration float64) api.JobRequest {
+	return api.JobRequest{Seed: seed, Duration: duration, Window: 10}
+}
+
+func measurePipeline(rep *perfReport, det *hpas.Detector, scale float64) error {
+	mgr := hpas.NewStreamManager(hpas.StreamConfig{Workers: 2, Queue: 16})
+	defer mgr.Close()
+	srv := serve.New(mgr, det, serve.Config{})
+
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		spec, err := srv.BuildSpec(benchRequest(uint64(i+1), 1500*scale))
+		if err != nil {
+			return fmt.Errorf("pipeline spec: %w", err)
+		}
+		j, err := mgr.Submit(spec)
+		if err != nil {
+			return fmt.Errorf("pipeline submit: %w", err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range j.FollowFrom(ctx, 0) {
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	st := mgr.Stats()
+	rep.Pipeline.Windows = st.WindowsProcessed
+	rep.Pipeline.WallSeconds = wall
+	rep.Pipeline.WindowsPerSec = float64(st.WindowsProcessed) / wall
+	rep.Pipeline.AvgExtractMicros = st.AvgExtractMicros
+	rep.Pipeline.AvgPredictMicros = st.AvgPredictMicros
+	return nil
+}
+
+func measureJournal(rep *perfReport, scale float64) error {
+	dir, err := os.MkdirTemp("", "hpas-bench-journal")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	jn, err := hpas.OpenStreamJournal(dir)
+	if err != nil {
+		return fmt.Errorf("journal open: %w", err)
+	}
+	n := int(20000 * scale)
+	msg := hpas.StreamMessage{Type: "window", Window: &hpas.StreamWindow{To: 10, Class: "none"}}
+	start := time.Now()
+	if err := jn.Create("bench", time.Now(), hpas.StreamJobSpec{}); err != nil {
+		return fmt.Errorf("journal create: %w", err)
+	}
+	for i := 0; i < n; i++ {
+		if err := jn.Append("bench", i, msg); err != nil {
+			return fmt.Errorf("journal append %d: %w", i, err)
+		}
+	}
+	if err := jn.State("bench", hpas.StreamJobDone, "", time.Now()); err != nil {
+		return fmt.Errorf("journal state: %w", err)
+	}
+	if err := jn.Close(); err != nil {
+		return fmt.Errorf("journal close: %w", err)
+	}
+	wall := time.Since(start).Seconds()
+	rep.Journal.Records = n + 2
+	rep.Journal.WallSeconds = wall
+	rep.Journal.RecordsPerSec = float64(n+2) / wall
+	return nil
+}
+
+func measureFanout(rep *perfReport, det *hpas.Detector, scale float64) error {
+	mgr := hpas.NewStreamManager(hpas.StreamConfig{Workers: 2, Queue: 16})
+	defer mgr.Close()
+	ts := httptest.NewServer(serve.New(mgr, det, serve.Config{}).Handler())
+	defer ts.Close()
+	cl := hpasclient.New(ts.URL, hpasclient.Options{Seed: 3})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	st, err := cl.Submit(ctx, benchRequest(9, 1200*scale))
+	if err != nil {
+		return fmt.Errorf("fanout submit: %w", err)
+	}
+	const followers = 16
+	var delivered atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, followers)
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := cl.Stream(ctx, st.ID, 0, func(hpas.StreamMessage) error {
+				delivered.Add(1)
+				return nil
+			}); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return fmt.Errorf("fanout follower: %w", err)
+	}
+	wall := time.Since(start).Seconds()
+	rep.Fanout.Followers = followers
+	rep.Fanout.Messages = delivered.Load()
+	rep.Fanout.WallSeconds = wall
+	rep.Fanout.MsgsPerSec = float64(delivered.Load()) / wall
+	return nil
+}
+
+func measureRouter(rep *perfReport, det *hpas.Detector, scale float64) error {
+	mgr := hpas.NewStreamManager(hpas.StreamConfig{Workers: 2, Queue: 64})
+	defer mgr.Close()
+	direct := httptest.NewServer(serve.New(mgr, det, serve.Config{}).Handler())
+	defer direct.Close()
+
+	rt, err := shard.NewRouter([]shard.Member{{
+		Name:    "shard0",
+		Addr:    direct.URL,
+		Backend: shard.NewRemote(direct.URL, shard.RemoteOptions{}),
+	}}, shard.Config{})
+	if err != nil {
+		return fmt.Errorf("router: %w", err)
+	}
+	defer rt.Close()
+	routed := httptest.NewServer(rt.Handler())
+	defer routed.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+
+	// Submit latency: mean over n tiny submissions, each answered from
+	// the queue without waiting for the job; a short warmup first so
+	// neither path pays connection setup inside the timed region.
+	submitMean := func(cl *hpasclient.Client, seedBase uint64) (float64, error) {
+		const warm, n = 3, 20
+		for i := 0; i < warm; i++ {
+			if _, err := cl.Submit(ctx, benchRequest(seedBase+uint64(i), 20)); err != nil {
+				return 0, err
+			}
+		}
+		start := time.Now()
+		for i := warm; i < warm+n; i++ {
+			if _, err := cl.Submit(ctx, benchRequest(seedBase+uint64(i), 20)); err != nil {
+				return 0, err
+			}
+		}
+		return float64(time.Since(start).Microseconds()) / n, nil
+	}
+	dc := hpasclient.New(direct.URL, hpasclient.Options{Seed: 5})
+	rc := hpasclient.New(routed.URL, hpasclient.Options{Seed: 6})
+	dMicros, err := submitMean(dc, 1000)
+	if err != nil {
+		return fmt.Errorf("direct submit: %w", err)
+	}
+	rMicros, err := submitMean(rc, 2000)
+	if err != nil {
+		return fmt.Errorf("routed submit: %w", err)
+	}
+	rep.Router.DirectSubmitMicros = dMicros
+	rep.Router.RoutedSubmitMicros = rMicros
+	rep.Router.SubmitOverheadMicros = rMicros - dMicros
+
+	// Stream throughput: replay of an already-finished job, so the
+	// number measures pure delivery over the wire — a live follow
+	// would measure the simulation's production rate instead of the
+	// extra hop.
+	st, err := dc.Submit(ctx, benchRequest(3000, 1000*scale))
+	if err != nil {
+		return fmt.Errorf("stream job submit: %w", err)
+	}
+	for {
+		got, err := dc.Get(ctx, st.ID)
+		if err != nil {
+			return fmt.Errorf("stream job wait: %w", err)
+		}
+		if got.Final() {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	gidSt, _, err := rc.SubmitKeyed(ctx, benchRequest(3000, 1000*scale), "bench-stream")
+	if err != nil {
+		return fmt.Errorf("routed stream job submit: %w", err)
+	}
+	for {
+		got, err := rc.Get(ctx, gidSt.ID)
+		if err != nil {
+			return fmt.Errorf("routed stream job wait: %w", err)
+		}
+		if got.Final() {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	streamRate := func(cl *hpasclient.Client, id string) (float64, error) {
+		var n int64
+		start := time.Now()
+		if err := cl.Stream(ctx, id, 0, func(hpas.StreamMessage) error {
+			n++
+			return nil
+		}); err != nil {
+			return 0, err
+		}
+		return float64(n) / time.Since(start).Seconds(), nil
+	}
+	dRate, err := streamRate(dc, st.ID)
+	if err != nil {
+		return fmt.Errorf("direct stream: %w", err)
+	}
+	rRate, err := streamRate(rc, gidSt.ID)
+	if err != nil {
+		return fmt.Errorf("routed stream: %w", err)
+	}
+	rep.Router.DirectStreamMsgsPerSec = dRate
+	rep.Router.RoutedStreamMsgsPerSec = rRate
+	return nil
+}

@@ -1,0 +1,180 @@
+// Command hpas-router scales the streaming anomaly-detection service
+// horizontally: it fronts N job-manager shards with one /v1 endpoint,
+// placing every job on the shard that wins a rendezvous hash of its
+// router-assigned ID and proxying status, listing, cancellation, and
+// live streams to the owner. Clients — curl, hpas/client, dashboards —
+// use it exactly like a single hpas-serve instance:
+//
+//	POST   /v1/jobs             submit (routed by hashed job ID)
+//	GET    /v1/jobs             scatter-gather merged listing
+//	GET    /v1/jobs/{id}        status from the owning shard
+//	GET    /v1/jobs/{id}/stream proxied NDJSON/SSE stream (resumable)
+//	DELETE /v1/jobs/{id}        cancel on the owning shard
+//	GET    /v1/metrics          router counters + per-shard telemetry
+//	GET    /v1/topology         ring members, health, ownership counts
+//	GET    /v1/readyz           ready while ≥1 shard is alive
+//	GET    /v1/healthz          liveness
+//
+// Two deployment shapes:
+//
+//	hpas-router -shards http://s0:8080,http://s1:8080,http://s2:8080
+//
+// routes across running hpas-serve processes, while
+//
+//	hpas-router -local 3
+//
+// hosts three in-process shards (independent managers sharing one
+// trained detector) in this binary — the single-machine way to get
+// per-shard queues and failure isolation without extra processes.
+//
+// A health loop probes every shard; one that stops answering is taken
+// out of the ring and its jobs reconciled — queued jobs are re-placed
+// on the surviving owner under their journaled idempotency key (no
+// duplicates, even if the shard comes back), running jobs are
+// finalized as failed-by-shard-loss, and proxied streams resume or
+// terminate cleanly instead of hanging.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"hpas"
+	"hpas/internal/shard"
+	"hpas/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8070", "listen address")
+	shards := flag.String("shards", "", "comma-separated base URLs of hpas-serve shards (e.g. http://s0:8080,http://s1:8080)")
+	local := flag.Int("local", 0, "host N in-process shards instead of remote ones")
+	workers := flag.Int("workers", 2, "per-shard concurrent simulation jobs (-local mode)")
+	queue := flag.Int("queue", 16, "per-shard pending-job queue capacity (-local mode)")
+	checkInterval := flag.Duration("check-interval", time.Second, "shard health-probe period")
+	failAfter := flag.Int("fail-after", 2, "consecutive failed probes before a shard leaves the ring")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown budget")
+	trainApps := flag.String("train-apps", "CoMD", "comma-separated Table 2 apps for detector training (-local mode)")
+	trainClasses := flag.String("train-classes", "", "comma-separated anomaly classes to train on (default: all) (-local mode)")
+	trainReps := flag.Int("train-reps", 3, "training runs per (app, class) pair (-local mode)")
+	trainWindow := flag.Float64("train-window", 20, "training observation window, seconds (-local mode)")
+	trainWarmup := flag.Float64("train-warmup", 5, "training warmup excluded from features, seconds (-local mode)")
+	trainSeed := flag.Uint64("train-seed", 31, "training seed (-local mode)")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var members []shard.Member
+	switch {
+	case *shards != "" && *local > 0:
+		log.Fatal("hpas-router: give -shards or -local, not both")
+	case *shards != "":
+		for i, u := range splitCSV(*shards) {
+			members = append(members, shard.Member{
+				Name:    shardName(i),
+				Addr:    u,
+				Backend: shard.NewRemote(u, shard.RemoteOptions{}),
+			})
+		}
+	case *local > 0:
+		det, err := trainDetector(ctx, *trainApps, *trainClasses, *trainReps, *trainWindow, *trainWarmup, *trainSeed)
+		if err != nil {
+			log.Fatalf("hpas-router: training detector: %v", err)
+		}
+		for i := 0; i < *local; i++ {
+			mgr := hpas.NewStreamManager(hpas.StreamConfig{Workers: *workers, Queue: *queue})
+			srv := serve.New(mgr, det, serve.Config{})
+			members = append(members, shard.Member{
+				Name:    shardName(i),
+				Backend: shard.NewLocal(mgr, srv),
+			})
+		}
+	default:
+		log.Fatal("hpas-router: need -shards URLs or -local N")
+	}
+
+	rt, err := shard.NewRouter(members, shard.Config{
+		CheckInterval: *checkInterval,
+		FailAfter:     *failAfter,
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("hpas-router: %v", err)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("hpas-router: listening on %s, routing over %d shard(s) (probe every %s, fail after %d)",
+		*addr, len(members), *checkInterval, *failAfter)
+
+	select {
+	case <-ctx.Done():
+		log.Printf("hpas-router: shutting down (budget %s)...", *shutdownTimeout)
+		shctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		if err := srv.Shutdown(shctx); err != nil {
+			log.Printf("hpas-router: shutdown: %v", err)
+		}
+		if err := rt.Close(); err != nil {
+			log.Printf("hpas-router: closing shards: %v", err)
+		}
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("hpas-router: %v", err)
+		}
+	}
+}
+
+func shardName(i int) string {
+	return fmt.Sprintf("shard%d", i)
+}
+
+// trainDetector fits the shared detector for -local shards, mirroring
+// hpas-serve's startup training.
+func trainDetector(ctx context.Context, apps, classes string, reps int, window, warmup float64, seed uint64) (*hpas.Detector, error) {
+	start := time.Now()
+	log.Printf("hpas-router: training shared detector (apps %s, %d reps)...", apps, reps)
+	ds, err := hpas.GenerateDatasetContext(ctx, hpas.DatasetConfig{
+		Apps:    splitCSV(apps),
+		Classes: splitCSV(classes),
+		Reps:    reps,
+		Window:  window,
+		Warmup:  warmup,
+		Seed:    seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	det, err := hpas.TrainDetector(ds, window-warmup, seed)
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("hpas-router: detector ready in %.1fs", time.Since(start).Seconds())
+	return det, nil
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

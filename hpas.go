@@ -329,6 +329,11 @@ var ErrStreamClosed = stream.ErrClosed
 // died mid-run; Reopen finalizes such jobs as failed with this error.
 var ErrStreamInterrupted = stream.ErrInterrupted
 
+// ErrStreamShardLost marks a job whose owning manager instance (shard)
+// died mid-run; the shard router (internal/shard, cmd/hpas-router)
+// finalizes such jobs as failed-by-shard-loss.
+var ErrStreamShardLost = stream.ErrShardLost
+
 // NewStreamManager starts a streaming job manager; Close it to release
 // the worker pool. Configure StreamConfig.Store (e.g. a StreamJournal)
 // and call Reopen with the store's recovered jobs to make job history

@@ -1,0 +1,318 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hpas"
+	"hpas/api"
+	hpasclient "hpas/client"
+	"hpas/serve"
+)
+
+// httpShard is one journaled hpas-serve instance reachable over HTTP —
+// the deployment shape the router exists for.
+type httpShard struct {
+	name string
+	mgr  *hpas.StreamManager
+	ts   *httptest.Server
+}
+
+// fastClientOptions keeps retry backoff test-sized.
+func fastClientOptions(seed int64) hpasclient.Options {
+	return hpasclient.Options{
+		MaxRetries: 3,
+		BaseDelay:  5 * time.Millisecond,
+		MaxDelay:   50 * time.Millisecond,
+		Seed:       seed,
+	}
+}
+
+// TestChaosRouterSurvivesShardLossUnderLiveTraffic is the
+// whole-subsystem proof: three journaled HTTP shards behind the
+// router, every worker pinned by an endless job plus queued backlog on
+// each shard, live SSE followers attached — then one shard's network
+// goes away. The router must demote it, re-place its queued jobs under
+// the original idempotency keys (zero duplicates, checked against the
+// shard journals directly), finalize its running job as
+// failed-by-shard-loss (the follower sees a terminal frame), keep
+// survivor streams loss-free and duplicate-free, and keep the merged
+// listing order identical before and after.
+func TestChaosRouterSurvivesShardLossUnderLiveTraffic(t *testing.T) {
+	det := detector(t)
+	ctx := ctxT(t)
+
+	const nShards = 3
+	var (
+		names  []string
+		shards = map[string]*httpShard{}
+		direct = map[string]*hpasclient.Client{}
+	)
+	var members []Member
+	for i := 0; i < nShards; i++ {
+		name := fmt.Sprintf("shard%d", i)
+		store, _ := serve.OpenJournal(t.TempDir(), t.Logf)
+		mgr := hpas.NewStreamManager(hpas.StreamConfig{Workers: 1, Queue: 32, Store: store})
+		srv := serve.New(mgr, det, serve.Config{})
+		ts := httptest.NewServer(srv.Handler())
+		sh := &httpShard{name: name, mgr: mgr, ts: ts}
+		names = append(names, name)
+		shards[name] = sh
+		direct[name] = hpasclient.New(ts.URL, fastClientOptions(int64(100+i)))
+		members = append(members, Member{
+			Name: name,
+			Addr: ts.URL,
+			Backend: NewRemote(ts.URL, RemoteOptions{
+				Client:       fastClientOptions(int64(i)),
+				ProbeTimeout: time.Second,
+			}),
+		})
+		t.Cleanup(func() {
+			ts.Close()
+			mgr.Close()
+		})
+	}
+
+	rt, err := NewRouter(members, Config{
+		CheckInterval: 100 * time.Millisecond,
+		FailAfter:     2,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := rt.Close(); err != nil {
+			t.Errorf("router close: %v", err)
+		}
+	})
+	rts := httptest.NewServer(rt.Handler())
+	t.Cleanup(rts.Close)
+	cl := hpasclient.New(rts.URL, fastClientOptions(42))
+
+	// Concurrent submissions until every shard owns a worker-pinning
+	// endless job plus queued backlog. Placement is rendezvous over the
+	// full ring, so owners are predictable from the gid alone.
+	byShard := map[string][]string{}
+	var gids []string
+	for i := 0; len(gids) < 30; i++ {
+		st, replayed, err := cl.SubmitKeyed(ctx, endless(uint64(i)), fmt.Sprintf("chaos-%02d", i))
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		if replayed {
+			t.Fatalf("fresh submission %d reported as replay", i)
+		}
+		gids = append(gids, st.ID)
+		owner := rendezvousOwner(st.ID, names)
+		byShard[owner] = append(byShard[owner], st.ID)
+		done := true
+		for _, name := range names {
+			if len(byShard[name]) < 3 {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+	}
+	for _, name := range names {
+		if len(byShard[name]) < 3 {
+			t.Fatalf("shard %s owns %d jobs; the fixture needs 1 running + ≥2 queued per shard (distribution %v)", name, len(byShard[name]), byShard)
+		}
+	}
+
+	// With one worker per shard, the first job placed on each shard
+	// runs forever and the rest stay queued behind it.
+	waitGet := func(gid string, cond func(api.JobStatus) bool) api.JobStatus {
+		t.Helper()
+		for {
+			st, err := cl.Get(ctx, gid)
+			if err != nil {
+				t.Fatalf("get %s: %v", gid, err)
+			}
+			if cond(st) {
+				return st
+			}
+			select {
+			case <-ctx.Done():
+				t.Fatalf("timeout waiting on %s (last %+v)", gid, st)
+			case <-time.After(20 * time.Millisecond):
+			}
+		}
+	}
+	for _, name := range names {
+		waitGet(byShard[name][0], func(st api.JobStatus) bool { return st.State == "running" })
+	}
+
+	victim := rendezvousOwner(gids[0], names)
+	victimRunning := byShard[victim][0]
+	victimQueued := byShard[victim][1:]
+	var survivor string
+	for _, name := range names {
+		if name != victim {
+			survivor = name
+			break
+		}
+	}
+
+	// Exactly-once delivery under a bounded live follow: seqs strictly
+	// increase, and a jump is legal only on a "gap" frame (whose seq is
+	// the last skipped index) — anything else is a lost or duplicated
+	// message.
+	checkExactlyOnce := func(label string, msgs []hpas.StreamMessage) {
+		t.Helper()
+		prev := -1
+		for i, m := range msgs {
+			if m.Seq <= prev {
+				t.Fatalf("%s frame %d has seq %d after seq %d; delivery must be exactly-once", label, i, m.Seq, prev)
+			}
+			if m.Seq != prev+1 && m.Type != "gap" {
+				t.Fatalf("%s frame %d (%s) jumped %d→%d without a gap frame; messages were lost silently", label, i, m.Type, prev, m.Seq)
+			}
+			prev = m.Seq
+		}
+	}
+
+	// Live followers through the router: one on the job that is about
+	// to die with its shard, one on a survivor's running job.
+	type follow struct {
+		mu   sync.Mutex
+		msgs []hpas.StreamMessage
+		err  error
+		done chan struct{}
+	}
+	start := func(cctx context.Context, gid string) *follow {
+		f := &follow{done: make(chan struct{})}
+		go func() {
+			defer close(f.done)
+			f.err = cl.Stream(cctx, gid, 0, func(m hpas.StreamMessage) error {
+				f.mu.Lock()
+				f.msgs = append(f.msgs, m)
+				f.mu.Unlock()
+				return nil
+			})
+		}()
+		return f
+	}
+	count := func(f *follow) int {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		return len(f.msgs)
+	}
+	survCtx, survCancel := context.WithCancel(ctx)
+	defer survCancel()
+	victimFollow := start(ctx, victimRunning)
+	survFollow := start(survCtx, byShard[survivor][0])
+	for count(victimFollow) < 3 || count(survFollow) < 3 {
+		select {
+		case <-ctx.Done():
+			t.Fatal("followers never saw live traffic")
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+
+	before, err := cl.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) != len(gids) {
+		t.Fatalf("listing holds %d jobs, want %d", len(before), len(gids))
+	}
+	survSeen := count(survFollow)
+
+	// Partition the victim: connections die, its address stops
+	// answering, but its manager keeps running — the router must not
+	// assume a dead address means cleanly stopped work.
+	shards[victim].ts.CloseClientConnections()
+	shards[victim].ts.Close()
+	rt.CheckNow()
+	rt.CheckNow()
+
+	// Queued victim jobs moved to their rendezvous successor; the
+	// journaled idempotency key proves zero duplicates: re-submitting
+	// the router's key directly at the new owner must replay, not run.
+	survivors := []string{}
+	for _, name := range names {
+		if name != victim {
+			survivors = append(survivors, name)
+		}
+	}
+	for _, gid := range victimQueued {
+		st := waitGet(gid, func(st api.JobStatus) bool { return st.State != "failed" })
+		if st.Final() {
+			t.Fatalf("re-placed job %s ended %s (%s); queued work must survive shard loss", gid, st.State, st.Error)
+		}
+		newOwner := rendezvousOwner(gid, survivors)
+		rst, replayed, err := direct[newOwner].SubmitKeyed(ctx, endless(0), "hpasr-"+gid)
+		if err != nil {
+			t.Fatalf("probe submit for %s at %s: %v", gid, newOwner, err)
+		}
+		if !replayed {
+			t.Fatalf("key hpasr-%s at %s started a new job %s; re-placement duplicated work", gid, newOwner, rst.ID)
+		}
+	}
+
+	// The running victim job cannot be resumed — it is finalized loudly.
+	st := waitGet(victimRunning, api.JobStatus.Final)
+	if st.State != "failed" || !strings.Contains(st.Error, "failed-by-shard-loss") {
+		t.Fatalf("victim's running job ended %s (%q), want failed-by-shard-loss", st.State, st.Error)
+	}
+
+	// Its follower got a terminal frame instead of a hung stream.
+	select {
+	case <-victimFollow.done:
+	case <-ctx.Done():
+		t.Fatal("victim follower still blocked after failover")
+	}
+	if victimFollow.err != nil {
+		t.Fatalf("victim follower error: %v", victimFollow.err)
+	}
+	victimFollow.mu.Lock()
+	vmsgs := victimFollow.msgs
+	victimFollow.mu.Unlock()
+	last := vmsgs[len(vmsgs)-1]
+	if last.Type != "done" || !strings.Contains(last.Error, "failed-by-shard-loss") {
+		t.Fatalf("victim follower's last frame = %+v, want a done frame carrying failed-by-shard-loss", last)
+	}
+	checkExactlyOnce("victim follower", vmsgs)
+
+	// Survivor stream: unaffected, still flowing, no loss or duplication.
+	for count(survFollow) <= survSeen {
+		select {
+		case <-ctx.Done():
+			t.Fatal("survivor stream stalled after the victim died")
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	survCancel()
+	<-survFollow.done
+	survFollow.mu.Lock()
+	smsgs := survFollow.msgs
+	survFollow.mu.Unlock()
+	checkExactlyOnce("survivor follower", smsgs)
+
+	// The merged listing still answers, in the same order.
+	after, err := cl.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("listing shrank from %d to %d jobs across failover", len(before), len(after))
+	}
+	for i := range before {
+		if after[i].ID != before[i].ID {
+			t.Fatalf("listing position %d changed from %s to %s; merged order must be stable across failover", i, before[i].ID, after[i].ID)
+		}
+	}
+
+	stats := rt.Stats()
+	if stats.ShardsDown != 1 || stats.JobsLost != 1 || int(stats.Resubmitted) != len(victimQueued) {
+		t.Fatalf("stats = %+v, want 1 shard down, 1 job lost, %d resubmitted", stats, len(victimQueued))
+	}
+}

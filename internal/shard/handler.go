@@ -1,0 +1,208 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"hpas"
+	"hpas/api"
+	hpasclient "hpas/client"
+	"hpas/serve"
+)
+
+// Handler builds the router's mux: the same /v1 surface hpas-serve
+// exposes — so every client, including hpas/client and another
+// router's Remote backend, works unchanged — plus /v1/topology for the
+// ring view. Probe endpoints answer versioned and unversioned, like
+// the shards they aggregate.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", withDeadline(30*time.Second, rt.handleSubmit))
+	mux.HandleFunc("GET /v1/jobs", withDeadline(10*time.Second, rt.handleList))
+	mux.HandleFunc("GET /v1/jobs/{id}", withDeadline(10*time.Second, rt.handleGet))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", withDeadline(10*time.Second, rt.handleCancel))
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", rt.handleStream)
+	mux.HandleFunc("GET /v1/metrics", withDeadline(10*time.Second, rt.handleMetrics))
+	mux.HandleFunc("GET /v1/topology", withDeadline(10*time.Second, rt.handleTopology))
+	mux.HandleFunc("GET /v1/healthz", withDeadline(5*time.Second, rt.handleHealthz))
+	mux.HandleFunc("GET /v1/readyz", withDeadline(5*time.Second, rt.handleReadyz))
+	mux.HandleFunc("GET /healthz", withDeadline(5*time.Second, rt.handleHealthz))
+	mux.HandleFunc("GET /readyz", withDeadline(5*time.Second, rt.handleReadyz))
+	return mux
+}
+
+// withDeadline bounds a handler's request context. The submit deadline
+// is looser than serve's own: a routed submit may ride out a shard
+// death (client retries, markdown, re-placement) before it lands.
+func withDeadline(d time.Duration, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		h(w, r.WithContext(ctx))
+	}
+}
+
+// httpStatusFor maps a routed-operation error onto the status code the
+// single-instance API would use for the same condition.
+func httpStatusFor(err error) int {
+	var ae *hpasclient.APIError
+	switch {
+	case errors.Is(err, ErrNotFound) || hpasclient.IsNotFound(err):
+		return http.StatusNotFound
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, hpas.ErrStreamQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, hpas.ErrStreamClosed), errors.Is(err, ErrNoShards), errors.Is(err, ErrShardDown):
+		return http.StatusServiceUnavailable
+	case errors.As(err, &ae):
+		return ae.StatusCode
+	default:
+		return http.StatusBadGateway
+	}
+}
+
+func (rt *Router) writeOpError(w http.ResponseWriter, err error) {
+	code := httpStatusFor(err)
+	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	serve.WriteError(w, code, err)
+}
+
+func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req api.JobRequest
+	if err := serve.DecodeJSON(w, r, &req); err != nil {
+		code := http.StatusBadRequest
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		serve.WriteError(w, code, err)
+		return
+	}
+	key := strings.TrimSpace(r.Header.Get(api.IdempotencyKeyHeader))
+	if len(key) > api.MaxIdempotencyKeyLen {
+		serve.WriteError(w, http.StatusBadRequest,
+			fmt.Errorf("%s longer than %d bytes", api.IdempotencyKeyHeader, api.MaxIdempotencyKeyLen))
+		return
+	}
+	st, replayed, err := rt.Submit(r.Context(), req, key)
+	if err != nil {
+		rt.writeOpError(w, err)
+		return
+	}
+	if replayed {
+		w.Header().Set(api.IdempotencyReplayedHeader, "true")
+		serve.WriteJSON(w, http.StatusOK, st)
+		return
+	}
+	serve.WriteJSON(w, http.StatusAccepted, st)
+}
+
+func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs, err := rt.List(r.Context())
+	if err != nil {
+		rt.writeOpError(w, err)
+		return
+	}
+	serve.WriteJSON(w, http.StatusOK, api.JobList{Jobs: jobs})
+}
+
+func (rt *Router) handleGet(w http.ResponseWriter, r *http.Request) {
+	st, err := rt.Get(r.Context(), r.PathValue("id"))
+	if err != nil {
+		rt.writeOpError(w, err)
+		return
+	}
+	serve.WriteJSON(w, http.StatusOK, st)
+}
+
+func (rt *Router) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := rt.Cancel(r.Context(), r.PathValue("id"))
+	if err != nil {
+		rt.writeOpError(w, err)
+		return
+	}
+	serve.WriteJSON(w, http.StatusOK, st)
+}
+
+// handleStream proxies the job's message stream with the exact framing
+// hpas-serve uses — NDJSON by default, SSE with log-index event IDs on
+// Accept: text/event-stream — so a client cannot tell the proxy from
+// the shard. Last-Event-ID resumes mid-stream, including across a
+// shard death behind the router's back.
+func (rt *Router) handleStream(w http.ResponseWriter, r *http.Request) {
+	gid := r.PathValue("id")
+	if !rt.Has(gid) {
+		serve.WriteError(w, http.StatusNotFound, fmt.Errorf("no job %q", gid))
+		return
+	}
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	from := 0
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		if lei := r.Header.Get("Last-Event-ID"); lei != "" {
+			if n, err := strconv.Atoi(lei); err == nil && n >= 0 {
+				from = n + 1
+			}
+		}
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	// From here the status line is committed: a routed failure can only
+	// end the stream, exactly as a cut single-instance stream would.
+	streamErr := rt.Stream(r.Context(), gid, from, func(msg hpas.StreamMessage) error {
+		b, err := json.Marshal(msg)
+		if err != nil {
+			return err
+		}
+		if sse {
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", msg.Seq, msg.Type, b); err != nil {
+				return err
+			}
+		} else {
+			if _, err := w.Write(b); err != nil {
+				return err
+			}
+			if _, err := w.Write([]byte("\n")); err != nil {
+				return err
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	_ = streamErr // headers are committed; the cut connection says it all
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	serve.WriteJSON(w, http.StatusOK, rt.Metrics(r.Context()))
+}
+
+func (rt *Router) handleTopology(w http.ResponseWriter, r *http.Request) {
+	serve.WriteJSON(w, http.StatusOK, rt.Topology())
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	serve.WriteJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"shards": len(rt.members),
+	})
+}
+
+func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	rr, code := rt.Ready()
+	serve.WriteJSON(w, code, rr)
+}

@@ -1,0 +1,174 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"hpas"
+	"hpas/api"
+	hpasclient "hpas/client"
+)
+
+// Remote is the HTTP Backend: the shard is a complete hpas-serve /v1
+// endpoint, reached through the retrying typed client. Transport
+// failures and 5xx responses — already retried by the client — are
+// translated into ErrShardDown so the router's placement and failover
+// logic can treat every backend uniformly.
+type Remote struct {
+	base  string
+	c     *hpasclient.Client
+	probe *http.Client
+}
+
+// RemoteOptions tunes a Remote beyond its base URL.
+type RemoteOptions struct {
+	// Client tunes the underlying hpas/client (retry budget, backoff,
+	// seed). The zero value is production-reasonable.
+	Client hpasclient.Options
+	// ProbeTimeout bounds one health probe (default 2s). Probes use a
+	// plain non-retrying request: the health loop supplies the retry
+	// policy (FailAfter consecutive failures), and stacking the
+	// client's backoff under it would stretch detection latency.
+	ProbeTimeout time.Duration
+}
+
+// NewRemote returns a shard backend for the hpas-serve instance at
+// baseURL (e.g. "http://shard0:8080"); a trailing slash is trimmed.
+func NewRemote(baseURL string, opts RemoteOptions) *Remote {
+	pt := opts.ProbeTimeout
+	if pt <= 0 {
+		pt = 2 * time.Second
+	}
+	hc := opts.Client.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Remote{
+		base:  trimSlash(baseURL),
+		c:     hpasclient.New(baseURL, opts.Client),
+		probe: &http.Client{Transport: hc.Transport, Timeout: pt},
+	}
+}
+
+func trimSlash(s string) string {
+	for len(s) > 0 && s[len(s)-1] == '/' {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// mapErr classifies a client error for the router: 404 → ErrNotFound,
+// non-retryable 4xx → ErrBadRequest, 5xx and transport failures →
+// ErrShardDown. 429 (queue full) passes through untouched — it is
+// client-paceable backpressure from a healthy shard, not a failure.
+func mapErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	var ae *hpasclient.APIError
+	if errors.As(err, &ae) {
+		switch {
+		case ae.StatusCode == http.StatusNotFound:
+			return fmt.Errorf("%w: %v", ErrNotFound, err)
+		case ae.StatusCode == http.StatusTooManyRequests:
+			return err
+		case ae.StatusCode >= 500:
+			return fmt.Errorf("%w: %v", ErrShardDown, err)
+		default:
+			return fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	// Connection refused, reset, EOF: the client exhausted its retries
+	// against a shard that is not answering.
+	return fmt.Errorf("%w: %v", ErrShardDown, err)
+}
+
+// Submit implements Backend.
+func (r *Remote) Submit(ctx context.Context, req api.JobRequest, key string) (api.JobStatus, bool, error) {
+	st, replayed, err := r.c.SubmitKeyed(ctx, req, key)
+	return st, replayed, mapErr(err)
+}
+
+// Get implements Backend.
+func (r *Remote) Get(ctx context.Context, id string) (api.JobStatus, error) {
+	st, err := r.c.Get(ctx, id)
+	return st, mapErr(err)
+}
+
+// List implements Backend.
+func (r *Remote) List(ctx context.Context) ([]api.JobStatus, error) {
+	jobs, err := r.c.List(ctx)
+	return jobs, mapErr(err)
+}
+
+// Cancel implements Backend.
+func (r *Remote) Cancel(ctx context.Context, id string) (api.JobStatus, error) {
+	st, err := r.c.Cancel(ctx, id)
+	return st, mapErr(err)
+}
+
+// Stream implements Backend. Errors raised by fn come back untouched
+// (the client contract); everything else means the follow could not
+// reach or hold the shard and is left for the router's retry loop to
+// classify against the live topology.
+func (r *Remote) Stream(ctx context.Context, id string, from int, fn func(hpas.StreamMessage) error) error {
+	return r.c.Stream(ctx, id, from, fn)
+}
+
+// Check implements Backend: one non-retrying GET /v1/readyz, decoded
+// into the shard's health report. Any non-200 — including a clean 503
+// "closing" — is a failed probe.
+func (r *Remote) Check(ctx context.Context) (api.ShardHealth, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+"/v1/readyz", nil)
+	if err != nil {
+		return api.ShardHealth{}, fmt.Errorf("%w: %v", ErrShardDown, err)
+	}
+	resp, err := r.probe.Do(req)
+	if err != nil {
+		return api.ShardHealth{}, fmt.Errorf("%w: %v", ErrShardDown, err)
+	}
+	defer resp.Body.Close()
+	var h api.ShardHealth
+	if derr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&h); derr != nil {
+		return api.ShardHealth{}, fmt.Errorf("%w: readyz body: %v", ErrShardDown, derr)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return h, fmt.Errorf("%w: readyz %d (%s)", ErrShardDown, resp.StatusCode, h.Status)
+	}
+	return h, nil
+}
+
+// Metrics implements Backend: GET /v1/metrics, service block only.
+func (r *Remote) Metrics(ctx context.Context) (hpas.StreamStats, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+"/v1/metrics", nil)
+	if err != nil {
+		return hpas.StreamStats{}, fmt.Errorf("%w: %v", ErrShardDown, err)
+	}
+	resp, err := r.probe.Do(req)
+	if err != nil {
+		return hpas.StreamStats{}, fmt.Errorf("%w: %v", ErrShardDown, err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Service hpas.StreamStats `json:"service"`
+	}
+	if derr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body); derr != nil {
+		return hpas.StreamStats{}, fmt.Errorf("%w: metrics body: %v", ErrShardDown, derr)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return hpas.StreamStats{}, fmt.Errorf("%w: metrics %d", ErrShardDown, resp.StatusCode)
+	}
+	return body.Service, nil
+}
+
+// Close implements Backend. The remote process owns its own lifecycle;
+// there is nothing to release here.
+func (r *Remote) Close() error { return nil }

@@ -1,0 +1,191 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"hpas"
+	"hpas/api"
+	"hpas/serve"
+)
+
+// Local is the in-process Backend: a full job manager and the serve
+// translation layer living in the router's own address space. It is
+// the -local deployment shape of cmd/hpas-router and the fast path for
+// tests — no sockets, no serialization, the same semantics.
+//
+// Kill simulates abrupt process death for failover tests: every
+// subsequent operation fails with ErrShardDown and in-flight streams
+// are cut mid-delivery, exactly as a crashed remote shard would cut
+// them. The manager itself is left running (it shares the test's
+// process); Close still releases it.
+type Local struct {
+	mgr *hpas.StreamManager
+	srv *serve.Server
+
+	mu     sync.Mutex
+	dead   bool
+	killed chan struct{} // closed by Kill
+}
+
+// NewLocal wraps an in-process manager and its serving layer as a
+// shard. The server's BuildSpec and JobStatusOf are reused so routed
+// and direct submissions validate, default, and render identically.
+func NewLocal(mgr *hpas.StreamManager, srv *serve.Server) *Local {
+	return &Local{mgr: mgr, srv: srv, killed: make(chan struct{})}
+}
+
+// Kill marks the shard dead. Safe to call more than once.
+func (l *Local) Kill() {
+	l.mu.Lock()
+	if !l.dead {
+		l.dead = true
+		close(l.killed)
+	}
+	l.mu.Unlock()
+}
+
+func (l *Local) down() bool {
+	select {
+	case <-l.killed:
+		return true
+	default:
+		return false
+	}
+}
+
+// Submit implements Backend.
+func (l *Local) Submit(ctx context.Context, req api.JobRequest, key string) (api.JobStatus, bool, error) {
+	if l.down() {
+		return api.JobStatus{}, false, ErrShardDown
+	}
+	spec, err := l.srv.BuildSpec(req)
+	if err != nil {
+		return api.JobStatus{}, false, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	spec.IdempotencyKey = key
+	j, replayed, err := l.mgr.SubmitIdempotent(spec)
+	if err != nil {
+		// ErrStreamQueueFull and ErrStreamClosed pass through: the
+		// router maps the former to 429 (client-paceable) and treats
+		// only the latter as this shard being gone.
+		return api.JobStatus{}, false, err
+	}
+	return serve.JobStatusOf(j), replayed, nil
+}
+
+// Get implements Backend.
+func (l *Local) Get(ctx context.Context, id string) (api.JobStatus, error) {
+	if l.down() {
+		return api.JobStatus{}, ErrShardDown
+	}
+	j, ok := l.mgr.Get(id)
+	if !ok {
+		return api.JobStatus{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return serve.JobStatusOf(j), nil
+}
+
+// List implements Backend.
+func (l *Local) List(ctx context.Context) ([]api.JobStatus, error) {
+	if l.down() {
+		return nil, ErrShardDown
+	}
+	jobs := l.mgr.Jobs()
+	out := make([]api.JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, serve.JobStatusOf(j))
+	}
+	return out, nil
+}
+
+// Cancel implements Backend.
+func (l *Local) Cancel(ctx context.Context, id string) (api.JobStatus, error) {
+	if l.down() {
+		return api.JobStatus{}, ErrShardDown
+	}
+	if err := l.mgr.Cancel(id); err != nil {
+		return api.JobStatus{}, fmt.Errorf("%w: %v", ErrNotFound, err)
+	}
+	j, ok := l.mgr.Get(id)
+	if !ok {
+		return api.JobStatus{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return serve.JobStatusOf(j), nil
+}
+
+// Stream implements Backend. The follow is cut — mid-message, like a
+// dropped TCP connection — if the shard is killed while streaming.
+func (l *Local) Stream(ctx context.Context, id string, from int, fn func(hpas.StreamMessage) error) error {
+	if l.down() {
+		return ErrShardDown
+	}
+	j, ok := l.mgr.Get(id)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-l.killed:
+			cancel()
+		case <-watchDone:
+		}
+	}()
+	sawDone := false
+	for msg := range j.FollowFrom(sctx, from) {
+		if l.down() {
+			return ErrShardDown
+		}
+		if err := fn(msg); err != nil {
+			return err
+		}
+		if msg.Type == "done" {
+			sawDone = true
+		}
+	}
+	switch {
+	case sawDone:
+		return nil
+	case l.down():
+		return ErrShardDown
+	case ctx.Err() != nil:
+		return ctx.Err()
+	default:
+		// The follow ended without a terminal frame and without our
+		// caller cancelling: the stream was interrupted shard-side.
+		return ErrShardDown
+	}
+}
+
+// Check implements Backend: the serve readiness report, failed when
+// the shard is killed or closing.
+func (l *Local) Check(ctx context.Context) (api.ShardHealth, error) {
+	if l.down() {
+		return api.ShardHealth{}, ErrShardDown
+	}
+	h, code := l.srv.Health()
+	if code != http.StatusOK {
+		return h, fmt.Errorf("%w: readyz %d (%s)", ErrShardDown, code, h.Status)
+	}
+	return h, nil
+}
+
+// Metrics implements Backend.
+func (l *Local) Metrics(ctx context.Context) (hpas.StreamStats, error) {
+	if l.down() {
+		return hpas.StreamStats{}, ErrShardDown
+	}
+	return l.mgr.Stats(), nil
+}
+
+// Close implements Backend, releasing the underlying manager.
+func (l *Local) Close() error {
+	l.mgr.Close()
+	return nil
+}

@@ -1,0 +1,54 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Rendezvous placement must be deterministic, reasonably balanced, and
+// minimally disruptive: removing a member may move only the jobs that
+// member owned.
+func TestRendezvousOwnerProperties(t *testing.T) {
+	members := []string{"shard0", "shard1", "shard2"}
+	const n = 3000
+
+	owners := make(map[string]string, n)
+	count := map[string]int{}
+	for i := 0; i < n; i++ {
+		gid := fmt.Sprintf("g%05d", i+1)
+		o := rendezvousOwner(gid, members)
+		if o == "" {
+			t.Fatalf("no owner for %s", gid)
+		}
+		if again := rendezvousOwner(gid, members); again != o {
+			t.Fatalf("owner of %s flapped: %s then %s", gid, o, again)
+		}
+		// Member order must not matter.
+		if rev := rendezvousOwner(gid, []string{"shard2", "shard1", "shard0"}); rev != o {
+			t.Fatalf("owner of %s depends on member order: %s vs %s", gid, o, rev)
+		}
+		owners[gid] = o
+		count[o]++
+	}
+	for _, m := range members {
+		if count[m] < n/6 {
+			t.Errorf("member %s owns %d of %d jobs; want a roughly balanced ring", m, count[m], n)
+		}
+	}
+
+	// Drop shard1: its jobs move, everyone else's stay put.
+	survivors := []string{"shard0", "shard2"}
+	for gid, was := range owners {
+		now := rendezvousOwner(gid, survivors)
+		if was != "shard1" && now != was {
+			t.Fatalf("losing shard1 moved %s from %s to %s; rendezvous must only move the dead member's jobs", gid, was, now)
+		}
+		if was == "shard1" && (now != "shard0" && now != "shard2") {
+			t.Fatalf("orphaned %s landed on %q", gid, now)
+		}
+	}
+
+	if got := rendezvousOwner("g00001", nil); got != "" {
+		t.Fatalf("empty ring produced owner %q", got)
+	}
+}

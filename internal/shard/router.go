@@ -1,0 +1,884 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hpas"
+	"hpas/api"
+)
+
+// Config tunes a Router. The zero value is usable.
+type Config struct {
+	// CheckInterval is the health-probe period (default 1s).
+	CheckInterval time.Duration
+	// FailAfter is the number of consecutive failed probes before a
+	// member is taken out of the ring (default 2). Submission-path
+	// transport failures skip the threshold: by the time the retrying
+	// client gives up on a shard, the evidence is already in.
+	FailAfter int
+	// Logf receives failover and topology-change lines; nil discards.
+	Logf func(format string, args ...any)
+}
+
+// Member names one shard of the static topology.
+type Member struct {
+	Name    string
+	Addr    string // base URL for remote shards; "" for in-process
+	Backend Backend
+}
+
+// member is the router's live view of one Member.
+type member struct {
+	name string
+	addr string
+	be   Backend
+
+	mu      sync.Mutex
+	alive   bool
+	fails   int
+	lastErr string
+	health  api.ShardHealth
+	// down is closed when the member leaves the ring and replaced with
+	// a fresh channel when it rejoins; stream proxies select on the
+	// snapshot they captured, so a follow pinned to a dying shard is
+	// cut the moment the router gives up on it.
+	down chan struct{}
+}
+
+func (m *member) isAlive() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.alive
+}
+
+func (m *member) downChan() chan struct{} {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.down
+}
+
+// route is one routed job: the router-assigned global ID, the
+// submission it carries (kept for re-placement), and the last observed
+// shard-local status. All mutable fields are guarded by Router.mu.
+type route struct {
+	gid       string
+	key       string // router-owned shard-level idempotency key, stable across re-placements
+	clientKey string // client's Idempotency-Key, "" if none
+	req       api.JobRequest
+
+	placed   chan struct{} // closed once placement resolves either way
+	placeErr error         // placement failure, set before placed closes
+
+	shard   *member
+	localID string        // job ID on the owning shard
+	last    api.JobStatus // last observed status (authoritative once lost)
+	lost    bool          // finalized failed-by-shard-loss
+}
+
+// Router places jobs on shards by rendezvous hash, proxies the /v1 job
+// surface to the owning shard, and reconciles jobs off members that
+// stop answering health probes. Construct with NewRouter, release with
+// Close.
+type Router struct {
+	cfg     Config
+	members []*member
+	byName  map[string]*member
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	routes map[string]*route
+	order  []string // gids in assignment order: the deterministic listing order
+	byKey  map[string]*route
+	nextID int
+	// topoCh is closed and replaced on every topology or ownership
+	// change; waiters re-snapshot the world when it fires.
+	topoCh chan struct{}
+
+	// fomu serializes failover passes so two probe rounds cannot race
+	// re-placement of the same route.
+	fomu sync.Mutex
+
+	jobsRouted      atomic.Int64
+	replays         atomic.Int64
+	resubmitted     atomic.Int64
+	jobsLost        atomic.Int64
+	shardsDown      atomic.Int64
+	shardsRecovered atomic.Int64
+}
+
+// NewRouter builds a router over the member list and starts its health
+// loop. Members start alive and are demoted by failed probes.
+func NewRouter(members []Member, cfg Config) (*Router, error) {
+	if len(members) == 0 {
+		return nil, errors.New("shard: router needs at least one member")
+	}
+	if cfg.CheckInterval <= 0 {
+		cfg.CheckInterval = time.Second
+	}
+	if cfg.FailAfter <= 0 {
+		cfg.FailAfter = 2
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	rt := &Router{
+		cfg:    cfg,
+		byName: make(map[string]*member, len(members)),
+		ctx:    ctx,
+		cancel: cancel,
+		routes: make(map[string]*route),
+		byKey:  make(map[string]*route),
+		topoCh: make(chan struct{}),
+	}
+	for _, m := range members {
+		if m.Name == "" || m.Backend == nil {
+			cancel()
+			return nil, fmt.Errorf("shard: member needs a name and a backend (got %+v)", m.Name)
+		}
+		if _, dup := rt.byName[m.Name]; dup {
+			cancel()
+			return nil, fmt.Errorf("shard: duplicate member name %q", m.Name)
+		}
+		mm := &member{name: m.Name, addr: m.Addr, be: m.Backend, alive: true, down: make(chan struct{})}
+		rt.members = append(rt.members, mm)
+		rt.byName[m.Name] = mm
+	}
+	rt.wg.Add(1)
+	go rt.healthLoop()
+	return rt, nil
+}
+
+// Close stops the health loop and closes every backend.
+func (rt *Router) Close() error {
+	rt.cancel()
+	rt.wg.Wait()
+	var first error
+	for _, m := range rt.members {
+		if err := m.be.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (rt *Router) logf(format string, args ...any) {
+	if rt.cfg.Logf != nil {
+		rt.cfg.Logf(format, args...)
+	}
+}
+
+// bumpTopo wakes every topology waiter (stream proxies parked on a
+// dead owner, Submit replays) by closing the broadcast channel and
+// replacing it.
+func (rt *Router) bumpTopo() {
+	rt.mu.Lock()
+	close(rt.topoCh)
+	rt.topoCh = make(chan struct{})
+	rt.mu.Unlock()
+}
+
+// ---- health and failover ----
+
+func (rt *Router) healthLoop() {
+	defer rt.wg.Done()
+	t := time.NewTicker(rt.cfg.CheckInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.ctx.Done():
+			return
+		case <-t.C:
+			rt.CheckNow()
+		}
+	}
+}
+
+// CheckNow runs one probe round over every member, refreshes the
+// last-observed status of routes on alive members, and reconciles
+// routes off dead ones. The refresh keeps failover honest: the
+// queued-vs-running decision is at most one probe round stale, so a
+// job that started just before its shard died is finalized as lost
+// instead of silently re-run. The health loop calls CheckNow on a
+// ticker; tests call it directly to make detection deterministic.
+func (rt *Router) CheckNow() {
+	for _, m := range rt.members {
+		h, err := m.be.Check(rt.ctx)
+		if err != nil {
+			rt.noteFailure(m, err)
+		} else {
+			rt.noteSuccess(m, h)
+			rt.refreshFrom(m)
+		}
+	}
+	rt.reconcile()
+}
+
+// refreshFrom folds one shard's live listing into the route table.
+func (rt *Router) refreshFrom(m *member) {
+	jobs, err := m.be.List(rt.ctx)
+	if err != nil {
+		return
+	}
+	idx := make(map[string]api.JobStatus, len(jobs))
+	for _, st := range jobs {
+		idx[st.ID] = st
+	}
+	rt.mu.Lock()
+	for _, gid := range rt.order {
+		r := rt.routes[gid]
+		if r == nil || r.lost || r.shard != m {
+			continue
+		}
+		if st, ok := idx[r.localID]; ok {
+			r.last = st
+		}
+	}
+	rt.mu.Unlock()
+}
+
+// noteFailure records a failed probe, demoting the member after
+// FailAfter consecutive failures.
+func (rt *Router) noteFailure(m *member, err error) {
+	m.mu.Lock()
+	m.fails++
+	m.lastErr = err.Error()
+	trip := m.alive && m.fails >= rt.cfg.FailAfter
+	if trip {
+		m.alive = false
+		close(m.down)
+	}
+	m.mu.Unlock()
+	if trip {
+		rt.shardsDown.Add(1)
+		rt.logf("shard %s: down after %d failed probe(s): %v", m.name, rt.cfg.FailAfter, err)
+		rt.bumpTopo()
+	}
+}
+
+// markDown demotes a member immediately, skipping the probe threshold.
+// Used on submission-path transport failures, where the retrying
+// client has already spent its budget against the shard. It reports
+// whether this call performed the demotion; the caller logs it —
+// submissions can run under the failover lock, where invoking the
+// Logf callback would be a lock-ordering hazard.
+func (rt *Router) markDown(m *member, err error) bool {
+	m.mu.Lock()
+	trip := m.alive
+	if trip {
+		m.alive = false
+		if m.fails < rt.cfg.FailAfter {
+			m.fails = rt.cfg.FailAfter
+		}
+		m.lastErr = err.Error()
+		close(m.down)
+	}
+	m.mu.Unlock()
+	if trip {
+		rt.shardsDown.Add(1)
+		rt.bumpTopo()
+	}
+	return trip
+}
+
+// noteSuccess records a healthy probe, readmitting a demoted member.
+func (rt *Router) noteSuccess(m *member, h api.ShardHealth) {
+	m.mu.Lock()
+	m.fails = 0
+	m.lastErr = ""
+	m.health = h
+	rejoin := !m.alive
+	if rejoin {
+		m.alive = true
+		m.down = make(chan struct{})
+	}
+	m.mu.Unlock()
+	if rejoin {
+		rt.shardsRecovered.Add(1)
+		rt.logf("shard %s: rejoined the ring", m.name)
+		rt.bumpTopo()
+	}
+}
+
+// reconcile sweeps every dead member's unresolved routes. Idempotent:
+// routes already moved or finalized are skipped, so repeated rounds
+// against the same dead shard do nothing.
+func (rt *Router) reconcile() {
+	type outcome struct {
+		name        string
+		moved, lost int64
+	}
+	var outcomes []outcome
+	var deferred []string
+	rt.fomu.Lock()
+	for _, m := range rt.members {
+		if !m.isAlive() {
+			moved, lost, notes, acted := rt.failoverFrom(m)
+			deferred = append(deferred, notes...)
+			if acted {
+				outcomes = append(outcomes, outcome{m.name, moved, lost})
+			}
+		}
+	}
+	rt.fomu.Unlock()
+	for _, line := range deferred {
+		rt.logf("%s", line)
+	}
+	for _, o := range outcomes {
+		rt.logf("shard %s: failover re-placed %d queued job(s), finalized %d as failed-by-shard-loss", o.name, o.moved, o.lost)
+	}
+}
+
+// failoverFrom resolves every non-final route owned by the dead
+// member: jobs last seen queued are re-submitted to the shard that now
+// wins their rendezvous hash — under the route's stable idempotency
+// key, journaled shard-side, so neither a racing probe round nor a
+// resurrected shard can double-run them — and jobs that had already
+// started are finalized as failed-by-shard-loss, because their partial
+// stream died with the shard.
+func (rt *Router) failoverFrom(dead *member) (moved, lost int64, notes []string, acted bool) {
+	rt.mu.Lock()
+	var affected []*route
+	for _, gid := range rt.order {
+		r := rt.routes[gid]
+		if r == nil || r.lost || r.shard != dead || r.last.Final() {
+			continue
+		}
+		affected = append(affected, r)
+	}
+	rt.mu.Unlock()
+	if len(affected) == 0 {
+		return 0, 0, nil, false
+	}
+	for _, r := range affected {
+		rt.mu.Lock()
+		state, req, key, gid := r.last.State, r.req, r.key, r.gid
+		unresolved := r.shard == dead && !r.lost
+		rt.mu.Unlock()
+		if !unresolved {
+			continue
+		}
+		if state == string(hpas.StreamJobQueued) {
+			st, m2, placeNotes, err := rt.place(rt.ctx, gid, req, key)
+			notes = append(notes, placeNotes...)
+			rt.mu.Lock()
+			if err != nil {
+				rt.markLostLocked(r)
+				lost++
+			} else {
+				r.shard = m2
+				r.localID = st.ID
+				r.last = st
+				moved++
+			}
+			rt.mu.Unlock()
+		} else {
+			rt.mu.Lock()
+			rt.markLostLocked(r)
+			rt.mu.Unlock()
+			lost++
+		}
+	}
+	rt.resubmitted.Add(moved)
+	rt.jobsLost.Add(lost)
+	rt.bumpTopo()
+	return moved, lost, notes, true
+}
+
+// markLostLocked finalizes a route as failed-by-shard-loss. Caller
+// holds rt.mu.
+func (rt *Router) markLostLocked(r *route) {
+	r.lost = true
+	r.last.State = string(hpas.StreamJobFailed)
+	r.last.Error = hpas.ErrStreamShardLost.Error()
+	if r.last.Finished == nil {
+		now := time.Now().UTC()
+		r.last.Finished = &now
+	}
+}
+
+// ---- placement ----
+
+// aliveNames snapshots the names of ring members.
+func (rt *Router) aliveNames() []string {
+	names := make([]string, 0, len(rt.members))
+	for _, m := range rt.members {
+		if m.isAlive() {
+			names = append(names, m.name)
+		}
+	}
+	return names
+}
+
+// ownerOf returns the alive member winning gid's rendezvous hash, or
+// nil when the ring is empty.
+func (rt *Router) ownerOf(gid string) *member {
+	win := rendezvousOwner(gid, rt.aliveNames())
+	if win == "" {
+		return nil
+	}
+	return rt.byName[win]
+}
+
+// place submits the request to gid's rendezvous owner. A shard that
+// fails at the transport level is marked down and the next winner
+// tried; API-level outcomes (429 queue full, validation errors) are
+// the caller's answer and end the search. Demotions are returned as
+// deferred log lines, not logged here: failover calls place with the
+// failover lock held, and the Logf callback must never run under it.
+func (rt *Router) place(ctx context.Context, gid string, req api.JobRequest, key string) (api.JobStatus, *member, []string, error) {
+	var notes []string
+	for range rt.members { // every retry kills one member: bounded
+		m := rt.ownerOf(gid)
+		if m == nil {
+			return api.JobStatus{}, nil, notes, ErrNoShards
+		}
+		st, _, err := m.be.Submit(ctx, req, key)
+		if err == nil {
+			return st, m, notes, nil
+		}
+		if errors.Is(err, ErrShardDown) || errors.Is(err, hpas.ErrStreamClosed) {
+			if rt.markDown(m, err) {
+				notes = append(notes, fmt.Sprintf("shard %s: marked down on failed submit: %v", m.name, err))
+			}
+			continue
+		}
+		return api.JobStatus{}, m, notes, err
+	}
+	return api.JobStatus{}, nil, notes, ErrNoShards
+}
+
+// ---- the routed job surface ----
+
+// publicLocked renders a route in its router-facing form: the global
+// ID and the router's stream path replace the shard-local ones.
+// Caller holds rt.mu.
+func (rt *Router) publicLocked(r *route) api.JobStatus {
+	st := r.last
+	st.ID = r.gid
+	st.Stream = "/v1/jobs/" + r.gid + "/stream"
+	return st
+}
+
+// Submit routes one submission: assign a global ID, hash it onto a
+// shard, and submit under the route's own idempotency key. clientKey
+// is the client's Idempotency-Key ("" if none): repeats are answered
+// from the existing route without touching any shard, mirroring the
+// single-instance replay contract.
+func (rt *Router) Submit(ctx context.Context, req api.JobRequest, clientKey string) (api.JobStatus, bool, error) {
+	rt.mu.Lock()
+	if clientKey != "" {
+		if r, ok := rt.byKey[clientKey]; ok {
+			placed := r.placed
+			rt.mu.Unlock()
+			select {
+			case <-placed:
+			case <-ctx.Done():
+				return api.JobStatus{}, false, ctx.Err()
+			}
+			rt.mu.Lock()
+			st, perr := rt.publicLocked(r), r.placeErr
+			rt.mu.Unlock()
+			if perr != nil {
+				return api.JobStatus{}, false, perr
+			}
+			rt.replays.Add(1)
+			return st, true, nil
+		}
+	}
+	rt.nextID++
+	gid := fmt.Sprintf("g%05d", rt.nextID)
+	r := &route{
+		gid:       gid,
+		key:       "hpasr-" + gid,
+		clientKey: clientKey,
+		req:       req,
+		placed:    make(chan struct{}),
+	}
+	rt.routes[gid] = r
+	rt.order = append(rt.order, gid)
+	if clientKey != "" {
+		rt.byKey[clientKey] = r
+	}
+	rt.mu.Unlock()
+
+	st, m, notes, err := rt.place(ctx, gid, req, r.key)
+	for _, line := range notes {
+		rt.logf("%s", line)
+	}
+	rt.mu.Lock()
+	if err != nil {
+		r.placeErr = err
+		delete(rt.routes, gid) // the stale gid in rt.order is skipped by readers
+		if clientKey != "" && rt.byKey[clientKey] == r {
+			delete(rt.byKey, clientKey)
+		}
+	} else {
+		r.shard = m
+		r.localID = st.ID
+		r.last = st
+	}
+	close(r.placed)
+	pub := rt.publicLocked(r)
+	rt.mu.Unlock()
+	rt.bumpTopo()
+	if err != nil {
+		return api.JobStatus{}, false, err
+	}
+	rt.jobsRouted.Add(1)
+	return pub, false, nil
+}
+
+// Has reports whether the router tracks gid.
+func (rt *Router) Has(gid string) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	_, ok := rt.routes[gid]
+	return ok
+}
+
+// Get returns the routed view of job gid, refreshed from the owning
+// shard when it is reachable and served from the last observation —
+// never an error, never a guess dressed as live data — when it is not.
+func (rt *Router) Get(ctx context.Context, gid string) (api.JobStatus, error) {
+	rt.mu.Lock()
+	r, ok := rt.routes[gid]
+	if !ok {
+		rt.mu.Unlock()
+		return api.JobStatus{}, fmt.Errorf("%w: %q", ErrNotFound, gid)
+	}
+	m, localID, lost := r.shard, r.localID, r.lost
+	cached := rt.publicLocked(r)
+	rt.mu.Unlock()
+	if lost || m == nil || !m.isAlive() {
+		return cached, nil
+	}
+	st, err := m.be.Get(ctx, localID)
+	if err != nil {
+		return cached, nil
+	}
+	rt.mu.Lock()
+	if !r.lost && r.shard == m {
+		r.last = st
+	}
+	out := rt.publicLocked(r)
+	rt.mu.Unlock()
+	return out, nil
+}
+
+// List is the scatter-gather listing: every alive shard is asked in
+// parallel, results are merged through the route table, and the output
+// is ordered by global ID assignment — deterministic across calls and
+// across shard deaths, since lost and unreachable jobs fall back to
+// their last observed status instead of vanishing.
+func (rt *Router) List(ctx context.Context) ([]api.JobStatus, error) {
+	var alive []*member
+	for _, m := range rt.members {
+		if m.isAlive() {
+			alive = append(alive, m)
+		}
+	}
+	results := make([]map[string]api.JobStatus, len(alive))
+	var wg sync.WaitGroup
+	for i, m := range alive {
+		wg.Add(1)
+		go func(i int, m *member) {
+			defer wg.Done()
+			jobs, err := m.be.List(ctx)
+			if err != nil {
+				return // unreachable: merged from cache below
+			}
+			idx := make(map[string]api.JobStatus, len(jobs))
+			for _, st := range jobs {
+				idx[st.ID] = st
+			}
+			results[i] = idx
+		}(i, m)
+	}
+	wg.Wait()
+	byMember := make(map[*member]map[string]api.JobStatus, len(alive))
+	for i, m := range alive {
+		if results[i] != nil {
+			byMember[m] = results[i]
+		}
+	}
+
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]api.JobStatus, 0, len(rt.order))
+	for _, gid := range rt.order {
+		r := rt.routes[gid]
+		if r == nil || (r.shard == nil && !r.lost) {
+			continue // aborted or still-placing routes are not listed
+		}
+		if !r.lost {
+			if idx := byMember[r.shard]; idx != nil {
+				if st, ok := idx[r.localID]; ok {
+					r.last = st
+				}
+			}
+		}
+		out = append(out, rt.publicLocked(r))
+	}
+	return out, nil
+}
+
+// Cancel forwards a cancellation to the owning shard. Lost jobs are
+// already final and answer from the route.
+func (rt *Router) Cancel(ctx context.Context, gid string) (api.JobStatus, error) {
+	rt.mu.Lock()
+	r, ok := rt.routes[gid]
+	if !ok {
+		rt.mu.Unlock()
+		return api.JobStatus{}, fmt.Errorf("%w: %q", ErrNotFound, gid)
+	}
+	m, localID, lost := r.shard, r.localID, r.lost
+	cached := rt.publicLocked(r)
+	rt.mu.Unlock()
+	if lost {
+		return cached, nil
+	}
+	if m == nil || !m.isAlive() {
+		return api.JobStatus{}, fmt.Errorf("%w: owner of %q unreachable", ErrShardDown, gid)
+	}
+	st, err := m.be.Cancel(ctx, localID)
+	if err != nil {
+		return api.JobStatus{}, err
+	}
+	rt.mu.Lock()
+	if !r.lost && r.shard == m {
+		r.last = st
+	}
+	out := rt.publicLocked(r)
+	rt.mu.Unlock()
+	return out, nil
+}
+
+// callerAbort wraps an error raised by the consumer's fn so the retry
+// loop can tell "the consumer quit" from "the shard quit".
+type callerAbort struct{ err error }
+
+func (e *callerAbort) Error() string { return e.err.Error() }
+
+// Stream proxies job gid's message stream from log index from,
+// delivering each message exactly once across shard deaths: the proxy
+// tracks the last delivered index, cuts a follow pinned to a shard the
+// router has demoted, waits out the failover, and resumes on the new
+// owner from exactly where delivery stopped. A job finalized as
+// failed-by-shard-loss gets the terminal frame its dead shard never
+// sent, so every follower terminates cleanly.
+func (rt *Router) Stream(ctx context.Context, gid string, from int, fn func(hpas.StreamMessage) error) error {
+	next := from
+	for {
+		rt.mu.Lock()
+		r, ok := rt.routes[gid]
+		if !ok {
+			rt.mu.Unlock()
+			return fmt.Errorf("%w: %q", ErrNotFound, gid)
+		}
+		lost, m, localID := r.lost, r.shard, r.localID
+		errText := r.last.Error
+		topo := rt.topoCh
+		rt.mu.Unlock()
+
+		if lost {
+			return fn(hpas.StreamMessage{
+				Type:  "done",
+				State: hpas.StreamJobFailed,
+				Error: errText,
+				Seq:   next,
+			})
+		}
+		if m == nil || !m.isAlive() {
+			// Ownership is in flux; wait for the next topology change.
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-topo:
+			}
+			continue
+		}
+
+		// Follow the owner, cutting the connection ourselves the moment
+		// the router demotes it — a half-dead shard can hold a TCP
+		// stream open long after it stopped doing useful work.
+		downCh := m.downChan()
+		sctx, cancel := context.WithCancel(ctx)
+		watchStop := make(chan struct{})
+		go func() {
+			select {
+			case <-downCh:
+				cancel()
+			case <-watchStop:
+			}
+		}()
+		var aborted *callerAbort
+		err := m.be.Stream(sctx, localID, next, func(msg hpas.StreamMessage) error {
+			if ferr := fn(msg); ferr != nil {
+				ab := &callerAbort{err: ferr}
+				aborted = ab
+				return ab
+			}
+			if msg.Seq >= next {
+				next = msg.Seq + 1
+			}
+			return nil
+		})
+		close(watchStop)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		if aborted != nil {
+			return aborted.err
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		// The shard cut us (or the router cut the shard). Give the
+		// health loop a beat to resolve ownership, then re-route.
+		t := time.NewTimer(rt.cfg.CheckInterval)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-topo:
+			t.Stop()
+		case <-t.C:
+		}
+	}
+}
+
+// ---- aggregate views ----
+
+// snapshotShards renders the member list with per-shard route counts
+// and the last health observation, in configuration order.
+func (rt *Router) snapshotShards() []api.ShardInfo {
+	rt.mu.Lock()
+	owned := make(map[*member]int, len(rt.members))
+	for _, gid := range rt.order {
+		if r := rt.routes[gid]; r != nil && r.shard != nil {
+			owned[r.shard]++
+		}
+	}
+	rt.mu.Unlock()
+	out := make([]api.ShardInfo, 0, len(rt.members))
+	for _, m := range rt.members {
+		m.mu.Lock()
+		out = append(out, api.ShardInfo{
+			Name:                m.name,
+			Addr:                m.addr,
+			Alive:               m.alive,
+			Jobs:                owned[m],
+			ConsecutiveFailures: m.fails,
+			LastError:           m.lastErr,
+			Health:              m.health,
+		})
+		m.mu.Unlock()
+	}
+	return out
+}
+
+// Stats snapshots the router's own counters.
+func (rt *Router) Stats() api.RouterStats {
+	rt.mu.Lock()
+	tracked := len(rt.routes)
+	rt.mu.Unlock()
+	return api.RouterStats{
+		JobsRouted:      rt.jobsRouted.Load(),
+		Replays:         rt.replays.Load(),
+		Resubmitted:     rt.resubmitted.Load(),
+		JobsLost:        rt.jobsLost.Load(),
+		ShardsDown:      rt.shardsDown.Load(),
+		ShardsRecovered: rt.shardsRecovered.Load(),
+		ShardsAlive:     len(rt.aliveNames()),
+		RoutesTracked:   tracked,
+	}
+}
+
+// Topology is the GET /v1/topology body.
+func (rt *Router) Topology() api.Topology {
+	return api.Topology{Hashing: RingHashing, Shards: rt.snapshotShards(), Router: rt.Stats()}
+}
+
+// Ready is the router's readiness report and the HTTP status it
+// travels under: ready while at least one shard is alive.
+func (rt *Router) Ready() (api.RouterReady, int) {
+	shards := rt.snapshotShards()
+	alive := 0
+	for _, s := range shards {
+		if s.Alive {
+			alive++
+		}
+	}
+	rr := api.RouterReady{Status: "ok", Shards: shards}
+	if alive == 0 {
+		rr.Status = "no-shards"
+		return rr, http.StatusServiceUnavailable
+	}
+	return rr, http.StatusOK
+}
+
+// Metrics aggregates the router counters with every alive shard's
+// manager telemetry (fetched in parallel) and cross-shard totals.
+func (rt *Router) Metrics(ctx context.Context) map[string]any {
+	type snap struct {
+		stats hpas.StreamStats
+		ok    bool
+	}
+	snaps := make([]snap, len(rt.members))
+	var wg sync.WaitGroup
+	for i, m := range rt.members {
+		if !m.isAlive() {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, m *member) {
+			defer wg.Done()
+			st, err := m.be.Metrics(ctx)
+			if err == nil {
+				snaps[i] = snap{stats: st, ok: true}
+			}
+		}(i, m)
+	}
+	wg.Wait()
+
+	shards := make(map[string]any, len(rt.members))
+	var agg struct {
+		JobsRunning      int64 `json:"jobs_running"`
+		JobsDone         int64 `json:"jobs_done"`
+		JobsFailed       int64 `json:"jobs_failed"`
+		JobsCancelled    int64 `json:"jobs_cancelled"`
+		QueueDepth       int   `json:"queue_depth"`
+		Workers          int   `json:"workers"`
+		WindowsProcessed int64 `json:"windows_processed"`
+		EventsEmitted    int64 `json:"events_emitted"`
+	}
+	for i, m := range rt.members {
+		if !snaps[i].ok {
+			shards[m.name] = map[string]string{"status": "unreachable"}
+			continue
+		}
+		st := snaps[i].stats
+		shards[m.name] = st
+		agg.JobsRunning += st.JobsRunning
+		agg.JobsDone += st.JobsDone
+		agg.JobsFailed += st.JobsFailed
+		agg.JobsCancelled += st.JobsCancelled
+		agg.QueueDepth += st.QueueDepth
+		agg.Workers += st.Workers
+		agg.WindowsProcessed += st.WindowsProcessed
+		agg.EventsEmitted += st.EventsEmitted
+	}
+	return map[string]any{
+		"router":    rt.Stats(),
+		"shards":    shards,
+		"aggregate": agg,
+	}
+}

@@ -1,0 +1,86 @@
+// Package shard scales the streaming job manager horizontally: a
+// Router owns a static member list of shards — each a complete job
+// manager with its own worker pool, queue, and (optionally) journal —
+// and places every submission on the shard that wins a rendezvous hash
+// of the router-assigned job ID. The router serves the same /v1 API it
+// consumes, so clients, the Go client package, and even another router
+// cannot tell a routed deployment from a single instance.
+//
+// Placement is rendezvous (highest-random-weight) hashing over the
+// alive member set: every (job, shard) pair is scored with FNV-1a 64
+// and the highest score owns the job. Unlike modulo placement, the
+// loss of one member reassigns only the jobs that member owned; every
+// other job keeps its shard.
+//
+// Two Backend implementations cover both deployment shapes:
+//
+//   - Local runs the shard in-process (a *hpas.StreamManager plus the
+//     serve translation layer), so a single binary can host N shards
+//     with zero network hops — cmd/hpas-router's -local mode.
+//   - Remote speaks to a full hpas-serve /v1 endpoint through the
+//     retrying hpas/client, for shards that are separate processes.
+//
+// Failure handling is the router's reason to exist. A health loop
+// probes every member; a member that fails enough consecutive probes
+// is removed from the ring and its jobs are reconciled: jobs last seen
+// queued are re-submitted to the surviving owner under the same
+// router-generated idempotency key (journaled by the shard, so a
+// retry or a resurrected shard cannot double-run them), while jobs
+// that were already running are finalized as failed-by-shard-loss —
+// their partial output is gone with the shard, and pretending
+// otherwise would be a lie to the client. Stream follows survive the
+// transition: the proxy resumes on the new owner from the last
+// delivered log index, or synthesizes the terminal frame the dead
+// shard never got to send.
+package shard
+
+import (
+	"context"
+	"errors"
+
+	"hpas"
+	"hpas/api"
+)
+
+// Backend is one shard as the router drives it: the /v1 job surface
+// plus a health probe. Implementations must be safe for concurrent use.
+type Backend interface {
+	// Submit places a job under the given idempotency key. The key is
+	// the router's (one per routed job, stable across re-submissions),
+	// never the client's. replayed reports that the key had been seen
+	// and an existing job was returned.
+	Submit(ctx context.Context, req api.JobRequest, key string) (st api.JobStatus, replayed bool, err error)
+	// Get returns the shard-local view of job id.
+	Get(ctx context.Context, id string) (api.JobStatus, error)
+	// List returns every job the shard tracks.
+	List(ctx context.Context) ([]api.JobStatus, error)
+	// Cancel cancels job id and returns its resulting status.
+	Cancel(ctx context.Context, id string) (api.JobStatus, error)
+	// Stream follows job id's message stream from log index from,
+	// calling fn for each message in order (Seq carries the index)
+	// through the terminal "done" frame. An fn error aborts the follow
+	// and is returned as-is.
+	Stream(ctx context.Context, id string, from int, fn func(hpas.StreamMessage) error) error
+	// Check probes the shard's readiness. A non-nil error counts as a
+	// failed probe; the health report is valid when err is nil.
+	Check(ctx context.Context) (api.ShardHealth, error)
+	// Metrics snapshots the shard's manager telemetry.
+	Metrics(ctx context.Context) (hpas.StreamStats, error)
+	// Close releases the backend's resources.
+	Close() error
+}
+
+// Sentinel errors the backends translate shard failures into; the
+// HTTP handler maps them back onto status codes.
+var (
+	// ErrNotFound reports a job ID the shard (or router) does not know.
+	ErrNotFound = errors.New("shard: no such job")
+	// ErrShardDown reports an unreachable or closing shard: connection
+	// failures, 5xx responses, or operations on a killed Local.
+	ErrShardDown = errors.New("shard: shard down")
+	// ErrNoShards reports that no member of the ring is alive.
+	ErrNoShards = errors.New("shard: no alive shards")
+	// ErrBadRequest wraps request validation failures, so failover
+	// logic never retries a request that can only fail again.
+	ErrBadRequest = errors.New("shard: bad request")
+)

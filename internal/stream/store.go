@@ -53,3 +53,15 @@ type RecoveredJob struct {
 // queued or running. Reopen finalizes such jobs as JobFailed with this
 // error, since their simulation state is unrecoverable.
 var ErrInterrupted = errors.New("stream: job interrupted by service restart")
+
+// ErrShardLost is the shard-loss job outcome: the manager instance
+// (shard) that was running the job died and its in-flight simulation
+// state went with it. It is the cross-instance sibling of
+// ErrInterrupted — a restart of the same process finalizes interrupted
+// jobs from its journal, whereas a shard router observing a dead member
+// finalizes that member's running jobs with this error (queued jobs are
+// re-submitted to a surviving shard instead, made duplicate-safe by the
+// journaled idempotency key). The "failed-by-shard-loss" token is part
+// of the wire contract: clients match on it to distinguish a lost shard
+// from an ordinary pipeline failure.
+var ErrShardLost = errors.New("stream: failed-by-shard-loss: owning shard died mid-job")

@@ -59,6 +59,14 @@ func TestServeHealthAndReadyEndpoints(t *testing.T) {
 	if ready.Status != "ok" || ready.Journal != "none" {
 		t.Errorf("readyz = %+v, want ok with no journal", ready)
 	}
+	// The legacy alias answers too — probes configured without the /v1
+	// prefix must see the same body on both endpoints.
+	if code := getJSON(t, ts.URL+"/readyz", &ready); code != http.StatusOK {
+		t.Errorf("legacy /readyz status %d, want 200", code)
+	}
+	if ready.Status != "ok" {
+		t.Errorf("legacy /readyz = %+v, want ok", ready)
+	}
 
 	// A closed manager flips readiness to 503/closing; liveness stays
 	// green — the process is fine, it just must not receive traffic.

@@ -67,7 +67,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/metrics", withDeadline(10*time.Second, s.handleMetrics))
 	mux.HandleFunc("GET /v1/healthz", withDeadline(5*time.Second, s.handleHealthz))
 	mux.HandleFunc("GET /v1/readyz", withDeadline(5*time.Second, s.handleReadyz))
-	mux.HandleFunc("GET /healthz", withDeadline(5*time.Second, s.handleHealthz)) // legacy alias
+	// Legacy aliases: both probes answer unversioned too, so router
+	// health checks and k8s-style probe configs can use either form
+	// against old and new shards alike.
+	mux.HandleFunc("GET /healthz", withDeadline(5*time.Second, s.handleHealthz))
+	mux.HandleFunc("GET /readyz", withDeadline(5*time.Second, s.handleReadyz))
 	return mux
 }
 
@@ -76,7 +80,7 @@ func (s *Server) Handler() http.Handler {
 // — degraded is readyz's business; liveness failures mean "restart me".
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.mgr.Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
+	WriteJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
 		"workers":        st.Workers,
 		"uptime_seconds": st.UptimeSeconds,
@@ -88,27 +92,38 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // the endpoint green — the service still serves, in-memory — but is
 // surfaced in the body so operators and tests can see it.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	h, code := s.Health()
+	WriteJSON(w, code, h)
+}
+
+// Health is the readiness report behind /v1/readyz, exposed so
+// embedders — the shard router's in-process backend foremost — can
+// probe a server without an HTTP round trip. The returned code is the
+// HTTP status the report would be served with: 200 while the manager
+// accepts jobs, 503 once it is closing.
+func (s *Server) Health() (api.ShardHealth, int) {
 	st := s.mgr.Stats()
-	journal := "none"
+	h := api.ShardHealth{
+		Status:          "ok",
+		Journal:         "none",
+		Workers:         st.Workers,
+		JobsRunning:     st.JobsRunning,
+		QueueDepth:      st.QueueDepth,
+		PanicsRecovered: st.PanicsRecovered,
+	}
 	switch {
 	case !st.JournalAttached:
 	case st.JournalDegraded:
-		journal = "degraded"
+		h.Journal = "degraded"
 	default:
-		journal = "ok"
+		h.Journal = "ok"
 	}
-	code, status := http.StatusOK, "ok"
+	code := http.StatusOK
 	if !s.mgr.Ready() {
-		code, status = http.StatusServiceUnavailable, "closing"
+		h.Status = "closing"
+		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, map[string]any{
-		"status":           status,
-		"journal":          journal,
-		"workers":          st.Workers,
-		"jobs_running":     st.JobsRunning,
-		"queue_depth":      st.QueueDepth,
-		"panics_recovered": st.PanicsRecovered,
-	})
+	return h, code
 }
 
 // withDeadline bounds a handler's request context.
@@ -120,7 +135,11 @@ func withDeadline(d time.Duration, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-func (s *Server) status(j *hpas.StreamJob) api.JobStatus {
+// JobStatusOf renders a job in its wire representation. It is the one
+// place a *hpas.StreamJob becomes an api.JobStatus; the shard router's
+// in-process backend reuses it so routed and direct views of a job
+// cannot drift.
+func JobStatusOf(j *hpas.StreamJob) api.JobStatus {
 	state, jerr := j.State()
 	created, started, finished := j.Times()
 	st := api.JobStatus{
@@ -145,12 +164,12 @@ func (s *Server) status(j *hpas.StreamJob) api.JobStatus {
 // maxBodyBytes bounds every request body the service decodes.
 const maxBodyBytes = 1 << 20
 
-// decodeJSON reads one JSON document from the request into dst with
+// DecodeJSON reads one JSON document from the request into dst with
 // the service's body policy: bounded size, unknown fields rejected
 // (so a typo like "anomalycpu" fails loudly instead of being silently
 // ignored), and decode failures translated into errors that name the
 // offending field or byte. Every body-reading handler goes through it.
-func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
+func DecodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
 	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
@@ -189,23 +208,23 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req api.JobRequest
-	if err := decodeJSON(w, r, &req); err != nil {
+	if err := DecodeJSON(w, r, &req); err != nil {
 		code := http.StatusBadRequest
 		var maxErr *http.MaxBytesError
 		if errors.As(err, &maxErr) {
 			code = http.StatusRequestEntityTooLarge
 		}
-		writeError(w, code, err)
+		WriteError(w, code, err)
 		return
 	}
-	spec, err := s.buildSpec(req)
+	spec, err := s.BuildSpec(req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		WriteError(w, http.StatusBadRequest, err)
 		return
 	}
 	key := strings.TrimSpace(r.Header.Get(api.IdempotencyKeyHeader))
 	if len(key) > api.MaxIdempotencyKeyLen {
-		writeError(w, http.StatusBadRequest,
+		WriteError(w, http.StatusBadRequest,
 			fmt.Errorf("%s longer than %d bytes", api.IdempotencyKeyHeader, api.MaxIdempotencyKeyLen))
 		return
 	}
@@ -220,13 +239,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		st := s.mgr.Stats()
 		retry := 1 + st.QueueDepth/max(1, st.Workers)
 		w.Header().Set("Retry-After", strconv.Itoa(retry))
-		writeError(w, http.StatusTooManyRequests, err)
+		WriteError(w, http.StatusTooManyRequests, err)
 		return
 	case errors.Is(err, hpas.ErrStreamClosed):
-		writeError(w, http.StatusServiceUnavailable, err)
+		WriteError(w, http.StatusServiceUnavailable, err)
 		return
 	case err != nil:
-		writeError(w, http.StatusBadRequest, err)
+		WriteError(w, http.StatusBadRequest, err)
 		return
 	}
 	if deduped {
@@ -234,37 +253,37 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// 202 — nothing new was accepted — plus an explicit marker so
 		// clients and humans can tell a replay from a fresh creation.
 		w.Header().Set(api.IdempotencyReplayedHeader, "true")
-		writeJSON(w, http.StatusOK, s.status(job))
+		WriteJSON(w, http.StatusOK, JobStatusOf(job))
 		return
 	}
-	writeJSON(w, http.StatusAccepted, s.status(job))
+	WriteJSON(w, http.StatusAccepted, JobStatusOf(job))
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	jobs := s.mgr.Jobs()
 	out := make([]api.JobStatus, 0, len(jobs))
 	for _, j := range jobs {
-		out = append(out, s.status(j))
+		out = append(out, JobStatusOf(j))
 	}
-	writeJSON(w, http.StatusOK, api.JobList{Jobs: out})
+	WriteJSON(w, http.StatusOK, api.JobList{Jobs: out})
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.mgr.Get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+		WriteError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
 		return
 	}
-	writeJSON(w, http.StatusOK, s.status(j))
+	WriteJSON(w, http.StatusOK, JobStatusOf(j))
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	if err := s.mgr.Cancel(r.PathValue("id")); err != nil {
-		writeError(w, http.StatusNotFound, err)
+		WriteError(w, http.StatusNotFound, err)
 		return
 	}
 	j, _ := s.mgr.Get(r.PathValue("id"))
-	writeJSON(w, http.StatusOK, s.status(j))
+	WriteJSON(w, http.StatusOK, JobStatusOf(j))
 }
 
 // handleStream serves the job's live message stream: NDJSON by default,
@@ -284,7 +303,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.mgr.Get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+		WriteError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
 		return
 	}
 	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
@@ -327,7 +346,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	WriteJSON(w, http.StatusOK, map[string]any{
 		"service":   s.mgr.Stats(),
 		"admission": s.adm.Stats(),
 		"detector": map[string]any{
@@ -338,10 +357,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// writeJSON marshals before committing the status line, so an
+// WriteJSON marshals before committing the status line, so an
 // unencodable value becomes a 500 instead of a 200 with a truncated
 // body the client cannot distinguish from success.
-func writeJSON(w http.ResponseWriter, code int, v any) {
+func WriteJSON(w http.ResponseWriter, code int, v any) {
 	b, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		w.Header().Set("Content-Type", "application/json")
@@ -357,6 +376,6 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	}
 }
 
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, api.Error{Error: err.Error()})
+func WriteError(w http.ResponseWriter, code int, err error) {
+	WriteJSON(w, code, api.Error{Error: err.Error()})
 }

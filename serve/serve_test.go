@@ -380,7 +380,7 @@ func TestBuildSpecHonorsExplicitAnomalyCPUZero(t *testing.T) {
 		if err := json.Unmarshal([]byte(tc.body), &req); err != nil {
 			t.Fatal(err)
 		}
-		spec, err := s.buildSpec(req)
+		spec, err := s.BuildSpec(req)
 		if err != nil {
 			t.Fatalf("%s: %v", tc.body, err)
 		}

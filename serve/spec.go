@@ -7,8 +7,12 @@ import (
 	"hpas/api"
 )
 
-// buildSpec translates the wire request into a stream submission.
-func (s *Server) buildSpec(req api.JobRequest) (hpas.StreamJobSpec, error) {
+// BuildSpec translates the wire request into a stream submission,
+// applying the service defaults (4 nodes, 120 s, the shared detector's
+// window). Exported for embedders that submit to a manager directly —
+// the shard router's in-process backend — so routed and direct
+// submissions validate and default identically.
+func (s *Server) BuildSpec(req api.JobRequest) (hpas.StreamJobSpec, error) {
 	var spec hpas.StreamJobSpec
 	nodes := req.Nodes
 	if nodes <= 0 {

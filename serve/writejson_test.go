@@ -15,7 +15,7 @@ import (
 // whose body is silently empty or truncated.
 func TestWriteJSONEncodeFailureIs500(t *testing.T) {
 	rec := httptest.NewRecorder()
-	writeJSON(rec, http.StatusOK, math.Inf(1)) // +Inf is not encodable
+	WriteJSON(rec, http.StatusOK, math.Inf(1)) // +Inf is not encodable
 	if rec.Code != http.StatusInternalServerError {
 		t.Fatalf("status = %d, want %d", rec.Code, http.StatusInternalServerError)
 	}
@@ -26,7 +26,7 @@ func TestWriteJSONEncodeFailureIs500(t *testing.T) {
 
 func TestWriteJSONSuccess(t *testing.T) {
 	rec := httptest.NewRecorder()
-	writeJSON(rec, http.StatusTeapot, map[string]int{"a": 1})
+	WriteJSON(rec, http.StatusTeapot, map[string]int{"a": 1})
 	if rec.Code != http.StatusTeapot {
 		t.Fatalf("status = %d, want %d", rec.Code, http.StatusTeapot)
 	}
