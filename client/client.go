@@ -34,9 +34,29 @@ import (
 	"hpas/internal/xrand"
 )
 
+// defaultClient is the transport shared by every Client that does not
+// bring its own HTTPClient. http.DefaultClient keeps only 2 idle
+// connections per host (DefaultMaxIdleConnsPerHost), so fan-out and
+// routed workloads re-dial (and re-handshake) constantly under load;
+// this clone of the default transport pools enough idle connections
+// that the steady state is pure connection reuse. The socket buffers
+// are raised from net/http's 4KB to match serve's 32KB flush quantum:
+// a stream consumer (the shard proxy above all) then drains one
+// coalesced burst in one read syscall instead of eight.
+var defaultClient = func() *http.Client {
+	t := http.DefaultTransport.(*http.Transport).Clone()
+	t.MaxIdleConns = 256
+	t.MaxIdleConnsPerHost = 64
+	t.ReadBufferSize = 64 << 10
+	t.WriteBufferSize = 64 << 10
+	return &http.Client{Transport: t}
+}()
+
 // Options tunes a Client. The zero value is usable.
 type Options struct {
-	// HTTPClient is the underlying transport (default http.DefaultClient).
+	// HTTPClient is the underlying transport. The default is a shared
+	// client whose transport pools generously (64 idle connections per
+	// host vs net/http's 2), sized for routed fan-out workloads.
 	HTTPClient *http.Client
 	// MaxRetries bounds retry attempts after the first try of a call,
 	// and consecutive no-progress reconnects of a Stream follow.
@@ -76,7 +96,7 @@ func New(baseURL string, opts Options) *Client {
 		maxDelay:   opts.MaxDelay,
 	}
 	if c.http == nil {
-		c.http = http.DefaultClient
+		c.http = defaultClient
 	}
 	if c.maxRetries == 0 {
 		c.maxRetries = 4
@@ -138,6 +158,16 @@ func (c *Client) SubmitKeyed(ctx context.Context, req api.JobRequest, key string
 	if err != nil {
 		return st, false, err
 	}
+	return c.SubmitRawKeyed(ctx, body, key)
+}
+
+// SubmitRawKeyed is SubmitKeyed taking the request pre-encoded: body
+// must be one JSON document in api.JobRequest's wire form. Proxies
+// that already hold the encoded submission — the shard router forwards
+// the client's bytes verbatim — use it to skip a decode→re-encode per
+// hop and per retry; the server revalidates the body on arrival
+// exactly as it would a typed submission.
+func (c *Client) SubmitRawKeyed(ctx context.Context, body []byte, key string) (st api.JobStatus, replayed bool, err error) {
 	hdr := http.Header{"Content-Type": {"application/json"}}
 	if key != "" {
 		hdr.Set(api.IdempotencyKeyHeader, key)

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	hpas-bench [-quick] [-only fig8,fig9]
-//	hpas-bench -perf [-out BENCH_6.json] [-quick]
+//	hpas-bench -perf [-out BENCH_7.json] [-quick]
 //
 // -quick shrinks run lengths and sweeps for a fast smoke pass; the
 // default sizes match the paper's setups.
@@ -29,7 +29,7 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink runs for a fast smoke pass")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	perf := flag.Bool("perf", false, "measure service-path baselines instead of paper tables")
-	out := flag.String("out", "BENCH_6.json", "output path for the -perf baseline")
+	out := flag.String("out", "BENCH_7.json", "output path for the -perf baseline")
 	flag.Parse()
 
 	if *perf {

@@ -283,6 +283,9 @@ type (
 	StreamPipelineConfig = stream.PipelineConfig
 	// StreamMessage is one element of a job's output stream.
 	StreamMessage = stream.Message
+	// StreamFrame is one wire-encoded stream message (shared-frame
+	// broadcast form: one json.Marshal serves every follower).
+	StreamFrame = stream.Frame
 	// StreamWindow is one classified observation window.
 	StreamWindow = stream.Window
 	// StreamEvent is a coalesced anomaly (consecutive same-class windows).

@@ -8,6 +8,7 @@ func Analyzers() []*Analyzer {
 		AnalyzerLocksafe,
 		AnalyzerErraudit,
 		AnalyzerApitags,
+		AnalyzerPoolsafe,
 	}
 }
 

@@ -25,6 +25,7 @@ var fixtures = []struct {
 	{"locksafe", "fixture/locksafe", AnalyzerLocksafe},
 	{"erraudit", "fixture/erraudit", AnalyzerErraudit},
 	{"apitags", "fixture/api", AnalyzerApitags},
+	{"poolsafe", "fixture/poolsafe", AnalyzerPoolsafe},
 }
 
 // TestFixtures runs each analyzer over its fixture package and compares

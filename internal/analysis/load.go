@@ -3,12 +3,14 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -212,7 +214,14 @@ func (l *Loader) check(dir, importPath string) (*Package, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
-		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		src, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		if !buildIncluded(src) {
+			continue // excluded by its //go:build constraint
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), src, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, fmt.Errorf("analysis: %w", err)
 		}
@@ -239,6 +248,43 @@ func (l *Loader) check(dir, importPath string) (*Package, error) {
 	pkg.Info = info
 	l.pkgs[importPath] = pkg
 	return pkg, nil
+}
+
+// buildIncluded evaluates the file's build constraint (a //go:build or
+// legacy // +build line above the package clause) against the loader's
+// view of the world. Build-tagged variant files — internal/race's
+// race/!race pair is the archetype — would otherwise all load into one
+// package and collide.
+func buildIncluded(src []byte) bool {
+	for _, line := range strings.Split(string(src), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "//") {
+			if expr, err := constraint.Parse(line); err == nil {
+				return expr.Eval(buildTagSatisfied)
+			}
+			continue
+		}
+		break // package clause or code: constraints must precede it
+	}
+	return true
+}
+
+// buildTagSatisfied is the tag environment constraints evaluate in:
+// the host OS and architecture, the gc toolchain, and every released
+// language version. Instrumentation tags like race are off — the
+// loader analyzes the default build, matching what `go build` compiles
+// without extra flags.
+func buildTagSatisfied(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc":
+		return true
+	case "unix":
+		switch runtime.GOOS {
+		case "linux", "darwin", "freebsd", "netbsd", "openbsd", "solaris", "aix", "dragonfly", "illumos":
+			return true
+		}
+	}
+	return strings.HasPrefix(tag, "go1.")
 }
 
 // loaderImporter resolves imports during type checking: module-internal

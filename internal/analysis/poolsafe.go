@@ -1,0 +1,293 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerPoolsafe enforces the sync.Pool discipline the streaming hot
+// paths depend on (serve's StreamWriter buffers, the client's frame
+// readers): a pooled value is borrowed, not owned. Reading it after
+// Put hands the pool a value another goroutine may already be mutating;
+// letting its backing bytes alias into a retained structure — a journal
+// record, a log entry, a returned slice — corrupts that structure the
+// moment the pool recycles the buffer. Both bug classes pass every test
+// that doesn't race the pool, which is exactly why they are linted.
+//
+// Concretely, for values obtained from (*sync.Pool).Get:
+//
+//   - no use after an unconditional Put in the same statement list
+//     (overwriting the reference, e.g. `sw.buf = nil`, is the
+//     sanctioned way to kill it; a deferred Put is exempt because it
+//     runs at function exit);
+//   - no Bytes() result escaping into an assignment, composite
+//     literal, return, or channel send — pooled buffer bytes must be
+//     consumed synchronously (a direct call argument) or copied;
+//   - no pooled slice stored into a struct field, element, composite
+//     literal, or return, and no pooled value of any type sent on a
+//     channel.
+var AnalyzerPoolsafe = &Analyzer{
+	Name: "poolsafe",
+	Doc:  "pooled values must not be used after Put or alias into retained records",
+	Run:  runPoolsafe,
+}
+
+func runPoolsafe(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			pf := &poolsafeFunc{p: p, tracked: make(map[types.Object]bool)}
+			pf.collect(fd.Body)
+			pf.checkEscapes(fd.Body)
+			pf.checkStmtLists(fd.Body)
+			return false // nested FuncLits were handled with the enclosing body
+		})
+	}
+}
+
+// poolsafeFunc carries one function's analysis state: the set of local
+// objects whose value came from a pool Get (directly or through one
+// level of aliasing assignment).
+type poolsafeFunc struct {
+	p       *Pass
+	tracked map[types.Object]bool
+}
+
+// collect walks the body in source order recording every identifier
+// assigned from (*sync.Pool).Get — including through a type assertion,
+// the idiomatic form — and propagating through simple x := v aliases.
+func (pf *poolsafeFunc) collect(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			if pf.isPoolGet(rhs) || pf.trackedIdent(rhs) != nil {
+				if obj := pf.p.ObjectOf(id); obj != nil {
+					pf.tracked[obj] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isPoolGet reports whether e is a (*sync.Pool).Get call, optionally
+// wrapped in a type assertion.
+func (pf *poolsafeFunc) isPoolGet(e ast.Expr) bool {
+	if ta, ok := ast.Unparen(e).(*ast.TypeAssertExpr); ok {
+		e = ta.X
+	}
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	return pf.isPoolMethod(call, "Get")
+}
+
+// isPoolMethod reports whether call invokes the named method on a
+// sync.Pool (or *sync.Pool) receiver.
+func (pf *poolsafeFunc) isPoolMethod(call *ast.CallExpr, name string) bool {
+	fn := pf.p.calleeFunc(call)
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	return isNamed(pf.p.recvType(call), "sync", "Pool")
+}
+
+// trackedIdent returns e's identifier when it resolves to a tracked
+// pooled object, nil otherwise.
+func (pf *poolsafeFunc) trackedIdent(e ast.Expr) *ast.Ident {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := pf.p.ObjectOf(id); obj != nil && pf.tracked[obj] {
+		return id
+	}
+	return nil
+}
+
+// trackedBytesCall returns the receiver identifier when e is a Bytes()
+// call on a tracked pooled value, nil otherwise.
+func (pf *poolsafeFunc) trackedBytesCall(e ast.Expr) *ast.Ident {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Bytes" {
+		return nil
+	}
+	return pf.trackedIdent(sel.X)
+}
+
+// isTrackedSlice reports whether e is a tracked pooled value of slice
+// type — raw pooled memory whose aliasing is as dangerous as a Bytes()
+// result. Non-slice pooled values (a *bytes.Buffer, a *bufio.Reader)
+// may be stored or returned: that is ownership transfer, and the new
+// owner carries the Put obligation.
+func (pf *poolsafeFunc) isTrackedSlice(e ast.Expr) bool {
+	id := pf.trackedIdent(e)
+	if id == nil {
+		return false
+	}
+	t := pf.p.TypeOf(id)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}
+
+// checkEscapes flags the aliasing escapes: Bytes() results or pooled
+// slices stored, returned, placed in composite literals, and pooled
+// values of any type sent on channels.
+func (pf *poolsafeFunc) checkEscapes(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				if id := pf.trackedBytesCall(rhs); id != nil {
+					pf.p.Reportf(rhs.Pos(), "%s.Bytes() stored in %s; pooled buffer bytes are reused after Put — copy them instead", id.Name, renderOr(n.Lhs[i], "a variable"))
+					continue
+				}
+				// A slice alias into a field or element outlives the
+				// frame; a plain local alias is tracked by collect.
+				if pf.isTrackedSlice(rhs) && !isIdentExpr(n.Lhs[i]) {
+					pf.p.Reportf(rhs.Pos(), "pooled slice %s stored in %s; pooled memory is reused after Put — copy it instead", render(rhs), renderOr(n.Lhs[i], "a variable"))
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				v := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if id := pf.trackedBytesCall(v); id != nil {
+					pf.p.Reportf(v.Pos(), "%s.Bytes() placed in a composite literal; pooled buffer bytes are reused after Put — copy them instead", id.Name)
+				} else if pf.isTrackedSlice(v) {
+					pf.p.Reportf(v.Pos(), "pooled slice %s placed in a composite literal; pooled memory is reused after Put — copy it instead", render(v))
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if id := pf.trackedBytesCall(res); id != nil {
+					pf.p.Reportf(res.Pos(), "%s.Bytes() returned to the caller; pooled buffer bytes are reused after Put — copy them instead", id.Name)
+				} else if pf.isTrackedSlice(res) {
+					pf.p.Reportf(res.Pos(), "pooled slice %s returned to the caller; pooled memory is reused after Put — copy it instead", render(res))
+				}
+			}
+		case *ast.SendStmt:
+			if id := pf.trackedBytesCall(n.Value); id != nil {
+				pf.p.Reportf(n.Value.Pos(), "%s.Bytes() sent on a channel; the receiver outlives this function's Put — copy the bytes instead", id.Name)
+			} else if id := pf.trackedIdent(n.Value); id != nil {
+				pf.p.Reportf(n.Value.Pos(), "pooled %s sent on a channel; the receiver outlives this function's Put — copy or transfer ownership explicitly", id.Name)
+			}
+		}
+		return true
+	})
+}
+
+// checkStmtLists walks every statement list in the body (blocks, case
+// and comm clauses — including those inside nested function literals)
+// applying the use-after-Put rule within each.
+func (pf *poolsafeFunc) checkStmtLists(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			pf.checkUseAfterPut(n.List)
+		case *ast.CaseClause:
+			pf.checkUseAfterPut(n.Body)
+		case *ast.CommClause:
+			pf.checkUseAfterPut(n.Body)
+		}
+		return true
+	})
+}
+
+// checkUseAfterPut scans one statement list: after an unconditional
+// `pool.Put(v)` statement, any read of v in the remaining statements is
+// reported. An assignment writing v kills the tracking — that is the
+// sanctioned "Put then overwrite the reference" shape. Deferred Puts
+// are exempt (they run at function exit, after every use).
+func (pf *poolsafeFunc) checkUseAfterPut(stmts []ast.Stmt) {
+	// returned maps the rendered reference ("b", "sw.buf") to the Put
+	// that retired it.
+	returned := make(map[string]bool)
+	for _, s := range stmts {
+		if es, ok := s.(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok && pf.isPoolMethod(call, "Put") && len(call.Args) == 1 {
+				if name := render(call.Args[0]); name != "" {
+					// The Put statement itself is not a use.
+					returned[name] = true
+					continue
+				}
+			}
+		}
+		if len(returned) == 0 {
+			continue
+		}
+		// An assignment overwriting the retired reference kills it; its
+		// RHS (and any other statement) is still checked for reads.
+		killed := []string{}
+		if as, ok := s.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if name := render(lhs); returned[name] {
+					killed = append(killed, name)
+				}
+			}
+			for _, rhs := range as.Rhs {
+				pf.reportReads(rhs, returned)
+			}
+		} else {
+			pf.reportReads(s, returned)
+		}
+		for _, name := range killed {
+			delete(returned, name)
+		}
+	}
+}
+
+// reportReads reports the first read of each retired reference inside
+// n, then stops tracking it to avoid a cascade per mention.
+func (pf *poolsafeFunc) reportReads(n ast.Node, returned map[string]bool) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		e, ok := c.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if name := render(e); name != "" && returned[name] {
+			pf.p.Reportf(e.Pos(), "%s is used after being returned to the pool; a pooled value must not be touched past Put", name)
+			delete(returned, name)
+			return false
+		}
+		return true
+	})
+}
+
+// renderOr renders e, falling back when it is not an identifier chain.
+func renderOr(e ast.Expr, fallback string) string {
+	if s := render(e); s != "" {
+		return s
+	}
+	return fallback
+}
+
+// isIdentExpr reports whether e is a bare identifier (a local alias
+// target, as opposed to a field or element store).
+func isIdentExpr(e ast.Expr) bool {
+	_, ok := ast.Unparen(e).(*ast.Ident)
+	return ok
+}

@@ -1,0 +1,104 @@
+// Package poolsafe is the violation fixture for the poolsafe analyzer:
+// every way a pooled value can outlive its borrow, next to the
+// sanctioned shapes the analyzer must stay silent on.
+package poolsafe
+
+import (
+	"bytes"
+	"io"
+	"sync"
+)
+
+var bufPool = sync.Pool{
+	New: func() any { return new(bytes.Buffer) },
+}
+
+var slicePool = sync.Pool{
+	New: func() any { return make([]byte, 0, 512) },
+}
+
+// record stands in for a journal/log record that outlives the call.
+type record struct {
+	Data []byte
+}
+
+var retained []record
+
+var handoff = make(chan *bytes.Buffer, 1)
+
+// useAfterPut touches the buffer after returning it to the pool.
+func useAfterPut() int {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.WriteString("x")
+	bufPool.Put(b)
+	return b.Len() // read after Put
+}
+
+type holder struct {
+	buf *bytes.Buffer
+}
+
+// release is the sanctioned retirement shape: Put, then overwrite the
+// reference so nothing can read it afterwards.
+func (h *holder) release() {
+	bufPool.Put(h.buf)
+	h.buf = nil // ok: assignment kills the reference
+}
+
+// aliasIntoRecord lets pooled buffer bytes escape into a retained
+// composite literal.
+func aliasIntoRecord() record {
+	b := bufPool.Get().(*bytes.Buffer)
+	defer bufPool.Put(b)
+	b.WriteString("payload")
+	return record{Data: b.Bytes()}
+}
+
+// aliasIntoField stores pooled buffer bytes through a field assignment.
+func aliasIntoField(r *record) {
+	b := bufPool.Get().(*bytes.Buffer)
+	defer bufPool.Put(b)
+	b.WriteString("payload")
+	r.Data = b.Bytes()
+}
+
+// returnBytes hands the caller a slice into a buffer about to be
+// recycled.
+func returnBytes() []byte {
+	b := bufPool.Get().(*bytes.Buffer)
+	defer bufPool.Put(b)
+	b.WriteString("payload")
+	return b.Bytes()
+}
+
+// sendPooled gives a pooled value to another goroutine.
+func sendPooled() {
+	b := bufPool.Get().(*bytes.Buffer)
+	handoff <- b
+}
+
+// aliasSlice retains raw pooled memory in a record.
+func aliasSlice() {
+	s := slicePool.Get().([]byte)
+	retained = append(retained, record{Data: s})
+	slicePool.Put(s)
+}
+
+// synchronousUse is the sanctioned consumption shape: pooled bytes as a
+// direct call argument, deferred Put, nothing retained.
+func synchronousUse(w io.Writer) error {
+	b := bufPool.Get().(*bytes.Buffer)
+	defer bufPool.Put(b)
+	b.WriteString("ok")
+	_, err := w.Write(b.Bytes()) // ok: consumed synchronously
+	return err
+}
+
+// copyToRetain is the sanctioned retention shape: copy the bytes out
+// before the buffer goes back.
+func copyToRetain() record {
+	b := bufPool.Get().(*bytes.Buffer)
+	defer bufPool.Put(b)
+	b.WriteString("payload")
+	return record{Data: append([]byte(nil), b.Bytes()...)} // ok: append copies
+}

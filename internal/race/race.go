@@ -1,0 +1,6 @@
+// Package race reports whether the race detector is compiled into the
+// current binary. Tests whose assertions are allocation- or
+// timing-sensitive (the alloc-budget ceilings, most prominently) use it
+// to skip under -race instead of flaking: the detector's instrumentation
+// changes both allocation counts and scheduling.
+package race

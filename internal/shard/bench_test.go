@@ -1,0 +1,99 @@
+package shard
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"hpas"
+	"hpas/api"
+	hpasclient "hpas/client"
+	"hpas/serve"
+)
+
+// benchStreamSetup stands up one HTTP shard behind a router, runs one
+// job to completion through the routed surface, and returns clients
+// for both paths plus the job's routed and shard-local IDs — the
+// fixture for comparing a direct stream replay against the same replay
+// through the proxy hop.
+func benchStreamSetup(b *testing.B) (direct, routed *hpasclient.Client, localID, gid string) {
+	b.Helper()
+	mgr := hpas.NewStreamManager(hpas.StreamConfig{Workers: 2, Queue: 16})
+	ds := httptest.NewServer(serve.New(mgr, detector(b), serve.Config{}).Handler())
+	rt, err := NewRouter([]Member{{
+		Name:    "shard0",
+		Addr:    ds.URL,
+		Backend: NewRemote(ds.URL, RemoteOptions{}),
+	}}, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rs := httptest.NewServer(rt.Handler())
+	b.Cleanup(func() {
+		rs.Close()
+		if cerr := rt.Close(); cerr != nil {
+			b.Errorf("router close: %v", cerr)
+		}
+		ds.Close()
+		mgr.Close()
+	})
+
+	routed = hpasclient.New(rs.URL, hpasclient.Options{Seed: 11})
+	direct = hpasclient.New(ds.URL, hpasclient.Options{Seed: 12})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	st, _, err := routed.SubmitKeyed(ctx, api.JobRequest{Seed: 7, Duration: 1000, Window: 10}, "bench-stream")
+	if err != nil {
+		b.Fatal(err)
+	}
+	gid = st.ID
+	for {
+		got, gerr := routed.Get(ctx, gid)
+		if gerr != nil {
+			b.Fatal(gerr)
+		}
+		if got.Final() {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	jobs := mgr.Jobs()
+	if len(jobs) != 1 {
+		b.Fatalf("shard tracks %d jobs, want 1", len(jobs))
+	}
+	return direct, routed, jobs[0].ID(), gid
+}
+
+func benchStreamReplay(b *testing.B, cl *hpasclient.Client, id string) {
+	b.Helper()
+	ctx := context.Background()
+	var msgs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cl.Stream(ctx, id, 0, func(hpas.StreamMessage) error {
+			msgs++
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if msgs > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(msgs), "ns/msg")
+	}
+}
+
+// BenchmarkStreamReplayDirect replays a finished job straight off the
+// shard — the baseline the proxy hop is measured against.
+func BenchmarkStreamReplayDirect(b *testing.B) {
+	direct, _, localID, _ := benchStreamSetup(b)
+	benchStreamReplay(b, direct, localID)
+}
+
+// BenchmarkStreamReplayRouted replays the same job through the router's
+// SSE pass-through; the delta to Direct is the full proxy hop cost.
+func BenchmarkStreamReplayRouted(b *testing.B) {
+	_, routed, _, gid := benchStreamSetup(b)
+	benchStreamReplay(b, routed, gid)
+}

@@ -2,7 +2,6 @@ package shard
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -78,7 +77,10 @@ func (rt *Router) writeOpError(w http.ResponseWriter, err error) {
 
 func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req api.JobRequest
-	if err := serve.DecodeJSON(w, r, &req); err != nil {
+	// The body is read once and forwarded to the shard verbatim: the
+	// router validates it (same policy as serve) but never re-encodes.
+	raw, err := serve.DecodeJSONRaw(w, r, &req)
+	if err != nil {
 		code := http.StatusBadRequest
 		var maxErr *http.MaxBytesError
 		if errors.As(err, &maxErr) {
@@ -93,7 +95,7 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("%s longer than %d bytes", api.IdempotencyKeyHeader, api.MaxIdempotencyKeyLen))
 		return
 	}
-	st, replayed, err := rt.Submit(r.Context(), req, key)
+	st, replayed, err := rt.SubmitRaw(r.Context(), req, raw, key)
 	if err != nil {
 		rt.writeOpError(w, err)
 		return
@@ -158,33 +160,28 @@ func (rt *Router) handleStream(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 	}
 	w.WriteHeader(http.StatusOK)
-	flusher, _ := w.(http.Flusher)
 
 	// From here the status line is committed: a routed failure can only
 	// end the stream, exactly as a cut single-instance stream would.
-	streamErr := rt.Stream(r.Context(), gid, from, func(msg hpas.StreamMessage) error {
-		b, err := json.Marshal(msg)
-		if err != nil {
-			return err
+	// Frames pass through in the shard's own encoding; Frame.More lets
+	// the proxy coalesce flushes when the shard is bursting, bounded by
+	// the same quantum serve uses.
+	sw := serve.NewStreamWriter(w, sse)
+	defer sw.Release()
+	streamErr := rt.StreamFrames(r.Context(), gid, from, func(f hpas.StreamFrame) error {
+		sw.Append(f)
+		if f.More && sw.Buffered() < serve.StreamFlushQuantum {
+			return nil
 		}
-		if sse {
-			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", msg.Seq, msg.Type, b); err != nil {
-				return err
-			}
-		} else {
-			if _, err := w.Write(b); err != nil {
-				return err
-			}
-			if _, err := w.Write([]byte("\n")); err != nil {
-				return err
-			}
-		}
-		if flusher != nil {
-			flusher.Flush()
-		}
-		return nil
+		return sw.Flush()
 	})
-	_ = streamErr // headers are committed; the cut connection says it all
+	if streamErr == nil || sw.Buffered() > 0 {
+		// Deliver anything still buffered (e.g. frames appended under a
+		// More hint whose successor never arrived before an error).
+		if err := sw.Flush(); err != nil {
+			return // client gone; nothing more to say
+		}
+	}
 }
 
 func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -97,6 +97,14 @@ func (r *Remote) Submit(ctx context.Context, req api.JobRequest, key string) (ap
 	return st, replayed, mapErr(err)
 }
 
+// SubmitRaw implements the router's pre-encoded fast path: the body
+// the router's handler read off its client goes to the shard verbatim,
+// skipping a marshal per placement attempt.
+func (r *Remote) SubmitRaw(ctx context.Context, req api.JobRequest, raw []byte, key string) (api.JobStatus, bool, error) {
+	st, replayed, err := r.c.SubmitRawKeyed(ctx, raw, key)
+	return st, replayed, mapErr(err)
+}
+
 // Get implements Backend.
 func (r *Remote) Get(ctx context.Context, id string) (api.JobStatus, error) {
 	st, err := r.c.Get(ctx, id)
@@ -121,6 +129,13 @@ func (r *Remote) Cancel(ctx context.Context, id string) (api.JobStatus, error) {
 // classify against the live topology.
 func (r *Remote) Stream(ctx context.Context, id string, from int, fn func(hpas.StreamMessage) error) error {
 	return r.c.Stream(ctx, id, from, fn)
+}
+
+// StreamFrames implements Backend: the client parses SSE frames off
+// the shard connection without unmarshaling them, and the router
+// forwards the bytes verbatim.
+func (r *Remote) StreamFrames(ctx context.Context, id string, from int, fn func(hpas.StreamFrame) error) error {
+	return r.c.StreamFrames(ctx, id, from, fn)
 }
 
 // Check implements Backend: one non-retrying GET /v1/readyz, decoded

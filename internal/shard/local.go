@@ -126,17 +126,8 @@ func (l *Local) Stream(ctx context.Context, id string, from int, fn func(hpas.St
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotFound, id)
 	}
-	sctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	watchDone := make(chan struct{})
-	defer close(watchDone)
-	go func() {
-		select {
-		case <-l.killed:
-			cancel()
-		case <-watchDone:
-		}
-	}()
+	sctx, stop := l.watchKill(ctx)
+	defer stop()
 	sawDone := false
 	for msg := range j.FollowFrom(sctx, from) {
 		if l.down() {
@@ -149,6 +140,80 @@ func (l *Local) Stream(ctx context.Context, id string, from int, fn func(hpas.St
 			sawDone = true
 		}
 	}
+	return l.streamEnd(ctx, sawDone)
+}
+
+// StreamFrames implements Backend over the job's shared-frame follow:
+// every frame's bytes come from the job's encoded-frame ring (one
+// marshal shared across followers) and are handed to fn verbatim. A
+// one-frame look-ahead sets Frame.More when another frame is already
+// queued, so the router's HTTP handler can coalesce its flushes.
+func (l *Local) StreamFrames(ctx context.Context, id string, from int, fn func(hpas.StreamFrame) error) error {
+	if l.down() {
+		return ErrShardDown
+	}
+	j, ok := l.mgr.Get(id)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	sctx, stop := l.watchKill(ctx)
+	defer stop()
+	sawDone := false
+	ch := j.FollowFramesFrom(sctx, from)
+	var pending hpas.StreamFrame
+	havePending := false
+	//lint:allow ctxloop exits when ch closes — FollowFramesFrom closes it on sctx cancellation
+	for {
+		var f hpas.StreamFrame
+		if havePending {
+			f, havePending = pending, false
+		} else {
+			var open bool
+			if f, open = <-ch; !open {
+				break
+			}
+		}
+		select {
+		case nf, open := <-ch:
+			if open {
+				pending, havePending = nf, true
+				f.More = true
+			}
+		default:
+		}
+		if l.down() {
+			return ErrShardDown
+		}
+		if err := fn(f); err != nil {
+			return err
+		}
+		if f.Type == "done" {
+			sawDone = true
+		}
+	}
+	return l.streamEnd(ctx, sawDone)
+}
+
+// watchKill derives a follow context that is cancelled if the shard is
+// killed mid-stream; stop releases the watcher.
+func (l *Local) watchKill(ctx context.Context) (context.Context, func()) {
+	sctx, cancel := context.WithCancel(ctx)
+	watchDone := make(chan struct{})
+	go func() {
+		select {
+		case <-l.killed:
+			cancel()
+		case <-watchDone:
+		}
+	}()
+	return sctx, func() {
+		close(watchDone)
+		cancel()
+	}
+}
+
+// streamEnd classifies how a follow loop ended once its channel closed.
+func (l *Local) streamEnd(ctx context.Context, sawDone bool) error {
 	switch {
 	case sawDone:
 		return nil

@@ -211,6 +211,33 @@ func TestRouterSSEResumeThroughProxyInsideGapSkippedRegion(t *testing.T) {
 	}
 	resp.Body.Close()
 
+	// Gap frames are synthesized per follower and never enter the
+	// shared-frame cache. A follower that reconnects with Last-Event-ID
+	// equal to the gap frame's id must resume strictly past it — its
+	// first frame (real or a fresh gap) carries a larger id, and the
+	// already-acknowledged index never comes back.
+	req2, _ := http.NewRequest("GET", ts.URL+"/v1/jobs/"+gid+"/stream", nil)
+	req2.Header.Set("Accept", "text/event-stream")
+	req2.Header.Set("Last-Event-ID", first.id)
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc = bufio.NewScanner(resp2.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	refirst, ok := readFrame()
+	if !ok {
+		t.Fatal("reconnect at the gap id got no frames")
+	}
+	reID, err := strconv.Atoi(refirst.id)
+	if err != nil {
+		t.Fatalf("reconnect frame id %q is not an index", refirst.id)
+	}
+	if reID <= gapID {
+		t.Fatalf("reconnect with Last-Event-ID %d re-delivered id %d (duplicate frame across the proxy)", gapID, reID)
+	}
+	resp2.Body.Close()
+
 	// Cancel through the router and wait for the terminal state.
 	creq, _ := http.NewRequest("DELETE", ts.URL+"/v1/jobs/"+gid, nil)
 	cresp, err := http.DefaultClient.Do(creq)
@@ -236,6 +263,13 @@ func TestRouterSSEResumeThroughProxyInsideGapSkippedRegion(t *testing.T) {
 	}
 	if last := frames[len(frames)-1]; last.event != "done" {
 		t.Fatalf("replay ended with %q, want done", last.event)
+	}
+
+	// The replay above warmed the shard's frame cache; resuming from the
+	// last frame before done must deliver exactly the done frame — once.
+	tail := getSSE(t, ts, gid, frames[len(frames)-2].id)
+	if len(tail) != 1 || tail[0] != frames[len(frames)-1] {
+		t.Fatalf("resume from the last cached frame = %+v, want exactly the done frame", tail)
 	}
 }
 

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -71,6 +72,10 @@ type route struct {
 	key       string // router-owned shard-level idempotency key, stable across re-placements
 	clientKey string // client's Idempotency-Key, "" if none
 	req       api.JobRequest
+	// raw is the submission pre-encoded in wire form, reused verbatim
+	// across placement retries and failover re-placements so the hop
+	// never re-marshals. Never pooled memory: it outlives the request.
+	raw []byte
 
 	placed   chan struct{} // closed once placement resolves either way
 	placeErr error         // placement failure, set before placed closes
@@ -358,14 +363,14 @@ func (rt *Router) failoverFrom(dead *member) (moved, lost int64, notes []string,
 	}
 	for _, r := range affected {
 		rt.mu.Lock()
-		state, req, key, gid := r.last.State, r.req, r.key, r.gid
+		state, req, raw, key, gid := r.last.State, r.req, r.raw, r.key, r.gid
 		unresolved := r.shard == dead && !r.lost
 		rt.mu.Unlock()
 		if !unresolved {
 			continue
 		}
 		if state == string(hpas.StreamJobQueued) {
-			st, m2, placeNotes, err := rt.place(rt.ctx, gid, req, key)
+			st, m2, placeNotes, err := rt.place(rt.ctx, gid, req, raw, key)
 			notes = append(notes, placeNotes...)
 			rt.mu.Lock()
 			if err != nil {
@@ -432,14 +437,14 @@ func (rt *Router) ownerOf(gid string) *member {
 // the caller's answer and end the search. Demotions are returned as
 // deferred log lines, not logged here: failover calls place with the
 // failover lock held, and the Logf callback must never run under it.
-func (rt *Router) place(ctx context.Context, gid string, req api.JobRequest, key string) (api.JobStatus, *member, []string, error) {
+func (rt *Router) place(ctx context.Context, gid string, req api.JobRequest, raw []byte, key string) (api.JobStatus, *member, []string, error) {
 	var notes []string
 	for range rt.members { // every retry kills one member: bounded
 		m := rt.ownerOf(gid)
 		if m == nil {
 			return api.JobStatus{}, nil, notes, ErrNoShards
 		}
-		st, _, err := m.be.Submit(ctx, req, key)
+		st, _, err := submitTo(ctx, m.be, req, raw, key)
 		if err == nil {
 			return st, m, notes, nil
 		}
@@ -472,6 +477,15 @@ func (rt *Router) publicLocked(r *route) api.JobStatus {
 // from the existing route without touching any shard, mirroring the
 // single-instance replay contract.
 func (rt *Router) Submit(ctx context.Context, req api.JobRequest, clientKey string) (api.JobStatus, bool, error) {
+	return rt.SubmitRaw(ctx, req, nil, clientKey)
+}
+
+// SubmitRaw is Submit with the request's wire encoding already in
+// hand: the router's HTTP handler reads the body once and forwards
+// those bytes to the shard verbatim (raw nil falls back to marshaling
+// per hop). req must be the decoded form of raw; the shard revalidates
+// the bytes on arrival, so the two cannot drift silently.
+func (rt *Router) SubmitRaw(ctx context.Context, req api.JobRequest, raw []byte, clientKey string) (api.JobStatus, bool, error) {
 	rt.mu.Lock()
 	if clientKey != "" {
 		if r, ok := rt.byKey[clientKey]; ok {
@@ -499,6 +513,7 @@ func (rt *Router) Submit(ctx context.Context, req api.JobRequest, clientKey stri
 		key:       "hpasr-" + gid,
 		clientKey: clientKey,
 		req:       req,
+		raw:       raw,
 		placed:    make(chan struct{}),
 	}
 	rt.routes[gid] = r
@@ -508,7 +523,7 @@ func (rt *Router) Submit(ctx context.Context, req api.JobRequest, clientKey stri
 	}
 	rt.mu.Unlock()
 
-	st, m, notes, err := rt.place(ctx, gid, req, r.key)
+	st, m, notes, err := rt.place(ctx, gid, req, raw, r.key)
 	for _, line := range notes {
 		rt.logf("%s", line)
 	}
@@ -674,6 +689,22 @@ func (e *callerAbort) Error() string { return e.err.Error() }
 // failed-by-shard-loss gets the terminal frame its dead shard never
 // sent, so every follower terminates cleanly.
 func (rt *Router) Stream(ctx context.Context, gid string, from int, fn func(hpas.StreamMessage) error) error {
+	return rt.StreamFrames(ctx, gid, from, func(f hpas.StreamFrame) error {
+		var msg hpas.StreamMessage
+		if err := json.Unmarshal(f.Data, &msg); err != nil {
+			return fmt.Errorf("bad proxied frame %q: %w", f.Data, err)
+		}
+		msg.Seq = f.Seq
+		return fn(msg)
+	})
+}
+
+// StreamFrames is Stream in wire form, and the implementation behind
+// it: the proxy resumes, fails over, and synthesizes lost-shard
+// terminal frames exactly as Stream documents, but each message moves
+// as the bytes the shard encoded — the router never unmarshals what it
+// only forwards.
+func (rt *Router) StreamFrames(ctx context.Context, gid string, from int, fn func(hpas.StreamFrame) error) error {
 	next := from
 	for {
 		rt.mu.Lock()
@@ -688,12 +719,15 @@ func (rt *Router) Stream(ctx context.Context, gid string, from int, fn func(hpas
 		rt.mu.Unlock()
 
 		if lost {
-			return fn(hpas.StreamMessage{
+			data, err := json.Marshal(hpas.StreamMessage{
 				Type:  "done",
 				State: hpas.StreamJobFailed,
 				Error: errText,
-				Seq:   next,
 			})
+			if err != nil {
+				return err
+			}
+			return fn(hpas.StreamFrame{Seq: next, Type: "done", Data: data})
 		}
 		if m == nil || !m.isAlive() {
 			// Ownership is in flux; wait for the next topology change.
@@ -719,14 +753,14 @@ func (rt *Router) Stream(ctx context.Context, gid string, from int, fn func(hpas
 			}
 		}()
 		var aborted *callerAbort
-		err := m.be.Stream(sctx, localID, next, func(msg hpas.StreamMessage) error {
-			if ferr := fn(msg); ferr != nil {
+		err := m.be.StreamFrames(sctx, localID, next, func(f hpas.StreamFrame) error {
+			if ferr := fn(f); ferr != nil {
 				ab := &callerAbort{err: ferr}
 				aborted = ab
 				return ab
 			}
-			if msg.Seq >= next {
-				next = msg.Seq + 1
+			if f.Seq >= next {
+				next = f.Seq + 1
 			}
 			return nil
 		})

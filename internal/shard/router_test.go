@@ -24,7 +24,7 @@ var (
 	detErr  error
 )
 
-func detector(t *testing.T) *hpas.Detector {
+func detector(t testing.TB) *hpas.Detector {
 	t.Helper()
 	detOnce.Do(func() {
 		ds, err := hpas.GenerateDataset(hpas.DatasetConfig{

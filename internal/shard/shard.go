@@ -61,6 +61,15 @@ type Backend interface {
 	// through the terminal "done" frame. An fn error aborts the follow
 	// and is returned as-is.
 	Stream(ctx context.Context, id string, from int, fn func(hpas.StreamMessage) error) error
+	// StreamFrames is Stream in wire form: fn receives each message as
+	// an already-encoded frame (Seq, event type, raw JSON bytes) so a
+	// proxy can pass shard bytes through without decode→re-encode.
+	// Frame.Data is only guaranteed valid until fn returns (Remote
+	// reuses its parse buffer); fn must copy it to retain it.
+	// Frame.More hints that another frame is immediately ready, letting
+	// a batching consumer defer its flush. Semantics otherwise match
+	// Stream, including fn errors coming back as-is.
+	StreamFrames(ctx context.Context, id string, from int, fn func(hpas.StreamFrame) error) error
 	// Check probes the shard's readiness. A non-nil error counts as a
 	// failed probe; the health report is valid when err is nil.
 	Check(ctx context.Context) (api.ShardHealth, error)
@@ -68,6 +77,26 @@ type Backend interface {
 	Metrics(ctx context.Context) (hpas.StreamStats, error)
 	// Close releases the backend's resources.
 	Close() error
+}
+
+// rawSubmitter is the optional fast path a Backend may implement:
+// submit a pre-encoded request body (one JSON api.JobRequest document)
+// without re-marshaling it per hop or per retry. Remote implements it;
+// Local has no wire form to skip, so the router falls back to Submit.
+type rawSubmitter interface {
+	SubmitRaw(ctx context.Context, req api.JobRequest, raw []byte, key string) (st api.JobStatus, replayed bool, err error)
+}
+
+// submitTo routes one submission to a backend, preferring the
+// pre-encoded path when the caller holds the wire bytes and the
+// backend can use them.
+func submitTo(ctx context.Context, be Backend, req api.JobRequest, raw []byte, key string) (api.JobStatus, bool, error) {
+	if raw != nil {
+		if rs, ok := be.(rawSubmitter); ok {
+			return rs.SubmitRaw(ctx, req, raw, key)
+		}
+	}
+	return be.Submit(ctx, req, key)
 }
 
 // Sentinel errors the backends translate shard failures into; the

@@ -1,0 +1,50 @@
+package stream
+
+import (
+	"testing"
+
+	"hpas/internal/race"
+)
+
+// Alloc-budget ceilings for the streaming hot paths, enforced by
+// running the corresponding benchmark once under plain `go test`. The
+// budgets are deliberately generous multiples of the measured cost
+// (quoted in DESIGN.md's hot-path section) so they catch a regression
+// class — e.g. a per-message allocation sneaking back into a
+// per-follower loop — without flaking on allocator noise.
+const (
+	// replayAllocBudgetPerMsg bounds the cache-hit replay fan-out path;
+	// measured ~0.02 allocs/msg (4 allocs per 256-message replay).
+	replayAllocBudgetPerMsg = 1.0
+	// appendAllocBudgetPerMsg bounds the live append→fan-out path with
+	// 8 followers attached; measured ~2 allocs/msg.
+	appendAllocBudgetPerMsg = 8.0
+)
+
+func skipIfAllocCountsUnreliable(t *testing.T) {
+	t.Helper()
+	if race.Enabled {
+		t.Skip("alloc counts are skewed by -race instrumentation")
+	}
+	if testing.Short() {
+		t.Skip("alloc budgets run full benchmarks; skipped in -short")
+	}
+}
+
+func TestAllocBudgetFrameReplayFanout(t *testing.T) {
+	skipIfAllocCountsUnreliable(t)
+	res := testing.Benchmark(BenchmarkFrameReplayFanout)
+	perMsg := float64(res.AllocsPerOp()) / (benchReplayMsgs + 1)
+	if perMsg > replayAllocBudgetPerMsg {
+		t.Fatalf("frame replay fan-out allocates %.3f allocs/msg (%d per %d-msg replay), budget %.2f",
+			perMsg, res.AllocsPerOp(), benchReplayMsgs+1, replayAllocBudgetPerMsg)
+	}
+}
+
+func TestAllocBudgetAppendFanout(t *testing.T) {
+	skipIfAllocCountsUnreliable(t)
+	res := testing.Benchmark(BenchmarkAppendFanout)
+	if perMsg := float64(res.AllocsPerOp()); perMsg > appendAllocBudgetPerMsg {
+		t.Fatalf("append fan-out allocates %.3f allocs/msg, budget %.2f", perMsg, appendAllocBudgetPerMsg)
+	}
+}

@@ -1,0 +1,165 @@
+package stream
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+)
+
+// Frame is one wire-encoded stream message: the exact JSON bytes the
+// serving layer writes for the message, plus the delivery metadata SSE
+// framing needs. Frames exist so N followers of one job share a single
+// json.Marshal of each message instead of encoding N copies — the
+// job's log keeps raw Messages, and a per-job ring caches the encoded
+// form of the most recent ones (see frameRing).
+//
+// Data is immutable once a Frame is delivered: it may be cached in the
+// ring and handed to any number of followers concurrently, so holders
+// must never modify it, and producers must never build it from pooled
+// memory (the poolsafe lint invariant). Producers that are not the
+// ring may document a tighter lifetime — the client's SSE parser, for
+// one, only guarantees Data until its callback returns.
+type Frame struct {
+	// Seq is the message's log index — or, on "gap" frames, the index
+	// of the last skipped message, mirroring Message.Seq.
+	Seq int
+	// Type is the message type ("window" | "event" | "done" | "gap"),
+	// surfaced so writers can emit SSE event: lines without decoding
+	// Data.
+	Type string
+	// Data is json.Marshal of the Message, without a trailing newline.
+	// Read-only; aliased by every consumer.
+	Data []byte
+	// More, when true, promises the producer already holds at least one
+	// more frame ready for immediate delivery, so a consumer batching
+	// writes may defer its flush. Purely a transport hint — it never
+	// affects the bytes on the wire.
+	More bool
+	// Raw, when non-nil, is the frame's complete SSE wire block — the
+	// id:/event:/data: lines plus the terminating blank line — exactly
+	// as assembling Seq, Type, and Data would produce it. A producer
+	// that already holds the frame in wire form (the client's SSE
+	// parser) sets it so an SSE re-emitter can write one slice instead
+	// of reassembling; it shares Data's lifetime. Ring frames leave it
+	// nil.
+	Raw []byte
+}
+
+// frameRing caches the encoded form of the last ringSize messages of
+// one job, keyed by Seq. Encoding is lazy — a message is marshaled the
+// first time any follower needs it — and misses on evicted (old)
+// entries simply re-encode, so the ring is a bounded cache, never a
+// source of truth. Gap frames are per-follower synthetics and are
+// never cached: caching one under a log index would corrupt the replay
+// of the real message living at that index.
+type frameRing struct {
+	mu    sync.Mutex
+	seqs  []int
+	types []string
+	data  [][]byte
+
+	encoded *atomic.Int64 // messages marshaled (cache misses); may be nil
+	hits    *atomic.Int64 // frames served from cache; may be nil
+}
+
+// ringSize picks the ring capacity for a job with the given follow
+// limit: at least DefaultFollowLimit, and never smaller than the live
+// follow window, so every follower inside the window hits the cache.
+func ringSize(followLimit int) int {
+	if followLimit > DefaultFollowLimit {
+		return followLimit
+	}
+	return DefaultFollowLimit
+}
+
+func newFrameRing(size int, encoded, hits *atomic.Int64) *frameRing {
+	r := &frameRing{
+		seqs:    make([]int, size),
+		types:   make([]string, size),
+		data:    make([][]byte, size),
+		encoded: encoded,
+		hits:    hits,
+	}
+	for i := range r.seqs {
+		r.seqs[i] = -1
+	}
+	return r
+}
+
+// frameFor returns the wire encoding of msg, which must be the log
+// message at index seq (with Seq already stamped; Seq is excluded from
+// JSON, so it does not affect the bytes). Cache hits share one []byte
+// across all followers; misses marshal outside the ring lock and
+// publish the result for the next follower.
+func (r *frameRing) frameFor(seq int, msg Message) (Frame, error) {
+	if msg.Type != "gap" {
+		slot := seq % len(r.seqs)
+		r.mu.Lock()
+		if r.seqs[slot] == seq {
+			f := Frame{Seq: seq, Type: r.types[slot], Data: r.data[slot]}
+			r.mu.Unlock()
+			if r.hits != nil {
+				r.hits.Add(1)
+			}
+			return f, nil
+		}
+		r.mu.Unlock()
+	}
+	b, err := json.Marshal(msg)
+	if err != nil {
+		return Frame{}, err
+	}
+	if r.encoded != nil {
+		r.encoded.Add(1)
+	}
+	if msg.Type != "gap" {
+		slot := seq % len(r.seqs)
+		r.mu.Lock()
+		r.seqs[slot] = seq
+		r.types[slot] = msg.Type
+		r.data[slot] = b
+		r.mu.Unlock()
+	}
+	return Frame{Seq: seq, Type: msg.Type, Data: b}, nil
+}
+
+// ring returns the job's frame ring, creating it on first use so jobs
+// nobody streams never pay for one.
+func (j *Job) ring() *frameRing {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.frames == nil {
+		j.frames = newFrameRing(ringSize(j.followLimit), j.framesEncoded, j.frameHits)
+	}
+	return j.frames
+}
+
+// FollowFramesFrom is FollowFrom delivering wire-encoded Frames
+// instead of Messages: the same replay/live/gap semantics, but each
+// message is JSON-encoded at most once per ring residency and shared
+// by every frame follower of the job. serve's stream handler and the
+// shard router's proxy consume this form and write Frame.Data to the
+// connection verbatim, so the bytes on the wire are identical to
+// marshaling each Message per follower — just not repeated per
+// follower.
+func (j *Job) FollowFramesFrom(ctx context.Context, from int) <-chan Frame {
+	ch := make(chan Frame, 16)
+	ring := j.ring()
+	go func() {
+		defer close(ch)
+		j.follow(ctx, from, func(m Message) bool {
+			f, err := ring.frameFor(m.Seq, m)
+			if err != nil {
+				return false
+			}
+			select {
+			case ch <- f:
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		})
+	}()
+	return ch
+}

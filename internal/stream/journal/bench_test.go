@@ -1,0 +1,35 @@
+package journal
+
+import (
+	"testing"
+	"time"
+
+	"hpas/internal/stream"
+)
+
+// BenchmarkJournalAppend measures the durable-log append hot path: one
+// op encodes one window record into the job's flush buffer (the
+// fsync-batched flusher drains it asynchronously, as in production).
+// The alloc-budget test pins this path's per-record allocations.
+func BenchmarkJournalAppend(b *testing.B) {
+	jn, err := Open(b.TempDir(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := jn.Create("j0001", time.Now(), stream.JobSpec{}); err != nil {
+		b.Fatal(err)
+	}
+	w := stream.Window{Node: 0, From: 0, To: 12, Class: "none"}
+	msg := stream.Message{Type: "window", Window: &w}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := jn.Append("j0001", i, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := jn.Close(); err != nil {
+		b.Fatal(err)
+	}
+}

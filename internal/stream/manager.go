@@ -61,9 +61,13 @@ type Job struct {
 	followLimit int           // per-follower lag bound (Config.FollowLimit)
 	gaps        *atomic.Int64 // manager's dropped-messages counter
 
+	framesEncoded *atomic.Int64 // manager's frame-marshal counter; may be nil
+	frameHits     *atomic.Int64 // manager's frame-cache-hit counter; may be nil
+
 	mu       sync.Mutex
 	state    JobState
 	err      error
+	frames   *frameRing // lazily created encoded-frame cache (see frame.go)
 	log      []Message
 	events   []Event       // anomaly events, maintained incrementally on append
 	updated  chan struct{} // closed and replaced on every append/state change
@@ -144,61 +148,82 @@ func (j *Job) Follow(ctx context.Context) <-chan Message {
 // replaying and discarding the prefix.
 func (j *Job) FollowFrom(ctx context.Context, from int) <-chan Message {
 	ch := make(chan Message, 16)
+	go func() {
+		defer close(ch)
+		j.follow(ctx, from, func(m Message) bool {
+			select {
+			case ch <- m:
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		})
+	}()
+	return ch
+}
+
+// follow drives the shared replay/follow loop behind FollowFrom and
+// FollowFramesFrom: it walks the log from the given index in bounded
+// window() chunks, stamps each message's Seq, synthesizes per-follower
+// "gap" messages when drop-oldest skips it forward, and blocks on the
+// job's updated channel (or ctx) when caught up. deliver is called for
+// every message in order and returns false to stop early; deliver
+// receives a value copied out of the follower's reused scratch buffer,
+// so it may retain the Message but must not expect stable backing for
+// slices inside it beyond the job's own immutable log entries.
+func (j *Job) follow(ctx context.Context, from int, deliver func(Message) bool) {
 	if from < 0 {
 		from = 0
 	}
-	go func() {
-		defer close(ch)
-		j.mu.Lock()
-		if from > len(j.log) { // resume index beyond the log: start at head
-			from = len(j.log)
+	j.mu.Lock()
+	if from > len(j.log) { // resume index beyond the log: start at head
+		from = len(j.log)
+	}
+	j.mu.Unlock()
+	i := from
+	var scratch []Message // reused across window() calls; one alloc per follower
+	for {
+		msgs, skipped, done, wait := j.window(i, scratch)
+		if msgs != nil {
+			scratch = msgs // window grew (or reused) the buffer; keep the larger one
 		}
-		j.mu.Unlock()
-		i := from
-		for {
-			msgs, skipped, done, wait := j.window(i)
-			if skipped > 0 {
-				i += skipped
-				if j.gaps != nil {
-					j.gaps.Add(int64(skipped))
-				}
-				gap := Message{Type: "gap", Dropped: skipped, Seq: i - 1}
-				select {
-				case ch <- gap:
-				case <-ctx.Done():
-					return
-				}
+		if skipped > 0 {
+			i += skipped
+			if j.gaps != nil {
+				j.gaps.Add(int64(skipped))
 			}
-			for _, m := range msgs {
-				m.Seq = i
-				select {
-				case ch <- m:
-				case <-ctx.Done():
-					return
-				}
-				i++
-			}
-			if done {
+			if !deliver(Message{Type: "gap", Dropped: skipped, Seq: i - 1}) {
 				return
 			}
-			if len(msgs) == 0 && skipped == 0 {
-				select {
-				case <-wait:
-				case <-ctx.Done():
-					return
-				}
+		}
+		for _, m := range msgs {
+			m.Seq = i
+			if !deliver(m) {
+				return
+			}
+			i++
+		}
+		if done {
+			return
+		}
+		if len(msgs) == 0 && skipped == 0 {
+			select {
+			case <-wait:
+			case <-ctx.Done():
+				return
 			}
 		}
-	}()
-	return ch
+	}
 }
 
 // window returns a bounded slice of the log starting at from: at most
 // the follow limit of messages per call, skipping ahead (drop-oldest)
 // when a live job's head has outrun the follower by more than the
 // limit. done reports stream completion at the new cursor; wait is
-// closed on the next log change.
-func (j *Job) window(from int) (msgs []Message, skipped int, done bool, wait chan struct{}) {
+// closed on the next log change. The chunk is copied into scratch
+// (grown as needed) so the caller can hand followers values that stay
+// valid outside j.mu while reusing one buffer per follower.
+func (j *Job) window(from int, scratch []Message) (msgs []Message, skipped int, done bool, wait chan struct{}) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	limit := j.followLimit
@@ -219,7 +244,7 @@ func (j *Job) window(from int) (msgs []Message, skipped int, done bool, wait cha
 		if n > chunk {
 			n = chunk
 		}
-		msgs = append(msgs, j.log[from:from+n]...)
+		msgs = append(scratch[:0], j.log[from:from+n]...)
 	}
 	done = j.state.Final() && from+len(msgs) == head
 	return msgs, skipped, done, j.updated
@@ -295,6 +320,8 @@ type Manager struct {
 	storeErrs   atomic.Int64
 	gapsDropped atomic.Int64 // messages skipped past slow followers
 	panics      atomic.Int64 // pipeline panics recovered in run
+	framesEnc   atomic.Int64 // stream messages wire-encoded (frame-cache misses)
+	frameHits   atomic.Int64 // frames served from a job's encoded-frame ring
 }
 
 // NewManager starts a worker pool with the given configuration.
@@ -365,13 +392,15 @@ func (m *Manager) SubmitIdempotent(spec JobSpec) (j *Job, deduped bool, err erro
 	}
 	m.nextID++
 	j = &Job{
-		id:          fmt.Sprintf("j%04d", m.nextID),
-		spec:        spec,
-		followLimit: m.cfg.FollowLimit,
-		gaps:        &m.gapsDropped,
-		state:       JobQueued,
-		updated:     make(chan struct{}),
-		created:     time.Now(),
+		id:            fmt.Sprintf("j%04d", m.nextID),
+		spec:          spec,
+		followLimit:   m.cfg.FollowLimit,
+		gaps:          &m.gapsDropped,
+		framesEncoded: &m.framesEnc,
+		frameHits:     &m.frameHits,
+		state:         JobQueued,
+		updated:       make(chan struct{}),
+		created:       time.Now(),
 	}
 	if spec.IdempotencyKey != "" {
 		// Reserve the key now, while still under the lock: a concurrent
@@ -448,16 +477,18 @@ func (m *Manager) Reopen(recovered []RecoveredJob) error {
 			return fmt.Errorf("stream: duplicate recovered job %q", r.ID)
 		}
 		j := &Job{
-			id:          r.ID,
-			spec:        r.Spec,
-			followLimit: m.cfg.FollowLimit,
-			gaps:        &m.gapsDropped,
-			state:       r.State,
-			log:         r.Log,
-			created:     r.Created,
-			started:     r.Started,
-			finished:    r.Finished,
-			updated:     make(chan struct{}),
+			id:            r.ID,
+			spec:          r.Spec,
+			followLimit:   m.cfg.FollowLimit,
+			gaps:          &m.gapsDropped,
+			framesEncoded: &m.framesEnc,
+			frameHits:     &m.frameHits,
+			state:         r.State,
+			log:           r.Log,
+			created:       r.Created,
+			started:       r.Started,
+			finished:      r.Finished,
+			updated:       make(chan struct{}),
 		}
 		if r.Err != "" {
 			j.err = errors.New(r.Err)
@@ -773,6 +804,11 @@ type Stats struct {
 	IdempotentHits  int64 `json:"idempotent_hits"`  // submissions answered by an existing keyed job
 	IdempotencyKeys int   `json:"idempotency_keys"` // keys currently tracked
 
+	// Shared-frame broadcast telemetry: how often followers reused a
+	// ring-cached encoding instead of marshaling their own copy.
+	FramesEncoded  int64 `json:"frames_encoded"`   // messages wire-encoded (cache misses)
+	FrameCacheHits int64 `json:"frame_cache_hits"` // frames served from the ring
+
 	// Resilience telemetry (this PR's fault-injection work).
 	GapsDropped                int64 `json:"gaps_dropped"`     // messages skipped past slow followers
 	PanicsRecovered            int64 `json:"panics_recovered"` // pipeline panics isolated in run
@@ -810,6 +846,8 @@ func (m *Manager) Stats() Stats {
 		IdempotencyKeys:  keys,
 		GapsDropped:      m.gapsDropped.Load(),
 		PanicsRecovered:  m.panics.Load(),
+		FramesEncoded:    m.framesEnc.Load(),
+		FrameCacheHits:   m.frameHits.Load(),
 		JournalAttached:  m.store != nil,
 	}
 	if hr, ok := m.store.(HealthReporter); ok {

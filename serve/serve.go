@@ -14,6 +14,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -180,6 +181,35 @@ func DecodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
 		}
 		return nil
 	}
+	return decodeError(err)
+}
+
+// DecodeJSONRaw is DecodeJSON that also hands back the validated body
+// bytes, for proxies — the shard router foremost — that decode a
+// request to route it but forward the client's encoding verbatim
+// instead of re-marshaling. The returned bytes are exactly one JSON
+// document that decoded cleanly into dst under the same policy
+// (bounded size, unknown fields rejected); on error the bytes are nil.
+func DecodeJSONRaw(w http.ResponseWriter, r *http.Request, dst any) ([]byte, error) {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	raw, err := io.ReadAll(body)
+	if err != nil {
+		return nil, decodeError(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return nil, decodeError(err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("request body contains more than one JSON document")
+	}
+	return raw, nil
+}
+
+// decodeError translates a body-read or JSON-decode failure into an
+// error naming the offending field or byte (DecodeJSON's contract).
+func decodeError(err error) error {
 	var (
 		syntaxErr *json.SyntaxError
 		typeErr   *json.UnmarshalTypeError
@@ -320,27 +350,31 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 	}
 	w.WriteHeader(http.StatusOK)
-	flusher, _ := w.(http.Flusher)
 
-	for msg := range j.FollowFrom(r.Context(), from) {
-		b, err := json.Marshal(msg)
-		if err != nil {
-			return
+	// Frames arrive wire-encoded (one shared json.Marshal per message,
+	// see stream.Frame); this loop only assembles and flushes. Whatever
+	// is already queued behind the current frame is coalesced into the
+	// same Write+Flush, bounded by the quantum, so a replaying or bursty
+	// stream costs one syscall per batch instead of per message.
+	frames := j.FollowFramesFrom(r.Context(), from)
+	sw := NewStreamWriter(w, sse)
+	defer sw.Release()
+	for f := range frames {
+		sw.Append(f)
+	coalesce:
+		for sw.Buffered() < StreamFlushQuantum {
+			select {
+			case f2, ok := <-frames:
+				if !ok {
+					break coalesce
+				}
+				sw.Append(f2)
+			default:
+				break coalesce
+			}
 		}
-		if sse {
-			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", msg.Seq, msg.Type, b); err != nil {
-				return
-			}
-		} else {
-			if _, err := w.Write(b); err != nil {
-				return
-			}
-			if _, err := w.Write([]byte("\n")); err != nil {
-				return
-			}
-		}
-		if flusher != nil {
-			flusher.Flush()
+		if err := sw.Flush(); err != nil {
+			return // client gone
 		}
 	}
 }

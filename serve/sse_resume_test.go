@@ -166,6 +166,47 @@ func TestServeSSEResumeInsideGapSkippedRegion(t *testing.T) {
 	}
 }
 
+// Regression for the shared-frame ring: once a full replay has warmed
+// the cache, a follower reconnecting with Last-Event-ID equal to any
+// already-delivered frame — including the last one before done — must
+// resume exactly one past it, never receive the cached frame again,
+// and see bytes identical to the first replay's tail. An off-by-one in
+// the seq-keyed cache lookup would surface here as a duplicate.
+func TestServeSSEResumeFromCachedFrameNotDuplicated(t *testing.T) {
+	ts, mgr := newTestServer(t)
+	id := submit(t, ts, `{"seed":5,"duration":30,"campaign":"cpuoccupy@10-20:95","window":10}`)
+	j, _ := mgr.Get(id)
+	waitDone(t, j)
+
+	// First full replay populates the encoded-frame cache end to end.
+	full := getSSE(t, ts, id, "")
+	if len(full) < 3 {
+		t.Fatalf("finished job replayed only %d frames", len(full))
+	}
+	if last := full[len(full)-1]; last.event != "done" {
+		t.Fatalf("replay ended with %q, want done", last.event)
+	}
+	for _, k := range []int{0, len(full) / 2, len(full) - 2} {
+		tail := getSSE(t, ts, id, full[k].id)
+		if len(tail) != len(full)-(k+1) {
+			t.Fatalf("Last-Event-ID %s resumed %d frames, want %d", full[k].id, len(tail), len(full)-(k+1))
+		}
+		for i, fr := range tail {
+			if fr.id == full[k].id {
+				t.Fatalf("Last-Event-ID %s: frame %s delivered twice (cached frame replayed)", full[k].id, fr.id)
+			}
+			if fr != full[k+1+i] {
+				t.Fatalf("Last-Event-ID %s: resumed frame %d = %+v, want %+v (cached bytes must match)",
+					full[k].id, i, fr, full[k+1+i])
+			}
+		}
+	}
+	// Resuming from the terminal frame itself yields nothing at all.
+	if tail := getSSE(t, ts, id, full[len(full)-1].id); len(tail) != 0 {
+		t.Fatalf("resume past done delivered %d frames, want 0: %+v", len(tail), tail)
+	}
+}
+
 // A client that disconnects mid-stream and reconnects after the job
 // has finished must receive exactly the frames it missed — including
 // the terminal done frame — not a replay from scratch and not silence.

@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"hpas"
+)
+
+// StreamFlushQuantum bounds how many bytes a stream handler coalesces
+// into one Write+Flush. Frames already waiting in the follower channel
+// (or promised by Frame.More) are batched up to this size before the
+// connection is flushed, cutting per-message syscalls without letting
+// a fast producer delay delivery by more than one quantum.
+const StreamFlushQuantum = 32 << 10
+
+// streamBufPool recycles the per-connection assembly buffers. Buffers
+// are reset before reuse and never alias into anything retained — the
+// assembled bytes are handed to ResponseWriter.Write, which copies.
+var streamBufPool = sync.Pool{
+	New: func() any { return new(bytes.Buffer) },
+}
+
+// StreamWriter assembles wire-encoded stream frames (hpas.StreamFrame)
+// into SSE or NDJSON form in a pooled buffer and writes them to an
+// http.ResponseWriter in coalesced batches. It is the one place frame
+// bytes become wire bytes, shared by serve's stream handler and the
+// shard router's proxy so the two cannot drift. Not safe for
+// concurrent use; call Release when done to recycle the buffer.
+type StreamWriter struct {
+	w       http.ResponseWriter
+	flusher http.Flusher
+	sse     bool
+	buf     *bytes.Buffer
+	num     []byte // scratch for strconv.AppendInt, reused per frame
+}
+
+// NewStreamWriter returns a writer emitting SSE frames
+// ("id:/event:/data:" blocks) when sse is true and NDJSON lines
+// otherwise. The caller keeps ownership of w and must have written
+// headers already.
+func NewStreamWriter(w http.ResponseWriter, sse bool) *StreamWriter {
+	flusher, _ := w.(http.Flusher)
+	return &StreamWriter{
+		w:       w,
+		flusher: flusher,
+		sse:     sse,
+		buf:     streamBufPool.Get().(*bytes.Buffer),
+	}
+}
+
+// Append buffers one frame in wire form. The frame's Data bytes are
+// copied into the buffer immediately, so the caller may not retain any
+// reference past the call. Nothing reaches the client until Flush.
+func (sw *StreamWriter) Append(f hpas.StreamFrame) {
+	if sw.sse {
+		if f.Raw != nil {
+			// The producer already holds the frame's SSE wire block;
+			// forward it in one write instead of reassembling it.
+			sw.buf.Write(f.Raw)
+			return
+		}
+		sw.buf.WriteString("id: ")
+		sw.num = strconv.AppendInt(sw.num[:0], int64(f.Seq), 10)
+		sw.buf.Write(sw.num)
+		sw.buf.WriteString("\nevent: ")
+		sw.buf.WriteString(f.Type)
+		sw.buf.WriteString("\ndata: ")
+		sw.buf.Write(f.Data)
+		sw.buf.WriteString("\n\n")
+	} else {
+		sw.buf.Write(f.Data)
+		sw.buf.WriteByte('\n')
+	}
+}
+
+// Buffered reports how many assembled bytes await Flush.
+func (sw *StreamWriter) Buffered() int { return sw.buf.Len() }
+
+// Flush writes everything buffered to the connection in one Write and
+// flushes the ResponseWriter. A write error is returned (the client is
+// gone); the buffer is reset either way.
+func (sw *StreamWriter) Flush() error {
+	if sw.buf.Len() == 0 {
+		return nil
+	}
+	_, err := sw.w.Write(sw.buf.Bytes())
+	sw.buf.Reset()
+	if err != nil {
+		return err
+	}
+	if sw.flusher != nil {
+		sw.flusher.Flush()
+	}
+	return nil
+}
+
+// Release returns the assembly buffer to the pool. The writer must not
+// be used afterwards.
+func (sw *StreamWriter) Release() {
+	sw.buf.Reset()
+	streamBufPool.Put(sw.buf)
+	sw.buf = nil
+}
