@@ -107,13 +107,18 @@ type ShardHealth struct {
 }
 
 // ShardInfo is one member of a routed topology as the router sees it:
-// static identity, liveness, and the last health probe.
+// identity, membership state, and the last health probe.
 type ShardInfo struct {
 	Name string `json:"name"`
 	// Addr is the shard's base URL for remote shards; empty for
 	// in-process shards sharing the router's address space.
 	Addr  string `json:"addr,omitempty"`
 	Alive bool   `json:"alive"`
+	// State is the member's position in the membership state machine:
+	// "alive" (probes passing, placement-eligible), "draining" (admin
+	// asked it to leave; it serves its existing jobs but takes no new
+	// placements), or "down" (demoted after failed probes).
+	State string `json:"state,omitempty"`
 	// Jobs counts the router-tracked jobs currently owned by this shard
 	// (lost jobs keep pointing at the shard that lost them).
 	Jobs                int         `json:"jobs"`
@@ -133,23 +138,92 @@ type RouterStats struct {
 	ShardsRecovered int64 `json:"shards_recovered"` // down→alive transitions observed
 	ShardsAlive     int   `json:"shards_alive"`
 	RoutesTracked   int   `json:"routes_tracked"`
+
+	// Dynamic-membership counters.
+	Epoch            uint64 `json:"epoch"`             // current membership epoch
+	MembersAdded     int64  `json:"members_added"`     // runtime admin joins
+	MembersRemoved   int64  `json:"members_removed"`   // runtime admin removals (incl. completed drains)
+	JobsHandedOff    int64  `json:"jobs_handed_off"`   // terminal histories migrated via journal handoff
+	RoutesReclaimed  int64  `json:"routes_reclaimed"`  // routes rebound to a joining member that proved their history
+	OrphansCancelled int64  `json:"orphans_cancelled"` // zombie job copies cancelled on member rejoin
+	EpochConflicts   int64  `json:"epoch_conflicts"`   // divergence-probe routing refusals entered
 }
 
-// Topology is the GET /v1/topology response: the routing scheme and the
-// member list with per-shard health, plus the router counters.
+// Topology is the GET /v1/topology response and the canonical discovery
+// document for clients of a routed deployment: the routing scheme, the
+// membership version, and the member list with per-shard state, health,
+// and probe-failure counts, plus the router counters. Clients that
+// cache it should refresh whenever a response's Hpas-Epoch header
+// exceeds the cached epoch (hpas/client does this automatically).
 type Topology struct {
 	// Hashing names the placement scheme; currently always
 	// "rendezvous/fnv1a-64" (highest-random-weight hashing of the
 	// router-assigned job ID over the alive member set).
-	Hashing string      `json:"hashing"`
-	Shards  []ShardInfo `json:"shards"`
-	Router  RouterStats `json:"router"`
+	Hashing string `json:"hashing"`
+	// Epoch is the membership version: monotonically increasing,
+	// bumped by every admin membership mutation. Replicated routers
+	// sharing a member list must agree on it; see MemberSpec.Epoch.
+	Epoch uint64 `json:"epoch"`
+	// MembersHash is a hex digest of the administered member-name set,
+	// used by peer routers to detect same-epoch divergence.
+	MembersHash string      `json:"members_hash,omitempty"`
+	Shards      []ShardInfo `json:"shards"`
+	Router      RouterStats `json:"router"`
+}
+
+// MemberSpec is the POST /v1/admin/members body: one shard joining the
+// ring at runtime.
+type MemberSpec struct {
+	Name string `json:"name"`
+	// Addr is the shard's base URL (runtime joins are remote shards).
+	Addr string `json:"addr"`
+	// Epoch, when nonzero, makes the mutation conditional: it must
+	// equal the router's current membership epoch or the request fails
+	// with 409 Conflict — the compare-and-swap that keeps two operators
+	// (or two replicated routers applying the same plan) from crossing.
+	Epoch uint64 `json:"epoch,omitempty"`
+}
+
+// MemberList is the GET /v1/admin/members response (and the body of a
+// successful membership mutation): the administered member set at one
+// membership epoch.
+type MemberList struct {
+	Epoch       uint64      `json:"epoch"`
+	MembersHash string      `json:"members_hash,omitempty"`
+	Members     []ShardInfo `json:"members"`
+}
+
+// MemberChange reports what one membership mutation (POST or DELETE
+// on /v1/admin/members) did.
+type MemberChange struct {
+	Name string `json:"name"`
+	// Draining is true when the member was put into the draining state
+	// instead of being removed immediately; the router completes the
+	// removal once its running jobs finish (or the drain grace expires).
+	Draining bool `json:"draining"`
+	// Epoch is the membership epoch after the mutation.
+	Epoch uint64 `json:"epoch"`
+	// Requeued counts queued jobs re-homed to surviving members (under
+	// their journaled idempotency keys: exactly-once).
+	Requeued int `json:"requeued"`
+	// HandedOff counts terminal job histories migrated to their new
+	// rendezvous owner via journal handoff.
+	HandedOff int `json:"handed_off"`
+	// Lost counts running jobs finalized failed-by-shard-loss (hard
+	// removal only; a drain lets them finish).
+	Lost int `json:"lost"`
+	// Reclaimed counts routes rebound to a joining member that proved —
+	// via the first handoff record's idempotency key — that it holds
+	// their history (a replacement shard recovered from the dead
+	// member's journal).
+	Reclaimed int `json:"reclaimed,omitempty"`
 }
 
 // RouterReady is the router's GET /v1/readyz response: ready while at
-// least one shard is alive.
+// least one shard is alive and the divergence probe has not suspended
+// routing.
 type RouterReady struct {
-	Status string      `json:"status"` // "ok" | "no-shards"
+	Status string      `json:"status"` // "ok" | "no-shards" | "epoch-diverged"
 	Shards []ShardInfo `json:"shards"`
 }
 
@@ -166,3 +240,15 @@ const IdempotencyReplayedHeader = "Idempotency-Replayed"
 // MaxIdempotencyKeyLen bounds the accepted key length; longer keys
 // are rejected with 400.
 const MaxIdempotencyKeyLen = 256
+
+// EpochHeader names the response header a router stamps on every /v1
+// response with its current membership epoch. A client that cached
+// GET /v1/topology refreshes when the header exceeds the cached epoch —
+// the push half of topology discovery, without a watch channel.
+const EpochHeader = "Hpas-Epoch"
+
+// HandoffRecordsHeader names the GET /v1/handoff/{id} response header
+// carrying the job's total record count. A receiver interrupted
+// mid-transfer compares it against the records it holds and re-requests
+// the remainder with ?from=N.
+const HandoffRecordsHeader = "Hpas-Handoff-Records"

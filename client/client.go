@@ -83,6 +83,9 @@ type Client struct {
 
 	mu  sync.Mutex // guards rng
 	rng *xrand.RNG
+
+	epoch epochWatermark // highest membership epoch seen (see topology.go)
+	topo  topoCache      // epoch-keyed /v1/topology cache
 }
 
 // New returns a client for the server at baseURL (e.g.
@@ -304,6 +307,7 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, h
 		return nil, err
 	}
 	defer resp.Body.Close()
+	c.noteEpoch(resp.Header)
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		var envelope api.Error
 		json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&envelope)

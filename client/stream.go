@@ -170,6 +170,7 @@ func (c *Client) streamConnect(ctx context.Context, id string, from int) (*http.
 	if err != nil {
 		return nil, err
 	}
+	c.noteEpoch(resp.Header)
 	if resp.StatusCode != http.StatusOK {
 		defer resp.Body.Close()
 		ae := &APIError{StatusCode: resp.StatusCode, retryAfter: parseRetryAfter(resp.Header)}

@@ -1,0 +1,159 @@
+package hpasclient
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"hpas/api"
+)
+
+// Topology discovery and journal handoff: the client half of the
+// router's dynamic-membership contract.
+//
+// Every /v1 response from a router carries its membership epoch in the
+// api.EpochHeader; the client watermarks the highest epoch it has seen
+// (Epoch) and keys its cached GET /v1/topology document by it, so a
+// membership change observed on any call — a submit, a stream frame, a
+// probe — invalidates the cache and the next Topology call refetches.
+// That makes /v1/topology the canonical discovery document without a
+// watch channel: react to epoch movement, not to polling cadence.
+
+// topoCache is the client's epoch-keyed topology document.
+type topoCache struct {
+	mu    sync.Mutex
+	doc   api.Topology
+	epoch uint64 // epoch the cached doc was fetched at
+	valid bool
+}
+
+// epochWatermark tracks the highest api.EpochHeader seen; it lives
+// outside Client's option fields so the zero value stays cheap.
+type epochWatermark struct{ v atomic.Uint64 }
+
+func (w *epochWatermark) note(h http.Header) {
+	s := h.Get(api.EpochHeader)
+	if s == "" {
+		return
+	}
+	n, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return
+	}
+	for {
+		cur := w.v.Load()
+		if n <= cur || w.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Epoch returns the highest membership epoch observed in any response
+// from this server, 0 before one has been seen. A jump between two
+// calls means the member set changed in between.
+func (c *Client) Epoch() uint64 { return c.epoch.v.Load() }
+
+// noteEpoch records a response's membership epoch, if it carries one.
+func (c *Client) noteEpoch(h http.Header) { c.epoch.note(h) }
+
+// Topology fetches GET /v1/topology — the canonical discovery document:
+// hashing scheme, membership epoch, and the per-member state, health,
+// and probe-failure counts. The document is cached and served from
+// cache while the observed epoch matches the epoch it was fetched at;
+// any response revealing a newer epoch invalidates it.
+func (c *Client) Topology(ctx context.Context) (api.Topology, error) {
+	seen := c.Epoch()
+	c.topo.mu.Lock()
+	if c.topo.valid && c.topo.epoch >= seen {
+		doc := c.topo.doc
+		c.topo.mu.Unlock()
+		return doc, nil
+	}
+	c.topo.mu.Unlock()
+
+	var doc api.Topology
+	if _, err := c.doRetry(ctx, http.MethodGet, "/v1/topology", nil, nil, &doc); err != nil {
+		return api.Topology{}, err
+	}
+	c.topo.mu.Lock()
+	if !c.topo.valid || doc.Epoch >= c.topo.epoch {
+		c.topo.doc = doc
+		c.topo.epoch = doc.Epoch
+		c.topo.valid = true
+	}
+	c.topo.mu.Unlock()
+	return doc, nil
+}
+
+// Handoff streams job id's journal records from record offset from,
+// calling fn once per record line (without its newline). It returns the
+// job's total record count, so a transfer cut mid-stream resumes with
+// from set to the number of records already received. The line passed
+// to fn is only valid until fn returns; copy to retain. Handoff does
+// not retry — the caller owns resumption, that being the point of the
+// offset — and surfaces non-2xx responses as *APIError (409 means the
+// job is not terminal yet).
+func (c *Client) Handoff(ctx context.Context, id string, from int, fn func(rec []byte) error) (total int, err error) {
+	path := c.base + "/v1/handoff/" + id
+	if from > 0 {
+		path += "?from=" + strconv.Itoa(from)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	c.noteEpoch(resp.Header)
+	if resp.StatusCode != http.StatusOK {
+		ae := &APIError{StatusCode: resp.StatusCode, retryAfter: parseRetryAfter(resp.Header)}
+		var envelope api.Error
+		json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&envelope)
+		ae.Message = envelope.Error
+		return 0, ae
+	}
+	total, _ = strconv.Atoi(resp.Header.Get(api.HandoffRecordsHeader))
+
+	br := bufio.NewReaderSize(resp.Body, 64*1024)
+	for {
+		line, rerr := br.ReadBytes('\n')
+		if len(bytes.TrimSpace(line)) > 0 {
+			rec := bytes.TrimSuffix(line, []byte{'\n'})
+			rec = bytes.TrimSuffix(rec, []byte{'\r'})
+			if err := fn(rec); err != nil {
+				return total, err
+			}
+		}
+		if rerr == io.EOF {
+			return total, nil
+		}
+		if rerr != nil {
+			return total, fmt.Errorf("handoff %s: %w", id, rerr)
+		}
+	}
+}
+
+// Adopt posts a job history — record lines as produced by Handoff — to
+// the server's adopt endpoint under job id. replayed reports that the
+// history's idempotency key already named a job there (the server
+// deduped instead of importing).
+func (c *Client) Adopt(ctx context.Context, id string, recs [][]byte) (st api.JobStatus, replayed bool, err error) {
+	body := bytes.Join(recs, []byte{'\n'})
+	body = append(body, '\n')
+	hdr := http.Header{"Content-Type": {"application/x-ndjson"}}
+	resp, err := c.doRetry(ctx, http.MethodPost, "/v1/handoff/"+id, body, hdr, &st)
+	if err != nil {
+		return st, false, err
+	}
+	return st, resp.Header.Get(api.IdempotencyReplayedHeader) == "true", nil
+}

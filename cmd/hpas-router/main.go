@@ -11,9 +11,23 @@
 //	GET    /v1/jobs/{id}/stream proxied NDJSON/SSE stream (resumable)
 //	DELETE /v1/jobs/{id}        cancel on the owning shard
 //	GET    /v1/metrics          router counters + per-shard telemetry
-//	GET    /v1/topology         ring members, health, ownership counts
-//	GET    /v1/readyz           ready while ≥1 shard is alive
+//	GET    /v1/topology         membership epoch, members, health, ownership
+//	GET    /v1/readyz           ready while ≥1 shard is alive and no epoch conflict
 //	GET    /v1/healthz          liveness
+//
+// Membership is runtime-mutable through the admin endpoints:
+//
+//	GET    /v1/admin/members         administered member set + epoch
+//	POST   /v1/admin/members         join a shard: {"name","addr"[,"epoch"]}
+//	DELETE /v1/admin/members/{name}  drain (default) or ?drain=false to force
+//
+// Every membership change bumps an epoch; replicated routers given the
+// same -epoch seed and the same admin mutations assign identical job
+// IDs and placements, and the -peers divergence probe suspends routing
+// (503) if replicas ever disagree. A draining member takes no new
+// placements, has its queued jobs re-homed exactly once, and hands its
+// finished jobs' journal histories to the members inheriting them
+// before it is detached.
 //
 // Two deployment shapes:
 //
@@ -61,6 +75,9 @@ func main() {
 	queue := flag.Int("queue", 16, "per-shard pending-job queue capacity (-local mode)")
 	checkInterval := flag.Duration("check-interval", time.Second, "shard health-probe period")
 	failAfter := flag.Int("fail-after", 2, "consecutive failed probes before a shard leaves the ring")
+	peers := flag.String("peers", "", "comma-separated base URLs of replicated peer routers (epoch divergence probe)")
+	epoch := flag.Uint64("epoch", 1, "initial membership epoch (replicated routers must agree)")
+	drainGrace := flag.Duration("drain-grace", 0, "max time a draining shard may hold running jobs before removal is forced (0 waits)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown budget")
 	trainApps := flag.String("train-apps", "CoMD", "comma-separated Table 2 apps for detector training (-local mode)")
 	trainClasses := flag.String("train-classes", "", "comma-separated anomaly classes to train on (default: all) (-local mode)")
@@ -106,6 +123,9 @@ func main() {
 		CheckInterval: *checkInterval,
 		FailAfter:     *failAfter,
 		Logf:          log.Printf,
+		InitialEpoch:  *epoch,
+		Peers:         splitCSV(*peers),
+		DrainGrace:    *drainGrace,
 	})
 	if err != nil {
 		log.Fatalf("hpas-router: %v", err)

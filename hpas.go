@@ -28,6 +28,7 @@ package hpas
 
 import (
 	"context"
+	"io"
 
 	"hpas/internal/anomaly"
 	"hpas/internal/apps"
@@ -348,6 +349,24 @@ func NewStreamManager(cfg StreamConfig) *StreamManager { return stream.NewManage
 // StreamConfig.Store and feed Recover's result to StreamManager.Reopen.
 func OpenStreamJournal(dir string) (*StreamJournal, error) {
 	return journal.Open(dir, journal.Options{})
+}
+
+// EncodeStreamRecords renders a job snapshot (StreamJob.Snapshot) as
+// journal record lines — the wire format of shard-to-shard journal
+// handoff. Lines carry no trailing newline; joined with '\n' they form
+// a valid journal file body, and Replay'd at another shard they yield a
+// byte-identical stream replay.
+func EncodeStreamRecords(rj StreamRecoveredJob) ([][]byte, error) {
+	return journal.EncodeRecords(rj)
+}
+
+// ReplayStreamRecords folds handoff record lines back into a
+// StreamRecoveredJob (for StreamManager.Adopt), returning the number of
+// complete records consumed; unlike disk recovery, a torn or corrupt
+// line is an error so an interrupted transfer is re-fetched from that
+// offset rather than adopted truncated.
+func ReplayStreamRecords(r io.Reader) (StreamRecoveredJob, int, error) {
+	return journal.Replay(r)
 }
 
 // NewResilientStreamStore wraps a StreamStore so a flaky or dead

@@ -2,7 +2,10 @@ package shard
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -178,7 +181,6 @@ func TestChaosRouterSurvivesShardLossUnderLiveTraffic(t *testing.T) {
 			prev = m.Seq
 		}
 	}
-
 	// Live followers through the router: one on the job that is about
 	// to die with its shard, one on a survivor's running job.
 	type follow struct {
@@ -314,5 +316,600 @@ func TestChaosRouterSurvivesShardLossUnderLiveTraffic(t *testing.T) {
 	stats := rt.Stats()
 	if stats.ShardsDown != 1 || stats.JobsLost != 1 || int(stats.Resubmitted) != len(victimQueued) {
 		t.Fatalf("stats = %+v, want 1 shard down, 1 job lost, %d resubmitted", stats, len(victimQueued))
+	}
+}
+
+// TestChaosMembershipChurnUnderLiveTraffic is the dynamic-membership
+// acceptance proof: a shard joins the ring over the admin API, another
+// drains out gracefully, a third is crash-killed and replaced by a
+// fresh process recovered from the dead member's journal — all with
+// live submissions and SSE followers attached. Throughout: queued jobs
+// are re-placed exactly once (proven by replaying the router's
+// idempotency key directly at the inheriting shard), terminal
+// histories move by journal handoff and replay byte-identically —
+// Last-Event-ID resume included — lost routes are reclaimed from the
+// replacement's recovered journal, no follower loses or duplicates a
+// frame, and the merged listing keeps submission order.
+func TestChaosMembershipChurnUnderLiveTraffic(t *testing.T) {
+	det := detector(t)
+	ctx := ctxT(t)
+
+	type churnShard struct {
+		name  string
+		dir   string
+		mgr   *hpas.StreamManager
+		store hpas.StreamStore
+		ts    *httptest.Server
+	}
+	shards := map[string]*churnShard{}
+	direct := map[string]*hpasclient.Client{}
+	newShard := func(name, dir string) *churnShard {
+		t.Helper()
+		store, recovered := serve.OpenJournal(dir, t.Logf)
+		mgr := hpas.NewStreamManager(hpas.StreamConfig{Workers: 1, Queue: 32, Store: store})
+		if err := mgr.Reopen(recovered); err != nil {
+			t.Fatalf("reopening %s: %v", dir, err)
+		}
+		ts := httptest.NewServer(serve.New(mgr, det, serve.Config{}).Handler())
+		sh := &churnShard{name: name, dir: dir, mgr: mgr, store: store, ts: ts}
+		shards[name] = sh
+		direct[name] = hpasclient.New(ts.URL, fastClientOptions(int64(100+len(shards))))
+		t.Cleanup(func() {
+			ts.Close()
+			mgr.Close()
+			if store != nil {
+				store.Close()
+			}
+		})
+		return sh
+	}
+
+	boot := []string{"shard0", "shard1"}
+	var members []Member
+	for i, name := range boot {
+		sh := newShard(name, t.TempDir())
+		members = append(members, Member{
+			Name: name,
+			Addr: sh.ts.URL,
+			Backend: NewRemote(sh.ts.URL, RemoteOptions{
+				Client:       fastClientOptions(int64(i)),
+				ProbeTimeout: time.Second,
+			}),
+		})
+	}
+	rt, err := NewRouter(members, Config{
+		CheckInterval: 100 * time.Millisecond,
+		FailAfter:     2,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := rt.Close(); err != nil {
+			t.Errorf("router close: %v", err)
+		}
+	})
+	rts := httptest.NewServer(rt.Handler())
+	t.Cleanup(rts.Close)
+	cl := hpasclient.New(rts.URL, fastClientOptions(42))
+
+	adminURL := rts.URL + "/v1/admin/members"
+	postMember := func(name, addr string) (api.MemberChange, http.Header) {
+		t.Helper()
+		body := fmt.Sprintf(`{"name":%q,"addr":%q}`, name, addr)
+		req, _ := http.NewRequestWithContext(ctx, "POST", adminURL, strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var ch api.MemberChange
+		if err := json.NewDecoder(resp.Body).Decode(&ch); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("member add %s = %d (%+v), want 201", name, resp.StatusCode, ch)
+		}
+		return ch, resp.Header
+	}
+	deleteMember := func(name string, drain bool) api.MemberChange {
+		t.Helper()
+		url := adminURL + "/" + name
+		if !drain {
+			url += "?drain=false"
+		}
+		req, _ := http.NewRequestWithContext(ctx, "DELETE", url, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var ch api.MemberChange
+		if err := json.NewDecoder(resp.Body).Decode(&ch); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("member remove %s = %d (%+v), want 200", name, resp.StatusCode, ch)
+		}
+		return ch
+	}
+	getMembers := func() api.MemberList {
+		t.Helper()
+		req, _ := http.NewRequestWithContext(ctx, "GET", adminURL, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var ml api.MemberList
+		if err := json.NewDecoder(resp.Body).Decode(&ml); err != nil {
+			t.Fatal(err)
+		}
+		return ml
+	}
+	// sseBody captures a terminal job's raw SSE replay through the
+	// router — the byte-identity oracle for handoff and reclaim.
+	sseBody := func(gid, lastEventID string) string {
+		t.Helper()
+		req, _ := http.NewRequestWithContext(ctx, "GET", rts.URL+"/v1/jobs/"+gid+"/stream", nil)
+		req.Header.Set("Accept", "text/event-stream")
+		if lastEventID != "" {
+			req.Header.Set("Last-Event-ID", lastEventID)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("stream %s = %d, want 200", gid, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("stream %s: %v", gid, err)
+		}
+		return string(b)
+	}
+	waitGet := func(gid string, cond func(api.JobStatus) bool) api.JobStatus {
+		t.Helper()
+		for {
+			st, err := cl.Get(ctx, gid)
+			if err != nil {
+				t.Fatalf("get %s: %v", gid, err)
+			}
+			if cond(st) {
+				return st
+			}
+			select {
+			case <-ctx.Done():
+				t.Fatalf("timeout waiting on %s (last %+v)", gid, st)
+			case <-time.After(20 * time.Millisecond):
+			}
+		}
+	}
+	replay := func(gid string) []hpas.StreamMessage {
+		t.Helper()
+		var msgs []hpas.StreamMessage
+		if err := cl.Stream(ctx, gid, 0, func(m hpas.StreamMessage) error {
+			msgs = append(msgs, m)
+			return nil
+		}); err != nil {
+			t.Fatalf("replay %s: %v", gid, err)
+		}
+		return msgs
+	}
+	marshal := func(v any) string {
+		t.Helper()
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	checkExactlyOnce := func(label string, msgs []hpas.StreamMessage) {
+		t.Helper()
+		prev := -1
+		for i, m := range msgs {
+			if m.Seq <= prev {
+				t.Fatalf("%s frame %d has seq %d after seq %d; delivery must be exactly-once", label, i, m.Seq, prev)
+			}
+			if m.Seq != prev+1 && m.Type != "gap" {
+				t.Fatalf("%s frame %d (%s) jumped %d→%d without a gap frame; messages were lost silently", label, i, m.Type, prev, m.Seq)
+			}
+			prev = m.Seq
+		}
+	}
+	// replayCovers proves a terminal replay is the complete history every
+	// live frame came from: seq-contiguous from 0, and every non-gap
+	// frame a follower observed appears at its seq, byte-for-byte.
+	replayCovers := func(label string, live, full []hpas.StreamMessage) {
+		t.Helper()
+		idx := map[int]string{}
+		for i, m := range full {
+			if m.Seq != i {
+				t.Fatalf("%s: replay frame %d has seq %d; a journal replay must be gapless", label, i, m.Seq)
+			}
+			idx[m.Seq] = marshal(m)
+		}
+		for i, m := range live {
+			if m.Type == "gap" {
+				continue
+			}
+			got, ok := idx[m.Seq]
+			if !ok {
+				t.Fatalf("%s: live frame %d (seq %d) is missing from the replay", label, i, m.Seq)
+			}
+			if got != marshal(m) {
+				t.Fatalf("%s: frame seq %d differs:\n live   %s\n replay %s", label, m.Seq, marshal(m), got)
+			}
+		}
+	}
+
+	// --- Join: a third shard enters the ring at runtime. ---
+	sh2 := newShard("shard2", t.TempDir())
+	ch, hdr := postMember("shard2", sh2.ts.URL)
+	if ch.Epoch != 2 || hdr.Get(api.EpochHeader) != "2" {
+		t.Fatalf("join bumped epoch to %d (header %q), want 2", ch.Epoch, hdr.Get(api.EpochHeader))
+	}
+	names := []string{"shard0", "shard1", "shard2"}
+	// The new epoch watermarks ordinary traffic, not just admin calls.
+	lreq, _ := http.NewRequestWithContext(ctx, "GET", rts.URL+"/v1/jobs", nil)
+	lresp, err := http.DefaultClient.Do(lreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, lresp.Body)
+	lresp.Body.Close()
+	if got := lresp.Header.Get(api.EpochHeader); got != "2" {
+		t.Fatalf("listing carries epoch %q, want 2", got)
+	}
+
+	// --- Fixture: finished history plus pinned workers on every shard. ---
+	var order []string // every accepted gid, in submission order
+	finished := map[string][]string{}
+	for i := 0; ; i++ {
+		if i > 24 {
+			t.Fatalf("fixture: finished jobs never covered all shards: %v", finished)
+		}
+		st, replayed, err := cl.SubmitKeyed(ctx, api.JobRequest{Seed: uint64(i + 1), Duration: 25, Window: 10}, fmt.Sprintf("churn-fin-%02d", i))
+		if err != nil {
+			t.Fatalf("submit fin %d: %v", i, err)
+		}
+		if replayed {
+			t.Fatalf("fresh submission %d reported as replay", i)
+		}
+		order = append(order, st.ID)
+		owner := rendezvousOwner(st.ID, names)
+		finished[owner] = append(finished[owner], st.ID)
+		if len(finished["shard0"]) > 0 && len(finished["shard1"]) > 0 && len(finished["shard2"]) > 0 {
+			break
+		}
+	}
+	for _, name := range names {
+		for _, gid := range finished[name] {
+			if st := waitGet(gid, api.JobStatus.Final); st.State != "done" {
+				t.Fatalf("finished-fixture job %s ended %s (%s)", gid, st.State, st.Error)
+			}
+		}
+	}
+	fullBefore, resumeBefore := map[string]string{}, map[string]string{}
+	for _, name := range names {
+		for _, gid := range finished[name] {
+			fullBefore[gid] = sseBody(gid, "")
+			resumeBefore[gid] = sseBody(gid, "1")
+		}
+	}
+
+	endlessBy := map[string][]string{}
+	for i := 0; ; i++ {
+		if i > 40 {
+			t.Fatalf("fixture: endless jobs never pinned all shards: %v", endlessBy)
+		}
+		st, _, err := cl.SubmitKeyed(ctx, endless(uint64(100+i)), fmt.Sprintf("churn-run-%02d", i))
+		if err != nil {
+			t.Fatalf("submit run %d: %v", i, err)
+		}
+		order = append(order, st.ID)
+		owner := rendezvousOwner(st.ID, names)
+		endlessBy[owner] = append(endlessBy[owner], st.ID)
+		if len(endlessBy["shard0"]) >= 2 && len(endlessBy["shard1"]) >= 2 && len(endlessBy["shard2"]) >= 2 {
+			break
+		}
+	}
+	for _, name := range names {
+		waitGet(endlessBy[name][0], func(st api.JobStatus) bool { return st.State == "running" })
+	}
+
+	drainee, killee, survivor := "shard2", "shard0", "shard1"
+
+	type follow struct {
+		mu   sync.Mutex
+		msgs []hpas.StreamMessage
+		err  error
+		done chan struct{}
+	}
+	start := func(cctx context.Context, gid string) *follow {
+		f := &follow{done: make(chan struct{})}
+		go func() {
+			defer close(f.done)
+			f.err = cl.Stream(cctx, gid, 0, func(m hpas.StreamMessage) error {
+				f.mu.Lock()
+				f.msgs = append(f.msgs, m)
+				f.mu.Unlock()
+				return nil
+			})
+		}()
+		return f
+	}
+	count := func(f *follow) int {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		return len(f.msgs)
+	}
+	snapshotMsgs := func(f *follow) []hpas.StreamMessage {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		return append([]hpas.StreamMessage(nil), f.msgs...)
+	}
+	survCtx, survCancel := context.WithCancel(ctx)
+	defer survCancel()
+	survFollow := start(survCtx, endlessBy[survivor][0])
+	drainFollow := start(ctx, endlessBy[drainee][0])
+	killFollow := start(ctx, endlessBy[killee][0])
+	for count(survFollow) < 3 || count(drainFollow) < 3 || count(killFollow) < 3 {
+		select {
+		case <-ctx.Done():
+			t.Fatal("followers never saw live traffic")
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+
+	before, err := cl.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) != len(order) {
+		t.Fatalf("listing holds %d jobs, want %d", len(before), len(order))
+	}
+	for i := range before {
+		if before[i].ID != order[i] {
+			t.Fatalf("listing position %d is %s, want submission order %s", i, before[i].ID, order[i])
+		}
+	}
+
+	// --- Leave: drain the runtime-joined shard back out. ---
+	draineeQueued := endlessBy[drainee][1:]
+	ch = deleteMember(drainee, true)
+	if !ch.Draining || ch.Epoch != 3 {
+		t.Fatalf("drain start = %+v, want draining at epoch 3", ch)
+	}
+	if ch.Requeued != len(draineeQueued) || ch.HandedOff != len(finished[drainee]) || ch.Lost != 0 {
+		t.Fatalf("drain start = %+v, want %d requeued, %d handed off, 0 lost",
+			ch, len(draineeQueued), len(finished[drainee]))
+	}
+	remaining := []string{killee, survivor}
+	for _, gid := range draineeQueued {
+		st := waitGet(gid, func(st api.JobStatus) bool { return st.State != "failed" })
+		if st.Final() {
+			t.Fatalf("re-homed job %s ended %s (%s); queued work must survive a drain", gid, st.State, st.Error)
+		}
+		newOwner := rendezvousOwner(gid, remaining)
+		rst, replayed, err := direct[newOwner].SubmitKeyed(ctx, endless(0), "hpasr-"+gid)
+		if err != nil {
+			t.Fatalf("probe submit for %s at %s: %v", gid, newOwner, err)
+		}
+		if !replayed {
+			t.Fatalf("key hpasr-%s at %s started a new job %s; the drain duplicated work", gid, newOwner, rst.ID)
+		}
+		endlessBy[newOwner] = append(endlessBy[newOwner], gid)
+	}
+	for _, gid := range finished[drainee] {
+		if got := sseBody(gid, ""); got != fullBefore[gid] {
+			t.Fatalf("handed-off replay of %s is not byte-identical to the source", gid)
+		}
+		if got := sseBody(gid, "1"); got != resumeBefore[gid] {
+			t.Fatalf("handed-off Last-Event-ID resume of %s is not byte-identical to the source", gid)
+		}
+	}
+	// The draining member keeps serving its running job's live stream.
+	draining := false
+	for _, si := range rt.Topology().Shards {
+		if si.Name == drainee && si.State == "draining" {
+			draining = true
+		}
+	}
+	if !draining {
+		t.Fatalf("topology does not show %s draining: %+v", drainee, rt.Topology().Shards)
+	}
+	seen := count(drainFollow)
+	for count(drainFollow) <= seen {
+		select {
+		case <-ctx.Done():
+			t.Fatal("draining member stopped serving its running job's stream")
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+
+	// Finishing the running job (here: cancelling it) completes the
+	// drain; the member detaches and the cancelled job's history is
+	// handed off like any other terminal history.
+	if _, err := cl.Cancel(ctx, endlessBy[drainee][0]); err != nil {
+		t.Fatalf("cancel %s: %v", endlessBy[drainee][0], err)
+	}
+	select {
+	case <-drainFollow.done:
+	case <-ctx.Done():
+		t.Fatal("drain follower still blocked after cancellation")
+	}
+	if drainFollow.err != nil {
+		t.Fatalf("drain follower error: %v", drainFollow.err)
+	}
+	dmsgs := snapshotMsgs(drainFollow)
+	if last := dmsgs[len(dmsgs)-1]; last.Type != "done" || last.State != hpas.StreamJobCancelled {
+		t.Fatalf("drain follower's last frame = %+v, want a done/cancelled frame", last)
+	}
+	checkExactlyOnce("drain follower", dmsgs)
+	for {
+		ml := getMembers()
+		if len(ml.Members) == 2 && ml.Epoch == 4 {
+			break
+		}
+		rt.CheckNow()
+		select {
+		case <-ctx.Done():
+			t.Fatalf("drained member never detached: %+v", getMembers())
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	drainReplay := replay(endlessBy[drainee][0])
+	replayCovers("drained job", dmsgs, drainReplay)
+	if last := drainReplay[len(drainReplay)-1]; last.Type != "done" || last.State != hpas.StreamJobCancelled {
+		t.Fatalf("handed-off terminal frame = %+v, want done/cancelled", last)
+	}
+
+	// --- Live traffic continues at the new epoch. ---
+	for i := 0; i < 2; i++ {
+		st, _, err := cl.SubmitKeyed(ctx, endless(uint64(200+i)), fmt.Sprintf("churn-mid-%02d", i))
+		if err != nil {
+			t.Fatalf("submit mid %d: %v", i, err)
+		}
+		if !strings.HasPrefix(st.ID, "g4-") {
+			t.Fatalf("post-drain gid %s is not at epoch 4", st.ID)
+		}
+		order = append(order, st.ID)
+		owner := rendezvousOwner(st.ID, remaining)
+		endlessBy[owner] = append(endlessBy[owner], st.ID)
+	}
+
+	// --- Crash: a boot shard's network dies mid-traffic. ---
+	killRunning := endlessBy[killee][0]
+	killQueued := endlessBy[killee][1:]
+	preKill := count(survFollow)
+	shards[killee].ts.CloseClientConnections()
+	shards[killee].ts.Close()
+	rt.CheckNow()
+	rt.CheckNow()
+	for _, gid := range killQueued {
+		st := waitGet(gid, func(st api.JobStatus) bool { return st.State != "failed" })
+		if st.Final() {
+			t.Fatalf("re-placed job %s ended %s (%s); queued work must survive shard loss", gid, st.State, st.Error)
+		}
+		rst, replayed, err := direct[survivor].SubmitKeyed(ctx, endless(0), "hpasr-"+gid)
+		if err != nil {
+			t.Fatalf("probe submit for %s at %s: %v", gid, survivor, err)
+		}
+		if !replayed {
+			t.Fatalf("key hpasr-%s at %s started a new job %s; failover duplicated work", gid, survivor, rst.ID)
+		}
+	}
+	if st := waitGet(killRunning, api.JobStatus.Final); st.State != "failed" || !strings.Contains(st.Error, "failed-by-shard-loss") {
+		t.Fatalf("killed shard's running job ended %s (%q), want failed-by-shard-loss", st.State, st.Error)
+	}
+	select {
+	case <-killFollow.done:
+	case <-ctx.Done():
+		t.Fatal("kill follower still blocked after failover")
+	}
+	if killFollow.err != nil {
+		t.Fatalf("kill follower error: %v", killFollow.err)
+	}
+	kmsgs := snapshotMsgs(killFollow)
+	if last := kmsgs[len(kmsgs)-1]; last.Type != "done" || !strings.Contains(last.Error, "failed-by-shard-loss") {
+		t.Fatalf("kill follower's last frame = %+v, want a done frame carrying failed-by-shard-loss", last)
+	}
+	checkExactlyOnce("kill follower", kmsgs)
+
+	// --- Replace: hard-remove the corpse, then re-admit a fresh process
+	// recovered from the dead member's journal. Its routes come back. ---
+	shards[killee].mgr.Close() // the "process" dies for real now
+	if shards[killee].store != nil {
+		shards[killee].store.Close()
+	}
+	wantReclaim := 1 + len(finished[killee]) // its lost running job + its own finished history
+	for _, gid := range finished[drainee] {
+		if rendezvousOwner(gid, remaining) == killee {
+			wantReclaim++ // drain handoffs it adopted and journaled
+		}
+	}
+	if rendezvousOwner(endlessBy[drainee][0], remaining) == killee {
+		wantReclaim++
+	}
+	ch = deleteMember(killee, false)
+	if ch.Draining || ch.Epoch != 6 {
+		t.Fatalf("hard removal = %+v, want immediate detach at epoch 6", ch)
+	}
+	repl := newShard(killee, shards[killee].dir)
+	ch, _ = postMember(killee, repl.ts.URL)
+	if ch.Epoch != 7 {
+		t.Fatalf("replacement join = %+v, want epoch 7", ch)
+	}
+	if ch.Reclaimed != wantReclaim {
+		t.Fatalf("replacement reclaimed %d route(s), want %d", ch.Reclaimed, wantReclaim)
+	}
+	for _, gid := range finished[killee] {
+		if got := sseBody(gid, ""); got != fullBefore[gid] {
+			t.Fatalf("reclaimed replay of %s is not byte-identical to the pre-crash stream", gid)
+		}
+		if got := sseBody(gid, "1"); got != resumeBefore[gid] {
+			t.Fatalf("reclaimed Last-Event-ID resume of %s is not byte-identical to the pre-crash stream", gid)
+		}
+	}
+	// The lost running job's synthesized terminal frame is replaced by
+	// its real journaled history: everything its follower saw live, plus
+	// the genuine terminal record from the recovered journal.
+	rmsgs := replay(killRunning)
+	replayCovers("reclaimed job", kmsgs[:len(kmsgs)-1], rmsgs) // the follower's last frame was synthesized
+	if last := rmsgs[len(rmsgs)-1]; last.Type != "done" || strings.Contains(last.Error, "failed-by-shard-loss") {
+		t.Fatalf("reclaimed terminal frame = %+v, want the journaled terminal state, not the synthesized loss", last)
+	}
+
+	// --- The ring routes on: fresh work lands at the final epoch. ---
+	st, _, err := cl.SubmitKeyed(ctx, endless(250), "churn-final")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(st.ID, "g7-") {
+		t.Fatalf("post-replacement gid %s is not at epoch 7", st.ID)
+	}
+	order = append(order, st.ID)
+
+	for count(survFollow) <= preKill {
+		select {
+		case <-ctx.Done():
+			t.Fatal("survivor stream stalled across the churn")
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	survCancel()
+	<-survFollow.done
+	checkExactlyOnce("survivor follower", snapshotMsgs(survFollow))
+
+	after, err := cl.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(order) {
+		t.Fatalf("listing holds %d jobs after churn, want %d", len(after), len(order))
+	}
+	for i := range after {
+		if after[i].ID != order[i] {
+			t.Fatalf("listing position %d is %s after churn, want %s; merged order must be stable", i, after[i].ID, order[i])
+		}
+	}
+
+	stats := rt.Stats()
+	if stats.Epoch != 7 || stats.MembersAdded != 2 || stats.MembersRemoved != 2 {
+		t.Fatalf("stats = %+v, want epoch 7 with 2 members added and 2 removed", stats)
+	}
+	if int(stats.JobsHandedOff) != len(finished[drainee])+1 {
+		t.Fatalf("JobsHandedOff = %d, want %d", stats.JobsHandedOff, len(finished[drainee])+1)
+	}
+	if int(stats.RoutesReclaimed) != wantReclaim {
+		t.Fatalf("RoutesReclaimed = %d, want %d", stats.RoutesReclaimed, wantReclaim)
+	}
+	if stats.JobsLost != 1 || stats.ShardsDown != 1 || stats.EpochConflicts != 0 {
+		t.Fatalf("stats = %+v, want 1 job lost, 1 shard down, 0 epoch conflicts", stats)
 	}
 }

@@ -18,8 +18,11 @@ import (
 // Handler builds the router's mux: the same /v1 surface hpas-serve
 // exposes — so every client, including hpas/client and another
 // router's Remote backend, works unchanged — plus /v1/topology for the
-// ring view. Probe endpoints answer versioned and unversioned, like
-// the shards they aggregate.
+// ring view and the /v1/admin/members endpoints that mutate membership
+// at runtime. Probe endpoints answer versioned and unversioned, like
+// the shards they aggregate. Every response carries the membership
+// epoch in the api.EpochHeader, so clients (and peer routers) observe
+// membership changes on whatever call they make next.
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", withDeadline(30*time.Second, rt.handleSubmit))
@@ -29,11 +32,24 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", rt.handleStream)
 	mux.HandleFunc("GET /v1/metrics", withDeadline(10*time.Second, rt.handleMetrics))
 	mux.HandleFunc("GET /v1/topology", withDeadline(10*time.Second, rt.handleTopology))
+	mux.HandleFunc("GET /v1/admin/members", withDeadline(10*time.Second, rt.handleMembersGet))
+	mux.HandleFunc("POST /v1/admin/members", withDeadline(60*time.Second, rt.handleMemberAdd))
+	mux.HandleFunc("DELETE /v1/admin/members/{id}", withDeadline(60*time.Second, rt.handleMemberRemove))
 	mux.HandleFunc("GET /v1/healthz", withDeadline(5*time.Second, rt.handleHealthz))
 	mux.HandleFunc("GET /v1/readyz", withDeadline(5*time.Second, rt.handleReadyz))
 	mux.HandleFunc("GET /healthz", withDeadline(5*time.Second, rt.handleHealthz))
 	mux.HandleFunc("GET /readyz", withDeadline(5*time.Second, rt.handleReadyz))
-	return mux
+	return rt.withEpoch(mux)
+}
+
+// withEpoch stamps the current membership epoch on every response, the
+// push half of topology discovery: a client caching /v1/topology
+// refreshes when any response reveals a newer epoch.
+func (rt *Router) withEpoch(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(api.EpochHeader, strconv.FormatUint(rt.Epoch(), 10))
+		next.ServeHTTP(w, r)
+	})
 }
 
 // withDeadline bounds a handler's request context. The submit deadline
@@ -58,7 +74,10 @@ func httpStatusFor(err error) int {
 		return http.StatusBadRequest
 	case errors.Is(err, hpas.ErrStreamQueueFull):
 		return http.StatusTooManyRequests
-	case errors.Is(err, hpas.ErrStreamClosed), errors.Is(err, ErrNoShards), errors.Is(err, ErrShardDown):
+	case errors.Is(err, ErrEpochMismatch):
+		return http.StatusConflict
+	case errors.Is(err, hpas.ErrStreamClosed), errors.Is(err, ErrNoShards),
+		errors.Is(err, ErrShardDown), errors.Is(err, ErrEpochDiverged):
 		return http.StatusServiceUnavailable
 	case errors.As(err, &ae):
 		return ae.StatusCode
@@ -192,10 +211,69 @@ func (rt *Router) handleTopology(w http.ResponseWriter, r *http.Request) {
 	serve.WriteJSON(w, http.StatusOK, rt.Topology())
 }
 
+// handleMembersGet serves the administered member list at its epoch.
+func (rt *Router) handleMembersGet(w http.ResponseWriter, r *http.Request) {
+	serve.WriteJSON(w, http.StatusOK, rt.Members())
+}
+
+// handleMemberAdd admits a remote shard into the ring: the MemberSpec
+// names it and gives its base URL, and an optional epoch field makes
+// the join conditional (409 on mismatch).
+func (rt *Router) handleMemberAdd(w http.ResponseWriter, r *http.Request) {
+	var spec api.MemberSpec
+	if err := serve.DecodeJSON(w, r, &spec); err != nil {
+		serve.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	if spec.Name == "" || spec.Addr == "" {
+		serve.WriteError(w, http.StatusBadRequest, errors.New("member needs a name and an addr"))
+		return
+	}
+	be := NewRemote(spec.Addr, RemoteOptions{})
+	ch, err := rt.AddMember(r.Context(), Member{Name: spec.Name, Addr: spec.Addr, Backend: be}, spec.Epoch)
+	if err != nil {
+		rt.writeOpError(w, err)
+		return
+	}
+	w.Header().Set(api.EpochHeader, strconv.FormatUint(ch.Epoch, 10))
+	serve.WriteJSON(w, http.StatusCreated, ch)
+}
+
+// handleMemberRemove drains (default) or hard-removes (?drain=false) a
+// member. ?epoch=N is the CAS precondition.
+func (rt *Router) handleMemberRemove(w http.ResponseWriter, r *http.Request) {
+	drain := true
+	if v := r.URL.Query().Get("drain"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			serve.WriteError(w, http.StatusBadRequest, fmt.Errorf("bad drain value %q", v))
+			return
+		}
+		drain = b
+	}
+	var expectEpoch uint64
+	if v := r.URL.Query().Get("epoch"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			serve.WriteError(w, http.StatusBadRequest, fmt.Errorf("bad epoch value %q", v))
+			return
+		}
+		expectEpoch = n
+	}
+	ch, err := rt.RemoveMember(r.Context(), r.PathValue("id"), drain, expectEpoch)
+	if err != nil {
+		rt.writeOpError(w, err)
+		return
+	}
+	w.Header().Set(api.EpochHeader, strconv.FormatUint(ch.Epoch, 10))
+	serve.WriteJSON(w, http.StatusOK, ch)
+}
+
 func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	serve.WriteJSON(w, http.StatusOK, map[string]any{
 		"status": "ok",
-		"shards": len(rt.members),
+		"shards": len(rt.mem.snapshot()),
+		"epoch":  rt.Epoch(),
 	})
 }
 

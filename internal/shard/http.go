@@ -184,6 +184,33 @@ func (r *Remote) Metrics(ctx context.Context) (hpas.StreamStats, error) {
 	return body.Service, nil
 }
 
+// Handoff implements Backend via the client's journal-handoff stream.
+// fn errors come back as-is; transport and API failures are classified
+// like every other call (a 409 — job not terminal yet — maps to
+// ErrBadRequest, so the caller knows retrying cannot help until the
+// job finishes).
+func (r *Remote) Handoff(ctx context.Context, id string, from int, fn func(rec []byte) error) error {
+	var fnErr error
+	_, err := r.c.Handoff(ctx, id, from, func(rec []byte) error {
+		if e := fn(rec); e != nil {
+			fnErr = e
+			return e
+		}
+		return nil
+	})
+	if fnErr != nil {
+		return fnErr
+	}
+	return mapErr(err)
+}
+
+// Adopt implements Backend: POST the record lines to the shard's adopt
+// endpoint.
+func (r *Remote) Adopt(ctx context.Context, id string, recs [][]byte) (api.JobStatus, bool, error) {
+	st, replayed, err := r.c.Adopt(ctx, id, recs)
+	return st, replayed, mapErr(err)
+}
+
 // Close implements Backend. The remote process owns its own lifecycle;
 // there is nothing to release here.
 func (r *Remote) Close() error { return nil }

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"net/http"
@@ -247,6 +248,61 @@ func (l *Local) Metrics(ctx context.Context) (hpas.StreamStats, error) {
 		return hpas.StreamStats{}, ErrShardDown
 	}
 	return l.mgr.Stats(), nil
+}
+
+// Handoff implements Backend: the job's history is snapshotted and
+// encoded into journal records, and the records from offset `from` on
+// are handed to fn. Only terminal jobs hand off — a live job's history
+// is still growing, and the adopter would import a torn prefix.
+func (l *Local) Handoff(ctx context.Context, id string, from int, fn func(rec []byte) error) error {
+	if l.down() {
+		return ErrShardDown
+	}
+	j, ok := l.mgr.Get(id)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	rj := j.Snapshot()
+	if !rj.State.Final() {
+		return fmt.Errorf("%w: job %q is not terminal; handoff serves finished history only", ErrBadRequest, id)
+	}
+	lines, err := hpas.EncodeStreamRecords(rj)
+	if err != nil {
+		return err
+	}
+	if from < 0 {
+		return fmt.Errorf("%w: negative handoff offset %d", ErrBadRequest, from)
+	}
+	if from > len(lines) {
+		from = len(lines)
+	}
+	for _, rec := range lines[from:] {
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Adopt implements Backend: the record lines are replayed into a
+// recovered-job value and imported into the manager, which dedupes on
+// the history's idempotency key.
+func (l *Local) Adopt(ctx context.Context, id string, recs [][]byte) (api.JobStatus, bool, error) {
+	if l.down() {
+		return api.JobStatus{}, false, ErrShardDown
+	}
+	body := bytes.Join(recs, []byte{'\n'})
+	body = append(body, '\n')
+	rj, _, err := hpas.ReplayStreamRecords(bytes.NewReader(body))
+	if err != nil {
+		return api.JobStatus{}, false, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	rj.ID = id
+	j, deduped, err := l.mgr.Adopt(rj)
+	if err != nil {
+		return api.JobStatus{}, false, err
+	}
+	return serve.JobStatusOf(j), deduped, nil
 }
 
 // Close implements Backend, releasing the underlying manager.

@@ -1,0 +1,215 @@
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+)
+
+// membership is the router's epoch-versioned member-set state machine.
+// It replaces the boot-time member slice of the static design: the
+// administered set is runtime-mutable (AddMember / RemoveMember on the
+// Router), and every admin mutation — a join, a hard removal, a drain
+// starting, a drain completing — bumps the epoch, a monotonically
+// increasing version of the set.
+//
+// The epoch is the agreement primitive between replicated routers: two
+// routers configured with the same initial epoch and fed the same admin
+// mutations hold the same (epoch, member-set hash), and because gids
+// are deterministically derived from (epoch, set hash, a per-epoch
+// counter), they also assign the same job IDs — which rendezvous
+// hashing then maps to the same placements. A router whose divergence
+// probe sees a peer at a conflicting epoch refuses to route (503 +
+// Retry-After) instead of split-braining; see Router.checkPeers.
+//
+// Probe-driven liveness transitions (demote after failed probes,
+// rejoin on recovery) are deliberately NOT epoch bumps: liveness is an
+// observation each router makes independently, and versioning it would
+// make two healthy routers diverge whenever a probe round raced. Only
+// administered intent is versioned.
+type membership struct {
+	mu      sync.Mutex
+	epoch   uint64
+	counter int    // job counter within the current epoch; resets on bump
+	setHash uint64 // membersHash over the administered names
+	list    []*member
+	byName  map[string]*member
+}
+
+func newMembership(list []*member, epoch uint64) *membership {
+	if epoch == 0 {
+		epoch = 1
+	}
+	mem := &membership{
+		epoch:  epoch,
+		list:   list,
+		byName: make(map[string]*member, len(list)),
+	}
+	for _, m := range list {
+		mem.byName[m.name] = m
+	}
+	mem.setHash = mem.hashLocked()
+	return mem
+}
+
+// hashLocked recomputes the member-set hash over the full administered
+// name list — draining members included: intent to leave is itself
+// administered state two routers must agree on. Caller holds mem.mu.
+func (mem *membership) hashLocked() uint64 {
+	names := make([]string, 0, len(mem.list))
+	for _, m := range mem.list {
+		names = append(names, m.name)
+	}
+	return membersHash(names)
+}
+
+// snapshot returns the administered members in configuration order.
+// The slice is a copy; the members it points at are live.
+func (mem *membership) snapshot() []*member {
+	mem.mu.Lock()
+	defer mem.mu.Unlock()
+	return append([]*member(nil), mem.list...)
+}
+
+// get looks a member up by name.
+func (mem *membership) get(name string) (*member, bool) {
+	mem.mu.Lock()
+	defer mem.mu.Unlock()
+	m, ok := mem.byName[name]
+	return m, ok
+}
+
+// version returns the current epoch and member-set hash.
+func (mem *membership) version() (epoch, setHash uint64) {
+	mem.mu.Lock()
+	defer mem.mu.Unlock()
+	return mem.epoch, mem.setHash
+}
+
+// nextGID derives the next deterministic global job ID: epoch, the low
+// bits of the member-set hash, and a counter that resets at every epoch
+// bump. Two routers at the same (epoch, set) assign identical gid
+// sequences; gids minted under different epochs cannot collide (the
+// epoch is part of the ID); and a gid minted under a diverged set is
+// visibly foreign (the hash fragment differs). The format stays within
+// the journal's ID alphabet, so the shard-side "hpasr-<gid>"
+// idempotency keys remain journal-safe.
+func (mem *membership) nextGID() string {
+	mem.mu.Lock()
+	defer mem.mu.Unlock()
+	mem.counter++
+	return gidFor(mem.epoch, mem.setHash, mem.counter)
+}
+
+// bumpLocked advances the epoch, rehashes the set, and resets the gid
+// counter. Caller holds mem.mu.
+func (mem *membership) bumpLocked() {
+	mem.epoch++
+	mem.counter = 0
+	mem.setHash = mem.hashLocked()
+}
+
+// bump is bumpLocked for external admin transitions that mutate only
+// member-internal state (e.g. marking a drain), returning the new
+// epoch.
+func (mem *membership) bump() uint64 {
+	mem.mu.Lock()
+	defer mem.mu.Unlock()
+	mem.bumpLocked()
+	return mem.epoch
+}
+
+// add admits a new administered member and bumps the epoch.
+func (mem *membership) add(m *member) (epoch uint64, err error) {
+	mem.mu.Lock()
+	defer mem.mu.Unlock()
+	if _, dup := mem.byName[m.name]; dup {
+		return mem.epoch, fmt.Errorf("shard: duplicate member name %q", m.name)
+	}
+	mem.list = append(mem.list, m)
+	mem.byName[m.name] = m
+	mem.bumpLocked()
+	return mem.epoch, nil
+}
+
+// detach removes a member from the administered set and bumps the
+// epoch. The member object stays valid (routes may still point at it
+// for their history) but is no longer part of any ring computation.
+func (mem *membership) detach(name string) (*member, bool) {
+	mem.mu.Lock()
+	defer mem.mu.Unlock()
+	m, ok := mem.byName[name]
+	if !ok {
+		return nil, false
+	}
+	delete(mem.byName, name)
+	for i, e := range mem.list {
+		if e == m {
+			mem.list = append(mem.list[:i], mem.list[i+1:]...)
+			break
+		}
+	}
+	mem.bumpLocked()
+	return m, true
+}
+
+// membersHash digests a member-name set order-independently: FNV-1a 64
+// over the sorted names with 0-byte separators (names cannot contain
+// NUL, so concatenation ambiguity is impossible), finished with the
+// same splitmix64 avalanche the ring uses. Two routers administering
+// the same names — in any configuration order — agree on the digest.
+func membersHash(names []string) uint64 {
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	h := fnv.New64a()
+	for _, n := range sorted {
+		h.Write([]byte(n))
+		h.Write([]byte{0})
+	}
+	return mix64(h.Sum64())
+}
+
+// gidFor renders the deterministic global job ID for the n-th job of an
+// epoch. The member-set hash fragment makes a same-epoch divergence
+// visible in the IDs themselves.
+func gidFor(epoch, setHash uint64, n int) string {
+	return fmt.Sprintf("g%d-%06x-%05d", epoch, setHash&0xffffff, n)
+}
+
+// stateString renders a member's membership state for /v1/topology:
+// the three positions of the state machine.
+func (m *member) stateString() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch {
+	case !m.alive:
+		return "down"
+	case m.leaving:
+		return "draining"
+	default:
+		return "alive"
+	}
+}
+
+// placementEligible reports whether the member may receive new job
+// placements: probes passing and not draining.
+func (m *member) placementEligible() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.alive && !m.leaving
+}
+
+// markLeaving flips the member into the draining state (idempotent) and
+// reports whether this call performed the transition.
+func (m *member) markLeaving(at time.Time) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.leaving {
+		return false
+	}
+	m.leaving = true
+	m.drainedAt = at
+	return true
+}

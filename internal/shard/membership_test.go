@@ -1,0 +1,630 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hpas"
+	"hpas/api"
+	"hpas/serve"
+)
+
+// newManualCluster is newLocalCluster with the health loop parked: the
+// test drives every probe round through CheckNow, so demote, rejoin,
+// drain sweeps, and divergence probes happen exactly when the test says.
+func newManualCluster(t *testing.T, n, workers int) *localCluster {
+	t.Helper()
+	det := detector(t)
+	c := &localCluster{
+		locals: make(map[string]*Local, n),
+		mgrs:   make(map[string]*hpas.StreamManager, n),
+	}
+	var members []Member
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("shard%d", i)
+		mgr := hpas.NewStreamManager(hpas.StreamConfig{Workers: workers, Queue: 32})
+		l := NewLocal(mgr, serve.New(mgr, det, serve.Config{}))
+		members = append(members, Member{Name: name, Backend: l})
+		c.names = append(c.names, name)
+		c.locals[name] = l
+		c.mgrs[name] = mgr
+	}
+	rt, err := NewRouter(members, Config{
+		CheckInterval: time.Hour, // driven manually
+		FailAfter:     2,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.rt = rt
+	t.Cleanup(func() {
+		if cerr := rt.Close(); cerr != nil {
+			t.Errorf("router close: %v", cerr)
+		}
+	})
+	return c
+}
+
+// newLocalBackend builds a standalone in-process shard for runtime
+// joins. The router that admits it owns its lifecycle from then on.
+func newLocalBackend(t *testing.T) (*Local, *hpas.StreamManager) {
+	t.Helper()
+	mgr := hpas.NewStreamManager(hpas.StreamConfig{Workers: 1, Queue: 32})
+	return NewLocal(mgr, serve.New(mgr, detector(t), serve.Config{})), mgr
+}
+
+// The pure agreement primitives: the member-set hash ignores
+// configuration order, distinguishes different sets, and gids derive
+// deterministically from (epoch, hash, counter).
+func TestMembersHashAndGidDeterminism(t *testing.T) {
+	a := membersHash([]string{"s0", "s1", "s2"})
+	b := membersHash([]string{"s2", "s0", "s1"})
+	if a != b {
+		t.Fatalf("hash depends on configuration order: %x vs %x", a, b)
+	}
+	if c := membersHash([]string{"s0", "s1"}); c == a {
+		t.Fatalf("different member sets share hash %x", c)
+	}
+	if membersHash(nil) != membersHash([]string{}) {
+		t.Fatal("empty-set hash is not canonical")
+	}
+	if g1, g2 := gidFor(3, a, 7), gidFor(3, a, 7); g1 != g2 {
+		t.Fatalf("gidFor is not deterministic: %s vs %s", g1, g2)
+	}
+	if gidFor(3, a, 7) == gidFor(4, a, 7) {
+		t.Fatal("gids from different epochs collide")
+	}
+	if gidFor(3, a, 7) == gidFor(3, membersHash([]string{"s0"}), 7) {
+		t.Fatal("gids from different member sets collide")
+	}
+}
+
+// Two routers administering the same member names assign identical gid
+// sequences — before and after the same admin mutation — which is what
+// makes their rendezvous placements agree.
+func TestReplicatedRoutersAssignIdenticalGids(t *testing.T) {
+	ctx := ctxT(t)
+	a := newManualCluster(t, 2, 2)
+	b := newManualCluster(t, 2, 2)
+
+	for i := 0; i < 3; i++ {
+		sa, _, err := a.rt.Submit(ctx, api.JobRequest{Seed: uint64(i + 1), Duration: 20, Window: 10}, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb, _, err := b.rt.Submit(ctx, api.JobRequest{Seed: uint64(i + 1), Duration: 20, Window: 10}, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sa.ID != sb.ID {
+			t.Fatalf("submit %d: router A assigned %s, router B %s", i, sa.ID, sb.ID)
+		}
+		if ownA, ownB := rendezvousOwner(sa.ID, a.names), rendezvousOwner(sb.ID, b.names); ownA != ownB {
+			t.Fatalf("gid %s placed on %s by A, %s by B", sa.ID, ownA, ownB)
+		}
+	}
+
+	// The same join applied to both replicas: epochs, hashes, and the
+	// post-bump gid stream keep agreeing.
+	beA, _ := newLocalBackend(t)
+	beB, _ := newLocalBackend(t)
+	if _, err := a.rt.AddMember(ctx, Member{Name: "shard2", Backend: beA}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.rt.AddMember(ctx, Member{Name: "shard2", Backend: beB}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if ea, eb := a.rt.Epoch(), b.rt.Epoch(); ea != 2 || ea != eb {
+		t.Fatalf("epochs after identical join: A=%d B=%d, want 2", ea, eb)
+	}
+	ta, tb := a.rt.Topology(), b.rt.Topology()
+	if ta.MembersHash == "" || ta.MembersHash != tb.MembersHash {
+		t.Fatalf("member-set hashes diverge after identical join: %q vs %q", ta.MembersHash, tb.MembersHash)
+	}
+	sa, _, err := a.rt.Submit(ctx, api.JobRequest{Seed: 9, Duration: 20, Window: 10}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, _, err := b.rt.Submit(ctx, api.JobRequest{Seed: 9, Duration: 20, Window: 10}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.ID != sb.ID || !strings.HasPrefix(sa.ID, "g2-") {
+		t.Fatalf("post-bump gids: A=%s B=%s, want an identical g2- id (counter reset at the bump)", sa.ID, sb.ID)
+	}
+
+	// The CAS precondition: a mutation conditioned on a stale epoch is
+	// refused with a 409-mapped error.
+	beC, _ := newLocalBackend(t)
+	if _, err := a.rt.AddMember(ctx, Member{Name: "shard3", Backend: beC}, 1); err == nil {
+		t.Fatal("stale-epoch CAS join succeeded")
+	} else if httpStatusFor(err) != http.StatusConflict {
+		t.Fatalf("stale-epoch join maps to %d, want 409 (%v)", httpStatusFor(err), err)
+	}
+	beC.Kill()
+}
+
+// The split-brain guard: a membership change applied to one replica but
+// not the other suspends routing on the stale replica (503 +
+// Retry-After) until the replicas agree again, while the ahead replica
+// keeps routing.
+func TestEpochDivergenceSuspendsRoutingUntilAgreement(t *testing.T) {
+	ctx := ctxT(t)
+	a := newManualCluster(t, 2, 2)
+	b := newManualCluster(t, 2, 2)
+	tsA := httptest.NewServer(a.rt.Handler())
+	tsB := httptest.NewServer(b.rt.Handler())
+	t.Cleanup(tsA.Close)
+	t.Cleanup(tsB.Close)
+	// The health loops are parked on an hour ticker, so wiring the peer
+	// lists after construction is safe: only our CheckNow calls read them.
+	a.rt.cfg.Peers = []string{tsB.URL}
+	b.rt.cfg.Peers = []string{tsA.URL}
+
+	a.rt.CheckNow()
+	b.rt.CheckNow()
+	if msg := a.rt.divergedMsg(); msg != "" {
+		t.Fatalf("replicas in agreement, yet A suspended: %s", msg)
+	}
+
+	// Join a member on A only: A is now at epoch 2, B still at 1.
+	beA, _ := newLocalBackend(t)
+	if _, err := a.rt.AddMember(ctx, Member{Name: "shard2", Backend: beA}, 0); err != nil {
+		t.Fatal(err)
+	}
+	b.rt.CheckNow()
+	if msg := b.rt.divergedMsg(); msg == "" {
+		t.Fatal("B probed a peer one epoch ahead and did not suspend")
+	}
+	if _, _, err := b.rt.Submit(ctx, endless(1), ""); err == nil {
+		t.Fatal("suspended router accepted a submission")
+	} else if httpStatusFor(err) != http.StatusServiceUnavailable {
+		t.Fatalf("diverged submit maps to %d, want 503 (%v)", httpStatusFor(err), err)
+	}
+	if rr, code := b.rt.Ready(); code != http.StatusServiceUnavailable || rr.Status != "epoch-diverged" {
+		t.Fatalf("suspended readiness = %d %q, want 503 epoch-diverged", code, rr.Status)
+	}
+	// Over HTTP the refusal is a 503 with Retry-After, still carrying
+	// the epoch header.
+	resp, err := http.Post(tsB.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"seed":1,"duration":20,"window":10}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("HTTP diverged submit = %d (Retry-After %q), want 503 with Retry-After",
+			resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	if resp.Header.Get(api.EpochHeader) != "1" {
+		t.Fatalf("suspended response epoch header = %q, want 1", resp.Header.Get(api.EpochHeader))
+	}
+
+	// The ahead replica sees a peer merely behind and keeps routing.
+	a.rt.CheckNow()
+	if msg := a.rt.divergedMsg(); msg != "" {
+		t.Fatalf("ahead replica suspended itself: %s", msg)
+	}
+	if _, _, err := a.rt.Submit(ctx, api.JobRequest{Seed: 2, Duration: 20, Window: 10}, ""); err != nil {
+		t.Fatalf("ahead replica refused a submission: %v", err)
+	}
+
+	// Apply the same join to B: the next probe round finds agreement and
+	// routing resumes, with both gid streams aligned again.
+	beB, _ := newLocalBackend(t)
+	if _, err := b.rt.AddMember(ctx, Member{Name: "shard2", Backend: beB}, 0); err != nil {
+		t.Fatal(err)
+	}
+	b.rt.CheckNow()
+	if msg := b.rt.divergedMsg(); msg != "" {
+		t.Fatalf("replicas re-agree, yet B still suspended: %s", msg)
+	}
+	sb, _, err := b.rt.Submit(ctx, api.JobRequest{Seed: 3, Duration: 20, Window: 10}, "")
+	if err != nil {
+		t.Fatalf("submit after resume: %v", err)
+	}
+	sa, _, err := a.rt.Submit(ctx, api.JobRequest{Seed: 3, Duration: 20, Window: 10}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A already minted one epoch-2 gid while B was suspended, so B's
+	// counter trails by exactly that submission.
+	if !strings.HasPrefix(sa.ID, "g2-") || !strings.HasPrefix(sb.ID, "g2-") {
+		t.Fatalf("post-resume gids %s / %s, want epoch-2 ids", sa.ID, sb.ID)
+	}
+	if got := b.rt.Stats().EpochConflicts; got != 1 {
+		t.Fatalf("EpochConflicts = %d, want 1 (a persisting conflict is one event)", got)
+	}
+
+	// The topology document carries the full discovery story.
+	var topo api.Topology
+	tresp, err := http.Get(tsA.URL + "/v1/topology")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if derr := json.NewDecoder(tresp.Body).Decode(&topo); derr != nil {
+		t.Fatal(derr)
+	}
+	tresp.Body.Close()
+	if topo.Epoch != 2 || topo.MembersHash == "" || topo.Hashing != RingHashing {
+		t.Fatalf("topology = epoch %d hash %q hashing %q", topo.Epoch, topo.MembersHash, topo.Hashing)
+	}
+	if len(topo.Shards) != 3 {
+		t.Fatalf("topology lists %d members, want 3", len(topo.Shards))
+	}
+	for _, si := range topo.Shards {
+		if si.State != "alive" {
+			t.Fatalf("member %s state %q, want alive", si.Name, si.State)
+		}
+		if si.ConsecutiveFailures != 0 {
+			t.Fatalf("member %s shows %d probe failures, want 0", si.Name, si.ConsecutiveFailures)
+		}
+	}
+}
+
+// The drain contract end to end: RemoveMember marks the member
+// draining (no new placements, epoch bump), re-homes its queued jobs
+// exactly once, hands its finished jobs' histories to the inheriting
+// member with identical stream replays, waits for running jobs, and
+// detaches once they finish.
+func TestRemoveMemberDrainsGracefully(t *testing.T) {
+	c := newManualCluster(t, 2, 1)
+	ctx := ctxT(t)
+
+	// A finished job on each shard first, while workers are free.
+	finished := map[string][]string{}
+	for i := 0; i < 4; i++ {
+		st, _, err := c.rt.Submit(ctx, api.JobRequest{Seed: uint64(i + 1), Duration: 20, Window: 10}, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		finished[rendezvousOwner(st.ID, c.names)] = append(finished[rendezvousOwner(st.ID, c.names)], st.ID)
+	}
+	jobs := 0
+	for _, gids := range finished {
+		for _, gid := range gids {
+			waitState(t, c, gid, api.JobStatus.Final)
+			jobs++
+		}
+	}
+	if jobs != 4 {
+		t.Fatalf("fixture lost jobs: %v", finished)
+	}
+
+	// Pin each single-worker shard with an endless job, then queue more
+	// until the victim holds 1 running + ≥1 queued.
+	byShard := map[string][]string{}
+	for i := 0; i < 6; i++ {
+		st, _, err := c.rt.Submit(ctx, endless(uint64(i+1)), "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		byShard[rendezvousOwner(st.ID, c.names)] = append(byShard[rendezvousOwner(st.ID, c.names)], st.ID)
+	}
+	victim := ""
+	for _, name := range c.names {
+		if len(byShard[name]) >= 2 && len(finished[name]) >= 1 {
+			victim = name
+			break
+		}
+	}
+	if victim == "" {
+		t.Fatalf("no shard holds the full fixture (endless %v, finished %v)", byShard, finished)
+	}
+	survivor := c.names[0]
+	if survivor == victim {
+		survivor = c.names[1]
+	}
+	runningGid, queuedGids := byShard[victim][0], byShard[victim][1:]
+	waitState(t, c, runningGid, func(st api.JobStatus) bool { return st.State == string(hpas.StreamJobRunning) })
+	c.rt.CheckNow() // refresh queued-vs-running observations
+
+	// The handed-off finished job must replay identically afterwards.
+	handedGid := finished[victim][0]
+	replayBefore := streamAll(t, c.rt, ctx, handedGid)
+
+	ch, err := c.rt.RemoveMember(ctx, victim, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ch.Draining {
+		t.Fatalf("change = %+v: a member with a running job must report draining", ch)
+	}
+	if ch.Epoch != 2 {
+		t.Fatalf("drain-start epoch = %d, want 2", ch.Epoch)
+	}
+	if ch.Requeued != len(queuedGids) || ch.Lost != 0 {
+		t.Fatalf("change = %+v, want %d requeued and nothing lost", ch, len(queuedGids))
+	}
+	if ch.HandedOff != len(finished[victim]) {
+		t.Fatalf("change = %+v, want %d finished histories handed off", ch, len(finished[victim]))
+	}
+
+	// Exactly-once re-homing: the survivor replays each re-queued job's
+	// journaled key, and the victim's own copies are cancelled, not
+	// queued.
+	for _, gid := range queuedGids {
+		if _, replayed, err := c.locals[survivor].Submit(ctx, endless(1), "hpasr-"+gid); err != nil || !replayed {
+			t.Fatalf("key hpasr-%s on survivor: replayed=%v err=%v; drain re-homing not exactly-once", gid, replayed, err)
+		}
+	}
+
+	// Draining members take no new placements...
+	for _, si := range c.rt.Topology().Shards {
+		if si.Name == victim && si.State != "draining" {
+			t.Fatalf("victim state %q, want draining", si.State)
+		}
+	}
+	survivorJobs := len(c.mgrs[survivor].Jobs())
+	st, _, err := c.rt.Submit(ctx, endless(99), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.mgrs[survivor].Jobs()); got != survivorJobs+1 {
+		t.Fatalf("submission %s during drain did not land on the survivor (%d jobs, want %d)", st.ID, got, survivorJobs+1)
+	}
+
+	// ...and their handed-off histories replay byte-identically from the
+	// inheriting member.
+	replayAfter := streamAll(t, c.rt, ctx, handedGid)
+	if mustJSONString(t, replayBefore) != mustJSONString(t, replayAfter) {
+		t.Fatalf("handed-off job %s replays differently after the drain", handedGid)
+	}
+
+	// Finish the running job; the next probe round's sweep detaches the
+	// member and bumps the epoch again.
+	if _, err := c.rt.Cancel(ctx, runningGid); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, c, runningGid, api.JobStatus.Final)
+	c.rt.CheckNow()
+	ml := c.rt.Members()
+	if len(ml.Members) != 1 || ml.Members[0].Name != survivor {
+		t.Fatalf("members after drain completion = %+v, want only %s", ml.Members, survivor)
+	}
+	if ml.Epoch != 3 {
+		t.Fatalf("epoch after detach = %d, want 3 (drain start + completion)", ml.Epoch)
+	}
+	stats := c.rt.Stats()
+	if stats.MembersRemoved != 1 {
+		t.Fatalf("MembersRemoved = %d, want 1", stats.MembersRemoved)
+	}
+	if stats.JobsHandedOff < int64(len(finished[victim])) {
+		t.Fatalf("JobsHandedOff = %d, want ≥ %d", stats.JobsHandedOff, len(finished[victim]))
+	}
+
+	// Removing the last member is refused.
+	if _, err := c.rt.RemoveMember(ctx, survivor, true, 0); err == nil {
+		t.Fatal("removed the last member")
+	} else if httpStatusFor(err) != http.StatusBadRequest {
+		t.Fatalf("last-member removal maps to %d, want 400 (%v)", httpStatusFor(err), err)
+	}
+
+	// Re-queued work still runs to completion on the survivor.
+	for _, gid := range queuedGids {
+		if _, err := c.rt.Cancel(ctx, gid); err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, c, gid, api.JobStatus.Final)
+	}
+}
+
+// streamAll drains a terminal job's routed stream replay.
+func streamAll(t *testing.T, rt *Router, ctx context.Context, gid string) []hpas.StreamMessage {
+	t.Helper()
+	var msgs []hpas.StreamMessage
+	if err := rt.Stream(ctx, gid, 0, func(m hpas.StreamMessage) error {
+		msgs = append(msgs, m)
+		return nil
+	}); err != nil {
+		t.Fatalf("stream %s: %v", gid, err)
+	}
+	if len(msgs) == 0 {
+		t.Fatalf("stream %s replayed nothing", gid)
+	}
+	return msgs
+}
+
+func mustJSONString(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// chaosBackend wraps a Local with a settable probe failure and a
+// submission gate, so a test can hold a failover pass mid-re-placement
+// while another probe round tries to rejoin a member.
+type chaosBackend struct {
+	Backend
+	mu      sync.Mutex
+	fail    bool
+	armed   bool
+	entered chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func newChaosBackend(be Backend) *chaosBackend {
+	return &chaosBackend{Backend: be, entered: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (cb *chaosBackend) setFail(v bool) {
+	cb.mu.Lock()
+	cb.fail = v
+	cb.mu.Unlock()
+}
+
+func (cb *chaosBackend) arm() {
+	cb.mu.Lock()
+	cb.armed = true
+	cb.mu.Unlock()
+}
+
+func (cb *chaosBackend) Check(ctx context.Context) (api.ShardHealth, error) {
+	cb.mu.Lock()
+	fail := cb.fail
+	cb.mu.Unlock()
+	if fail {
+		return api.ShardHealth{}, ErrShardDown
+	}
+	return cb.Backend.Check(ctx)
+}
+
+func (cb *chaosBackend) Submit(ctx context.Context, req api.JobRequest, key string) (api.JobStatus, bool, error) {
+	cb.mu.Lock()
+	armed := cb.armed
+	cb.mu.Unlock()
+	if armed {
+		cb.once.Do(func() { close(cb.entered) })
+		<-cb.release
+	}
+	return cb.Backend.Submit(ctx, req, key)
+}
+
+// The flap regression: a member that recovers while a failover pass is
+// still re-placing its queued jobs must not rejoin mid-sweep. The
+// rejoin serializes behind the failover lock, the re-placement stays
+// exactly-once, and the stale copy on the rejoined member is cancelled.
+func TestRejoinWaitsForInFlightFailover(t *testing.T) {
+	det := detector(t)
+	ctx := ctxT(t)
+	c := &localCluster{
+		locals: make(map[string]*Local, 2),
+		mgrs:   make(map[string]*hpas.StreamManager, 2),
+	}
+	wraps := map[string]*chaosBackend{}
+	var members []Member
+	for i := 0; i < 2; i++ {
+		name := fmt.Sprintf("shard%d", i)
+		mgr := hpas.NewStreamManager(hpas.StreamConfig{Workers: 1, Queue: 32})
+		l := NewLocal(mgr, serve.New(mgr, det, serve.Config{}))
+		w := newChaosBackend(l)
+		members = append(members, Member{Name: name, Backend: w})
+		c.names = append(c.names, name)
+		c.locals[name] = l
+		c.mgrs[name] = mgr
+		wraps[name] = w
+	}
+	rt, err := NewRouter(members, Config{CheckInterval: time.Hour, FailAfter: 2, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.rt = rt
+	t.Cleanup(func() {
+		if cerr := rt.Close(); cerr != nil {
+			t.Errorf("router close: %v", cerr)
+		}
+	})
+
+	// Pin both shards and stack a queued job on the victim.
+	byShard := map[string][]string{}
+	for i := 0; i < 8; i++ {
+		st, _, err := rt.Submit(ctx, endless(uint64(i+1)), "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		byShard[rendezvousOwner(st.ID, c.names)] = append(byShard[rendezvousOwner(st.ID, c.names)], st.ID)
+	}
+	victim := ""
+	for _, name := range c.names {
+		if len(byShard[name]) >= 2 {
+			victim = name
+			break
+		}
+	}
+	if victim == "" {
+		t.Fatalf("no shard owns 2 jobs: %v", byShard)
+	}
+	survivor := c.names[0]
+	if survivor == victim {
+		survivor = c.names[1]
+	}
+	waitState(t, c, byShard[victim][0], func(st api.JobStatus) bool { return st.State == string(hpas.StreamJobRunning) })
+	queuedGids := byShard[victim][1:]
+	rt.CheckNow() // record queued-vs-running while everyone is healthy
+
+	// Kill the victim and start the failover round; the survivor's gate
+	// freezes it mid-re-placement.
+	wraps[survivor].arm()
+	wraps[victim].setFail(true)
+	failoverDone := make(chan struct{})
+	go func() {
+		rt.CheckNow()
+		rt.CheckNow() // FailAfter probes; the second round reconciles
+		close(failoverDone)
+	}()
+	select {
+	case <-wraps[survivor].entered:
+	case <-time.After(60 * time.Second):
+		t.Fatal("failover never reached the survivor's submit")
+	}
+
+	// The victim recovers mid-failover: the rejoin round must wait.
+	wraps[victim].setFail(false)
+	rejoinDone := make(chan struct{})
+	go func() {
+		rt.CheckNow()
+		close(rejoinDone)
+	}()
+	time.Sleep(150 * time.Millisecond)
+	select {
+	case <-rejoinDone:
+		t.Fatal("rejoin completed while a failover pass held the lock")
+	default:
+	}
+	for _, si := range rt.snapshotShards() {
+		if si.Name == victim && si.Alive {
+			t.Fatal("victim rejoined mid-failover")
+		}
+	}
+
+	close(wraps[survivor].release)
+	<-failoverDone
+	select {
+	case <-rejoinDone:
+	case <-time.After(60 * time.Second):
+		t.Fatal("rejoin round never finished after the failover released")
+	}
+
+	// Serialization held: the queued job lives exactly once (on the
+	// survivor), the victim is back, and its stale copy was cancelled.
+	for _, si := range rt.snapshotShards() {
+		if si.Name == victim && !si.Alive {
+			t.Fatal("victim never rejoined")
+		}
+	}
+	for _, gid := range queuedGids {
+		if _, replayed, err := c.locals[survivor].Submit(ctx, endless(1), "hpasr-"+gid); err != nil || !replayed {
+			t.Fatalf("key hpasr-%s on survivor: replayed=%v err=%v; failover re-placement lost", gid, replayed, err)
+		}
+	}
+	stats := rt.Stats()
+	if stats.ShardsRecovered != 1 || stats.Resubmitted != int64(len(queuedGids)) {
+		t.Fatalf("stats = %+v, want 1 recovery and %d resubmissions", stats, len(queuedGids))
+	}
+	if stats.OrphansCancelled == 0 {
+		t.Fatal("no orphaned copy was cancelled on rejoin")
+	}
+	// No duplicate execution: every victim-local copy of a re-queued job
+	// is terminal (cancelled), never running alongside the survivor's.
+	for _, j := range c.mgrs[victim].Jobs() {
+		st, _ := j.State()
+		key := j.Snapshot().Spec.IdempotencyKey
+		for _, gid := range queuedGids {
+			if key == "hpasr-"+gid && !st.Final() {
+				t.Fatalf("victim still holds a live copy of %s (%s)", gid, st)
+			}
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,9 +26,24 @@ type Config struct {
 	FailAfter int
 	// Logf receives failover and topology-change lines; nil discards.
 	Logf func(format string, args ...any)
+
+	// InitialEpoch seeds the membership epoch (default 1). Replicated
+	// routers sharing one member list must start at the same epoch for
+	// their gid streams to agree.
+	InitialEpoch uint64
+	// Peers lists the base URLs of replicated routers sharing this
+	// member list. Each probe round cross-checks their /v1/topology
+	// epochs; a conflict suspends routing (503 + Retry-After) instead
+	// of split-braining. Empty disables the divergence probe.
+	Peers []string
+	// DrainGrace bounds how long a draining member may hold running
+	// jobs before removal is forced (running jobs finalized as
+	// failed-by-shard-loss). Zero waits indefinitely.
+	DrainGrace time.Duration
 }
 
-// Member names one shard of the static topology.
+// Member names one shard of the topology: the boot-time list passed to
+// NewRouter, and the runtime joins accepted by AddMember.
 type Member struct {
 	Name    string
 	Addr    string // base URL for remote shards; "" for in-process
@@ -40,11 +56,17 @@ type member struct {
 	addr string
 	be   Backend
 
-	mu      sync.Mutex
-	alive   bool
-	fails   int
-	lastErr string
-	health  api.ShardHealth
+	mu    sync.Mutex
+	alive bool
+	// leaving marks administered drain intent: the member still serves
+	// its existing jobs but takes no new placements, and is removed
+	// once its running jobs finish (or DrainGrace expires). Intent
+	// survives probe demote/rejoin cycles — only an admin removes it.
+	leaving   bool
+	drainedAt time.Time
+	fails     int
+	lastErr   string
+	health    api.ShardHealth
 	// down is closed when the member leaves the ring and replaced with
 	// a fresh channel when it rejoins; stream proxies select on the
 	// snapshot they captured, so a follow pinned to a dying shard is
@@ -62,6 +84,15 @@ func (m *member) downChan() chan struct{} {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.down
+}
+
+// zombieRef names a possibly-live duplicate copy of a route's job: the
+// member that held the job when failover re-placed it elsewhere, and
+// the job's ID there. If that member rejoins, the copy is cancelled —
+// the re-placed job is the authoritative one.
+type zombieRef struct {
+	m       *member
+	localID string
 }
 
 // route is one routed job: the router-assigned global ID, the
@@ -84,6 +115,8 @@ type route struct {
 	localID string        // job ID on the owning shard
 	last    api.JobStatus // last observed status (authoritative once lost)
 	lost    bool          // finalized failed-by-shard-loss
+	zombies []zombieRef   // stale copies left behind by failover re-placement
+	reaped  bool          // a lost job's live copy was already cancelled on rejoin
 }
 
 // Router places jobs on shards by rendezvous hash, proxies the /v1 job
@@ -91,25 +124,34 @@ type route struct {
 // stop answering health probes. Construct with NewRouter, release with
 // Close.
 type Router struct {
-	cfg     Config
-	members []*member
-	byName  map[string]*member
+	cfg Config
+	mem *membership
 
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
+	// peerProbe performs divergence probes against peer routers: plain,
+	// non-retrying, short timeout — one missed probe is no verdict.
+	peerProbe *http.Client
+
 	mu     sync.Mutex
 	routes map[string]*route
 	order  []string // gids in assignment order: the deterministic listing order
 	byKey  map[string]*route
-	nextID int
+	// diverged, when non-empty, names the epoch conflict that suspended
+	// routing: Submit refuses with ErrEpochDiverged until a probe round
+	// finds the peers back in agreement.
+	diverged string
 	// topoCh is closed and replaced on every topology or ownership
 	// change; waiters re-snapshot the world when it fires.
 	topoCh chan struct{}
 
-	// fomu serializes failover passes so two probe rounds cannot race
-	// re-placement of the same route.
+	// fomu serializes failover passes — and, since dynamic membership,
+	// every membership transition that interacts with them: admin
+	// add/remove, drain sweeps, and probe rejoins. Two probe rounds (or
+	// a probe round and an admin call) can no longer race re-placement
+	// of the same route.
 	fomu sync.Mutex
 
 	jobsRouted      atomic.Int64
@@ -118,6 +160,13 @@ type Router struct {
 	jobsLost        atomic.Int64
 	shardsDown      atomic.Int64
 	shardsRecovered atomic.Int64
+
+	membersAdded     atomic.Int64
+	membersRemoved   atomic.Int64
+	jobsHandedOff    atomic.Int64
+	routesReclaimed  atomic.Int64
+	orphansCancelled atomic.Int64
+	epochConflicts   atomic.Int64
 }
 
 // NewRouter builds a router over the member list and starts its health
@@ -134,27 +183,29 @@ func NewRouter(members []Member, cfg Config) (*Router, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	rt := &Router{
-		cfg:    cfg,
-		byName: make(map[string]*member, len(members)),
-		ctx:    ctx,
-		cancel: cancel,
-		routes: make(map[string]*route),
-		byKey:  make(map[string]*route),
-		topoCh: make(chan struct{}),
+		cfg:       cfg,
+		ctx:       ctx,
+		cancel:    cancel,
+		peerProbe: &http.Client{Timeout: 2 * time.Second},
+		routes:    make(map[string]*route),
+		byKey:     make(map[string]*route),
+		topoCh:    make(chan struct{}),
 	}
+	var list []*member
+	seen := make(map[string]bool, len(members))
 	for _, m := range members {
 		if m.Name == "" || m.Backend == nil {
 			cancel()
 			return nil, fmt.Errorf("shard: member needs a name and a backend (got %+v)", m.Name)
 		}
-		if _, dup := rt.byName[m.Name]; dup {
+		if seen[m.Name] {
 			cancel()
 			return nil, fmt.Errorf("shard: duplicate member name %q", m.Name)
 		}
-		mm := &member{name: m.Name, addr: m.Addr, be: m.Backend, alive: true, down: make(chan struct{})}
-		rt.members = append(rt.members, mm)
-		rt.byName[m.Name] = mm
+		seen[m.Name] = true
+		list = append(list, &member{name: m.Name, addr: m.Addr, be: m.Backend, alive: true, down: make(chan struct{})})
 	}
+	rt.mem = newMembership(list, cfg.InitialEpoch)
 	rt.wg.Add(1)
 	go rt.healthLoop()
 	return rt, nil
@@ -165,7 +216,7 @@ func (rt *Router) Close() error {
 	rt.cancel()
 	rt.wg.Wait()
 	var first error
-	for _, m := range rt.members {
+	for _, m := range rt.mem.snapshot() {
 		if err := m.be.Close(); err != nil && first == nil {
 			first = err
 		}
@@ -213,7 +264,7 @@ func (rt *Router) healthLoop() {
 // instead of silently re-run. The health loop calls CheckNow on a
 // ticker; tests call it directly to make detection deterministic.
 func (rt *Router) CheckNow() {
-	for _, m := range rt.members {
+	for _, m := range rt.mem.snapshot() {
 		h, err := m.be.Check(rt.ctx)
 		if err != nil {
 			rt.noteFailure(m, err)
@@ -223,6 +274,8 @@ func (rt *Router) CheckNow() {
 		}
 	}
 	rt.reconcile()
+	rt.sweepDraining()
+	rt.checkPeers()
 }
 
 // refreshFrom folds one shard's live listing into the route table.
@@ -293,21 +346,90 @@ func (rt *Router) markDown(m *member, err error) bool {
 }
 
 // noteSuccess records a healthy probe, readmitting a demoted member.
+//
+// The rejoin transition is serialized through the failover lock: a
+// member that failed FailAfter probes and immediately recovered used to
+// race its down→alive flip against a reconcile pass still re-placing
+// its queued jobs — the pass would observe the member alive again
+// mid-sweep and skip (or double-place) routes depending on timing.
+// Taking fomu here means a rejoin happens strictly before or strictly
+// after any failover pass, never inside one. Demotions stay off fomu
+// deliberately: markDown runs on the submission path, which place()
+// calls with fomu already held.
 func (rt *Router) noteSuccess(m *member, h api.ShardHealth) {
 	m.mu.Lock()
 	m.fails = 0
 	m.lastErr = ""
 	m.health = h
-	rejoin := !m.alive
+	needRejoin := !m.alive
+	m.mu.Unlock()
+	if !needRejoin {
+		return
+	}
+	rt.fomu.Lock()
+	m.mu.Lock()
+	rejoin := !m.alive // re-check under fomu: a racing round may have won
 	if rejoin {
 		m.alive = true
 		m.down = make(chan struct{})
 	}
 	m.mu.Unlock()
+	var orphans []zombieRef
 	if rejoin {
-		rt.shardsRecovered.Add(1)
-		rt.logf("shard %s: rejoined the ring", m.name)
-		rt.bumpTopo()
+		orphans = rt.collectZombies(m)
+	}
+	rt.fomu.Unlock()
+	if !rejoin {
+		return
+	}
+	rt.shardsRecovered.Add(1)
+	rt.cancelZombies(m, orphans)
+	rt.logf("shard %s: rejoined the ring", m.name)
+	rt.bumpTopo()
+}
+
+// collectZombies gathers the duplicate job copies a rejoining member
+// may still hold: queued jobs failover re-placed elsewhere while it was
+// down (recorded as zombie refs at re-placement time), and running jobs
+// the router finalized as failed-by-shard-loss — the member may still
+// be executing those, but the router already told the client they
+// failed, so letting them run would burn a worker on a result nobody
+// can observe. Caller holds rt.fomu.
+func (rt *Router) collectZombies(m *member) []zombieRef {
+	var out []zombieRef
+	rt.mu.Lock()
+	for _, gid := range rt.order {
+		r := rt.routes[gid]
+		if r == nil {
+			continue
+		}
+		kept := r.zombies[:0]
+		for _, z := range r.zombies {
+			if z.m == m {
+				out = append(out, z)
+			} else {
+				kept = append(kept, z)
+			}
+		}
+		r.zombies = kept
+		if r.lost && !r.reaped && r.shard == m && r.localID != "" {
+			r.reaped = true
+			out = append(out, zombieRef{m: m, localID: r.localID})
+		}
+	}
+	rt.mu.Unlock()
+	return out
+}
+
+// cancelZombies best-effort cancels the collected copies on the
+// rejoined member. Failures are ignored: the copies are deduped by the
+// journaled idempotency key either way, this only releases workers.
+func (rt *Router) cancelZombies(m *member, orphans []zombieRef) {
+	for _, z := range orphans {
+		if _, err := m.be.Cancel(rt.ctx, z.localID); err == nil {
+			rt.orphansCancelled.Add(1)
+			rt.logf("shard %s: cancelled orphaned job copy %s after rejoin", m.name, z.localID)
+		}
 	}
 }
 
@@ -322,7 +444,7 @@ func (rt *Router) reconcile() {
 	var outcomes []outcome
 	var deferred []string
 	rt.fomu.Lock()
-	for _, m := range rt.members {
+	for _, m := range rt.mem.snapshot() {
 		if !m.isAlive() {
 			moved, lost, notes, acted := rt.failoverFrom(m)
 			deferred = append(deferred, notes...)
@@ -377,6 +499,12 @@ func (rt *Router) failoverFrom(dead *member) (moved, lost int64, notes []string,
 				rt.markLostLocked(r)
 				lost++
 			} else {
+				// The dead member may still hold the old queued copy; if
+				// it ever rejoins, that copy is a zombie to cancel — the
+				// re-placed job is now the authoritative one.
+				if r.localID != "" {
+					r.zombies = append(r.zombies, zombieRef{m: dead, localID: r.localID})
+				}
 				r.shard = m2
 				r.localID = st.ID
 				r.last = st
@@ -408,12 +536,106 @@ func (rt *Router) markLostLocked(r *route) {
 	}
 }
 
+// ---- replicated-router agreement ----
+
+// divergedMsg returns the epoch conflict that suspended routing, ""
+// while the peers agree.
+func (rt *Router) divergedMsg() string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.diverged
+}
+
+// setDiverged records (or, with "", clears) the routing suspension,
+// logging the transitions. Only suspension transitions count toward
+// the conflict counter; a persisting conflict is one event.
+func (rt *Router) setDiverged(msg string) {
+	rt.mu.Lock()
+	prev := rt.diverged
+	rt.diverged = msg
+	rt.mu.Unlock()
+	if prev == "" && msg != "" {
+		rt.epochConflicts.Add(1)
+		rt.logf("routing suspended: %s", msg)
+	}
+	if prev != "" && msg == "" {
+		rt.logf("routing resumed: peers back in epoch agreement")
+	}
+}
+
+// checkPeers is the divergence probe: each peer router's /v1/topology
+// is fetched and its (epoch, member-set hash) compared with ours. A
+// peer at a higher epoch means this router missed membership changes;
+// a peer at the same epoch with a different member-set hash means the
+// replicas were fed conflicting changes. Either way the routers would
+// mint clashing gids or disagree on placements, so routing is
+// suspended (Submit answers ErrEpochDiverged → 503 + Retry-After)
+// until a probe round finds agreement again. A peer at a lower epoch
+// is merely behind — it will suspend itself when it probes us — and an
+// unreachable peer is no verdict: the suspension state only clears
+// when every peer was reached and agreed.
+func (rt *Router) checkPeers() {
+	if len(rt.cfg.Peers) == 0 {
+		return
+	}
+	epoch, setHash := rt.mem.version()
+	hash := fmt.Sprintf("%016x", setHash)
+	conflict := ""
+	allReached := true
+	for _, peer := range rt.cfg.Peers {
+		doc, err := rt.peerTopology(peer)
+		if err != nil {
+			allReached = false
+			continue
+		}
+		switch {
+		case doc.Epoch > epoch:
+			conflict = fmt.Sprintf("peer %s at membership epoch %d, ours is %d: this router is behind", peer, doc.Epoch, epoch)
+		case doc.Epoch == epoch && doc.MembersHash != "" && doc.MembersHash != hash:
+			conflict = fmt.Sprintf("peer %s at epoch %d with member-set hash %s, ours is %s: same epoch, different members", peer, doc.Epoch, doc.MembersHash, hash)
+		}
+		if conflict != "" {
+			break
+		}
+	}
+	if conflict != "" {
+		rt.setDiverged(conflict)
+	} else if allReached {
+		rt.setDiverged("")
+	}
+}
+
+// peerTopology fetches one peer router's discovery document with the
+// non-retrying probe client.
+func (rt *Router) peerTopology(base string) (api.Topology, error) {
+	req, err := http.NewRequestWithContext(rt.ctx, http.MethodGet, strings.TrimRight(base, "/")+"/v1/topology", nil)
+	if err != nil {
+		return api.Topology{}, err
+	}
+	resp, err := rt.peerProbe.Do(req)
+	if err != nil {
+		return api.Topology{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return api.Topology{}, fmt.Errorf("shard: peer %s topology: status %d", base, resp.StatusCode)
+	}
+	var doc api.Topology
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return api.Topology{}, fmt.Errorf("shard: peer %s topology: %w", base, err)
+	}
+	return doc, nil
+}
+
 // ---- placement ----
 
-// aliveNames snapshots the names of ring members.
+// aliveNames snapshots the names of serving ring members (draining
+// members still serve their existing jobs, so they are included here;
+// they are excluded from new placements by placementNames).
 func (rt *Router) aliveNames() []string {
-	names := make([]string, 0, len(rt.members))
-	for _, m := range rt.members {
+	members := rt.mem.snapshot()
+	names := make([]string, 0, len(members))
+	for _, m := range members {
 		if m.isAlive() {
 			names = append(names, m.name)
 		}
@@ -421,14 +643,28 @@ func (rt *Router) aliveNames() []string {
 	return names
 }
 
-// ownerOf returns the alive member winning gid's rendezvous hash, or
-// nil when the ring is empty.
+// placementNames snapshots the names of placement-eligible members:
+// alive and not draining.
+func (rt *Router) placementNames() []string {
+	members := rt.mem.snapshot()
+	names := make([]string, 0, len(members))
+	for _, m := range members {
+		if m.placementEligible() {
+			names = append(names, m.name)
+		}
+	}
+	return names
+}
+
+// ownerOf returns the placement-eligible member winning gid's
+// rendezvous hash, or nil when none is eligible.
 func (rt *Router) ownerOf(gid string) *member {
-	win := rendezvousOwner(gid, rt.aliveNames())
+	win := rendezvousOwner(gid, rt.placementNames())
 	if win == "" {
 		return nil
 	}
-	return rt.byName[win]
+	m, _ := rt.mem.get(win)
+	return m
 }
 
 // place submits the request to gid's rendezvous owner. A shard that
@@ -439,7 +675,7 @@ func (rt *Router) ownerOf(gid string) *member {
 // failover lock held, and the Logf callback must never run under it.
 func (rt *Router) place(ctx context.Context, gid string, req api.JobRequest, raw []byte, key string) (api.JobStatus, *member, []string, error) {
 	var notes []string
-	for range rt.members { // every retry kills one member: bounded
+	for range rt.mem.snapshot() { // every retry kills one member: bounded
 		m := rt.ownerOf(gid)
 		if m == nil {
 			return api.JobStatus{}, nil, notes, ErrNoShards
@@ -487,6 +723,10 @@ func (rt *Router) Submit(ctx context.Context, req api.JobRequest, clientKey stri
 // the bytes on arrival, so the two cannot drift silently.
 func (rt *Router) SubmitRaw(ctx context.Context, req api.JobRequest, raw []byte, clientKey string) (api.JobStatus, bool, error) {
 	rt.mu.Lock()
+	if msg := rt.diverged; msg != "" {
+		rt.mu.Unlock()
+		return api.JobStatus{}, false, fmt.Errorf("%w: %s", ErrEpochDiverged, msg)
+	}
 	if clientKey != "" {
 		if r, ok := rt.byKey[clientKey]; ok {
 			placed := r.placed
@@ -506,8 +746,7 @@ func (rt *Router) SubmitRaw(ctx context.Context, req api.JobRequest, raw []byte,
 			return st, true, nil
 		}
 	}
-	rt.nextID++
-	gid := fmt.Sprintf("g%05d", rt.nextID)
+	gid := rt.mem.nextGID()
 	r := &route{
 		gid:       gid,
 		key:       "hpasr-" + gid,
@@ -594,7 +833,7 @@ func (rt *Router) Get(ctx context.Context, gid string) (api.JobStatus, error) {
 // their last observed status instead of vanishing.
 func (rt *Router) List(ctx context.Context) ([]api.JobStatus, error) {
 	var alive []*member
-	for _, m := range rt.members {
+	for _, m := range rt.mem.snapshot() {
 		if m.isAlive() {
 			alive = append(alive, m)
 		}
@@ -714,14 +953,17 @@ func (rt *Router) StreamFrames(ctx context.Context, gid string, from int, fn fun
 			return fmt.Errorf("%w: %q", ErrNotFound, gid)
 		}
 		lost, m, localID := r.lost, r.shard, r.localID
-		errText := r.last.Error
+		state, errText := r.last.State, r.last.Error
 		topo := rt.topoCh
 		rt.mu.Unlock()
 
 		if lost {
+			// Routes finalized by shard loss replay as failed; routes
+			// orphaned after finishing (owner removed before its history
+			// could be handed off) replay their real terminal state.
 			data, err := json.Marshal(hpas.StreamMessage{
 				Type:  "done",
-				State: hpas.StreamJobFailed,
+				State: hpas.StreamJobState(state),
 				Error: errText,
 			})
 			if err != nil {
@@ -791,24 +1033,34 @@ func (rt *Router) StreamFrames(ctx context.Context, gid string, from int, fn fun
 
 // ---- aggregate views ----
 
-// snapshotShards renders the member list with per-shard route counts
-// and the last health observation, in configuration order.
+// snapshotShards renders the member list with per-shard route counts,
+// membership state, and the last health observation, in configuration
+// order.
 func (rt *Router) snapshotShards() []api.ShardInfo {
+	members := rt.mem.snapshot()
 	rt.mu.Lock()
-	owned := make(map[*member]int, len(rt.members))
+	owned := make(map[*member]int, len(members))
 	for _, gid := range rt.order {
 		if r := rt.routes[gid]; r != nil && r.shard != nil {
 			owned[r.shard]++
 		}
 	}
 	rt.mu.Unlock()
-	out := make([]api.ShardInfo, 0, len(rt.members))
-	for _, m := range rt.members {
+	out := make([]api.ShardInfo, 0, len(members))
+	for _, m := range members {
 		m.mu.Lock()
+		state := "alive"
+		switch {
+		case !m.alive:
+			state = "down"
+		case m.leaving:
+			state = "draining"
+		}
 		out = append(out, api.ShardInfo{
 			Name:                m.name,
 			Addr:                m.addr,
 			Alive:               m.alive,
+			State:               state,
 			Jobs:                owned[m],
 			ConsecutiveFailures: m.fails,
 			LastError:           m.lastErr,
@@ -824,25 +1076,50 @@ func (rt *Router) Stats() api.RouterStats {
 	rt.mu.Lock()
 	tracked := len(rt.routes)
 	rt.mu.Unlock()
+	epoch, _ := rt.mem.version()
 	return api.RouterStats{
-		JobsRouted:      rt.jobsRouted.Load(),
-		Replays:         rt.replays.Load(),
-		Resubmitted:     rt.resubmitted.Load(),
-		JobsLost:        rt.jobsLost.Load(),
-		ShardsDown:      rt.shardsDown.Load(),
-		ShardsRecovered: rt.shardsRecovered.Load(),
-		ShardsAlive:     len(rt.aliveNames()),
-		RoutesTracked:   tracked,
+		JobsRouted:       rt.jobsRouted.Load(),
+		Replays:          rt.replays.Load(),
+		Resubmitted:      rt.resubmitted.Load(),
+		JobsLost:         rt.jobsLost.Load(),
+		ShardsDown:       rt.shardsDown.Load(),
+		ShardsRecovered:  rt.shardsRecovered.Load(),
+		ShardsAlive:      len(rt.aliveNames()),
+		RoutesTracked:    tracked,
+		Epoch:            epoch,
+		MembersAdded:     rt.membersAdded.Load(),
+		MembersRemoved:   rt.membersRemoved.Load(),
+		JobsHandedOff:    rt.jobsHandedOff.Load(),
+		RoutesReclaimed:  rt.routesReclaimed.Load(),
+		OrphansCancelled: rt.orphansCancelled.Load(),
+		EpochConflicts:   rt.epochConflicts.Load(),
 	}
 }
 
-// Topology is the GET /v1/topology body.
+// Epoch returns the current membership epoch.
+func (rt *Router) Epoch() uint64 {
+	epoch, _ := rt.mem.version()
+	return epoch
+}
+
+// Topology is the GET /v1/topology body: the canonical discovery
+// document, carrying the hashing scheme, the membership epoch and
+// member-set hash, and each member's state, health, and probe-failure
+// count.
 func (rt *Router) Topology() api.Topology {
-	return api.Topology{Hashing: RingHashing, Shards: rt.snapshotShards(), Router: rt.Stats()}
+	epoch, setHash := rt.mem.version()
+	return api.Topology{
+		Hashing:     RingHashing,
+		Epoch:       epoch,
+		MembersHash: fmt.Sprintf("%016x", setHash),
+		Shards:      rt.snapshotShards(),
+		Router:      rt.Stats(),
+	}
 }
 
 // Ready is the router's readiness report and the HTTP status it
-// travels under: ready while at least one shard is alive.
+// travels under: ready while at least one shard is alive and the
+// divergence probe has not suspended routing.
 func (rt *Router) Ready() (api.RouterReady, int) {
 	shards := rt.snapshotShards()
 	alive := 0
@@ -852,6 +1129,10 @@ func (rt *Router) Ready() (api.RouterReady, int) {
 		}
 	}
 	rr := api.RouterReady{Status: "ok", Shards: shards}
+	if msg := rt.divergedMsg(); msg != "" {
+		rr.Status = "epoch-diverged"
+		return rr, http.StatusServiceUnavailable
+	}
 	if alive == 0 {
 		rr.Status = "no-shards"
 		return rr, http.StatusServiceUnavailable
@@ -862,13 +1143,14 @@ func (rt *Router) Ready() (api.RouterReady, int) {
 // Metrics aggregates the router counters with every alive shard's
 // manager telemetry (fetched in parallel) and cross-shard totals.
 func (rt *Router) Metrics(ctx context.Context) map[string]any {
+	members := rt.mem.snapshot()
 	type snap struct {
 		stats hpas.StreamStats
 		ok    bool
 	}
-	snaps := make([]snap, len(rt.members))
+	snaps := make([]snap, len(members))
 	var wg sync.WaitGroup
-	for i, m := range rt.members {
+	for i, m := range members {
 		if !m.isAlive() {
 			continue
 		}
@@ -883,7 +1165,7 @@ func (rt *Router) Metrics(ctx context.Context) map[string]any {
 	}
 	wg.Wait()
 
-	shards := make(map[string]any, len(rt.members))
+	shards := make(map[string]any, len(members))
 	var agg struct {
 		JobsRunning      int64 `json:"jobs_running"`
 		JobsDone         int64 `json:"jobs_done"`
@@ -894,7 +1176,7 @@ func (rt *Router) Metrics(ctx context.Context) map[string]any {
 		WindowsProcessed int64 `json:"windows_processed"`
 		EventsEmitted    int64 `json:"events_emitted"`
 	}
-	for i, m := range rt.members {
+	for i, m := range members {
 		if !snaps[i].ok {
 			shards[m.name] = map[string]string{"status": "unreachable"}
 			continue

@@ -132,7 +132,9 @@ func TestRouterRoutesGetsAndListsDeterministically(t *testing.T) {
 		if err != nil || replayed {
 			t.Fatalf("submit %d: replayed=%v err=%v", i, replayed, err)
 		}
-		want := fmt.Sprintf("g%05d", i+1)
+		// Gids derive deterministically from (epoch, member-set hash,
+		// counter) — the agreement contract between replicated routers.
+		want := gidFor(1, membersHash(c.names), i+1)
 		if st.ID != want {
 			t.Fatalf("submit %d assigned %q, want %q", i, st.ID, want)
 		}
@@ -365,7 +367,7 @@ func TestRouterFailoverRequeuesQueuedAndFinalizesRunning(t *testing.T) {
 	}
 
 	// Each shard's first-placed job grabs the lone worker.
-	victim := rendezvousOwner("g00001", c.names)
+	victim := rendezvousOwner(gidFor(1, membersHash(c.names), 1), c.names)
 	survivor := c.names[0]
 	if survivor == victim {
 		survivor = c.names[1]

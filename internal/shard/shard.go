@@ -1,10 +1,22 @@
 // Package shard scales the streaming job manager horizontally: a
-// Router owns a static member list of shards — each a complete job
-// manager with its own worker pool, queue, and (optionally) journal —
-// and places every submission on the shard that wins a rendezvous hash
-// of the router-assigned job ID. The router serves the same /v1 API it
-// consumes, so clients, the Go client package, and even another router
-// cannot tell a routed deployment from a single instance.
+// Router owns a runtime-mutable member list of shards — each a
+// complete job manager with its own worker pool, queue, and
+// (optionally) journal — and places every submission on the shard that
+// wins a rendezvous hash of the router-assigned job ID. The router
+// serves the same /v1 API it consumes, so clients, the Go client
+// package, and even another router cannot tell a routed deployment
+// from a single instance.
+//
+// Membership is an epoch-versioned state machine (see membership.go):
+// the boot-time list seeds it, and the router's admin endpoints join,
+// drain, and remove members at runtime. Every administered change
+// bumps the epoch; job IDs are derived deterministically from (epoch,
+// member-set hash, counter), so replicated routers fed the same
+// changes assign identical IDs and placements — and a router whose
+// divergence probe catches a peer at a conflicting epoch suspends
+// routing rather than split-brain. A departing member's finished jobs
+// are handed off — their journal histories streamed to the member that
+// inherits them — so stream replays survive the topology change.
 //
 // Placement is rendezvous (highest-random-weight) hashing over the
 // alive member set: every (job, shard) pair is scored with FNV-1a 64
@@ -75,6 +87,17 @@ type Backend interface {
 	Check(ctx context.Context) (api.ShardHealth, error)
 	// Metrics snapshots the shard's manager telemetry.
 	Metrics(ctx context.Context) (hpas.StreamStats, error)
+	// Handoff streams job id's journal history — one encoded record per
+	// fn call, without newlines — starting at record offset from. Only
+	// terminal jobs hand off; a non-terminal id is an ErrBadRequest. A
+	// transfer cut mid-stream resumes by calling again with from set to
+	// the count of records already received.
+	Handoff(ctx context.Context, id string, from int, fn func(rec []byte) error) error
+	// Adopt imports a job history (record lines as produced by Handoff)
+	// under the shard's own job namespace, deduplicating on the
+	// history's idempotency key: replayed reports the key already named
+	// a job there and no import happened.
+	Adopt(ctx context.Context, id string, recs [][]byte) (st api.JobStatus, replayed bool, err error)
 	// Close releases the backend's resources.
 	Close() error
 }
@@ -112,4 +135,12 @@ var (
 	// ErrBadRequest wraps request validation failures, so failover
 	// logic never retries a request that can only fail again.
 	ErrBadRequest = errors.New("shard: bad request")
+	// ErrEpochDiverged reports that the divergence probe found a peer
+	// router at a conflicting membership epoch; routing is suspended
+	// (503 + Retry-After) until the replicas agree again.
+	ErrEpochDiverged = errors.New("shard: membership epoch diverged between replicated routers")
+	// ErrEpochMismatch reports an admin mutation whose expected epoch
+	// (its compare-and-swap precondition) no longer matches the live
+	// one; the caller must re-read the member list and retry (409).
+	ErrEpochMismatch = errors.New("shard: membership epoch mismatch")
 )

@@ -1,0 +1,122 @@
+package stream
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+)
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// Adopting a terminal history imports it under a fresh local ID with
+// the full log intact, so a follower at the adopter replays exactly
+// what the source streamed.
+func TestAdoptImportsTerminalHistory(t *testing.T) {
+	src := NewManager(Config{Workers: 1})
+	defer src.Close()
+	j, err := src.Submit(keyed(7, "adopt-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcLog := drain(t, j)
+	snap := j.Snapshot()
+
+	dst := NewManager(Config{Workers: 1})
+	defer dst.Close()
+	aj, deduped, err := dst.Adopt(snap)
+	if err != nil || deduped {
+		t.Fatalf("adopt: deduped %v, err %v", deduped, err)
+	}
+	if aj.ID() == j.ID() {
+		// Both managers start at j0001, so equal IDs are expected here —
+		// the point is the adopter assigned its own, not inherited one.
+		t.Logf("adopter reused local ID space: %s", aj.ID())
+	}
+	if st, _ := aj.State(); st != JobDone {
+		t.Fatalf("adopted state = %s, want done", st)
+	}
+	if mustJSON(t, drain(t, aj)) != mustJSON(t, srcLog) {
+		t.Fatal("adopted stream replay differs from the source stream")
+	}
+	if got := dst.Stats().JobsAdopted; got != 1 {
+		t.Fatalf("JobsAdopted = %d, want 1", got)
+	}
+}
+
+// Adopting a history whose idempotency key the manager already holds is
+// a no-op returning the prior job: the exactly-once contract survives a
+// handoff racing a re-placed submission.
+func TestAdoptDedupesOnIdempotencyKey(t *testing.T) {
+	src := NewManager(Config{Workers: 1})
+	defer src.Close()
+	j, err := src.Submit(keyed(7, "adopt-dup"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(t, j)
+	snap := j.Snapshot()
+
+	dst := NewManager(Config{Workers: 1})
+	defer dst.Close()
+	prior, dup, err := dst.SubmitIdempotent(keyed(7, "adopt-dup"))
+	if err != nil || dup {
+		t.Fatalf("seed submission: dup %v, err %v", dup, err)
+	}
+	aj, deduped, err := dst.Adopt(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !deduped || aj != prior {
+		t.Fatalf("adopt returned job %s (deduped %v), want prior %s", aj.ID(), deduped, prior.ID())
+	}
+	if got := dst.Stats().JobsAdopted; got != 0 {
+		t.Fatalf("JobsAdopted = %d after a dedupe, want 0", got)
+	}
+	drain(t, prior)
+}
+
+// A non-terminal history — the source died mid-run — is finalized as
+// failed-by-shard-loss at adoption, with the terminal fixup appended to
+// the log so followers see a clean "done" frame.
+func TestAdoptFinalizesNonTerminalHistory(t *testing.T) {
+	src := NewManager(Config{Workers: 1})
+	defer src.Close()
+	j, err := src.Submit(keyed(9, "adopt-lost"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(t, j)
+	snap := j.Snapshot()
+	// Rewind the snapshot to mid-run: running state, partial log, no
+	// terminal record.
+	snap.State = JobRunning
+	snap.Finished = time.Time{}
+	snap.Err = ""
+	if len(snap.Log) > 2 {
+		snap.Log = snap.Log[:2]
+	}
+
+	dst := NewManager(Config{Workers: 1})
+	defer dst.Close()
+	aj, deduped, err := dst.Adopt(snap)
+	if err != nil || deduped {
+		t.Fatalf("adopt: deduped %v, err %v", deduped, err)
+	}
+	st, jerr := aj.State()
+	if st != JobFailed || !errors.Is(jerr, ErrShardLost) {
+		t.Fatalf("adopted state = %s (err %v), want failed by shard loss", st, jerr)
+	}
+	msgs := drain(t, aj)
+	last := msgs[len(msgs)-1]
+	if last.Type != "done" || last.State != JobFailed || last.Error != ErrShardLost.Error() {
+		t.Fatalf("terminal frame = %+v, want a done/failed/shard-lost fixup", last)
+	}
+}

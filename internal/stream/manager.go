@@ -120,6 +120,30 @@ func (j *Job) Events() []Event {
 	return append([]Event(nil), j.events...)
 }
 
+// Snapshot copies the job's durable identity — spec, lifecycle, and
+// full message log — into a RecoveredJob, the same shape journal
+// recovery produces. It is the export half of journal handoff: the
+// snapshot of a terminal job round-trips through
+// journal.EncodeRecords/Replay into a byte-identical replay at the
+// adopting shard.
+func (j *Job) Snapshot() RecoveredJob {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	r := RecoveredJob{
+		ID:       j.id,
+		Spec:     j.spec,
+		State:    j.state,
+		Created:  j.created,
+		Started:  j.started,
+		Finished: j.finished,
+		Log:      append([]Message(nil), j.log...),
+	}
+	if j.err != nil {
+		r.Err = j.err.Error()
+	}
+	return r
+}
+
 // DefaultFollowLimit is the per-follower lag bound used when
 // Config.FollowLimit is zero; it also bounds each replay copy, so a
 // follower's memory is O(limit) regardless of log length.
@@ -313,6 +337,7 @@ type Manager struct {
 
 	tel         Telemetry
 	dedup       atomic.Int64 // submissions answered by an existing keyed job
+	adopted     atomic.Int64 // histories imported from another shard via Adopt
 	running     atomic.Int64
 	done        atomic.Int64
 	failed      atomic.Int64
@@ -537,6 +562,97 @@ func (m *Manager) Reopen(recovered []RecoveredJob) error {
 		m.journalState(f.id, JobFailed, ErrInterrupted.Error(), f.at)
 	}
 	return nil
+}
+
+// Adopt imports one job's history — typically a RecoveredJob decoded
+// from another shard's journal handoff (journal.Replay) — into a live
+// manager. Unlike Reopen it runs at any point of the manager's life,
+// assigns the job a fresh local ID (handoff IDs come from another
+// manager's namespace and may collide with ours), and dedupes on the
+// spec's idempotency key: if the key already names a local job — e.g.
+// failover already re-placed the queued job here before its history
+// arrived — that job is returned with deduped true and nothing is
+// imported. A non-terminal history is finalized as JobFailed with
+// ErrShardLost (its simulation state died with the source shard), and
+// the adopted history is journaled locally so it survives this
+// manager's own restarts.
+func (m *Manager) Adopt(r RecoveredJob) (j *Job, deduped bool, err error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, false, ErrClosed
+	}
+	if k := r.Spec.IdempotencyKey; k != "" {
+		if prior, ok := m.byKey[k]; ok {
+			m.dedup.Add(1)
+			m.mu.Unlock()
+			return prior, true, nil
+		}
+	}
+	m.nextID++
+	j = &Job{
+		id:            fmt.Sprintf("j%04d", m.nextID),
+		spec:          r.Spec,
+		followLimit:   m.cfg.FollowLimit,
+		gaps:          &m.gapsDropped,
+		framesEncoded: &m.framesEnc,
+		frameHits:     &m.frameHits,
+		state:         r.State,
+		log:           append([]Message(nil), r.Log...),
+		created:       r.Created,
+		started:       r.Started,
+		finished:      r.Finished,
+		updated:       make(chan struct{}),
+	}
+	if r.Err != "" {
+		j.err = errors.New(r.Err)
+	}
+	if !j.state.Final() {
+		// The terminal fixup lands in j.log here, so the full-log journal
+		// pass below records it too — the next restart replays it as-is.
+		j.state = JobFailed
+		j.err = ErrShardLost
+		j.finished = time.Now()
+		j.log = append(j.log, Message{Type: "done", State: JobFailed, Error: ErrShardLost.Error()})
+	}
+	for _, msg := range j.log {
+		if msg.Type == "event" && msg.Event != nil {
+			j.events = append(j.events, *msg.Event)
+		}
+	}
+	switch j.state {
+	case JobDone:
+		m.done.Add(1)
+	case JobFailed:
+		m.failed.Add(1)
+	case JobCancelled:
+		m.cancelled.Add(1)
+	}
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	if k := r.Spec.IdempotencyKey; k != "" {
+		m.byKey[k] = j
+	}
+	m.adopted.Add(1)
+	log, state, errText, finished := j.log, j.state, "", j.finished
+	if j.err != nil {
+		errText = j.err.Error()
+	}
+	m.mu.Unlock()
+
+	// Journal the adopted history under the new local ID — outside the
+	// manager lock; the job is already visible and its log immutable
+	// (terminal jobs take no appends).
+	if m.store != nil {
+		if err := m.store.Create(j.id, r.Created, r.Spec); err != nil {
+			m.storeErrs.Add(1)
+		}
+		for seq, msg := range log {
+			m.journalAppend(j.id, seq, msg)
+		}
+		m.journalState(j.id, state, errText, finished)
+	}
+	return j, false, nil
 }
 
 // Get returns the job with the given ID.
@@ -803,6 +919,7 @@ type Stats struct {
 	// Idempotent submission (this PR's retry-safety work).
 	IdempotentHits  int64 `json:"idempotent_hits"`  // submissions answered by an existing keyed job
 	IdempotencyKeys int   `json:"idempotency_keys"` // keys currently tracked
+	JobsAdopted     int64 `json:"jobs_adopted"`     // histories imported via journal handoff
 
 	// Shared-frame broadcast telemetry: how often followers reused a
 	// ring-cached encoding instead of marshaling their own copy.
@@ -844,6 +961,7 @@ func (m *Manager) Stats() Stats {
 		UptimeSeconds:    up,
 		IdempotentHits:   m.dedup.Load(),
 		IdempotencyKeys:  keys,
+		JobsAdopted:      m.adopted.Load(),
 		GapsDropped:      m.gapsDropped.Load(),
 		PanicsRecovered:  m.panics.Load(),
 		FramesEncoded:    m.framesEnc.Load(),

@@ -65,6 +65,10 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /v1/jobs/{id}", admit(withDeadline(10*time.Second, s.handleGet)))
 	mux.Handle("DELETE /v1/jobs/{id}", admit(withDeadline(10*time.Second, s.handleCancel)))
 	mux.Handle("GET /v1/jobs/{id}/stream", s.adm.WrapRate(http.HandlerFunc(s.handleStream)))
+	// Journal handoff (see handoff.go): router-driven rebalancing
+	// traffic, deliberately outside admission control like the probes.
+	mux.HandleFunc("GET /v1/handoff/{id}", withDeadline(10*time.Second, s.handleHandoffGet))
+	mux.HandleFunc("POST /v1/handoff/{id}", withDeadline(30*time.Second, s.handleHandoffPost))
 	mux.HandleFunc("GET /v1/metrics", withDeadline(10*time.Second, s.handleMetrics))
 	mux.HandleFunc("GET /v1/healthz", withDeadline(5*time.Second, s.handleHealthz))
 	mux.HandleFunc("GET /v1/readyz", withDeadline(5*time.Second, s.handleReadyz))
