@@ -147,6 +147,12 @@ type RouterStats struct {
 	RoutesReclaimed  int64  `json:"routes_reclaimed"`  // routes rebound to a joining member that proved their history
 	OrphansCancelled int64  `json:"orphans_cancelled"` // zombie job copies cancelled on member rejoin
 	EpochConflicts   int64  `json:"epoch_conflicts"`   // divergence-probe routing refusals entered
+
+	// Self-healing coordination counters.
+	MutationsForwarded int64 `json:"mutations_forwarded"` // per-peer replication acks (applied or converged)
+	ForwardsPending    int   `json:"forwards_pending"`    // (record, peer) forwards awaiting an ack
+	EpochCatchUps      int64 `json:"epoch_catch_ups"`     // peer member lists adopted by the divergence probe
+	StandbysPromoted   int64 `json:"standbys_promoted"`   // dead members auto-replaced from the standby pool
 }
 
 // Topology is the GET /v1/topology response and the canonical discovery
@@ -219,12 +225,36 @@ type MemberChange struct {
 	Reclaimed int `json:"reclaimed,omitempty"`
 }
 
+// PeerStatus is one replicated-router peer as the divergence probe last
+// observed it, reported inside RouterReady so an epoch-diverged refusal
+// names the peer that disagrees instead of being a bare 503.
+type PeerStatus struct {
+	Addr      string `json:"addr"`
+	Reachable bool   `json:"reachable"`
+	// Epoch and MembersHash are the peer's values from its last reached
+	// /v1/topology probe; zero/empty while the peer is unreachable.
+	Epoch       uint64 `json:"epoch,omitempty"`
+	MembersHash string `json:"members_hash,omitempty"`
+	// Agree is true when the peer was reached and reported the same
+	// epoch and members_hash as this router.
+	Agree bool `json:"agree"`
+	// Detail explains a disagreement ("peer ahead", "set-hash differs at
+	// equal epoch", ...) or the probe error for unreachable peers.
+	Detail string `json:"detail,omitempty"`
+}
+
 // RouterReady is the router's GET /v1/readyz response: ready while at
 // least one shard is alive and the divergence probe has not suspended
 // routing.
 type RouterReady struct {
 	Status string      `json:"status"` // "ok" | "no-shards" | "epoch-diverged"
 	Shards []ShardInfo `json:"shards"`
+	// Diverged carries the divergence-probe verdict while Status is
+	// "epoch-diverged".
+	Diverged string `json:"diverged,omitempty"`
+	// Peers is the per-peer view behind that verdict, present whenever
+	// the router was started with -peers.
+	Peers []PeerStatus `json:"peers,omitempty"`
 }
 
 // IdempotencyKeyHeader names the POST /v1/jobs request header that
@@ -246,6 +276,12 @@ const MaxIdempotencyKeyLen = 256
 // GET /v1/topology refreshes when the header exceeds the cached epoch —
 // the push half of topology discovery, without a watch channel.
 const EpochHeader = "Hpas-Epoch"
+
+// ForwardedHeader marks an admin membership mutation that a replicated
+// router is relaying to its peers. A router receiving it applies the
+// mutation locally but does not re-broadcast it — the loop-prevention
+// half of peer mutation replication.
+const ForwardedHeader = "Hpas-Forwarded"
 
 // HandoffRecordsHeader names the GET /v1/handoff/{id} response header
 // carrying the job's total record count. A receiver interrupted

@@ -264,11 +264,41 @@ func parseRetryAfter(h http.Header) time.Duration {
 	return 0
 }
 
+// catchUpRetries bounds the extra retry budget granted on top of
+// MaxRetries while a router is visibly catching up to its peers (see
+// routerCatchingUp). The condition is self-limiting — the router either
+// adopts its peer's member set within a few probe rounds or the epoch
+// header stops regressing — so the bound only guards against a router
+// wedged in divergence forever.
+const catchUpRetries = 8
+
+// routerCatchingUp reports whether a failed attempt is a replicated
+// router mid-catch-up: 503 with a Retry-After hint whose membership
+// epoch trails the highest epoch this client has already observed. That
+// regression means the router suspended routing because a peer is ahead
+// — a bounded, self-healing state worth waiting out on the same base
+// URL rather than surfacing to the caller.
+func (c *Client) routerCatchingUp(resp *http.Response, ae *APIError) bool {
+	if ae == nil || ae.StatusCode != http.StatusServiceUnavailable || resp == nil {
+		return false
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		return false
+	}
+	s := resp.Header.Get(api.EpochHeader)
+	if s == "" {
+		return false
+	}
+	n, err := strconv.ParseUint(s, 10, 64)
+	return err == nil && n < c.Epoch()
+}
+
 // doRetry performs one API call with the retry policy, decoding a 2xx
 // body into out (when non-nil) and non-2xx bodies into an *APIError.
 // The returned response's body is already consumed and closed.
 func (c *Client) doRetry(ctx context.Context, method, path string, body []byte, hdr http.Header, out any) (*http.Response, error) {
 	var lastErr error
+	extra := 0 // catch-up retries granted beyond maxRetries
 	for attempt := 0; ; attempt++ {
 		resp, err := c.doOnce(ctx, method, path, body, hdr, out)
 		if err == nil {
@@ -277,7 +307,10 @@ func (c *Client) doRetry(ctx context.Context, method, path string, body []byte, 
 		lastErr = err
 		var ae *APIError
 		transient := !errors.As(err, &ae) || retryable(ae.StatusCode)
-		if !transient || attempt >= c.maxRetries || ctx.Err() != nil {
+		if transient && attempt >= c.maxRetries+extra && extra < catchUpRetries && c.routerCatchingUp(resp, ae) {
+			extra++
+		}
+		if !transient || attempt >= c.maxRetries+extra || ctx.Err() != nil {
 			return nil, lastErr
 		}
 		var ra time.Duration

@@ -288,3 +288,103 @@ func TestNewIdempotencyKeysAreDistinctAndSeeded(t *testing.T) {
 		t.Fatalf("same seed diverged: %q vs %q", got, k1)
 	}
 }
+
+// catchUpMux fakes a replicated router mid-epoch-catch-up: listings
+// succeed at the healthy epoch, while submissions answer 503 with a
+// Retry-After hint and a *regressed* epoch header until failFor
+// attempts have been consumed (forever when failFor < 0).
+func catchUpMux(submits *atomic.Int32, failFor int32, failEpoch string) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(api.EpochHeader, "7")
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, `{"jobs":[]}`)
+	})
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		if n := submits.Add(1); failFor < 0 || n <= failFor {
+			w.Header().Set(api.EpochHeader, failEpoch)
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(api.Error{Error: "routing suspended: catching up to peer"})
+			return
+		}
+		w.Header().Set(api.EpochHeader, "7")
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(api.JobStatus{ID: "g7-0-1", State: "queued"})
+	})
+	return mux
+}
+
+// A 503 whose epoch header trails the highest epoch this client has
+// seen is a router mid-catch-up — a bounded, self-healing state — so
+// the retry budget stretches past MaxRetries instead of surfacing a
+// transient topology hiccup to the caller.
+func TestRetryBudgetExtendsWhileRouterCatchesUp(t *testing.T) {
+	var submits atomic.Int32
+	const failFor = 6 // well past MaxRetries+1 attempts, within the catch-up allowance
+	ts := httptest.NewServer(catchUpMux(&submits, failFor, "2"))
+	defer ts.Close()
+
+	opts := fastOpts()
+	opts.MaxRetries = 2
+	c := New(ts.URL, opts)
+	// Watermark the healthy epoch first; the regression is judged
+	// against the highest epoch the client has observed.
+	if _, err := c.List(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Epoch(); got != 7 {
+		t.Fatalf("epoch watermark = %d, want 7", got)
+	}
+
+	st, err := c.Submit(context.Background(), api.JobRequest{Seed: 1})
+	if err != nil {
+		t.Fatalf("submit across the catch-up window: %v", err)
+	}
+	if st.ID != "g7-0-1" {
+		t.Fatalf("submitted job = %+v", st)
+	}
+	if got := submits.Load(); got != failFor+1 {
+		t.Fatalf("server saw %d submit attempts, want %d (budget must stretch across the catch-up)", got, failFor+1)
+	}
+	// The regressed headers never lowered the watermark.
+	if got := c.Epoch(); got != 7 {
+		t.Fatalf("epoch watermark after catch-up = %d, want 7", got)
+	}
+}
+
+// Without an epoch regression the same 503s are ordinary shedding: the
+// stock budget applies. And even a genuine regression cannot stretch
+// the budget forever — a router wedged in divergence eventually
+// surfaces the error.
+func TestCatchUpRetriesRequireRegressionAndStayBounded(t *testing.T) {
+	for _, tc := range []struct {
+		name         string
+		failEpoch    string // epoch header on the 503s
+		wantAttempts int32
+	}{
+		{"no regression", "7", 3},     // MaxRetries+1: nothing extends the budget
+		{"wedged router", "2", 3 + 8}, // MaxRetries+1 plus the full catch-up allowance
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var submits atomic.Int32
+			ts := httptest.NewServer(catchUpMux(&submits, -1, tc.failEpoch))
+			defer ts.Close()
+
+			opts := fastOpts()
+			opts.MaxRetries = 2
+			c := New(ts.URL, opts)
+			if _, err := c.List(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			_, err := c.Submit(context.Background(), api.JobRequest{Seed: 1})
+			var ae *APIError
+			if !errors.As(err, &ae) || ae.StatusCode != http.StatusServiceUnavailable {
+				t.Fatalf("err = %v, want the 503 surfaced", err)
+			}
+			if got := submits.Load(); got != tc.wantAttempts {
+				t.Fatalf("server saw %d submit attempts, want %d", got, tc.wantAttempts)
+			}
+		})
+	}
+}

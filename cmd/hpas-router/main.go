@@ -22,12 +22,18 @@
 //	DELETE /v1/admin/members/{name}  drain (default) or ?drain=false to force
 //
 // Every membership change bumps an epoch; replicated routers given the
-// same -epoch seed and the same admin mutations assign identical job
-// IDs and placements, and the -peers divergence probe suspends routing
-// (503) if replicas ever disagree. A draining member takes no new
-// placements, has its queued jobs re-homed exactly once, and hands its
-// finished jobs' journal histories to the members inheriting them
-// before it is detached.
+// same -epoch seed assign identical job IDs and placements. An admin
+// mutation applied to any one router is forwarded to its -peers (a
+// journaled, idempotent broadcast — see -repl-log), a router that finds
+// a peer ahead of it adopts the peer's member set and resumes routing,
+// and the -peers divergence probe suspends routing (503) while replicas
+// disagree. A draining member takes no new placements, has its queued
+// jobs re-homed exactly once, and hands its finished jobs' journal
+// histories to the members inheriting them before it is detached. With
+// -replace-after, a member down past the grace is replaced without an
+// operator: a -standby shard (or, in -local mode with -data-dir, a
+// respawn over the dead shard's journal) is promoted under its name and
+// inherits its routes.
 //
 // Two deployment shapes:
 //
@@ -58,6 +64,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -75,9 +82,13 @@ func main() {
 	queue := flag.Int("queue", 16, "per-shard pending-job queue capacity (-local mode)")
 	checkInterval := flag.Duration("check-interval", time.Second, "shard health-probe period")
 	failAfter := flag.Int("fail-after", 2, "consecutive failed probes before a shard leaves the ring")
-	peers := flag.String("peers", "", "comma-separated base URLs of replicated peer routers (epoch divergence probe)")
+	peers := flag.String("peers", "", "comma-separated base URLs of replicated peer routers (mutation forwarding + epoch divergence probe)")
 	epoch := flag.Uint64("epoch", 1, "initial membership epoch (replicated routers must agree)")
 	drainGrace := flag.Duration("drain-grace", 0, "max time a draining shard may hold running jobs before removal is forced (0 waits)")
+	replLog := flag.String("repl-log", "", "NDJSON ledger persisting un-acked peer-mutation forwards across restarts")
+	standbys := flag.String("standby", "", "comma-separated base URLs of standby hpas-serve shards for automatic replacement")
+	replaceAfter := flag.Duration("replace-after", 0, "auto-replace a member down this long with a standby (0 disables)")
+	dataDir := flag.String("data-dir", "", "journal directory for -local shards (one subdirectory per shard); enables respawn-based replacement")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown budget")
 	trainApps := flag.String("train-apps", "CoMD", "comma-separated Table 2 apps for detector training (-local mode)")
 	trainClasses := flag.String("train-classes", "", "comma-separated anomaly classes to train on (default: all) (-local mode)")
@@ -91,6 +102,7 @@ func main() {
 	defer stop()
 
 	var members []shard.Member
+	var respawn func(name string) (shard.Backend, error)
 	switch {
 	case *shards != "" && *local > 0:
 		log.Fatal("hpas-router: give -shards or -local, not both")
@@ -108,24 +120,34 @@ func main() {
 			log.Fatalf("hpas-router: training detector: %v", err)
 		}
 		for i := 0; i < *local; i++ {
-			mgr := hpas.NewStreamManager(hpas.StreamConfig{Workers: *workers, Queue: *queue})
-			srv := serve.New(mgr, det, serve.Config{})
 			members = append(members, shard.Member{
 				Name:    shardName(i),
-				Backend: shard.NewLocal(mgr, srv),
+				Backend: newLocalShard(shardName(i), *dataDir, *workers, *queue, det),
 			})
+		}
+		if *dataDir != "" {
+			// Respawn-based replacement: a dead local shard's successor
+			// reopens the same journal subdirectory, recovering the job
+			// histories the router will then reclaim by idempotency key.
+			respawn = func(name string) (shard.Backend, error) {
+				return newLocalShard(name, *dataDir, *workers, *queue, det), nil
+			}
 		}
 	default:
 		log.Fatal("hpas-router: need -shards URLs or -local N")
 	}
 
 	rt, err := shard.NewRouter(members, shard.Config{
-		CheckInterval: *checkInterval,
-		FailAfter:     *failAfter,
-		Logf:          log.Printf,
-		InitialEpoch:  *epoch,
-		Peers:         splitCSV(*peers),
-		DrainGrace:    *drainGrace,
+		CheckInterval:  *checkInterval,
+		FailAfter:      *failAfter,
+		Logf:           log.Printf,
+		InitialEpoch:   *epoch,
+		Peers:          splitCSV(*peers),
+		DrainGrace:     *drainGrace,
+		ReplicationLog: *replLog,
+		ReplaceAfter:   *replaceAfter,
+		Standbys:       splitCSV(*standbys),
+		Respawn:        respawn,
 	})
 	if err != nil {
 		log.Fatalf("hpas-router: %v", err)
@@ -163,6 +185,28 @@ func main() {
 
 func shardName(i int) string {
 	return fmt.Sprintf("shard%d", i)
+}
+
+// newLocalShard builds one in-process shard, journaling to its own
+// subdirectory of dataDir when one is given — which is what lets a
+// respawned replacement recover a dead shard's job history.
+func newLocalShard(name, dataDir string, workers, queue int, det *hpas.Detector) shard.Backend {
+	scfg := hpas.StreamConfig{Workers: workers, Queue: queue}
+	var recovered []hpas.StreamRecoveredJob
+	if dataDir != "" {
+		store, rec := serve.OpenJournal(filepath.Join(dataDir, name), log.Printf)
+		scfg.Store = store
+		recovered = rec
+	}
+	mgr := hpas.NewStreamManager(scfg)
+	if scfg.Store != nil {
+		if err := mgr.Reopen(recovered); err != nil {
+			log.Printf("hpas-router: %s: reopening recovered jobs: %v; starting with empty history", name, err)
+		} else if len(recovered) > 0 {
+			log.Printf("hpas-router: %s: recovered %d job(s) from its journal", name, len(recovered))
+		}
+	}
+	return shard.NewLocal(mgr, serve.New(mgr, det, serve.Config{}))
 }
 
 // trainDetector fits the shared detector for -local shards, mirroring

@@ -54,6 +54,15 @@ func (rt *Router) Members() api.MemberList {
 // rebound to the new member so stream replays serve the journaled
 // history again instead of a synthesized terminal frame.
 func (rt *Router) AddMember(ctx context.Context, m Member, expectEpoch uint64) (api.MemberChange, error) {
+	return rt.addMember(ctx, m, expectEpoch, false)
+}
+
+// addMember is AddMember's forwarded-aware core. forwarded marks a
+// mutation replicated from a peer router: it applies under the same CAS
+// guard but is not re-recorded for replication — the originating router
+// owns the broadcast, and re-recording would bounce mutations between
+// peers forever.
+func (rt *Router) addMember(ctx context.Context, m Member, expectEpoch uint64, forwarded bool) (api.MemberChange, error) {
 	if m.Name == "" || m.Backend == nil {
 		return api.MemberChange{}, fmt.Errorf("%w: member needs a name and a backend", ErrBadRequest)
 	}
@@ -77,6 +86,10 @@ func (rt *Router) AddMember(ctx context.Context, m Member, expectEpoch uint64) (
 	}
 	rt.logf("shard %s: joined the ring at epoch %d (%d route(s) reclaimed)", m.Name, newEpoch, reclaimed)
 	rt.bumpTopo()
+	if !forwarded {
+		rt.recordMutation("join", m.Name, m.Addr, "", epoch, newEpoch)
+		rt.flushReplication()
+	}
 	return api.MemberChange{Name: m.Name, Epoch: newEpoch, Reclaimed: reclaimed}, nil
 }
 
@@ -87,6 +100,14 @@ func (rt *Router) AddMember(ctx context.Context, m Member, expectEpoch uint64) (
 // idempotent: it re-runs the drain pass without bumping the epoch
 // again.
 func (rt *Router) RemoveMember(ctx context.Context, name string, drain bool, expectEpoch uint64) (api.MemberChange, error) {
+	return rt.removeMember(ctx, name, drain, expectEpoch, false)
+}
+
+// removeMember is RemoveMember's forwarded-aware core; see addMember
+// for the forwarded contract. A replication record is cut only when the
+// call actually moved the epoch — a repeated drain request converges
+// without re-broadcasting.
+func (rt *Router) removeMember(ctx context.Context, name string, drain bool, expectEpoch uint64, forwarded bool) (api.MemberChange, error) {
 	rt.fomu.Lock()
 	epoch, _ := rt.mem.version()
 	if expectEpoch != 0 && expectEpoch != epoch {
@@ -102,6 +123,7 @@ func (rt *Router) RemoveMember(ctx context.Context, name string, drain bool, exp
 		rt.fomu.Unlock()
 		return api.MemberChange{}, fmt.Errorf("%w: refusing to remove the last member", ErrBadRequest)
 	}
+	prevAddr := m.addr
 	if m.markLeaving(time.Now()) {
 		// Drain intent is administered state replicated routers must
 		// agree on: starting one bumps the epoch.
@@ -114,6 +136,14 @@ func (rt *Router) RemoveMember(ctx context.Context, name string, drain bool, exp
 	}
 	rt.bumpTopo()
 	ch.Name = name
+	if !forwarded && ch.Epoch != epoch {
+		kind := "remove"
+		if drain {
+			kind = "drain"
+		}
+		rt.recordMutation(kind, name, "", prevAddr, epoch, ch.Epoch)
+		rt.flushReplication()
+	}
 	return ch, nil
 }
 
@@ -360,6 +390,24 @@ func (rt *Router) detach(m *member) (notes []string) {
 	if _, ok := rt.mem.detach(m.name); !ok {
 		return nil // already detached by a racing pass
 	}
+	orphaned, notes := rt.retire(m)
+	rt.membersRemoved.Add(1)
+	if orphaned > 0 {
+		notes = append(notes, fmt.Sprintf("shard %s: removed from the ring; %d route(s) orphaned", m.name, orphaned))
+	} else {
+		notes = append(notes, fmt.Sprintf("shard %s: removed from the ring", m.name))
+	}
+	return notes
+}
+
+// retire cuts a member that has already left the administered set:
+// clears its drain intent, closes its down channel, orphans whatever
+// routes are still bound to it, and closes its backend. Shared by
+// detach (the epoch-bumping removal path) and adoptPeerSet (wholesale
+// set replacement at a peer's epoch, where the peer already versioned
+// the change). Caller holds rt.fomu; returns the orphan count and log
+// lines.
+func (rt *Router) retire(m *member) (orphaned int, notes []string) {
 	m.mu.Lock()
 	m.leaving = false
 	if m.alive {
@@ -368,7 +416,6 @@ func (rt *Router) detach(m *member) (notes []string) {
 	}
 	m.mu.Unlock()
 	rt.mu.Lock()
-	orphaned := 0
 	for _, gid := range rt.order {
 		r := rt.routes[gid]
 		if r == nil || r.shard != m || r.lost {
@@ -387,11 +434,5 @@ func (rt *Router) detach(m *member) (notes []string) {
 	if err := m.be.Close(); err != nil {
 		notes = append(notes, fmt.Sprintf("shard %s: backend close on removal: %v", m.name, err))
 	}
-	rt.membersRemoved.Add(1)
-	if orphaned > 0 {
-		notes = append(notes, fmt.Sprintf("shard %s: removed from the ring; %d route(s) orphaned", m.name, orphaned))
-	} else {
-		notes = append(notes, fmt.Sprintf("shard %s: removed from the ring", m.name))
-	}
-	return notes
+	return orphaned, notes
 }

@@ -913,3 +913,386 @@ func TestChaosMembershipChurnUnderLiveTraffic(t *testing.T) {
 		t.Fatalf("stats = %+v, want 1 job lost, 1 shard down, 0 epoch conflicts", stats)
 	}
 }
+
+// TestChaosRouterQuorumHealsPartitionAndCrash is the self-healing
+// quorum acceptance proof: two replicated routers over three journaled
+// HTTP shards, with the inter-router link cut by a partition. A
+// membership mutation is applied to one router while its peer is
+// unreachable, a member is crash-killed, and no admin ever touches the
+// second router or the replacement — yet on heal both routers converge
+// to the same epoch and member-set hash, the standby recovered from the
+// dead member's journal owns its routes with byte-identical replays,
+// exactly-once submission holds across the dual failovers, and neither
+// router ever routes while knowingly diverged.
+func TestChaosRouterQuorumHealsPartitionAndCrash(t *testing.T) {
+	det := detector(t)
+	ctx := ctxT(t)
+
+	// pin outlives this test's wall clock: the stock endless() fixture
+	// (Duration 200000) computes to completion in under twenty seconds,
+	// and the survivor follower here must still be live at the end.
+	pin := func(seed uint64) api.JobRequest {
+		return api.JobRequest{Seed: seed, Duration: 2000000, Window: 10}
+	}
+
+	names := []string{"shard0", "shard1", "shard2"}
+	sh := map[string]*healShard{}
+	direct := map[string]*hpasclient.Client{}
+	for i, name := range names {
+		s := newHealShard(t, det, name, t.TempDir())
+		sh[name] = s
+		direct[name] = hpasclient.New(s.ts.URL, fastClientOptions(int64(500+i)))
+	}
+	memberSet := func(seedBase int64) []Member {
+		var ms []Member
+		for i, name := range names {
+			ms = append(ms, sh[name].member(seedBase+int64(i)))
+		}
+		return ms
+	}
+	a := newHealRouter(t, Config{}, memberSet(0)...)
+	b := newHealRouter(t, Config{}, memberSet(10)...)
+	tsA := httptest.NewServer(a.Handler())
+	tsB := httptest.NewServer(b.Handler())
+	t.Cleanup(tsA.Close)
+	t.Cleanup(tsB.Close)
+	// Each router reaches its peer through a severable proxy — the
+	// partition cuts both directions, as a real network split would.
+	proxyA := newPartitionProxy(t, tsA.URL)
+	proxyB := newPartitionProxy(t, tsB.URL)
+	a.cfg.Peers = []string{proxyB.ts.URL}
+	b.cfg.Peers = []string{proxyA.ts.URL}
+	cl := hpasclient.New(tsA.URL, fastClientOptions(42))
+
+	waitGet := func(gid string, cond func(api.JobStatus) bool) api.JobStatus {
+		t.Helper()
+		for {
+			st, err := cl.Get(ctx, gid)
+			if err != nil {
+				t.Fatalf("get %s: %v", gid, err)
+			}
+			if cond(st) {
+				return st
+			}
+			select {
+			case <-ctx.Done():
+				t.Fatalf("timeout waiting on %s (last %+v)", gid, st)
+			case <-time.After(20 * time.Millisecond):
+			}
+		}
+	}
+	sseBody := func(gid, lastEventID string) string {
+		t.Helper()
+		req, _ := http.NewRequestWithContext(ctx, "GET", tsA.URL+"/v1/jobs/"+gid+"/stream", nil)
+		req.Header.Set("Accept", "text/event-stream")
+		if lastEventID != "" {
+			req.Header.Set("Last-Event-ID", lastEventID)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("stream %s = %d, want 200", gid, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("stream %s: %v", gid, err)
+		}
+		return string(body)
+	}
+	checkExactlyOnce := func(label string, msgs []hpas.StreamMessage) {
+		t.Helper()
+		prev := -1
+		for i, m := range msgs {
+			if m.Seq <= prev {
+				t.Fatalf("%s frame %d has seq %d after seq %d; delivery must be exactly-once", label, i, m.Seq, prev)
+			}
+			if m.Seq != prev+1 && m.Type != "gap" {
+				t.Fatalf("%s frame %d (%s) jumped %d→%d without a gap frame; messages were lost silently", label, i, m.Type, prev, m.Seq)
+			}
+			prev = m.Seq
+		}
+	}
+	agreement := func(label string, wantEpoch uint64) {
+		t.Helper()
+		ta, tb := a.Topology(), b.Topology()
+		if ta.Epoch != wantEpoch || tb.Epoch != wantEpoch {
+			t.Fatalf("%s: epochs %d / %d, want %d on both routers", label, ta.Epoch, tb.Epoch, wantEpoch)
+		}
+		if ta.MembersHash == "" || ta.MembersHash != tb.MembersHash {
+			t.Fatalf("%s: member-set hashes %q / %q must agree", label, ta.MembersHash, tb.MembersHash)
+		}
+	}
+
+	// --- Fixture (epoch 1): finished history and pinned workers on the
+	// member that will be crash-killed, a live follower on a survivor. ---
+	victim, bystander := "shard0", "shard1"
+	finished := map[string][]string{}
+	for i := 0; len(finished[victim]) == 0; i++ {
+		if i > 24 {
+			t.Fatalf("fixture: finished jobs never landed on %s: %v", victim, finished)
+		}
+		st, _, err := cl.SubmitKeyed(ctx, api.JobRequest{Seed: uint64(i + 1), Duration: 25, Window: 10}, fmt.Sprintf("quorum-fin-%02d", i))
+		if err != nil {
+			t.Fatalf("submit fin %d: %v", i, err)
+		}
+		finished[rendezvousOwner(st.ID, names)] = append(finished[rendezvousOwner(st.ID, names)], st.ID)
+	}
+	for _, gids := range finished {
+		for _, gid := range gids {
+			if st := waitGet(gid, api.JobStatus.Final); st.State != "done" {
+				t.Fatalf("finished-fixture job %s ended %s (%s)", gid, st.State, st.Error)
+			}
+		}
+	}
+	fullBefore, resumeBefore := map[string]string{}, map[string]string{}
+	for _, gid := range finished[victim] {
+		fullBefore[gid] = sseBody(gid, "")
+		resumeBefore[gid] = sseBody(gid, "1")
+	}
+	endlessBy := map[string][]string{}
+	for i := 0; len(endlessBy[victim]) < 3 || len(endlessBy[bystander]) < 1; i++ {
+		if i > 40 {
+			t.Fatalf("fixture: endless jobs never pinned %s and %s: %v", victim, bystander, endlessBy)
+		}
+		st, _, err := cl.SubmitKeyed(ctx, pin(uint64(100+i)), fmt.Sprintf("quorum-run-%02d", i))
+		if err != nil {
+			t.Fatalf("submit run %d: %v", i, err)
+		}
+		endlessBy[rendezvousOwner(st.ID, names)] = append(endlessBy[rendezvousOwner(st.ID, names)], st.ID)
+	}
+	waitGet(endlessBy[victim][0], func(st api.JobStatus) bool { return st.State == "running" })
+	waitGet(endlessBy[bystander][0], func(st api.JobStatus) bool { return st.State == "running" })
+
+	type follow struct {
+		mu   sync.Mutex
+		msgs []hpas.StreamMessage
+		err  error
+		done chan struct{}
+	}
+	start := func(cctx context.Context, gid string) *follow {
+		f := &follow{done: make(chan struct{})}
+		go func() {
+			defer close(f.done)
+			f.err = cl.Stream(cctx, gid, 0, func(m hpas.StreamMessage) error {
+				f.mu.Lock()
+				f.msgs = append(f.msgs, m)
+				f.mu.Unlock()
+				return nil
+			})
+		}()
+		return f
+	}
+	count := func(f *follow) int {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		return len(f.msgs)
+	}
+	snapshotMsgs := func(f *follow) []hpas.StreamMessage {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		return append([]hpas.StreamMessage(nil), f.msgs...)
+	}
+	survCtx, survCancel := context.WithCancel(ctx)
+	defer survCancel()
+	survFollow := start(survCtx, endlessBy[bystander][0])
+	killFollow := start(ctx, endlessBy[victim][0])
+	for count(survFollow) < 3 || count(killFollow) < 3 {
+		select {
+		case <-ctx.Done():
+			t.Fatal("followers never saw live traffic")
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+
+	// --- Partition, then mutate one router only: a fourth shard joins
+	// through A while B is unreachable. ---
+	proxyA.downed.Store(true)
+	proxyB.downed.Store(true)
+	s3 := newHealShard(t, det, "shard3", t.TempDir())
+	direct["shard3"] = hpasclient.New(s3.ts.URL, fastClientOptions(503))
+	joinBody := fmt.Sprintf(`{"name":"shard3","addr":%q}`, s3.ts.URL)
+	jreq, _ := http.NewRequestWithContext(ctx, "POST", tsA.URL+"/v1/admin/members", strings.NewReader(joinBody))
+	jreq.Header.Set("Content-Type", "application/json")
+	jresp, err := http.DefaultClient.Do(jreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, jresp.Body)
+	jresp.Body.Close()
+	if jresp.StatusCode != http.StatusCreated {
+		t.Fatalf("partitioned join = %d, want 201", jresp.StatusCode)
+	}
+	names = append(names, "shard3")
+	if a.Epoch() != 2 || b.Epoch() != 1 {
+		t.Fatalf("epochs under partition = %d / %d, want 2 / 1", a.Epoch(), b.Epoch())
+	}
+	if st := a.Stats(); st.ForwardsPending != 1 {
+		t.Fatalf("pending forwards under partition = %d, want 1", st.ForwardsPending)
+	}
+	// An unreachable peer is not divergence: both routers keep serving.
+	a.CheckNow()
+	b.CheckNow()
+	for label, rt := range map[string]*Router{"A": a, "B": b} {
+		if rr, code := rt.Ready(); code != http.StatusOK {
+			t.Fatalf("router %s not ready under partition: %d %q", label, code, rr.Status)
+		}
+	}
+	if rr, _ := b.Ready(); len(rr.Peers) != 1 || rr.Peers[0].Reachable {
+		t.Fatalf("B's peer view under partition = %+v, want one unreachable peer", rr.Peers)
+	}
+	// A keeps routing at its new epoch while the partition holds.
+	stPart, _, err := cl.SubmitKeyed(ctx, pin(200), "quorum-part")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(stPart.ID, "g2-") {
+		t.Fatalf("partition-era gid %s is not at epoch 2", stPart.ID)
+	}
+
+	// --- Heal: the journaled forward drains and the replicas agree,
+	// with no operator action on either side. ---
+	proxyA.downed.Store(false)
+	proxyB.downed.Store(false)
+	a.CheckNow()
+	b.CheckNow()
+	agreement("after partition heal", 2)
+	if st := a.Stats(); st.ForwardsPending != 0 || st.MutationsForwarded != 1 {
+		t.Fatalf("healed forwarder stats = %d pending / %d forwarded, want 0 / 1", st.ForwardsPending, st.MutationsForwarded)
+	}
+	hasShard3 := false
+	for _, si := range b.Topology().Shards {
+		if si.Name == "shard3" && si.Addr == s3.ts.URL {
+			hasShard3 = true
+		}
+	}
+	if !hasShard3 {
+		t.Fatalf("B never converged on the partition-era join: %+v", b.Topology().Shards)
+	}
+
+	// --- Crash-kill the victim. Both routers demote it independently;
+	// queued work is re-placed exactly once even with two routers
+	// failing over the same jobs. ---
+	victimRunning := endlessBy[victim][0]
+	victimQueued := endlessBy[victim][1:]
+	victimDir := sh[victim].dir
+	sh[victim].kill()
+	a.CheckNow()
+	a.CheckNow()
+	b.CheckNow()
+	b.CheckNow()
+	survivors := []string{}
+	for _, name := range names {
+		if name != victim {
+			survivors = append(survivors, name)
+		}
+	}
+	for _, gid := range victimQueued {
+		st := waitGet(gid, func(st api.JobStatus) bool { return st.State != "failed" })
+		if st.Final() {
+			t.Fatalf("re-placed job %s ended %s (%s); queued work must survive the crash", gid, st.State, st.Error)
+		}
+		newOwner := rendezvousOwner(gid, survivors)
+		rst, replayed, err := direct[newOwner].SubmitKeyed(ctx, endless(0), "hpasr-"+gid)
+		if err != nil {
+			t.Fatalf("probe submit for %s at %s: %v", gid, newOwner, err)
+		}
+		if !replayed {
+			t.Fatalf("key hpasr-%s at %s started a new job %s; dual-router failover duplicated work", gid, newOwner, rst.ID)
+		}
+	}
+	if st := waitGet(victimRunning, api.JobStatus.Final); st.State != "failed" || !strings.Contains(st.Error, "failed-by-shard-loss") {
+		t.Fatalf("victim's running job ended %s (%q), want failed-by-shard-loss", st.State, st.Error)
+	}
+	select {
+	case <-killFollow.done:
+	case <-ctx.Done():
+		t.Fatal("kill follower still blocked after failover")
+	}
+	if killFollow.err != nil {
+		t.Fatalf("kill follower error: %v", killFollow.err)
+	}
+	kmsgs := snapshotMsgs(killFollow)
+	if last := kmsgs[len(kmsgs)-1]; last.Type != "done" || !strings.Contains(last.Error, "failed-by-shard-loss") {
+		t.Fatalf("kill follower's last frame = %+v, want a done frame carrying failed-by-shard-loss", last)
+	}
+	checkExactlyOnce("kill follower", kmsgs)
+
+	// --- Operator-free replacement: a standby recovered over the dead
+	// member's journal is configured on A only. A's prober promotes it
+	// and the promotion replicates to B like any admin mutation — no
+	// admin call touches either router. ---
+	standby := newHealShard(t, det, "standby0", victimDir)
+	a.cfg.Standbys = []string{standby.ts.URL}
+	a.cfg.ReplaceAfter = time.Nanosecond
+	a.CheckNow()
+	// Hard removal (two epoch bumps) plus the replacement join: 2 → 5.
+	agreement("after auto-replacement", 5)
+	if st := a.Stats(); st.StandbysPromoted != 1 {
+		t.Fatalf("A StandbysPromoted = %d, want 1", st.StandbysPromoted)
+	}
+	if st := b.Stats(); st.StandbysPromoted != 0 {
+		t.Fatalf("B StandbysPromoted = %d, want 0 (the promotion replicated; B never promoted)", st.StandbysPromoted)
+	}
+	for label, rt := range map[string]*Router{"A": a, "B": b} {
+		replaced := false
+		for _, si := range rt.Topology().Shards {
+			if si.Name == victim && si.Addr == standby.ts.URL {
+				replaced = true
+			}
+		}
+		if !replaced {
+			t.Fatalf("router %s does not hold the promoted standby under the dead member's name: %+v", label, rt.Topology().Shards)
+		}
+	}
+	if got, want := int(a.Stats().RoutesReclaimed), 1+len(finished[victim]); got != want {
+		t.Fatalf("A reclaimed %d route(s) at promotion, want %d (lost running job + finished histories)", got, want)
+	}
+	// Journal-proved ownership: the victim's finished histories replay
+	// byte-identically from the standby, Last-Event-ID resume included.
+	for _, gid := range finished[victim] {
+		if got := sseBody(gid, ""); got != fullBefore[gid] {
+			t.Fatalf("reclaimed replay of %s is not byte-identical to the pre-crash stream", gid)
+		}
+		if got := sseBody(gid, "1"); got != resumeBefore[gid] {
+			t.Fatalf("reclaimed Last-Event-ID resume of %s is not byte-identical to the pre-crash stream", gid)
+		}
+	}
+
+	// --- Both replicas route on, at the same epoch, never having
+	// suspended: convergence always landed in the round that detected
+	// the difference. ---
+	stFinal, _, err := cl.SubmitKeyed(ctx, pin(250), "quorum-final")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(stFinal.ID, "g5-") {
+		t.Fatalf("post-replacement gid %s is not at epoch 5", stFinal.ID)
+	}
+	a.CheckNow()
+	b.CheckNow()
+	agreement("at rest", 5)
+	for label, rt := range map[string]*Router{"A": a, "B": b} {
+		if msg := rt.divergedMsg(); msg != "" {
+			t.Fatalf("router %s still suspended at rest: %s", label, msg)
+		}
+		if rr, code := rt.Ready(); code != http.StatusOK || len(rr.Peers) != 1 || !rr.Peers[0].Agree {
+			t.Fatalf("router %s readiness at rest = %d %+v, want 200 with an agreeing peer", label, code, rr.Peers)
+		}
+	}
+	preFinal := count(survFollow)
+	for count(survFollow) <= preFinal {
+		select {
+		case <-survFollow.done:
+			t.Fatalf("survivor follower exited early: err=%v, %d frame(s)", survFollow.err, count(survFollow))
+		case <-ctx.Done():
+			t.Fatal("survivor stream stalled across the quorum churn")
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	survCancel()
+	<-survFollow.done
+	checkExactlyOnce("survivor follower", snapshotMsgs(survFollow))
+}

@@ -230,7 +230,8 @@ func (rt *Router) handleMemberAdd(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	be := NewRemote(spec.Addr, RemoteOptions{})
-	ch, err := rt.AddMember(r.Context(), Member{Name: spec.Name, Addr: spec.Addr, Backend: be}, spec.Epoch)
+	forwarded := r.Header.Get(api.ForwardedHeader) != ""
+	ch, err := rt.addMember(r.Context(), Member{Name: spec.Name, Addr: spec.Addr, Backend: be}, spec.Epoch, forwarded)
 	if err != nil {
 		rt.writeOpError(w, err)
 		return
@@ -260,7 +261,8 @@ func (rt *Router) handleMemberRemove(w http.ResponseWriter, r *http.Request) {
 		}
 		expectEpoch = n
 	}
-	ch, err := rt.RemoveMember(r.Context(), r.PathValue("id"), drain, expectEpoch)
+	forwarded := r.Header.Get(api.ForwardedHeader) != ""
+	ch, err := rt.removeMember(r.Context(), r.PathValue("id"), drain, expectEpoch, forwarded)
 	if err != nil {
 		rt.writeOpError(w, err)
 		return

@@ -1,0 +1,254 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"hpas/api"
+)
+
+// Self-healing membership: the two recovery paths the divergence probe
+// and the prober drive without an operator.
+//
+// Epoch catch-up (adoptPeerSet) turns routing refusal into a bounded
+// state: a router that finds a peer at a higher epoch — or losing the
+// same-epoch tie-break — pulls the peer's /v1/topology, verifies the
+// member list against its set-hash, and adopts it wholesale: members it
+// already holds keep their backends and route bindings, new members get
+// Remote backends built from their advertised addrs, members absent
+// from the peer's list are retired, and drain intent is mirrored. The
+// adopting router then mints gids under the peer's (epoch, hash), so
+// the replicas' placements agree again and routing resumes.
+//
+// Auto-replacement (promoteReplacements) closes the last operator loop:
+// a member down past Config.ReplaceAfter is hard-removed and a standby
+// promoted under the dead member's *name* — which is what lets the
+// existing reclaim machinery prove, journal record by journal record,
+// that a standby spawned over the dead member's data directory owns its
+// routes. Both halves of the promotion are ordinary admin mutations, so
+// they replicate to peers like any operator change, and two routers
+// promoting concurrently converge through the CAS guards plus semantic
+// convergence instead of crossing.
+
+// errCatchUpStale aborts an adoption whose premise (peer strictly newer
+// or tie-break winner) no longer holds under the lock — a racing
+// mutation moved this router since the probe observed the peer.
+var errCatchUpStale = errors.New("membership moved since the peer was probed")
+
+// adoptPeerSet adopts a peer router's administered member set at the
+// peer's epoch. Caller verified the peer is ahead (or won the
+// tie-break); this re-verifies under the failover lock and checks the
+// document's self-consistency before trusting it.
+func (rt *Router) adoptPeerSet(doc api.Topology) (notes []string, err error) {
+	if len(doc.Shards) == 0 {
+		return nil, errors.New("peer topology lists no members")
+	}
+	names := make([]string, 0, len(doc.Shards))
+	for _, si := range doc.Shards {
+		names = append(names, si.Name)
+	}
+	if h := fmt.Sprintf("%016x", membersHash(names)); doc.MembersHash == "" || h != doc.MembersHash {
+		return nil, fmt.Errorf("peer set-hash %q does not match its member list (recomputed %s)", doc.MembersHash, h)
+	}
+	peerHash, err := strconv.ParseUint(doc.MembersHash, 16, 64)
+	if err != nil {
+		return nil, fmt.Errorf("unparsable peer set-hash %q", doc.MembersHash)
+	}
+	// Build backends for members we do not hold (or hold under a
+	// different addr — a replacement the peer performed) outside any
+	// lock; Remote construction is cheap but not lock-safe territory.
+	fresh := make(map[string]*member, len(doc.Shards))
+	for _, si := range doc.Shards {
+		if cur, ok := rt.mem.get(si.Name); ok && cur.addr == si.Addr {
+			continue
+		}
+		if si.Addr == "" {
+			return nil, fmt.Errorf("peer member %q advertises no addr (in-process shard); cannot adopt it", si.Name)
+		}
+		fresh[si.Name] = &member{name: si.Name, addr: si.Addr, be: NewRemote(si.Addr, RemoteOptions{}), alive: true, down: make(chan struct{})}
+	}
+
+	rt.fomu.Lock()
+	epoch, setHash := rt.mem.version()
+	if !(doc.Epoch > epoch || (doc.Epoch == epoch && peerHash < setHash)) {
+		rt.fomu.Unlock()
+		return nil, errCatchUpStale
+	}
+	now := time.Now()
+	list := make([]*member, 0, len(doc.Shards))
+	var retired []*member
+	inDoc := make(map[string]bool, len(doc.Shards))
+	for _, si := range doc.Shards {
+		inDoc[si.Name] = true
+		m, ok := rt.mem.get(si.Name)
+		if f := fresh[si.Name]; f != nil {
+			if ok {
+				retired = append(retired, m) // replaced under the same name
+			}
+			m = f
+		} else if !ok {
+			// The set changed between the unlocked scan and here; bail
+			// out and let the next probe round re-evaluate.
+			rt.fomu.Unlock()
+			return nil, errCatchUpStale
+		}
+		// Drain intent is administered state: mirror the peer's. A peer
+		// member probing down hides its drain flag (State "down"), which
+		// at worst delays this router's detach by one agreement round.
+		m.setLeaving(si.State == "draining", now)
+		list = append(list, m)
+	}
+	for _, m := range rt.mem.snapshot() {
+		if !inDoc[m.name] {
+			retired = append(retired, m)
+		}
+	}
+	rt.mem.adopt(doc.Epoch, list)
+	// The ledger reset must be atomic with the adoption it records: a
+	// concurrent admin mutation flushing between unlock and reset could
+	// forward a superseded record that can never converge.
+	//lint:allow locksafe the reset journals one line; unlocking first would let a superseded forward escape
+	if rerr := rt.repl.resetPending(); rerr != nil {
+		notes = append(notes, fmt.Sprintf("replication: dropping superseded forwards: %v", rerr))
+	}
+	for _, m := range retired {
+		_, rnotes := rt.retire(m)
+		notes = append(notes, rnotes...)
+	}
+	// Newly adopted members may hold journal history for routes this
+	// router finalized as lost (the peer promoted a journal-recovered
+	// replacement); reclaim exactly as a local join would.
+	for _, si := range doc.Shards {
+		if f := fresh[si.Name]; f != nil {
+			reclaimed, rnotes := rt.reclaimRoutes(rt.ctx, f)
+			notes = append(notes, rnotes...)
+			if reclaimed > 0 {
+				notes = append(notes, fmt.Sprintf("shard %s: %d route(s) reclaimed during catch-up", f.name, reclaimed))
+			}
+		}
+	}
+	rt.fomu.Unlock()
+	return notes, nil
+}
+
+// promoteReplacements is the operator-free replacement pass, run every
+// CheckNow round: any member down past ReplaceAfter (and not draining —
+// a drain already has an exit path) is hard-removed and a standby
+// promoted under its name. Skipped entirely while routing is suspended:
+// membership must re-agree before it mutates further.
+func (rt *Router) promoteReplacements(ctx context.Context) {
+	if rt.cfg.ReplaceAfter <= 0 {
+		return
+	}
+	if rt.divergedMsg() != "" {
+		return
+	}
+	for _, m := range rt.mem.snapshot() {
+		m.mu.Lock()
+		eligible := !m.alive && !m.leaving && !m.downSince.IsZero() && time.Since(m.downSince) >= rt.cfg.ReplaceAfter
+		noted := m.replaceNoted
+		m.mu.Unlock()
+		if !eligible {
+			continue
+		}
+		if err := rt.replaceMember(ctx, m); err != nil && !noted {
+			m.mu.Lock()
+			m.replaceNoted = true
+			m.mu.Unlock()
+			rt.logf("shard %s: down past replace grace; replacement pending: %v", m.name, err)
+		}
+	}
+}
+
+// replaceMember promotes a replacement for one dead member: pick a
+// standby (or respawn in-process), hard-remove the dead member, and
+// join the replacement under the same name so rendezvous routes map
+// back to it and reclaimRoutes can prove recovered journal histories.
+// Both mutations go through the ordinary admin paths — CAS-guarded,
+// serialized on the failover lock, replicated to peers.
+func (rt *Router) replaceMember(ctx context.Context, dead *member) error {
+	name := dead.name
+	standby := rt.pickStandby()
+	var be Backend
+	if standby != "" {
+		be = NewRemote(standby, RemoteOptions{})
+	} else if rt.cfg.Respawn != nil {
+		var err error
+		if be, err = rt.cfg.Respawn(name); err != nil {
+			return fmt.Errorf("respawn: %w", err)
+		}
+	} else {
+		return errors.New("no eligible standby")
+	}
+	epoch, _ := rt.mem.version()
+	if _, err := rt.removeMember(ctx, name, false, epoch, false); err != nil {
+		cerr := be.Close()
+		_ = cerr // best-effort: the replacement was never admitted
+		return fmt.Errorf("hard-remove: %w", err)
+	}
+	ch, err := rt.addMember(ctx, Member{Name: name, Addr: standby, Backend: be}, 0, false)
+	if err != nil {
+		cerr := be.Close()
+		_ = cerr
+		return fmt.Errorf("replacement join: %w", err)
+	}
+	rt.standbysPromoted.Add(1)
+	where := standby
+	if where == "" {
+		where = "in-process respawn"
+	}
+	rt.logf("shard %s: auto-replaced after %s down — %s promoted at epoch %d (%d route(s) reclaimed)",
+		name, rt.cfg.ReplaceAfter, where, ch.Epoch, ch.Reclaimed)
+	return nil
+}
+
+// pickStandby returns the first configured standby URL that is not
+// already a member addr and answers its readiness probe. The rule is
+// deterministic over shared configuration: replicated routers promoting
+// concurrently pick the same standby and converge through the CAS
+// guards instead of promoting different ones.
+func (rt *Router) pickStandby() string {
+	if len(rt.cfg.Standbys) == 0 {
+		return ""
+	}
+	used := make(map[string]bool)
+	for _, m := range rt.mem.snapshot() {
+		if m.addr != "" {
+			used[strings.TrimRight(m.addr, "/")] = true
+		}
+	}
+	for _, s := range rt.cfg.Standbys {
+		if s == "" || used[strings.TrimRight(s, "/")] {
+			continue
+		}
+		if !rt.standbyReady(s) {
+			continue
+		}
+		return s
+	}
+	return ""
+}
+
+// standbyReady probes a standby's readiness endpoint with the
+// non-retrying probe client.
+func (rt *Router) standbyReady(base string) bool {
+	req, err := http.NewRequestWithContext(rt.ctx, http.MethodGet, strings.TrimRight(base, "/")+"/v1/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := rt.peerProbe.Do(req)
+	if err != nil {
+		return false
+	}
+	_, derr := io.Copy(io.Discard, resp.Body)
+	_ = derr // drained for connection reuse only
+	cerr := resp.Body.Close()
+	_ = cerr
+	return resp.StatusCode == http.StatusOK
+}

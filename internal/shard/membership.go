@@ -134,6 +134,26 @@ func (mem *membership) add(m *member) (epoch uint64, err error) {
 	return mem.epoch, nil
 }
 
+// adopt replaces the administered set wholesale with a peer's verified
+// member list at the peer's epoch — the catch-up path. Unlike bump, the
+// epoch is set, not incremented: the adopting router takes the peer's
+// version as its own. The gid counter resets, exactly as it does on a
+// local bump (the adopter may trail the peer's counter by whatever the
+// peer minted in this epoch, the same skew a suspended replica always
+// has after re-agreeing).
+func (mem *membership) adopt(epoch uint64, list []*member) {
+	mem.mu.Lock()
+	defer mem.mu.Unlock()
+	mem.epoch = epoch
+	mem.counter = 0
+	mem.list = list
+	mem.byName = make(map[string]*member, len(list))
+	for _, m := range list {
+		mem.byName[m.name] = m
+	}
+	mem.setHash = mem.hashLocked()
+}
+
 // detach removes a member from the administered set and bumps the
 // epoch. The member object stays valid (routes may still point at it
 // for their history) but is no longer part of any ring computation.
@@ -199,6 +219,17 @@ func (m *member) placementEligible() bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.alive && !m.leaving
+}
+
+// setLeaving forces the member's drain intent to the given value — the
+// catch-up path mirroring a peer's administered state wholesale.
+func (m *member) setLeaving(leaving bool, at time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if leaving && !m.leaving {
+		m.drainedAt = at
+	}
+	m.leaving = leaving
 }
 
 // markLeaving flips the member into the draining state (idempotent) and

@@ -189,8 +189,29 @@ func TestEpochDivergenceSuspendsRoutingUntilAgreement(t *testing.T) {
 	} else if httpStatusFor(err) != http.StatusServiceUnavailable {
 		t.Fatalf("diverged submit maps to %d, want 503 (%v)", httpStatusFor(err), err)
 	}
-	if rr, code := b.rt.Ready(); code != http.StatusServiceUnavailable || rr.Status != "epoch-diverged" {
+	rr, code := b.rt.Ready()
+	if code != http.StatusServiceUnavailable || rr.Status != "epoch-diverged" {
 		t.Fatalf("suspended readiness = %d %q, want 503 epoch-diverged", code, rr.Status)
+	}
+	// The degraded readiness document explains itself: the conflict that
+	// suspended routing plus a per-peer observation carrying the peer's
+	// epoch and member-set hash, so an operator (or dashboard) sees which
+	// replica is ahead without querying each one.
+	if rr.Diverged == "" {
+		t.Fatal("epoch-diverged readiness carries no divergence detail")
+	}
+	if len(rr.Peers) != 1 {
+		t.Fatalf("readiness lists %d peer observations, want 1: %+v", len(rr.Peers), rr.Peers)
+	}
+	ps := rr.Peers[0]
+	if ps.Addr != tsA.URL || !ps.Reachable || ps.Agree {
+		t.Fatalf("peer observation = %+v, want reachable disagreeing peer at %s", ps, tsA.URL)
+	}
+	if ps.Epoch != 2 {
+		t.Fatalf("peer observation epoch = %d, want 2 (the ahead replica)", ps.Epoch)
+	}
+	if want := a.rt.Topology().MembersHash; ps.MembersHash != want {
+		t.Fatalf("peer observation members_hash = %q, want %q", ps.MembersHash, want)
 	}
 	// Over HTTP the refusal is a 503 with Retry-After, still carrying
 	// the epoch header.
@@ -488,6 +509,14 @@ func (cb *chaosBackend) Submit(ctx context.Context, req api.JobRequest, key stri
 	if armed {
 		cb.once.Do(func() { close(cb.entered) })
 		<-cb.release
+	}
+	// Re-check failure after the gate: a submission held at the gate
+	// while the member died must fail like the member it reached.
+	cb.mu.Lock()
+	fail := cb.fail
+	cb.mu.Unlock()
+	if fail {
+		return api.JobStatus{}, false, ErrShardDown
 	}
 	return cb.Backend.Submit(ctx, req, key)
 }

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -40,6 +41,26 @@ type Config struct {
 	// jobs before removal is forced (running jobs finalized as
 	// failed-by-shard-loss). Zero waits indefinitely.
 	DrainGrace time.Duration
+
+	// ReplicationLog, when non-empty, journals replication records to an
+	// append-only NDJSON file so forwards still pending at a crash are
+	// retried — idempotently, under the CAS epoch guards — after a
+	// restart. Empty keeps the replication ledger in memory only.
+	ReplicationLog string
+	// ReplaceAfter enables operator-free shard replacement: a member
+	// down past this grace is hard-removed and a standby promoted under
+	// its name (see Standbys / Respawn). Zero disables auto-replacement.
+	ReplaceAfter time.Duration
+	// Standbys lists base URLs of idle shard processes eligible for
+	// promotion. Replicated routers configured with the same pool pick
+	// the same standby (first reachable URL not already a member addr),
+	// so concurrent promotions converge instead of crossing.
+	Standbys []string
+	// Respawn, when set, builds an in-process replacement backend for a
+	// dead member (used by hpas-router -local to re-open the member's
+	// journal under -data-dir). Consulted only when no standby from the
+	// pool is eligible.
+	Respawn func(name string) (Backend, error)
 }
 
 // Member names one shard of the topology: the boot-time list passed to
@@ -67,6 +88,13 @@ type member struct {
 	fails     int
 	lastErr   string
 	health    api.ShardHealth
+	// downSince stamps the demotion transition; auto-replacement
+	// promotes a standby once it is older than Config.ReplaceAfter.
+	// Cleared on rejoin.
+	downSince time.Time
+	// replaceNoted suppresses repeated "no replacement yet" log lines
+	// for one continuous outage.
+	replaceNoted bool
 	// down is closed when the member leaves the ring and replaced with
 	// a fresh channel when it rejoins; stream proxies select on the
 	// snapshot they captured, so a follow pinned to a dying shard is
@@ -141,8 +169,13 @@ type Router struct {
 	byKey  map[string]*route
 	// diverged, when non-empty, names the epoch conflict that suspended
 	// routing: Submit refuses with ErrEpochDiverged until a probe round
-	// finds the peers back in agreement.
+	// finds the peers back in agreement (or catch-up adopts a peer's
+	// member set).
 	diverged string
+	// peerView is the divergence probe's last per-peer observation,
+	// served by Ready so an epoch-diverged refusal names the peer that
+	// disagrees.
+	peerView []api.PeerStatus
 	// topoCh is closed and replaced on every topology or ownership
 	// change; waiters re-snapshot the world when it fires.
 	topoCh chan struct{}
@@ -167,6 +200,16 @@ type Router struct {
 	routesReclaimed  atomic.Int64
 	orphansCancelled atomic.Int64
 	epochConflicts   atomic.Int64
+
+	mutationsForwarded atomic.Int64
+	epochCatchUps      atomic.Int64
+	standbysPromoted   atomic.Int64
+
+	// repl is the peer mutation replication ledger; flushing holds the
+	// single-flight guard so a CheckNow round and an admin handler never
+	// forward the same record concurrently.
+	repl     *replicator
+	flushing atomic.Bool
 }
 
 // NewRouter builds a router over the member list and starts its health
@@ -206,6 +249,12 @@ func NewRouter(members []Member, cfg Config) (*Router, error) {
 		list = append(list, &member{name: m.Name, addr: m.Addr, be: m.Backend, alive: true, down: make(chan struct{})})
 	}
 	rt.mem = newMembership(list, cfg.InitialEpoch)
+	repl, err := newReplicator(cfg.ReplicationLog)
+	if err != nil {
+		cancel()
+		return nil, fmt.Errorf("shard: replication log: %w", err)
+	}
+	rt.repl = repl
 	rt.wg.Add(1)
 	go rt.healthLoop()
 	return rt, nil
@@ -220,6 +269,9 @@ func (rt *Router) Close() error {
 		if err := m.be.Close(); err != nil && first == nil {
 			first = err
 		}
+	}
+	if err := rt.repl.close(); err != nil && first == nil {
+		first = err
 	}
 	return first
 }
@@ -275,7 +327,9 @@ func (rt *Router) CheckNow() {
 	}
 	rt.reconcile()
 	rt.sweepDraining()
+	rt.promoteReplacements(rt.ctx)
 	rt.checkPeers()
+	rt.flushReplication()
 }
 
 // refreshFrom folds one shard's live listing into the route table.
@@ -310,6 +364,7 @@ func (rt *Router) noteFailure(m *member, err error) {
 	trip := m.alive && m.fails >= rt.cfg.FailAfter
 	if trip {
 		m.alive = false
+		m.downSince = time.Now()
 		close(m.down)
 	}
 	m.mu.Unlock()
@@ -331,6 +386,7 @@ func (rt *Router) markDown(m *member, err error) bool {
 	trip := m.alive
 	if trip {
 		m.alive = false
+		m.downSince = time.Now()
 		if m.fails < rt.cfg.FailAfter {
 			m.fails = rt.cfg.FailAfter
 		}
@@ -371,6 +427,8 @@ func (rt *Router) noteSuccess(m *member, h api.ShardHealth) {
 	rejoin := !m.alive // re-check under fomu: a racing round may have won
 	if rejoin {
 		m.alive = true
+		m.downSince = time.Time{}
+		m.replaceNoted = false
 		m.down = make(chan struct{})
 	}
 	m.mu.Unlock()
@@ -563,46 +621,135 @@ func (rt *Router) setDiverged(msg string) {
 	}
 }
 
+// peerObservation is one probe of a peer router's /v1/topology: the
+// wire-facing status Ready serves plus the raw document catch-up may
+// adopt from.
+type peerObservation struct {
+	status api.PeerStatus
+	doc    api.Topology
+}
+
 // checkPeers is the divergence probe: each peer router's /v1/topology
 // is fetched and its (epoch, member-set hash) compared with ours. A
 // peer at a higher epoch means this router missed membership changes;
 // a peer at the same epoch with a different member-set hash means the
 // replicas were fed conflicting changes. Either way the routers would
 // mint clashing gids or disagree on placements, so routing is
-// suspended (Submit answers ErrEpochDiverged → 503 + Retry-After)
-// until a probe round finds agreement again. A peer at a lower epoch
-// is merely behind — it will suspend itself when it probes us — and an
-// unreachable peer is no verdict: the suspension state only clears
-// when every peer was reached and agreed.
+// suspended (Submit answers ErrEpochDiverged → 503 + Retry-After).
+//
+// Divergence is a bounded state with a recovery path, not a terminal
+// one: when a peer is ahead, the round pulls its member list, verifies
+// the set-hash, and adopts it (adoptPeerSet), resuming routing in the
+// same round; a same-epoch/different-hash split is broken
+// deterministically — the smaller members_hash wins, and the router
+// holding the larger one adopts the peer's set — so both replicas pick
+// the same winner without talking to each other. A peer at a lower
+// epoch is merely behind (it will catch up from us when it probes),
+// and an unreachable peer is no verdict: absent a catch-up, the
+// suspension only clears when every peer was reached and agreed.
 func (rt *Router) checkPeers() {
 	if len(rt.cfg.Peers) == 0 {
 		return
 	}
 	epoch, setHash := rt.mem.version()
 	hash := fmt.Sprintf("%016x", setHash)
+	obs := make([]peerObservation, 0, len(rt.cfg.Peers))
 	conflict := ""
 	allReached := true
 	for _, peer := range rt.cfg.Peers {
 		doc, err := rt.peerTopology(peer)
 		if err != nil {
 			allReached = false
+			obs = append(obs, peerObservation{status: api.PeerStatus{Addr: peer, Detail: err.Error()}})
 			continue
 		}
+		st := api.PeerStatus{Addr: peer, Reachable: true, Epoch: doc.Epoch, MembersHash: doc.MembersHash}
 		switch {
 		case doc.Epoch > epoch:
-			conflict = fmt.Sprintf("peer %s at membership epoch %d, ours is %d: this router is behind", peer, doc.Epoch, epoch)
+			st.Detail = fmt.Sprintf("peer %s at membership epoch %d, ours is %d: this router is behind", peer, doc.Epoch, epoch)
 		case doc.Epoch == epoch && doc.MembersHash != "" && doc.MembersHash != hash:
-			conflict = fmt.Sprintf("peer %s at epoch %d with member-set hash %s, ours is %s: same epoch, different members", peer, doc.Epoch, doc.MembersHash, hash)
+			st.Detail = fmt.Sprintf("peer %s at epoch %d with member-set hash %s, ours is %s: same epoch, different members", peer, doc.Epoch, doc.MembersHash, hash)
+		case doc.Epoch < epoch:
+			st.Detail = fmt.Sprintf("peer %s at epoch %d, ours is %d: peer is behind", peer, doc.Epoch, epoch)
+		default:
+			st.Agree = true
 		}
-		if conflict != "" {
-			break
+		if conflict == "" && !st.Agree && doc.Epoch >= epoch {
+			conflict = st.Detail
+		}
+		obs = append(obs, peerObservation{status: st, doc: doc})
+	}
+	rt.setPeerView(obs)
+	if conflict == "" {
+		if allReached {
+			rt.setDiverged("")
+		}
+		return
+	}
+	if src := rt.catchUpSource(obs, epoch, setHash); src != nil {
+		notes, err := rt.adoptPeerSet(src.doc)
+		for _, line := range notes {
+			rt.logf("%s", line)
+		}
+		if err == nil {
+			rt.epochCatchUps.Add(1)
+			rt.setDiverged("")
+			rt.logf("membership: caught up to peer %s — adopted epoch %d, member-set hash %s",
+				src.status.Addr, src.doc.Epoch, src.doc.MembersHash)
+			rt.bumpTopo()
+			return
+		}
+		conflict = fmt.Sprintf("%s; catch-up failed: %v", conflict, err)
+	}
+	rt.setDiverged(conflict)
+}
+
+// setPeerView publishes the probe round's per-peer observations.
+func (rt *Router) setPeerView(obs []peerObservation) {
+	view := make([]api.PeerStatus, len(obs))
+	for i, o := range obs {
+		view[i] = o.status
+	}
+	rt.mu.Lock()
+	rt.peerView = view
+	rt.mu.Unlock()
+}
+
+// catchUpSource picks the peer whose member set this router should
+// adopt, nil when it should hold its own: the reachable peer with the
+// highest epoch above ours, or — at equal epochs with differing hashes
+// — a peer whose hash wins the deterministic tie-break (smaller
+// members_hash wins; the router holding the larger hash yields). Both
+// replicas of a split evaluate the same rule, so exactly one of them
+// adopts and the other keeps its set until agreement clears it.
+func (rt *Router) catchUpSource(obs []peerObservation, epoch, setHash uint64) *peerObservation {
+	var src *peerObservation
+	for i := range obs {
+		o := &obs[i]
+		if !o.status.Reachable {
+			continue
+		}
+		if o.doc.Epoch > epoch && (src == nil || o.doc.Epoch > src.doc.Epoch) {
+			src = o
 		}
 	}
-	if conflict != "" {
-		rt.setDiverged(conflict)
-	} else if allReached {
-		rt.setDiverged("")
+	if src != nil {
+		return src
 	}
+	for i := range obs {
+		o := &obs[i]
+		if !o.status.Reachable || o.doc.Epoch != epoch || o.doc.MembersHash == "" {
+			continue
+		}
+		peerHash, err := strconv.ParseUint(o.doc.MembersHash, 16, 64)
+		if err != nil || peerHash >= setHash {
+			continue
+		}
+		if src == nil || o.doc.MembersHash < src.doc.MembersHash {
+			src = o
+		}
+	}
+	return src
 }
 
 // peerTopology fetches one peer router's discovery document with the
@@ -1093,6 +1240,11 @@ func (rt *Router) Stats() api.RouterStats {
 		RoutesReclaimed:  rt.routesReclaimed.Load(),
 		OrphansCancelled: rt.orphansCancelled.Load(),
 		EpochConflicts:   rt.epochConflicts.Load(),
+
+		MutationsForwarded: rt.mutationsForwarded.Load(),
+		ForwardsPending:    rt.repl.pendingCount(),
+		EpochCatchUps:      rt.epochCatchUps.Load(),
+		StandbysPromoted:   rt.standbysPromoted.Load(),
 	}
 }
 
@@ -1128,9 +1280,13 @@ func (rt *Router) Ready() (api.RouterReady, int) {
 			alive++
 		}
 	}
-	rr := api.RouterReady{Status: "ok", Shards: shards}
+	rt.mu.Lock()
+	peers := append([]api.PeerStatus(nil), rt.peerView...)
+	rt.mu.Unlock()
+	rr := api.RouterReady{Status: "ok", Shards: shards, Peers: peers}
 	if msg := rt.divergedMsg(); msg != "" {
 		rr.Status = "epoch-diverged"
+		rr.Diverged = msg
 		return rr, http.StatusServiceUnavailable
 	}
 	if alive == 0 {
