@@ -29,7 +29,7 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink runs for a fast smoke pass")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	perf := flag.Bool("perf", false, "measure service-path baselines instead of paper tables")
-	out := flag.String("out", "BENCH_9.json", "output path for the -perf baseline")
+	out := flag.String("out", "BENCH_10.json", "output path for the -perf baseline")
 	flag.Parse()
 
 	if *perf {

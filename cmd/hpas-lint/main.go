@@ -1,26 +1,37 @@
 // Command hpas-lint runs the project's static-analysis suite: the
 // custom analyzers in internal/analysis that enforce this repository's
 // correctness invariants — substrate determinism, loop cancellation,
-// lock hygiene, durable-write error handling, and wire-struct
-// discipline. See DESIGN.md, "Enforced invariants".
+// lock hygiene, durable-write error handling, wire-struct discipline,
+// goroutine boundedness, resource release, and the shard membership
+// protocol. See DESIGN.md, "Static analysis".
 //
 // Usage:
 //
 //	go run ./cmd/hpas-lint ./...        # whole module (the CI entry point)
 //	go run ./cmd/hpas-lint -list        # print the analyzers
 //	go run ./cmd/hpas-lint -run locksafe ./...
+//	go run ./cmd/hpas-lint -json ./...           # machine-readable findings
+//	go run ./cmd/hpas-lint -github ./...         # GitHub Actions annotations
+//	go run ./cmd/hpas-lint -unused-allows ./...  # stale-suppression audit
+//	go run ./cmd/hpas-lint -seq ./...            # single-threaded loader
 //
 // Findings print as file:line:col diagnostics and the exit status is 1;
 // a clean tree exits 0. Intentional exceptions are annotated in the
 // source as `//lint:allow <analyzer> <reason>` — the reason is
-// mandatory, and a directive without one is itself a finding.
+// mandatory, and a directive without one is itself a finding. The
+// -unused-allows audit inverts the check: it reports directives that no
+// longer suppress anything, so dead exceptions cannot silently mask a
+// future regression at the same line.
 //
 // The tool is stdlib-only: it parses and type-checks the module from
 // source (go/parser + go/types + go/importer's source mode), so it
-// needs no compiled export data and adds no module dependencies.
+// needs no compiled export data and adds no module dependencies. The
+// load runs parallel by default; -seq forces the depth-first
+// single-threaded path for timing comparisons.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,8 +44,12 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	github := flag.Bool("github", false, "emit findings as GitHub Actions error annotations")
+	unusedAllows := flag.Bool("unused-allows", false, "report //lint:allow directives that suppress nothing")
+	seq := flag.Bool("seq", false, "load packages sequentially (disable the parallel loader)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: hpas-lint [-list] [-run analyzers] [./... | packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: hpas-lint [-list] [-run analyzers] [-json|-github] [-unused-allows] [-seq] [./... | packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -64,6 +79,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hpas-lint:", err)
 		os.Exit(2)
 	}
+	loader.Sequential = *seq
 	pkgs, err := loader.LoadModule()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hpas-lint:", err)
@@ -82,20 +98,80 @@ func main() {
 		os.Exit(2) // a tree that does not type-check cannot be linted
 	}
 
-	diags := analysis.Run(pkgs, analyzers)
+	var diags []analysis.Diagnostic
+	if *unusedAllows {
+		diags = analysis.UnusedAllows(pkgs, analyzers)
+	} else {
+		diags = analysis.Run(pkgs, analyzers)
+	}
 	cwd, _ := os.Getwd()
-	for _, d := range diags {
+	for i := range diags {
 		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-				d.Pos.Filename = rel
+			if rel, err := filepath.Rel(cwd, diags[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				diags[i].Pos.Filename = rel
 			}
 		}
-		fmt.Println(d)
+	}
+
+	switch {
+	case *jsonOut:
+		writeJSON(diags)
+	case *github:
+		writeGitHub(diags)
+	default:
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "hpas-lint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// jsonDiag is the stable machine-readable finding shape.
+type jsonDiag struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+func writeJSON(diags []analysis.Diagnostic) {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			Analyzer: d.Analyzer,
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "hpas-lint:", err)
+		os.Exit(2)
+	}
+}
+
+// writeGitHub emits one workflow command per finding; GitHub's runner
+// turns them into inline PR annotations. Newlines and the %-escapes the
+// command grammar reserves must be encoded.
+func writeGitHub(diags []analysis.Diagnostic) {
+	for _, d := range diags {
+		fmt.Printf("::error file=%s,line=%d,col=%d,title=hpas-lint/%s::%s\n",
+			d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, githubEscape(d.Message))
+	}
+}
+
+func githubEscape(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
 }
 
 // filterPackages restricts the loaded module to the requested patterns.

@@ -11,15 +11,24 @@ import (
 // reason is mandatory so exceptions stay documented at the site.
 const allowPrefix = "//lint:allow"
 
+// allowEntry is one parsed directive. hits counts the diagnostics it
+// suppressed in this run — the signal the -unused-allows audit reads.
+type allowEntry struct {
+	name string
+	pos  token.Position
+	hits int
+}
+
 // allowSet is one package's parsed directives.
 type allowSet struct {
-	// byLine maps file → line → analyzer names allowed on that line.
-	byLine    map[string]map[int][]string
+	// byLine maps file → line → directives on that line.
+	byLine    map[string]map[int][]*allowEntry
+	entries   []*allowEntry
 	malformed []Diagnostic
 }
 
-func collectAllows(pkg *Package) allowSet {
-	s := allowSet{byLine: make(map[string]map[int][]string)}
+func collectAllows(pkg *Package) *allowSet {
+	s := &allowSet{byLine: make(map[string]map[int][]*allowEntry)}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -40,12 +49,14 @@ func collectAllows(pkg *Package) allowSet {
 					})
 					continue
 				}
+				e := &allowEntry{name: name, pos: pos}
 				lines := s.byLine[pos.Filename]
 				if lines == nil {
-					lines = make(map[int][]string)
+					lines = make(map[int][]*allowEntry)
 					s.byLine[pos.Filename] = lines
 				}
-				lines[pos.Line] = append(lines[pos.Line], name)
+				lines[pos.Line] = append(lines[pos.Line], e)
+				s.entries = append(s.entries, e)
 			}
 		}
 	}
@@ -65,18 +76,39 @@ func splitDirective(rest string) (name, reason string) {
 }
 
 // suppresses reports whether a directive for analyzer covers pos: same
-// line, or the line directly above (a directive on its own line).
-func (s allowSet) suppresses(analyzer string, pos token.Position) bool {
+// line, or the line directly above (a directive on its own line). A
+// match is recorded on the directive for the unused-allows audit.
+func (s *allowSet) suppresses(analyzer string, pos token.Position) bool {
 	lines := s.byLine[pos.Filename]
 	if lines == nil {
 		return false
 	}
 	for _, line := range []int{pos.Line, pos.Line - 1} {
-		for _, name := range lines[line] {
-			if name == analyzer {
+		for _, e := range lines[line] {
+			if e.name == analyzer {
+				e.hits++
 				return true
 			}
 		}
 	}
 	return false
+}
+
+// unused returns one diagnostic per directive that suppressed nothing.
+// known is the set of analyzer names that actually ran: an entry naming
+// an analyzer outside it is reported as unknown rather than unused,
+// since this run could not have exercised it.
+func (s *allowSet) unused(known map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, e := range s.entries {
+		if e.hits > 0 {
+			continue
+		}
+		msg := "//lint:allow " + e.name + " suppresses nothing; the violation it documented is gone — delete the directive"
+		if !known[e.name] {
+			msg = "//lint:allow names unknown analyzer " + e.name + " (see hpas-lint -list)"
+		}
+		out = append(out, Diagnostic{Analyzer: "unusedallow", Pos: e.pos, Message: msg})
+	}
+	return out
 }

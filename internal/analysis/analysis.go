@@ -51,9 +51,12 @@ type Analyzer struct {
 	Run func(*Pass)
 }
 
-// Pass is one analyzer's view of one package.
+// Pass is one analyzer's view of one package, plus the module-wide
+// interprocedural layer (call graph and summaries) shared by every
+// analyzer in the run.
 type Pass struct {
 	Pkg      *Package
+	Mod      *Module
 	analyzer *Analyzer
 	diags    []Diagnostic
 }
@@ -92,12 +95,32 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 // "directive" diagnostic per malformed directive (missing reason).
 // Diagnostics come back sorted by file, line, then column.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := run(pkgs, analyzers)
+	return diags
+}
+
+// UnusedAllows runs every analyzer and returns one diagnostic per
+// //lint:allow directive that suppressed nothing: the violation it
+// documented is gone (or the analyzer name is wrong), so the directive
+// is dead weight that would silently mask a future regression at that
+// line. The stale-suppression audit behind hpas-lint -unused-allows.
+func UnusedAllows(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	_, unused := run(pkgs, analyzers)
+	return unused
+}
+
+func run(pkgs []*Package, analyzers []*Analyzer) (diags, unused []Diagnostic) {
+	mod := NewModule(pkgs)
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
 	var out []Diagnostic
 	for _, pkg := range pkgs {
 		allows := collectAllows(pkg)
 		out = append(out, allows.malformed...)
 		for _, a := range analyzers {
-			pass := &Pass{Pkg: pkg, analyzer: a}
+			pass := &Pass{Pkg: pkg, Mod: mod, analyzer: a}
 			a.Run(pass)
 			for _, d := range pass.diags {
 				if !allows.suppresses(a.Name, d.Pos) {
@@ -105,7 +128,14 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				}
 			}
 		}
+		unused = append(unused, allows.unused(known)...)
 	}
+	sortDiags(unused)
+	sortDiags(out)
+	return out, unused
+}
+
+func sortDiags(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos
 		if a.Filename != b.Filename {
@@ -119,5 +149,4 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return out[i].Analyzer < out[j].Analyzer
 	})
-	return out
 }

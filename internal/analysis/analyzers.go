@@ -9,6 +9,9 @@ func Analyzers() []*Analyzer {
 		AnalyzerErraudit,
 		AnalyzerApitags,
 		AnalyzerPoolsafe,
+		AnalyzerLeaksafe,
+		AnalyzerClosesafe,
+		AnalyzerEpochguard,
 	}
 }
 

@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// CallGraph is the module-wide static call graph the interprocedural
+// layer is built on. One node per function or method *declared in a
+// loaded package with a body*; one edge per statically-resolvable call
+// site (an identifier or selector naming a declared function). Calls
+// through function values, interface methods without a unique
+// implementation, and builtins have no edge — summaries computed over
+// the graph are therefore optimistic about what unresolved calls do,
+// and every analyzer that leans on them documents that soundness limit.
+//
+// Edges are recorded from the enclosing *declaration*, but call sites
+// inside nested function literals are kept apart (LitCallees): a
+// literal's body runs on another goroutine or at another time, so
+// "this function performs X" summaries (lock-unsafety, cancellation
+// observation) must not absorb it, while "this function references X"
+// reasoning (reachability) may.
+type CallGraph struct {
+	nodes map[*types.Func]*FuncNode
+	// order keeps deterministic iteration: nodes sorted by position.
+	order []*FuncNode
+}
+
+// FuncNode is one declared function in the graph.
+type FuncNode struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	// Callees are the statically-resolved targets of call sites in the
+	// declaration body, nested function literals excluded, in source
+	// order, deduplicated. Targets outside the loaded packages (stdlib)
+	// appear here too; Node returns nil for them.
+	Callees []*types.Func
+	// LitCallees are the resolved targets of call sites inside nested
+	// function literals of this declaration.
+	LitCallees []*types.Func
+	// Callers are the module functions with an edge to this node
+	// (Callees only, not LitCallees), sorted by position.
+	Callers []*types.Func
+}
+
+// BuildCallGraph constructs the graph over the loaded packages.
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{nodes: make(map[*types.Func]*FuncNode)}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn := funcObjOf(pkg, fd.Name)
+				if fn == nil {
+					continue
+				}
+				node := &FuncNode{Fn: fn, Decl: fd, Pkg: pkg}
+				node.Callees, node.LitCallees = collectCallees(pkg, fd.Body)
+				g.nodes[fn] = node
+				g.order = append(g.order, node)
+			}
+		}
+	}
+	sort.Slice(g.order, func(i, j int) bool {
+		return g.order[i].Decl.Pos() < g.order[j].Decl.Pos()
+	})
+	for _, n := range g.order {
+		for _, callee := range n.Callees {
+			if cn := g.nodes[callee]; cn != nil {
+				cn.Callers = append(cn.Callers, n.Fn)
+			}
+		}
+	}
+	return g
+}
+
+// Node returns the graph node for fn, or nil when fn is not declared in
+// a loaded package (stdlib, or resolved without a body).
+func (g *CallGraph) Node(fn *types.Func) *FuncNode { return g.nodes[fn] }
+
+// Nodes returns every node in deterministic (position) order.
+func (g *CallGraph) Nodes() []*FuncNode { return g.order }
+
+// funcObjOf resolves a declaration name to its *types.Func.
+func funcObjOf(pkg *Package, id *ast.Ident) *types.Func {
+	if pkg.Info == nil {
+		return nil
+	}
+	fn, _ := pkg.Info.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// resolveCallee resolves a call expression to the declared function or
+// method it statically invokes, or nil (function values, conversions,
+// builtins). Identical to Pass.calleeFunc but usable before any Pass
+// exists — the graph is built once, ahead of every analyzer.
+func resolveCallee(pkg *Package, call *ast.CallExpr) *types.Func {
+	if pkg.Info == nil {
+		return nil
+	}
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pkg.Info.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// collectCallees walks one declaration body splitting resolved call
+// targets into declaration-level and literal-nested sets.
+func collectCallees(pkg *Package, body *ast.BlockStmt) (direct, lit []*types.Func) {
+	seenD := make(map[*types.Func]bool)
+	seenL := make(map[*types.Func]bool)
+	var walk func(n ast.Node, inLit bool)
+	walk = func(n ast.Node, inLit bool) {
+		ast.Inspect(n, func(c ast.Node) bool {
+			switch c := c.(type) {
+			case *ast.FuncLit:
+				if !inLit {
+					walk(c.Body, true)
+					return false
+				}
+				return true // already inside a literal: stay in the lit set
+			case *ast.CallExpr:
+				if fn := resolveCallee(pkg, c); fn != nil {
+					if inLit {
+						if !seenL[fn] {
+							seenL[fn] = true
+							lit = append(lit, fn)
+						}
+					} else if !seenD[fn] {
+						seenD[fn] = true
+						direct = append(direct, fn)
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(body, false)
+	return direct, lit
+}

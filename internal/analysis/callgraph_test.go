@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/types"
+	"path/filepath"
+	"testing"
+)
+
+// loadDiamond loads the callgraph fixture and returns its module plus a
+// name → node index.
+func loadDiamond(t *testing.T) (*Module, map[string]*FuncNode) {
+	t.Helper()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "callgraph"), "fixture/callgraph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("fixture does not type-check: %v", pkg.TypeErrors)
+	}
+	mod := NewModule([]*Package{pkg})
+	byName := make(map[string]*FuncNode)
+	for _, n := range mod.Graph().Nodes() {
+		byName[n.Fn.Name()] = n
+	}
+	return mod, byName
+}
+
+func calleeNames(fns []*types.Func) []string {
+	var out []string
+	for _, fn := range fns {
+		out = append(out, fn.Name())
+	}
+	return out
+}
+
+func hasName(fns []*types.Func, name string) bool {
+	for _, fn := range fns {
+		if fn.Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCallGraphDiamond(t *testing.T) {
+	_, nodes := loadDiamond(t)
+	for _, want := range []string{"A", "B", "C", "D", "E", "F", "G"} {
+		if nodes[want] == nil {
+			t.Fatalf("no graph node for %s; have %v", want, len(nodes))
+		}
+	}
+
+	// Forward edges of the diamond.
+	if got := calleeNames(nodes["A"].Callees); len(got) != 2 || !hasName(nodes["A"].Callees, "B") || !hasName(nodes["A"].Callees, "C") {
+		t.Errorf("A.Callees = %v, want [B C]", got)
+	}
+	if !hasName(nodes["B"].Callees, "D") || !hasName(nodes["C"].Callees, "D") {
+		t.Errorf("B/C must both call D; B=%v C=%v", calleeNames(nodes["B"].Callees), calleeNames(nodes["C"].Callees))
+	}
+
+	// Caller back-edges: D is reached from B and C (the diamond joins),
+	// not from E — E's call site is inside a literal.
+	callers := calleeNames(nodes["D"].Callers)
+	if len(callers) != 2 || !hasName(nodes["D"].Callers, "B") || !hasName(nodes["D"].Callers, "C") {
+		t.Errorf("D.Callers = %v, want [B C]", callers)
+	}
+
+	// Literal separation: E's only edge to D is in LitCallees.
+	if hasName(nodes["E"].Callees, "D") {
+		t.Errorf("E.Callees contains D; literal call sites must stay out of Callees")
+	}
+	if !hasName(nodes["E"].LitCallees, "D") {
+		t.Errorf("E.LitCallees = %v, want D", calleeNames(nodes["E"].LitCallees))
+	}
+
+	// Dedup: G calls F twice through one edge.
+	if got := calleeNames(nodes["G"].Callees); len(got) != 1 || got[0] != "F" {
+		t.Errorf("G.Callees = %v, want exactly [F]", got)
+	}
+}
+
+func TestSummaryPropagation(t *testing.T) {
+	mod, nodes := loadDiamond(t)
+
+	// D observes cancellation directly; the fixpoint carries it through
+	// both arms of the diamond up to A.
+	for _, name := range []string{"D", "B", "C", "A"} {
+		if !mod.ObservesCancel(nodes[name].Fn) {
+			t.Errorf("ObservesCancel(%s) = false, want true (via the diamond)", name)
+		}
+	}
+
+	// E only touches D inside a spawned literal: the literal's behavior
+	// is the goroutine's, not E's, so E must not inherit the summary.
+	if mod.ObservesCancel(nodes["E"].Fn) {
+		t.Error("ObservesCancel(E) = true; literal call sites must not feed declaration summaries")
+	}
+
+	// F and G never observe anything.
+	if mod.ObservesCancel(nodes["F"].Fn) || mod.ObservesCancel(nodes["G"].Fn) {
+		t.Error("ObservesCancel(F/G) = true, want false")
+	}
+}

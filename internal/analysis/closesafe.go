@@ -1,0 +1,666 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerClosesafe tracks closable values from acquisition to release:
+// every *os.File, io.ReadCloser/io.WriteCloser/io.Closer-returning call
+// and *http.Response body must reach Close on every path out of the
+// acquiring function — including the early error returns — or be
+// transferred to a new owner. Recognized transfers:
+//
+//   - returning the value (the caller now owns the Close);
+//   - passing it to a module function whose summary closes or retains
+//     that parameter (interprocedural ownership transfer: a constructor
+//     storing the file in a struct carries the obligation to the
+//     struct's Close);
+//   - storing it into a struct field, element, or composite literal
+//     (same transfer, spelled locally).
+//
+// The tracking is a linear walk with branch cloning: `if` bodies are
+// scanned with a copy of the state, and a value closed in both arms of
+// an if/else is closed afterward. The err-companion rule makes the
+// usual `f, err := os.Open(...)` shape precise: in the `err != nil`
+// branch the value never existed, in the `err == nil` branch it is
+// live. os.Stdout/Stderr-style process-lifetime values and values the
+// function never binds (a bare `defer resp.Body.Close()` chain) are out
+// of scope. Calls the graph cannot resolve are assumed to take
+// ownership — the optimistic trade every summary-based analyzer here
+// makes.
+var AnalyzerClosesafe = &Analyzer{
+	Name: "closesafe",
+	Doc:  "closable values must reach Close on every path or transfer ownership",
+	Run:  runClosesafe,
+}
+
+func runClosesafe(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			cf := &closesafeFunc{p: p, reported: make(map[types.Object]bool)}
+			st := newCloseState()
+			cf.checkBlock(fd.Body.List, st)
+			// Falling off the end of the function leaks whatever is
+			// still live (return paths were checked at their returns).
+			for obj, acq := range st.live {
+				cf.reportLeak(obj, acq, "before the function ends")
+			}
+			// Function literals acquire and own independently.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					nf := &closesafeFunc{p: p, reported: make(map[types.Object]bool)}
+					nst := newCloseState()
+					nf.checkBlock(lit.Body.List, nst)
+					for obj, acq := range nst.live {
+						nf.reportLeak(obj, acq, "before the function ends")
+					}
+					return false
+				}
+				return true
+			})
+		}
+	}
+}
+
+// closeState maps a tracked object to its lifecycle. Missing key means
+// untracked; true means live (open); false means resolved (closed or
+// transferred).
+type closeState struct {
+	live map[types.Object]*acquisition
+	// errOf links a closable to the error variable bound alongside it,
+	// for the err-companion branch rule.
+	errOf map[types.Object]types.Object
+}
+
+// acquisition remembers where and what was acquired, for the report.
+type acquisition struct {
+	pos  ast.Node
+	what string
+	// body is true for *http.Response: the obligation is resp.Body.
+	body bool
+}
+
+func newCloseState() *closeState {
+	return &closeState{
+		live:  make(map[types.Object]*acquisition),
+		errOf: make(map[types.Object]types.Object),
+	}
+}
+
+func (s *closeState) clone() *closeState {
+	c := newCloseState()
+	for k, v := range s.live {
+		c.live[k] = v
+	}
+	for k, v := range s.errOf {
+		c.errOf[k] = v
+	}
+	return c
+}
+
+type closesafeFunc struct {
+	p *Pass
+	// reported dedupes: one diagnostic per acquired value, anchored at
+	// the acquisition (where the missing defer belongs), naming the
+	// first leaking path.
+	reported map[types.Object]bool
+}
+
+// reportLeak emits the single diagnostic for obj, if not already done.
+func (cf *closesafeFunc) reportLeak(obj types.Object, acq *acquisition, path string) {
+	if cf.reported[obj] {
+		return
+	}
+	cf.reported[obj] = true
+	target := obj.Name()
+	if acq.body {
+		target += ".Body"
+	}
+	cf.p.Reportf(acq.pos.Pos(), "%s (%s) does not reach Close %s; close it or transfer ownership", target, acq.what, path)
+}
+
+// checkBlock walks one statement list, threading state through it.
+// Anything still live when the list ends without a terminating return
+// stays live in the caller's state (the enclosing scope may close it);
+// the leak reports happen at return statements and at function end via
+// the caller passing the tail.
+func (cf *closesafeFunc) checkBlock(stmts []ast.Stmt, st *closeState) {
+	for _, s := range stmts {
+		cf.checkStmt(s, st)
+	}
+}
+
+func (cf *closesafeFunc) checkStmt(s ast.Stmt, st *closeState) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		cf.checkAssign(s, st)
+	case *ast.ExprStmt:
+		cf.checkExpr(s.X, st)
+	case *ast.DeferStmt:
+		cf.applyCloseCall(s.Call, st)
+		cf.checkTransferCall(s.Call, st)
+		// defer func() { ... f.Close() ... }() resolves too.
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			cf.scanLitForCloses(lit, st)
+		}
+	case *ast.IfStmt:
+		cf.checkIf(s, st)
+	case *ast.ReturnStmt:
+		cf.checkReturn(s, st)
+	case *ast.BlockStmt:
+		cf.checkBlock(s.List, st)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cf.checkStmt(s.Init, st)
+		}
+		cf.checkBlock(s.Body.List, st)
+	case *ast.RangeStmt:
+		cf.checkBlock(s.Body.List, st)
+	case *ast.SwitchStmt:
+		cf.checkBranches(st, switchBodies(s.Body))
+	case *ast.TypeSwitchStmt:
+		cf.checkBranches(st, switchBodies(s.Body))
+	case *ast.SelectStmt:
+		var bodies [][]ast.Stmt
+		for _, c := range s.Body.List {
+			if comm, ok := c.(*ast.CommClause); ok {
+				bodies = append(bodies, comm.Body)
+			}
+		}
+		cf.checkBranches(st, bodies)
+	case *ast.GoStmt:
+		cf.checkTransferCall(s.Call, st)
+		// A closable captured by a spawned literal belongs to the
+		// goroutine now; its lifetime is no longer this function's.
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			cf.transferCaptured(lit, st)
+		}
+	case *ast.SendStmt:
+		// Sending a closable transfers it to the receiver.
+		if obj := closableObj(cf.p.Pkg, s.Value); obj != nil {
+			delete(st.live, obj)
+		}
+	}
+}
+
+func switchBodies(body *ast.BlockStmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			out = append(out, cc.Body)
+		}
+	}
+	return out
+}
+
+// checkBranches scans each branch with a cloned state; a value closed in
+// every branch (of a construct that covers all paths) is conservatively
+// kept live afterward unless ALL branches resolved it.
+func (cf *closesafeFunc) checkBranches(st *closeState, bodies [][]ast.Stmt) {
+	if len(bodies) == 0 {
+		return
+	}
+	clones := make([]*closeState, len(bodies))
+	for i, b := range bodies {
+		clones[i] = st.clone()
+		cf.checkBlock(b, clones[i])
+	}
+	for obj := range st.live {
+		resolvedEverywhere := true
+		for _, c := range clones {
+			if _, stillLive := c.live[obj]; stillLive {
+				resolvedEverywhere = false
+				break
+			}
+		}
+		if resolvedEverywhere {
+			delete(st.live, obj)
+		}
+	}
+}
+
+// checkAssign records acquisitions, closes-by-overwrite, and transfers.
+func (cf *closesafeFunc) checkAssign(as *ast.AssignStmt, st *closeState) {
+	// RHS first: a call may both transfer arguments and acquire.
+	for _, rhs := range as.Rhs {
+		cf.checkExpr(rhs, st)
+	}
+	// Reassigning an error variable breaks its companion links: the old
+	// err no longer says anything about the closables acquired with it.
+	for _, lhs := range as.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := objectOf(cf.p.Pkg, id)
+		if obj == nil {
+			continue
+		}
+		for k, companion := range st.errOf {
+			if companion == obj {
+				delete(st.errOf, k)
+			}
+		}
+	}
+	// A closable stored into a field/element transfers; a closable
+	// rebound to a new name moves the tracking.
+	if len(as.Lhs) == len(as.Rhs) {
+		for i, rhs := range as.Rhs {
+			if obj := closableObj(cf.p.Pkg, rhs); obj != nil {
+				if _, live := st.live[obj]; live {
+					if id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident); ok {
+						if nobj := objectOf(cf.p.Pkg, id); nobj != nil && nobj != obj {
+							st.live[nobj] = st.live[obj]
+						}
+					}
+					delete(st.live, obj) // alias or field store: new owner
+				}
+			}
+		}
+	}
+	// Now record fresh acquisitions bound by this statement.
+	cf.recordAcquisitions(as, st)
+}
+
+// recordAcquisitions handles `v, err := acquire(...)` and `v := acquire(...)`.
+func (cf *closesafeFunc) recordAcquisitions(as *ast.AssignStmt, st *closeState) {
+	// Multi-value form: one call, several LHS.
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		kinds := acquisitionKinds(cf.p.Pkg, call)
+		if kinds == nil {
+			return
+		}
+		var errObj types.Object
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := objectOf(cf.p.Pkg, id)
+			if obj == nil {
+				continue
+			}
+			if i < len(kinds) && kinds[i] == nil && isErrorType(obj.Type()) {
+				errObj = obj
+			}
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := objectOf(cf.p.Pkg, id)
+			if obj == nil || i >= len(kinds) || kinds[i] == nil {
+				continue
+			}
+			st.live[obj] = &acquisition{pos: call, what: kinds[i].what, body: kinds[i].body}
+			if errObj != nil {
+				st.errOf[obj] = errObj
+			}
+		}
+		return
+	}
+	// Single-value form.
+	if len(as.Lhs) == len(as.Rhs) {
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			kinds := acquisitionKinds(cf.p.Pkg, call)
+			if len(kinds) != 1 || kinds[0] == nil {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			if obj := objectOf(cf.p.Pkg, id); obj != nil {
+				st.live[obj] = &acquisition{pos: call, what: kinds[0].what, body: kinds[0].body}
+			}
+		}
+	}
+}
+
+// acqKind describes one closable result position of a call.
+type acqKind struct {
+	what string
+	body bool
+}
+
+// acquisitionKinds returns, per result position of call, a non-nil
+// *acqKind when that result carries a Close obligation: *os.File,
+// *http.Response (obligation on Body), or an io.Closer-family
+// interface. Module functions returning closables are covered through
+// their declared result types the same way. Returns nil when no
+// position is closable.
+func acquisitionKinds(pkg *Package, call *ast.CallExpr) []*acqKind {
+	// Conversions and builtin calls are not acquisitions.
+	fn := calleeFunc(pkg, call)
+	if fn == nil && calleeVar(pkg, call) == nil {
+		return nil
+	}
+	// Wrapper calls — any argument already closable — alias an existing
+	// value rather than acquiring a fresh one. The underlying value
+	// keeps whatever obligation it had; in the common case
+	// (http.MaxBytesReader over r.Body) the server owns it and the
+	// handler owes nothing.
+	for _, arg := range call.Args {
+		if closableKind(typeOf(pkg, arg)) != nil {
+			return nil
+		}
+	}
+	t := typeOf(pkg, call)
+	if t == nil {
+		return nil
+	}
+	var results []types.Type
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			results = append(results, tup.At(i).Type())
+		}
+	} else {
+		results = []types.Type{t}
+	}
+	kinds := make([]*acqKind, len(results))
+	any := false
+	for i, rt := range results {
+		if k := closableKind(rt); k != nil {
+			kinds[i] = k
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	// Accessor-shaped calls (a method on a struct handing out its own
+	// field, like resp.Body itself) are acquisitions only when the
+	// callee is a known opener; keep it simple: every closable-returning
+	// call acquires, and transfers resolve the rest.
+	return kinds
+}
+
+// closableKind classifies a type as carrying a Close obligation.
+func closableKind(t types.Type) *acqKind {
+	if t == nil {
+		return nil
+	}
+	if isOSFile(t) {
+		return &acqKind{what: "*os.File"}
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		if isNamed(ptr.Elem(), "net/http", "Response") {
+			return &acqKind{what: "*http.Response", body: true}
+		}
+	}
+	if isNamed(t, "net", "Conn") || isNamed(t, "net", "Listener") {
+		return &acqKind{what: namedTypeName(t)}
+	}
+	// io.Closer-family interfaces: ReadCloser, WriteCloser, ReadWriteCloser.
+	if iface, ok := t.Underlying().(*types.Interface); ok {
+		name := namedTypeName(t)
+		switch name {
+		case "ReadCloser", "WriteCloser", "ReadWriteCloser", "Closer":
+			return &acqKind{what: "io." + name}
+		}
+		_ = iface
+	}
+	return nil
+}
+
+// checkExpr scans an expression for closes and transfers.
+func (cf *closesafeFunc) checkExpr(e ast.Expr, st *closeState) {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok {
+		e = ast.Unparen(u.X) // &T{...} transfers like T{...}
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		// A closable in a composite literal transfers ownership: the
+		// struct (or slice/map) is the new owner.
+		if cl, ok := e.(*ast.CompositeLit); ok {
+			for _, elt := range cl.Elts {
+				v := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if obj := closableObj(cf.p.Pkg, v); obj != nil {
+					delete(st.live, obj)
+				}
+			}
+		}
+		return
+	}
+	cf.applyCloseCall(call, st)
+	cf.checkTransferCall(call, st)
+}
+
+// applyCloseCall resolves v.Close() / v.Body.Close() against the state.
+func (cf *closesafeFunc) applyCloseCall(call *ast.CallExpr, st *closeState) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Close" {
+		return
+	}
+	x := ast.Unparen(sel.X)
+	if inner, ok := x.(*ast.SelectorExpr); ok && inner.Sel.Name == "Body" {
+		x = ast.Unparen(inner.X)
+	}
+	if id, ok := x.(*ast.Ident); ok {
+		if obj := objectOf(cf.p.Pkg, id); obj != nil {
+			delete(st.live, obj)
+			delete(st.errOf, obj)
+		}
+	}
+}
+
+// transferCaptured drops live closables referenced anywhere inside a
+// spawned literal: the goroutine is the new owner.
+func (cf *closesafeFunc) transferCaptured(lit *ast.FuncLit, st *closeState) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := objectOf(cf.p.Pkg, id); obj != nil {
+				delete(st.live, obj)
+			}
+		}
+		return true
+	})
+}
+
+// scanLitForCloses treats closes inside a deferred literal as resolving
+// (the literal runs at function exit, after every path).
+func (cf *closesafeFunc) scanLitForCloses(lit *ast.FuncLit, st *closeState) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			cf.applyCloseCall(call, st)
+		}
+		return true
+	})
+}
+
+// checkTransferCall resolves live values passed to callees that take
+// ownership: a module summary closing or retaining the parameter, or an
+// unresolvable callee (assumed owner).
+func (cf *closesafeFunc) checkTransferCall(call *ast.CallExpr, st *closeState) {
+	fn := cf.p.calleeFunc(call)
+	for i, arg := range call.Args {
+		obj := closableObj(cf.p.Pkg, arg)
+		if obj == nil {
+			continue
+		}
+		if _, live := st.live[obj]; !live {
+			continue
+		}
+		if fn == nil || cf.p.Mod.Graph().Node(fn) == nil ||
+			cf.p.Mod.ClosesParam(fn, i) || cf.p.Mod.RetainsParam(fn, i) {
+			delete(st.live, obj)
+		}
+	}
+}
+
+// checkIf applies the err-companion rule, scans both arms with cloned
+// state, and merges.
+func (cf *closesafeFunc) checkIf(s *ast.IfStmt, st *closeState) {
+	if s.Init != nil {
+		cf.checkStmt(s.Init, st)
+	}
+	thenSt := st.clone()
+	elseSt := st.clone()
+
+	// err-companion: `if err != nil` means the closable acquired with
+	// that err never existed in the then-arm (and, when the arm
+	// returns, is the only live copy on the error path — so it is
+	// dropped from the fall-through state too only if the arm returns).
+	if errObj, eq := errCondObj(cf.p.Pkg, s.Cond); errObj != nil {
+		for obj, companion := range st.errOf {
+			if companion != errObj {
+				continue
+			}
+			if !eq { // err != nil: value invalid in then-arm
+				delete(thenSt.live, obj)
+			} else { // err == nil: value only valid in then-arm
+				delete(elseSt.live, obj)
+			}
+		}
+	}
+
+	cf.checkBlock(s.Body.List, thenSt)
+	switch e := s.Else.(type) {
+	case *ast.BlockStmt:
+		cf.checkBlock(e.List, elseSt)
+	case *ast.IfStmt:
+		cf.checkStmt(e, elseSt)
+	}
+
+	thenTerm := terminates(s.Body.List)
+	for obj := range st.live {
+		_, liveThen := thenSt.live[obj]
+		_, liveElse := elseSt.live[obj]
+		switch {
+		case s.Else != nil:
+			// Both arms cover all paths: resolved only if both resolved
+			// (a terminating arm counts as resolved — its return was
+			// already checked against its own state).
+			if liveThen && !terminates(s.Body.List) {
+				continue
+			}
+			if liveElse && !elseTerminates(s.Else) {
+				continue
+			}
+			delete(st.live, obj)
+		case thenTerm:
+			// `if ... { return }` with no else: fall-through state is
+			// the not-taken branch; the then-arm checked itself.
+			if !liveThen && !liveElse {
+				delete(st.live, obj)
+			}
+		default:
+			if !liveThen && !liveElse {
+				delete(st.live, obj)
+			}
+		}
+	}
+}
+
+// errCondObj matches `err != nil` / `err == nil` conditions, returning
+// the error object and whether the comparison is ==.
+func errCondObj(pkg *Package, cond ast.Expr) (types.Object, bool) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return nil, false
+	}
+	op := be.Op.String()
+	if op != "!=" && op != "==" {
+		return nil, false
+	}
+	var id *ast.Ident
+	if i, ok := ast.Unparen(be.X).(*ast.Ident); ok && i.Name != "nil" {
+		id = i
+	} else if i, ok := ast.Unparen(be.Y).(*ast.Ident); ok && i.Name != "nil" {
+		id = i
+	}
+	if id == nil {
+		return nil, false
+	}
+	obj := objectOf(pkg, id)
+	if obj == nil || !isErrorType(obj.Type()) {
+		return nil, false
+	}
+	return obj, op == "=="
+}
+
+// terminates reports whether a statement list always leaves the
+// function (return or panic as its last statement).
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch last := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func elseTerminates(e ast.Stmt) bool {
+	switch e := e.(type) {
+	case *ast.BlockStmt:
+		return terminates(e.List)
+	case *ast.IfStmt:
+		return terminates(e.Body.List) && e.Else != nil && elseTerminates(e.Else)
+	}
+	return false
+}
+
+// checkReturn reports values still live at a return that does not carry
+// them out.
+func (cf *closesafeFunc) checkReturn(ret *ast.ReturnStmt, st *closeState) {
+	returned := make(map[types.Object]bool)
+	for _, res := range ret.Results {
+		ast.Inspect(res, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := objectOf(cf.p.Pkg, id); obj != nil {
+					returned[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	for obj, acq := range st.live {
+		if returned[obj] {
+			delete(st.live, obj) // ownership moves to the caller
+			continue
+		}
+		cf.reportLeak(obj, acq, fmt.Sprintf("on the return path at line %d", cf.p.Pkg.Fset.Position(ret.Pos()).Line))
+		delete(st.live, obj)
+	}
+}
+
+// closableObj resolves e to a tracked-capable object: a bare ident of
+// closable type.
+func closableObj(pkg *Package, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := objectOf(pkg, id)
+	if obj == nil || closableKind(obj.Type()) == nil {
+		return nil
+	}
+	return obj
+}

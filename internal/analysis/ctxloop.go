@@ -93,15 +93,20 @@ func selectObservesCancel(p *Pass, sel *ast.SelectStmt) bool {
 }
 
 // isCancelSource recognizes ctx.Done() calls (any context.Context
-// value) and channels named after teardown (stop, done, quit, ...).
+// value), channels named after teardown (stop, done, quit, ...), and —
+// via the module call graph — accessor functions that provably return a
+// cancellation channel regardless of what they are called.
 func isCancelSource(p *Pass, recv ast.Expr) bool {
 	if call, ok := ast.Unparen(recv).(*ast.CallExpr); ok {
 		fn := p.calleeFunc(call)
-		if fn != nil && fn.Name() == "Done" && fn.Pkg() != nil && fn.Pkg().Path() == "context" {
+		if fn == nil {
+			return false
+		}
+		if fn.Name() == "Done" && fn.Pkg() != nil && fn.Pkg().Path() == "context" {
 			return true
 		}
-		// Accessor methods like m.stopChan() — judged by name.
-		return fn != nil && stopChanName.MatchString(fn.Name())
+		// Accessor methods: by teardown name, or by what they return.
+		return stopChanName.MatchString(fn.Name()) || p.Mod.ReturnsCancelChan(fn)
 	}
 	return stopChanName.MatchString(lastIdent(recv))
 }

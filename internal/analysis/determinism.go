@@ -27,6 +27,14 @@ var substratePackages = []string{
 	"internal/experiments",
 }
 
+// pkgPathOfFunc returns the declaring package path of fn, or "".
+func pkgPathOfFunc(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
 // inSubstrate matches by path suffix so fixture packages (loaded under
 // synthetic import paths ending in a substrate segment) are covered.
 func inSubstrate(path string) bool {
@@ -88,6 +96,18 @@ func runDeterminism(p *Pass) {
 				}
 				if name == "New" && !seededSourceArg(call) {
 					p.Reportf(call.Pos(), "rand.New without an explicit rand.NewSource seed; use hpas/internal/xrand or seed explicitly")
+				}
+			default:
+				// A wall-clock read laundered through a helper in a
+				// non-substrate package: the direct scan cannot see it, the
+				// module summary can. Substrate-internal helpers are flagged
+				// at their own read site, so only cross-boundary calls are
+				// reported here.
+				if inSubstrate(pkgPathOfFunc(fn)) {
+					return true
+				}
+				if desc := p.Mod.WallClock(fn); desc != "" {
+					p.Reportf(call.Pos(), "call to %s reaches %s; the deterministic simulation substrate must not read wall clocks or global randomness, even through helpers", fn.Name(), desc)
 				}
 			}
 			return true

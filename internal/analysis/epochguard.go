@@ -1,0 +1,448 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerEpochguard encodes the shard-router membership protocol (PRs 8
+// and 9) as checkable rules, scoped to packages whose import path ends
+// in "/shard". The protocol, briefly: membership is versioned by an
+// epoch; admin mutations are admitted through a compare-and-swap against
+// that epoch, applied under the failover lock (the mutex field named
+// fomu), journaled to the replication ledger, and only then forwarded to
+// peer routers; every HTTP response carries the epoch so peers and
+// clients can detect staleness. Each clause is a rule:
+//
+//  1. cas-guard — a call to a membership mutator (add, bump, adopt,
+//     detach on the membership type) must be epoch-checked: the
+//     enclosing function compares a value read from version() in an if
+//     condition before mutating, or every (transitive) module caller
+//     does.
+//  2. epoch-header — a function that registers routes on a ServeMux and
+//     returns an http.Handler must not return the bare mux: the
+//     returned handler must (transitively) stamp the epoch header
+//     (Header().Set(EpochHeader, ...)) on responses.
+//  3. ledger-order — within a function, recordMutation must precede
+//     flushReplication (journal before forward), and forwardRecord may
+//     be called only by flushReplication itself — every other path must
+//     go through the ledger.
+//  4. failover-lock — membership mutators run under fomu: the enclosing
+//     function locks it before the call, or every (transitive) module
+//     caller locks it before calling in.
+//
+// Caller propagation is a fixpoint over the module call graph, so a
+// helper like detach — which never checks the epoch itself — is
+// accepted when every path into it is guarded. Rules 1 and 4 treat a
+// function with no module callers as unguarded: an exported entry point
+// must carry its own guard.
+var AnalyzerEpochguard = &Analyzer{
+	Name: "epochguard",
+	Doc:  "shard membership mutations must be CAS-guarded, fomu-held, journaled before forwarding, and epoch-stamped",
+	Run:  runEpochguard,
+}
+
+// membershipMutators are the epoch-moving methods on the membership
+// type. Locked variants (bumpLocked) are membership-internal and the
+// type's own methods are exempt from the rules.
+var membershipMutators = map[string]bool{
+	"add": true, "bump": true, "adopt": true, "detach": true,
+}
+
+func runEpochguard(p *Pass) {
+	if !strings.HasSuffix(p.Pkg.Path, "/shard") {
+		return
+	}
+	eg := &epochguard{p: p}
+	eg.checkMutators()
+	eg.checkHandlers()
+	eg.checkLedgerOrder()
+}
+
+type epochguard struct {
+	p *Pass
+
+	casGuarded  map[*types.Func]bool
+	fomuGuarded map[*types.Func]bool
+	setsEpoch   map[*types.Func]bool
+}
+
+// ---- rules 1 and 4: mutator call sites ---------------------------------
+
+// checkMutators scans every function in the package for calls to
+// membership mutators and applies the cas-guard and failover-lock rules.
+func (eg *epochguard) checkMutators() {
+	for _, n := range eg.p.Mod.Graph().Nodes() {
+		if n.Pkg != eg.p.Pkg {
+			continue
+		}
+		if onMembershipType(n.Fn) {
+			continue // the type's own methods are the mutation primitives
+		}
+		inspectDecl(n.Decl.Body, func(c ast.Node) bool {
+			call, ok := c.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := eg.p.calleeFunc(call)
+			if fn == nil || !isMembershipMutator(fn) {
+				return true
+			}
+			if !eg.casOK(n, call.Pos()) {
+				eg.p.Reportf(call.Pos(), "membership.%s without a CAS epoch guard: compare a version() read in an if before mutating, on this path or in every caller", fn.Name())
+			}
+			if !eg.fomuOK(n, call.Pos()) {
+				eg.p.Reportf(call.Pos(), "membership.%s outside the failover lock: hold fomu here or in every caller before mutating membership", fn.Name())
+			}
+			return true
+		})
+	}
+}
+
+// isMembershipMutator reports whether fn is one of the epoch-moving
+// methods on the membership type.
+func isMembershipMutator(fn *types.Func) bool {
+	return membershipMutators[fn.Name()] && onMembershipType(fn)
+}
+
+// onMembershipType reports whether fn's receiver is the membership type.
+func onMembershipType(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return namedTypeName(sig.Recv().Type()) == "membership"
+}
+
+// casOK: the enclosing function CAS-checks before pos, or every
+// transitive module caller is CAS-guarded.
+func (eg *epochguard) casOK(n *FuncNode, pos token.Pos) bool {
+	if casChecksBefore(n, pos) {
+		return true
+	}
+	eg.ensureCasGuarded()
+	return eg.allCallersGuarded(n.Fn, eg.casGuarded, make(map[*types.Func]bool))
+}
+
+// fomuOK: the enclosing function locks fomu before pos, or every
+// transitive module caller locks it before calling in.
+func (eg *epochguard) fomuOK(n *FuncNode, pos token.Pos) bool {
+	if locksFomuBefore(n, pos) {
+		return true
+	}
+	eg.ensureFomuGuarded()
+	return eg.allCallersGuarded(n.Fn, eg.fomuGuarded, make(map[*types.Func]bool))
+}
+
+// allCallersGuarded walks up the call graph: fn passes when it has
+// callers and each one either guards the call itself or is (recursively)
+// only reached through guards. visiting breaks recursion cycles —
+// a cycle with no guard anywhere fails.
+func (eg *epochguard) allCallersGuarded(fn *types.Func, guarded map[*types.Func]bool, visiting map[*types.Func]bool) bool {
+	node := eg.p.Mod.Graph().Node(fn)
+	if node == nil || len(node.Callers) == 0 {
+		return false
+	}
+	if visiting[fn] {
+		return false
+	}
+	visiting[fn] = true
+	defer delete(visiting, fn)
+	for _, caller := range node.Callers {
+		if guarded[caller] {
+			continue
+		}
+		if !eg.allCallersGuarded(caller, guarded, visiting) {
+			return false
+		}
+	}
+	return true
+}
+
+// ensureCasGuarded computes, per function, whether its body contains a
+// CAS epoch check anywhere (position-insensitive for the caller
+// propagation: a caller that checks at all is trusted to check first —
+// checked positionally only at the mutating function itself).
+func (eg *epochguard) ensureCasGuarded() {
+	if eg.casGuarded != nil {
+		return
+	}
+	eg.casGuarded = make(map[*types.Func]bool)
+	for _, n := range eg.p.Mod.Graph().Nodes() {
+		if casChecksBefore(n, n.Decl.End()) {
+			eg.casGuarded[n.Fn] = true
+		}
+	}
+}
+
+func (eg *epochguard) ensureFomuGuarded() {
+	if eg.fomuGuarded != nil {
+		return
+	}
+	eg.fomuGuarded = make(map[*types.Func]bool)
+	for _, n := range eg.p.Mod.Graph().Nodes() {
+		if locksFomuBefore(n, n.Decl.End()) {
+			eg.fomuGuarded[n.Fn] = true
+		}
+	}
+}
+
+// casChecksBefore reports whether n's body, before pos, compares a value
+// read from a membership version() call in an if condition. The check
+// is two-step: collect identifiers assigned from version(), then find an
+// if condition mentioning one.
+func casChecksBefore(n *FuncNode, pos token.Pos) bool {
+	versioned := make(map[types.Object]bool)
+	inspectDecl(n.Decl.Body, func(c ast.Node) bool {
+		as, ok := c.(*ast.AssignStmt)
+		if !ok || as.Pos() >= pos || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(n.Pkg, call)
+		if fn == nil || fn.Name() != "version" || !onMembershipType(fn) {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+				if obj := objectOf(n.Pkg, id); obj != nil {
+					versioned[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	if len(versioned) == 0 {
+		return false
+	}
+	found := false
+	inspectDecl(n.Decl.Body, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		ifs, ok := c.(*ast.IfStmt)
+		if !ok || ifs.Pos() >= pos {
+			return true
+		}
+		ast.Inspect(ifs.Cond, func(e ast.Node) bool {
+			if id, ok := e.(*ast.Ident); ok {
+				if obj := objectOf(n.Pkg, id); obj != nil && versioned[obj] {
+					found = true
+				}
+			}
+			return !found
+		})
+		return true
+	})
+	return found
+}
+
+// locksFomuBefore reports a `<x>.fomu.Lock()` call before pos in n's
+// body. Flow (a matching Unlock in between) is not modeled; the repo's
+// locking is straight-line enough that position suffices, and locksafe
+// separately checks what runs under the lock.
+func locksFomuBefore(n *FuncNode, pos token.Pos) bool {
+	found := false
+	inspectDecl(n.Decl.Body, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := c.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Lock" {
+			return true
+		}
+		if inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok && inner.Sel.Name == "fomu" {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// ---- rule 2: epoch header on returned handlers -------------------------
+
+// checkHandlers verifies that mux-building functions return an
+// epoch-stamping wrapper, not the bare mux.
+func (eg *epochguard) checkHandlers() {
+	for _, n := range eg.p.Mod.Graph().Nodes() {
+		if n.Pkg != eg.p.Pkg || !returnsHTTPHandler(n) || !registersRoutes(n) {
+			continue
+		}
+		inspectDecl(n.Decl.Body, func(c ast.Node) bool {
+			ret, ok := c.(*ast.ReturnStmt)
+			if !ok {
+				return true
+			}
+			for _, res := range ret.Results {
+				res = ast.Unparen(res)
+				if isServeMuxExpr(n.Pkg, res) {
+					eg.p.Reportf(res.Pos(), "handler returned without the epoch middleware: wrap the mux so every response carries the membership epoch header")
+					continue
+				}
+				if call, ok := res.(*ast.CallExpr); ok {
+					if fn := calleeFunc(n.Pkg, call); fn != nil && !eg.epochStamping(fn) {
+						eg.p.Reportf(res.Pos(), "returned handler %s never sets the epoch header; peers cannot detect membership staleness", fn.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// returnsHTTPHandler reports whether n declares an http.Handler result.
+func returnsHTTPHandler(n *FuncNode) bool {
+	sig, ok := n.Fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isNamed(sig.Results().At(i).Type(), "net/http", "Handler") {
+			return true
+		}
+	}
+	return false
+}
+
+// registersRoutes reports a HandleFunc/Handle call on an http.ServeMux
+// in n's body.
+func registersRoutes(n *FuncNode) bool {
+	found := false
+	inspectDecl(n.Decl.Body, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := c.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(n.Pkg, call)
+		if fn == nil || (fn.Name() != "HandleFunc" && fn.Name() != "Handle") {
+			return true
+		}
+		if recv := recvTypeOf(n.Pkg, call); isNamed(recv, "net/http", "ServeMux") {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// isServeMuxExpr reports whether e is a value of type *http.ServeMux.
+func isServeMuxExpr(pkg *Package, e ast.Expr) bool {
+	t := typeOf(pkg, e)
+	if t == nil {
+		return false
+	}
+	return isNamed(t, "net/http", "ServeMux")
+}
+
+// epochStamping reports whether fn (transitively, literals included —
+// middleware stamps inside the closure it returns) sets the epoch
+// header: a .Set(...) whose first argument names EpochHeader or spells
+// the Hpas-Epoch literal.
+func (eg *epochguard) epochStamping(fn *types.Func) bool {
+	if eg.setsEpoch == nil {
+		eg.setsEpoch = make(map[*types.Func]bool)
+		for changed := true; changed; {
+			changed = false
+			for _, n := range eg.p.Mod.Graph().Nodes() {
+				if eg.setsEpoch[n.Fn] {
+					continue
+				}
+				if bodySetsEpochHeader(n, eg.setsEpoch) {
+					eg.setsEpoch[n.Fn] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return eg.setsEpoch[fn]
+}
+
+func bodySetsEpochHeader(n *FuncNode, known map[*types.Func]bool) bool {
+	found := false
+	ast.Inspect(n.Decl.Body, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := c.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Set" && len(call.Args) >= 1 {
+			arg := render(ast.Unparen(call.Args[0]))
+			if strings.HasSuffix(arg, "EpochHeader") {
+				found = true
+				return false
+			}
+			if lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit); ok && strings.Contains(lit.Value, "Hpas-Epoch") {
+				found = true
+				return false
+			}
+		}
+		if fn := calleeFunc(n.Pkg, call); fn != nil && known[fn] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// ---- rule 3: ledger order ----------------------------------------------
+
+// checkLedgerOrder enforces journal-before-forward inside each function
+// and restricts direct forwardRecord calls to flushReplication.
+func (eg *epochguard) checkLedgerOrder() {
+	for _, n := range eg.p.Mod.Graph().Nodes() {
+		if n.Pkg != eg.p.Pkg {
+			continue
+		}
+		var firstFlush token.Pos
+		inspectDecl(n.Decl.Body, func(c ast.Node) bool {
+			call, ok := c.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := eg.p.calleeFunc(call)
+			if fn == nil {
+				return true
+			}
+			switch fn.Name() {
+			case "flushReplication":
+				if firstFlush == token.NoPos || call.Pos() < firstFlush {
+					firstFlush = call.Pos()
+				}
+			case "forwardRecord":
+				if n.Fn.Name() != "flushReplication" {
+					eg.p.Reportf(call.Pos(), "forwardRecord called outside flushReplication; mutations must go through the replication ledger, not straight to peers")
+				}
+			}
+			return true
+		})
+		if firstFlush == token.NoPos {
+			continue
+		}
+		inspectDecl(n.Decl.Body, func(c ast.Node) bool {
+			call, ok := c.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := eg.p.calleeFunc(call)
+			if fn != nil && fn.Name() == "recordMutation" && call.Pos() > firstFlush {
+				eg.p.Reportf(call.Pos(), "recordMutation after flushReplication in the same function; journal the mutation to the ledger before forwarding to peers")
+			}
+			return true
+		})
+	}
+}

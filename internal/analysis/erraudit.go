@@ -16,6 +16,11 @@ import (
 // must be handled or assigned to a named variable; discarding a call's
 // only error with `_` (or dropping it as a bare statement or defer) is
 // flagged.
+//
+// The audited surface extends through the call graph: a module function
+// whose returned error originates in a durable write (a thin wrapper —
+// Module.DurableWrapper) is audited like the write itself, so hiding a
+// journal append behind a helper does not launder its error away.
 var AnalyzerErraudit = &Analyzer{
 	Name: "erraudit",
 	Doc:  "errors from journal/store writes, fsync, and response writes must not be discarded",
@@ -68,27 +73,35 @@ func (p *Pass) auditAssign(s *ast.AssignStmt) {
 }
 
 // auditDiscarded reports the call if it is on the durable-write surface
-// and returns an error that the surrounding statement throws away.
+// — directly, or a wrapper the module summaries trace to one — and
+// returns an error that the surrounding statement throws away.
 func (p *Pass) auditDiscarded(call *ast.CallExpr, how string) {
 	if len(p.errorResults(call)) == 0 {
 		return
 	}
-	desc, ok := p.durableWriteCall(call)
+	desc, ok := durableWriteCallOf(p.Pkg, call)
+	if !ok {
+		if fn := p.calleeFunc(call); fn != nil {
+			if d := p.Mod.DurableWrapper(fn); d != "" {
+				desc, ok = fmt.Sprintf("%s (returned by %s)", d, fn.Name()), true
+			}
+		}
+	}
 	if !ok {
 		return
 	}
 	p.Reportf(call.Pos(), "%s error %s; durable-write errors must be handled (count, log, or propagate)", desc, how)
 }
 
-// durableWriteCall classifies calls on the audited surface.
-func (p *Pass) durableWriteCall(call *ast.CallExpr) (string, bool) {
-	fn := p.calleeFunc(call)
+// durableWriteCallOf classifies calls on the audited surface.
+func durableWriteCallOf(pkg *Package, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(pkg, call)
 	if fn == nil || fn.Pkg() == nil {
 		return "", false
 	}
 	name := fn.Name()
 	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
-		recv := p.recvType(call)
+		recv := recvTypeOf(pkg, call)
 		switch {
 		case isOSFile(recv) && fileIOMethods[name]:
 			return fmt.Sprintf("file %s.%s", render(mustSelX(call)), name), true
@@ -109,7 +122,7 @@ func (p *Pass) durableWriteCall(call *ast.CallExpr) (string, bool) {
 		if dst == "os.Stderr" || dst == "os.Stdout" {
 			return "", false
 		}
-		t := p.TypeOf(call.Args[0])
+		t := typeOf(pkg, call.Args[0])
 		if isResponseWriterish(t) || isOSFile(t) {
 			return fmt.Sprintf("fmt.%s to %s", name, dst), true
 		}

@@ -26,6 +26,9 @@ var fixtures = []struct {
 	{"erraudit", "fixture/erraudit", AnalyzerErraudit},
 	{"apitags", "fixture/api", AnalyzerApitags},
 	{"poolsafe", "fixture/poolsafe", AnalyzerPoolsafe},
+	{"leaksafe", "fixture/leaksafe", AnalyzerLeaksafe},
+	{"closesafe", "fixture/closesafe", AnalyzerClosesafe},
+	{"epochguard", "fixture/internal/shard", AnalyzerEpochguard},
 }
 
 // TestFixtures runs each analyzer over its fixture package and compares

@@ -1,0 +1,300 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerLeaksafe requires every `go` statement to spawn a provably
+// bounded goroutine. Accepted evidence, in the order checked:
+//
+//   - the spawned body (or a declared callee, through the module
+//     summaries) observes cancellation — receives from ctx.Done() or a
+//     stop-named channel, or checks ctx.Err();
+//   - the spawn is tied to a sync.WaitGroup or errgroup.Group the
+//     caller can wait on (the body calls wg.Done(), usually deferred);
+//   - the body is statically finite: no infinite loop, and every
+//     channel operation either sits in a select with a default or
+//     cancellation arm or targets a channel this function provably
+//     made with a buffer (the `errc := make(chan error, 1)` idiom).
+//
+// Two sharper diagnostics ride along regardless of boundedness
+// evidence: time.Tick in a spawned body (the ticker is unreachable and
+// never stopped — a guaranteed leak, use time.NewTicker with a deferred
+// Stop), and an unbuffered channel send in a goroutine with no other
+// exit evidence (the classic `go func() { ch <- result }()` that leaks
+// forever when the receiver gives up first).
+//
+// Soundness limits: calls the graph cannot resolve (function values,
+// interface methods) are assumed finite, and a WaitGroup tie is
+// accepted without proving the Wait — both are documented trades for a
+// near-zero false-positive rate.
+var AnalyzerLeaksafe = &Analyzer{
+	Name: "leaksafe",
+	Doc:  "go statements must spawn bounded goroutines: ctx/stop observed, WaitGroup-tied, or statically finite",
+	Run:  runLeaksafe,
+}
+
+func runLeaksafe(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			p.checkGoStmt(g)
+			return true
+		})
+	}
+}
+
+// checkGoStmt applies the boundedness rules to one spawn site.
+func (p *Pass) checkGoStmt(g *ast.GoStmt) {
+	body := p.spawnBody(g.Call)
+	if body == nil {
+		return // unresolvable target: assumed finite (see doc)
+	}
+	p.flagSpawnedTicks(g, body)
+	observes := p.bodyBounded(body)
+	if observes {
+		return
+	}
+	if loop := firstInfiniteLoop(body); loop != nil {
+		p.Reportf(g.Pos(), "goroutine runs an infinite loop that never observes ctx.Done() or a stop channel and is not WaitGroup-tied; it outlives every shutdown")
+		return
+	}
+	p.flagBlockingChanOps(g, body)
+}
+
+// spawnBody resolves the statements the spawned goroutine will run: a
+// function literal's body, or the declaration body of a statically
+// resolved callee (any package in the module).
+func (p *Pass) spawnBody(call *ast.CallExpr) *ast.BlockStmt {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	if fn := p.calleeFunc(call); fn != nil {
+		if node := p.Mod.Graph().Node(fn); node != nil {
+			return node.Decl.Body
+		}
+	}
+	return nil
+}
+
+// bodyBounded reports the spawn-level boundedness evidence: the body
+// observes cancellation (directly or via a declared callee's summary)
+// or signals a WaitGroup when it finishes.
+func (p *Pass) bodyBounded(body *ast.BlockStmt) bool {
+	if bodyObservesCancel(p.Pkg, body) {
+		return true
+	}
+	bounded := false
+	inspectDecl(body, func(n ast.Node) bool {
+		if bounded {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := p.calleeFunc(call)
+		if fn == nil {
+			return true
+		}
+		if p.Mod.ObservesCancel(fn) || isWaitGroupDone(p.Pkg, call, fn) {
+			bounded = true
+			return false
+		}
+		return true
+	})
+	return bounded
+}
+
+// isWaitGroupDone matches wg.Done() on a sync.WaitGroup or an
+// errgroup-style Done on a type named Group.
+func isWaitGroupDone(pkg *Package, call *ast.CallExpr, fn *types.Func) bool {
+	if fn.Name() != "Done" {
+		return false
+	}
+	recv := recvTypeOf(pkg, call)
+	return isNamed(recv, "sync", "WaitGroup") || namedTypeName(recv) == "Group"
+}
+
+// firstInfiniteLoop returns the first condition-less for loop directly
+// owned by this body (nested literals own their loops), or nil. Range
+// loops are excluded: ranging a channel ends when the channel closes,
+// which is its own boundedness contract.
+func firstInfiniteLoop(body *ast.BlockStmt) *ast.ForStmt {
+	var found *ast.ForStmt
+	inspectDecl(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if loop, ok := n.(*ast.ForStmt); ok && loop.Cond == nil {
+			found = loop
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// flagSpawnedTicks reports time.Tick calls anywhere in the spawned
+// body: the shared ticker can never be stopped, so even a bounded
+// goroutine leaks it.
+func (p *Pass) flagSpawnedTicks(g *ast.GoStmt, body *ast.BlockStmt) {
+	inspectDecl(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := p.calleeFunc(call)
+		if fn != nil && fn.Name() == "Tick" && fn.Pkg() != nil && fn.Pkg().Path() == "time" {
+			p.Reportf(call.Pos(), "time.Tick in a spawned goroutine leaks its ticker; use time.NewTicker with a deferred Stop")
+		}
+		return true
+	})
+}
+
+// flagBlockingChanOps reports channel sends in a goroutine with no
+// boundedness evidence, unless the send sits in a select with a default
+// or cancellation arm, or the target channel is provably buffered (a
+// `make(chan T, n)` with n ≥ 1 visible in the spawning function or the
+// spawned body).
+func (p *Pass) flagBlockingChanOps(g *ast.GoStmt, body *ast.BlockStmt) {
+	buffered := p.bufferedChans(g)
+	var walk func(n ast.Node, guarded bool)
+	walk = func(n ast.Node, guarded bool) {
+		ast.Inspect(n, func(c ast.Node) bool {
+			switch c := c.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.SelectStmt:
+				g := guarded || selectHasEscapeArm(p, c)
+				for _, clause := range c.Body.List {
+					walk(clause, g)
+				}
+				return false
+			case *ast.SendStmt:
+				if guarded {
+					return true
+				}
+				if obj := chanObj(p.Pkg, c.Chan); obj != nil && buffered[obj] {
+					return true
+				}
+				p.Reportf(c.Pos(), "channel send in a spawned goroutine can block forever (no default/ctx arm, channel not provably buffered); the goroutine leaks if the receiver gives up")
+			}
+			return true
+		})
+	}
+	walk(body, false)
+}
+
+// selectHasEscapeArm reports whether a select can always make progress
+// or observe teardown: a default clause or a cancellation receive.
+func selectHasEscapeArm(p *Pass, sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		comm, ok := clause.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if comm.Comm == nil {
+			return true // default
+		}
+		var recv ast.Expr
+		switch s := comm.Comm.(type) {
+		case *ast.ExprStmt:
+			if u, ok := s.X.(*ast.UnaryExpr); ok {
+				recv = u.X
+			}
+		case *ast.AssignStmt:
+			if len(s.Rhs) == 1 {
+				if u, ok := s.Rhs[0].(*ast.UnaryExpr); ok {
+					recv = u.X
+				}
+			}
+		}
+		if recv != nil && isCancelSourceExpr(p.Pkg, recv) {
+			return true
+		}
+	}
+	return false
+}
+
+// chanObj resolves a send target to its variable object.
+func chanObj(pkg *Package, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return objectOf(pkg, id)
+}
+
+// bufferedChans collects channel variables provably created with a
+// nonzero buffer in the function enclosing the go statement (the
+// `errc := make(chan error, 1)` idiom): a send on them cannot block
+// while the buffer has room, and the one-shot result pattern never
+// sends twice.
+func (p *Pass) bufferedChans(g *ast.GoStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	fd := p.enclosingFuncDecl(g.Pos())
+	if fd == nil {
+		return out
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || len(call.Args) != 2 {
+				continue
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "make" {
+				continue
+			}
+			if _, isChan := typeOf(p.Pkg, call).(*types.Chan); !isChan {
+				continue
+			}
+			if !isPositiveConst(p.Pkg, call.Args[1]) {
+				continue
+			}
+			if lhs, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := objectOf(p.Pkg, lhs); obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isPositiveConst reports whether e is a constant expression ≥ 1.
+func isPositiveConst(pkg *Package, e ast.Expr) bool {
+	if pkg.Info == nil {
+		return false
+	}
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	s := tv.Value.String()
+	return s != "0" && s != "" && s[0] != '-'
+}
+
+// enclosingFuncDecl finds the declaration containing pos.
+func (p *Pass) enclosingFuncDecl(pos token.Pos) *ast.FuncDecl {
+	for _, f := range p.Pkg.Files {
+		if f.Pos() <= pos && pos <= f.End() {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil && fd.Pos() <= pos && pos <= fd.End() {
+					return fd
+				}
+			}
+		}
+	}
+	return nil
+}

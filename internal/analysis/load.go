@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, parsed, and type-checked package.
@@ -42,14 +43,29 @@ type Package struct {
 // It is stdlib-only: module-internal imports are resolved by directory
 // layout, everything else through go/importer's source mode, so it
 // needs neither compiled export data nor external tooling.
+//
+// LoadModule runs a parallel pipeline: all files parse concurrently
+// (token.FileSet is concurrency-safe), then packages type-check in
+// dependency waves over a worker pool sized to GOMAXPROCS. Completed
+// *types.Package values are immutable and shared; the stdlib source
+// importer is NOT concurrency-safe, so it sits behind stdmu — the first
+// package to import a stdlib path pays for it, everyone after reuses
+// the importer's cache. Set Sequential to fall back to the depth-first
+// single-threaded load (the -seq flag in hpas-lint, for timing
+// comparisons).
 type Loader struct {
 	// Root is the module root (the directory holding go.mod).
 	Root string
 	// Module is the module path declared in go.mod.
 	Module string
+	// Sequential disables the parallel pipeline in LoadModule.
+	Sequential bool
 
-	fset    *token.FileSet
-	std     types.ImporterFrom
+	fset *token.FileSet
+	std  types.ImporterFrom
+	// mu guards pkgs and loading; stdmu serializes the stdlib importer.
+	mu      sync.Mutex
+	stdmu   sync.Mutex
 	pkgs    map[string]*Package
 	loading map[string]bool
 }
@@ -133,23 +149,128 @@ func (l *Loader) LoadModule() ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []*Package
-	for _, dir := range dirs {
+	paths := make([]string, len(dirs))
+	for i, dir := range dirs {
 		rel, err := filepath.Rel(l.Root, dir)
 		if err != nil {
 			return nil, err
 		}
-		path := l.Module
+		paths[i] = l.Module
 		if rel != "." {
-			path = l.Module + "/" + filepath.ToSlash(rel)
+			paths[i] = l.Module + "/" + filepath.ToSlash(rel)
 		}
-		pkg, err := l.load(path)
+	}
+	var out []*Package
+	if l.Sequential {
+		for _, path := range paths {
+			pkg, err := l.load(path)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, pkg)
+		}
+	} else {
+		var err error
+		if out, err = l.loadParallel(dirs, paths); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// loadParallel is the two-phase pipeline: parse everything concurrently,
+// then type-check in dependency waves.
+func (l *Loader) loadParallel(dirs, paths []string) ([]*Package, error) {
+	// Phase 1: parse. Independent per package; the shared FileSet is
+	// synchronized internally.
+	parsed := make([]*parsedPkg, len(dirs))
+	perr := make([]error, len(dirs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := range dirs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			parsed[i], perr[i] = l.parsePackage(dirs[i], paths[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range perr {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, pkg)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+
+	// Phase 2: the module-internal import DAG, from the parsed imports.
+	index := make(map[string]int, len(paths))
+	for i, path := range paths {
+		index[path] = i
+	}
+	deps := make([][]int, len(parsed))
+	for i, pp := range parsed {
+		seen := make(map[int]bool)
+		for _, imp := range pp.imports {
+			if j, ok := index[imp]; ok && j != i && !seen[j] {
+				seen[j] = true
+				deps[i] = append(deps[i], j)
+			}
+		}
+	}
+
+	// Phase 3: type-check in waves. A package is ready when every
+	// module-internal dependency is checked; each wave runs on the
+	// worker pool. An empty wave with work remaining is an import cycle.
+	checked := make([]bool, len(parsed))
+	remaining := len(parsed)
+	for remaining > 0 {
+		var wave []int
+		for i := range parsed {
+			if checked[i] {
+				continue
+			}
+			ready := true
+			for _, j := range deps[i] {
+				if !checked[j] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				wave = append(wave, i)
+			}
+		}
+		if len(wave) == 0 {
+			for i := range parsed {
+				if !checked[i] {
+					return nil, fmt.Errorf("analysis: import cycle through %s", paths[i])
+				}
+			}
+		}
+		for _, i := range wave {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				l.typeCheck(parsed[i])
+			}(i)
+		}
+		wg.Wait()
+		for _, i := range wave {
+			checked[i] = true
+		}
+		remaining -= len(wave)
+	}
+
+	out := make([]*Package, 0, len(paths))
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, path := range paths {
+		out = append(out, l.pkgs[path])
+	}
 	return out, nil
 }
 
@@ -182,12 +303,16 @@ func hasGoFiles(dir string) bool {
 // load returns the module package with the given import path, checking
 // it (and, recursively, its module-internal imports) on first use.
 func (l *Loader) load(path string) (*Package, error) {
+	l.mu.Lock()
 	if pkg, ok := l.pkgs[path]; ok {
+		l.mu.Unlock()
 		return pkg, nil
 	}
 	if l.loading[path] {
+		l.mu.Unlock()
 		return nil, fmt.Errorf("analysis: import cycle through %s", path)
 	}
+	l.mu.Unlock()
 	dir := l.Root
 	if path != l.Module {
 		rel, ok := strings.CutPrefix(path, l.Module+"/")
@@ -199,16 +324,42 @@ func (l *Loader) load(path string) (*Package, error) {
 	return l.check(dir, path)
 }
 
-// check parses and type-checks the package in dir as importPath.
+// check parses and type-checks the package in dir as importPath — the
+// depth-first path used by LoadDir fixtures, Sequential mode, and any
+// module-internal import the parallel planner did not schedule first.
 func (l *Loader) check(dir, importPath string) (*Package, error) {
+	l.mu.Lock()
 	l.loading[importPath] = true
-	defer delete(l.loading, importPath)
+	l.mu.Unlock()
+	defer func() {
+		l.mu.Lock()
+		delete(l.loading, importPath)
+		l.mu.Unlock()
+	}()
 
+	pp, err := l.parsePackage(dir, importPath)
+	if err != nil {
+		return nil, err
+	}
+	return l.typeCheck(pp), nil
+}
+
+// parsedPkg is phase-1 output: a parsed, not yet type-checked package.
+type parsedPkg struct {
+	dir, importPath string
+	files           []*ast.File
+	// imports are the file-level import paths, for DAG construction.
+	imports []string
+}
+
+// parsePackage reads and parses one directory. Safe to call
+// concurrently: the shared FileSet synchronizes itself.
+func (l *Loader) parsePackage(dir, importPath string) (*parsedPkg, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("analysis: %w", err)
 	}
-	var files []*ast.File
+	pp := &parsedPkg{dir: dir, importPath: importPath}
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
@@ -225,13 +376,25 @@ func (l *Loader) check(dir, importPath string) (*Package, error) {
 		if err != nil {
 			return nil, fmt.Errorf("analysis: %w", err)
 		}
-		files = append(files, f)
+		pp.files = append(pp.files, f)
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil {
+				pp.imports = append(pp.imports, p)
+			}
+		}
 	}
-	if len(files) == 0 {
+	if len(pp.files) == 0 {
 		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
 	}
+	return pp, nil
+}
 
-	pkg := &Package{Path: importPath, Module: l.Module, Dir: dir, Fset: l.fset}
+// typeCheck runs phase 2 on one parsed package and caches the result.
+// Callers must guarantee the package's module-internal imports are
+// already checked (the wave scheduler does; the sequential path checks
+// them recursively through the importer).
+func (l *Loader) typeCheck(pp *parsedPkg) *Package {
+	pkg := &Package{Path: pp.importPath, Module: l.Module, Dir: pp.dir, Fset: l.fset}
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Defs:       make(map[*ast.Ident]types.Object),
@@ -242,12 +405,14 @@ func (l *Loader) check(dir, importPath string) (*Package, error) {
 		Importer: &loaderImporter{l: l},
 		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
 	}
-	tpkg, _ := conf.Check(importPath, l.fset, files, info) // errors already collected
-	pkg.Files = files
+	tpkg, _ := conf.Check(pp.importPath, l.fset, pp.files, info) // errors already collected
+	pkg.Files = pp.files
 	pkg.Types = tpkg
 	pkg.Info = info
-	l.pkgs[importPath] = pkg
-	return pkg, nil
+	l.mu.Lock()
+	l.pkgs[pp.importPath] = pkg
+	l.mu.Unlock()
+	return pkg
 }
 
 // buildIncluded evaluates the file's build constraint (a //go:build or
@@ -308,5 +473,9 @@ func (li *loaderImporter) ImportFrom(path, dir string, mode types.ImportMode) (*
 		}
 		return pkg.Types, nil
 	}
+	// The source-mode stdlib importer is not concurrency-safe; serialize
+	// it. Its internal cache makes every import after the first cheap.
+	l.stdmu.Lock()
+	defer l.stdmu.Unlock()
 	return l.std.ImportFrom(path, dir, mode)
 }

@@ -12,9 +12,10 @@ import (
 // I/O between a Lock() and its Unlock(). This is the bug class PR 3
 // removed from stream.Manager by hand — a journal write under the job
 // lock stalls every follower of that job on a slow disk — promoted to
-// a machine-checked invariant. The check propagates one level deep
-// through same-package helpers (a lock-held call to a function that
-// writes the journal is as bad as the write itself).
+// a machine-checked invariant. Helper propagation runs on the module
+// call graph (Module.LockUnsafe): a lock-held call to a function that
+// writes the journal is as bad as the write itself, and since the
+// summaries are module-wide the helper may live in another package.
 //
 // context.CancelFunc calls are exempt: cancellation is non-blocking by
 // contract and is routinely signalled under a state lock.
@@ -37,14 +38,13 @@ var storeIOMethods = map[string]bool{
 }
 
 func runLocksafe(p *Pass) {
-	unsafe := p.unsafeFuncs()
 	for _, f := range p.Pkg.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			p.scanLockStmts(fd.Body.List, nil, unsafe)
+			p.scanLockStmts(fd.Body.List, nil)
 		}
 	}
 }
@@ -52,7 +52,7 @@ func runLocksafe(p *Pass) {
 // scanLockStmts walks a statement list tracking which mutexes are held.
 // held is the incoming set; nested control-flow bodies are scanned with
 // a copy, so an early-exit Unlock inside a branch does not leak out.
-func (p *Pass) scanLockStmts(stmts []ast.Stmt, held []string, unsafe map[*types.Func]string) {
+func (p *Pass) scanLockStmts(stmts []ast.Stmt, held []string) {
 	held = append([]string(nil), held...)
 	for _, stmt := range stmts {
 		switch s := stmt.(type) {
@@ -66,7 +66,7 @@ func (p *Pass) scanLockStmts(stmts []ast.Stmt, held []string, unsafe map[*types.
 				}
 				continue
 			}
-			p.checkLocked(stmt, held, unsafe)
+			p.checkLocked(stmt, held)
 		case *ast.DeferStmt:
 			// defer mu.Unlock() keeps the region open to function end —
 			// exactly what tracking `held` until the scan ends models.
@@ -74,40 +74,40 @@ func (p *Pass) scanLockStmts(stmts []ast.Stmt, held []string, unsafe map[*types.
 		case *ast.GoStmt:
 			// The goroutine body runs without the caller's locks.
 			if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
-				p.scanLockStmts(lit.Body.List, nil, unsafe)
+				p.scanLockStmts(lit.Body.List, nil)
 			}
 		case *ast.BlockStmt:
-			p.scanLockStmts(s.List, held, unsafe)
+			p.scanLockStmts(s.List, held)
 		case *ast.IfStmt:
-			p.checkLocked(s.Init, held, unsafe)
-			p.checkLocked(s.Cond, held, unsafe)
-			p.scanLockStmts(s.Body.List, held, unsafe)
+			p.checkLocked(s.Init, held)
+			p.checkLocked(s.Cond, held)
+			p.scanLockStmts(s.Body.List, held)
 			if s.Else != nil {
-				p.scanLockStmts([]ast.Stmt{s.Else}, held, unsafe)
+				p.scanLockStmts([]ast.Stmt{s.Else}, held)
 			}
 		case *ast.ForStmt:
-			p.checkLocked(s.Init, held, unsafe)
-			p.scanLockStmts(s.Body.List, held, unsafe)
+			p.checkLocked(s.Init, held)
+			p.scanLockStmts(s.Body.List, held)
 		case *ast.RangeStmt:
-			p.checkLocked(s.X, held, unsafe)
-			p.scanLockStmts(s.Body.List, held, unsafe)
+			p.checkLocked(s.X, held)
+			p.scanLockStmts(s.Body.List, held)
 		case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
 			switch sw := s.(type) {
 			case *ast.SwitchStmt:
-				p.checkLocked(sw.Init, held, unsafe)
-				p.checkLocked(sw.Tag, held, unsafe)
+				p.checkLocked(sw.Init, held)
+				p.checkLocked(sw.Tag, held)
 			case *ast.TypeSwitchStmt:
-				p.checkLocked(sw.Init, held, unsafe)
-				p.checkLocked(sw.Assign, held, unsafe)
+				p.checkLocked(sw.Init, held)
+				p.checkLocked(sw.Assign, held)
 			}
 			for _, clause := range clauseBodies(s) {
-				p.scanLockStmts(clause, held, unsafe)
+				p.scanLockStmts(clause, held)
 			}
 			if sel, ok := s.(*ast.SelectStmt); ok {
 				p.checkCommClauses(sel, held)
 			}
 		default:
-			p.checkLocked(stmt, held, unsafe)
+			p.checkLocked(stmt, held)
 		}
 	}
 }
@@ -148,7 +148,7 @@ func (p *Pass) checkCommClauses(sel *ast.SelectStmt, held []string) {
 // checkLocked inspects one statement or expression for unsafe work
 // while any lock is held. Function literals are skipped: their bodies
 // run later, without the caller's locks (go statements) or after them.
-func (p *Pass) checkLocked(n ast.Node, held []string, unsafe map[*types.Func]string) {
+func (p *Pass) checkLocked(n ast.Node, held []string) {
 	if len(held) == 0 || n == nil {
 		return
 	}
@@ -160,7 +160,7 @@ func (p *Pass) checkLocked(n ast.Node, held []string, unsafe map[*types.Func]str
 		case *ast.SendStmt:
 			p.Reportf(n.Pos(), "channel send while holding %s; sends can block — release the lock first", lock)
 		case *ast.CallExpr:
-			if desc, ok := p.unsafeCall(n, unsafe); ok {
+			if desc, ok := p.unsafeCall(n); ok {
 				p.Reportf(n.Pos(), "%s while holding %s; release the lock first", desc, lock)
 			}
 		}
@@ -197,14 +197,15 @@ func (p *Pass) lockCall(e ast.Expr) (name, kind string, ok bool) {
 }
 
 // unsafeCall classifies a call as unsafe under a lock: direct file or
-// store I/O, a callback through a function value, or a same-package
-// helper known (via unsafeFuncs) to do one of those.
-func (p *Pass) unsafeCall(call *ast.CallExpr, unsafe map[*types.Func]string) (string, bool) {
+// store I/O, a callback through a function value, or a declared
+// function the module summaries know (transitively, across packages)
+// to do one of those.
+func (p *Pass) unsafeCall(call *ast.CallExpr) (string, bool) {
 	if fn := p.calleeFunc(call); fn != nil {
-		if desc, ok := p.directUnsafeMethod(call, fn); ok {
+		if desc, ok := directUnsafeMethodOf(p.Pkg, call, fn); ok {
 			return desc, true
 		}
-		if desc, ok := unsafe[fn]; ok {
+		if desc := p.Mod.LockUnsafe(fn); desc != "" {
 			return fmt.Sprintf("call to %s, which performs %s,", fn.Name(), desc), true
 		}
 		return "", false
@@ -218,13 +219,13 @@ func (p *Pass) unsafeCall(call *ast.CallExpr, unsafe map[*types.Func]string) (st
 	return "", false
 }
 
-// directUnsafeMethod reports file and store I/O method calls.
-func (p *Pass) directUnsafeMethod(call *ast.CallExpr, fn *types.Func) (string, bool) {
+// directUnsafeMethodOf reports file and store I/O method calls.
+func directUnsafeMethodOf(pkg *Package, call *ast.CallExpr, fn *types.Func) (string, bool) {
 	sig, ok := fn.Type().(*types.Signature)
 	if !ok || sig.Recv() == nil {
 		return "", false
 	}
-	recv := p.recvType(call)
+	recv := recvTypeOf(pkg, call)
 	name := fn.Name()
 	switch {
 	case isOSFile(recv) && fileIOMethods[name]:
@@ -240,73 +241,6 @@ func mustSelX(call *ast.CallExpr) ast.Expr {
 		return sel.X
 	}
 	return call.Fun
-}
-
-// unsafeFuncs computes, to a fixed point, which functions declared in
-// this package transitively perform lock-unsafe work anywhere in their
-// body (function literals excluded — they run on other goroutines or
-// after return). Calling such a helper under a lock is flagged even
-// though the I/O itself lives elsewhere.
-func (p *Pass) unsafeFuncs() map[*types.Func]string {
-	type declInfo struct {
-		fn   *types.Func
-		body *ast.BlockStmt
-	}
-	var decls []declInfo
-	for _, f := range p.Pkg.Files {
-		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			if fn, ok := p.ObjectOf(fd.Name).(*types.Func); ok && fn != nil {
-				decls = append(decls, declInfo{fn, fd.Body})
-			}
-		}
-	}
-	unsafe := make(map[*types.Func]string)
-	for changed := true; changed; {
-		changed = false
-		for _, d := range decls {
-			if _, done := unsafe[d.fn]; done {
-				continue
-			}
-			if desc, ok := p.bodyUnsafe(d.body, unsafe); ok {
-				unsafe[d.fn] = desc
-				changed = true
-			}
-		}
-	}
-	return unsafe
-}
-
-// bodyUnsafe scans a function body for direct unsafe work or calls to
-// already-known unsafe same-package functions.
-func (p *Pass) bodyUnsafe(body *ast.BlockStmt, unsafe map[*types.Func]string) (string, bool) {
-	var desc string
-	ast.Inspect(body, func(n ast.Node) bool {
-		if desc != "" {
-			return false
-		}
-		switch n := n.(type) {
-		case *ast.FuncLit:
-			return false
-		case *ast.SendStmt:
-			desc = "a channel send"
-		case *ast.CallExpr:
-			if fn := p.calleeFunc(n); fn != nil {
-				if d, ok := p.directUnsafeMethod(n, fn); ok {
-					desc = d
-				} else if d, ok := unsafe[fn]; ok {
-					desc = fmt.Sprintf("%s (via %s)", d, fn.Name())
-				}
-			} else if v := p.calleeVar(n); v != nil && !isNamed(v.Type(), "context", "CancelFunc") {
-				desc = fmt.Sprintf("callback invocation %s(...)", render(n.Fun))
-			}
-		}
-		return true
-	})
-	return desc, desc != ""
 }
 
 func remove(held []string, name string) []string {

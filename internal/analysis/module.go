@@ -1,0 +1,570 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Module is one analysis run's shared view of the loaded packages: the
+// call graph plus the interprocedural function summaries computed over
+// it. Every analyzer in a Run sees the same Module, so the summary
+// fixpoints are paid once, not per analyzer.
+//
+// Summary granularity: one summary per declared function, computed to a
+// fixpoint over the call graph, context-insensitive (a summary holds
+// for every call site) and flow-insensitive within callee bodies.
+// Nested function literals are excluded from a declaration's behavioral
+// summaries — a literal runs on another goroutine or at another time,
+// so its effects are not the declaration's. Calls the graph cannot
+// resolve (function values, interface dispatch) contribute nothing,
+// which makes the summaries optimistic; the analyzers built on them
+// trade that soundness gap for a near-zero false-positive rate and say
+// so in their docs.
+type Module struct {
+	Pkgs  []*Package
+	graph *CallGraph
+
+	cancels     map[*types.Func]bool
+	cancelChans map[*types.Func]bool
+	closes      map[*types.Func][]bool
+	retains     map[*types.Func][]bool
+	lockUnsafe  map[*types.Func]string
+	wallClock   map[*types.Func]string
+	durable     map[*types.Func]string
+}
+
+// NewModule builds the call graph and prepares lazy summaries.
+func NewModule(pkgs []*Package) *Module {
+	return &Module{Pkgs: pkgs, graph: BuildCallGraph(pkgs)}
+}
+
+// Graph exposes the module call graph.
+func (m *Module) Graph() *CallGraph { return m.graph }
+
+// ---- cancellation observation ------------------------------------------
+
+// ObservesCancel reports whether fn's declaration body observes
+// cancellation: it receives from a ctx.Done() channel or a stop-named
+// channel, checks ctx.Err(), or calls a module function that does.
+func (m *Module) ObservesCancel(fn *types.Func) bool {
+	if m.cancels == nil {
+		m.cancels = make(map[*types.Func]bool)
+		m.fixpoint(func(n *FuncNode) bool {
+			if m.cancels[n.Fn] {
+				return false
+			}
+			if bodyObservesCancel(n.Pkg, n.Decl.Body) || m.anyCallee(n, m.cancels) {
+				m.cancels[n.Fn] = true
+				return true
+			}
+			return false
+		})
+	}
+	return m.cancels[fn]
+}
+
+// bodyObservesCancel scans a declaration body (literals excluded) for a
+// receive from a cancel source or a ctx.Err() check.
+func bodyObservesCancel(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	inspectDecl(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && isCancelSourceExpr(pkg, n.X) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if isContextErrCall(pkg, n) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isCancelSourceExpr recognizes ctx.Done() calls (any context.Context
+// value) and channels named after teardown (stop, done, quit, ...).
+func isCancelSourceExpr(pkg *Package, recv ast.Expr) bool {
+	if call, ok := ast.Unparen(recv).(*ast.CallExpr); ok {
+		fn := calleeFunc(pkg, call)
+		if fn != nil && fn.Name() == "Done" && fn.Pkg() != nil && fn.Pkg().Path() == "context" {
+			return true
+		}
+		// Accessor methods like m.stopChan() — judged by name.
+		return fn != nil && stopChanName.MatchString(fn.Name())
+	}
+	return stopChanName.MatchString(lastIdent(recv))
+}
+
+// ReturnsCancelChan reports whether fn returns a cancellation channel:
+// a return statement yielding ctx.Done(), a stop-named channel, or the
+// result of another such accessor. ctxloop uses it to accept select
+// cases receiving from accessor methods whose name alone ("watch",
+// "signal") would not pass the naming heuristic.
+func (m *Module) ReturnsCancelChan(fn *types.Func) bool {
+	if m.cancelChans == nil {
+		m.cancelChans = make(map[*types.Func]bool)
+		m.fixpoint(func(n *FuncNode) bool {
+			if m.cancelChans[n.Fn] {
+				return false
+			}
+			found := false
+			inspectDecl(n.Decl.Body, func(c ast.Node) bool {
+				if found {
+					return false
+				}
+				ret, ok := c.(*ast.ReturnStmt)
+				if !ok {
+					return true
+				}
+				for _, res := range ret.Results {
+					if isCancelSourceExpr(n.Pkg, res) {
+						found = true
+					} else if call, ok := ast.Unparen(res).(*ast.CallExpr); ok {
+						if fn := calleeFunc(n.Pkg, call); fn != nil && m.cancelChans[fn] {
+							found = true
+						}
+					}
+				}
+				return true
+			})
+			if found {
+				m.cancelChans[n.Fn] = true
+			}
+			return found
+		})
+	}
+	return m.cancelChans[fn]
+}
+
+// ---- parameter close / retain transfer ---------------------------------
+
+// ClosesParam reports whether fn provably closes its i-th parameter on
+// the paths it owns: a direct p.Close() / defer p.Close() /
+// p.Body.Close(), or passing p to a module callee that closes it.
+func (m *Module) ClosesParam(fn *types.Func, i int) bool {
+	m.ensureParamSummaries()
+	s := m.closes[fn]
+	return i >= 0 && i < len(s) && s[i]
+}
+
+// RetainsParam reports whether fn stores its i-th parameter somewhere
+// that outlives the call: a struct field, slice/map element, composite
+// literal, channel send — directly or via a module callee. For closable
+// values this is an ownership transfer (the retaining structure carries
+// the Close obligation); for pooled memory it is an aliasing escape.
+func (m *Module) RetainsParam(fn *types.Func, i int) bool {
+	m.ensureParamSummaries()
+	s := m.retains[fn]
+	return i >= 0 && i < len(s) && s[i]
+}
+
+func (m *Module) ensureParamSummaries() {
+	if m.closes != nil {
+		return
+	}
+	m.closes = make(map[*types.Func][]bool)
+	m.retains = make(map[*types.Func][]bool)
+	m.fixpoint(func(n *FuncNode) bool {
+		params := paramObjs(n.Pkg, n.Decl)
+		if len(params) == 0 {
+			return false
+		}
+		closes := m.closes[n.Fn]
+		retains := m.retains[n.Fn]
+		if closes == nil {
+			closes = make([]bool, len(params))
+			retains = make([]bool, len(params))
+		}
+		changed := false
+		for i, p := range params {
+			if p == nil {
+				continue
+			}
+			if !closes[i] && paramClosed(m, n, p) {
+				closes[i] = true
+				changed = true
+			}
+			if !retains[i] && paramRetained(m, n, p) {
+				retains[i] = true
+				changed = true
+			}
+		}
+		if changed {
+			m.closes[n.Fn] = closes
+			m.retains[n.Fn] = retains
+		}
+		return changed
+	})
+}
+
+// paramClosed reports a direct close of p in n's body, or a handoff of
+// p to a callee that closes the receiving parameter.
+func paramClosed(m *Module, n *FuncNode, p *types.Var) bool {
+	found := false
+	inspectDecl(n.Decl.Body, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := c.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isCloseOf(n.Pkg, call, p) {
+			found = true
+			return false
+		}
+		if m.argSummary(n.Pkg, call, p, m.closes) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isCloseOf reports whether call is p.Close() or p.Body.Close().
+func isCloseOf(pkg *Package, call *ast.CallExpr, p *types.Var) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Close" {
+		return false
+	}
+	x := ast.Unparen(sel.X)
+	if inner, ok := x.(*ast.SelectorExpr); ok && inner.Sel.Name == "Body" {
+		x = ast.Unparen(inner.X)
+	}
+	id, ok := x.(*ast.Ident)
+	return ok && objectOf(pkg, id) == p
+}
+
+// paramRetained reports a store of p into something that outlives the
+// call: non-local assignment targets, composite literals, channel
+// sends, or a pass to a retaining callee.
+func paramRetained(m *Module, n *FuncNode, p *types.Var) bool {
+	isP := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && objectOf(n.Pkg, id) == p
+	}
+	found := false
+	inspectDecl(n.Decl.Body, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		switch c := c.(type) {
+		case *ast.AssignStmt:
+			if len(c.Lhs) != len(c.Rhs) {
+				return true
+			}
+			for i, rhs := range c.Rhs {
+				if !retainingLHS(n.Pkg, c.Lhs[i]) {
+					continue
+				}
+				// Direct store, or p threaded through a builtin like
+				// append into the retained structure.
+				if isP(rhs) || exprMentions(n.Pkg, rhs, p) {
+					found = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range c.Elts {
+				v := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if isP(v) {
+					found = true
+				}
+			}
+		case *ast.SendStmt:
+			if isP(c.Value) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if m.argSummary(n.Pkg, c, p, m.retains) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// retainingLHS reports whether an assignment target outlives the call:
+// anything but a local identifier — a field, an element, or a
+// package-level variable.
+func retainingLHS(pkg *Package, lhs ast.Expr) bool {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return true
+	}
+	obj := objectOf(pkg, id)
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Parent() == obj.Pkg().Scope()
+}
+
+// exprMentions reports whether p's identifier occurs anywhere in e.
+func exprMentions(pkg *Package, e ast.Expr, p *types.Var) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && objectOf(pkg, id) == p {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// argSummary reports whether p appears as an argument of call at a
+// position the callee's summary marks true.
+func (m *Module) argSummary(pkg *Package, call *ast.CallExpr, p *types.Var, sums map[*types.Func][]bool) bool {
+	fn := calleeFunc(pkg, call)
+	if fn == nil {
+		return false
+	}
+	s := sums[fn]
+	if s == nil {
+		return false
+	}
+	for i, arg := range call.Args {
+		id, ok := ast.Unparen(arg).(*ast.Ident)
+		if !ok || objectOf(pkg, id) != p {
+			continue
+		}
+		if i < len(s) && s[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- lock-unsafety (locksafe's interprocedural layer) ------------------
+
+// LockUnsafe returns a description of the lock-unsafe work fn
+// transitively performs (channel send, file/store I/O, callback
+// invocation) anywhere in its declaration body, or "" when none. This
+// is locksafe's old per-package helper propagation promoted to the
+// shared graph: the fixpoint now crosses package boundaries, so a
+// lock-held call into another package's journal-writing helper is
+// caught too.
+func (m *Module) LockUnsafe(fn *types.Func) string {
+	if m.lockUnsafe == nil {
+		m.lockUnsafe = make(map[*types.Func]string)
+		m.fixpoint(func(n *FuncNode) bool {
+			if _, done := m.lockUnsafe[n.Fn]; done {
+				return false
+			}
+			if desc, ok := bodyLockUnsafe(n.Pkg, n.Decl.Body, m.lockUnsafe); ok {
+				m.lockUnsafe[n.Fn] = desc
+				return true
+			}
+			return false
+		})
+	}
+	return m.lockUnsafe[fn]
+}
+
+// bodyLockUnsafe scans a declaration body for direct unsafe work or
+// calls to functions already known unsafe.
+func bodyLockUnsafe(pkg *Package, body *ast.BlockStmt, known map[*types.Func]string) (string, bool) {
+	var desc string
+	inspectDecl(body, func(n ast.Node) bool {
+		if desc != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			desc = "a channel send"
+		case *ast.CallExpr:
+			if fn := calleeFunc(pkg, n); fn != nil {
+				if d, ok := directUnsafeMethodOf(pkg, n, fn); ok {
+					desc = d
+				} else if d, ok := known[fn]; ok {
+					desc = fmt.Sprintf("%s (via %s)", d, fn.Name())
+				}
+			} else if v := calleeVar(pkg, n); v != nil && !isNamed(v.Type(), "context", "CancelFunc") {
+				desc = fmt.Sprintf("callback invocation %s(...)", render(n.Fun))
+			}
+		}
+		return true
+	})
+	return desc, desc != ""
+}
+
+// ---- wall-clock / global randomness ------------------------------------
+
+// WallClock returns a description of the nondeterminism source fn
+// transitively reaches (time.Now/Since/Until or a global math/rand
+// draw), or "". The determinism analyzer uses it to catch substrate
+// code laundering a wall-clock read through a helper in a non-substrate
+// package, where the direct scan cannot see it.
+func (m *Module) WallClock(fn *types.Func) string {
+	if m.wallClock == nil {
+		m.wallClock = make(map[*types.Func]string)
+		m.fixpoint(func(n *FuncNode) bool {
+			if _, done := m.wallClock[n.Fn]; done {
+				return false
+			}
+			if desc, ok := bodyWallClock(n.Pkg, n.Decl.Body, m.wallClock); ok {
+				m.wallClock[n.Fn] = desc
+				return true
+			}
+			return false
+		})
+	}
+	return m.wallClock[fn]
+}
+
+func bodyWallClock(pkg *Package, body *ast.BlockStmt, known map[*types.Func]string) (string, bool) {
+	var desc string
+	inspectDecl(body, func(n ast.Node) bool {
+		if desc != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pkg, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return true // methods on seeded *rand.Rand instances etc.
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			switch fn.Name() {
+			case "Now", "Since", "Until":
+				desc = "time." + fn.Name()
+			}
+		case "math/rand", "math/rand/v2":
+			if !randConstructors[fn.Name()] {
+				desc = fmt.Sprintf("global %s.%s", fn.Pkg().Name(), fn.Name())
+			}
+		default:
+			if d, ok := known[fn]; ok {
+				desc = fmt.Sprintf("%s (via %s)", d, fn.Name())
+			}
+		}
+		return true
+	})
+	return desc, desc != ""
+}
+
+// ---- durable-write wrappers --------------------------------------------
+
+// DurableWrapper returns a description when fn is a thin wrapper whose
+// returned error originates in a durable write — a return statement
+// whose expression contains a store/journal/file/response write (or a
+// call to another wrapper). Discarding such a wrapper's error is as
+// much a durability hole as discarding the write's own, so erraudit
+// extends its surface to them.
+func (m *Module) DurableWrapper(fn *types.Func) string {
+	if m.durable == nil {
+		m.durable = make(map[*types.Func]string)
+		m.fixpoint(func(n *FuncNode) bool {
+			if _, done := m.durable[n.Fn]; done {
+				return false
+			}
+			if desc, ok := bodyDurableWrapper(n.Pkg, n.Decl, m.durable); ok {
+				m.durable[n.Fn] = desc
+				return true
+			}
+			return false
+		})
+	}
+	return m.durable[fn]
+}
+
+func bodyDurableWrapper(pkg *Package, fd *ast.FuncDecl, known map[*types.Func]string) (string, bool) {
+	// Only functions that actually return an error can be wrappers.
+	if fd.Type.Results == nil {
+		return "", false
+	}
+	returnsErr := false
+	for _, f := range fd.Type.Results.List {
+		if isErrorType(typeOf(pkg, f.Type)) {
+			returnsErr = true
+		}
+	}
+	if !returnsErr {
+		return "", false
+	}
+	var desc string
+	inspectDecl(fd.Body, func(n ast.Node) bool {
+		if desc != "" {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			ast.Inspect(res, func(c ast.Node) bool {
+				if desc != "" {
+					return false
+				}
+				call, ok := c.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if d, ok := durableWriteCallOf(pkg, call); ok {
+					desc = d
+				} else if fn := calleeFunc(pkg, call); fn != nil {
+					if d, ok := known[fn]; ok {
+						desc = fmt.Sprintf("%s (via %s)", d, fn.Name())
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return desc, desc != ""
+}
+
+// ---- shared machinery --------------------------------------------------
+
+// fixpoint re-applies step over every graph node until a full pass
+// changes nothing. Steps must be monotone (facts only ever added), so
+// termination is bounded by nodes × facts.
+func (m *Module) fixpoint(step func(*FuncNode) bool) {
+	for changed := true; changed; {
+		changed = false
+		for _, n := range m.graph.Nodes() {
+			if step(n) {
+				changed = true
+			}
+		}
+	}
+}
+
+// anyCallee reports whether any direct callee of n has a true fact.
+func (m *Module) anyCallee(n *FuncNode, facts map[*types.Func]bool) bool {
+	for _, c := range n.Callees {
+		if facts[c] {
+			return true
+		}
+	}
+	return false
+}
+
+// inspectDecl walks a declaration body like ast.Inspect but skips
+// nested function literals: their effects belong to whoever runs them,
+// not to the declaration.
+func inspectDecl(body *ast.BlockStmt, fn func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}

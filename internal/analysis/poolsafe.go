@@ -195,9 +195,32 @@ func (pf *poolsafeFunc) checkEscapes(body *ast.BlockStmt) {
 			} else if id := pf.trackedIdent(n.Value); id != nil {
 				pf.p.Reportf(n.Value.Pos(), "pooled %s sent on a channel; the receiver outlives this function's Put — copy or transfer ownership explicitly", id.Name)
 			}
+		case *ast.CallExpr:
+			pf.checkCallEscape(n)
 		}
 		return true
 	})
+}
+
+// checkCallEscape flags pooled memory handed to a callee the module
+// summaries know retains its parameter (stores it into a field,
+// element, composite literal, or channel): the retained structure
+// outlives the Put, so the alias corrupts it when the pool recycles.
+func (pf *poolsafeFunc) checkCallEscape(call *ast.CallExpr) {
+	fn := pf.p.calleeFunc(call)
+	if fn == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		if !pf.p.Mod.RetainsParam(fn, i) {
+			continue
+		}
+		if id := pf.trackedBytesCall(arg); id != nil {
+			pf.p.Reportf(arg.Pos(), "%s.Bytes() passed to %s, which retains its argument; pooled buffer bytes are reused after Put — copy them instead", id.Name, fn.Name())
+		} else if pf.isTrackedSlice(arg) {
+			pf.p.Reportf(arg.Pos(), "pooled slice %s passed to %s, which retains its argument; pooled memory is reused after Put — copy it instead", render(arg), fn.Name())
+		}
+	}
 }
 
 // checkStmtLists walks every statement list in the body (blocks, case

@@ -1,0 +1,51 @@
+// Package callgraph is the unit-test fixture for the module call graph:
+// a diamond (A calls B and C; B and C call D) plus a function literal
+// spawn, so edge resolution, caller back-edges, literal separation, and
+// summary propagation are all exercised on a known shape.
+package callgraph
+
+import "context"
+
+type app struct {
+	stop chan struct{}
+}
+
+func (a *app) A(ctx context.Context) {
+	a.B(ctx)
+	a.C(ctx)
+}
+
+func (a *app) B(ctx context.Context) {
+	a.D(ctx)
+}
+
+func (a *app) C(ctx context.Context) {
+	a.D(ctx)
+}
+
+// D observes cancellation: the fact the fixpoint must propagate to B, C
+// and A.
+func (a *app) D(ctx context.Context) {
+	select {
+	case <-ctx.Done():
+	case <-a.stop:
+	}
+}
+
+// E calls D only from inside a function literal: the edge belongs to
+// LitCallees, not Callees, and D's summary must NOT leak into E's.
+func (a *app) E(ctx context.Context) {
+	go func() {
+		a.D(ctx)
+	}()
+}
+
+// F is pure computation: no edges in, until G below, none out to the
+// diamond.
+func (a *app) F() int {
+	return 1
+}
+
+func (a *app) G() int {
+	return a.F() + a.F() // deduplicated: one edge G -> F
+}

@@ -1,0 +1,168 @@
+// Package closesafe is the violation fixture for the closesafe
+// analyzer: closable values that never reach Close, against the
+// accepted ownership-transfer shapes.
+package closesafe
+
+import (
+	"io"
+	"net/http"
+	"os"
+)
+
+// badNeverClosed acquires and drops.
+func badNeverClosed(path string) int {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return 0 // leak: the early error return skips the Close below
+	}
+	n := int(st.Size())
+	f.Close()
+	return n
+}
+
+// badFallsOffEnd leaks at the closing brace.
+func badFallsOffEnd(path string) {
+	f, _ := os.Create(path)
+	f.WriteString("hello")
+}
+
+// badRespBody closes the body on the happy path only.
+func badRespBody(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, errStatus // leak: resp.Body never closed on this path
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return b, err
+}
+
+// goodDeferClose is the canonical shape.
+func goodDeferClose(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// goodDeferredLit closes inside a deferred literal.
+func goodDeferredLit(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		f.Close()
+	}()
+	_, err = io.ReadAll(f)
+	return err
+}
+
+// goodReturned transfers ownership to the caller.
+func goodReturned(path string) (*os.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// holder owns its file; storing into it transfers the obligation.
+type holder struct {
+	f *os.File
+}
+
+func (h *holder) Close() error { return h.f.Close() }
+
+// goodCompositeTransfer hands the file to a holder.
+func goodCompositeTransfer(path string) (*holder, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &holder{f: f}, nil
+}
+
+// closeQuietly closes its parameter: passing a file to it is a transfer
+// the module summaries prove (ClosesParam).
+func closeQuietly(f *os.File) {
+	if f != nil {
+		f.Close()
+	}
+}
+
+// goodInterprocClose hands the file to a closing helper.
+func goodInterprocClose(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	closeQuietly(f)
+	return nil
+}
+
+// keep stores its parameter in a long-lived registry: a retain transfer
+// (RetainsParam) — the registry carries the Close obligation.
+var registry []*os.File
+
+func keep(f *os.File) {
+	registry = append(registry, f)
+}
+
+// goodInterprocRetain hands the file to a retaining helper.
+func goodInterprocRetain(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	keep(f)
+	return nil
+}
+
+// goodBothBranches closes in each arm of an if/else.
+func goodBothBranches(path string, compact bool) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if compact {
+		f.WriteString("c")
+		f.Close()
+	} else {
+		f.WriteString("full")
+		f.Close()
+	}
+	return nil
+}
+
+// goodGoroutineOwner transfers the file to the goroutine that uses it.
+func goodGoroutineOwner(path string, done chan struct{}) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	go func() {
+		defer close(done)
+		defer f.Close()
+		io.ReadAll(f)
+	}()
+	return nil
+}
+
+// goodWrapper: wrapping the server-owned request body creates no fresh
+// obligation.
+func goodWrapper(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	return io.ReadAll(body)
+}
+
+var errStatus = io.ErrUnexpectedEOF

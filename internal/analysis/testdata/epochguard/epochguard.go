@@ -1,0 +1,179 @@
+// Package shard is the violation fixture for the epochguard analyzer: a
+// miniature of the real shard router's membership protocol, with one
+// function per rule breaking it and the guarded counterparts passing.
+package shard
+
+import (
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// EpochHeader mirrors the api package's header constant.
+const EpochHeader = "Hpas-Epoch"
+
+type member struct {
+	name string
+}
+
+// membership is the epoch-versioned member set; its method names are
+// the contract the analyzer keys on.
+type membership struct {
+	mu    sync.Mutex
+	epoch uint64
+	set   map[string]*member
+}
+
+func (mem *membership) version() (uint64, uint64) {
+	mem.mu.Lock()
+	defer mem.mu.Unlock()
+	return mem.epoch, uint64(len(mem.set))
+}
+
+func (mem *membership) add(m *member) uint64 {
+	mem.mu.Lock()
+	defer mem.mu.Unlock()
+	mem.set[m.name] = m
+	mem.epoch++
+	return mem.epoch
+}
+
+func (mem *membership) bump() uint64 {
+	mem.mu.Lock()
+	defer mem.mu.Unlock()
+	mem.epoch++
+	return mem.epoch
+}
+
+func (mem *membership) detach(name string) bool {
+	mem.mu.Lock()
+	defer mem.mu.Unlock()
+	_, ok := mem.set[name]
+	delete(mem.set, name)
+	return ok
+}
+
+type replRecord struct {
+	kind string
+}
+
+type router struct {
+	fomu    sync.Mutex
+	mem     *membership
+	pending []replRecord
+	peers   []string
+}
+
+// goodAdd is the sanctioned shape: failover lock, CAS epoch check,
+// mutate, journal, flush.
+func (rt *router) goodAdd(m *member, expectEpoch uint64) error {
+	rt.fomu.Lock()
+	epoch, _ := rt.mem.version()
+	if expectEpoch != 0 && expectEpoch != epoch {
+		rt.fomu.Unlock()
+		return errStale
+	}
+	rt.mem.add(m)
+	rt.fomu.Unlock()
+	rt.recordMutation("join", m.name)
+	rt.flushReplication()
+	return nil
+}
+
+// badBump mutates with no CAS check and no failover lock: both rules
+// fire at the same call.
+func (rt *router) badBump() {
+	rt.mem.bump()
+}
+
+// detachMember has no guard of its own; its only callers are guarded,
+// so the caller-propagation fixpoint accepts it.
+func (rt *router) detachMember(name string) {
+	rt.mem.detach(name)
+}
+
+func (rt *router) goodRemove(name string, expectEpoch uint64) error {
+	rt.fomu.Lock()
+	epoch, _ := rt.mem.version()
+	if expectEpoch != 0 && expectEpoch != epoch {
+		rt.fomu.Unlock()
+		return errStale
+	}
+	rt.detachMember(name)
+	rt.fomu.Unlock()
+	return nil
+}
+
+// badOrder forwards before journaling: the flush runs on a ledger the
+// mutation has not reached yet.
+func (rt *router) badOrder(name string) {
+	rt.flushReplication()
+	rt.recordMutation("remove", name)
+}
+
+// badDirectForward skips the ledger entirely.
+func (rt *router) badDirectForward(peer string) {
+	rt.forwardRecord(peer, replRecord{kind: "join"})
+}
+
+func (rt *router) recordMutation(kind, name string) {
+	rt.pending = append(rt.pending, replRecord{kind: kind + ":" + name})
+}
+
+func (rt *router) flushReplication() {
+	for _, peer := range rt.peers {
+		for _, rec := range rt.pending {
+			rt.forwardRecord(peer, rec)
+		}
+	}
+	rt.pending = nil
+}
+
+func (rt *router) forwardRecord(peer string, rec replRecord) bool {
+	return peer != "" && rec.kind != ""
+}
+
+// Epoch reads the current epoch for the middleware.
+func (rt *router) Epoch() uint64 {
+	e, _ := rt.mem.version()
+	return e
+}
+
+// withEpoch stamps every response, like the real router's middleware.
+func (rt *router) withEpoch(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(EpochHeader, strconv.FormatUint(rt.Epoch(), 10))
+		next.ServeHTTP(w, r)
+	})
+}
+
+// plainWrap wraps without stamping — returning it from a mux builder is
+// a violation.
+func (rt *router) plainWrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		next.ServeHTTP(w, r)
+	})
+}
+
+// goodHandler returns the epoch-stamping middleware.
+func (rt *router) goodHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/members", func(w http.ResponseWriter, r *http.Request) {})
+	return rt.withEpoch(mux)
+}
+
+// badBareMux returns the mux with no epoch middleware.
+func (rt *router) badBareMux() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/members", func(w http.ResponseWriter, r *http.Request) {})
+	return mux
+}
+
+// badUnstampedWrap wraps, but the wrapper never sets the header.
+func (rt *router) badUnstampedWrap() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/members", func(w http.ResponseWriter, r *http.Request) {})
+	return rt.plainWrap(mux)
+}
+
+var errStale = http.ErrAbortHandler

@@ -1,0 +1,144 @@
+// Package leaksafe is the violation fixture for the leaksafe analyzer:
+// every "bad" function spawns a goroutine with no boundedness evidence,
+// every "good" one shows an accepted proof shape.
+package leaksafe
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type worker struct {
+	stop chan struct{}
+	out  chan int
+}
+
+// badForever spawns an infinite loop that observes nothing.
+func badForever() {
+	go func() {
+		for {
+			time.Sleep(time.Second)
+		}
+	}()
+}
+
+// badTick leaks the shared ticker even though the loop is stop-bounded.
+func (w *worker) badTick() {
+	go func() {
+		for {
+			select {
+			case <-time.Tick(time.Second):
+			case <-w.stop:
+				return
+			}
+		}
+	}()
+}
+
+// badSend is the classic one-shot result leak: if the receiver gives up,
+// the send blocks forever.
+func badSend() {
+	ch := make(chan int)
+	go func() {
+		ch <- compute()
+	}()
+	<-ch
+}
+
+// goodBufferedSend is the sanctioned version of badSend.
+func goodBufferedSend() {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- compute()
+	}()
+	<-ch
+}
+
+// goodCtx observes cancellation directly.
+func goodCtx(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(time.Second):
+			}
+		}
+	}()
+}
+
+// goodStopChan observes a stop-named channel.
+func (w *worker) goodStopChan() {
+	go func() {
+		for {
+			select {
+			case <-w.stop:
+				return
+			case w.out <- 1:
+			}
+		}
+	}()
+}
+
+// loop observes cancellation; runLoop spawns it through the call graph —
+// the boundedness evidence is interprocedural.
+func (w *worker) loop(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case w.out <- 2:
+		}
+	}
+}
+
+func (w *worker) runLoop(ctx context.Context) {
+	go w.loop(ctx)
+}
+
+// badSpawnHelper spawns a declared helper that never observes anything —
+// the same interprocedural resolution, failing.
+func spin() {
+	for {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func badSpawnHelper() {
+	go spin()
+}
+
+// goodWaitGroup ties the goroutine to a waited group.
+func goodWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			compute()
+		}
+	}()
+	wg.Wait()
+}
+
+// goodRange ends when the channel closes: the producer owns the bound.
+func goodRange(in chan int) {
+	go func() {
+		for v := range in {
+			_ = v
+		}
+	}()
+}
+
+// goodDefault can always make progress.
+func goodDefault(out chan int) {
+	go func() {
+		select {
+		case out <- compute():
+		default:
+		}
+	}()
+}
+
+func compute() int { return 42 }

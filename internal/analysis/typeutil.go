@@ -6,26 +6,42 @@ import (
 	"strings"
 )
 
-// calleeFunc resolves the function or method a call invokes, or nil
-// for calls through function values, type conversions, and builtins.
-func (p *Pass) calleeFunc(call *ast.CallExpr) *types.Func {
-	var id *ast.Ident
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		id = fun
-	case *ast.SelectorExpr:
-		id = fun.Sel
-	default:
+// The helpers here come in two spellings: package-level functions over a
+// *Package (usable by the call-graph and summary layer, which run before
+// any Pass exists) and thin Pass methods over them (the analyzer-facing
+// surface).
+
+func typeOf(pkg *Package, e ast.Expr) types.Type {
+	if pkg.Info == nil {
 		return nil
 	}
-	fn, _ := p.ObjectOf(id).(*types.Func)
-	return fn
+	return pkg.Info.TypeOf(e)
+}
+
+func objectOf(pkg *Package, id *ast.Ident) types.Object {
+	if pkg.Info == nil {
+		return nil
+	}
+	if o := pkg.Info.ObjectOf(id); o != nil {
+		return o
+	}
+	return nil
+}
+
+// calleeFunc resolves the function or method a call invokes, or nil
+// for calls through function values, type conversions, and builtins.
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	return resolveCallee(pkg, call)
+}
+
+func (p *Pass) calleeFunc(call *ast.CallExpr) *types.Func {
+	return calleeFunc(p.Pkg, call)
 }
 
 // calleeVar resolves a call through a function-typed variable or struct
 // field (a callback), or nil when the call targets a declared function,
 // a method, a conversion, or a builtin.
-func (p *Pass) calleeVar(call *ast.CallExpr) *types.Var {
+func calleeVar(pkg *Package, call *ast.CallExpr) *types.Var {
 	var id *ast.Ident
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:
@@ -35,7 +51,7 @@ func (p *Pass) calleeVar(call *ast.CallExpr) *types.Var {
 	default:
 		return nil
 	}
-	v, _ := p.ObjectOf(id).(*types.Var)
+	v, _ := objectOf(pkg, id).(*types.Var)
 	if v == nil {
 		return nil
 	}
@@ -43,6 +59,10 @@ func (p *Pass) calleeVar(call *ast.CallExpr) *types.Var {
 		return nil
 	}
 	return v
+}
+
+func (p *Pass) calleeVar(call *ast.CallExpr) *types.Var {
+	return calleeVar(p.Pkg, call)
 }
 
 // isNamed reports whether t (after stripping pointers) is the named
@@ -57,6 +77,21 @@ func isNamed(t types.Type, pkgPath, name string) bool {
 	}
 	obj := named.Obj()
 	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// namedTypeName returns the bare name of t's named type (pointers
+// stripped), or "".
+func namedTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
 }
 
 // hasMethods reports whether t's method set (value or pointer) includes
@@ -131,12 +166,16 @@ func isResponseWriterish(t types.Type) bool {
 
 // recvType returns the receiver expression's type for a method call, or
 // nil for non-method calls.
-func (p *Pass) recvType(call *ast.CallExpr) types.Type {
+func recvTypeOf(pkg *Package, call *ast.CallExpr) types.Type {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
 		return nil
 	}
-	return p.TypeOf(sel.X)
+	return typeOf(pkg, sel.X)
+}
+
+func (p *Pass) recvType(call *ast.CallExpr) types.Type {
+	return recvTypeOf(p.Pkg, call)
 }
 
 // render flattens a selector chain ("m.mu", "jf.f") for matching lock
@@ -170,8 +209,8 @@ func lastIdent(e ast.Expr) string {
 
 // errorResults returns the indices of error-typed results in a call's
 // result tuple (nil Info → none).
-func (p *Pass) errorResults(call *ast.CallExpr) []int {
-	t := p.TypeOf(call)
+func errorResultsOf(pkg *Package, call *ast.CallExpr) []int {
+	t := typeOf(pkg, call)
 	if t == nil {
 		return nil
 	}
@@ -191,6 +230,36 @@ func (p *Pass) errorResults(call *ast.CallExpr) []int {
 	return out
 }
 
+func (p *Pass) errorResults(call *ast.CallExpr) []int {
+	return errorResultsOf(p.Pkg, call)
+}
+
 func isErrorType(t types.Type) bool {
 	return t != nil && t.String() == "error"
+}
+
+// isContextErrCall reports whether call is (context.Context).Err().
+func isContextErrCall(pkg *Package, call *ast.CallExpr) bool {
+	fn := calleeFunc(pkg, call)
+	return fn != nil && fn.Name() == "Err" && fn.Pkg() != nil && fn.Pkg().Path() == "context"
+}
+
+// paramObjs returns the declared parameter objects of fd in order,
+// skipping unnamed and blank parameters (their index position is kept).
+func paramObjs(pkg *Package, fd *ast.FuncDecl) []*types.Var {
+	var out []*types.Var
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		if len(field.Names) == 0 {
+			out = append(out, nil) // unnamed: occupies one slot
+			continue
+		}
+		for _, name := range field.Names {
+			v, _ := objectOf(pkg, name).(*types.Var)
+			out = append(out, v)
+		}
+	}
+	return out
 }

@@ -387,6 +387,11 @@ func (rt *Router) reclaimRoutes(ctx context.Context, m *member) (reclaimed int, 
 // cuts its followers, orphans whatever routes are still bound to it,
 // and closes its backend. Caller holds rt.fomu; returns log lines.
 func (rt *Router) detach(m *member) (notes []string) {
+	// The sweepDraining path reaches here without a fresh CAS: a drain
+	// sweep only advances removals already admitted through the CAS in
+	// removeMember, and the !ok branch below makes a raced detach a
+	// no-op rather than a double epoch bump.
+	//lint:allow epochguard drain sweeps finish CAS-admitted removals; re-checking the epoch here would wedge a drain raced by an unrelated mutation
 	if _, ok := rt.mem.detach(m.name); !ok {
 		return nil // already detached by a racing pass
 	}

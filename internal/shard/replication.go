@@ -157,11 +157,9 @@ func (r *replicator) appendLocked(l replLine) error {
 		return err
 	}
 	b = append(b, '\n')
-	//lint:allow locksafe r.mu is the ledger's per-file I/O lock; serializing this file's writes is its purpose
 	if _, err := r.f.Write(b); err != nil {
 		return err
 	}
-	//lint:allow locksafe r.mu is the ledger's per-file I/O lock; the sync orders the append before the ack that may follow
 	return r.f.Sync()
 }
 
